@@ -1,0 +1,171 @@
+/**
+ * @file
+ * E9b — google-benchmark suite for the CKKS primitive operations of
+ * Table 2 on the functional library (reduced ring degree): Add, PtMult,
+ * Mult (merged vs unmerged ModDown), Rotate (plain vs hoisted), Rescale.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace madfhe;
+
+struct Fixture
+{
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksEncoder> encoder;
+    SecretKey sk;
+    SwitchingKey rlk;
+    GaloisKeys gks;
+    std::unique_ptr<Encryptor> enc;
+    std::unique_ptr<Evaluator> eval;
+    std::unique_ptr<Evaluator> eval_unmerged;
+    Ciphertext ct_a, ct_b;
+    Plaintext pt;
+
+    Fixture()
+    {
+        CkksParams p = CkksParams::medium();
+        ctx = std::make_shared<CkksContext>(p);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        KeyGenerator keygen(ctx);
+        sk = keygen.secretKey();
+        PublicKey pk = keygen.publicKey(sk);
+        rlk = keygen.relinKey(sk);
+        gks = keygen.galoisKeys(sk, {1, 2, 4, 8});
+        enc = std::make_unique<Encryptor>(ctx, pk);
+        eval = std::make_unique<Evaluator>(ctx);
+        eval_unmerged = std::make_unique<Evaluator>(
+            ctx, EvalOptions{.merged_moddown = false});
+
+        Prng rng(7);
+        std::vector<std::complex<double>> v(ctx->slots());
+        for (auto& z : v)
+            z = {rng.uniformReal(), rng.uniformReal()};
+        pt = encoder->encode(v, ctx->scale(), ctx->maxLevel());
+        ct_a = enc->encrypt(pt);
+        ct_b = enc->encrypt(pt);
+    }
+
+    static Fixture&
+    get()
+    {
+        static Fixture f;
+        return f;
+    }
+};
+
+void
+BM_CkksAdd(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    for (auto _ : state) {
+        auto c = f.eval->add(f.ct_a, f.ct_b);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksAdd);
+
+void
+BM_CkksPtMultRescale(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    for (auto _ : state) {
+        auto c = f.eval->mulPlainRescale(f.ct_a, f.pt);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksPtMultRescale);
+
+void
+BM_CkksMultMergedModDown(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    for (auto _ : state) {
+        auto c = f.eval->mul(f.ct_a, f.ct_b, f.rlk);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksMultMergedModDown);
+
+void
+BM_CkksMultUnmerged(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    for (auto _ : state) {
+        auto c = f.eval_unmerged->mul(f.ct_a, f.ct_b, f.rlk);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksMultUnmerged);
+
+void
+BM_CkksRotate(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    for (auto _ : state) {
+        auto c = f.eval->rotate(f.ct_a, 2, f.gks);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksRotate);
+
+void
+BM_CkksRotateHoisted4(benchmark::State& state)
+{
+    // Four rotations sharing one Decomp+ModUp — compare against 4x
+    // BM_CkksRotate to see the hoisting gain.
+    auto& f = Fixture::get();
+    std::vector<int> steps = {1, 2, 4, 8};
+    for (auto _ : state) {
+        auto cs = f.eval->rotateHoisted(f.ct_a, steps, f.gks);
+        benchmark::DoNotOptimize(cs);
+    }
+}
+BENCHMARK(BM_CkksRotateHoisted4);
+
+void
+BM_CkksRescale(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    auto prod = f.eval->mulPlain(f.ct_a, f.pt);
+    for (auto _ : state) {
+        auto c = f.eval->rescale(prod);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksRescale);
+
+void
+BM_CkksEncode(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    Prng rng(9);
+    std::vector<std::complex<double>> v(f.ctx->slots());
+    for (auto& z : v)
+        z = {rng.uniformReal(), rng.uniformReal()};
+    for (auto _ : state) {
+        auto p = f.encoder->encode(v, f.ctx->scale(), 4);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_CkksEncode);
+
+void
+BM_CkksEncrypt(benchmark::State& state)
+{
+    auto& f = Fixture::get();
+    for (auto _ : state) {
+        auto c = f.enc->encrypt(f.pt);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CkksEncrypt);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * E9a — google-benchmark microbenchmarks for the RNS substrate kernels:
+ * modular multiplication (Barrett vs Shoup), NTT/iNTT across ring
+ * degrees, and fast basis extension. These are the kernels whose counts
+ * SimFHE models; the microbenches ground the model in real cycle costs.
+ */
+#include <benchmark/benchmark.h>
+
+#include "rns/basis.h"
+#include "rns/ntt.h"
+#include "rns/primegen.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace madfhe;
+
+void
+BM_MulModBarrett(benchmark::State& state)
+{
+    Modulus q(generateNttPrimes(54, 1 << 10, 1)[0]);
+    Prng rng(1);
+    u64 a = rng.uniform(q.value()), b = rng.uniform(q.value());
+    for (auto _ : state) {
+        a = q.mul(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulModBarrett);
+
+void
+BM_MulModShoup(benchmark::State& state)
+{
+    Modulus q(generateNttPrimes(54, 1 << 10, 1)[0]);
+    Prng rng(2);
+    u64 a = rng.uniform(q.value());
+    u64 w = rng.uniform(q.value());
+    u64 pre = q.shoupPrecompute(w);
+    for (auto _ : state) {
+        a = q.mulShoup(a, w, pre);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_MulModShoup);
+
+void
+BM_NttForward(benchmark::State& state)
+{
+    const size_t n = size_t(1) << state.range(0);
+    Modulus q(generateNttPrimes(54, n, 1)[0]);
+    NttTables ntt(n, q);
+    Sampler s(3);
+    auto a = s.uniformMod(n, q.value());
+    for (auto _ : state) {
+        ntt.forward(a.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->Arg(10)->Arg(12)->Arg(13)->Arg(14);
+
+void
+BM_NttInverse(benchmark::State& state)
+{
+    const size_t n = size_t(1) << state.range(0);
+    Modulus q(generateNttPrimes(54, n, 1)[0]);
+    NttTables ntt(n, q);
+    Sampler s(4);
+    auto a = s.uniformMod(n, q.value());
+    for (auto _ : state) {
+        ntt.inverse(a.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttInverse)->Arg(10)->Arg(12)->Arg(14);
+
+void
+BM_BasisExtension(benchmark::State& state)
+{
+    const size_t n = 1 << 12;
+    const size_t src_limbs = state.range(0);
+    auto src_primes = generateNttPrimes(45, n, src_limbs);
+    auto dst_primes = generateNttPrimes(46, n, 3, src_primes);
+    std::vector<Modulus> src_mods, dst_mods;
+    for (u64 p : src_primes)
+        src_mods.emplace_back(p);
+    for (u64 p : dst_primes)
+        dst_mods.emplace_back(p);
+    RnsBasis from(src_mods), to(dst_mods);
+    BasisConverter conv(from, to);
+
+    Sampler s(5);
+    std::vector<std::vector<u64>> in;
+    std::vector<const u64*> in_ptrs;
+    for (size_t i = 0; i < src_limbs; ++i) {
+        in.push_back(s.uniformMod(n, from[i].value()));
+        in_ptrs.push_back(in.back().data());
+    }
+    std::vector<std::vector<u64>> out(3, std::vector<u64>(n));
+    std::vector<u64*> out_ptrs;
+    for (auto& limb : out)
+        out_ptrs.push_back(limb.data());
+
+    for (auto _ : state) {
+        conv.convert(in_ptrs, n, out_ptrs);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n * src_limbs);
+}
+BENCHMARK(BM_BasisExtension)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parameter explorer: the SimFHE workflow of Section 4.1 — given an
+ * on-chip memory budget, search the CKKS parameter space for the
+ * bootstrapping-throughput-maximizing configuration, and show how the
+ * optimum shifts with the memory budget.
+ */
+#include <cstdio>
+
+#include "simfhe/report.h"
+#include "simfhe/search.h"
+
+using namespace madfhe::simfhe;
+
+int
+main()
+{
+    std::printf("=== SimFHE parameter explorer ===\n\n");
+    std::printf("Sweeping on-chip memory budgets on a GPU-class system "
+                "(900 GB/s, 2250 modmult/cycle):\n\n");
+
+    SearchSpace space;
+    space.min_limb_bits = 42;
+    space.max_limb_bits = 60;
+    space.min_limbs = 26;
+    space.max_limbs = 46;
+    space.dnums = {1, 2, 3, 4, 5};
+    space.fft_iters = {2, 3, 4, 5, 6, 7};
+
+    Table t({"cache MB", "q", "L", "dnum", "fftIter", "logQ1",
+             "runtime ms", "throughput", "bound"});
+    for (double mb : {2.0, 6.0, 16.0, 32.0, 64.0, 256.0}) {
+        HardwareDesign hw = HardwareDesign::gpu().withCache(mb);
+        auto results = searchParameters(space, hw, 1);
+        if (results.empty())
+            continue;
+        const auto& r = results.front();
+        t.addRow({fmt(mb, 0), std::to_string(r.config.limb_bits),
+                  std::to_string(r.config.boot_limbs),
+                  std::to_string(r.config.dnum),
+                  std::to_string(r.config.fft_iter),
+                  fmt(r.config.logQ1(), 0), fmt(r.runtime_sec * 1e3, 2),
+                  fmt(r.throughput, 0),
+                  r.memory_bound ? "memory" : "compute"});
+    }
+    t.print();
+
+    std::printf("\nObservations (matching the paper):\n");
+    std::printf("  - Throughput saturates around 32 MB: the MAD "
+                "optimizations need O(alpha) limbs of cache, beyond which "
+                "extra SRAM buys nothing.\n");
+    std::printf("  - Larger L with moderate dnum and deeper fftIter "
+                "splits win once the cache covers the basis-change "
+                "working set (compare the paper's Table 5: q=50, L=40, "
+                "dnum=2, fftIter=6).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: encrypt two complex vectors, compute (a + b) * a - rotate
+ * the result, decrypt, and compare against the plaintext computation.
+ * Also shows the SimFHE side: what the same operations cost at
+ * paper-scale parameters.
+ */
+#include <cstdio>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "simfhe/model.h"
+
+using namespace madfhe;
+
+int
+main()
+{
+    std::printf("=== madfhe quickstart ===\n\n");
+
+    // 1. Pick parameters and build the context. These are demo-sized
+    //    (N = 2^12); see CkksParams for the knobs.
+    CkksParams params = CkksParams::medium();
+    auto ctx = std::make_shared<CkksContext>(params);
+    std::printf("ring degree N = %zu, slots = %zu, levels = %zu\n",
+                ctx->degree(), ctx->slots(), ctx->maxLevel());
+
+    // 2. Generate keys.
+    KeyGenerator keygen(ctx);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    SwitchingKey rlk = keygen.relinKey(sk);
+    GaloisKeys gks = keygen.galoisKeys(sk, {3});
+
+    CkksEncoder encoder(ctx);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+
+    // 3. Encode + encrypt.
+    const size_t slots = ctx->slots();
+    std::vector<std::complex<double>> a(slots), b(slots);
+    for (size_t i = 0; i < slots; ++i) {
+        a[i] = {0.001 * static_cast<double>(i), 0.5};
+        b[i] = {1.0, -0.001 * static_cast<double>(i)};
+    }
+    Ciphertext ct_a = encryptor.encrypt(
+        encoder.encode(a, ctx->scale(), ctx->maxLevel()));
+    Ciphertext ct_b = encryptor.encrypt(
+        encoder.encode(b, ctx->scale(), ctx->maxLevel()));
+
+    // 4. Compute rotate((a + b) * a, 3) homomorphically.
+    Ciphertext sum = eval.add(ct_a, ct_b);
+    Ciphertext prod = eval.mul(sum, ct_a, rlk); // relinearize + rescale
+    Ciphertext rot = eval.rotate(prod, 3, gks);
+
+    // 5. Decrypt and check.
+    auto result = encoder.decode(decryptor.decrypt(rot));
+    double max_err = 0;
+    for (size_t i = 0; i < slots; ++i) {
+        auto expect = (a[(i + 3) % slots] + b[(i + 3) % slots]) *
+                      a[(i + 3) % slots];
+        max_err = std::max(max_err, std::abs(result[i] - expect));
+    }
+    std::printf("homomorphic rotate((a+b)*a, 3): max error = %.2e\n",
+                max_err);
+    std::printf("levels remaining: %zu of %zu\n\n", rot.level(),
+                ctx->maxLevel());
+
+    // 6. The SimFHE view: what would this cost at the paper's scale
+    //    (N = 2^17, l = 35) on a 32 MB-cache accelerator?
+    using namespace simfhe;
+    SchemeConfig s = SchemeConfig::baselineJung();
+    CostModel naive(s, CacheConfig::megabytes(32), Optimizations::none());
+    CostModel mad(s, CacheConfig::megabytes(32), Optimizations::all());
+    Cost cn = naive.add(35) + naive.mult(35) + naive.rotate(35);
+    Cost cm = mad.add(35) + mad.mult(35) + mad.rotate(35);
+    std::printf("SimFHE @ N=2^17: Add+Mult+Rotate costs %s\n",
+                cn.summary().c_str());
+    std::printf("           with MAD optimizations:    %s\n",
+                cm.summary().c_str());
+    std::printf("\nDone. Error %s\n", max_err < 1e-3 ? "OK" : "TOO HIGH");
+    return max_err < 1e-3 ? 0 : 1;
+}

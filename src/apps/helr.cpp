@@ -1,0 +1,61 @@
+#include "apps/helr.h"
+
+namespace madfhe {
+namespace apps {
+
+using simfhe::Cost;
+using simfhe::CostModel;
+
+size_t
+helrBootstrapCount(const HelrConfig& cfg)
+{
+    return ceilDiv(cfg.iterations, cfg.boot_interval);
+}
+
+Cost
+helrTrainingCost(const CostModel& model, const HelrConfig& cfg)
+{
+    const auto& s = model.scheme();
+    // Sparsely packed bootstrapping per Section 4.3.
+    simfhe::SchemeConfig boot_scheme = s;
+    boot_scheme.boot_slots = cfg.boot_slots;
+    CostModel boot_model(boot_scheme, model.cache(), model.effective());
+    // Usable levels between bootstraps.
+    const size_t usable =
+        s.boot_limbs > s.bootstrapDepth() ? s.boot_limbs - s.bootstrapDepth()
+                                          : 8;
+    // Each iteration consumes sigmoid_depth + 2 levels (gradient mult,
+    // update mult); bootstrap when exhausted per boot_interval.
+    const size_t per_iter_depth = cfg.sigmoid_depth + 2;
+
+    Cost total;
+    size_t level = usable;
+    for (size_t it = 0; it < cfg.iterations; ++it) {
+        if (it > 0 && it % cfg.boot_interval == 0) {
+            total += boot_model.bootstrap();
+            level = usable;
+        }
+        if (level < per_iter_depth + 2)
+            level = per_iter_depth + 2; // floor for the cost model
+        // Gradient inner products: hoisted rotation batch + adds.
+        total += model.ptMatVecMult(level, cfg.rotations_per_iter);
+        // Ciphertext multiplications (gradient x data, weight update).
+        for (size_t m = 0; m < cfg.mults_per_iter; ++m)
+            total += model.mult(level);
+        // Sigmoid polynomial evaluation.
+        for (size_t d = 0; d < cfg.sigmoid_depth; ++d)
+            total += model.mult(level - d) * 2.0;
+        // Plaintext multiplications and additions.
+        for (size_t p = 0; p < cfg.ptmults_per_iter; ++p)
+            total += model.ptMult(level);
+        total += model.add(level) * 6.0;
+        level -= per_iter_depth;
+    }
+    // Final bootstrap count alignment: iterations 3,6,... triggered above;
+    // HELR also refreshes once at the end of training.
+    total += boot_model.bootstrap();
+    return total;
+}
+
+} // namespace apps
+} // namespace madfhe

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * HELR logistic-regression training schedule (Han et al. [18], the
+ * workload of Figure 6(a-e)): per-iteration CKKS operation counts fed to
+ * the SimFHE cost model, with a bootstrap every `boot_interval`
+ * iterations (3 with the paper's optimal parameter set).
+ */
+#ifndef MADFHE_APPS_HELR_H
+#define MADFHE_APPS_HELR_H
+
+#include "simfhe/model.h"
+
+namespace madfhe {
+namespace apps {
+
+struct HelrConfig
+{
+    /** Training iterations (HELR trains MNIST-1024 in ~30). */
+    size_t iterations = 30;
+    /** Iterations between bootstraps. */
+    size_t boot_interval = 3;
+    /** Rotations per gradient inner product (log2-tree sums over the
+     *  feature dimension plus replication). */
+    size_t rotations_per_iter = 18;
+    /** Ciphertext-ciphertext multiplications per iteration (gradient and
+     *  weight update). */
+    size_t mults_per_iter = 6;
+    /** Plaintext multiplications per iteration (learning-rate, masks). */
+    size_t ptmults_per_iter = 4;
+    /** Depth of the degree-7 sigmoid approximation. */
+    size_t sigmoid_depth = 3;
+    /**
+     * Slots per bootstrap; HELR packs the (batch x feature) matrix
+     * sparsely, so its bootstraps refresh fewer slots than fully-packed
+     * bootstrapping (Section 4.3 of the paper). 0 = fully packed.
+     */
+    size_t boot_slots = 1 << 13;
+};
+
+/**
+ * Total cost of HELR training on the given model. Iterations walk the
+ * level budget down from logQ1 and each bootstrap restores it.
+ */
+simfhe::Cost helrTrainingCost(const simfhe::CostModel& model,
+                              const HelrConfig& cfg = {});
+
+/** Number of bootstraps the schedule performs. */
+size_t helrBootstrapCount(const HelrConfig& cfg = {});
+
+} // namespace apps
+} // namespace madfhe
+
+#endif // MADFHE_APPS_HELR_H

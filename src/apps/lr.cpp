@@ -1,0 +1,192 @@
+#include "apps/lr.h"
+
+#include <cmath>
+
+namespace madfhe {
+namespace apps {
+
+double
+sigmoidApprox(double z)
+{
+    return 0.5 + 0.25 * z - z * z * z / 48.0;
+}
+
+LrDataset
+LrDataset::twoGaussians(size_t samples, size_t features, u64 seed)
+{
+    Prng rng(seed);
+    auto gauss = [&rng]() {
+        double u1 = rng.uniformReal() + 1e-12, u2 = rng.uniformReal();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * std::acos(-1.0) * u2);
+    };
+    LrDataset d;
+    d.features.assign(features, std::vector<double>(samples));
+    d.labels.resize(samples);
+    for (size_t i = 0; i < samples; ++i) {
+        bool positive = (i % 2) == 0;
+        d.labels[i] = positive ? 1.0 : 0.0;
+        for (size_t j = 0; j < features; ++j) {
+            double mean = positive ? 0.35 : -0.35;
+            d.features[j][i] = mean + 0.25 * gauss();
+        }
+    }
+    return d;
+}
+
+double
+LrModel::score(const LrDataset& data, size_t sample) const
+{
+    double z = 0;
+    for (size_t j = 0; j < weights.size(); ++j)
+        z += weights[j] * data.features[j][sample];
+    return z;
+}
+
+double
+LrModel::accuracy(const LrDataset& data) const
+{
+    size_t correct = 0;
+    for (size_t i = 0; i < data.sampleCount(); ++i)
+        correct += ((score(data, i) > 0) == (data.labels[i] > 0.5));
+    return static_cast<double>(correct) /
+           static_cast<double>(data.sampleCount());
+}
+
+EncryptedLrTrainer::EncryptedLrTrainer(
+    std::shared_ptr<const CkksContext> ctx_, LrConfig config)
+    : ctx(std::move(ctx_)), cfg(config)
+{
+    require(cfg.features >= 1, "need at least one feature");
+    require(cfg.iterations >= 1, "need at least one iteration");
+    size_t depth_needed = cfg.iterations * levelsPerIteration() + 1;
+    require(ctx->maxLevel() > depth_needed,
+            "not enough levels for the requested iteration count");
+}
+
+std::vector<int>
+EncryptedLrTrainer::requiredRotations() const
+{
+    std::vector<int> steps;
+    for (size_t s = 1; s < ctx->slots(); s <<= 1)
+        steps.push_back(static_cast<int>(s));
+    return steps;
+}
+
+std::vector<Ciphertext>
+EncryptedLrTrainer::encryptFeatures(const CkksEncoder& encoder,
+                                    Encryptor& encryptor,
+                                    const LrDataset& data) const
+{
+    require(data.features.size() == cfg.features, "feature count mismatch");
+    require(data.sampleCount() <= ctx->slots(), "too many samples");
+    std::vector<Ciphertext> out;
+    out.reserve(cfg.features);
+    for (const auto& column : data.features) {
+        out.push_back(encryptor.encrypt(
+            encoder.encodeReal(column, ctx->scale(), ctx->maxLevel())));
+    }
+    return out;
+}
+
+Ciphertext
+EncryptedLrTrainer::encryptLabels(const CkksEncoder& encoder,
+                                  Encryptor& encryptor,
+                                  const LrDataset& data) const
+{
+    return encryptor.encrypt(
+        encoder.encodeReal(data.labels, ctx->scale(), ctx->maxLevel()));
+}
+
+Ciphertext
+EncryptedLrTrainer::slotSum(const Evaluator& eval, Ciphertext ct,
+                            const GaloisKeys& gks) const
+{
+    for (size_t s = 1; s < ctx->slots(); s <<= 1)
+        ct = eval.add(ct, eval.rotate(ct, static_cast<int>(s), gks));
+    return ct;
+}
+
+std::vector<Ciphertext>
+EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
+                          Encryptor& encryptor,
+                          const std::vector<Ciphertext>& features,
+                          const Ciphertext& labels, const SwitchingKey& rlk,
+                          const GaloisKeys& gks) const
+{
+    require(features.size() == cfg.features, "feature ciphertext count");
+    const size_t slots = ctx->slots();
+
+    std::vector<Ciphertext> weights;
+    for (size_t j = 0; j < cfg.features; ++j)
+        weights.push_back(encryptor.encrypt(encoder.encodeScalar(
+            {0.0, 0.0}, ctx->scale(), ctx->maxLevel())));
+
+    for (size_t it = 0; it < cfg.iterations; ++it) {
+        // margin = sum_j w_j * x_j
+        size_t lvl = weights[0].level();
+        Ciphertext margin;
+        for (size_t j = 0; j < cfg.features; ++j) {
+            Ciphertext xj = eval.dropToLevel(features[j], lvl);
+            Ciphertext term = eval.mul(weights[j], xj, rlk);
+            margin = (j == 0) ? term : eval.add(margin, term);
+        }
+
+        // sigmoid(margin) ~ 0.5 + 0.25 m - m^3 / 48
+        Ciphertext m2 = eval.square(margin, rlk);
+        Ciphertext m3 =
+            eval.mul(m2, eval.dropToLevel(margin, m2.level()), rlk);
+        Ciphertext lin = eval.mulScalarRescale(margin, 0.25);
+        Ciphertext cub = eval.mulScalarRescale(m3, -1.0 / 48.0);
+        lin = eval.dropToLevel(lin, cub.level());
+        Ciphertext sig = eval.addScalar(eval.add(lin, cub), 0.5, encoder);
+
+        // error = sigmoid - y; w_j -= lr * mean(error * x_j)
+        Ciphertext err = eval.sub(sig, eval.dropToLevel(labels, sig.level()));
+        for (size_t j = 0; j < cfg.features; ++j) {
+            Ciphertext xj = eval.dropToLevel(features[j], err.level());
+            Ciphertext g = slotSum(eval, eval.mul(err, xj, rlk), gks);
+            g = eval.mulScalarRescale(
+                g, -cfg.learning_rate / static_cast<double>(slots));
+            weights[j] = eval.add(eval.dropToLevel(weights[j], g.level()), g);
+        }
+    }
+    return weights;
+}
+
+LrModel
+EncryptedLrTrainer::decryptModel(const CkksEncoder& encoder,
+                                 Decryptor& decryptor,
+                                 const std::vector<Ciphertext>& weights) const
+{
+    LrModel model;
+    for (const auto& w : weights)
+        model.weights.push_back(
+            encoder.decode(decryptor.decrypt(w))[0].real());
+    return model;
+}
+
+LrModel
+EncryptedLrTrainer::trainPlain(const LrDataset& data) const
+{
+    const size_t n = data.sampleCount();
+    LrModel model;
+    model.weights.assign(cfg.features, 0.0);
+    for (size_t it = 0; it < cfg.iterations; ++it) {
+        std::vector<double> grad(cfg.features, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            double e = sigmoidApprox(model.score(data, i)) - data.labels[i];
+            for (size_t j = 0; j < cfg.features; ++j)
+                grad[j] += e * data.features[j][i];
+        }
+        // The encrypted reduction divides by the slot count (zero-padded
+        // samples contribute zero), so the reference must too.
+        for (size_t j = 0; j < cfg.features; ++j)
+            model.weights[j] -= cfg.learning_rate * grad[j] /
+                                static_cast<double>(ctx->slots());
+    }
+    return model;
+}
+
+} // namespace apps
+} // namespace madfhe

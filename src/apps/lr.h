@@ -1,0 +1,108 @@
+/**
+ * @file
+ * EncryptedLrTrainer: functional logistic-regression training on
+ * encrypted data (the HELR workload, miniature). One sample per slot,
+ * features packed column-wise into one ciphertext each; gradients via
+ * ciphertext products and rotate-and-add reductions; degree-3 polynomial
+ * sigmoid. A plaintext reference trainer with the identical update rule
+ * is provided for validation.
+ */
+#ifndef MADFHE_APPS_LR_H
+#define MADFHE_APPS_LR_H
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+namespace madfhe {
+namespace apps {
+
+struct LrConfig
+{
+    size_t features = 4;
+    double learning_rate = 1.0;
+    size_t iterations = 2;
+};
+
+/** Column-major plaintext dataset: one sample per slot position. */
+struct LrDataset
+{
+    /** features[j][i] = feature j of sample i. */
+    std::vector<std::vector<double>> features;
+    /** Labels in {0, 1}. */
+    std::vector<double> labels;
+
+    size_t sampleCount() const { return labels.size(); }
+
+    /** Synthetic two-Gaussian binary classification data. */
+    static LrDataset twoGaussians(size_t samples, size_t features,
+                                  u64 seed);
+};
+
+/** Decrypted model weights. */
+struct LrModel
+{
+    std::vector<double> weights;
+
+    /** Linear score w . x for one sample of the dataset. */
+    double score(const LrDataset& data, size_t sample) const;
+    /** 0/1 classification accuracy over a dataset. */
+    double accuracy(const LrDataset& data) const;
+};
+
+/** The degree-3 sigmoid approximation used on both sides. */
+double sigmoidApprox(double z);
+
+class EncryptedLrTrainer
+{
+  public:
+    EncryptedLrTrainer(std::shared_ptr<const CkksContext> ctx,
+                       LrConfig config);
+
+    const LrConfig& config() const { return cfg; }
+
+    /** Rotation steps train() needs Galois keys for (the log2 reduction
+     *  tree). */
+    std::vector<int> requiredRotations() const;
+
+    /** Multiplicative levels one iteration consumes. */
+    size_t levelsPerIteration() const { return 5; }
+
+    /** Encrypt a dataset column-wise at the top level. */
+    std::vector<Ciphertext> encryptFeatures(const CkksEncoder& encoder,
+                                            Encryptor& encryptor,
+                                            const LrDataset& data) const;
+    Ciphertext encryptLabels(const CkksEncoder& encoder,
+                             Encryptor& encryptor,
+                             const LrDataset& data) const;
+
+    /**
+     * Run `cfg.iterations` gradient-descent steps entirely on encrypted
+     * data. Returns one (slot-broadcast) weight ciphertext per feature.
+     */
+    std::vector<Ciphertext> train(const Evaluator& eval,
+                                  const CkksEncoder& encoder,
+                                  Encryptor& encryptor,
+                                  const std::vector<Ciphertext>& features,
+                                  const Ciphertext& labels,
+                                  const SwitchingKey& rlk,
+                                  const GaloisKeys& gks) const;
+
+    /** Decrypt the trained weights (first slot of each ciphertext). */
+    LrModel decryptModel(const CkksEncoder& encoder, Decryptor& decryptor,
+                         const std::vector<Ciphertext>& weights) const;
+
+    /** Plaintext training with the identical schedule/update rule. */
+    LrModel trainPlain(const LrDataset& data) const;
+
+  private:
+    Ciphertext slotSum(const Evaluator& eval, Ciphertext ct,
+                       const GaloisKeys& gks) const;
+
+    std::shared_ptr<const CkksContext> ctx;
+    LrConfig cfg;
+};
+
+} // namespace apps
+} // namespace madfhe
+
+#endif // MADFHE_APPS_LR_H

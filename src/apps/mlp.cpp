@@ -1,0 +1,106 @@
+#include "apps/mlp.h"
+
+namespace madfhe {
+namespace apps {
+
+std::map<int, std::vector<std::complex<double>>>
+blockDenseDiagonals(const std::vector<std::vector<double>>& weights,
+                    size_t dim, size_t slots)
+{
+    require(isPowerOfTwo(dim) && slots % dim == 0,
+            "block width must be a power of two dividing the slot count");
+    require(!weights.empty() && weights.size() <= dim,
+            "matrix height must be in [1, dim]");
+    for (const auto& row : weights)
+        require(row.size() == dim, "matrix width must equal dim");
+
+    // Slot rotations wrap across the whole vector, so block diagonal d
+    // splits into generalized diagonals +d (rows that stay in the block)
+    // and d - dim (rows that wrap).
+    std::map<int, std::vector<std::complex<double>>> diags;
+    diags[0].assign(slots, {0.0, 0.0});
+    for (size_t d = 1; d < dim; ++d) {
+        diags[static_cast<int>(d)].assign(slots, {0.0, 0.0});
+        diags[static_cast<int>(d) - static_cast<int>(dim)]
+            .assign(slots, {0.0, 0.0});
+    }
+    for (size_t k = 0; k < slots; ++k) {
+        size_t row = k % dim;
+        if (row >= weights.size())
+            continue;
+        for (size_t d = 0; d < dim; ++d) {
+            size_t col = (row + d) % dim;
+            int offset = row + d < dim
+                             ? static_cast<int>(d)
+                             : static_cast<int>(d) - static_cast<int>(dim);
+            diags[offset][k] = {weights[row][col], 0.0};
+        }
+    }
+    return diags;
+}
+
+EncryptedMlp::EncryptedMlp(
+    std::shared_ptr<const CkksContext> ctx_,
+    std::vector<std::vector<std::vector<double>>> layers, size_t dim,
+    MatVecOptions matvec)
+    : ctx(std::move(ctx_)), weights(std::move(layers)), block_dim(dim)
+{
+    require(!weights.empty(), "need at least one layer");
+    require(ctx->maxLevel() > depth(),
+            "not enough levels for this network depth");
+    for (const auto& w : weights) {
+        transforms.emplace_back(
+            ctx, blockDenseDiagonals(w, block_dim, ctx->slots()),
+            ctx->scale(), matvec);
+    }
+}
+
+std::vector<int>
+EncryptedMlp::requiredRotations() const
+{
+    std::vector<int> steps;
+    for (const auto& t : transforms) {
+        auto s = t.requiredRotations();
+        steps.insert(steps.end(), s.begin(), s.end());
+    }
+    return steps;
+}
+
+Ciphertext
+EncryptedMlp::infer(const Evaluator& eval, const CkksEncoder& encoder,
+                    const Ciphertext& input, const GaloisKeys& gks,
+                    const SwitchingKey& rlk) const
+{
+    Ciphertext ct = transforms[0].apply(eval, encoder, input, gks);
+    for (size_t layer = 1; layer < transforms.size(); ++layer) {
+        ct = eval.square(ct, rlk);
+        ct = transforms[layer].apply(eval, encoder, ct, gks);
+    }
+    return ct;
+}
+
+std::vector<double>
+EncryptedMlp::inferPlain(const std::vector<double>& sample) const
+{
+    require(sample.size() == block_dim, "sample width must equal dim");
+    std::vector<double> cur = sample;
+    for (size_t layer = 0; layer < weights.size(); ++layer) {
+        const auto& w = weights[layer];
+        std::vector<double> next(block_dim, 0.0);
+        for (size_t r = 0; r < w.size(); ++r) {
+            double acc = 0;
+            for (size_t c = 0; c < block_dim; ++c)
+                acc += w[r][c] * cur[c];
+            next[r] = acc;
+        }
+        if (layer + 1 < weights.size()) {
+            for (auto& v : next)
+                v = v * v;
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+} // namespace apps
+} // namespace madfhe

@@ -1,0 +1,45 @@
+#include "apps/resnet.h"
+
+namespace madfhe {
+namespace apps {
+
+using simfhe::Cost;
+using simfhe::CostModel;
+
+Cost
+resnetInferenceCost(const CostModel& model, const ResnetConfig& cfg)
+{
+    const auto& s = model.scheme();
+    simfhe::SchemeConfig boot_scheme = s;
+    boot_scheme.boot_slots = cfg.boot_slots;
+    CostModel boot_model(boot_scheme, model.cache(), model.effective());
+    const size_t usable =
+        s.boot_limbs > s.bootstrapDepth() ? s.boot_limbs - s.bootstrapDepth()
+                                          : 8;
+
+    Cost total;
+    for (size_t layer = 0; layer < cfg.conv_layers; ++layer) {
+        size_t level = usable;
+        // Convolution as matvec(s).
+        for (size_t m = 0; m < cfg.matvecs_per_layer; ++m)
+            total += model.ptMatVecMult(level, cfg.conv_diagonals);
+        level = level > 2 ? level - 1 : level;
+        // Polynomial ReLU.
+        size_t relu_level = std::max<size_t>(level, cfg.relu_depth + 2);
+        for (size_t m = 0; m < cfg.relu_mults; ++m) {
+            total += model.mult(relu_level);
+            if (relu_level > cfg.relu_depth + 2 && m % 2 == 1)
+                relu_level -= 1;
+        }
+        total += model.add(relu_level) * 4.0;
+    }
+    // Downsample/pool/FC tail: a few matvecs at low level.
+    total += model.ptMatVecMult(usable / 2 + 2, 16) * 3.0;
+    // Bootstraps dominate (Section 1: ~80% of runtime even optimized).
+    for (size_t b = 0; b < cfg.bootstraps; ++b)
+        total += boot_model.bootstrap();
+    return total;
+}
+
+} // namespace apps
+} // namespace madfhe

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ResNet-20 CIFAR-10 inference schedule (Lee et al. [27], the workload of
+ * Figure 6(f-h)): per-layer homomorphic convolutions (PtMatVecMult),
+ * polynomial ReLU approximations, and a bootstrap per activation — the
+ * bootstrap-dominated profile the paper reports (~80%+ of runtime).
+ */
+#ifndef MADFHE_APPS_RESNET_H
+#define MADFHE_APPS_RESNET_H
+
+#include "simfhe/model.h"
+
+namespace madfhe {
+namespace apps {
+
+struct ResnetConfig
+{
+    /** Convolution layers in ResNet-20. */
+    size_t conv_layers = 20;
+    /** Diagonals per convolution matvec (3x3 kernel x channel packing). */
+    size_t conv_diagonals = 27;
+    /** Matvecs per convolution layer (input/output channel blocks). */
+    size_t matvecs_per_layer = 2;
+    /** Depth of the polynomial ReLU approximation. */
+    size_t relu_depth = 5;
+    /** Ciphertext mults per ReLU evaluation. */
+    size_t relu_mults = 10;
+    /** Bootstraps per inference (Lee et al. bootstrap per ReLU block). */
+    size_t bootstraps = 19;
+    /** Slots per bootstrap (image/channel packing of Lee et al. uses a
+     *  sparsely packed bootstrap; 0 = fully packed). */
+    size_t boot_slots = 1 << 14;
+};
+
+/** Total cost of one encrypted ResNet-20 inference. */
+simfhe::Cost resnetInferenceCost(const simfhe::CostModel& model,
+                                 const ResnetConfig& cfg = {});
+
+} // namespace apps
+} // namespace madfhe
+
+#endif // MADFHE_APPS_RESNET_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Full CKKS bootstrapping (Algorithm 4): ModRaise, CoeffToSlot (factorized
+ * homomorphic DFT), approximate modular reduction via a Chebyshev sine
+ * series, SlotToCoeff. All scaling constants (1/(q0*K), Delta/(q0*K)
+ * inverses, the 1/2 of the conjugation split) are folded into the DFT
+ * factor matrices so the ciphertext scale stays near Delta throughout.
+ */
+#ifndef MADFHE_BOOT_BOOTSTRAPPER_H
+#define MADFHE_BOOT_BOOTSTRAPPER_H
+
+#include "boot/chebyshev.h"
+#include "boot/dft.h"
+#include "ckks/matvec.h"
+
+namespace madfhe {
+
+struct BootstrapParams
+{
+    /** fftIter for the CoeffToSlot phase (Table 5). */
+    size_t ctos_iters = 3;
+    /** fftIter for the SlotToCoeff phase. */
+    size_t stoc_iters = 3;
+    /** Degree of the Chebyshev approximation of sin. */
+    size_t sine_degree = 71;
+    /**
+     * Bound on the ModRaise overflow count I (|I| < K). Must cover the
+     * secret's Hamming weight: K ~ O(sqrt(h)).
+     */
+    double k_bound = 8.0;
+    /** PtMatVecMult hoisting configuration for the DFT factors. */
+    MatVecOptions matvec;
+};
+
+class Bootstrapper
+{
+  public:
+    Bootstrapper(std::shared_ptr<const CkksContext> ctx,
+                 BootstrapParams params);
+
+    const BootstrapParams& params() const { return parms; }
+
+    /** Rotation steps the DFT factors need Galois keys for (conjugation is
+     *  needed too — pass include_conjugate=true to galoisKeys()). */
+    std::vector<int> requiredRotations() const;
+
+    /** Multiplicative levels one bootstrap consumes. */
+    size_t depth() const;
+
+    /**
+     * Refresh a ciphertext that has been squeezed down to one limb:
+     * returns an encryption of the same message with `depth()` fewer
+     * limbs than the chain maximum.
+     */
+    Ciphertext bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
+                         const Ciphertext& ct, const GaloisKeys& gks,
+                         const SwitchingKey& rlk) const;
+
+    /** ModRaise alone (exposed for tests): reinterpret a 1-limb ciphertext
+     *  over the full modulus chain. */
+    Ciphertext modRaise(const Ciphertext& ct) const;
+
+  private:
+    std::shared_ptr<const CkksContext> ctx;
+    BootstrapParams parms;
+    std::vector<LinearTransform> ctos;
+    std::vector<LinearTransform> stoc;
+    std::unique_ptr<ChebyshevEvaluator> sine;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_BOOT_BOOTSTRAPPER_H

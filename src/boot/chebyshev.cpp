@@ -1,0 +1,227 @@
+#include "boot/chebyshev.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+std::vector<double>
+chebyshevInterpolate(const std::function<double(double)>& f, size_t degree)
+{
+    const size_t m = degree + 1;
+    const double pi = std::acos(-1.0);
+    std::vector<double> samples(m);
+    for (size_t i = 0; i < m; ++i) {
+        double theta = pi * (static_cast<double>(i) + 0.5) /
+                       static_cast<double>(m);
+        samples[i] = f(std::cos(theta));
+    }
+    std::vector<double> coeffs(m);
+    for (size_t k = 0; k < m; ++k) {
+        double acc = 0;
+        for (size_t i = 0; i < m; ++i) {
+            double theta = pi * (static_cast<double>(i) + 0.5) /
+                           static_cast<double>(m);
+            acc += samples[i] * std::cos(static_cast<double>(k) * theta);
+        }
+        coeffs[k] = acc * (k == 0 ? 1.0 : 2.0) / static_cast<double>(m);
+    }
+    return coeffs;
+}
+
+double
+chebyshevEval(const std::vector<double>& coeffs, double x)
+{
+    // Clenshaw recurrence.
+    double b1 = 0, b2 = 0;
+    for (size_t k = coeffs.size(); k-- > 1;) {
+        double b0 = coeffs[k] + 2 * x * b1 - b2;
+        b2 = b1;
+        b1 = b0;
+    }
+    return coeffs[0] + x * b1 - b2;
+}
+
+namespace {
+
+/**
+ * Divide a Chebyshev series by T_g: c = q * T_g + r with deg r < g,
+ * using 2 T_g T_j = T_(g+j) + T_(g-j).
+ */
+void
+chebyshevDivide(const std::vector<double>& c, size_t g,
+                std::vector<double>& q, std::vector<double>& r)
+{
+    const size_t deg = c.size() - 1;
+    check(deg >= g && deg < 2 * g, "divide expects g <= deg < 2g");
+    std::vector<double> cc = c;
+    q.assign(deg - g + 1, 0.0);
+    for (size_t j = deg; j > g; --j) {
+        if (cc[j] == 0.0)
+            continue;
+        q[j - g] = 2 * cc[j];
+        cc[2 * g - j] -= cc[j];
+        cc[j] = 0;
+    }
+    q[0] = cc[g];
+    r.assign(cc.begin(), cc.begin() + g);
+}
+
+/** Drop both ciphertexts to the smaller of the two levels. */
+void
+alignPair(const Evaluator& eval, Ciphertext& a, Ciphertext& b)
+{
+    size_t lvl = std::min(a.level(), b.level());
+    if (a.level() > lvl)
+        a = eval.dropToLevel(a, lvl);
+    if (b.level() > lvl)
+        b = eval.dropToLevel(b, lvl);
+}
+
+} // namespace
+
+ChebyshevEvaluator::ChebyshevEvaluator(std::shared_ptr<const CkksContext> ctx_,
+                                       std::vector<double> coeffs_)
+    : ctx(std::move(ctx_)), coeffs(std::move(coeffs_))
+{
+    require(coeffs.size() >= 2, "need degree >= 1");
+    size_t d = coeffs.size() - 1;
+    baby_count = 2;
+    while (baby_count * baby_count < d + 1)
+        baby_count <<= 1;
+}
+
+size_t
+ChebyshevEvaluator::depth() const
+{
+    size_t d = coeffs.size() - 1;
+    return static_cast<size_t>(std::ceil(std::log2(
+               static_cast<double>(d + 1)))) + 2;
+}
+
+Ciphertext
+ChebyshevEvaluator::linearCombo(const Evaluator& eval,
+                                const CkksEncoder& encoder,
+                                const std::vector<double>& c,
+                                const std::vector<Ciphertext>& baby,
+                                size_t target_level) const
+{
+    check(c.size() <= baby_count, "combo degree exceeds baby table");
+    const double pt_scale = ctx->scale();
+
+    Ciphertext acc;
+    bool first = true;
+    for (size_t j = 1; j < c.size(); ++j) {
+        if (c[j] == 0.0)
+            continue;
+        Ciphertext t = eval.dropToLevel(baby[j], target_level);
+        Plaintext pc = encoder.encodeScalar({c[j], 0.0}, pt_scale,
+                                            target_level);
+        Ciphertext term = eval.mulPlain(t, pc);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = eval.add(acc, term);
+        }
+    }
+    if (first) {
+        // All coefficients above T_0 vanish: 0 * T_1 keeps the shape.
+        Ciphertext t = eval.dropToLevel(baby[1], target_level);
+        Plaintext pc = encoder.encodeScalar({0.0, 0.0}, pt_scale,
+                                            target_level);
+        acc = eval.mulPlain(t, pc);
+    }
+    acc = eval.rescale(acc);
+    if (c[0] != 0.0)
+        acc = eval.addScalar(acc, c[0], encoder);
+    return acc;
+}
+
+Ciphertext
+ChebyshevEvaluator::evalRecurse(const Evaluator& eval,
+                                const CkksEncoder& encoder,
+                                const std::vector<double>& c,
+                                const std::vector<Ciphertext>& baby,
+                                const std::vector<Ciphertext>& giant,
+                                const SwitchingKey& rlk,
+                                size_t target_level) const
+{
+    if (c.size() <= baby_count)
+        return linearCombo(eval, encoder, c, baby, target_level);
+
+    // Largest giant T_(bs * 2^k) not exceeding the degree.
+    const size_t deg = c.size() - 1;
+    size_t k = 0;
+    while (baby_count * (size_t(2) << k) <= deg)
+        ++k;
+    size_t g = baby_count << k;
+
+    std::vector<double> q, r;
+    chebyshevDivide(c, g, q, r);
+
+    Ciphertext qc = evalRecurse(eval, encoder, q, baby, giant, rlk,
+                                target_level);
+    Ciphertext rc = evalRecurse(eval, encoder, r, baby, giant, rlk,
+                                target_level);
+    Ciphertext gk = giant[k];
+    alignPair(eval, qc, gk);
+    Ciphertext prod = eval.mul(qc, gk, rlk);
+    alignPair(eval, prod, rc);
+    return eval.add(prod, rc);
+}
+
+Ciphertext
+ChebyshevEvaluator::evaluate(const Evaluator& eval,
+                             const CkksEncoder& encoder, const Ciphertext& x,
+                             const SwitchingKey& rlk) const
+{
+    const size_t d = coeffs.size() - 1;
+
+    // Baby table T_1 .. T_(bs-1) by balanced products:
+    // T_(a+b) = 2 T_a T_b - T_(a-b).
+    std::vector<Ciphertext> baby(baby_count);
+    baby[1] = x;
+    for (size_t j = 2; j < baby_count; ++j) {
+        size_t a = (j + 1) / 2, b = j / 2;
+        Ciphertext ta = baby[a], tb = baby[b];
+        alignPair(eval, ta, tb);
+        Ciphertext prod = eval.mul(ta, tb, rlk);
+        prod = eval.add(prod, prod);
+        if (a == b) {
+            prod = eval.addScalar(prod, -1.0, encoder); // T_0 = 1
+        } else {
+            Ciphertext tc = eval.dropToLevel(baby[a - b], prod.level());
+            prod = eval.sub(prod, tc);
+        }
+        baby[j] = std::move(prod);
+    }
+
+    // Giant table G_k = T_(bs * 2^k) by doubling: T_2m = 2 T_m^2 - 1.
+    std::vector<Ciphertext> giant;
+    {
+        size_t a = baby_count / 2;
+        Ciphertext tm = baby[a]; // T_(bs/2)
+        Ciphertext g0 = eval.square(tm, rlk);
+        g0 = eval.add(g0, g0);
+        g0 = eval.addScalar(g0, -1.0, encoder);
+        giant.push_back(g0);
+        size_t m = baby_count;
+        while (m * 2 <= d) {
+            Ciphertext next = eval.square(giant.back(), rlk);
+            next = eval.add(next, next);
+            next = eval.addScalar(next, -1.0, encoder);
+            giant.push_back(std::move(next));
+            m *= 2;
+        }
+    }
+
+    size_t target_level = giant.back().level();
+    for (const auto& b : baby)
+        if (!b.c0.empty())
+            target_level = std::min(target_level, b.level());
+
+    return evalRecurse(eval, encoder, coeffs, baby, giant, rlk,
+                       target_level);
+}
+
+} // namespace madfhe

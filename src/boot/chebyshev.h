@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chebyshev interpolation and homomorphic Chebyshev evaluation — the
+ * "PolyEval" approximate-mod-reduction step of Algorithm 4. The evaluator
+ * uses the baby-step/giant-step method with Chebyshev-basis polynomial
+ * division, giving O(sqrt(d)) ciphertext multiplications and O(log d)
+ * depth.
+ */
+#ifndef MADFHE_BOOT_CHEBYSHEV_H
+#define MADFHE_BOOT_CHEBYSHEV_H
+
+#include <functional>
+
+#include "ckks/evaluator.h"
+
+namespace madfhe {
+
+/**
+ * Chebyshev-basis coefficients c_0..c_d of the degree-d interpolant of f
+ * on [-1, 1] (sampled at Chebyshev nodes).
+ */
+std::vector<double> chebyshevInterpolate(const std::function<double(double)>& f,
+                                         size_t degree);
+
+/** Clenshaw evaluation of a Chebyshev series at x (plain reference). */
+double chebyshevEval(const std::vector<double>& coeffs, double x);
+
+/**
+ * Homomorphically evaluate sum_k coeffs[k] * T_k(x) on a ciphertext whose
+ * slots hold values in [-1, 1].
+ *
+ * Depth: ceil(log2(degree)) + 2 levels.
+ */
+class ChebyshevEvaluator
+{
+  public:
+    ChebyshevEvaluator(std::shared_ptr<const CkksContext> ctx,
+                       std::vector<double> coeffs);
+
+    size_t degree() const { return coeffs.size() - 1; }
+    /** Multiplicative levels evaluate() consumes. */
+    size_t depth() const;
+
+    Ciphertext evaluate(const Evaluator& eval, const CkksEncoder& encoder,
+                        const Ciphertext& x, const SwitchingKey& rlk) const;
+
+  private:
+    /** Recursive BSGS combine over the Chebyshev basis. */
+    Ciphertext evalRecurse(const Evaluator& eval, const CkksEncoder& encoder,
+                           const std::vector<double>& c,
+                           const std::vector<Ciphertext>& baby,
+                           const std::vector<Ciphertext>& giant,
+                           const SwitchingKey& rlk, size_t target_level) const;
+
+    /** Linear combination of baby ciphertexts with scalar coefficients. */
+    Ciphertext linearCombo(const Evaluator& eval, const CkksEncoder& encoder,
+                           const std::vector<double>& c,
+                           const std::vector<Ciphertext>& baby,
+                           size_t target_level) const;
+
+    std::shared_ptr<const CkksContext> ctx;
+    std::vector<double> coeffs;
+    size_t baby_count; // power of two
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_BOOT_CHEBYSHEV_H

@@ -1,0 +1,224 @@
+#include "boot/dft.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+namespace {
+
+std::complex<double>
+rootOfUnity(double num, double den)
+{
+    const double pi = std::acos(-1.0);
+    double angle = 2.0 * pi * num / den;
+    return {std::cos(angle), std::sin(angle)};
+}
+
+/** Twiddle for stage size `len`, in-block output index j:
+ *  T_j = exp(2*pi*i*(5^j mod 4len)/(4len)). */
+std::complex<double>
+stageTwiddle(size_t len, size_t j)
+{
+    const u64 m = 4 * static_cast<u64>(len);
+    u64 pow5 = 1;
+    for (size_t t = 0; t < j; ++t)
+        pow5 = (pow5 * 5) % m;
+    return rootOfUnity(static_cast<double>(pow5), static_cast<double>(m));
+}
+
+/** Forward (DIT) butterfly stage of size `len` as a diagonal map. */
+DiagonalMap
+forwardStage(size_t slots, size_t len)
+{
+    const size_t lenh = len / 2;
+    DiagonalMap m;
+    auto& d0 = m[0];
+    auto& dplus = m[static_cast<int>(lenh)];
+    auto& dminus = m[static_cast<int>(slots - lenh)];
+    d0.assign(slots, {0, 0});
+    dplus.assign(slots, {0, 0});
+    dminus.assign(slots, {0, 0});
+    for (size_t k = 0; k < slots; ++k) {
+        size_t pos = k % len;
+        if (pos < lenh) {
+            // y[k] = x[k] + T_pos * x[k + lenh]
+            d0[k] = {1, 0};
+            dplus[k] = stageTwiddle(len, pos);
+        } else {
+            // y[k] = x[k - lenh] - T_j * x[k]
+            size_t j = pos - lenh;
+            d0[k] = -stageTwiddle(len, j);
+            dminus[k] = {1, 0};
+        }
+    }
+    return m;
+}
+
+/** Inverse (DIF) butterfly stage of size `len` as a diagonal map. */
+DiagonalMap
+inverseStage(size_t slots, size_t len)
+{
+    const size_t lenh = len / 2;
+    DiagonalMap m;
+    auto& d0 = m[0];
+    auto& dplus = m[static_cast<int>(lenh)];
+    auto& dminus = m[static_cast<int>(slots - lenh)];
+    d0.assign(slots, {0, 0});
+    dplus.assign(slots, {0, 0});
+    dminus.assign(slots, {0, 0});
+    for (size_t k = 0; k < slots; ++k) {
+        size_t pos = k % len;
+        if (pos < lenh) {
+            // x[k] = (y[k] + y[k + lenh]) / 2
+            d0[k] = {0.5, 0};
+            dplus[k] = {0.5, 0};
+        } else {
+            // x[k] = conj(T_j) * (y[k - lenh] - y[k]) / 2
+            size_t j = pos - lenh;
+            auto half_conj = std::conj(stageTwiddle(len, j)) * 0.5;
+            d0[k] = -half_conj;
+            dminus[k] = half_conj;
+        }
+    }
+    return m;
+}
+
+void
+scaleMap(DiagonalMap& m, double factor)
+{
+    for (auto& [d, v] : m) {
+        (void)d;
+        for (auto& z : v)
+            z *= factor;
+    }
+}
+
+/** Group an ordered stage list into `iters` composed factors. */
+std::vector<DiagonalMap>
+groupStages(std::vector<DiagonalMap> stages, size_t iters, size_t slots,
+            double scale_factor)
+{
+    require(iters >= 1 && iters <= stages.size(),
+            "fftIter must be in [1, log2(slots)]");
+    const size_t total = stages.size();
+    std::vector<DiagonalMap> factors;
+    size_t consumed = 0;
+    for (size_t g = 0; g < iters; ++g) {
+        // Balanced partition of the stages across factors.
+        size_t take = (total - consumed) / (iters - g);
+        DiagonalMap acc = std::move(stages[consumed]);
+        for (size_t t = 1; t < take; ++t)
+            acc = composeDiagonalMaps(stages[consumed + t], acc, slots);
+        consumed += take;
+        double per_factor =
+            std::pow(scale_factor, 1.0 / static_cast<double>(iters));
+        scaleMap(acc, per_factor);
+        factors.push_back(std::move(acc));
+    }
+    return factors;
+}
+
+} // namespace
+
+std::vector<std::complex<double>>
+applyDiagonalMap(const DiagonalMap& m,
+                 const std::vector<std::complex<double>>& x)
+{
+    const size_t n = x.size();
+    std::vector<std::complex<double>> y(n, {0, 0});
+    for (const auto& [d, diag] : m) {
+        size_t dd = (static_cast<size_t>(d % static_cast<int>(n)) + n) % n;
+        for (size_t k = 0; k < n; ++k)
+            y[k] += diag[k] * x[(k + dd) % n];
+    }
+    return y;
+}
+
+DiagonalMap
+composeDiagonalMaps(const DiagonalMap& a, const DiagonalMap& b, size_t slots)
+{
+    DiagonalMap out;
+    for (const auto& [da, va] : a) {
+        for (const auto& [db, vb] : b) {
+            int d = (da + db) % static_cast<int>(slots);
+            if (d < 0)
+                d += static_cast<int>(slots);
+            auto& dst = out[d];
+            if (dst.empty())
+                dst.assign(slots, {0, 0});
+            for (size_t k = 0; k < slots; ++k) {
+                size_t mid = (k + static_cast<size_t>(
+                                  ((da % int(slots)) + int(slots))))
+                             % slots;
+                dst[k] += va[k] * vb[mid];
+            }
+        }
+    }
+    // Prune all-zero diagonals produced by structural cancellation.
+    for (auto it = out.begin(); it != out.end();) {
+        bool zero = true;
+        for (const auto& z : it->second) {
+            if (std::abs(z) > 1e-12) {
+                zero = false;
+                break;
+            }
+        }
+        it = zero ? out.erase(it) : ++it;
+    }
+    return out;
+}
+
+std::vector<DiagonalMap>
+slotToCoeffFactors(size_t slots, size_t iters, double scale_factor)
+{
+    require(isPowerOfTwo(slots), "slot count must be a power of two");
+    std::vector<DiagonalMap> stages;
+    for (size_t len = 2; len <= slots; len <<= 1)
+        stages.push_back(forwardStage(slots, len));
+    return groupStages(std::move(stages), iters, slots, scale_factor);
+}
+
+std::vector<DiagonalMap>
+coeffToSlotFactors(size_t slots, size_t iters, double scale_factor)
+{
+    require(isPowerOfTwo(slots), "slot count must be a power of two");
+    std::vector<DiagonalMap> stages;
+    for (size_t len = slots; len >= 2; len >>= 1)
+        stages.push_back(inverseStage(slots, len));
+    return groupStages(std::move(stages), iters, slots, scale_factor);
+}
+
+std::vector<std::vector<std::complex<double>>>
+specialDftMatrix(size_t slots)
+{
+    std::vector<std::vector<std::complex<double>>> e(
+        slots, std::vector<std::complex<double>>(slots));
+    const u64 m = 4 * slots;
+    u64 pow5 = 1;
+    for (size_t j = 0; j < slots; ++j) {
+        for (size_t k = 0; k < slots; ++k) {
+            u64 exp = (static_cast<u64>(k) * pow5) % m;
+            e[j][k] = rootOfUnity(static_cast<double>(exp),
+                                  static_cast<double>(m));
+        }
+        pow5 = (pow5 * 5) % m;
+    }
+    return e;
+}
+
+std::vector<std::complex<double>>
+bitReverse(const std::vector<std::complex<double>>& x)
+{
+    const size_t n = x.size();
+    const unsigned logn = floorLog2(n);
+    std::vector<std::complex<double>> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (unsigned b = 0; b < logn; ++b)
+            r |= ((i >> b) & 1) << (logn - 1 - b);
+        y[r] = x[i];
+    }
+    return y;
+}
+
+} // namespace madfhe

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Factorized homomorphic DFT matrices for bootstrapping (the CoeffToSlot /
+ * SlotToCoeff phases of Algorithm 4). The special DFT E[j][k] =
+ * zeta^(k * 5^j) is factorized into log2(n) radix-2 butterfly stages (each
+ * three generalized diagonals); stages are grouped into `iters` factors —
+ * the paper's fftIter parameter — and each factor becomes one
+ * PtMatVecMult.
+ *
+ * Convention: CoeffToSlot (E^{-1}, decimation-in-frequency) emits its
+ * output in bit-reversed slot order and SlotToCoeff (E, decimation-in-
+ * time) consumes bit-reversed input. The modular-reduction step between
+ * them is slot-wise, so the permutation cancels and never has to be
+ * evaluated homomorphically.
+ */
+#ifndef MADFHE_BOOT_DFT_H
+#define MADFHE_BOOT_DFT_H
+
+#include <complex>
+#include <map>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+/** A linear map on slot vectors in generalized-diagonal form:
+ *  y[k] = sum_d diag[d][k] * x[(k + d) mod n]. */
+using DiagonalMap = std::map<int, std::vector<std::complex<double>>>;
+
+/** Apply a diagonal map to a plain vector (reference semantics). */
+std::vector<std::complex<double>>
+applyDiagonalMap(const DiagonalMap& m,
+                 const std::vector<std::complex<double>>& x);
+
+/** Compose two diagonal maps: result = a after b (y = A (B x)). */
+DiagonalMap composeDiagonalMaps(const DiagonalMap& a, const DiagonalMap& b,
+                                size_t slots);
+
+/**
+ * The factors of SlotToCoeff (multiplication by E), to be applied in the
+ * returned order. `scale_factor` is distributed geometrically across the
+ * factors (the bootstrapping pipeline folds constants like q0*K/Delta into
+ * these matrices).
+ */
+std::vector<DiagonalMap> slotToCoeffFactors(size_t slots, size_t iters,
+                                            double scale_factor = 1.0);
+
+/** The factors of CoeffToSlot (multiplication by E^{-1}), in application
+ *  order, output bit-reversed. */
+std::vector<DiagonalMap> coeffToSlotFactors(size_t slots, size_t iters,
+                                            double scale_factor = 1.0);
+
+/** Dense reference E (slots x slots), E[j][k] = zeta^(k * 5^j) with zeta a
+ *  primitive (4*slots)-th root — for tests. */
+std::vector<std::vector<std::complex<double>>> specialDftMatrix(size_t slots);
+
+/** Bit-reversal permutation of a vector (for tests). */
+std::vector<std::complex<double>>
+bitReverse(const std::vector<std::complex<double>>& x);
+
+} // namespace madfhe
+
+#endif // MADFHE_BOOT_DFT_H

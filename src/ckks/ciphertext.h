@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plaintext and Ciphertext value types. A ciphertext is a pair (c0, c1)
+ * decrypting as m ~ c0 + c1*s; `scale` tracks the CKKS scaling factor
+ * Delta through the computation, and the limb count of the polynomials is
+ * the ciphertext "level" (the paper's current limb count l).
+ */
+#ifndef MADFHE_CKKS_CIPHERTEXT_H
+#define MADFHE_CKKS_CIPHERTEXT_H
+
+#include "ring/poly.h"
+
+namespace madfhe {
+
+/** An encoded (unencrypted) message: one ring element plus its scale. */
+struct Plaintext
+{
+    RnsPoly poly;
+    double scale = 0.0;
+
+    size_t level() const { return poly.numLimbs(); }
+};
+
+/** An encryption of a complex vector under CKKS. */
+struct Ciphertext
+{
+    RnsPoly c0; ///< The "b" component (message-bearing).
+    RnsPoly c1; ///< The "a" component (key-bearing).
+    double scale = 0.0;
+
+    /** Current limb count l. */
+    size_t level() const { return c0.numLimbs(); }
+    size_t degree() const { return c0.degree(); }
+};
+
+/**
+ * An additively homomorphic ciphertext over the *raised* basis PQ — the
+ * intermediate KeySwitch output before ModDown (Algorithm 3, line 3). The
+ * MAD raised-basis optimizations (PModUp / ModDown merge / ModDown
+ * hoisting, Section 3.2) accumulate linear combinations of these and defer
+ * the single ModDown to the end.
+ */
+struct RaisedCiphertext
+{
+    RnsPoly c0;
+    RnsPoly c1;
+    double scale = 0.0;
+    /** Limb count of the Q part (the P limbs follow it in the basis). */
+    size_t q_level = 0;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_CIPHERTEXT_H

@@ -1,0 +1,161 @@
+#include "ckks/encryptor.h"
+
+namespace madfhe {
+
+Encryptor::Encryptor(std::shared_ptr<const CkksContext> ctx_, PublicKey pk_,
+                     u64 seed)
+    : ctx(std::move(ctx_)), pk(std::move(pk_)), sampler(seed)
+{
+}
+
+Ciphertext
+Encryptor::encrypt(const Plaintext& pt)
+{
+    require(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
+    const size_t level = pt.level();
+    const size_t n = ctx->degree();
+    auto basis = ctx->ring()->qIndices(level);
+
+    RnsPoly u(ctx->ring(), basis, Rep::Coeff);
+    u.setFromSigned(sampler.ternary(n));
+    u.toEval();
+
+    RnsPoly e0(ctx->ring(), basis, Rep::Coeff);
+    e0.setFromSigned(sampler.centeredBinomial(n));
+    e0.toEval();
+    RnsPoly e1(ctx->ring(), basis, Rep::Coeff);
+    e1.setFromSigned(sampler.centeredBinomial(n));
+    e1.toEval();
+
+    Ciphertext ct;
+    ct.c0 = extractLimbs(pk.b, basis);
+    ct.c0.mulPointwise(u);
+    ct.c0.add(e0);
+    ct.c0.add(pt.poly);
+    ct.c1 = extractLimbs(pk.a, basis);
+    ct.c1.mulPointwise(u);
+    ct.c1.add(e1);
+    ct.scale = pt.scale;
+    return ct;
+}
+
+Ciphertext
+Encryptor::encryptSymmetric(const Plaintext& pt, const SecretKey& sk)
+{
+    require(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
+    const size_t level = pt.level();
+    const size_t n = ctx->degree();
+    auto basis = ctx->ring()->qIndices(level);
+
+    Ciphertext ct;
+    ct.c1 = RnsPoly(ctx->ring(), basis, Rep::Eval);
+    Prng& rng = sampler.rng();
+    for (size_t i = 0; i < ct.c1.numLimbs(); ++i) {
+        const u64 q = ct.c1.modulus(i).value();
+        u64* limb = ct.c1.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            limb[c] = rng.uniform(q);
+    }
+
+    RnsPoly e(ctx->ring(), basis, Rep::Coeff);
+    e.setFromSigned(sampler.centeredBinomial(n));
+    e.toEval();
+
+    RnsPoly s_q = extractLimbs(sk.s, basis);
+    ct.c0 = ct.c1;
+    ct.c0.mulPointwise(s_q);
+    ct.c0.negate();
+    ct.c0.add(e);
+    ct.c0.add(pt.poly);
+    ct.scale = pt.scale;
+    return ct;
+}
+
+namespace {
+
+/** Deterministically expand a seed into a uniform c1 over `basis`
+ *  (limb-major order, the wire contract of SeededCiphertext). */
+RnsPoly
+sampleC1(const CkksContext& ctx, const Prng::Seed& seed,
+         const std::vector<u32>& basis)
+{
+    Prng rng(seed);
+    RnsPoly c1(ctx.ring(), basis, Rep::Eval);
+    for (size_t i = 0; i < c1.numLimbs(); ++i) {
+        const u64 q = c1.modulus(i).value();
+        u64* limb = c1.limb(i);
+        for (size_t c = 0; c < c1.degree(); ++c)
+            limb[c] = rng.uniform(q);
+    }
+    return c1;
+}
+
+} // namespace
+
+SeededCiphertext
+Encryptor::encryptSymmetricSeeded(const Plaintext& pt, const SecretKey& sk)
+{
+    require(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
+    const size_t level = pt.level();
+    auto basis = ctx->ring()->qIndices(level);
+
+    Prng::Seed seed = Prng(sampler.rng().next()).seed();
+    RnsPoly c1 = sampleC1(*ctx, seed, basis);
+
+    RnsPoly e(ctx->ring(), basis, Rep::Coeff);
+    e.setFromSigned(sampler.centeredBinomial(ctx->degree()));
+    e.toEval();
+
+    RnsPoly s_q = extractLimbs(sk.s, basis);
+    SeededCiphertext sct;
+    sct.c0 = std::move(c1);
+    sct.c0.mulPointwise(s_q);
+    sct.c0.negate();
+    sct.c0.add(e);
+    sct.c0.add(pt.poly);
+    sct.seed = seed;
+    sct.scale = pt.scale;
+    return sct;
+}
+
+Ciphertext
+expandSeeded(const CkksContext& ctx, const SeededCiphertext& sct)
+{
+    Ciphertext ct;
+    ct.c0 = sct.c0;
+    ct.c1 = sampleC1(ctx, sct.seed,
+                     ctx.ring()->qIndices(sct.level()));
+    ct.scale = sct.scale;
+    return ct;
+}
+
+Ciphertext
+Encryptor::encryptZero(size_t level, double scale)
+{
+    Plaintext zero;
+    zero.poly = RnsPoly(ctx->ring(), ctx->ring()->qIndices(level), Rep::Eval);
+    zero.scale = scale;
+    return encrypt(zero);
+}
+
+Decryptor::Decryptor(std::shared_ptr<const CkksContext> ctx_, SecretKey sk_)
+    : ctx(std::move(ctx_)), sk(std::move(sk_))
+{
+}
+
+Plaintext
+Decryptor::decrypt(const Ciphertext& ct)
+{
+    require(!ct.c0.empty(), "cannot decrypt an empty ciphertext");
+    auto basis = ct.c0.basis();
+    RnsPoly s_q = extractLimbs(sk.s, basis);
+
+    Plaintext pt;
+    pt.poly = ct.c1;
+    pt.poly.mulPointwise(s_q);
+    pt.poly.add(ct.c0);
+    pt.scale = ct.scale;
+    return pt;
+}
+
+} // namespace madfhe

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Public-key and symmetric encryption, and decryption, for CKKS.
+ */
+#ifndef MADFHE_CKKS_ENCRYPTOR_H
+#define MADFHE_CKKS_ENCRYPTOR_H
+
+#include "ckks/keys.h"
+
+namespace madfhe {
+
+/**
+ * A symmetric ciphertext with the uniform c1 component replaced by the
+ * PRNG seed that generates it — half the bytes on the wire. This is the
+ * ciphertext-side analogue of the switching-key compression the paper
+ * analyzes ("a folklore technique often used to reduce communication",
+ * Section 3.2); expandSeeded() reconstructs the full ciphertext.
+ */
+struct SeededCiphertext
+{
+    RnsPoly c0;
+    Prng::Seed seed{};
+    double scale = 0.0;
+
+    size_t level() const { return c0.numLimbs(); }
+};
+
+class Encryptor
+{
+  public:
+    Encryptor(std::shared_ptr<const CkksContext> ctx, PublicKey pk,
+              u64 seed = 0xEC47);
+
+    /** Public-key encryption of an encoded plaintext. */
+    Ciphertext encrypt(const Plaintext& pt);
+
+    /** Symmetric encryption (fresh uniform c1). */
+    Ciphertext encryptSymmetric(const Plaintext& pt, const SecretKey& sk);
+
+    /** Symmetric encryption with a seed-compressed c1 component. */
+    SeededCiphertext encryptSymmetricSeeded(const Plaintext& pt,
+                                            const SecretKey& sk);
+
+    /** Encryption of zero at the given level/scale (for padding, tests). */
+    Ciphertext encryptZero(size_t level, double scale);
+
+  private:
+    std::shared_ptr<const CkksContext> ctx;
+    PublicKey pk;
+    Sampler sampler;
+};
+
+/** Reconstruct the full ciphertext from a seeded one (bit-exact c1). */
+Ciphertext expandSeeded(const CkksContext& ctx, const SeededCiphertext& sct);
+
+class Decryptor
+{
+  public:
+    Decryptor(std::shared_ptr<const CkksContext> ctx, SecretKey sk);
+
+    /** m = c0 + c1 * s. */
+    Plaintext decrypt(const Ciphertext& ct);
+
+  private:
+    std::shared_ptr<const CkksContext> ctx;
+    SecretKey sk;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_ENCRYPTOR_H

@@ -1,0 +1,433 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx_,
+                     EvalOptions options)
+    : ctx(ctx_), ksw(ctx_), opts(options)
+{
+}
+
+void
+Evaluator::requireSameShape(const Ciphertext& a, const Ciphertext& b) const
+{
+    require(a.level() == b.level(), "ciphertext levels differ");
+    double rel = std::abs(a.scale - b.scale) / a.scale;
+    require(rel < 1e-3, "ciphertext scales differ; rescale/align first");
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+{
+    requireSameShape(a, b);
+    Ciphertext out = a;
+    out.c0.add(b.c0);
+    out.c1.add(b.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    requireSameShape(a, b);
+    Ciphertext out = a;
+    out.c0.sub(b.c0);
+    out.c1.sub(b.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext& a) const
+{
+    Ciphertext out = a;
+    out.c0.negate();
+    out.c1.negate();
+    return out;
+}
+
+std::pair<Ciphertext, Ciphertext>
+Evaluator::align(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = a, y = b;
+    size_t lvl = std::min(x.level(), y.level());
+    if (x.level() > lvl)
+        x = dropToLevel(x, lvl);
+    if (y.level() > lvl)
+        y = dropToLevel(y, lvl);
+    double rel = std::abs(x.scale - y.scale) / std::max(x.scale, y.scale);
+    if (rel >= 1e-3) {
+        // Scalar-adjust the larger-scale operand down to the smaller
+        // scale (consumes one level on both, to keep levels equal).
+        require(lvl >= 2, "cannot scale-align at the last level");
+        if (x.scale > y.scale) {
+            x = mulScalarRescale(x, y.scale / x.scale);
+            x.scale = y.scale; // exact by construction of the ratio
+            y = dropToLevel(y, x.level());
+        } else {
+            y = mulScalarRescale(y, x.scale / y.scale);
+            y.scale = x.scale;
+            x = dropToLevel(x, y.level());
+        }
+    }
+    return {std::move(x), std::move(y)};
+}
+
+Ciphertext
+Evaluator::addAligned(const Ciphertext& a, const Ciphertext& b) const
+{
+    auto [x, y] = align(a, b);
+    return add(x, y);
+}
+
+Ciphertext
+Evaluator::subAligned(const Ciphertext& a, const Ciphertext& b) const
+{
+    auto [x, y] = align(a, b);
+    return sub(x, y);
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext& a, const Plaintext& pt) const
+{
+    require(a.level() == pt.level(), "plaintext level mismatch");
+    require(std::abs(a.scale - pt.scale) / a.scale < 1e-3,
+            "plaintext scale mismatch");
+    Ciphertext out = a;
+    out.c0.add(pt.poly);
+    return out;
+}
+
+Ciphertext
+Evaluator::subPlain(const Ciphertext& a, const Plaintext& pt) const
+{
+    require(a.level() == pt.level(), "plaintext level mismatch");
+    require(std::abs(a.scale - pt.scale) / a.scale < 1e-3,
+            "plaintext scale mismatch");
+    Ciphertext out = a;
+    out.c0.sub(pt.poly);
+    return out;
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext& a, const Plaintext& pt) const
+{
+    require(a.level() == pt.level(), "plaintext level mismatch");
+    Ciphertext out = a;
+    out.c0.mulPointwise(pt.poly);
+    out.c1.mulPointwise(pt.poly);
+    out.scale = a.scale * pt.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::mulPlainRescale(const Ciphertext& a, const Plaintext& pt) const
+{
+    return rescale(mulPlain(a, pt));
+}
+
+Ciphertext
+Evaluator::mulNoRescale(const Ciphertext& a, const Ciphertext& b,
+                        const SwitchingKey& rlk) const
+{
+    requireSameShape(a, b);
+    // Tensor: d0 + d1*s + d2*s^2 = (a0 + a1 s)(b0 + b1 s).
+    RnsPoly d0 = a.c0;
+    d0.mulPointwise(b.c0);
+    RnsPoly d1 = a.c0;
+    d1.mulPointwise(b.c1);
+    d1.addMul(a.c1, b.c0);
+    RnsPoly d2 = a.c1;
+    d2.mulPointwise(b.c1);
+
+    auto [u, v] = ksw.keySwitch(d2, rlk);
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c0.add(u);
+    out.c1 = std::move(d1);
+    out.c1.add(v);
+    out.scale = a.scale * b.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::mul(const Ciphertext& a, const Ciphertext& b,
+               const SwitchingKey& rlk) const
+{
+    if (!opts.merged_moddown)
+        return rescale(mulNoRescale(a, b, rlk));
+
+    requireSameShape(a, b);
+    require(a.level() >= 2, "mul needs a level to rescale into");
+
+    RnsPoly d0 = a.c0;
+    d0.mulPointwise(b.c0);
+    RnsPoly d1 = a.c0;
+    d1.mulPointwise(b.c1);
+    d1.addMul(a.c1, b.c0);
+    RnsPoly d2 = a.c1;
+    d2.mulPointwise(b.c1);
+
+    // Raised-basis KeySwitch, with the linear Add lifted above ModDown
+    // (Figure 4(b)) and a single merged ModDown dividing by P * q_top
+    // (Figure 4(c)).
+    auto digits = ksw.decomposeAndRaise(d2);
+    RaisedCiphertext raised = ksw.innerProduct(digits, rlk);
+    raised.c0.add(ksw.pModUp(d0));
+    raised.c1.add(ksw.pModUp(d1));
+
+    Ciphertext out;
+    out.c0 = ksw.modDownMerged(raised.c0);
+    out.c1 = ksw.modDownMerged(raised.c1);
+    out.scale = a.scale * b.scale /
+                static_cast<double>(ctx->qValue(a.level() - 1));
+    return out;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext& a, const SwitchingKey& rlk) const
+{
+    return mul(a, a, rlk);
+}
+
+namespace {
+
+/**
+ * Divide one polynomial (eval rep) by its top limb with rounding:
+ * out_i = (x_i - lift([x]_q_top)) * q_top^{-1} mod q_i.
+ */
+RnsPoly
+rescalePoly(const RnsPoly& x, const CkksContext& ctx)
+{
+    const size_t level = x.numLimbs();
+    const size_t n = x.degree();
+    const Modulus& q_top = ctx.ring()->modulus(level - 1);
+
+    std::vector<u64> top(x.limb(level - 1), x.limb(level - 1) + n);
+    ctx.ring()->ntt(level - 1).inverse(top.data());
+
+    RnsPoly out(x.context(), ctx.ring()->qIndices(level - 1), Rep::Eval);
+    std::vector<u64> corr(n);
+    for (size_t i = 0; i + 1 < level; ++i) {
+        const Modulus& qi = ctx.ring()->modulus(i);
+        for (size_t c = 0; c < n; ++c)
+            corr[c] = qi.fromSigned(q_top.toSigned(top[c]));
+        ctx.ring()->ntt(i).forward(corr.data());
+        const u64 inv = ctx.rescaleInv(level, i);
+        const u64 inv_shoup = qi.shoupPrecompute(inv);
+        const u64* xi = x.limb(i);
+        u64* oi = out.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            oi[c] = qi.mulShoup(qi.sub(xi[c], corr[c]), inv, inv_shoup);
+    }
+    return out;
+}
+
+} // namespace
+
+Ciphertext
+Evaluator::rescale(const Ciphertext& a) const
+{
+    require(a.level() >= 2, "cannot rescale the last limb away");
+    Ciphertext out;
+    out.c0 = rescalePoly(a.c0, *ctx);
+    out.c1 = rescalePoly(a.c1, *ctx);
+    out.scale = a.scale / static_cast<double>(ctx->qValue(a.level() - 1));
+    return out;
+}
+
+Ciphertext
+Evaluator::dropToLevel(const Ciphertext& a, size_t level) const
+{
+    require(level >= 1 && level <= a.level(), "bad target level");
+    Ciphertext out = a;
+    out.c0.truncateLimbs(level);
+    out.c1.truncateLimbs(level);
+    return out;
+}
+
+const SwitchingKey&
+Evaluator::galoisKeyFor(u64 elt, const GaloisKeys& gks) const
+{
+    auto it = gks.find(elt);
+    require(it != gks.end(), "missing Galois key for requested rotation");
+    return it->second;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext& a, int steps, const GaloisKeys& gks) const
+{
+    const u64 t = ctx->ring()->galoisElt(steps);
+    if (t == 1)
+        return a;
+    const SwitchingKey& gk = galoisKeyFor(t, gks);
+
+    RnsPoly c0t = a.c0.automorph(t);
+    RnsPoly c1t = a.c1.automorph(t);
+    auto [u, v] = ksw.keySwitch(c1t, gk);
+    Ciphertext out;
+    out.c0 = std::move(c0t);
+    out.c0.add(u);
+    out.c1 = std::move(v);
+    out.scale = a.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext& a, const GaloisKeys& gks) const
+{
+    const u64 t = ctx->ring()->conjugateElt();
+    const SwitchingKey& gk = galoisKeyFor(t, gks);
+    RnsPoly c0t = a.c0.automorph(t);
+    RnsPoly c1t = a.c1.automorph(t);
+    auto [u, v] = ksw.keySwitch(c1t, gk);
+    Ciphertext out;
+    out.c0 = std::move(c0t);
+    out.c0.add(u);
+    out.c1 = std::move(v);
+    out.scale = a.scale;
+    return out;
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext& a, const std::vector<int>& steps,
+                         const GaloisKeys& gks) const
+{
+    // Decomp + ModUp once (Figure 5(c)); per step only Automorph +
+    // KSKInnerProd + ModDown remain.
+    auto digits = ksw.decomposeAndRaise(a.c1);
+
+    std::vector<Ciphertext> out;
+    out.reserve(steps.size());
+    for (int s : steps) {
+        const u64 t = ctx->ring()->galoisElt(s);
+        if (t == 1) {
+            out.push_back(a);
+            continue;
+        }
+        const SwitchingKey& gk = galoisKeyFor(t, gks);
+        std::vector<RnsPoly> rotated;
+        rotated.reserve(digits.size());
+        for (const auto& d : digits)
+            rotated.push_back(d.automorph(t));
+        RaisedCiphertext raised = ksw.innerProduct(rotated, gk);
+
+        Ciphertext ct;
+        ct.c0 = a.c0.automorph(t);
+        ct.c0.add(ksw.modDown(raised.c0));
+        ct.c1 = ksw.modDown(raised.c1);
+        ct.scale = a.scale;
+        out.push_back(std::move(ct));
+    }
+    return out;
+}
+
+RaisedCiphertext
+Evaluator::rotateRaised(const std::vector<RnsPoly>& digits,
+                        const Ciphertext& a, int steps,
+                        const GaloisKeys& gks) const
+{
+    const u64 t = ctx->ring()->galoisElt(steps);
+    RaisedCiphertext raised;
+    if (t == 1) {
+        raised.c0 = ksw.pModUp(a.c0);
+        raised.c1 = ksw.pModUp(a.c1);
+        raised.q_level = a.level();
+        raised.scale = a.scale;
+        return raised;
+    }
+    const SwitchingKey& gk = galoisKeyFor(t, gks);
+    std::vector<RnsPoly> rotated;
+    rotated.reserve(digits.size());
+    for (const auto& d : digits)
+        rotated.push_back(d.automorph(t));
+    raised = ksw.innerProduct(rotated, gk);
+    raised.c0.add(ksw.pModUp(a.c0.automorph(t)));
+    raised.scale = a.scale;
+    return raised;
+}
+
+Ciphertext
+Evaluator::modDownPair(const RaisedCiphertext& r) const
+{
+    Ciphertext out;
+    out.c0 = ksw.modDown(r.c0);
+    out.c1 = ksw.modDown(r.c1);
+    out.scale = r.scale;
+    return out;
+}
+
+void
+Evaluator::mulPlainRaised(RaisedCiphertext& r, const Plaintext& pt) const
+{
+    require(pt.poly.numLimbs() == r.c0.numLimbs(),
+            "raised plaintext must cover the full PQ basis");
+    r.c0.mulPointwise(pt.poly);
+    r.c1.mulPointwise(pt.poly);
+    r.scale *= pt.scale;
+}
+
+void
+Evaluator::addRaised(RaisedCiphertext& acc, const RaisedCiphertext& r) const
+{
+    require(acc.q_level == r.q_level, "raised level mismatch");
+    require(std::abs(acc.scale - r.scale) / acc.scale < 1e-3,
+            "raised scale mismatch");
+    acc.c0.add(r.c0);
+    acc.c1.add(r.c1);
+}
+
+Ciphertext
+Evaluator::mulMonomial(const Ciphertext& a, size_t power) const
+{
+    require(a.c0.rep() == Rep::Eval, "mulMonomial expects eval rep");
+    const size_t n = ctx->degree();
+    Ciphertext out = a;
+    for (size_t i = 0; i < a.level(); ++i) {
+        const u32 chain_idx = a.c0.basis()[i];
+        const NttTables& ntt = ctx->ring()->ntt(chain_idx);
+        const Modulus& q = ctx->ring()->modulus(chain_idx);
+        u64* c0 = out.c0.limb(i);
+        u64* c1 = out.c1.limb(i);
+        for (size_t k = 0; k < n; ++k) {
+            // Evaluation slot k holds a(psi^(2k+1)); multiplying by
+            // x^power scales it by psi^(power * (2k+1)).
+            u64 w = ntt.psiPower(power * (2 * k + 1));
+            c0[k] = q.mul(c0[k], w);
+            c1[k] = q.mul(c1[k], w);
+        }
+    }
+    return out;
+}
+
+Ciphertext
+Evaluator::mulScalarRescale(const Ciphertext& a, double scalar) const
+{
+    require(a.level() >= 2, "no level left to rescale into");
+    const u64 q_top = ctx->qValue(a.level() - 1);
+    const double target = scalar * static_cast<double>(q_top);
+    require(std::abs(target) < 9.0e18, "scalar too large for one limb");
+    const i64 k = static_cast<i64>(std::llround(target));
+
+    Ciphertext out = a;
+    std::vector<u64> per0(a.level()), per1(a.level());
+    for (size_t i = 0; i < a.level(); ++i) {
+        per0[i] = out.c0.modulus(i).fromSigned(k);
+        per1[i] = per0[i];
+    }
+    out.c0.mulScalarPerLimb(per0);
+    out.c1.mulScalarPerLimb(per1);
+    out.scale = a.scale * static_cast<double>(q_top);
+    return rescale(out);
+}
+
+Ciphertext
+Evaluator::addScalar(const Ciphertext& a, double scalar,
+                     const CkksEncoder& encoder) const
+{
+    Plaintext pt = encoder.encodeScalar({scalar, 0.0}, a.scale, a.level());
+    return addPlain(a, pt);
+}
+
+} // namespace madfhe

@@ -1,0 +1,206 @@
+#include "ckks/keys.h"
+
+namespace madfhe {
+
+SwitchingKey::SwitchingKey(std::vector<RnsPoly> b, std::vector<RnsPoly> a,
+                           Prng::Seed seed)
+    : b_polys(std::move(b)), a_polys(std::move(a)), prng_seed(seed)
+{
+    check(b_polys.size() == a_polys.size() || a_polys.empty(),
+          "digit count mismatch in switching key");
+}
+
+const RnsPoly&
+SwitchingKey::a(size_t j) const
+{
+    require(!a_polys.empty(),
+            "switching key is compressed; call expand() first");
+    return a_polys[j];
+}
+
+void
+SwitchingKey::compress()
+{
+    a_polys.clear();
+}
+
+void
+SwitchingKey::expand(const CkksContext& ctx)
+{
+    if (!a_polys.empty())
+        return;
+    a_polys = sampleA(ctx, prng_seed, b_polys.size());
+}
+
+size_t
+SwitchingKey::storedBytes() const
+{
+    size_t bytes = 0;
+    for (const auto& p : b_polys)
+        bytes += p.numLimbs() * p.degree() * sizeof(u64);
+    for (const auto& p : a_polys)
+        bytes += p.numLimbs() * p.degree() * sizeof(u64);
+    return bytes;
+}
+
+size_t
+SwitchingKey::expandedBytes() const
+{
+    size_t bytes = 0;
+    for (const auto& p : b_polys)
+        bytes += 2 * p.numLimbs() * p.degree() * sizeof(u64);
+    return bytes;
+}
+
+std::vector<RnsPoly>
+SwitchingKey::sampleA(const CkksContext& ctx, const Prng::Seed& seed,
+                      size_t num_digits)
+{
+    // One continuous stream; generation order (digit-major, limb-major)
+    // is part of the key format, so expansion is bit-exact.
+    Prng rng(seed);
+    auto key_basis = ctx.keyIndices();
+    std::vector<RnsPoly> out;
+    out.reserve(num_digits);
+    for (size_t j = 0; j < num_digits; ++j) {
+        // Uniform in evaluation representation (equivalent to uniform in
+        // coefficient representation since the NTT is a bijection).
+        RnsPoly a(ctx.ring(), key_basis, Rep::Eval);
+        for (size_t i = 0; i < a.numLimbs(); ++i) {
+            const u64 q = a.modulus(i).value();
+            u64* limb = a.limb(i);
+            for (size_t c = 0; c < a.degree(); ++c)
+                limb[c] = rng.uniform(q);
+        }
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> ctx_)
+    : ctx(std::move(ctx_)), sampler(ctx->params().seed),
+      next_key_seed(ctx->params().seed * 0x9e3779b97f4a7c15ULL + 1)
+{
+}
+
+SecretKey
+KeyGenerator::secretKey()
+{
+    const auto& parms = ctx->params();
+    std::vector<i64> coeffs =
+        parms.hamming_weight > 0
+            ? sampler.sparseTernary(ctx->degree(), parms.hamming_weight)
+            : sampler.ternary(ctx->degree());
+
+    SecretKey sk;
+    sk.s_coeffs = coeffs;
+    sk.s = RnsPoly(ctx->ring(), ctx->keyIndices(), Rep::Coeff);
+    sk.s.setFromSigned(coeffs);
+    sk.s.toEval();
+    return sk;
+}
+
+PublicKey
+KeyGenerator::publicKey(const SecretKey& sk)
+{
+    auto q_basis = ctx->ring()->qIndices(ctx->maxLevel());
+
+    PublicKey pk;
+    pk.a = RnsPoly(ctx->ring(), q_basis, Rep::Eval);
+    Prng& rng = sampler.rng();
+    for (size_t i = 0; i < pk.a.numLimbs(); ++i) {
+        const u64 q = pk.a.modulus(i).value();
+        u64* limb = pk.a.limb(i);
+        for (size_t c = 0; c < pk.a.degree(); ++c)
+            limb[c] = rng.uniform(q);
+    }
+
+    RnsPoly e(ctx->ring(), q_basis, Rep::Coeff);
+    e.setFromSigned(sampler.centeredBinomial(ctx->degree()));
+    e.toEval();
+
+    RnsPoly s_q = extractLimbs(sk.s, q_basis);
+    pk.b = pk.a;
+    pk.b.mulPointwise(s_q);
+    pk.b.negate();
+    pk.b.add(e);
+    return pk;
+}
+
+SwitchingKey
+KeyGenerator::makeSwitchingKey(const SecretKey& sk,
+                               const RnsPoly& s_from_keybasis)
+{
+    const size_t dnum = ctx->dnum();
+    const size_t alpha = ctx->alpha();
+    const size_t max_level = ctx->maxLevel();
+    const size_t n = ctx->degree();
+
+    Prng::Seed seed = Prng(next_key_seed++).seed();
+    std::vector<RnsPoly> a_polys = SwitchingKey::sampleA(*ctx, seed, dnum);
+
+    std::vector<RnsPoly> b_polys;
+    b_polys.reserve(dnum);
+    auto key_basis = ctx->keyIndices();
+    for (size_t j = 0; j < dnum; ++j) {
+        RnsPoly e(ctx->ring(), key_basis, Rep::Coeff);
+        e.setFromSigned(sampler.centeredBinomial(n));
+        e.toEval();
+
+        // b_j = -a_j * s + e_j + P * T_j * s_from, where T_j is 1 on the
+        // limbs of digit j and 0 on every other Q limb, and P*T_j vanishes
+        // on the P limbs (see DESIGN.md / Han-Ki hybrid key switching).
+        RnsPoly b = a_polys[j];
+        b.mulPointwise(sk.s);
+        b.negate();
+        b.add(e);
+
+        size_t start = j * alpha;
+        size_t end = std::min(start + alpha, max_level);
+        for (size_t limb_idx = start; limb_idx < end; ++limb_idx) {
+            const Modulus& q = ctx->ring()->modulus(limb_idx);
+            u64 p_mod = ctx->pModQ(limb_idx);
+            u64 p_shoup = q.shoupPrecompute(p_mod);
+            u64* dst = b.limb(limb_idx);
+            const u64* sf = s_from_keybasis.limb(limb_idx);
+            for (size_t c = 0; c < n; ++c)
+                dst[c] = q.add(dst[c], q.mulShoup(sf[c], p_mod, p_shoup));
+        }
+        b_polys.push_back(std::move(b));
+    }
+    return SwitchingKey(std::move(b_polys), std::move(a_polys), seed);
+}
+
+SwitchingKey
+KeyGenerator::relinKey(const SecretKey& sk)
+{
+    RnsPoly s2 = sk.s;
+    s2.mulPointwise(sk.s);
+    return makeSwitchingKey(sk, s2);
+}
+
+SwitchingKey
+KeyGenerator::galoisKey(const SecretKey& sk, u64 galois_elt)
+{
+    RnsPoly s_t = sk.s.automorph(galois_elt);
+    return makeSwitchingKey(sk, s_t);
+}
+
+GaloisKeys
+KeyGenerator::galoisKeys(const SecretKey& sk, const std::vector<int>& steps,
+                         bool include_conjugate)
+{
+    GaloisKeys keys;
+    for (int s : steps) {
+        u64 t = ctx->ring()->galoisElt(s);
+        if (t != 1 && !keys.count(t))
+            keys.emplace(t, galoisKey(sk, t));
+    }
+    if (include_conjugate) {
+        u64 t = ctx->ring()->conjugateElt();
+        keys.emplace(t, galoisKey(sk, t));
+    }
+    return keys;
+}
+
+} // namespace madfhe

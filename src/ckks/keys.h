@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Key material: secret, public, and switching keys (relinearization and
+ * Galois keys are switching keys for s^2 and sigma_t(s)). Switching keys
+ * support the MAD "key compression" optimization (Section 3.2): the
+ * uniformly random `a` half of each digit is represented by a PRNG seed
+ * and re-expanded on demand, halving key storage/DRAM traffic.
+ */
+#ifndef MADFHE_CKKS_KEYS_H
+#define MADFHE_CKKS_KEYS_H
+
+#include <map>
+#include <optional>
+
+#include "ckks/context.h"
+#include "ckks/ciphertext.h"
+#include "support/random.h"
+
+namespace madfhe {
+
+struct SecretKey
+{
+    /** s over the full key basis QP, evaluation representation. */
+    RnsPoly s;
+    /** s as signed coefficients (needed to derive s^2 / sigma_t(s) keys). */
+    std::vector<i64> s_coeffs;
+};
+
+struct PublicKey
+{
+    RnsPoly b; ///< -a*s + e over Q (max level), eval rep.
+    RnsPoly a;
+};
+
+/**
+ * A switching key ksk_{s' -> s}: dnum digit pairs (b_j, a_j) over the full
+ * QP basis (Equation 2 of the paper). When compressed, the a_j half is not
+ * stored; expandA() regenerates it from the seed.
+ */
+class SwitchingKey
+{
+  public:
+    SwitchingKey() = default;
+    SwitchingKey(std::vector<RnsPoly> b, std::vector<RnsPoly> a,
+                 Prng::Seed seed);
+
+    size_t numDigits() const { return b_polys.size(); }
+    const RnsPoly& b(size_t j) const { return b_polys[j]; }
+    const RnsPoly& a(size_t j) const;
+
+    /** Drop the stored a_j halves, keeping only the seed. */
+    void compress();
+    /** Regenerate all a_j from the seed (idempotent). */
+    void expand(const CkksContext& ctx);
+    bool isCompressed() const { return a_polys.empty(); }
+
+    /** Bytes of polynomial material currently stored. */
+    size_t storedBytes() const;
+    /** Bytes a fully expanded key occupies. */
+    size_t expandedBytes() const;
+
+    const Prng::Seed& seed() const { return prng_seed; }
+
+    /**
+     * Deterministically sample the a_j polynomials for a seed over the
+     * given basis (shared by key generation and expansion).
+     */
+    static std::vector<RnsPoly> sampleA(const CkksContext& ctx,
+                                        const Prng::Seed& seed,
+                                        size_t num_digits);
+
+  private:
+    std::vector<RnsPoly> b_polys;
+    std::vector<RnsPoly> a_polys;
+    Prng::Seed prng_seed{};
+};
+
+/** Galois keys: one switching key per Galois element. */
+using GaloisKeys = std::map<u64, SwitchingKey>;
+
+/**
+ * Generates all key material for a CkksContext.
+ */
+class KeyGenerator
+{
+  public:
+    explicit KeyGenerator(std::shared_ptr<const CkksContext> ctx);
+
+    SecretKey secretKey();
+    PublicKey publicKey(const SecretKey& sk);
+    /** Relinearization key: switches s^2 -> s. */
+    SwitchingKey relinKey(const SecretKey& sk);
+    /** Galois key for the automorphism x -> x^t: switches sigma_t(s) -> s. */
+    SwitchingKey galoisKey(const SecretKey& sk, u64 galois_elt);
+    /** Galois keys for a set of rotation steps (plus conjugation if asked). */
+    GaloisKeys galoisKeys(const SecretKey& sk, const std::vector<int>& steps,
+                          bool include_conjugate = false);
+
+  private:
+    /** Build a switching key encrypting P * s_from under s. */
+    SwitchingKey makeSwitchingKey(const SecretKey& sk,
+                                  const RnsPoly& s_from_keybasis);
+
+    std::shared_ptr<const CkksContext> ctx;
+    Sampler sampler;
+    u64 next_key_seed;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_KEYS_H

@@ -1,0 +1,231 @@
+#include "ckks/keyswitch.h"
+
+namespace madfhe {
+
+KeySwitcher::KeySwitcher(std::shared_ptr<const CkksContext> ctx_)
+    : ctx(std::move(ctx_))
+{
+}
+
+size_t
+KeySwitcher::qLevelOf(const RnsPoly& raised) const
+{
+    size_t total = raised.numLimbs();
+    size_t num_p = ctx->ring()->numP();
+    check(total > num_p, "raised polynomial missing P limbs");
+    return total - num_p;
+}
+
+std::vector<RnsPoly>
+KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
+{
+    check(x.rep() == Rep::Eval, "decomposeAndRaise expects eval rep");
+    const size_t level = x.numLimbs();
+    const size_t beta = ctx->numDigits(level);
+    const size_t n = x.degree();
+    auto raised_basis = ctx->raisedIndices(level);
+
+    // iNTT all limbs once (limb-wise pass shared by every digit).
+    RnsPoly x_coeff = x;
+    x_coeff.toCoeff();
+
+    std::vector<RnsPoly> digits;
+    digits.reserve(beta);
+    for (size_t j = 0; j < beta; ++j) {
+        const size_t start = ctx->digitStart(j);
+        const size_t size = ctx->digitSize(j, level);
+
+        RnsPoly raised(x.context(), raised_basis, Rep::Eval);
+
+        // Source limbs of this digit, in coefficient rep.
+        std::vector<const u64*> src;
+        for (size_t i = 0; i < size; ++i)
+            src.push_back(x_coeff.limb(start + i));
+
+        // NewLimb (slot-wise) into every other limb of the raised basis;
+        // targets are in coefficient rep and get NTT'd limb by limb.
+        const BasisConverter& conv = ctx->modUpConverter(j, level);
+        std::vector<u64*> dst;
+        std::vector<size_t> dst_pos;
+        for (size_t i = 0; i < raised_basis.size(); ++i) {
+            u32 chain_idx = raised_basis[i];
+            if (chain_idx >= start && chain_idx < start + size &&
+                chain_idx < level) {
+                continue; // own limb, copied below
+            }
+            dst.push_back(raised.limb(i));
+            dst_pos.push_back(i);
+        }
+        conv.convert(src, n, dst);
+        for (size_t i : dst_pos)
+            ctx->ring()->ntt(raised_basis[i]).forward(raised.limb(i));
+
+        // Own limbs: reuse the evaluation-rep input directly
+        // (Algorithm 1, line 4: no NTT needed on the input limbs).
+        for (size_t i = 0; i < size; ++i)
+            std::copy(x.limb(start + i), x.limb(start + i) + n,
+                      raised.limb(start + i));
+
+        digits.push_back(std::move(raised));
+    }
+    return digits;
+}
+
+RaisedCiphertext
+KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
+                          const SwitchingKey& ksk) const
+{
+    require(!digits.empty(), "no digits to key switch");
+    require(digits.size() <= ksk.numDigits(),
+            "more digits than switching-key columns");
+    const size_t n = digits[0].degree();
+    const auto& raised_basis = digits[0].basis();
+
+    RaisedCiphertext out;
+    out.c0 = RnsPoly(digits[0].context(), raised_basis, Rep::Eval);
+    out.c1 = RnsPoly(digits[0].context(), raised_basis, Rep::Eval);
+    out.q_level = qLevelOf(digits[0]);
+
+    // When beta < dnum the trailing ksk columns are simply unused
+    // (Algorithm 3, note on line 3).
+    for (size_t j = 0; j < digits.size(); ++j) {
+        const RnsPoly& d = digits[j];
+        const RnsPoly& kb = ksk.b(j);
+        const RnsPoly& ka = ksk.a(j);
+        for (size_t i = 0; i < raised_basis.size(); ++i) {
+            const u32 chain_idx = raised_basis[i];
+            const Modulus& q = ctx->ring()->modulus(chain_idx);
+            // The key basis is the identity chain, so limb position ==
+            // chain index in the switching-key polynomials.
+            const u64* dl = d.limb(i);
+            const u64* bl = kb.limb(chain_idx);
+            const u64* al = ka.limb(chain_idx);
+            u64* u = out.c0.limb(i);
+            u64* v = out.c1.limb(i);
+            for (size_t c = 0; c < n; ++c) {
+                u[c] = q.add(u[c], q.mul(dl[c], bl[c]));
+                v[c] = q.add(v[c], q.mul(dl[c], al[c]));
+            }
+        }
+    }
+    return out;
+}
+
+RnsPoly
+KeySwitcher::modDown(const RnsPoly& x) const
+{
+    check(x.rep() == Rep::Eval, "modDown expects eval rep");
+    const size_t level = qLevelOf(x);
+    const size_t num_p = ctx->ring()->numP();
+    const size_t n = x.degree();
+
+    // iNTT the P limbs (limb-wise).
+    std::vector<std::vector<u64>> p_coeff(num_p, std::vector<u64>(n));
+    auto p_indices = ctx->ring()->pIndices();
+    for (size_t i = 0; i < num_p; ++i) {
+        const u64* src = x.limb(level + i);
+        std::copy(src, src + n, p_coeff[i].data());
+        ctx->ring()->ntt(p_indices[i]).inverse(p_coeff[i].data());
+    }
+
+    // NewLimb (slot-wise): correction = [x]_P converted to each q_i.
+    std::vector<const u64*> src;
+    for (auto& limb : p_coeff)
+        src.push_back(limb.data());
+    std::vector<std::vector<u64>> corr(level, std::vector<u64>(n));
+    std::vector<u64*> dst;
+    for (auto& limb : corr)
+        dst.push_back(limb.data());
+    ctx->modDownConverter(level).convert(src, n, dst);
+
+    // Per kept limb: NTT the correction, subtract, scale by P^{-1}.
+    RnsPoly out(x.context(), ctx->ring()->qIndices(level), Rep::Eval);
+    for (size_t i = 0; i < level; ++i) {
+        const Modulus& q = ctx->ring()->modulus(i);
+        ctx->ring()->ntt(i).forward(corr[i].data());
+        const u64 p_inv = ctx->pInvModQ(i);
+        const u64 p_inv_shoup = q.shoupPrecompute(p_inv);
+        const u64* xi = x.limb(i);
+        u64* oi = out.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), p_inv, p_inv_shoup);
+    }
+    return out;
+}
+
+RnsPoly
+KeySwitcher::modDownMerged(const RnsPoly& x) const
+{
+    check(x.rep() == Rep::Eval, "modDownMerged expects eval rep");
+    const size_t level = qLevelOf(x);
+    require(level >= 2, "merged ModDown needs at least two Q limbs");
+    const size_t num_p = ctx->ring()->numP();
+    const size_t n = x.degree();
+
+    // Dropped limbs: q_(level-1) followed by the P limbs — matching the
+    // source basis of mergedModDownConverter().
+    std::vector<std::vector<u64>> drop_coeff(1 + num_p, std::vector<u64>(n));
+    {
+        const u64* src = x.limb(level - 1);
+        std::copy(src, src + n, drop_coeff[0].data());
+        ctx->ring()->ntt(level - 1).inverse(drop_coeff[0].data());
+    }
+    auto p_indices = ctx->ring()->pIndices();
+    for (size_t i = 0; i < num_p; ++i) {
+        const u64* src = x.limb(level + i);
+        std::copy(src, src + n, drop_coeff[1 + i].data());
+        ctx->ring()->ntt(p_indices[i]).inverse(drop_coeff[1 + i].data());
+    }
+
+    std::vector<const u64*> src;
+    for (auto& limb : drop_coeff)
+        src.push_back(limb.data());
+    std::vector<std::vector<u64>> corr(level - 1, std::vector<u64>(n));
+    std::vector<u64*> dst;
+    for (auto& limb : corr)
+        dst.push_back(limb.data());
+    ctx->mergedModDownConverter(level).convert(src, n, dst);
+
+    RnsPoly out(x.context(), ctx->ring()->qIndices(level - 1), Rep::Eval);
+    for (size_t i = 0; i + 1 < level; ++i) {
+        const Modulus& q = ctx->ring()->modulus(i);
+        ctx->ring()->ntt(i).forward(corr[i].data());
+        const u64 inv = ctx->mergedInv(level, i);
+        const u64 inv_shoup = q.shoupPrecompute(inv);
+        const u64* xi = x.limb(i);
+        u64* oi = out.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), inv, inv_shoup);
+    }
+    return out;
+}
+
+RnsPoly
+KeySwitcher::pModUp(const RnsPoly& y) const
+{
+    check(y.rep() == Rep::Eval, "pModUp expects eval rep");
+    const size_t level = y.numLimbs();
+    const size_t n = y.degree();
+    RnsPoly out(y.context(), ctx->raisedIndices(level), Rep::Eval);
+    for (size_t i = 0; i < level; ++i) {
+        const Modulus& q = ctx->ring()->modulus(i);
+        const u64 p_mod = ctx->pModQ(i);
+        const u64 p_shoup = q.shoupPrecompute(p_mod);
+        const u64* yi = y.limb(i);
+        u64* oi = out.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            oi[c] = q.mulShoup(yi[c], p_mod, p_shoup);
+    }
+    // P limbs of P*y are identically zero (Algorithm 5, line 3).
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::keySwitch(const RnsPoly& x, const SwitchingKey& ksk) const
+{
+    auto digits = decomposeAndRaise(x);
+    RaisedCiphertext raised = innerProduct(digits, ksk);
+    return {modDown(raised.c0), modDown(raised.c1)};
+}
+
+} // namespace madfhe

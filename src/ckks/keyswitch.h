@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hybrid key switching (Algorithms 1-3 of the paper): Decomp, ModUp,
+ * KSKInnerProd, ModDown — plus the raised-basis primitives the MAD
+ * algorithmic optimizations build on: PModUp (Algorithm 5) and the merged
+ * ModDown that divides by P and the rescale prime in one pass (Figure 4).
+ */
+#ifndef MADFHE_CKKS_KEYSWITCH_H
+#define MADFHE_CKKS_KEYSWITCH_H
+
+#include "ckks/keys.h"
+
+namespace madfhe {
+
+class KeySwitcher
+{
+  public:
+    explicit KeySwitcher(std::shared_ptr<const CkksContext> ctx);
+
+    const CkksContext& context() const { return *ctx; }
+
+    /**
+     * Decomp + ModUp (Algorithm 3 lines 1-2): split `x` (evaluation rep
+     * over Q[0,level)) into beta digits and extend each to the raised basis
+     * Q[0,level) + P, evaluation rep. Input limbs are reused without
+     * re-transforming (Algorithm 1 line 4).
+     */
+    std::vector<RnsPoly> decomposeAndRaise(const RnsPoly& x) const;
+
+    /**
+     * KSKInnerProd (Algorithm 3 line 3): (u, v) = sum_j digits[j] * ksk_j
+     * over the raised basis.
+     */
+    RaisedCiphertext innerProduct(const std::vector<RnsPoly>& digits,
+                                  const SwitchingKey& ksk) const;
+
+    /** ModDown (Algorithm 2): divide by P, drop the P limbs. */
+    RnsPoly modDown(const RnsPoly& x) const;
+
+    /**
+     * Merged ModDown: divide by P * q_(level-1) and drop both the P limbs
+     * and the top Q limb — KeySwitch completion and Rescale fused into one
+     * orientation switch (the "Merging ModDown in Mult" optimization).
+     */
+    RnsPoly modDownMerged(const RnsPoly& x) const;
+
+    /** PModUp (Algorithm 5): lift y over Q[0,level) to P*y over the raised
+     *  basis at zero compute on the P limbs. */
+    RnsPoly pModUp(const RnsPoly& y) const;
+
+    /** Full KeySwitch (Algorithm 3): returns (u, v) over Q[0,level). */
+    std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly& x,
+                                          const SwitchingKey& ksk) const;
+
+  private:
+    size_t qLevelOf(const RnsPoly& raised) const;
+
+    std::shared_ptr<const CkksContext> ctx;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_KEYSWITCH_H

@@ -1,0 +1,210 @@
+#include "ckks/matvec.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+LinearTransform::LinearTransform(
+    std::shared_ptr<const CkksContext> ctx_,
+    std::map<int, std::vector<std::complex<double>>> diagonals,
+    double pt_scale_, MatVecOptions options)
+    : ctx(std::move(ctx_)), pt_scale(pt_scale_), opts(options)
+{
+    require(!diagonals.empty(), "transform needs at least one diagonal");
+    const size_t slots = ctx->slots();
+    for (auto& [d, v] : diagonals) {
+        require(v.size() == slots, "diagonal length must equal slot count");
+        int dd = d % static_cast<int>(slots);
+        if (dd < 0)
+            dd += static_cast<int>(slots);
+        // Merge aliased diagonals (d and d mod slots describe the same
+        // rotation).
+        auto [it, inserted] = diags.emplace(dd, v);
+        if (!inserted) {
+            for (size_t k = 0; k < slots; ++k)
+                it->second[k] += v[k];
+        }
+    }
+}
+
+size_t
+LinearTransform::babySteps() const
+{
+    if (opts.baby_steps)
+        return opts.baby_steps;
+    size_t bs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(diags.size()))));
+    return std::max<size_t>(1, bs);
+}
+
+std::vector<int>
+LinearTransform::requiredRotations() const
+{
+    std::vector<int> steps;
+    const size_t bs = babySteps();
+    for (const auto& [d, v] : diags) {
+        (void)v;
+        if (!opts.hoist_modup && !opts.hoist_moddown) {
+            steps.push_back(d); // naive path rotates by the raw index
+            continue;
+        }
+        int j = d % static_cast<int>(bs);
+        int giant = d - j;
+        steps.push_back(j);
+        steps.push_back(giant);
+    }
+    return steps;
+}
+
+std::vector<std::complex<double>>
+LinearTransform::applyPlain(const std::vector<std::complex<double>>& x) const
+{
+    const size_t slots = ctx->slots();
+    require(x.size() == slots, "input length must equal slot count");
+    std::vector<std::complex<double>> y(slots, {0.0, 0.0});
+    for (const auto& [d, diag] : diags) {
+        for (size_t k = 0; k < slots; ++k)
+            y[k] += diag[k] * x[(k + d) % slots];
+    }
+    return y;
+}
+
+Ciphertext
+LinearTransform::apply(const Evaluator& eval, const CkksEncoder& encoder,
+                       const Ciphertext& ct, const GaloisKeys& gks) const
+{
+    if (!opts.hoist_modup && !opts.hoist_moddown)
+        return applyNaive(eval, encoder, ct, gks);
+    return applyBsgs(eval, encoder, ct, gks);
+}
+
+Ciphertext
+LinearTransform::applyNaive(const Evaluator& eval, const CkksEncoder& encoder,
+                            const Ciphertext& ct, const GaloisKeys& gks) const
+{
+    // Baseline path: one full Rotate (ModUp + ModDown) per diagonal.
+    Ciphertext acc;
+    bool first = true;
+    for (const auto& [d, diag] : diags) {
+        Ciphertext rot = eval.rotate(ct, d, gks);
+        Plaintext pt = encoder.encode(diag, pt_scale, rot.level());
+        Ciphertext term = eval.mulPlain(rot, pt);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = eval.add(acc, term);
+        }
+    }
+    return eval.rescale(acc);
+}
+
+Ciphertext
+LinearTransform::applyBsgs(const Evaluator& eval, const CkksEncoder& encoder,
+                           const Ciphertext& ct, const GaloisKeys& gks) const
+{
+    const size_t slots = ctx->slots();
+    const size_t bs = babySteps();
+    const KeySwitcher& ksw = eval.keySwitcher();
+
+    // Group diagonals by giant step: d = giant + j, 0 <= j < bs.
+    std::map<int, std::map<int, const std::vector<std::complex<double>>*>>
+        groups;
+    for (const auto& [d, diag] : diags) {
+        int j = d % static_cast<int>(bs);
+        groups[d - j][j] = &diag;
+    }
+
+    // Baby rotations with ModUp hoisting: Decomp+ModUp once.
+    auto digits = ksw.decomposeAndRaise(ct.c1);
+
+    std::map<int, RaisedCiphertext> baby_raised;
+    std::map<int, Ciphertext> baby_cts;
+    for (const auto& [giant, cols] : groups) {
+        (void)giant;
+        for (const auto& [j, diag] : cols) {
+            (void)diag;
+            if (opts.hoist_moddown) {
+                if (!baby_raised.count(j))
+                    baby_raised.emplace(j,
+                        eval.rotateRaised(digits, ct, j, gks));
+            } else if (!baby_cts.count(j)) {
+                RaisedCiphertext r = eval.rotateRaised(digits, ct, j, gks);
+                baby_cts.emplace(j, eval.modDownPair(r));
+            }
+        }
+    }
+
+    const bool double_hoist = opts.double_hoist && opts.hoist_moddown;
+    Ciphertext acc;
+    RaisedCiphertext racc;
+    bool first = true;
+    for (const auto& [giant, cols] : groups) {
+        Ciphertext inner_ct;
+        if (opts.hoist_moddown) {
+            // Accumulate plaintext products in the raised basis; a single
+            // ModDown pair per giant step (MAD ModDown hoisting).
+            RaisedCiphertext inner;
+            bool inner_first = true;
+            for (const auto& [j, diag] : cols) {
+                std::vector<std::complex<double>> rotated(slots);
+                for (size_t k = 0; k < slots; ++k)
+                    rotated[k] =
+                        (*diag)[(k + slots - giant % slots) % slots];
+                Plaintext pt = encoder.encodeRaised(rotated, pt_scale,
+                                                    ct.level());
+                RaisedCiphertext term = baby_raised.at(j);
+                eval.mulPlainRaised(term, pt);
+                if (inner_first) {
+                    inner = std::move(term);
+                    inner_first = false;
+                } else {
+                    eval.addRaised(inner, term);
+                }
+            }
+            inner_ct = eval.modDownPair(inner);
+        } else {
+            bool inner_first = true;
+            for (const auto& [j, diag] : cols) {
+                std::vector<std::complex<double>> rotated(slots);
+                for (size_t k = 0; k < slots; ++k)
+                    rotated[k] =
+                        (*diag)[(k + slots - giant % slots) % slots];
+                Plaintext pt = encoder.encode(rotated, pt_scale, ct.level());
+                Ciphertext term = eval.mulPlain(baby_cts.at(j), pt);
+                if (inner_first) {
+                    inner_ct = std::move(term);
+                    inner_first = false;
+                } else {
+                    inner_ct = eval.add(inner_ct, term);
+                }
+            }
+        }
+        if (double_hoist) {
+            // Keep the rotated giant in the raised basis and defer the
+            // ModDown pair to the very end.
+            auto giant_digits = ksw.decomposeAndRaise(inner_ct.c1);
+            RaisedCiphertext outer =
+                eval.rotateRaised(giant_digits, inner_ct, giant, gks);
+            if (first) {
+                racc = std::move(outer);
+                first = false;
+            } else {
+                eval.addRaised(racc, outer);
+            }
+        } else {
+            Ciphertext outer = eval.rotate(inner_ct, giant, gks);
+            if (first) {
+                acc = std::move(outer);
+                first = false;
+            } else {
+                acc = eval.add(acc, outer);
+            }
+        }
+    }
+    if (double_hoist)
+        acc = eval.modDownPair(racc);
+    return eval.rescale(acc);
+}
+
+} // namespace madfhe

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PtMatVecMult: homomorphic plaintext-matrix x ciphertext-vector products
+ * via the diagonal (BSGS) method, with the two hoisting levels the paper
+ * analyzes (Figure 5): classic ModUp hoisting across the baby-step
+ * rotations and MAD ModDown hoisting, which keeps the baby products in the
+ * raised basis and defers ModDown to one pair per giant step.
+ */
+#ifndef MADFHE_CKKS_MATVEC_H
+#define MADFHE_CKKS_MATVEC_H
+
+#include "ckks/evaluator.h"
+
+namespace madfhe {
+
+struct MatVecOptions
+{
+    /** Decomp+ModUp once for all baby rotations (Figure 5(c)). */
+    bool hoist_modup = true;
+    /** Accumulate baby products in the raised basis; ModDown once per
+     *  giant step (Figure 5(b)). */
+    bool hoist_moddown = true;
+    /**
+     * Double hoisting: also accumulate the giant-step key-switch outputs
+     * in the raised basis, deferring to a single final ModDown pair for
+     * the whole PtMatVecMult (the "one ModUp + two ModDown" accounting
+     * of Section 3.2). Requires hoist_moddown.
+     */
+    bool double_hoist = false;
+    /** Baby-step count; 0 = ceil(sqrt(#diagonals)). */
+    size_t baby_steps = 0;
+};
+
+/**
+ * A linear map on slot vectors, given by its nonzero (generalized)
+ * diagonals: y[k] = sum_d diag_d[k] * x[(k + d) mod slots].
+ */
+class LinearTransform
+{
+  public:
+    LinearTransform(std::shared_ptr<const CkksContext> ctx,
+                    std::map<int, std::vector<std::complex<double>>> diagonals,
+                    double pt_scale, MatVecOptions options = {});
+
+    /** Rotation steps apply() will need Galois keys for. */
+    std::vector<int> requiredRotations() const;
+
+    /**
+     * Apply to a ciphertext; consumes one level (the product is rescaled).
+     */
+    Ciphertext apply(const Evaluator& eval, const CkksEncoder& encoder,
+                     const Ciphertext& ct, const GaloisKeys& gks) const;
+
+    /** Reference slot-domain evaluation, for testing. */
+    std::vector<std::complex<double>>
+    applyPlain(const std::vector<std::complex<double>>& x) const;
+
+    const MatVecOptions& options() const { return opts; }
+    size_t numDiagonals() const { return diags.size(); }
+
+  private:
+    Ciphertext applyNaive(const Evaluator& eval, const CkksEncoder& encoder,
+                          const Ciphertext& ct, const GaloisKeys& gks) const;
+    Ciphertext applyBsgs(const Evaluator& eval, const CkksEncoder& encoder,
+                         const Ciphertext& ct, const GaloisKeys& gks) const;
+
+    size_t babySteps() const;
+
+    std::shared_ptr<const CkksContext> ctx;
+    std::map<int, std::vector<std::complex<double>>> diags;
+    double pt_scale;
+    MatVecOptions opts;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_MATVEC_H

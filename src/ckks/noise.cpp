@@ -1,0 +1,124 @@
+#include "ckks/noise.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+namespace {
+
+/** Safety factor applied to every heuristic bound (log2). */
+constexpr double kSafetyLog2 = 5.0; // 32x
+
+double
+log2Sum(double a, double b)
+{
+    // log2(2^a + 2^b), stable.
+    double hi = std::max(a, b), lo = std::min(a, b);
+    return hi + std::log2(1.0 + std::exp2(lo - hi));
+}
+
+} // namespace
+
+NoiseEstimator::NoiseEstimator(std::shared_ptr<const CkksContext> ctx_)
+    : ctx(std::move(ctx_))
+{
+    sqrt_n = std::sqrt(static_cast<double>(ctx->degree()));
+    sigma = 3.24; // centered binomial CB(21)
+}
+
+NoiseBound
+NoiseEstimator::encoding() const
+{
+    // Rounding each coefficient to an integer contributes <= 1/2 per
+    // coefficient; in the slot domain that is ~sqrt(N)/(2*Delta).
+    double err = sqrt_n / (2.0 * ctx->scale());
+    return NoiseBound{std::log2(err) + kSafetyLog2};
+}
+
+NoiseBound
+NoiseEstimator::fresh() const
+{
+    // e_total = e0 + u*e_pk + e1*s: coefficient-domain std dev
+    // ~ sigma * sqrt(1 + 2N/3 + h'); slot error ~ sqrt(N) * that / Delta.
+    double n = static_cast<double>(ctx->degree());
+    double h = ctx->params().hamming_weight
+                   ? static_cast<double>(ctx->params().hamming_weight)
+                   : 2.0 * n / 3.0;
+    double coeff_sigma = sigma * std::sqrt(1.0 + 2.0 * n / 3.0 + h);
+    double err = sqrt_n * coeff_sigma / ctx->scale();
+    return NoiseBound{log2Sum(std::log2(err), encoding().log2_error) +
+                      kSafetyLog2};
+}
+
+NoiseBound
+NoiseEstimator::add(const NoiseBound& a, const NoiseBound& b) const
+{
+    return NoiseBound{log2Sum(a.log2_error, b.log2_error)};
+}
+
+NoiseBound
+NoiseEstimator::mulPlain(const NoiseBound& a, double pt_mag,
+                         double ct_mag) const
+{
+    // err(x*p) ~ err_x * |p| + encoding(p) * |x|, then rescale rounding.
+    double term1 = a.log2_error + std::log2(std::max(pt_mag, 1e-12));
+    double term2 =
+        encoding().log2_error + std::log2(std::max(ct_mag, 1e-12));
+    NoiseBound prod{log2Sum(term1, term2)};
+    return rescale(prod);
+}
+
+double
+NoiseEstimator::keySwitchFloorLog2(size_t level) const
+{
+    // Hybrid key switching: sum_j x~_j * e_j scaled down by P. The digit
+    // lifts are bounded by their digit product; with P chosen to cover
+    // the largest digit the residual is ~ beta * sqrt(N) * sigma in the
+    // coefficient domain, divided by the scale in the slot domain.
+    double beta = static_cast<double>(ctx->numDigits(level));
+    double err = beta * sqrt_n * sigma *
+                 std::sqrt(static_cast<double>(ctx->degree())) /
+                 ctx->scale();
+    return std::log2(err) + kSafetyLog2;
+}
+
+NoiseBound
+NoiseEstimator::keySwitch(const NoiseBound& a, size_t level) const
+{
+    return NoiseBound{log2Sum(a.log2_error, keySwitchFloorLog2(level))};
+}
+
+NoiseBound
+NoiseEstimator::mul(const NoiseBound& a, const NoiseBound& b, double mag_a,
+                    double mag_b, size_t level) const
+{
+    // err(xy) ~ err_x*|y| + err_y*|x|, plus relinearization noise, then
+    // rescale rounding.
+    double term1 = a.log2_error + std::log2(std::max(mag_b, 1e-12));
+    double term2 = b.log2_error + std::log2(std::max(mag_a, 1e-12));
+    double combined =
+        log2Sum(log2Sum(term1, term2), keySwitchFloorLog2(level));
+    return rescale(NoiseBound{combined});
+}
+
+NoiseBound
+NoiseEstimator::rescale(const NoiseBound& a) const
+{
+    double rounding = std::log2(sqrt_n / ctx->scale()) + kSafetyLog2;
+    return NoiseBound{log2Sum(a.log2_error, rounding)};
+}
+
+double
+measureSlotError(const CkksEncoder& encoder, Decryptor& decryptor,
+                 const Ciphertext& ct,
+                 const std::vector<std::complex<double>>& expected)
+{
+    auto slots = encoder.decode(decryptor.decrypt(ct));
+    require(expected.size() <= slots.size(), "too many expected values");
+    double max_err = 0;
+    for (size_t i = 0; i < expected.size(); ++i)
+        max_err = std::max(max_err, std::abs(slots[i] - expected[i]));
+    return max_err;
+}
+
+} // namespace madfhe

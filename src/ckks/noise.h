@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CKKS noise tracking: heuristic average-case predictions of the
+ * slot-domain error after each primitive operation (following the CKKS
+ * noise-analysis literature), and exact measurement against known
+ * plaintexts. Predictions carry a safety factor so that
+ * measured <= predicted holds with overwhelming probability; tests pin
+ * the band from both sides.
+ */
+#ifndef MADFHE_CKKS_NOISE_H
+#define MADFHE_CKKS_NOISE_H
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+
+namespace madfhe {
+
+/** An upper estimate of the max slot-domain error of a ciphertext. */
+struct NoiseBound
+{
+    /** log2 of the bound on |decoded - true| per slot. */
+    double log2_error = -1e9;
+
+    double bound() const { return std::exp2(log2_error); }
+
+    static NoiseBound
+    fromError(double err)
+    {
+        return NoiseBound{std::log2(std::max(err, 1e-300))};
+    }
+};
+
+/**
+ * Heuristic noise estimator for a given context. All bounds are on the
+ * *slot-domain* error (after decode at the ciphertext's scale).
+ */
+class NoiseEstimator
+{
+  public:
+    explicit NoiseEstimator(std::shared_ptr<const CkksContext> ctx);
+
+    /** Fresh public-key encryption of an encoding at scale Delta. */
+    NoiseBound fresh() const;
+    /** Encoding-only error (rounding of scaled values). */
+    NoiseBound encoding() const;
+
+    NoiseBound add(const NoiseBound& a, const NoiseBound& b) const;
+    /**
+     * Ciphertext x plaintext product followed by rescale; `pt_mag` bounds
+     * the plaintext slot magnitudes, `ct_mag` the ciphertext's.
+     */
+    NoiseBound mulPlain(const NoiseBound& a, double pt_mag,
+                        double ct_mag) const;
+    /** Ciphertext product (relinearized + rescaled). */
+    NoiseBound mul(const NoiseBound& a, const NoiseBound& b, double mag_a,
+                   double mag_b, size_t level) const;
+    /** Key switching adds a level-dependent additive term (Rotate and
+     *  Conjugate are automorph + key switch; automorph itself is
+     *  noise-free). */
+    NoiseBound keySwitch(const NoiseBound& a, size_t level) const;
+    NoiseBound rotate(const NoiseBound& a, size_t level) const
+    {
+        return keySwitch(a, level);
+    }
+    /** Rescale rounding: at most ~sqrt(N)/Delta per slot. */
+    NoiseBound rescale(const NoiseBound& a) const;
+
+    /** The additive key-switch noise floor at a given level. */
+    double keySwitchFloorLog2(size_t level) const;
+
+  private:
+    std::shared_ptr<const CkksContext> ctx;
+    double sqrt_n;
+    double sigma; // error sampler standard deviation
+};
+
+/**
+ * Measure the actual max slot error of `ct` against the expected slot
+ * values (requires the secret key via the decryptor).
+ */
+double measureSlotError(const CkksEncoder& encoder, Decryptor& decryptor,
+                        const Ciphertext& ct,
+                        const std::vector<std::complex<double>>& expected);
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_NOISE_H

@@ -1,0 +1,58 @@
+#include "ckks/params.h"
+
+namespace madfhe {
+
+void
+CkksParams::validate() const
+{
+    require(log_n >= 3 && log_n <= 17, "log_n out of supported range [3,17]");
+    require(log_scale >= 20 && log_scale <= 55, "log_scale out of [20,55]");
+    require(first_prime_bits > log_scale,
+            "base prime must be wider than the scale");
+    require(first_prime_bits <= 60, "first_prime_bits must be <= 60");
+    require(num_levels >= 1, "need at least one level");
+    require(dnum >= 1 && dnum <= chainLength(),
+            "dnum must be in [1, L + 1]");
+}
+
+CkksParams
+CkksParams::unitTest()
+{
+    CkksParams p;
+    p.log_n = 10;
+    p.log_scale = 35;
+    p.first_prime_bits = 45;
+    p.num_levels = 4;
+    p.dnum = 2;
+    return p;
+}
+
+CkksParams
+CkksParams::medium()
+{
+    CkksParams p;
+    p.log_n = 12;
+    p.log_scale = 40;
+    p.first_prime_bits = 52;
+    p.num_levels = 8;
+    p.dnum = 3;
+    return p;
+}
+
+CkksParams
+CkksParams::bootstrapToy()
+{
+    CkksParams p;
+    p.log_n = 12;
+    // A small q0/Delta ratio keeps the SlotToCoeff amplification of the
+    // EvalMod noise floor low (the "message ratio" of the bootstrapping
+    // literature): q0*K/Delta = 2^(53+3-45) = 2^11 here.
+    p.log_scale = 45;
+    p.first_prime_bits = 53;
+    p.num_levels = 20;
+    p.dnum = 3;
+    p.hamming_weight = 64;
+    return p;
+}
+
+} // namespace madfhe

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CKKS parameter set (the knobs of Table 1 in the paper): ring degree N,
+ * modulus chain shape, scaling factor Delta, key-switching digit count dnum,
+ * and secret sparsity. Functional parameters here are deliberately small
+ * (N = 2^10..2^14) so tests and examples run in seconds; the SimFHE model
+ * in src/simfhe handles the paper-scale N = 2^17 parameter sets.
+ */
+#ifndef MADFHE_CKKS_PARAMS_H
+#define MADFHE_CKKS_PARAMS_H
+
+#include <cstddef>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+struct CkksParams
+{
+    /** log2 of the ring degree N. */
+    unsigned log_n = 12;
+    /** log2 of the scaling factor Delta. */
+    unsigned log_scale = 40;
+    /** Bit width of the base modulus q_0 (> log_scale for decryption
+     *  headroom). */
+    unsigned first_prime_bits = 54;
+    /** Multiplicative levels: the chain is q_0 .. q_L with L = num_levels. */
+    size_t num_levels = 8;
+    /** Number of key-switching digits (dnum in Table 1). */
+    size_t dnum = 3;
+    /**
+     * Hamming weight of the (sparse ternary) secret; 0 means dense ternary.
+     * Bootstrapping presets use sparse secrets as in the bootstrapping
+     * literature the paper builds on.
+     */
+    size_t hamming_weight = 0;
+    /** Seed for all randomness (key generation, encryption). */
+    u64 seed = 2023;
+
+    size_t n() const { return size_t(1) << log_n; }
+    /** Plaintext slot count n = N/2. */
+    size_t slots() const { return n() / 2; }
+    /** Chain length = L + 1 limbs. */
+    size_t chainLength() const { return num_levels + 1; }
+    /** alpha = ceil((L + 1) / dnum): limbs per key-switching digit. */
+    size_t alpha() const { return ceilDiv(chainLength(), dnum); }
+    double scale() const { return static_cast<double>(1ULL << log_scale); }
+
+    /** Throws std::invalid_argument when inconsistent. */
+    void validate() const;
+
+    /** Small parameter set for fast unit tests (N = 2^10, 4 levels). */
+    static CkksParams unitTest();
+    /** Mid-size set exercising deeper circuits (N = 2^12, 8 levels). */
+    static CkksParams medium();
+    /** Bootstrapping-capable toy set (N = 2^12, deep chain, sparse key). */
+    static CkksParams bootstrapToy();
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_PARAMS_H

@@ -1,0 +1,138 @@
+#include "ckks/polyeval.h"
+
+#include <cmath>
+#include <functional>
+
+namespace madfhe {
+
+PolynomialEvaluator::PolynomialEvaluator(
+    std::shared_ptr<const CkksContext> ctx_, std::vector<double> coeffs_)
+    : ctx(std::move(ctx_)), coeffs(std::move(coeffs_))
+{
+    require(coeffs.size() >= 2, "need degree >= 1");
+    size_t d = coeffs.size() - 1;
+    baby = 1;
+    while (baby * baby < d + 1)
+        baby <<= 1;
+}
+
+size_t
+PolynomialEvaluator::depth() const
+{
+    size_t d = coeffs.size() - 1;
+    return static_cast<size_t>(
+               std::ceil(std::log2(static_cast<double>(d + 1)))) + 2;
+}
+
+double
+PolynomialEvaluator::evalPlain(double x) const
+{
+    double acc = 0;
+    for (size_t k = coeffs.size(); k-- > 0;)
+        acc = acc * x + coeffs[k];
+    return acc;
+}
+
+Ciphertext
+PolynomialEvaluator::combo(const Evaluator& eval, const CkksEncoder& encoder,
+                           const std::vector<double>& c,
+                           const std::vector<Ciphertext>& powers,
+                           size_t target_level) const
+{
+    // sum_{j>=1} c_j x^j as plaintext-scalar products, then + c_0.
+    Ciphertext acc;
+    bool first = true;
+    for (size_t j = 1; j < c.size(); ++j) {
+        if (c[j] == 0.0)
+            continue;
+        Ciphertext t = eval.dropToLevel(powers[j], target_level);
+        Plaintext pc = encoder.encodeScalar({c[j], 0.0}, ctx->scale(),
+                                            target_level);
+        Ciphertext term = eval.mulPlain(t, pc);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = eval.add(acc, term);
+        }
+    }
+    if (first) {
+        Ciphertext t = eval.dropToLevel(powers[1], target_level);
+        Plaintext pc =
+            encoder.encodeScalar({0.0, 0.0}, ctx->scale(), target_level);
+        acc = eval.mulPlain(t, pc);
+    }
+    acc = eval.rescale(acc);
+    if (c[0] != 0.0)
+        acc = eval.addScalar(acc, c[0], encoder);
+    return acc;
+}
+
+Ciphertext
+PolynomialEvaluator::evaluate(const Evaluator& eval,
+                              const CkksEncoder& encoder,
+                              const Ciphertext& x,
+                              const SwitchingKey& rlk) const
+{
+    const size_t d = coeffs.size() - 1;
+
+    // Baby powers x^1..x^(baby-1) by balanced products, then giant
+    // powers x^baby, x^(2*baby), x^(4*baby), ... by squaring.
+    std::vector<Ciphertext> powers(std::max<size_t>(baby, 2));
+    powers[1] = x;
+    for (size_t j = 2; j < baby; ++j) {
+        size_t a = (j + 1) / 2, b = j / 2;
+        Ciphertext pa = powers[a], pb = powers[b];
+        size_t lvl = std::min(pa.level(), pb.level());
+        pa = eval.dropToLevel(pa, lvl);
+        pb = eval.dropToLevel(pb, lvl);
+        powers[j] = eval.mul(pa, pb, rlk);
+    }
+    std::vector<Ciphertext> giants; // giants[k] = x^(baby * 2^k)
+    if (d >= baby) {
+        size_t half = baby / 2;
+        Ciphertext g0 = half >= 1 && baby >= 2
+                            ? eval.square(powers[std::max<size_t>(half, 1)],
+                                          rlk)
+                            : x;
+        giants.push_back(g0);
+        size_t m = baby;
+        while (m * 2 <= d) {
+            giants.push_back(eval.square(giants.back(), rlk));
+            m *= 2;
+        }
+    }
+
+    size_t target_level = x.level();
+    for (const auto& p : powers)
+        if (!p.c0.empty())
+            target_level = std::min(target_level, p.level());
+    for (const auto& g : giants)
+        target_level = std::min(target_level, g.level());
+
+    // Recursive split: f = q(x) * x^g + r(x) — in the power basis the
+    // division by x^g is just a coefficient split.
+    std::function<Ciphertext(const std::vector<double>&)> rec =
+        [&](const std::vector<double>& c) -> Ciphertext {
+        if (c.size() <= baby)
+            return combo(eval, encoder, c, powers, target_level);
+        size_t deg = c.size() - 1;
+        size_t k = 0;
+        while (baby * (size_t(2) << k) <= deg)
+            ++k;
+        size_t g = baby << k;
+        std::vector<double> r(c.begin(), c.begin() + g);
+        std::vector<double> q(c.begin() + g, c.end());
+        Ciphertext qc = rec(q);
+        Ciphertext rc = rec(r);
+        Ciphertext gk = giants[k];
+        size_t lvl = std::min(qc.level(), gk.level());
+        Ciphertext prod = eval.mul(eval.dropToLevel(qc, lvl),
+                                   eval.dropToLevel(gk, lvl), rlk);
+        lvl = std::min(prod.level(), rc.level());
+        return eval.addAligned(prod, rc);
+    };
+    return rec(coeffs);
+}
+
+} // namespace madfhe

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Power-basis polynomial evaluation on ciphertexts via baby-step/giant-
+ * step (Paterson–Stockmeyer): O(sqrt(d)) ciphertext multiplications and
+ * O(log d) depth. For high-degree approximations on [-1,1] prefer the
+ * Chebyshev evaluator in boot/chebyshev.h (numerically far better
+ * conditioned); this one is for the small polynomials applications use
+ * (sigmoid, ReLU surrogates, calibration curves) whose coefficients are
+ * naturally given in the monomial basis.
+ */
+#ifndef MADFHE_CKKS_POLYEVAL_H
+#define MADFHE_CKKS_POLYEVAL_H
+
+#include "ckks/evaluator.h"
+
+namespace madfhe {
+
+class PolynomialEvaluator
+{
+  public:
+    /** @param coeffs c_0 + c_1 x + ... + c_d x^d (d >= 1). */
+    PolynomialEvaluator(std::shared_ptr<const CkksContext> ctx,
+                        std::vector<double> coeffs);
+
+    size_t degree() const { return coeffs.size() - 1; }
+    /** Levels evaluate() consumes (upper bound). */
+    size_t depth() const;
+
+    /** Reference plain evaluation (Horner). */
+    double evalPlain(double x) const;
+
+    Ciphertext evaluate(const Evaluator& eval, const CkksEncoder& encoder,
+                        const Ciphertext& x, const SwitchingKey& rlk) const;
+
+  private:
+    Ciphertext combo(const Evaluator& eval, const CkksEncoder& encoder,
+                     const std::vector<double>& c,
+                     const std::vector<Ciphertext>& powers,
+                     size_t target_level) const;
+
+    std::shared_ptr<const CkksContext> ctx;
+    std::vector<double> coeffs;
+    size_t baby; // power of two
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_POLYEVAL_H

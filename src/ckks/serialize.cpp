@@ -1,0 +1,272 @@
+#include "ckks/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+namespace madfhe {
+
+namespace {
+
+constexpr u64 kPolyMagic = 0x4d414450504f4c59ULL; // "MADPPOLY"
+constexpr u64 kCtMagic = 0x4d41445043545854ULL;   // "MADPCTXT"
+constexpr u64 kPtMagic = 0x4d41445050545854ULL;   // "MADPPTXT"
+constexpr u64 kKskMagic = 0x4d414450204b534bULL;  // "MADP KSK"
+
+void
+writeU64(std::ostream& os, u64 v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+u64
+readU64(std::istream& is)
+{
+    u64 v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    require(static_cast<bool>(is), "truncated stream");
+    return v;
+}
+
+void
+writeDouble(std::ostream& os, double v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+double
+readDouble(std::istream& is)
+{
+    double v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    require(static_cast<bool>(is), "truncated stream");
+    return v;
+}
+
+void
+expectMagic(std::istream& is, u64 magic, const char* what)
+{
+    u64 got = readU64(is);
+    require(got == magic, std::string("bad magic for ") + what);
+}
+
+} // namespace
+
+void
+savePoly(std::ostream& os, const RnsPoly& poly)
+{
+    require(!poly.empty(), "cannot serialize an empty polynomial");
+    writeU64(os, kPolyMagic);
+    writeU64(os, poly.degree());
+    writeU64(os, poly.numLimbs());
+    writeU64(os, poly.rep() == Rep::Eval ? 1 : 0);
+    for (u32 idx : poly.basis())
+        writeU64(os, idx);
+    for (size_t i = 0; i < poly.numLimbs(); ++i) {
+        os.write(reinterpret_cast<const char*>(poly.limb(i)),
+                 static_cast<std::streamsize>(poly.degree() * sizeof(u64)));
+    }
+}
+
+RnsPoly
+loadPoly(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kPolyMagic, "polynomial");
+    u64 degree = readU64(is);
+    require(degree == ring->degree(), "ring degree mismatch");
+    u64 limbs = readU64(is);
+    require(limbs >= 1 && limbs <= ring->numModuli(), "bad limb count");
+    Rep rep = readU64(is) ? Rep::Eval : Rep::Coeff;
+    std::vector<u32> basis(limbs);
+    for (auto& b : basis) {
+        u64 v = readU64(is);
+        require(v < ring->numModuli(), "chain index out of range");
+        b = static_cast<u32>(v);
+    }
+    RnsPoly poly(std::move(ring), basis, rep);
+    for (size_t i = 0; i < limbs; ++i) {
+        is.read(reinterpret_cast<char*>(poly.limb(i)),
+                static_cast<std::streamsize>(degree * sizeof(u64)));
+        require(static_cast<bool>(is), "truncated polynomial data");
+        const Modulus& q = poly.modulus(i);
+        for (size_t c = 0; c < degree; ++c)
+            require(poly.limb(i)[c] < q.value(),
+                    "limb value out of range for modulus");
+    }
+    return poly;
+}
+
+void
+saveCiphertext(std::ostream& os, const Ciphertext& ct)
+{
+    writeU64(os, kCtMagic);
+    writeDouble(os, ct.scale);
+    savePoly(os, ct.c0);
+    savePoly(os, ct.c1);
+}
+
+Ciphertext
+loadCiphertext(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kCtMagic, "ciphertext");
+    Ciphertext ct;
+    ct.scale = readDouble(is);
+    require(ct.scale > 0, "non-positive ciphertext scale");
+    ct.c0 = loadPoly(is, ring);
+    ct.c1 = loadPoly(is, ring);
+    require(ct.c0.basis() == ct.c1.basis(), "mismatched component bases");
+    return ct;
+}
+
+namespace {
+constexpr u64 kSctMagic = 0x4d41445053435458ULL; // "MADPSCTX"
+} // namespace
+
+void
+saveSeededCiphertext(std::ostream& os, const SeededCiphertext& sct)
+{
+    writeU64(os, kSctMagic);
+    writeDouble(os, sct.scale);
+    for (u64 w : sct.seed)
+        writeU64(os, w);
+    savePoly(os, sct.c0);
+}
+
+SeededCiphertext
+loadSeededCiphertext(std::istream& is,
+                     std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kSctMagic, "seeded ciphertext");
+    SeededCiphertext sct;
+    sct.scale = readDouble(is);
+    require(sct.scale > 0, "non-positive ciphertext scale");
+    for (auto& w : sct.seed)
+        w = readU64(is);
+    sct.c0 = loadPoly(is, ring);
+    return sct;
+}
+
+void
+savePlaintext(std::ostream& os, const Plaintext& pt)
+{
+    writeU64(os, kPtMagic);
+    writeDouble(os, pt.scale);
+    savePoly(os, pt.poly);
+}
+
+Plaintext
+loadPlaintext(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kPtMagic, "plaintext");
+    Plaintext pt;
+    pt.scale = readDouble(is);
+    pt.poly = loadPoly(is, ring);
+    return pt;
+}
+
+void
+saveSwitchingKey(std::ostream& os, const SwitchingKey& key)
+{
+    writeU64(os, kKskMagic);
+    writeU64(os, key.numDigits());
+    writeU64(os, key.isCompressed() ? 1 : 0);
+    for (u64 w : key.seed())
+        writeU64(os, w);
+    for (size_t j = 0; j < key.numDigits(); ++j)
+        savePoly(os, key.b(j));
+    if (!key.isCompressed()) {
+        for (size_t j = 0; j < key.numDigits(); ++j)
+            savePoly(os, key.a(j));
+    }
+}
+
+SwitchingKey
+loadSwitchingKey(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kKskMagic, "switching key");
+    u64 digits = readU64(is);
+    require(digits >= 1 && digits <= 64, "implausible digit count");
+    bool compressed = readU64(is) != 0;
+    Prng::Seed seed{};
+    for (auto& w : seed)
+        w = readU64(is);
+    std::vector<RnsPoly> b, a;
+    for (u64 j = 0; j < digits; ++j)
+        b.push_back(loadPoly(is, ring));
+    if (!compressed) {
+        for (u64 j = 0; j < digits; ++j)
+            a.push_back(loadPoly(is, ring));
+    }
+    return SwitchingKey(std::move(b), std::move(a), seed);
+}
+
+namespace {
+constexpr u64 kGksMagic = 0x4d41445020474b53ULL; // "MADP GKS"
+constexpr u64 kPkMagic = 0x4d41445020504b30ULL;  // "MADP PK0"
+} // namespace
+
+void
+saveGaloisKeys(std::ostream& os, const GaloisKeys& keys)
+{
+    writeU64(os, kGksMagic);
+    writeU64(os, keys.size());
+    for (const auto& [elt, key] : keys) {
+        writeU64(os, elt);
+        saveSwitchingKey(os, key);
+    }
+}
+
+GaloisKeys
+loadGaloisKeys(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kGksMagic, "Galois keys");
+    u64 count = readU64(is);
+    require(count <= 4096, "implausible Galois key count");
+    GaloisKeys keys;
+    for (u64 i = 0; i < count; ++i) {
+        u64 elt = readU64(is);
+        require((elt & 1) == 1 && elt < 2 * ring->degree(),
+                "invalid Galois element");
+        keys.emplace(elt, loadSwitchingKey(is, ring));
+    }
+    return keys;
+}
+
+void
+savePublicKey(std::ostream& os, const PublicKey& pk)
+{
+    writeU64(os, kPkMagic);
+    savePoly(os, pk.b);
+    savePoly(os, pk.a);
+}
+
+PublicKey
+loadPublicKey(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    expectMagic(is, kPkMagic, "public key");
+    PublicKey pk;
+    pk.b = loadPoly(is, ring);
+    pk.a = loadPoly(is, ring);
+    require(pk.b.basis() == pk.a.basis(), "mismatched public-key bases");
+    return pk;
+}
+
+size_t
+polyWireSize(const RnsPoly& poly)
+{
+    return 8 * 4 + poly.numLimbs() * 8 +
+           poly.numLimbs() * poly.degree() * sizeof(u64);
+}
+
+size_t
+switchingKeyWireSize(const SwitchingKey& key)
+{
+    size_t bytes = 8 * 3 + 8 * 4; // header + seed
+    for (size_t j = 0; j < key.numDigits(); ++j)
+        bytes += polyWireSize(key.b(j));
+    if (!key.isCompressed())
+        for (size_t j = 0; j < key.numDigits(); ++j)
+            bytes += polyWireSize(key.a(j));
+    return bytes;
+}
+
+} // namespace madfhe

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Binary serialization for ring elements, ciphertexts, and switching
+ * keys. Switching keys honor seed compression: a compressed key writes
+ * only the b-half polynomials plus the 32-byte PRNG seed — the on-wire
+ * analogue of the MAD key-compression optimization, halving key size.
+ *
+ * Format: little-endian, fixed 8-byte magic per object type, no
+ * versioned schema evolution (this is a research library).
+ */
+#ifndef MADFHE_CKKS_SERIALIZE_H
+#define MADFHE_CKKS_SERIALIZE_H
+
+#include <iosfwd>
+
+#include "ckks/encryptor.h"
+#include "ckks/keys.h"
+
+namespace madfhe {
+
+/** Serialize one polynomial (basis indices, rep, limb data). */
+void savePoly(std::ostream& os, const RnsPoly& poly);
+/** Deserialize a polynomial onto the given ring. */
+RnsPoly loadPoly(std::istream& is, std::shared_ptr<const RingContext> ring);
+
+/** Serialize a ciphertext (both polynomials + scale). */
+void saveCiphertext(std::ostream& os, const Ciphertext& ct);
+Ciphertext loadCiphertext(std::istream& is,
+                          std::shared_ptr<const RingContext> ring);
+
+/** Serialize a seed-compressed symmetric ciphertext (~half size). */
+void saveSeededCiphertext(std::ostream& os, const SeededCiphertext& sct);
+SeededCiphertext loadSeededCiphertext(std::istream& is,
+                                      std::shared_ptr<const RingContext> ring);
+
+/** Serialize a plaintext. */
+void savePlaintext(std::ostream& os, const Plaintext& pt);
+Plaintext loadPlaintext(std::istream& is,
+                        std::shared_ptr<const RingContext> ring);
+
+/**
+ * Serialize a switching key. If the key is compressed (a-halves
+ * dropped), only the seed and b-halves are written; loading such a key
+ * re-expands the a-halves from the seed on demand via expand().
+ */
+void saveSwitchingKey(std::ostream& os, const SwitchingKey& key);
+SwitchingKey loadSwitchingKey(std::istream& is,
+                              std::shared_ptr<const RingContext> ring);
+
+/** Serialize a full Galois-key set (Galois element -> switching key). */
+void saveGaloisKeys(std::ostream& os, const GaloisKeys& keys);
+GaloisKeys loadGaloisKeys(std::istream& is,
+                          std::shared_ptr<const RingContext> ring);
+
+/** Serialize a public key (two polynomials). */
+void savePublicKey(std::ostream& os, const PublicKey& pk);
+PublicKey loadPublicKey(std::istream& is,
+                        std::shared_ptr<const RingContext> ring);
+
+/** Bytes savePoly would emit, for size accounting in tests/tools. */
+size_t polyWireSize(const RnsPoly& poly);
+/** Bytes saveSwitchingKey would emit. */
+size_t switchingKeyWireSize(const SwitchingKey& key);
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_SERIALIZE_H

@@ -1,0 +1,226 @@
+#include "ring/poly.h"
+
+#include <cstring>
+
+namespace madfhe {
+
+RnsPoly::RnsPoly(std::shared_ptr<const RingContext> ctx_,
+                 std::vector<u32> basis_, Rep rep_)
+    : ctx(std::move(ctx_)), chain(std::move(basis_)), representation(rep_)
+{
+    require(ctx != nullptr, "RnsPoly requires a ring context");
+    require(!chain.empty(), "RnsPoly requires at least one limb");
+    data.assign(chain.size() * ctx->degree(), 0);
+}
+
+void
+RnsPoly::requireCompatible(const RnsPoly& other) const
+{
+    check(ctx.get() == other.ctx.get(), "ring context mismatch");
+    check(chain == other.chain, "RNS basis mismatch");
+    check(representation == other.representation, "representation mismatch");
+}
+
+void
+RnsPoly::toEval()
+{
+    check(representation == Rep::Coeff, "toEval requires coefficient rep");
+    for (size_t i = 0; i < numLimbs(); ++i)
+        ctx->ntt(chain[i]).forward(limb(i));
+    representation = Rep::Eval;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    check(representation == Rep::Eval, "toCoeff requires evaluation rep");
+    for (size_t i = 0; i < numLimbs(); ++i)
+        ctx->ntt(chain[i]).inverse(limb(i));
+    representation = Rep::Coeff;
+}
+
+void
+RnsPoly::setRep(Rep r)
+{
+    if (representation == r)
+        return;
+    if (r == Rep::Eval)
+        toEval();
+    else
+        toCoeff();
+}
+
+void
+RnsPoly::add(const RnsPoly& other)
+{
+    requireCompatible(other);
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64* a = limb(i);
+        const u64* b = other.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            a[c] = q.add(a[c], b[c]);
+    }
+}
+
+void
+RnsPoly::sub(const RnsPoly& other)
+{
+    requireCompatible(other);
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64* a = limb(i);
+        const u64* b = other.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            a[c] = q.sub(a[c], b[c]);
+    }
+}
+
+void
+RnsPoly::negate()
+{
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64* a = limb(i);
+        for (size_t c = 0; c < n; ++c)
+            a[c] = q.neg(a[c]);
+    }
+}
+
+void
+RnsPoly::mulPointwise(const RnsPoly& other)
+{
+    requireCompatible(other);
+    check(representation == Rep::Eval, "pointwise mul requires Eval rep");
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64* a = limb(i);
+        const u64* b = other.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            a[c] = q.mul(a[c], b[c]);
+    }
+}
+
+void
+RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
+{
+    requireCompatible(a);
+    requireCompatible(b);
+    check(representation == Rep::Eval, "addMul requires Eval rep");
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64* dst = limb(i);
+        const u64* x = a.limb(i);
+        const u64* y = b.limb(i);
+        for (size_t c = 0; c < n; ++c)
+            dst[c] = q.add(dst[c], q.mul(x[c], y[c]));
+    }
+}
+
+void
+RnsPoly::mulScalarPerLimb(const std::vector<u64>& scalar)
+{
+    check(scalar.size() == numLimbs(), "per-limb scalar count mismatch");
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64 s = scalar[i];
+        u64 s_shoup = q.shoupPrecompute(s);
+        u64* a = limb(i);
+        for (size_t c = 0; c < n; ++c)
+            a[c] = q.mulShoup(a[c], s, s_shoup);
+    }
+}
+
+void
+RnsPoly::mulScalar(u64 c)
+{
+    std::vector<u64> per(numLimbs());
+    for (size_t i = 0; i < numLimbs(); ++i)
+        per[i] = modulus(i).reduce(c);
+    mulScalarPerLimb(per);
+}
+
+RnsPoly
+RnsPoly::automorph(u64 t) const
+{
+    RnsPoly out(ctx, chain, representation);
+    const size_t n = degree();
+    if (representation == Rep::Eval) {
+        const std::vector<u32>& perm = ctx->evalPermutation(t);
+        for (size_t i = 0; i < numLimbs(); ++i) {
+            const u64* src = limb(i);
+            u64* dst = out.limb(i);
+            for (size_t k = 0; k < n; ++k)
+                dst[k] = src[perm[k]];
+        }
+    } else {
+        const CoeffAutomorphism& aut = ctx->coeffAutomorphism(t);
+        for (size_t i = 0; i < numLimbs(); ++i) {
+            const Modulus& q = modulus(i);
+            const u64* src = limb(i);
+            u64* dst = out.limb(i);
+            for (size_t k = 0; k < n; ++k) {
+                u64 v = src[k];
+                dst[aut.index[k]] = aut.negate[k] ? q.neg(v) : v;
+            }
+        }
+    }
+    return out;
+}
+
+void
+RnsPoly::truncateLimbs(size_t keep)
+{
+    require(keep >= 1 && keep <= numLimbs(), "invalid limb count to keep");
+    chain.resize(keep);
+    data.resize(keep * degree());
+}
+
+bool
+RnsPoly::equals(const RnsPoly& other) const
+{
+    return ctx.get() == other.ctx.get() && chain == other.chain &&
+           representation == other.representation && data == other.data;
+}
+
+void
+RnsPoly::setFromSigned(const std::vector<i64>& values)
+{
+    check(representation == Rep::Coeff, "setFromSigned requires coeff rep");
+    require(values.size() == degree(), "value count must equal ring degree");
+    const size_t n = degree();
+    for (size_t i = 0; i < numLimbs(); ++i) {
+        const Modulus& q = modulus(i);
+        u64* a = limb(i);
+        for (size_t c = 0; c < n; ++c)
+            a[c] = q.fromSigned(values[c]);
+    }
+}
+
+RnsPoly
+extractLimbs(const RnsPoly& src, const std::vector<u32>& chain)
+{
+    RnsPoly out(src.context(), chain, src.rep());
+    const size_t n = src.degree();
+    for (size_t i = 0; i < chain.size(); ++i) {
+        size_t pos = src.numLimbs();
+        for (size_t k = 0; k < src.numLimbs(); ++k) {
+            if (src.basis()[k] == chain[i]) {
+                pos = k;
+                break;
+            }
+        }
+        require(pos < src.numLimbs(),
+                "extractLimbs: chain index missing from source basis");
+        std::copy(src.limb(pos), src.limb(pos) + n, out.limb(i));
+    }
+    return out;
+}
+
+} // namespace madfhe

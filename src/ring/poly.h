@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RnsPoly: a ring element stored limb-major (one contiguous length-N buffer
+ * per RNS limb) in either coefficient or evaluation representation. Limb-
+ * major storage mirrors the paper's "limb-wise" access pattern (Table 3);
+ * the slot-wise kernels (basis conversion) gather across limbs.
+ */
+#ifndef MADFHE_RING_POLY_H
+#define MADFHE_RING_POLY_H
+
+#include <memory>
+#include <vector>
+
+#include "ring/ring.h"
+
+namespace madfhe {
+
+/** Representation of a polynomial's limbs. */
+enum class Rep
+{
+    Coeff, ///< Coefficient vector.
+    Eval,  ///< Evaluations at odd powers of psi (NTT domain).
+};
+
+class RnsPoly
+{
+  public:
+    RnsPoly() = default;
+
+    /** Zero polynomial over the given chain indices. */
+    RnsPoly(std::shared_ptr<const RingContext> ctx, std::vector<u32> basis,
+            Rep rep);
+
+    const RingContext& ring() const { return *ctx; }
+    std::shared_ptr<const RingContext> context() const { return ctx; }
+
+    size_t numLimbs() const { return chain.size(); }
+    size_t degree() const { return ctx->degree(); }
+    Rep rep() const { return representation; }
+
+    /** Chain indices of this polynomial's limbs. */
+    const std::vector<u32>& basis() const { return chain; }
+    /** Modulus of limb i. */
+    const Modulus& modulus(size_t i) const { return ctx->modulus(chain[i]); }
+
+    u64* limb(size_t i) { return data.data() + i * degree(); }
+    const u64* limb(size_t i) const { return data.data() + i * degree(); }
+
+    bool empty() const { return data.empty(); }
+
+    /** In-place NTT on every limb (requires coefficient rep). */
+    void toEval();
+    /** In-place inverse NTT on every limb (requires evaluation rep). */
+    void toCoeff();
+    /** Convert to the requested representation if not already there. */
+    void setRep(Rep r);
+
+    /** this += other (same basis and rep). */
+    void add(const RnsPoly& other);
+    /** this -= other (same basis and rep). */
+    void sub(const RnsPoly& other);
+    /** this = -this. */
+    void negate();
+    /** this *= other pointwise (both in Eval rep, same basis). */
+    void mulPointwise(const RnsPoly& other);
+    /** Fused this += a * b pointwise (all Eval rep, same basis). */
+    void addMul(const RnsPoly& a, const RnsPoly& b);
+    /** Multiply every limb i by scalar[i] (already reduced mod q_i). */
+    void mulScalarPerLimb(const std::vector<u64>& scalar);
+    /** Multiply every limb by the same small integer constant. */
+    void mulScalar(u64 c);
+
+    /** Apply the Galois automorphism x -> x^t (works in either rep). */
+    RnsPoly automorph(u64 t) const;
+
+    /**
+     * Drop limbs, keeping those whose position in `chain` is < keep
+     * (used by Rescale/ModDown after the arithmetic is done).
+     */
+    void truncateLimbs(size_t keep);
+
+    /** Deep structural equality (basis, rep, and data). */
+    bool equals(const RnsPoly& other) const;
+
+    /** Fill all limbs with the reduction of the same signed-int vector. */
+    void setFromSigned(const std::vector<i64>& values);
+
+  private:
+    void requireCompatible(const RnsPoly& other) const;
+
+    std::shared_ptr<const RingContext> ctx;
+    std::vector<u32> chain;
+    Rep representation = Rep::Coeff;
+    std::vector<u64> data;
+};
+
+/**
+ * Copy the limbs of `src` whose chain indices appear in `chain` (in that
+ * order) into a new polynomial. Every requested index must be present in
+ * src's basis.
+ */
+RnsPoly extractLimbs(const RnsPoly& src, const std::vector<u32>& chain);
+
+} // namespace madfhe
+
+#endif // MADFHE_RING_POLY_H

@@ -1,0 +1,166 @@
+#include "rns/basis.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+RnsBasis::RnsBasis(std::vector<Modulus> moduli) : mods(std::move(moduli))
+{
+    require(!mods.empty(), "RNS basis must contain at least one modulus");
+    for (size_t i = 0; i < mods.size(); ++i)
+        for (size_t j = i + 1; j < mods.size(); ++j)
+            require(mods[i].value() != mods[j].value(),
+                    "RNS moduli must be distinct");
+
+    inv_punctured.resize(mods.size());
+    inv_punctured_shoup.resize(mods.size());
+    for (size_t i = 0; i < mods.size(); ++i) {
+        const Modulus& qi = mods[i];
+        u64 prod = 1;
+        for (size_t j = 0; j < mods.size(); ++j) {
+            if (j == i)
+                continue;
+            prod = qi.mul(prod, qi.reduce(mods[j].value()));
+        }
+        inv_punctured[i] = qi.inverse(prod);
+        inv_punctured_shoup[i] = qi.shoupPrecompute(inv_punctured[i]);
+    }
+}
+
+u64
+RnsBasis::productMod(const Modulus& p) const
+{
+    u64 prod = 1;
+    for (const auto& q : mods)
+        prod = p.mul(prod, p.reduce(q.value()));
+    return prod;
+}
+
+double
+RnsBasis::logProduct() const
+{
+    double acc = 0;
+    for (const auto& q : mods)
+        acc += std::log2(static_cast<double>(q.value()));
+    return acc;
+}
+
+BasisConverter::BasisConverter(const RnsBasis& from_, const RnsBasis& to_)
+    : from(from_), to(to_)
+{
+    for (size_t i = 0; i < from.size(); ++i)
+        for (size_t j = 0; j < to.size(); ++j)
+            require(from[i].value() != to[j].value(),
+                    "source and target bases must be disjoint");
+
+    punctured_mod.resize(to.size());
+    q_mod_target.resize(to.size());
+    for (size_t j = 0; j < to.size(); ++j) {
+        const Modulus& pj = to[j];
+        punctured_mod[j].resize(from.size());
+        for (size_t i = 0; i < from.size(); ++i) {
+            u64 prod = 1;
+            for (size_t k = 0; k < from.size(); ++k) {
+                if (k == i)
+                    continue;
+                prod = pj.mul(prod, pj.reduce(from[k].value()));
+            }
+            punctured_mod[j][i] = prod;
+        }
+        q_mod_target[j] = from.productMod(pj);
+    }
+    inv_q.resize(from.size());
+    for (size_t i = 0; i < from.size(); ++i)
+        inv_q[i] = 1.0L / static_cast<long double>(from[i].value());
+}
+
+namespace {
+
+/**
+ * Accumulate sum_i scaled[i] * punct[i] mod p with lazy 128-bit carries.
+ */
+u64
+accumulate(const u64* scaled, const u64* punct, size_t k, const Modulus& p)
+{
+    u128 acc = 0;
+    size_t pending = 0;
+    u64 result = 0;
+    for (size_t i = 0; i < k; ++i) {
+        acc += static_cast<u128>(scaled[i]) * punct[i];
+        if (++pending == 32) {
+            result = p.add(result, p.reduce128(acc));
+            acc = 0;
+            pending = 0;
+        }
+    }
+    if (pending)
+        result = p.add(result, p.reduce128(acc));
+    return result;
+}
+
+} // namespace
+
+void
+BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
+                            size_t target_idx, u64* out, ConvMode mode) const
+{
+    check(in.size() == from.size(), "source limb count mismatch");
+    const Modulus& pj = to[target_idx];
+    const size_t k = from.size();
+
+    // Scale pass is recomputed per target limb to keep this entry point
+    // stateless; convert() amortizes it across all target limbs.
+    std::vector<u64> scaled(k);
+    for (size_t c = 0; c < n; ++c) {
+        long double frac = 0.5L;
+        for (size_t i = 0; i < k; ++i) {
+            scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
+                                         from.invPuncturedShoup(i));
+            frac += static_cast<long double>(scaled[i]) * inv_q[i];
+        }
+        u64 result = accumulate(scaled.data(), punctured_mod[target_idx].data(),
+                                k, pj);
+        if (mode == ConvMode::SignedExact) {
+            // Subtract round(x/Q)*Q: sum_i scaled_i*Q_i^* = x + u*Q with
+            // u = floor(sum_i scaled_i/q_i); rounding the centered value
+            // means subtracting floor(sum + 0.5) copies of Q.
+            u64 u = static_cast<u64>(frac);
+            result = pj.sub(result,
+                            pj.mul(pj.reduce(u), q_mod_target[target_idx]));
+        }
+        out[c] = result;
+    }
+}
+
+void
+BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
+                        const std::vector<u64*>& out, ConvMode mode) const
+{
+    check(in.size() == from.size(), "source limb count mismatch");
+    check(out.size() == to.size(), "target limb count mismatch");
+    const size_t k = from.size();
+
+    // Process coefficient-by-coefficient (slot-wise access pattern): scale
+    // each source residue once, then accumulate into every target limb.
+    std::vector<u64> scaled(k);
+    for (size_t c = 0; c < n; ++c) {
+        long double frac = 0.5L;
+        for (size_t i = 0; i < k; ++i) {
+            scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
+                                         from.invPuncturedShoup(i));
+            frac += static_cast<long double>(scaled[i]) * inv_q[i];
+        }
+        u64 u = static_cast<u64>(frac);
+        for (size_t j = 0; j < to.size(); ++j) {
+            const Modulus& pj = to[j];
+            u64 result = accumulate(scaled.data(), punctured_mod[j].data(),
+                                    k, pj);
+            if (mode == ConvMode::SignedExact) {
+                result = pj.sub(result, pj.mul(pj.reduce(u), q_mod_target[j]));
+            }
+            out[j][c] = result;
+        }
+    }
+}
+
+} // namespace madfhe

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * RNS bases and the fast basis-extension primitive NewLimb (Equation 1 of
+ * the paper). A basis B = {q_1, ..., q_k} represents Z_Q, Q = prod q_i; the
+ * converter maps residues over a source basis to residues over a disjoint
+ * target basis using the Halevi–Polyakov–Shoup fast conversion (result may
+ * carry an additive multiple of Q below k*Q, absorbed by CKKS noise — this
+ * is the standard full-RNS CKKS construction [Cheon et al., SAC'18]).
+ */
+#ifndef MADFHE_RNS_BASIS_H
+#define MADFHE_RNS_BASIS_H
+
+#include <vector>
+
+#include "rns/modarith.h"
+
+namespace madfhe {
+
+/** An ordered set of coprime word-sized prime moduli with precomputations
+ *  for conversions out of this basis. */
+class RnsBasis
+{
+  public:
+    explicit RnsBasis(std::vector<Modulus> moduli);
+
+    size_t size() const { return mods.size(); }
+    const Modulus& operator[](size_t i) const { return mods[i]; }
+    const std::vector<Modulus>& moduli() const { return mods; }
+
+    /** (Q/q_i)^{-1} mod q_i — the Q~_i factor in Equation (1). */
+    u64 invPunctured(size_t i) const { return inv_punctured[i]; }
+    u64 invPuncturedShoup(size_t i) const { return inv_punctured_shoup[i]; }
+
+    /** Q mod p for an external modulus p. */
+    u64 productMod(const Modulus& p) const;
+
+    /** log2 of the basis product, as a double (for noise/size budgeting). */
+    double logProduct() const;
+
+  private:
+    std::vector<Modulus> mods;
+    std::vector<u64> inv_punctured;
+    std::vector<u64> inv_punctured_shoup;
+};
+
+/** How the fast basis extension treats the +uQ overshoot of Equation (1). */
+enum class ConvMode
+{
+    /**
+     * Plain HPS conversion: output equals x + u*Q (mod p) for some
+     * 0 <= u < k. Cheapest; the overshoot is absorbed by CKKS noise.
+     */
+    Approx,
+    /**
+     * Floating-point-corrected conversion: subtracts round(x/Q)*Q, i.e.
+     * extends the *centered* representative exactly. This is the variant
+     * the functional CKKS pipeline uses.
+     */
+    SignedExact,
+};
+
+/**
+ * Fast conversion of RNS residues from a source basis to a target basis
+ * (the slot-wise NewLimb kernel). Precomputes (Q/q_i) mod p_j for every
+ * source limb i and target modulus p_j.
+ */
+class BasisConverter
+{
+  public:
+    BasisConverter(const RnsBasis& from, const RnsBasis& to);
+
+    const RnsBasis& source() const { return from; }
+    const RnsBasis& target() const { return to; }
+
+    /**
+     * Convert n coefficients. `in[i]` points at the i-th source limb,
+     * `out[j]` at the j-th target limb (all length n, coefficient rep).
+     */
+    void convert(const std::vector<const u64*>& in, size_t n,
+                 const std::vector<u64*>& out,
+                 ConvMode mode = ConvMode::SignedExact) const;
+
+    /**
+     * Convert into a single target limb j (the per-NewLimb granularity the
+     * O(alpha) caching optimization schedules around).
+     */
+    void convertLimb(const std::vector<const u64*>& in, size_t n,
+                     size_t target_idx, u64* out,
+                     ConvMode mode = ConvMode::SignedExact) const;
+
+  private:
+    RnsBasis from;
+    RnsBasis to;
+    /** punctured_mod[j][i] = (Q/q_i) mod p_j. */
+    std::vector<std::vector<u64>> punctured_mod;
+    /** Q mod p_j, for the overshoot correction. */
+    std::vector<u64> q_mod_target;
+    /** 1/q_i as long double, for the overshoot estimate. */
+    std::vector<long double> inv_q;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_RNS_BASIS_H

@@ -1,0 +1,131 @@
+#include "rns/ntt.h"
+
+namespace madfhe {
+
+u64
+findPrimitiveRoot(size_t two_n, const Modulus& q)
+{
+    require((q.value() - 1) % two_n == 0, "q != 1 mod 2n");
+    u64 exponent = (q.value() - 1) / two_n;
+    // Deterministic scan: candidate generators 2, 3, 4, ...
+    for (u64 g = 2; g < q.value(); ++g) {
+        u64 root = q.pow(g, exponent);
+        // root has order dividing 2n; it is primitive iff root^n == -1.
+        if (q.pow(root, two_n / 2) == q.value() - 1)
+            return root;
+    }
+    throw std::logic_error("no primitive root found (q not prime?)");
+}
+
+NttTables::NttTables(size_t n_, const Modulus& q_) : n(n_), q(q_)
+{
+    require(isPowerOfTwo(n), "NTT size must be a power of two");
+    logn = floorLog2(n);
+
+    u64 psi = findPrimitiveRoot(2 * n, q);
+    u64 ipsi = q.inverse(psi);
+    u64 omega = q.mul(psi, psi);
+    u64 iomega = q.inverse(omega);
+
+    psi_pow.resize(n);
+    ipsi_pow.resize(n);
+    psi_pow_shoup.resize(n);
+    ipsi_pow_shoup.resize(n);
+    u64 p = 1, ip = 1;
+    for (size_t i = 0; i < n; ++i) {
+        psi_pow[i] = p;
+        ipsi_pow[i] = ip;
+        psi_pow_shoup[i] = q.shoupPrecompute(p);
+        ipsi_pow_shoup[i] = q.shoupPrecompute(ip);
+        p = q.mul(p, psi);
+        ip = q.mul(ip, ipsi);
+    }
+
+    omega_tw.resize(n);
+    iomega_tw.resize(n);
+    omega_tw_shoup.resize(n);
+    iomega_tw_shoup.resize(n);
+    for (size_t m = 1; m < n; m <<= 1) {
+        u64 w_base = q.pow(omega, n / (2 * m));
+        u64 iw_base = q.pow(iomega, n / (2 * m));
+        u64 w = 1, iw = 1;
+        for (size_t j = 0; j < m; ++j) {
+            omega_tw[m + j] = w;
+            iomega_tw[m + j] = iw;
+            omega_tw_shoup[m + j] = q.shoupPrecompute(w);
+            iomega_tw_shoup[m + j] = q.shoupPrecompute(iw);
+            w = q.mul(w, w_base);
+            iw = q.mul(iw, iw_base);
+        }
+    }
+
+    n_inv = q.inverse(static_cast<u64>(n % q.value()));
+    n_inv_shoup = q.shoupPrecompute(n_inv);
+
+    bitrev.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        u32 r = 0;
+        for (unsigned b = 0; b < logn; ++b)
+            r |= ((i >> b) & 1) << (logn - 1 - b);
+        bitrev[i] = r;
+    }
+}
+
+void
+NttTables::cyclicTransform(u64* a, const std::vector<u64>& tw,
+                           const std::vector<u64>& tw_shoup) const
+{
+    for (size_t i = 0; i < n; ++i) {
+        u32 r = bitrev[i];
+        if (r > i)
+            std::swap(a[i], a[r]);
+    }
+    // Harvey lazy butterflies: values stay in [0, 4q) across stages (the
+    // left operand is conditionally brought under 2q, the lazy Shoup
+    // product is under 2q), with one final reduction pass.
+    const u64 two_q = 2 * q.value();
+    for (size_t m = 1; m < n; m <<= 1) {
+        for (size_t i = 0; i < n; i += 2 * m) {
+            for (size_t j = 0; j < m; ++j) {
+                u64 w = tw[m + j];
+                u64 ws = tw_shoup[m + j];
+                u64 x = a[i + j];
+                if (x >= two_q)
+                    x -= two_q;
+                u64 y = q.mulShoupLazy(a[i + j + m], w, ws);
+                a[i + j] = x + y;
+                a[i + j + m] = x + two_q - y;
+            }
+        }
+    }
+    for (size_t i = 0; i < n; ++i) {
+        u64 v = a[i];
+        if (v >= two_q)
+            v -= two_q;
+        if (v >= q.value())
+            v -= q.value();
+        a[i] = v;
+    }
+}
+
+void
+NttTables::forward(u64* a) const
+{
+    for (size_t i = 1; i < n; ++i)
+        a[i] = q.mulShoup(a[i], psi_pow[i], psi_pow_shoup[i]);
+    cyclicTransform(a, omega_tw, omega_tw_shoup);
+}
+
+void
+NttTables::inverse(u64* a) const
+{
+    cyclicTransform(a, iomega_tw, iomega_tw_shoup);
+    // Scale by n^{-1} and untwist by psi^{-i} in one pass.
+    a[0] = q.mulShoup(a[0], n_inv, n_inv_shoup);
+    for (size_t i = 1; i < n; ++i) {
+        u64 v = q.mulShoup(a[i], n_inv, n_inv_shoup);
+        a[i] = q.mulShoup(v, ipsi_pow[i], ipsi_pow_shoup[i]);
+    }
+}
+
+} // namespace madfhe

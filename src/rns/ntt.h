@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over one limb modulus.
+ *
+ * We use the twist formulation: multiply coefficient i by psi^i (a primitive
+ * 2N-th root of unity), then run a standard cyclic NTT with omega = psi^2.
+ * Both directions keep the data in *natural order*, so that in evaluation
+ * representation slot k holds a(psi^(2k+1)). Natural ordering makes Galois
+ * automorphisms (Rotate/Conjugate) pure index permutations in evaluation
+ * representation — the property the MAD caching analysis relies on
+ * (Automorph costs zero compute, Table 4).
+ */
+#ifndef MADFHE_RNS_NTT_H
+#define MADFHE_RNS_NTT_H
+
+#include <vector>
+
+#include "rns/modarith.h"
+
+namespace madfhe {
+
+/**
+ * Precomputed twiddle tables for a fixed (N, q) pair. Immutable after
+ * construction and shareable across polynomials.
+ */
+class NttTables
+{
+  public:
+    /**
+     * @param n Ring degree, a power of two.
+     * @param q Prime modulus with q = 1 (mod 2n).
+     */
+    NttTables(size_t n, const Modulus& q);
+
+    size_t degree() const { return n; }
+    const Modulus& modulus() const { return q; }
+
+    /** In-place coefficient -> evaluation transform (size n buffer). */
+    void forward(u64* a) const;
+
+    /** In-place evaluation -> coefficient transform (size n buffer). */
+    void inverse(u64* a) const;
+
+    /** The primitive 2n-th root psi used by this table. */
+    u64 psi() const { return psi_pow[1]; }
+
+    /** psi^e mod q for any exponent (reduced mod 2n; psi^n = -1). */
+    u64
+    psiPower(u64 e) const
+    {
+        e %= 2 * n;
+        bool negate = e >= n;
+        if (negate)
+            e -= n;
+        u64 v = psi_pow[e];
+        return negate ? q.neg(v) : v;
+    }
+
+  private:
+    void cyclicTransform(u64* a, const std::vector<u64>& tw,
+                         const std::vector<u64>& tw_shoup) const;
+
+    size_t n;
+    unsigned logn;
+    Modulus q;
+
+    /** psi^i and psi^{-i}, i in [0, n), with Shoup preconditioners. */
+    std::vector<u64> psi_pow, psi_pow_shoup;
+    std::vector<u64> ipsi_pow, ipsi_pow_shoup;
+
+    /**
+     * Stage twiddles for the cyclic transform: tw[m + j] = omega^(j * n/(2m))
+     * for stage half-size m in {1, 2, 4, ..., n/2}, j in [0, m).
+     */
+    std::vector<u64> omega_tw, omega_tw_shoup;
+    std::vector<u64> iomega_tw, iomega_tw_shoup;
+
+    u64 n_inv, n_inv_shoup;
+    std::vector<u32> bitrev;
+};
+
+/** Find a primitive 2n-th root of unity modulo q (q = 1 mod 2n). */
+u64 findPrimitiveRoot(size_t two_n, const Modulus& q);
+
+} // namespace madfhe
+
+#endif // MADFHE_RNS_NTT_H

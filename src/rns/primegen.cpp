@@ -1,0 +1,63 @@
+#include "rns/primegen.h"
+
+#include <algorithm>
+
+#include "rns/modarith.h"
+
+namespace madfhe {
+
+namespace {
+
+bool
+contains(const std::vector<u64>& v, u64 x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+} // namespace
+
+std::vector<u64>
+generateNttPrimes(unsigned bit_size, u64 n, size_t count,
+                  const std::vector<u64>& exclude)
+{
+    require(isPowerOfTwo(n), "ring degree must be a power of two");
+    require(bit_size >= 20 && bit_size <= 61, "prime width out of range");
+
+    u64 step = 2 * n;
+    // Largest candidate = 1 (mod 2N) strictly below 2^bit_size.
+    u64 top = (1ULL << bit_size) - 1;
+    u64 candidate = (top / step) * step + 1;
+
+    std::vector<u64> primes;
+    while (primes.size() < count) {
+        require(candidate > (1ULL << (bit_size - 1)),
+                "ran out of NTT primes of the requested width");
+        if (isPrime(candidate) && !contains(exclude, candidate) &&
+            !contains(primes, candidate)) {
+            primes.push_back(candidate);
+        }
+        candidate -= step;
+    }
+    return primes;
+}
+
+u64
+generateNttPrimeNear(u64 target, u64 n, const std::vector<u64>& exclude)
+{
+    require(isPowerOfTwo(n), "ring degree must be a power of two");
+    u64 step = 2 * n;
+    u64 base = (target / step) * step + 1;
+    // Walk outward: base, base+step, base-step, base+2step, ...
+    for (u64 k = 0;; ++k) {
+        u64 up = base + k * step;
+        if (isPrime(up) && !contains(exclude, up))
+            return up;
+        if (k > 0 && base > k * step) {
+            u64 down = base - k * step;
+            if (isPrime(down) && !contains(exclude, down))
+                return down;
+        }
+    }
+}
+
+} // namespace madfhe

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Generation of NTT-friendly RNS limb primes: primes q = 1 (mod 2N) so the
+ * negacyclic NTT of degree N exists mod q.
+ */
+#ifndef MADFHE_RNS_PRIMEGEN_H
+#define MADFHE_RNS_PRIMEGEN_H
+
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+/**
+ * Generate `count` distinct primes congruent to 1 mod 2N, each close to
+ * 2^bit_size (scanning downward from 2^bit_size), excluding any prime in
+ * `exclude`.
+ *
+ * @param bit_size Target prime width in bits (<= 61).
+ * @param n Ring degree N (power of two).
+ * @param count Number of primes to produce.
+ * @param exclude Primes that must not be reused across chains.
+ */
+std::vector<u64> generateNttPrimes(unsigned bit_size, u64 n, size_t count,
+                                   const std::vector<u64>& exclude = {});
+
+/**
+ * Generate one prime = 1 mod 2N as close as possible to `target`
+ * (used for scaling-factor-matched limb selection).
+ */
+u64 generateNttPrimeNear(u64 target, u64 n,
+                         const std::vector<u64>& exclude = {});
+
+} // namespace madfhe
+
+#endif // MADFHE_RNS_PRIMEGEN_H

@@ -1,0 +1,17 @@
+#include "simfhe/area.h"
+
+namespace madfhe {
+namespace simfhe {
+
+double
+throughputPerArea(const SchemeConfig& s, const HardwareDesign& hw,
+                  const Cost& bootstrap_cost, const AreaModel& model)
+{
+    double rt = runtimeSec(hw, bootstrap_cost);
+    double tput = bootstrapThroughput(s, rt);
+    double area = model.chipAreaMm2(hw.modmult_count, hw.onchip_mb);
+    return tput / area;
+}
+
+} // namespace simfhe
+} // namespace madfhe

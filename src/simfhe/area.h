@@ -1,0 +1,56 @@
+/**
+ * @file
+ * First-order silicon area / cost model for the Section 4.4 discussion
+ * ("Performance vs. Area/Cost Tradeoffs"): on-chip SRAM dominates the
+ * die, so cutting 512 MB to 32 MB shrinks the chip — and cost scales at
+ * least linearly with area (the paper: "proportionally reduces the cost
+ * of the solution").
+ */
+#ifndef MADFHE_SIMFHE_AREA_H
+#define MADFHE_SIMFHE_AREA_H
+
+#include <cmath>
+
+#include "simfhe/hardware.h"
+
+namespace madfhe {
+namespace simfhe {
+
+/** 7nm-class area constants (ASAP7-flavored first-order numbers). */
+struct AreaModel
+{
+    /** SRAM density, mm^2 per MB (including array overheads). */
+    double sram_mm2_per_mb = 0.4;
+    /** One pipelined 64-bit modular multiplier, mm^2. */
+    double modmult_mm2 = 0.0025;
+    /** Everything-else factor (NoC, NTT wiring, control, PHYs). */
+    double overhead_factor = 1.35;
+
+    /** Die area of a design point. */
+    double
+    chipAreaMm2(double modmult_count, double onchip_mb) const
+    {
+        return overhead_factor *
+               (sram_mm2_per_mb * onchip_mb + modmult_mm2 * modmult_count);
+    }
+
+    /**
+     * Relative manufacturing cost: die cost grows superlinearly with
+     * area (yield); exponent ~1.5 is a standard first-order model.
+     */
+    double
+    relativeCost(double area_mm2) const
+    {
+        return std::pow(area_mm2, 1.5);
+    }
+};
+
+/** Throughput per mm^2 — the figure of merit of Section 4.4. */
+double throughputPerArea(const SchemeConfig& s, const HardwareDesign& hw,
+                         const Cost& bootstrap_cost,
+                         const AreaModel& model = {});
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_AREA_H

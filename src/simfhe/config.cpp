@@ -1,0 +1,68 @@
+#include "simfhe/config.h"
+
+#include <sstream>
+
+namespace madfhe {
+namespace simfhe {
+
+SchemeConfig
+SchemeConfig::baselineJung()
+{
+    SchemeConfig s;
+    s.log_n = 17;
+    s.limb_bits = 54;
+    s.boot_limbs = 35;
+    s.dnum = 3;
+    s.fft_iter = 3;
+    s.bit_precision = 19;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::madOptimal()
+{
+    SchemeConfig s;
+    s.log_n = 17;
+    s.limb_bits = 50;
+    s.boot_limbs = 40;
+    s.dnum = 2;
+    s.fft_iter = 6;
+    s.bit_precision = 19;
+    return s;
+}
+
+Optimizations
+Optimizations::feasible(const SchemeConfig& s, const CacheConfig& c) const
+{
+    Optimizations o = *this;
+    const size_t fit = c.limbsFit(s);
+    if (fit < 1)
+        o.cache_o1 = false;
+    if (fit < s.dnum + 2)
+        o.cache_beta = false;
+    // O(alpha) needs the alpha-limb basis-change working set plus a few
+    // streaming limbs resident (the paper quotes ~27 MB at alpha = 12).
+    if (fit < s.alpha() + 3) {
+        o.cache_alpha = false;
+        o.limb_reorder = false;
+    }
+    return o;
+}
+
+std::string
+Optimizations::describe() const
+{
+    std::ostringstream os;
+    os << (cache_o1 ? "O1 " : "") << (cache_beta ? "Obeta " : "")
+       << (cache_alpha ? "Oalpha " : "") << (limb_reorder ? "reorder " : "")
+       << (moddown_merge ? "merge " : "") << (moddown_hoist ? "hoist " : "")
+       << (key_compression ? "keycomp " : "");
+    std::string s = os.str();
+    if (s.empty())
+        return "baseline";
+    s.pop_back();
+    return s;
+}
+
+} // namespace simfhe
+} // namespace madfhe

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * SimFHE configuration: the CKKS parameter set under analysis (paper-scale
+ * parameters, e.g. N = 2^17), the on-chip memory budget, and the MAD
+ * optimization toggles. SimFHE is an analytical cost model — it counts
+ * modular operations and DRAM transfers, it does not execute the scheme
+ * (src/ckks does that, at reduced parameters).
+ */
+#ifndef MADFHE_SIMFHE_CONFIG_H
+#define MADFHE_SIMFHE_CONFIG_H
+
+#include <string>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace simfhe {
+
+/** CKKS parameters of the modeled scheme (Table 1 / Table 5). */
+struct SchemeConfig
+{
+    /** log2 of the ring degree N. */
+    unsigned log_n = 17;
+    /** Limb width in bits (the paper's q). */
+    unsigned limb_bits = 54;
+    /** Limbs in the working modulus right after the bootstrap ModRaise
+     *  (the paper's Table 5 "L"). */
+    size_t boot_limbs = 35;
+    /** Key-switching digit count. */
+    size_t dnum = 3;
+    /** PtMatVecMult iterations per DFT phase in bootstrapping. */
+    size_t fft_iter = 3;
+    /** Plaintext bit precision (for the Eq. 3 throughput metric). */
+    unsigned bit_precision = 19;
+    /**
+     * Slots actually bootstrapped; 0 = fully packed (N/2). Applications
+     * use sparsely packed bootstrapping (Section 4.3: "we utilize
+     * bootstrapping implementation with fewer ciphertext slots"), which
+     * shrinks the homomorphic DFT dimension.
+     */
+    size_t boot_slots = 0;
+
+    size_t n() const { return size_t(1) << log_n; }
+    size_t slots() const { return n() / 2; }
+    size_t bootSlots() const { return boot_slots ? boot_slots : slots(); }
+    /** Limbs per digit: alpha = ceil((L + 1) / dnum). */
+    size_t alpha() const { return ceilDiv(boot_limbs + 1, dnum); }
+    /** Digits spanned by an l-limb polynomial. */
+    size_t beta(size_t l) const { return ceilDiv(l, alpha()); }
+    /**
+     * Limbs of the raised basis for an l-limb polynomial: digits are
+     * padded to whole-alpha boundaries and the alpha P limbs follow.
+     */
+    size_t raised(size_t l) const { return beta(l) * alpha() + alpha(); }
+
+    /** Bytes of one limb (N machine words). */
+    double limbBytes() const { return static_cast<double>(n()) * 8.0; }
+    /** Bytes of a full ciphertext at l limbs. */
+    double ctBytes(size_t l) const { return 2.0 * l * limbBytes(); }
+
+    /** Multiplicative depth of the EvalMod phase (degree-~63 scaled sine;
+     *  constant across the designs the paper compares). */
+    size_t evalModDepth() const { return 9; }
+    /** Levels one bootstrap consumes. */
+    size_t bootstrapDepth() const { return 2 * fft_iter + evalModDepth(); }
+    /** log Q1: modulus bits remaining right after bootstrapping. */
+    double
+    logQ1() const
+    {
+        if (bootstrapDepth() >= boot_limbs)
+            return 0.0;
+        return static_cast<double>((boot_limbs - bootstrapDepth()) *
+                                   limb_bits);
+    }
+
+    /** The Jung et al. GPU baseline parameter set (Table 5, row 1). */
+    static SchemeConfig baselineJung();
+    /** The paper's optimal 32 MB parameter set (Table 5, row 2). */
+    static SchemeConfig madOptimal();
+};
+
+/** On-chip memory budget. */
+struct CacheConfig
+{
+    double bytes = 32.0 * 1024 * 1024;
+
+    static CacheConfig
+    megabytes(double mb)
+    {
+        return CacheConfig{mb * 1024 * 1024};
+    }
+    double mb() const { return bytes / (1024 * 1024); }
+    /** Whole limbs that fit. */
+    size_t
+    limbsFit(const SchemeConfig& s) const
+    {
+        return static_cast<size_t>(bytes / s.limbBytes());
+    }
+};
+
+/** The MAD optimization toggles (Section 3). */
+struct Optimizations
+{
+    // Caching optimizations (Section 3.1) — DRAM only.
+    bool cache_o1 = false;      ///< O(1)-limb sub-operation fusion.
+    bool cache_beta = false;    ///< O(beta)-limb digit caching in matvec.
+    bool cache_alpha = false;   ///< O(alpha)-limb basis-change caching.
+    bool limb_reorder = false;  ///< Re-ordered limb computation in ModDown.
+    // Algorithmic optimizations (Section 3.2) — compute and DRAM.
+    bool moddown_merge = false;   ///< Merge ModDown with Rescale in Mult.
+    bool moddown_hoist = false;   ///< Hoist ModDown in PtMatVecMult.
+    bool key_compression = false; ///< PRNG-seeded switching keys.
+
+    static Optimizations none() { return {}; }
+    static Optimizations
+    o1()
+    {
+        Optimizations o;
+        o.cache_o1 = true;
+        return o;
+    }
+    static Optimizations
+    upToBeta()
+    {
+        Optimizations o = o1();
+        o.cache_beta = true;
+        return o;
+    }
+    static Optimizations
+    upToAlpha()
+    {
+        Optimizations o = upToBeta();
+        o.cache_alpha = true;
+        return o;
+    }
+    static Optimizations
+    allCaching()
+    {
+        Optimizations o = upToAlpha();
+        o.limb_reorder = true;
+        return o;
+    }
+    static Optimizations
+    withMerge()
+    {
+        Optimizations o = allCaching();
+        o.moddown_merge = true;
+        return o;
+    }
+    static Optimizations
+    withHoist()
+    {
+        Optimizations o = withMerge();
+        o.moddown_hoist = true;
+        return o;
+    }
+    static Optimizations
+    all()
+    {
+        Optimizations o = withHoist();
+        o.key_compression = true;
+        return o;
+    }
+
+    /**
+     * Restrict to what the cache can support (the paper: "for a large
+     * enough on-chip memory, SimFHE will automatically deploy the
+     * applicable optimization"). O(1) needs ~1 limb; O(beta) needs beta+1
+     * limbs; O(alpha) and re-ordering need ~2*alpha + 3 limbs.
+     */
+    Optimizations feasible(const SchemeConfig& s, const CacheConfig& c) const;
+
+    std::string describe() const;
+};
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_CONFIG_H

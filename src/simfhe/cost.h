@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The cost vector SimFHE accumulates: modular multiplies/adds on the
+ * compute side and DRAM bytes by traffic class on the memory side. The
+ * traffic classes mirror the paper's Figures 2-3 breakdown (ciphertext
+ * limb reads/writes vs. switching-key reads vs. plaintext reads).
+ */
+#ifndef MADFHE_SIMFHE_COST_H
+#define MADFHE_SIMFHE_COST_H
+
+#include <string>
+
+namespace madfhe {
+namespace simfhe {
+
+struct Cost
+{
+    // Compute (counts of modular word operations).
+    double mul = 0;
+    double add = 0;
+    // DRAM traffic in bytes.
+    double ct_read = 0;
+    double ct_write = 0;
+    double key_read = 0;
+    double pt_read = 0;
+
+    double ops() const { return mul + add; }
+    double bytes() const { return ct_read + ct_write + key_read + pt_read; }
+    /** Arithmetic intensity in ops/byte (Table 4). */
+    double
+    intensity() const
+    {
+        return bytes() > 0 ? ops() / bytes() : 0.0;
+    }
+
+    Cost&
+    operator+=(const Cost& o)
+    {
+        mul += o.mul;
+        add += o.add;
+        ct_read += o.ct_read;
+        ct_write += o.ct_write;
+        key_read += o.key_read;
+        pt_read += o.pt_read;
+        return *this;
+    }
+
+    friend Cost
+    operator+(Cost a, const Cost& b)
+    {
+        a += b;
+        return a;
+    }
+
+    Cost
+    operator*(double k) const
+    {
+        return Cost{mul * k, add * k, ct_read * k, ct_write * k,
+                    key_read * k, pt_read * k};
+    }
+
+    /** Human-readable one-liner (Gops / GB / AI). */
+    std::string summary() const;
+};
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_COST_H

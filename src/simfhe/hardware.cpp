@@ -1,0 +1,137 @@
+#include "simfhe/hardware.h"
+#include <cmath>
+
+namespace madfhe {
+namespace simfhe {
+
+HardwareDesign
+HardwareDesign::gpu()
+{
+    HardwareDesign d;
+    d.name = "GPU [Jung et al.]";
+    d.modmult_count = 2250; // effective, per the MAD Table 6 row
+    d.efficiency = 1.0;
+    d.onchip_mb = 6;
+    d.bandwidth = 900e9;
+    d.published_boot_ms = 328.7;
+    d.published_slots = 65536;
+    d.published_logq1 = 1080;
+    d.published_throughput = 409;
+    return d;
+}
+
+HardwareDesign
+HardwareDesign::f1()
+{
+    HardwareDesign d;
+    d.name = "F1";
+    d.modmult_count = 18432;
+    d.efficiency = 0.15;
+    d.onchip_mb = 64;
+    d.bandwidth = 1e12;
+    d.published_boot_ms = 1.3;
+    d.published_slots = 1; // unpacked bootstrapping
+    d.published_logq1 = 416;
+    d.published_precision = 24;
+    d.published_throughput = 1.5;
+    return d;
+}
+
+HardwareDesign
+HardwareDesign::bts()
+{
+    HardwareDesign d;
+    d.name = "BTS";
+    d.modmult_count = 8192;
+    d.efficiency = 0.15;
+    d.onchip_mb = 512;
+    d.bandwidth = 1e12;
+    d.published_boot_ms = 50.43;
+    d.published_slots = 65536;
+    d.published_logq1 = 1080;
+    d.published_throughput = 2667;
+    return d;
+}
+
+HardwareDesign
+HardwareDesign::ark()
+{
+    HardwareDesign d;
+    d.name = "ARK";
+    d.modmult_count = 20480;
+    d.efficiency = 0.15;
+    d.onchip_mb = 512;
+    d.bandwidth = 1e12;
+    d.published_boot_ms = 3.9;
+    d.published_slots = 32768;
+    d.published_logq1 = 432;
+    d.published_throughput = 6896;
+    return d;
+}
+
+HardwareDesign
+HardwareDesign::craterlake()
+{
+    HardwareDesign d;
+    d.name = "CraterLake";
+    d.modmult_count = 14336;
+    d.efficiency = 0.15;
+    d.onchip_mb = 256;
+    d.bandwidth = 2.4e12;
+    d.published_boot_ms = 6.33;
+    d.published_slots = 65536;
+    d.published_logq1 = 532;
+    d.published_throughput = 10465;
+    return d;
+}
+
+std::vector<HardwareDesign>
+HardwareDesign::all()
+{
+    return {gpu(), f1(), bts(), ark(), craterlake()};
+}
+
+HardwareDesign
+HardwareDesign::withCache(double mb) const
+{
+    HardwareDesign d = *this;
+    d.onchip_mb = mb;
+    return d;
+}
+
+double
+computeTimeSec(const HardwareDesign& hw, const Cost& cost)
+{
+    return cost.ops() / (hw.modmult_count * hw.freq_hz * hw.efficiency);
+}
+
+double
+memoryTimeSec(const HardwareDesign& hw, const Cost& cost)
+{
+    return cost.bytes() / hw.bandwidth;
+}
+
+double
+runtimeSec(const HardwareDesign& hw, const Cost& cost)
+{
+    return std::max(computeTimeSec(hw, cost), memoryTimeSec(hw, cost));
+}
+
+bool
+memoryBound(const HardwareDesign& hw, const Cost& cost)
+{
+    return memoryTimeSec(hw, cost) >= computeTimeSec(hw, cost);
+}
+
+double
+bootstrapThroughput(const SchemeConfig& s, double runtime_sec)
+{
+    // Reported in the same 1e7-bit/s unit as Table 6 (e.g. the GPU row:
+    // 2^16 * 1080 * 19 / 0.3287s = 4.09e9 -> "409"). Sparse bootstraps
+    // only refresh bootSlots() slots of useful data.
+    return static_cast<double>(s.bootSlots()) * s.logQ1() *
+           static_cast<double>(s.bit_precision) / runtime_sec / 1e7;
+}
+
+} // namespace simfhe
+} // namespace madfhe

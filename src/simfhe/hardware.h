@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hardware design models for the Table 6 / Figure 6 comparisons: the five
+ * accelerator platforms the paper evaluates (Jung et al. GPU, F1, BTS,
+ * ARK, CraterLake), a roofline runtime estimator, and the Han-Ki
+ * bootstrapping-throughput metric (Equation 3).
+ *
+ * Calibration note: the paper estimates compute latency from the modular
+ * multiplier count at 1 GHz. Published ASIC multiplier counts are raw
+ * instance counts; sustained utilization is far below 100% (the paper
+ * itself cites ~40% for CraterLake). We expose an `efficiency` factor per
+ * design (1.0 for the GPU's effective number, 0.15 for ASICs) and record
+ * the calibration in EXPERIMENTS.md.
+ */
+#ifndef MADFHE_SIMFHE_HARDWARE_H
+#define MADFHE_SIMFHE_HARDWARE_H
+
+#include <string>
+#include <vector>
+
+#include "simfhe/model.h"
+
+namespace madfhe {
+namespace simfhe {
+
+struct HardwareDesign
+{
+    std::string name;
+    /** Modular multiplier count (Table 6 column 3). */
+    double modmult_count = 0;
+    double freq_hz = 1e9;
+    /** Sustained fraction of peak modular throughput. */
+    double efficiency = 1.0;
+    /** On-chip memory of the original design (MB). */
+    double onchip_mb = 0;
+    /** DRAM bandwidth in bytes/s. */
+    double bandwidth = 0;
+
+    // Published reference numbers (from the respective papers, quoted in
+    // Table 6) for side-by-side reporting.
+    double published_boot_ms = 0;
+    double published_slots = 0;
+    double published_logq1 = 0;
+    double published_precision = 19;
+    double published_throughput = 0;
+
+    static HardwareDesign gpu();        ///< Jung et al. [20]
+    static HardwareDesign f1();         ///< Samardzic et al. [30]
+    static HardwareDesign bts();        ///< Kim et al. [25]
+    static HardwareDesign ark();        ///< Kim et al. [24]
+    static HardwareDesign craterlake(); ///< Samardzic et al. [31]
+
+    /** All five designs in Table 6 order. */
+    static std::vector<HardwareDesign> all();
+
+    /** Copy with a different on-chip memory size. */
+    HardwareDesign withCache(double mb) const;
+};
+
+/** Compute-side latency: ops / (multipliers * freq * efficiency). */
+double computeTimeSec(const HardwareDesign& hw, const Cost& cost);
+/** Memory-side latency: bytes / bandwidth. */
+double memoryTimeSec(const HardwareDesign& hw, const Cost& cost);
+/** Roofline runtime: max of the two (compute/memory overlap). */
+double runtimeSec(const HardwareDesign& hw, const Cost& cost);
+/** True when the design is memory-bound for this cost vector. */
+bool memoryBound(const HardwareDesign& hw, const Cost& cost);
+
+/**
+ * Bootstrapping throughput (Equation 3):
+ * n * logQ1 * bit_precision / runtime.
+ */
+double bootstrapThroughput(const SchemeConfig& s, double runtime_sec);
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_HARDWARE_H

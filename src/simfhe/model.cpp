@@ -1,0 +1,473 @@
+#include "simfhe/model.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace madfhe {
+namespace simfhe {
+
+std::string
+Cost::summary() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << ops() / 1e9 << " Gops, " << bytes() / 1e9 << " GB, AI "
+       << intensity();
+    return os.str();
+}
+
+CostModel::CostModel(const SchemeConfig& scheme, const CacheConfig& cache,
+                     const Optimizations& requested)
+    : s(scheme), c(cache), opt(requested.feasible(scheme, cache))
+{
+}
+
+Cost
+CostModel::nttLimbs(double count) const
+{
+    const double n = static_cast<double>(s.n());
+    const double butterflies = (n / 2.0) * s.log_n;
+    Cost cost;
+    cost.mul = count * (butterflies + n);
+    cost.add = count * (2.0 * butterflies);
+    return cost;
+}
+
+Cost
+CostModel::conversion(double src, double dst) const
+{
+    const double n = static_cast<double>(s.n());
+    Cost cost;
+    cost.mul = n * src + n * dst * src;
+    cost.add = n * dst * src;
+    return cost;
+}
+
+Cost
+CostModel::pointwise(double limbs, double mul_per_coeff,
+                     double add_per_coeff) const
+{
+    const double n = static_cast<double>(s.n());
+    Cost cost;
+    cost.mul = limbs * n * mul_per_coeff;
+    cost.add = limbs * n * add_per_coeff;
+    return cost;
+}
+
+Cost
+CostModel::ptAdd(size_t l) const
+{
+    Cost cost = pointwise(l, 0, 1);
+    cost.ct_read = lb(l);
+    cost.pt_read = lb(l);
+    cost.ct_write = lb(l);
+    return cost;
+}
+
+Cost
+CostModel::add(size_t l) const
+{
+    Cost cost = pointwise(2.0 * l, 0, 1);
+    cost.ct_read = lb(4.0 * l);
+    cost.ct_write = lb(2.0 * l);
+    return cost;
+}
+
+Cost
+CostModel::rescale(size_t l) const
+{
+    // Per polynomial: iNTT of the top limb, then per kept limb an NTT of
+    // the lifted correction fused with the subtract/scale pass. The top
+    // limb stays cached, so traffic is one read per limb plus one write
+    // per output limb (this matches the Table 4 PtMult total).
+    const double kept = static_cast<double>(l - 1);
+    Cost one = nttLimbs(1) + nttLimbs(kept) + pointwise(kept, 2, 1);
+    one.ct_read = lb(l);
+    one.ct_write = lb(kept);
+    return one + one; // two polynomials
+}
+
+Cost
+CostModel::ptMult(size_t l) const
+{
+    // Multiply both polynomials by the plaintext, then Rescale.
+    Cost cost = pointwise(2.0 * l, 1, 0);
+    cost.ct_read = lb(2.0 * l);
+    cost.pt_read = lb(l);
+    cost.ct_write = lb(2.0 * l);
+    if (opt.cache_o1) {
+        // Fuse the multiply with the first Rescale pass per limb: the
+        // product limb is rescaled before being written back.
+        cost.ct_write -= lb(2.0);
+    }
+    return cost + rescale(l);
+}
+
+Cost
+CostModel::decomp(size_t l) const
+{
+    Cost cost = pointwise(l, 1, 1);
+    cost.ct_read = lb(l);
+    cost.ct_write = lb(l);
+    return cost;
+}
+
+Cost
+CostModel::modUpDigit(size_t l) const
+{
+    const double a = static_cast<double>(s.alpha());
+    const double r = static_cast<double>(s.raised(l));
+    const double fresh = r - a;
+
+    Cost cost = nttLimbs(a) + conversion(a, fresh) + nttLimbs(fresh);
+    if (opt.cache_alpha) {
+        // The alpha source limbs stay resident: iNTT in cache, NewLimb
+        // reads from cache, each new limb is NTT'd before its single
+        // write (Section 3.1, O(alpha) caching).
+        cost.ct_read = lb(a);
+        cost.ct_write = lb(fresh);
+    } else {
+        cost.ct_read = lb(2 * a + fresh);
+        cost.ct_write = lb(a + 2 * fresh);
+    }
+    return cost;
+}
+
+Cost
+CostModel::kskInnerProd(size_t l) const
+{
+    const double r = static_cast<double>(s.raised(l));
+    const double b = static_cast<double>(s.beta(l));
+
+    Cost cost = pointwise(2.0 * r, b, b);
+    cost.ct_read = lb(b * r);
+    cost.ct_write = lb(2.0 * r);
+    cost.key_read = keyReadBytes(l);
+    return cost;
+}
+
+double
+CostModel::keyReadBytes(size_t l) const
+{
+    const double r = static_cast<double>(s.raised(l));
+    const double b = static_cast<double>(s.beta(l));
+    double bytes = lb(2.0 * b * r);
+    if (opt.key_compression)
+        bytes *= 0.5; // the a-half is regenerated from a PRNG seed
+    return bytes;
+}
+
+Cost
+CostModel::modDownPoly(size_t l) const
+{
+    const double r = static_cast<double>(s.raised(l));
+    const double drop = r - static_cast<double>(l);
+    const double kept = static_cast<double>(l);
+
+    Cost cost = nttLimbs(drop) + conversion(drop, kept) + nttLimbs(kept) +
+                pointwise(kept, 2, 1);
+    if (opt.cache_alpha) {
+        // Dropped limbs resident: iNTT + NewLimb + NTT + combine fuse.
+        cost.ct_read = lb(drop + kept);
+        cost.ct_write = lb(kept);
+        if (opt.limb_reorder) {
+            // Dropped limbs are computed first by the producer and
+            // consumed immediately (Section 3.1, re-ordering): their
+            // spill from the previous stage disappears.
+            cost.ct_read -= lb(drop);
+        }
+    } else {
+        cost.ct_read = lb(2.0 * drop + 2.0 * kept);
+        cost.ct_write = lb(drop + 2.0 * kept);
+    }
+    return cost;
+}
+
+Cost
+CostModel::keySwitch(size_t l) const
+{
+    Cost cost = decomp(l);
+    cost += modUpDigit(l) * static_cast<double>(s.beta(l));
+    cost += kskInnerProd(l);
+    cost += modDownPoly(l) * 2.0;
+    if (opt.limb_reorder) {
+        // The inner-product outputs' dropped limbs are never written:
+        // they stream straight into ModDown.
+        const double drop =
+            static_cast<double>(s.raised(l)) - static_cast<double>(l);
+        cost.ct_write -= lb(2.0 * drop);
+    }
+    return cost;
+}
+
+Cost
+CostModel::automorph(size_t l) const
+{
+    Cost cost;
+    cost.ct_read = lb(2.0 * l);
+    cost.ct_write = lb(2.0 * l);
+    return cost;
+}
+
+Cost
+CostModel::rotate(size_t l) const
+{
+    Cost cost = automorph(l) + keySwitch(l);
+    // Final c0' = sigma(c0) + u.
+    Cost fin = pointwise(l, 0, 1);
+    fin.ct_read = lb(2.0 * l);
+    fin.ct_write = lb(l);
+    cost += fin;
+    if (opt.cache_o1) {
+        // Fuse Automorph+Decomp+iNTT on the key-switched polynomial
+        // (Figure 1) and fuse the other polynomial's Automorph into the
+        // final addition.
+        cost.ct_read -= lb(2.0 * l + l);
+        cost.ct_write -= lb(2.0 * l + l);
+    }
+    return cost;
+}
+
+Cost
+CostModel::mult(size_t l) const
+{
+    const double dl = static_cast<double>(l);
+
+    // Tensor product: d0, d1 (two products + add), d2.
+    Cost cost = pointwise(4.0 * dl, 1, 0) + pointwise(dl, 0, 1);
+    cost.ct_read = lb(4.0 * dl);
+    cost.ct_write = lb(3.0 * dl);
+    if (opt.cache_o1) {
+        // Fuse the d2 limbs straight into Decomp+iNTT (Figure 1 style):
+        // d2 is never spilled and Decomp reads from cache.
+        cost.ct_write -= lb(dl);
+        Cost dec = pointwise(dl, 1, 1);
+        dec.ct_write = lb(dl);
+        cost += dec;
+    } else {
+        cost += decomp(l);
+    }
+    cost += modUpDigit(l) * static_cast<double>(s.beta(l));
+    cost += kskInnerProd(l);
+
+    if (opt.moddown_merge) {
+        // Figure 4(c): PModUp lifts d0/d1 into the raised basis (one
+        // multiply per coefficient), the additions happen raised, and a
+        // single merged ModDown divides by P * q_top.
+        cost += pointwise(2.0 * dl, 1, 1); // PModUp + raised add
+        const double r = static_cast<double>(s.raised(l));
+        const double kept = dl - 1.0;
+        const double drop = r - kept;
+        Cost md = nttLimbs(drop) + conversion(drop, kept) +
+                  nttLimbs(kept) + pointwise(kept, 2, 1);
+        if (opt.cache_alpha) {
+            md.ct_read = lb(drop + kept);
+            md.ct_write = lb(kept);
+            if (opt.limb_reorder)
+                md.ct_read -= lb(drop);
+        } else {
+            md.ct_read = lb(2.0 * drop + 2.0 * kept);
+            md.ct_write = lb(drop + 2.0 * kept);
+        }
+        cost += md * 2.0;
+        if (opt.limb_reorder)
+            cost.ct_write -= lb(2.0 * drop);
+    } else {
+        cost += modDownPoly(l) * 2.0;
+        // d0 + u, d1 + v.
+        Cost fin = pointwise(2.0 * dl, 0, 1);
+        fin.ct_read = lb(4.0 * dl);
+        fin.ct_write = lb(2.0 * dl);
+        if (opt.cache_o1) {
+            // Fused into the ModDown output pass.
+            fin.ct_read -= lb(2.0 * dl);
+            fin.ct_write = 0;
+        }
+        cost += fin;
+        cost += rescale(l);
+    }
+    return cost;
+}
+
+size_t
+CostModel::dftFactorDiagonals(size_t i) const
+{
+    // log2(bootstrapped slots) butterfly stages split as evenly as
+    // possible across fft_iter factors; a group of g stages has
+    // ~2^(g+1) - 1 diagonals.
+    const size_t stages = floorLog2(s.bootSlots());
+    const size_t iters = s.fft_iter;
+    check(i < iters, "factor index out of range");
+    size_t base = stages / iters;
+    size_t extra = stages % iters;
+    size_t g = base + (i < extra ? 1 : 0);
+    return (size_t(2) << g) - 1;
+}
+
+Cost
+CostModel::ptMatVecMult(size_t l, size_t diagonals) const
+{
+    const double dl = static_cast<double>(l);
+    const double d = static_cast<double>(diagonals);
+    const double r = static_cast<double>(s.raised(l));
+    const double b = static_cast<double>(s.beta(l));
+
+    // BSGS split. With ModDown hoisting the paper chooses a larger baby
+    // step (more key reads, fewer ciphertext reads — Section 3.2).
+    double bs = std::ceil(std::sqrt(d));
+    if (opt.moddown_hoist)
+        bs = std::ceil(std::sqrt(2.0 * d));
+    double gs = std::ceil(d / bs);
+
+    Cost cost;
+    // Hoisted ModUp for the baby rotations (part of the baseline too).
+    cost += decomp(l);
+    cost += modUpDigit(l) * b;
+
+    if (opt.moddown_hoist) {
+        // Figure 5(b)+(c) with limb-major scheduling (the O(beta)
+        // insight): for each limb position, the beta digit limbs are read
+        // once, every baby's Automorph+KSKInnerProd runs in cache, the
+        // plaintext products accumulate into per-giant raised
+        // accumulators, which are written once. Giant steps key-switch
+        // the raised accumulators; two ModDowns close the PtMatVecMult.
+        Cost babies = pointwise(2.0 * r, b, b) * bs; // inner products
+        babies.ct_read = lb(b * r);                  // digits, read once
+        babies.key_read = keyReadBytes(l) * bs;
+        cost += babies;
+        // Raised plaintext products + accumulation (in cache). The
+        // per-giant accumulator limb is consumed by the giant-step
+        // key-switch as soon as it completes (limb-major fusion), so only
+        // the final output accumulator is written.
+        Cost pm = pointwise(2.0 * r, 1, 1) * d;
+        pm.pt_read = lb(r) * d;
+        cost += pm;
+        // Giant steps: permute + key-switch each raised accumulator and
+        // fold into the output accumulator.
+        Cost giants = pointwise(2.0 * r, b, b + 1) * (gs - 1);
+        giants.ct_write = lb(2.0 * r);
+        giants.key_read = keyReadBytes(l) * (gs - 1);
+        cost += giants;
+        // Two final ModDowns + rescale.
+        cost += modDownPoly(l) * 2.0;
+        cost += rescale(l);
+    } else {
+        // Babies are completed ciphertexts (2 ModDowns each); every giant
+        // step is a full Rotate.
+        for (double j = 0; j < bs; ++j) {
+            Cost aut; // permute the raised digits
+            if (!opt.cache_o1) {
+                // Without O(1) fusion the permuted digits spill before
+                // the inner product consumes them.
+                aut.ct_read = lb(b * r);
+                aut.ct_write = lb(b * r);
+            }
+            cost += aut;
+            cost += kskInnerProd(l);
+            if (opt.cache_beta && j > 0) {
+                // O(beta): the ModUp outputs are read once across all
+                // rotations (Section 3.1).
+                cost.ct_read -= lb(b * r);
+            }
+            cost += modDownPoly(l) * 2.0;
+        }
+        // Plaintext multiply + accumulate per diagonal. The baseline
+        // (Jung et al.) already fuses the multiply with the accumulate
+        // (their kernel-fusion optimizations); with O(alpha)-scale cache
+        // the whole accumulation runs limb-major: each baby ciphertext
+        // limb is read once for all the diagonals that use it and each
+        // per-giant accumulator limb is written once.
+        Cost pm = pointwise(2.0 * dl, 1, 1) * d;
+        pm.pt_read = lb(dl) * d;
+        if (opt.cache_alpha) {
+            pm.ct_read = lb(2.0 * dl) * bs;
+            pm.ct_write = lb(2.0 * dl) * gs;
+        } else {
+            pm.ct_read = lb(4.0 * dl) * d;
+            pm.ct_write = lb(2.0 * dl) * d;
+        }
+        cost += pm;
+        // Giant rotations + accumulate.
+        for (double i = 1; i < gs; ++i) {
+            cost += rotate(l);
+            cost += add(l);
+        }
+        cost += rescale(l);
+    }
+    return cost;
+}
+
+Cost
+CostModel::evalMod(size_t l) const
+{
+    // Degree-~63 scaled-sine evaluation: 9 multiplicative levels with a
+    // BSGS polynomial schedule (~22 ciphertext multiplications) plus the
+    // surrounding additions/plaintext ops.
+    static const size_t mults_per_level[9] = {3, 3, 3, 2, 2, 2, 2, 2, 1};
+    Cost cost;
+    size_t level = l;
+    for (size_t k = 0; k < 9; ++k) {
+        check(level >= 2, "evalMod ran out of levels");
+        cost += mult(level) * static_cast<double>(mults_per_level[k]);
+        cost += add(level);
+        level -= 1;
+    }
+    return cost;
+}
+
+Cost
+CostModel::modRaise() const
+{
+    // Raise both polynomials from a 2-limb ciphertext to boot_limbs.
+    const double src = 2.0;
+    const double dst = static_cast<double>(s.boot_limbs) - src;
+    Cost one = nttLimbs(src) + conversion(src, dst) + nttLimbs(dst);
+    one.ct_read = lb(src + dst);
+    one.ct_write = lb(src + 2.0 * dst);
+    if (opt.cache_alpha) {
+        one.ct_read = lb(src);
+        one.ct_write = lb(dst);
+    }
+    return one + one;
+}
+
+Cost
+CostModel::bootstrap() const
+{
+    return bootstrapBreakdown().total();
+}
+
+CostModel::BootstrapBreakdown
+CostModel::bootstrapBreakdown() const
+{
+    BootstrapBreakdown bd;
+    bd.mod_raise = modRaise();
+    size_t l = s.boot_limbs;
+
+    // CoeffToSlot.
+    for (size_t i = 0; i < s.fft_iter; ++i) {
+        bd.coeff_to_slot += ptMatVecMult(l, dftFactorDiagonals(i));
+        l -= 1;
+    }
+    // Conjugation split: one Conjugate plus adds.
+    bd.eval_mod += conjugate(l);
+    bd.eval_mod += add(l) * 2.0;
+
+    // EvalMod on both halves shares the evaluation of the Chebyshev basis
+    // (the paper's schedule): model as 1.5x one EvalMod.
+    bd.eval_mod += evalMod(l) * 1.5;
+    l -= s.evalModDepth();
+
+    // Recombine.
+    bd.eval_mod += add(l);
+
+    // SlotToCoeff.
+    for (size_t i = 0; i < s.fft_iter; ++i) {
+        bd.slot_to_coeff += ptMatVecMult(l, dftFactorDiagonals(i));
+        l -= 1;
+    }
+    return bd;
+}
+
+} // namespace simfhe
+} // namespace madfhe

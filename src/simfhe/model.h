@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The SimFHE cost model: per-primitive compute and DRAM costs (Table 4),
+ * the key-switching pipeline, PtMatVecMult schedules with the hoisting
+ * options (Figure 5), and the full bootstrapping schedule (Algorithm 4)
+ * under any combination of MAD optimizations (Figures 2-3).
+ *
+ * Cost conventions (calibrated against Table 4 of the paper):
+ *  - One NTT/iNTT of a limb costs (N/2)*log2(N) butterflies, each one
+ *    modular multiply and two adds, plus N twist/scale multiplies.
+ *  - NewLimb from k source limbs into one target limb costs k multiplies
+ *    and k adds per coefficient, plus one scale multiply per source
+ *    coefficient (amortized once per conversion).
+ *  - DRAM moves whole limbs (N words); every sub-operation reads its
+ *    inputs from DRAM and writes its outputs back unless an enabled
+ *    caching optimization fuses the producing/consuming sub-operations.
+ */
+#ifndef MADFHE_SIMFHE_MODEL_H
+#define MADFHE_SIMFHE_MODEL_H
+
+#include "simfhe/config.h"
+#include "simfhe/cost.h"
+
+namespace madfhe {
+namespace simfhe {
+
+class CostModel
+{
+  public:
+    CostModel(const SchemeConfig& scheme, const CacheConfig& cache,
+              const Optimizations& requested);
+
+    const SchemeConfig& scheme() const { return s; }
+    const CacheConfig& cache() const { return c; }
+    /** The requested optimizations intersected with cache feasibility. */
+    const Optimizations& effective() const { return opt; }
+
+    // --- Table 2 / Table 4 primitives (l = current limb count) ---
+    Cost ptAdd(size_t l) const;
+    Cost add(size_t l) const;
+    Cost ptMult(size_t l) const;     ///< includes the Rescale
+    Cost decomp(size_t l) const;
+    Cost modUpDigit(size_t l) const; ///< one digit
+    Cost kskInnerProd(size_t l) const;
+    Cost modDownPoly(size_t l) const; ///< one polynomial, raised -> l
+    Cost automorph(size_t l) const;  ///< both polynomials
+    Cost mult(size_t l) const;       ///< Mult incl. relin + rescale
+    Cost rotate(size_t l) const;     ///< Automorph + KeySwitch
+    Cost conjugate(size_t l) const { return rotate(l); }
+    Cost rescale(size_t l) const;    ///< both polynomials
+
+    /** Full KeySwitch of one polynomial (Algorithm 3). */
+    Cost keySwitch(size_t l) const;
+
+    /**
+     * One PtMatVecMult with `diagonals` nonzero generalized diagonals at
+     * limb count l, following the BSGS schedule with ModUp hoisting
+     * (always on — it is part of the Jung et al. baseline) and ModDown
+     * hoisting when enabled.
+     */
+    Cost ptMatVecMult(size_t l, size_t diagonals) const;
+
+    /** The EvalMod phase (degree-~63 scaled sine, 9 levels). */
+    Cost evalMod(size_t l) const;
+
+    /** ModRaise from a nearly-exhausted ciphertext to boot_limbs. */
+    Cost modRaise() const;
+
+    /** Full bootstrapping (Algorithm 4). */
+    Cost bootstrap() const;
+
+    /** Per-phase bootstrap costs (sums to bootstrap()). */
+    struct BootstrapBreakdown
+    {
+        Cost mod_raise;
+        Cost coeff_to_slot;
+        Cost eval_mod; ///< includes the conjugation split
+        Cost slot_to_coeff;
+
+        Cost
+        total() const
+        {
+            return mod_raise + coeff_to_slot + eval_mod + slot_to_coeff;
+        }
+    };
+    BootstrapBreakdown bootstrapBreakdown() const;
+
+    /** Diagonal count of DFT factor `i` (0-based) in one phase. */
+    size_t dftFactorDiagonals(size_t i) const;
+
+    /** Switching-key bytes read per KeySwitch at limb count l. */
+    double keyReadBytes(size_t l) const;
+
+  private:
+    // Compute helpers.
+    Cost nttLimbs(double count) const;
+    Cost conversion(double src, double dst) const;
+    Cost pointwise(double limbs, double mul_per_coeff,
+                   double add_per_coeff) const;
+    // DRAM helpers (limb-granularity, converted to bytes).
+    double lb(double limbs) const { return limbs * s.limbBytes(); }
+
+    SchemeConfig s;
+    CacheConfig c;
+    Optimizations opt;
+};
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_MODEL_H

@@ -1,0 +1,83 @@
+#include "simfhe/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace simfhe {
+
+Table::Table(std::vector<std::string> headers_) : headers(std::move(headers_))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers.size(), "row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(headers.size());
+    for (size_t i = 0; i < headers.size(); ++i)
+        width[i] = headers[i].size();
+    for (const auto& row : rows)
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i == 0) {
+                os << cells[i]
+                   << std::string(width[i] - cells[i].size(), ' ');
+            } else {
+                os << "  "
+                   << std::string(width[i] - cells[i].size(), ' ')
+                   << cells[i];
+            }
+        }
+        os << "\n";
+    };
+    emit(headers);
+    size_t total = width[0];
+    for (size_t i = 1; i < width.size(); ++i)
+        total += width[i] + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtGiga(double v, int precision)
+{
+    return fmt(v / 1e9, precision);
+}
+
+std::string
+fmtPercent(double ratio, int precision)
+{
+    return fmt(ratio * 100.0, precision) + "%";
+}
+
+} // namespace simfhe
+} // namespace madfhe

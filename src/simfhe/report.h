@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width table formatting for the bench binaries that regenerate the
+ * paper's tables and figures.
+ */
+#ifndef MADFHE_SIMFHE_REPORT_H
+#define MADFHE_SIMFHE_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace madfhe {
+namespace simfhe {
+
+/** A simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** Render with column alignment; first column left, rest right. */
+    std::string render() const;
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 2);
+std::string fmtGiga(double v, int precision = 3); ///< value / 1e9
+std::string fmtPercent(double ratio, int precision = 1);
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_REPORT_H

@@ -1,0 +1,76 @@
+#include "simfhe/search.h"
+#include <cmath>
+
+#include "support/security.h"
+
+#include <algorithm>
+
+namespace madfhe {
+namespace simfhe {
+
+double
+maxLogQP(unsigned log_n)
+{
+    // 128-bit classical security, ternary secret (HE standard table in
+    // support/security.h).
+    return heStdMaxLogQP128(log_n);
+}
+
+std::vector<SearchResult>
+searchParameters(const SearchSpace& space, const HardwareDesign& hw,
+                 size_t keep_top)
+{
+    std::vector<SearchResult> results;
+    const double budget = maxLogQP(space.log_n);
+    const CacheConfig cache = CacheConfig::megabytes(hw.onchip_mb);
+
+    for (unsigned q = space.min_limb_bits; q <= space.max_limb_bits; ++q) {
+        for (size_t limbs = space.min_limbs; limbs <= space.max_limbs;
+             ++limbs) {
+            for (size_t dnum : space.dnums) {
+                if (dnum > limbs)
+                    continue;
+                for (size_t iters : space.fft_iters) {
+                    SchemeConfig s;
+                    s.log_n = space.log_n;
+                    s.limb_bits = q;
+                    s.boot_limbs = limbs;
+                    s.dnum = dnum;
+                    s.fft_iter = iters;
+                    s.bit_precision = space.bit_precision;
+
+                    // Feasibility: depth must fit, and the total modulus
+                    // (Q at L limbs + the alpha raising limbs) must stay
+                    // within the security budget.
+                    if (s.bootstrapDepth() + 2 >= limbs)
+                        continue;
+                    double log_qp = static_cast<double>(
+                        (limbs + 1 + s.alpha()) * q);
+                    if (log_qp > budget)
+                        continue;
+                    if (iters > s.log_n - 1)
+                        continue;
+
+                    CostModel model(s, cache, Optimizations::all());
+                    SearchResult r;
+                    r.config = s;
+                    r.bootstrap_cost = model.bootstrap();
+                    r.runtime_sec = runtimeSec(hw, r.bootstrap_cost);
+                    r.throughput = bootstrapThroughput(s, r.runtime_sec);
+                    r.memory_bound = memoryBound(hw, r.bootstrap_cost);
+                    results.push_back(r);
+                }
+            }
+        }
+    }
+    std::sort(results.begin(), results.end(),
+              [](const SearchResult& a, const SearchResult& b) {
+                  return a.throughput > b.throughput;
+              });
+    if (results.size() > keep_top)
+        results.resize(keep_top);
+    return results;
+}
+
+} // namespace simfhe
+} // namespace madfhe

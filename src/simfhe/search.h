@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Brute-force CKKS bootstrapping parameter search (Section 4.1/4.2):
+ * sweep (limb width q, chain length L, dnum, fftIter) under a security
+ * budget and an on-chip-memory budget, maximizing the Equation-3
+ * throughput on a given hardware design. Reproduces Table 5.
+ */
+#ifndef MADFHE_SIMFHE_SEARCH_H
+#define MADFHE_SIMFHE_SEARCH_H
+
+#include <vector>
+
+#include "simfhe/hardware.h"
+
+namespace madfhe {
+namespace simfhe {
+
+struct SearchSpace
+{
+    unsigned log_n = 17;
+    unsigned min_limb_bits = 40, max_limb_bits = 60;
+    size_t min_limbs = 24, max_limbs = 48;
+    std::vector<size_t> dnums = {1, 2, 3, 4, 5, 6};
+    std::vector<size_t> fft_iters = {1, 2, 3, 4, 5, 6, 7, 8};
+    unsigned bit_precision = 19;
+};
+
+struct SearchResult
+{
+    SchemeConfig config;
+    Cost bootstrap_cost;
+    double runtime_sec = 0;
+    double throughput = 0;
+    bool memory_bound = false;
+};
+
+/**
+ * Maximum total modulus bits (log QP) for 128-bit security at ring degree
+ * 2^log_n, per the homomorphic encryption standard tables.
+ */
+double maxLogQP(unsigned log_n);
+
+/**
+ * Exhaustively search the space for the throughput-maximizing
+ * configuration on `hw` with all MAD optimizations enabled.
+ * Returns results sorted by descending throughput (best first).
+ */
+std::vector<SearchResult> searchParameters(const SearchSpace& space,
+                                           const HardwareDesign& hw,
+                                           size_t keep_top = 10);
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_SEARCH_H

@@ -1,0 +1,143 @@
+#include "support/bigint.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+BigUint::BigUint(u64 v)
+{
+    if (v)
+        words.push_back(v);
+}
+
+void
+BigUint::normalize()
+{
+    while (!words.empty() && words.back() == 0)
+        words.pop_back();
+}
+
+void
+BigUint::add(const BigUint& other)
+{
+    size_t n = std::max(words.size(), other.words.size());
+    words.resize(n, 0);
+    u64 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(words[i]) + other.word(i) + carry;
+        words[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    if (carry)
+        words.push_back(carry);
+}
+
+void
+BigUint::sub(const BigUint& other)
+{
+    check(compare(other) >= 0, "BigUint::sub would underflow");
+    u64 borrow = 0;
+    for (size_t i = 0; i < words.size(); ++i) {
+        u128 need = static_cast<u128>(other.word(i)) + borrow;
+        if (static_cast<u128>(words[i]) >= need) {
+            words[i] = static_cast<u64>(static_cast<u128>(words[i]) - need);
+            borrow = 0;
+        } else {
+            words[i] = static_cast<u64>((static_cast<u128>(1) << 64) +
+                                        words[i] - need);
+            borrow = 1;
+        }
+    }
+    check(borrow == 0, "BigUint::sub underflow");
+    normalize();
+}
+
+void
+BigUint::mulWord(u64 m)
+{
+    if (m == 0) {
+        words.clear();
+        return;
+    }
+    u64 carry = 0;
+    for (auto& w : words) {
+        u128 p = static_cast<u128>(w) * m + carry;
+        w = static_cast<u64>(p);
+        carry = static_cast<u64>(p >> 64);
+    }
+    if (carry)
+        words.push_back(carry);
+}
+
+void
+BigUint::addMulWord(const BigUint& a, u64 m)
+{
+    BigUint tmp = a;
+    tmp.mulWord(m);
+    add(tmp);
+}
+
+u64
+BigUint::divModWord(u64 d)
+{
+    check(d != 0, "division by zero");
+    u64 rem = 0;
+    for (size_t i = words.size(); i-- > 0;) {
+        u128 cur = (static_cast<u128>(rem) << 64) | words[i];
+        words[i] = static_cast<u64>(cur / d);
+        rem = static_cast<u64>(cur % d);
+    }
+    normalize();
+    return rem;
+}
+
+u64
+BigUint::modWord(u64 d) const
+{
+    check(d != 0, "division by zero");
+    u64 rem = 0;
+    for (size_t i = words.size(); i-- > 0;)
+        rem = static_cast<u64>(((static_cast<u128>(rem) << 64) | words[i]) % d);
+    return rem;
+}
+
+int
+BigUint::compare(const BigUint& other) const
+{
+    if (words.size() != other.words.size())
+        return words.size() < other.words.size() ? -1 : 1;
+    for (size_t i = words.size(); i-- > 0;) {
+        if (words[i] != other.words[i])
+            return words[i] < other.words[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+double
+BigUint::toDouble() const
+{
+    double acc = 0;
+    for (size_t i = words.size(); i-- > 0;)
+        acc = acc * 0x1.0p64 + static_cast<double>(words[i]);
+    return acc;
+}
+
+double
+BigUint::log2() const
+{
+    check(!isZero(), "log2 of zero");
+    size_t top = words.size() - 1;
+    double lead = static_cast<double>(words[top]);
+    return std::log2(lead) + 64.0 * static_cast<double>(top);
+}
+
+BigUint
+BigUint::product(const std::vector<u64>& factors)
+{
+    BigUint p(1);
+    for (u64 f : factors)
+        p.mulWord(f);
+    return p;
+}
+
+} // namespace madfhe

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer, just large enough to CRT-
+ * compose multi-limb RNS coefficients back to the integers for decoding.
+ * Not a general bignum: only the operations decoding needs.
+ */
+#ifndef MADFHE_SUPPORT_BIGINT_H
+#define MADFHE_SUPPORT_BIGINT_H
+
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+/** Unsigned big integer, little-endian 64-bit words, normalized (no
+ *  trailing zero words). Zero is the empty word vector. */
+class BigUint
+{
+  public:
+    BigUint() = default;
+    explicit BigUint(u64 v);
+
+    bool isZero() const { return words.empty(); }
+    size_t wordCount() const { return words.size(); }
+    u64 word(size_t i) const { return i < words.size() ? words[i] : 0; }
+
+    /** this += other. */
+    void add(const BigUint& other);
+    /** this -= other; requires this >= other. */
+    void sub(const BigUint& other);
+    /** this *= m. */
+    void mulWord(u64 m);
+    /** this += a * m (fused multiply-accumulate of a word multiple). */
+    void addMulWord(const BigUint& a, u64 m);
+    /** this /= d, returns remainder (long division by one word). */
+    u64 divModWord(u64 d);
+    /** this mod d without modifying this. */
+    u64 modWord(u64 d) const;
+
+    /** Comparison: negative/zero/positive like memcmp. */
+    int compare(const BigUint& other) const;
+    bool operator<(const BigUint& o) const { return compare(o) < 0; }
+    bool operator==(const BigUint& o) const { return compare(o) == 0; }
+
+    /** Approximate conversion to double (may overflow to inf). */
+    double toDouble() const;
+    /** floor(log2(this)) for nonzero values. */
+    double log2() const;
+
+    /** Product of a list of word-sized factors. */
+    static BigUint product(const std::vector<u64>& factors);
+
+  private:
+    void normalize();
+    std::vector<u64> words;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_BIGINT_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Common typedefs and small helpers shared by every madfhe module.
+ */
+#ifndef MADFHE_SUPPORT_COMMON_H
+#define MADFHE_SUPPORT_COMMON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace madfhe {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/**
+ * Throw std::invalid_argument when a user-supplied condition fails.
+ * Mirrors gem5's fatal(): a user error, not a library bug.
+ */
+inline void
+require(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw std::invalid_argument(msg);
+}
+
+/** Internal invariant check; a failure here is a library bug. */
+inline void
+check(bool cond, const std::string& msg)
+{
+    if (!cond)
+        throw std::logic_error(msg);
+}
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); requires x > 0. */
+constexpr unsigned
+floorLog2(u64 x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr u64
+ceilDiv(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_COMMON_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Minimal leveled logging for examples and benches. Library code itself
+ * stays silent; only tools log.
+ */
+#ifndef MADFHE_SUPPORT_LOGGING_H
+#define MADFHE_SUPPORT_LOGGING_H
+
+#include <string>
+
+namespace madfhe {
+
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Set the global threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current threshold. */
+LogLevel logLevel();
+
+/** Emit one line to stderr if level passes the threshold. */
+void logMessage(LogLevel level, const std::string& msg);
+
+inline void logDebug(const std::string& m) { logMessage(LogLevel::Debug, m); }
+inline void logInfo(const std::string& m) { logMessage(LogLevel::Info, m); }
+inline void logWarn(const std::string& m) { logMessage(LogLevel::Warn, m); }
+inline void logError(const std::string& m) { logMessage(LogLevel::Error, m); }
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_LOGGING_H

@@ -1,0 +1,121 @@
+#include "support/random.h"
+
+namespace madfhe {
+
+namespace {
+
+u64
+splitmix64(u64& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Prng::Prng(const Seed& seed) : _seed(seed), s(seed)
+{
+    bool all_zero = (s[0] | s[1] | s[2] | s[3]) == 0;
+    require(!all_zero, "Prng seed must not be all zero");
+}
+
+Prng::Prng(u64 seed)
+{
+    u64 x = seed;
+    for (auto& w : s)
+        w = splitmix64(x);
+    _seed = s;
+}
+
+u64
+Prng::next()
+{
+    u64 result = rotl(s[1] * 5, 7) * 9;
+    u64 t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+u64
+Prng::uniform(u64 bound)
+{
+    check(bound > 0, "uniform bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    u64 threshold = (0 - bound) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Prng::uniformReal()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<i64>
+Sampler::ternary(size_t n)
+{
+    std::vector<i64> out(n);
+    for (auto& v : out)
+        v = static_cast<i64>(prng.uniform(3)) - 1;
+    return out;
+}
+
+std::vector<i64>
+Sampler::sparseTernary(size_t n, size_t hamming_weight)
+{
+    require(hamming_weight <= n, "hamming weight exceeds length");
+    std::vector<i64> out(n, 0);
+    size_t placed = 0;
+    while (placed < hamming_weight) {
+        size_t idx = prng.uniform(n);
+        if (out[idx] != 0)
+            continue;
+        out[idx] = prng.uniform(2) ? 1 : -1;
+        ++placed;
+    }
+    return out;
+}
+
+std::vector<i64>
+Sampler::centeredBinomial(size_t n, unsigned k)
+{
+    std::vector<i64> out(n);
+    for (auto& v : out) {
+        i64 acc = 0;
+        for (unsigned i = 0; i < k; ++i) {
+            u64 bits = prng.next();
+            acc += static_cast<i64>(bits & 1) - static_cast<i64>((bits >> 1) & 1);
+        }
+        v = acc;
+    }
+    return out;
+}
+
+std::vector<u64>
+Sampler::uniformMod(size_t n, u64 q)
+{
+    std::vector<u64> out(n);
+    for (auto& v : out)
+        v = prng.uniform(q);
+    return out;
+}
+
+} // namespace madfhe

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic PRNG and the samplers CKKS key generation and encryption
+ * need: uniform mod-q, ternary (sparse and dense), and centered binomial
+ * as a discrete-Gaussian stand-in.
+ *
+ * The PRNG is also the substrate for the MAD "key compression" optimization
+ * (Section 3.2 of the paper): the uniformly random first polynomial of every
+ * switching key is regenerated on the fly from a short seed instead of being
+ * stored or transferred.
+ */
+#ifndef MADFHE_SUPPORT_RANDOM_H
+#define MADFHE_SUPPORT_RANDOM_H
+
+#include <array>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+/**
+ * xoshiro256** PRNG. Small, fast, and seedable so that seed-compressed
+ * switching keys can be re-expanded bit-exactly.
+ */
+class Prng
+{
+  public:
+    using Seed = std::array<u64, 4>;
+
+    /** Construct from a 4-word seed (must not be all zero). */
+    explicit Prng(const Seed& seed);
+
+    /** Construct from a single word, expanded via splitmix64. */
+    explicit Prng(u64 seed);
+
+    /** Next raw 64-bit output. */
+    u64 next();
+
+    /** Uniform value in [0, bound) with rejection sampling (bound > 0). */
+    u64 uniform(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** The seed this PRNG was constructed from. */
+    const Seed& seed() const { return _seed; }
+
+  private:
+    Seed _seed;
+    std::array<u64, 4> s;
+};
+
+/**
+ * Samplers used by CKKS key generation and encryption. All output is in
+ * signed representation (small integers), to be reduced per RNS limb later.
+ */
+class Sampler
+{
+  public:
+    explicit Sampler(u64 seed) : prng(seed) {}
+    explicit Sampler(const Prng::Seed& seed) : prng(seed) {}
+
+    /** Dense ternary vector with entries in {-1, 0, 1}, each 1/3. */
+    std::vector<i64> ternary(size_t n);
+
+    /**
+     * Sparse ternary secret of Hamming weight h (used by bootstrappable
+     * CKKS: a sparse secret keeps the modular-reduction input interval
+     * small, shrinking the degree of the sine approximation).
+     */
+    std::vector<i64> sparseTernary(size_t n, size_t hamming_weight);
+
+    /** Centered binomial with standard deviation ~sqrt(k/2); k = 21 gives
+     *  sigma ~ 3.2, the HE-standard error width. */
+    std::vector<i64> centeredBinomial(size_t n, unsigned k = 21);
+
+    /** Uniform values in [0, q). */
+    std::vector<u64> uniformMod(size_t n, u64 q);
+
+    Prng& rng() { return prng; }
+
+  private:
+    Prng prng;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_RANDOM_H

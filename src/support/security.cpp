@@ -1,0 +1,34 @@
+#include "support/security.h"
+
+#include <cmath>
+
+namespace madfhe {
+
+double
+heStdMaxLogQP128(unsigned log_n)
+{
+    switch (log_n) {
+      case 10: return 27;
+      case 11: return 54;
+      case 12: return 109;
+      case 13: return 218;
+      case 14: return 438;
+      case 15: return 881;
+      case 16: return 1761;
+      case 17: return 3524;
+      default:
+        return 27.0 * std::pow(2.0, static_cast<double>(log_n) - 10);
+    }
+}
+
+double
+estimateSecurityBits(unsigned log_n, double log_qp)
+{
+    if (log_qp <= 0)
+        return 1e9;
+    // First-order: security scales ~ N / log(Q); normalized so that the
+    // standard budget gives exactly 128 bits.
+    return 128.0 * heStdMaxLogQP128(log_n) / log_qp;
+}
+
+} // namespace madfhe

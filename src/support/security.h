@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Ring-LWE security budgeting from the Homomorphic Encryption Standard
+ * tables (ternary secret, classical attacks): for each ring degree the
+ * maximum total modulus width that retains a target security level, plus
+ * a coarse interpolated security estimate for arbitrary widths. Good for
+ * parameter search and sanity checks, not a substitute for a lattice
+ * estimator run.
+ */
+#ifndef MADFHE_SUPPORT_SECURITY_H
+#define MADFHE_SUPPORT_SECURITY_H
+
+namespace madfhe {
+
+/**
+ * Maximum log2(QP) at ring degree 2^log_n for ~128-bit classical
+ * security (HE standard table, extended by doubling per degree step).
+ */
+double heStdMaxLogQP128(unsigned log_n);
+
+/**
+ * Coarse security estimate (bits) for a given (log_n, log_qp): 128 at
+ * the standard budget, scaled inversely with the modulus width (the
+ * usual first-order lattice-hardness behavior).
+ */
+double estimateSecurityBits(unsigned log_n, double log_qp);
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_SECURITY_H

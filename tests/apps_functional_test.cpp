@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Functional application-library tests: encrypted logistic-regression
+ * training and encrypted MLP inference against their plaintext
+ * references.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/lr.h"
+#include "apps/mlp.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace apps {
+namespace {
+
+CkksParams
+lrParams()
+{
+    CkksParams p;
+    p.log_n = 10;
+    p.log_scale = 33;
+    p.first_prime_bits = 45;
+    p.num_levels = 14;
+    p.dnum = 3;
+    return p;
+}
+
+TEST(LrDataset, TwoGaussiansShape)
+{
+    auto d = LrDataset::twoGaussians(128, 3, 1);
+    EXPECT_EQ(d.features.size(), 3u);
+    EXPECT_EQ(d.sampleCount(), 128u);
+    size_t positives = 0;
+    for (double y : d.labels) {
+        EXPECT_TRUE(y == 0.0 || y == 1.0);
+        positives += (y == 1.0);
+    }
+    EXPECT_EQ(positives, 64u);
+}
+
+TEST(LrDataset, ClassesAreSeparated)
+{
+    auto d = LrDataset::twoGaussians(512, 4, 2);
+    // Mean feature value per class must differ clearly.
+    double mean_pos = 0, mean_neg = 0;
+    for (size_t i = 0; i < d.sampleCount(); ++i) {
+        if (d.labels[i] > 0.5)
+            mean_pos += d.features[0][i];
+        else
+            mean_neg += d.features[0][i];
+    }
+    EXPECT_GT(mean_pos / 256 - mean_neg / 256, 0.4);
+}
+
+TEST(SigmoidApprox, CloseToTrueSigmoidNearZero)
+{
+    for (double z = -1.5; z <= 1.5; z += 0.25) {
+        double truth = 1.0 / (1.0 + std::exp(-z));
+        EXPECT_NEAR(sigmoidApprox(z), truth, 0.02) << "z=" << z;
+    }
+}
+
+TEST(EncryptedLr, TrainerMatchesPlainReference)
+{
+    auto ctx = std::make_shared<CkksContext>(lrParams());
+    LrConfig cfg;
+    cfg.features = 4;
+    cfg.iterations = 2;
+    EncryptedLrTrainer trainer(ctx, cfg);
+
+    KeyGenerator keygen(ctx);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    SwitchingKey rlk = keygen.relinKey(sk);
+    GaloisKeys gks = keygen.galoisKeys(sk, trainer.requiredRotations());
+    CkksEncoder encoder(ctx);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+
+    auto data = LrDataset::twoGaussians(ctx->slots(), cfg.features, 7);
+    auto cts = trainer.encryptFeatures(encoder, encryptor, data);
+    auto labels = trainer.encryptLabels(encoder, encryptor, data);
+    auto enc_w =
+        trainer.train(eval, encoder, encryptor, cts, labels, rlk, gks);
+    LrModel enc_model = trainer.decryptModel(encoder, decryptor, enc_w);
+    LrModel ref_model = trainer.trainPlain(data);
+
+    ASSERT_EQ(enc_model.weights.size(), cfg.features);
+    for (size_t j = 0; j < cfg.features; ++j)
+        EXPECT_NEAR(enc_model.weights[j], ref_model.weights[j], 1e-3);
+    EXPECT_GT(enc_model.accuracy(data), 0.9);
+}
+
+TEST(EncryptedLr, RejectsInsufficientDepth)
+{
+    CkksParams p = lrParams();
+    p.num_levels = 4;
+    auto ctx = std::make_shared<CkksContext>(p);
+    LrConfig cfg;
+    cfg.iterations = 3;
+    EXPECT_THROW(EncryptedLrTrainer(ctx, cfg), std::invalid_argument);
+}
+
+TEST(BlockDenseDiagonals, MatchesDirectBlockMatvec)
+{
+    const size_t dim = 4, slots = 16;
+    std::vector<std::vector<double>> w = {
+        {1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}};
+    auto diags = blockDenseDiagonals(w, dim, slots);
+
+    // Apply the diagonal map in plain slot space.
+    std::vector<std::complex<double>> x(slots);
+    Prng rng(3);
+    for (auto& v : x)
+        v = {2 * rng.uniformReal() - 1, 0.0};
+    std::vector<std::complex<double>> y(slots, {0, 0});
+    for (const auto& [d, diag] : diags) {
+        size_t dd = static_cast<size_t>((d % int(slots) + int(slots))) %
+                    slots;
+        for (size_t k = 0; k < slots; ++k)
+            y[k] += diag[k] * x[(k + dd) % slots];
+    }
+
+    for (size_t b = 0; b < slots / dim; ++b) {
+        for (size_t r = 0; r < dim; ++r) {
+            double expect = 0;
+            if (r < w.size())
+                for (size_t c = 0; c < dim; ++c)
+                    expect += w[r][c] * x[b * dim + c].real();
+            EXPECT_NEAR(y[b * dim + r].real(), expect, 1e-12)
+                << "block " << b << " row " << r;
+        }
+    }
+}
+
+TEST(BlockDenseDiagonals, RejectsBadShapes)
+{
+    std::vector<std::vector<double>> w = {{1, 2}};
+    EXPECT_THROW(blockDenseDiagonals(w, 3, 12), std::invalid_argument);
+    EXPECT_THROW(blockDenseDiagonals(w, 4, 12), std::invalid_argument);
+    std::vector<std::vector<double>> empty;
+    EXPECT_THROW(blockDenseDiagonals(empty, 2, 8), std::invalid_argument);
+}
+
+TEST(EncryptedMlpTest, InferenceMatchesPlainForward)
+{
+    CkksParams p;
+    p.log_n = 10;
+    p.log_scale = 34;
+    p.first_prime_bits = 46;
+    p.num_levels = 5;
+    p.dnum = 2;
+    auto ctx = std::make_shared<CkksContext>(p);
+    const size_t dim = 4;
+
+    Prng rng(11);
+    auto randMat = [&](size_t rows) {
+        std::vector<std::vector<double>> m(rows, std::vector<double>(dim));
+        for (auto& row : m)
+            for (auto& v : row)
+                v = (2 * rng.uniformReal() - 1) * 0.5;
+        return m;
+    };
+    EncryptedMlp mlp(ctx, {randMat(dim), randMat(2)}, dim);
+    EXPECT_EQ(mlp.depth(), 3u);
+    EXPECT_EQ(mlp.batch(), ctx->slots() / dim);
+
+    KeyGenerator keygen(ctx);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    SwitchingKey rlk = keygen.relinKey(sk);
+    GaloisKeys gks = keygen.galoisKeys(sk, mlp.requiredRotations());
+    CkksEncoder encoder(ctx);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx);
+
+    std::vector<double> input(ctx->slots());
+    for (auto& v : input)
+        v = 2 * rng.uniformReal() - 1;
+    Ciphertext ct = encryptor.encrypt(
+        encoder.encodeReal(input, ctx->scale(), ctx->maxLevel()));
+    Ciphertext out = mlp.infer(eval, encoder, ct, gks, rlk);
+    auto slots = encoder.decode(decryptor.decrypt(out));
+
+    for (size_t b = 0; b < mlp.batch(); ++b) {
+        std::vector<double> sample(input.begin() + b * dim,
+                                   input.begin() + (b + 1) * dim);
+        auto ref = mlp.inferPlain(sample);
+        for (size_t r = 0; r < dim; ++r)
+            EXPECT_NEAR(slots[b * dim + r].real(), ref[r], 1e-3)
+                << "block " << b << " out " << r;
+    }
+}
+
+TEST(EncryptedMlpTest, RejectsInsufficientLevels)
+{
+    CkksParams p;
+    p.log_n = 10;
+    p.log_scale = 34;
+    p.first_prime_bits = 46;
+    p.num_levels = 2;
+    p.dnum = 2;
+    auto ctx = std::make_shared<CkksContext>(p);
+    std::vector<std::vector<double>> w(4, std::vector<double>(4, 0.1));
+    EXPECT_THROW(EncryptedMlp(ctx, {w, w}, 4), std::invalid_argument);
+}
+
+} // namespace
+} // namespace apps
+} // namespace madfhe

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Application schedule tests (HELR logistic regression, ResNet-20): cost
+ * scaling, bootstrap dominance, and the Figure 6 qualitative claims.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/helr.h"
+#include "apps/resnet.h"
+#include "simfhe/hardware.h"
+
+namespace madfhe {
+namespace apps {
+namespace {
+
+using simfhe::CacheConfig;
+using simfhe::Cost;
+using simfhe::CostModel;
+using simfhe::HardwareDesign;
+using simfhe::Optimizations;
+using simfhe::SchemeConfig;
+
+CostModel
+madModel(double cache_mb = 32)
+{
+    return CostModel(SchemeConfig::madOptimal(),
+                     CacheConfig::megabytes(cache_mb),
+                     Optimizations::all());
+}
+
+TEST(Helr, BootstrapCountMatchesInterval)
+{
+    HelrConfig cfg;
+    cfg.iterations = 30;
+    cfg.boot_interval = 3;
+    EXPECT_EQ(helrBootstrapCount(cfg), 10u);
+    cfg.iterations = 31;
+    EXPECT_EQ(helrBootstrapCount(cfg), 11u);
+}
+
+TEST(Helr, CostScalesWithIterations)
+{
+    CostModel m = madModel();
+    HelrConfig small;
+    small.iterations = 6;
+    HelrConfig big;
+    big.iterations = 30;
+    double c6 = helrTrainingCost(m, small).ops();
+    double c30 = helrTrainingCost(m, big).ops();
+    EXPECT_GT(c30, 4.0 * c6);
+    EXPECT_LT(c30, 6.0 * c6);
+}
+
+TEST(Helr, MadReducesTrainingDram)
+{
+    SchemeConfig s = SchemeConfig::baselineJung();
+    CostModel base(s, CacheConfig::megabytes(6), Optimizations::none());
+    CostModel opt(s, CacheConfig::megabytes(6), Optimizations::all());
+    // At 6 MB only O(1)/O(beta) caching plus the algorithmic opts apply
+    // (the GPU+MAD-6 bar of Figure 6(a)).
+    double b = helrTrainingCost(base).bytes();
+    double o = helrTrainingCost(opt).bytes();
+    EXPECT_LT(o, b);
+}
+
+TEST(Helr, Figure6aGpuSpeedups)
+{
+    // GPU+MAD-6 vs GPU baseline-6: the paper reports 3.5x; GPU+MAD-32 vs
+    // baseline: 17x. Our model must show large, ordered gains.
+    SchemeConfig s = SchemeConfig::baselineJung();
+    HardwareDesign gpu = HardwareDesign::gpu();
+
+    auto runtime = [&](double mb, Optimizations o, SchemeConfig cfg) {
+        CostModel m(cfg, CacheConfig::megabytes(mb), o);
+        return simfhe::runtimeSec(gpu.withCache(mb), helrTrainingCost(m));
+    };
+    double base6 = runtime(6, Optimizations::none(), s);
+    double mad6 = runtime(6, Optimizations::all(), s);
+    double mad32 =
+        runtime(32, Optimizations::all(), SchemeConfig::madOptimal());
+
+    EXPECT_GT(base6 / mad6, 1.3);  // clear win at the same cache size
+    EXPECT_GT(base6 / mad32, 2.5); // bigger win with the 32 MB cache
+    EXPECT_GT(mad6 / mad32, 1.3);  // and 32 MB beats 6 MB
+}
+
+TEST(Resnet, BootstrapsDominateRuntime)
+{
+    CostModel m = madModel();
+    ResnetConfig cfg;
+    Cost total = resnetInferenceCost(m, cfg);
+    Cost boots = m.bootstrap() * static_cast<double>(cfg.bootstraps);
+    // Section 1: bootstrapping consumes ~80% of ML runtime.
+    EXPECT_GT(boots.ops() / total.ops(), 0.5);
+    EXPECT_GT(boots.bytes() / total.bytes(), 0.5);
+}
+
+TEST(Resnet, MadReducesInference)
+{
+    SchemeConfig s = SchemeConfig::baselineJung();
+    HardwareDesign bts = HardwareDesign::bts();
+
+    auto runtime = [&](double mb, Optimizations o, SchemeConfig cfg) {
+        CostModel m(cfg, CacheConfig::megabytes(mb), o);
+        return simfhe::runtimeSec(bts.withCache(mb),
+                                  resnetInferenceCost(m));
+    };
+    // BTS+MAD at growing cache sizes (Figure 6(g)): monotone improvement.
+    double mad32 =
+        runtime(32, Optimizations::all(), SchemeConfig::madOptimal());
+    double mad512 =
+        runtime(512, Optimizations::all(), SchemeConfig::madOptimal());
+    EXPECT_LE(mad512, mad32 * 1.0001);
+
+    // And MAD at 32 MB beats the unoptimized model at 512 MB.
+    double base512 = runtime(512, Optimizations::none(), s);
+    EXPECT_LT(mad32, base512);
+}
+
+TEST(Resnet, CostScalesWithLayers)
+{
+    CostModel m = madModel();
+    ResnetConfig a;
+    a.conv_layers = 10;
+    a.bootstraps = 9;
+    ResnetConfig b;
+    b.conv_layers = 20;
+    b.bootstraps = 19;
+    EXPECT_GT(resnetInferenceCost(m, b).ops(),
+              1.7 * resnetInferenceCost(m, a).ops());
+}
+
+
+TEST(Helr, SparseBootstrapsCostLessThanFullyPacked)
+{
+    CostModel m = madModel();
+    HelrConfig sparse;           // default: 2^13 boot slots
+    HelrConfig full;
+    full.boot_slots = 0;         // fully packed
+    EXPECT_LT(helrTrainingCost(m, sparse).ops(),
+              helrTrainingCost(m, full).ops());
+}
+
+TEST(Helr, MoreRotationsCostMore)
+{
+    CostModel m = madModel();
+    HelrConfig few;
+    few.rotations_per_iter = 8;
+    HelrConfig many;
+    many.rotations_per_iter = 32;
+    EXPECT_LT(helrTrainingCost(m, few).ops(),
+              helrTrainingCost(m, many).ops());
+}
+
+TEST(Resnet, MoreDiagonalsCostMore)
+{
+    CostModel m = madModel();
+    ResnetConfig small;
+    small.conv_diagonals = 9;
+    ResnetConfig big;
+    big.conv_diagonals = 49;
+    EXPECT_LT(resnetInferenceCost(m, small).ops(),
+              resnetInferenceCost(m, big).ops());
+}
+
+} // namespace
+} // namespace apps
+} // namespace madfhe

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * RNS basis and fast basis-extension tests. The fast conversion is exact
+ * up to an additive multiple of Q in [0, k*Q); for values well below Q/2
+ * there is no overshoot term at all when interpreted centered, so we test
+ * both the exact small-value regime and the bounded-error regime.
+ */
+#include <gtest/gtest.h>
+
+#include "rns/basis.h"
+#include "rns/primegen.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace {
+
+RnsBasis
+makeBasis(unsigned bits, size_t count, u64 n = 1 << 8,
+          const std::vector<u64>& exclude = {})
+{
+    auto primes = generateNttPrimes(bits, n, count, exclude);
+    std::vector<Modulus> mods;
+    for (u64 p : primes)
+        mods.emplace_back(p);
+    return RnsBasis(std::move(mods));
+}
+
+TEST(RnsBasis, InvPuncturedIsConsistent)
+{
+    auto basis = makeBasis(40, 5);
+    // For each i: (Q/q_i) * invPunctured(i) = 1 mod q_i.
+    for (size_t i = 0; i < basis.size(); ++i) {
+        const Modulus& qi = basis[i];
+        u64 punct = 1;
+        for (size_t j = 0; j < basis.size(); ++j) {
+            if (j == i)
+                continue;
+            punct = qi.mul(punct, qi.reduce(basis[j].value()));
+        }
+        EXPECT_EQ(qi.mul(punct, basis.invPunctured(i)), 1u);
+    }
+}
+
+TEST(RnsBasis, ProductModMatchesDirectReduction)
+{
+    auto basis = makeBasis(30, 3);
+    Modulus p(998244353);
+    u128 q = 1;
+    for (size_t i = 0; i < basis.size(); ++i)
+        q *= basis[i].value();
+    EXPECT_EQ(basis.productMod(p), static_cast<u64>(q % p.value()));
+}
+
+TEST(RnsBasis, LogProduct)
+{
+    auto basis = makeBasis(40, 4);
+    EXPECT_NEAR(basis.logProduct(), 160.0, 0.2);
+}
+
+TEST(RnsBasis, RejectsDuplicates)
+{
+    std::vector<Modulus> mods{Modulus(998244353), Modulus(998244353)};
+    EXPECT_THROW(RnsBasis(std::move(mods)), std::invalid_argument);
+}
+
+TEST(BasisConverter, SmallValuesConvertExactly)
+{
+    const size_t n = 64;
+    auto from = makeBasis(30, 3, n);
+    std::vector<u64> used;
+    for (size_t i = 0; i < from.size(); ++i)
+        used.push_back(from[i].value());
+    auto to = makeBasis(31, 2, n, used);
+    BasisConverter conv(from, to);
+
+    // Values small relative to Q convert exactly.
+    Prng rng(9);
+    std::vector<std::vector<u64>> in(from.size(), std::vector<u64>(n));
+    std::vector<i64> truth(n);
+    for (size_t c = 0; c < n; ++c) {
+        i64 v = static_cast<i64>(rng.uniform(1ULL << 20)) - (1 << 19);
+        truth[c] = v;
+        for (size_t i = 0; i < from.size(); ++i)
+            in[i][c] = from[i].fromSigned(v);
+    }
+    std::vector<const u64*> in_ptrs;
+    for (auto& limb : in)
+        in_ptrs.push_back(limb.data());
+    std::vector<std::vector<u64>> out(to.size(), std::vector<u64>(n));
+    std::vector<u64*> out_ptrs;
+    for (auto& limb : out)
+        out_ptrs.push_back(limb.data());
+
+    conv.convert(in_ptrs, n, out_ptrs);
+    for (size_t j = 0; j < to.size(); ++j)
+        for (size_t c = 0; c < n; ++c)
+            EXPECT_EQ(out[j][c], to[j].fromSigned(truth[c]))
+                << "limb " << j << " coeff " << c;
+}
+
+TEST(BasisConverter, LargeValuesErrIsMultipleOfQBelowKQ)
+{
+    // Use tiny moduli so we can do exact integer arithmetic in u128.
+    const size_t n = 32;
+    std::vector<Modulus> fm{Modulus(257), Modulus(769), Modulus(3329)};
+    RnsBasis from(fm);
+    std::vector<Modulus> tm{Modulus(7681)};
+    RnsBasis to(tm);
+    BasisConverter conv(from, to);
+
+    u128 bigq = u128(257) * 769 * 3329;
+    Prng rng(10);
+    std::vector<std::vector<u64>> in(3, std::vector<u64>(n));
+    std::vector<u128> truth(n);
+    for (size_t c = 0; c < n; ++c) {
+        u128 v = (static_cast<u128>(rng.next()) << 16 | rng.uniform(65536))
+                 % bigq;
+        truth[c] = v;
+        in[0][c] = static_cast<u64>(v % 257);
+        in[1][c] = static_cast<u64>(v % 769);
+        in[2][c] = static_cast<u64>(v % 3329);
+    }
+    std::vector<const u64*> in_ptrs{in[0].data(), in[1].data(), in[2].data()};
+    std::vector<u64> out(n);
+    std::vector<u64*> out_ptrs{out.data()};
+    conv.convert(in_ptrs, n, out_ptrs, ConvMode::Approx);
+
+    for (size_t c = 0; c < n; ++c) {
+        // out = (truth + e*Q) mod p for some 0 <= e < k.
+        bool ok = false;
+        for (u64 e = 0; e < 3 && !ok; ++e) {
+            u64 expect = static_cast<u64>((truth[c] + e * bigq) % 7681);
+            ok = (out[c] == expect);
+        }
+        EXPECT_TRUE(ok) << "coeff " << c;
+    }
+}
+
+TEST(BasisConverter, ConvertLimbMatchesFullConvert)
+{
+    const size_t n = 128;
+    auto from = makeBasis(35, 4, n);
+    std::vector<u64> used;
+    for (size_t i = 0; i < from.size(); ++i)
+        used.push_back(from[i].value());
+    auto to = makeBasis(36, 3, n, used);
+    BasisConverter conv(from, to);
+
+    Sampler s(123);
+    std::vector<std::vector<u64>> in;
+    std::vector<const u64*> in_ptrs;
+    for (size_t i = 0; i < from.size(); ++i) {
+        in.push_back(s.uniformMod(n, from[i].value()));
+        in_ptrs.push_back(in.back().data());
+    }
+    std::vector<std::vector<u64>> full(to.size(), std::vector<u64>(n));
+    std::vector<u64*> full_ptrs;
+    for (auto& limb : full)
+        full_ptrs.push_back(limb.data());
+    conv.convert(in_ptrs, n, full_ptrs);
+
+    for (size_t j = 0; j < to.size(); ++j) {
+        std::vector<u64> single(n);
+        conv.convertLimb(in_ptrs, n, j, single.data());
+        EXPECT_EQ(single, full[j]) << "target limb " << j;
+    }
+}
+
+TEST(BasisConverter, RejectsOverlappingBases)
+{
+    auto from = makeBasis(30, 2);
+    EXPECT_THROW(BasisConverter(from, from), std::invalid_argument);
+}
+
+class ConverterSweep : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ConverterSweep, SmallValueExactnessAcrossShapes)
+{
+    auto [from_count, to_count] = GetParam();
+    const size_t n = 32;
+    auto from = makeBasis(32, from_count, n);
+    std::vector<u64> used;
+    for (size_t i = 0; i < from.size(); ++i)
+        used.push_back(from[i].value());
+    auto to = makeBasis(33, to_count, n, used);
+    BasisConverter conv(from, to);
+
+    Prng rng(from_count * 10 + to_count);
+    std::vector<std::vector<u64>> in(from.size(), std::vector<u64>(n));
+    std::vector<i64> truth(n);
+    for (size_t c = 0; c < n; ++c) {
+        i64 v = static_cast<i64>(rng.uniform(1ULL << 24)) - (1 << 23);
+        truth[c] = v;
+        for (size_t i = 0; i < from.size(); ++i)
+            in[i][c] = from[i].fromSigned(v);
+    }
+    std::vector<const u64*> in_ptrs;
+    for (auto& limb : in)
+        in_ptrs.push_back(limb.data());
+    std::vector<std::vector<u64>> out(to.size(), std::vector<u64>(n));
+    std::vector<u64*> out_ptrs;
+    for (auto& limb : out)
+        out_ptrs.push_back(limb.data());
+    conv.convert(in_ptrs, n, out_ptrs);
+    for (size_t j = 0; j < to.size(); ++j)
+        for (size_t c = 0; c < n; ++c)
+            EXPECT_EQ(out[j][c], to[j].fromSigned(truth[c]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConverterSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 3, 6)));
+
+} // namespace
+} // namespace madfhe

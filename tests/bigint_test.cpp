@@ -1,0 +1,150 @@
+/**
+ * @file
+ * BigUint tests: arithmetic identities and the CRT-composition use case.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rns/modarith.h"
+#include "support/bigint.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace {
+
+TEST(BigUint, ConstructionAndZero)
+{
+    BigUint z;
+    EXPECT_TRUE(z.isZero());
+    BigUint one(1);
+    EXPECT_FALSE(one.isZero());
+    EXPECT_EQ(one.word(0), 1u);
+    BigUint from_zero(0);
+    EXPECT_TRUE(from_zero.isZero());
+}
+
+TEST(BigUint, AddCarriesAcrossWords)
+{
+    BigUint a(~0ULL);
+    BigUint b(1);
+    a.add(b);
+    EXPECT_EQ(a.wordCount(), 2u);
+    EXPECT_EQ(a.word(0), 0u);
+    EXPECT_EQ(a.word(1), 1u);
+}
+
+TEST(BigUint, SubBorrowsAndNormalizes)
+{
+    BigUint a(~0ULL);
+    a.add(BigUint(1)); // 2^64
+    a.sub(BigUint(1)); // 2^64 - 1
+    EXPECT_EQ(a.wordCount(), 1u);
+    EXPECT_EQ(a.word(0), ~0ULL);
+    BigUint b(5);
+    b.sub(BigUint(5));
+    EXPECT_TRUE(b.isZero());
+}
+
+TEST(BigUint, SubUnderflowThrows)
+{
+    BigUint a(3);
+    EXPECT_THROW(a.sub(BigUint(4)), std::logic_error);
+}
+
+TEST(BigUint, MulWordAndDivModRoundTrip)
+{
+    Prng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        u64 base = rng.next();
+        u64 m = rng.next() | 1;
+        BigUint a(base);
+        a.mulWord(m);
+        a.add(BigUint(7));
+        BigUint b = a;
+        u64 rem = b.divModWord(m);
+        // a = base*m + 7, so a/m == base when 7 < m, rem == 7.
+        if (m > 7) {
+            EXPECT_EQ(rem, 7u);
+            EXPECT_EQ(b.word(0), base);
+        }
+    }
+}
+
+TEST(BigUint, ModWordMatchesDivMod)
+{
+    Prng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        BigUint a(rng.next());
+        a.mulWord(rng.next() | 1);
+        a.add(BigUint(rng.next()));
+        u64 d = (rng.next() | 1);
+        BigUint b = a;
+        EXPECT_EQ(a.modWord(d), b.divModWord(d));
+    }
+}
+
+TEST(BigUint, CompareOrdersCorrectly)
+{
+    BigUint small(5);
+    BigUint big(7);
+    BigUint wide(1);
+    wide.mulWord(~0ULL);
+    wide.mulWord(~0ULL);
+    EXPECT_LT(small.compare(big), 0);
+    EXPECT_GT(big.compare(small), 0);
+    EXPECT_EQ(small.compare(BigUint(5)), 0);
+    EXPECT_LT(big.compare(wide), 0);
+}
+
+TEST(BigUint, ToDoubleAndLog2)
+{
+    BigUint a(1);
+    for (int i = 0; i < 3; ++i)
+        a.mulWord(1ULL << 40); // 2^120
+    EXPECT_NEAR(a.log2(), 120.0, 1e-9);
+    EXPECT_NEAR(a.toDouble(), std::pow(2.0, 120.0), std::pow(2.0, 100.0));
+}
+
+TEST(BigUint, ProductOfFactors)
+{
+    std::vector<u64> factors = {3, 5, 7, 11};
+    BigUint p = BigUint::product(factors);
+    EXPECT_EQ(p.word(0), 1155u);
+}
+
+TEST(BigUint, CrtCompositionRecoversValue)
+{
+    // Value v < q1*q2*q3 recovered from residues via Garner-free direct
+    // composition: sum_i ((v_i * qt_i) mod q_i) * qs_i - k*Q.
+    const u64 q1 = 998244353, q2 = 985661441, q3 = 976224257;
+    BigUint bigq = BigUint::product({q1, q2, q3});
+    Prng rng(3);
+    for (int t = 0; t < 50; ++t) {
+        u64 v64 = rng.next() >> 8;
+        BigUint v(v64);
+
+        Modulus m1(q1), m2(q2), m3(q3);
+        u64 r1 = v.modWord(q1), r2 = v.modWord(q2), r3 = v.modWord(q3);
+        // Compose using Q/q_i and inverses.
+        BigUint acc;
+        struct Part { const Modulus* m; u64 r; u64 other1, other2; };
+        Part parts[3] = {{&m1, r1, q2, q3}, {&m2, r2, q1, q3},
+                         {&m3, r3, q1, q2}};
+        for (auto& p : parts) {
+            u64 qstar_mod = p.m->mul(p.m->reduce(p.other1),
+                                     p.m->reduce(p.other2));
+            u64 qtilde = p.m->inverse(qstar_mod);
+            u64 scaled = p.m->mul(p.r, qtilde);
+            BigUint qs = BigUint::product({p.other1, p.other2});
+            acc.addMulWord(qs, scaled);
+        }
+        while (!(acc < bigq))
+            acc.sub(bigq);
+        EXPECT_EQ(acc.word(0), v64);
+        EXPECT_EQ(acc.wordCount(), v64 ? 1u : 0u);
+    }
+}
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Chebyshev machinery tests: interpolation accuracy, division identity,
+ * and homomorphic evaluation against the plain Clenshaw reference.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boot/chebyshev.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+
+TEST(ChebyshevInterpolate, ReproducesPolynomials)
+{
+    // f(x) = 4x^3 - 3x = T_3 exactly.
+    auto c = chebyshevInterpolate(
+        [](double x) { return 4 * x * x * x - 3 * x; }, 5);
+    EXPECT_NEAR(c[3], 1.0, 1e-12);
+    for (size_t k : {0u, 1u, 2u, 4u, 5u})
+        EXPECT_NEAR(c[k], 0.0, 1e-12);
+}
+
+TEST(ChebyshevInterpolate, ApproximatesSmoothFunctions)
+{
+    auto f = [](double x) { return std::exp(x); };
+    auto c = chebyshevInterpolate(f, 15);
+    for (double x = -1.0; x <= 1.0; x += 0.05)
+        EXPECT_NEAR(chebyshevEval(c, x), f(x), 1e-12);
+}
+
+TEST(ChebyshevInterpolate, SineWithLargeFrequency)
+{
+    // The bootstrapping target: sin(2*pi*K*x), K = 8 -> needs degree
+    // beyond 2*pi*K ~ 50 to converge.
+    const double a = 2.0 * std::acos(-1.0) * 8.0;
+    auto f = [a](double x) { return std::sin(a * x); };
+    auto c = chebyshevInterpolate(f, 71);
+    double max_err = 0;
+    for (double x = -1.0; x <= 1.0; x += 0.01)
+        max_err = std::max(max_err, std::abs(chebyshevEval(c, x) - f(x)));
+    EXPECT_LT(max_err, 1e-5);
+}
+
+TEST(ChebyshevEvalPlain, ClenshawMatchesDirectSum)
+{
+    std::vector<double> c = {0.5, -1.25, 0.75, 0.3, -0.1};
+    for (double x = -1.0; x <= 1.0; x += 0.1) {
+        // Direct: T_k via recurrence.
+        double t0 = 1, t1 = x, direct = c[0] + c[1] * x;
+        for (size_t k = 2; k < c.size(); ++k) {
+            double t2 = 2 * x * t1 - t0;
+            direct += c[k] * t2;
+            t0 = t1;
+            t1 = t2;
+        }
+        EXPECT_NEAR(chebyshevEval(c, x), direct, 1e-12);
+    }
+}
+
+class HomomorphicCheb : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CkksParams p = CkksParams::unitTest();
+        p.num_levels = 12; // room for depth-8 evaluation
+        p.log_scale = 35;
+        p.first_prime_bits = 45;
+        h = std::make_unique<CkksHarness>(p);
+    }
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(HomomorphicCheb, LowDegreeMatchesReference)
+{
+    auto c = chebyshevInterpolate(
+        [](double x) { return 0.25 + x - 0.5 * x * x; }, 7);
+    ChebyshevEvaluator cheb(h->ctx, c);
+
+    auto xs = test::randomReals(h->ctx->slots(), 1);
+    Plaintext pt = h->encoder->encodeReal(xs, h->ctx->scale(),
+                                          h->ctx->maxLevel());
+    Ciphertext ct = h->encryptor->encrypt(pt);
+    Ciphertext out = cheb.evaluate(*h->eval, *h->encoder, ct, h->rlk);
+    auto w = h->encoder->decode(h->decryptor->decrypt(out));
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double expect = 0.25 + xs[i] - 0.5 * xs[i] * xs[i];
+        EXPECT_NEAR(w[i].real(), expect, 5e-3) << "slot " << i;
+    }
+}
+
+TEST_F(HomomorphicCheb, DegreeSeventeenUsesGiantSteps)
+{
+    auto f = [](double x) { return std::cos(3.0 * x); };
+    auto c = chebyshevInterpolate(f, 17);
+    ChebyshevEvaluator cheb(h->ctx, c);
+    EXPECT_LE(cheb.depth(), 8u);
+
+    auto xs = test::randomReals(h->ctx->slots(), 2);
+    Plaintext pt = h->encoder->encodeReal(xs, h->ctx->scale(),
+                                          h->ctx->maxLevel());
+    Ciphertext ct = h->encryptor->encrypt(pt);
+    Ciphertext out = cheb.evaluate(*h->eval, *h->encoder, ct, h->rlk);
+    auto w = h->encoder->decode(h->decryptor->decrypt(out));
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_NEAR(w[i].real(), f(xs[i]), 1e-2) << "slot " << i;
+}
+
+TEST_F(HomomorphicCheb, RejectsTrivialSeries)
+{
+    EXPECT_THROW(ChebyshevEvaluator(h->ctx, {1.0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace madfhe

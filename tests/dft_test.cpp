@@ -1,0 +1,156 @@
+/**
+ * @file
+ * DFT factorization tests: the grouped butterfly factors must reproduce
+ * the dense special DFT matrix E (and its inverse) exactly, including the
+ * bit-reversal order contract between CoeffToSlot and SlotToCoeff.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boot/dft.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace {
+
+std::vector<std::complex<double>>
+randomVec(size_t n, u64 seed)
+{
+    Prng rng(seed);
+    std::vector<std::complex<double>> v(n);
+    for (auto& z : v)
+        z = {2 * rng.uniformReal() - 1, 2 * rng.uniformReal() - 1};
+    return v;
+}
+
+double
+maxDiff(const std::vector<std::complex<double>>& a,
+        const std::vector<std::complex<double>>& b)
+{
+    double m = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+std::vector<std::complex<double>>
+applyFactors(const std::vector<DiagonalMap>& factors,
+             std::vector<std::complex<double>> x)
+{
+    for (const auto& f : factors)
+        x = applyDiagonalMap(f, x);
+    return x;
+}
+
+std::vector<std::complex<double>>
+denseApply(const std::vector<std::vector<std::complex<double>>>& m,
+           const std::vector<std::complex<double>>& x)
+{
+    std::vector<std::complex<double>> y(x.size(), {0, 0});
+    for (size_t j = 0; j < x.size(); ++j)
+        for (size_t k = 0; k < x.size(); ++k)
+            y[j] += m[j][k] * x[k];
+    return y;
+}
+
+TEST(Dft, ComposeMatchesSequentialApplication)
+{
+    const size_t n = 16;
+    auto f1 = slotToCoeffFactors(n, 4); // 4 single-stage factors
+    auto x = randomVec(n, 1);
+    auto seq = applyDiagonalMap(f1[1], applyDiagonalMap(f1[0], x));
+    auto composed = composeDiagonalMaps(f1[1], f1[0], n);
+    EXPECT_LT(maxDiff(applyDiagonalMap(composed, x), seq), 1e-12);
+}
+
+TEST(Dft, SlotToCoeffFactorsEqualDenseE)
+{
+    const size_t n = 32;
+    auto e = specialDftMatrix(n);
+    auto factors = slotToCoeffFactors(n, 5); // log2(32) stages, one each
+    auto w = randomVec(n, 2);
+    // Factors expect bit-reversed input.
+    auto got = applyFactors(factors, bitReverse(w));
+    auto expect = denseApply(e, w);
+    EXPECT_LT(maxDiff(got, expect), 1e-9);
+}
+
+TEST(Dft, GroupedFactorsEqualUngrouped)
+{
+    const size_t n = 64;
+    auto w = randomVec(n, 3);
+    auto fine = applyFactors(slotToCoeffFactors(n, 6), bitReverse(w));
+    for (size_t iters : {1u, 2u, 3u}) {
+        auto coarse =
+            applyFactors(slotToCoeffFactors(n, iters), bitReverse(w));
+        EXPECT_LT(maxDiff(fine, coarse), 1e-9) << "iters " << iters;
+    }
+}
+
+TEST(Dft, CoeffToSlotInvertsSlotToCoeff)
+{
+    const size_t n = 32;
+    auto w = randomVec(n, 4);
+    auto e = specialDftMatrix(n);
+    auto z = denseApply(e, w);
+    // CtoS(z) should equal bitrev(w).
+    auto got = applyFactors(coeffToSlotFactors(n, 3), z);
+    EXPECT_LT(maxDiff(got, bitReverse(w)), 1e-9);
+}
+
+TEST(Dft, RoundTripWithScaleFactors)
+{
+    const size_t n = 16;
+    const double c = 0.015625, cinv = 64.0;
+    auto w = randomVec(n, 5);
+    auto e = specialDftMatrix(n);
+    auto z = denseApply(e, w);
+    auto mid = applyFactors(coeffToSlotFactors(n, 2, c), z);
+    auto back = applyFactors(slotToCoeffFactors(n, 2, cinv), mid);
+    EXPECT_LT(maxDiff(back, z), 1e-9);
+}
+
+TEST(Dft, FactorDiagonalCountsStayCompact)
+{
+    // Grouping g radix-2 stages yields at most 2^(g+1) - 1 diagonals.
+    const size_t n = 256; // 8 stages
+    for (size_t iters : {2u, 4u, 8u}) {
+        auto factors = slotToCoeffFactors(n, iters);
+        size_t per_group = 8 / iters;
+        size_t bound = (size_t(2) << per_group) - 1;
+        for (const auto& f : factors)
+            EXPECT_LE(f.size(), bound) << "iters " << iters;
+    }
+}
+
+TEST(Dft, RejectsBadIterCounts)
+{
+    EXPECT_THROW(slotToCoeffFactors(16, 0), std::invalid_argument);
+    EXPECT_THROW(slotToCoeffFactors(16, 5), std::invalid_argument);
+    EXPECT_THROW(slotToCoeffFactors(17, 2), std::invalid_argument);
+}
+
+class DftSweep : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(DftSweep, FactorizationIsExactAcrossShapes)
+{
+    auto [logn, iters] = GetParam();
+    const size_t n = size_t(1) << logn;
+    if (iters > logn)
+        GTEST_SKIP();
+    auto w = randomVec(n, logn * 10 + iters);
+    auto expect = denseApply(specialDftMatrix(n), w);
+    auto got = applyFactors(slotToCoeffFactors(n, iters), bitReverse(w));
+    EXPECT_LT(maxDiff(got, expect), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DftSweep,
+    ::testing::Combine(::testing::Values(size_t(3), size_t(5), size_t(7)),
+                       ::testing::Values(size_t(1), size_t(2), size_t(3),
+                                         size_t(5))));
+
+} // namespace
+} // namespace madfhe

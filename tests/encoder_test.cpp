@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Encoder tests: canonical-embedding roundtrip precision, slot semantics
+ * under the automorphisms (rotation/conjugation act on slots exactly as
+ * Table 2 specifies), and exact CRT decode.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::maxError;
+using test::randomSlots;
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ctx = std::make_shared<CkksContext>(CkksParams::unitTest());
+        encoder = std::make_unique<CkksEncoder>(ctx);
+    }
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksEncoder> encoder;
+};
+
+TEST_F(EncoderTest, RoundTripPrecision)
+{
+    auto v = randomSlots(ctx->slots(), 1);
+    Plaintext pt = encoder->encode(v, ctx->scale(), 3);
+    auto w = encoder->decode(pt);
+    ASSERT_EQ(w.size(), ctx->slots());
+    EXPECT_LT(maxError(v, w), 1e-6);
+}
+
+TEST_F(EncoderTest, RealRoundTrip)
+{
+    auto v = test::randomReals(ctx->slots(), 2);
+    Plaintext pt = encoder->encodeReal(v, ctx->scale(), 2);
+    auto w = encoder->decode(pt);
+    for (size_t i = 0; i < v.size(); ++i) {
+        EXPECT_NEAR(w[i].real(), v[i], 1e-6);
+        EXPECT_NEAR(w[i].imag(), 0.0, 1e-6);
+    }
+}
+
+TEST_F(EncoderTest, ScalarFillsAllSlots)
+{
+    Plaintext pt = encoder->encodeScalar({0.5, -0.25}, ctx->scale(), 1);
+    auto w = encoder->decode(pt);
+    for (auto z : w) {
+        EXPECT_NEAR(z.real(), 0.5, 1e-6);
+        EXPECT_NEAR(z.imag(), -0.25, 1e-6);
+    }
+}
+
+TEST_F(EncoderTest, ShortInputIsZeroPadded)
+{
+    std::vector<std::complex<double>> v = {{1.0, 0.0}, {2.0, 0.0}};
+    Plaintext pt = encoder->encode(v, ctx->scale(), 1);
+    auto w = encoder->decode(pt);
+    EXPECT_NEAR(w[0].real(), 1.0, 1e-6);
+    EXPECT_NEAR(w[1].real(), 2.0, 1e-6);
+    for (size_t i = 2; i < w.size(); ++i)
+        EXPECT_LT(std::abs(w[i]), 1e-6);
+}
+
+TEST_F(EncoderTest, EncodingIsAdditive)
+{
+    auto a = randomSlots(ctx->slots(), 3);
+    auto b = randomSlots(ctx->slots(), 4);
+    Plaintext pa = encoder->encode(a, ctx->scale(), 2);
+    Plaintext pb = encoder->encode(b, ctx->scale(), 2);
+    pa.poly.add(pb.poly);
+    auto w = encoder->decode(pa);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(w[i] - (a[i] + b[i])), 1e-5);
+}
+
+TEST_F(EncoderTest, RotationAutomorphismShiftsSlots)
+{
+    auto v = randomSlots(ctx->slots(), 5);
+    Plaintext pt = encoder->encode(v, ctx->scale(), 2);
+    const int step = 3;
+    u64 t = ctx->ring()->galoisElt(step);
+    Plaintext rotated;
+    rotated.poly = pt.poly.automorph(t);
+    rotated.scale = pt.scale;
+    auto w = encoder->decode(rotated);
+    const size_t slots = ctx->slots();
+    for (size_t k = 0; k < slots; ++k)
+        EXPECT_LT(std::abs(w[k] - v[(k + step) % slots]), 1e-5)
+            << "slot " << k;
+}
+
+TEST_F(EncoderTest, ConjugationAutomorphismConjugatesSlots)
+{
+    auto v = randomSlots(ctx->slots(), 6);
+    Plaintext pt = encoder->encode(v, ctx->scale(), 2);
+    Plaintext conj;
+    conj.poly = pt.poly.automorph(ctx->ring()->conjugateElt());
+    conj.scale = pt.scale;
+    auto w = encoder->decode(conj);
+    for (size_t k = 0; k < v.size(); ++k)
+        EXPECT_LT(std::abs(w[k] - std::conj(v[k])), 1e-5);
+}
+
+TEST_F(EncoderTest, MultiplicationOfEncodingsMultipliesSlots)
+{
+    auto a = randomSlots(ctx->slots(), 7);
+    auto b = randomSlots(ctx->slots(), 8);
+    Plaintext pa = encoder->encode(a, ctx->scale(), 2);
+    Plaintext pb = encoder->encode(b, ctx->scale(), 2);
+    pa.poly.mulPointwise(pb.poly);
+    pa.scale = pa.scale * pb.scale;
+    auto w = encoder->decode(pa);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(w[i] - a[i] * b[i]), 1e-5);
+}
+
+TEST_F(EncoderTest, RejectsBadArguments)
+{
+    std::vector<std::complex<double>> too_many(ctx->slots() + 1);
+    EXPECT_THROW(encoder->encode(too_many, ctx->scale(), 1),
+                 std::invalid_argument);
+    std::vector<std::complex<double>> ok(4);
+    EXPECT_THROW(encoder->encode(ok, -1.0, 1), std::invalid_argument);
+    EXPECT_THROW(encoder->encode(ok, ctx->scale(), 0),
+                 std::invalid_argument);
+    EXPECT_THROW(encoder->encode(ok, ctx->scale(), ctx->maxLevel() + 1),
+                 std::invalid_argument);
+}
+
+class EncoderLevelSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(EncoderLevelSweep, RoundTripAtEveryLevel)
+{
+    auto ctx = std::make_shared<CkksContext>(CkksParams::unitTest());
+    CkksEncoder encoder(ctx);
+    size_t level = GetParam();
+    auto v = randomSlots(ctx->slots(), 100 + level);
+    Plaintext pt = encoder.encode(v, ctx->scale(), level);
+    EXPECT_LT(maxError(v, encoder.decode(pt)), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, EncoderLevelSweep,
+                         ::testing::Values(size_t(1), size_t(2), size_t(3),
+                                           size_t(4), size_t(5)));
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Evaluator algebraic-property tests: homomorphic operations must respect
+ * the ring axioms of the plaintext space (commutativity, associativity,
+ * distributivity), rotation composition, and the interaction of level
+ * management with every operation.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::maxError;
+using test::randomSlots;
+
+class EvaluatorProps : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        h = std::make_unique<CkksHarness>(CkksParams::unitTest());
+    }
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(EvaluatorProps, AdditionCommutesAndAssociates)
+{
+    auto a = randomSlots(h->ctx->slots(), 1);
+    auto b = randomSlots(h->ctx->slots(), 2);
+    auto c = randomSlots(h->ctx->slots(), 3);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(b, 3);
+    auto cc = h->encryptSlots(c, 3);
+
+    auto ab = h->eval->add(ca, cb);
+    auto ba = h->eval->add(cb, ca);
+    EXPECT_LT(maxError(h->decryptSlots(ab), h->decryptSlots(ba)), 1e-9);
+
+    auto abc1 = h->eval->add(h->eval->add(ca, cb), cc);
+    auto abc2 = h->eval->add(ca, h->eval->add(cb, cc));
+    // Same additions in different order are bit-identical in RNS.
+    EXPECT_TRUE(abc1.c0.equals(abc2.c0));
+    EXPECT_TRUE(abc1.c1.equals(abc2.c1));
+}
+
+TEST_F(EvaluatorProps, MultiplicationCommutes)
+{
+    auto a = randomSlots(h->ctx->slots(), 4);
+    auto b = randomSlots(h->ctx->slots(), 5);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(b, 3);
+    auto ab = h->decryptSlots(h->eval->mul(ca, cb, h->rlk));
+    auto ba = h->decryptSlots(h->eval->mul(cb, ca, h->rlk));
+    EXPECT_LT(maxError(ab, ba), 1e-6);
+}
+
+TEST_F(EvaluatorProps, MultiplicationDistributesOverAddition)
+{
+    auto a = randomSlots(h->ctx->slots(), 6);
+    auto b = randomSlots(h->ctx->slots(), 7);
+    auto c = randomSlots(h->ctx->slots(), 8);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(b, 3);
+    auto cc = h->encryptSlots(c, 3);
+
+    auto lhs =
+        h->decryptSlots(h->eval->mul(ca, h->eval->add(cb, cc), h->rlk));
+    auto rhs = h->decryptSlots(h->eval->add(h->eval->mul(ca, cb, h->rlk),
+                                            h->eval->mul(ca, cc, h->rlk)));
+    EXPECT_LT(maxError(lhs, rhs), 1e-4);
+}
+
+TEST_F(EvaluatorProps, SubIsAddOfNegate)
+{
+    auto a = randomSlots(h->ctx->slots(), 9);
+    auto b = randomSlots(h->ctx->slots(), 10);
+    auto ca = h->encryptSlots(a, 2);
+    auto cb = h->encryptSlots(b, 2);
+    auto s1 = h->eval->sub(ca, cb);
+    auto s2 = h->eval->add(ca, h->eval->negate(cb));
+    EXPECT_TRUE(s1.c0.equals(s2.c0));
+    EXPECT_TRUE(s1.c1.equals(s2.c1));
+}
+
+TEST_F(EvaluatorProps, RotationsCompose)
+{
+    const size_t slots = h->ctx->slots();
+    auto a = randomSlots(slots, 11);
+    auto ca = h->encryptSlots(a, 3);
+    auto gks = h->makeGaloisKeys({2, 3, 5});
+    auto r23 = h->eval->rotate(h->eval->rotate(ca, 2, gks), 3, gks);
+    auto r5 = h->eval->rotate(ca, 5, gks);
+    EXPECT_LT(maxError(h->decryptSlots(r23), h->decryptSlots(r5)), 1e-4);
+}
+
+TEST_F(EvaluatorProps, FullRotationIsIdentity)
+{
+    const size_t slots = h->ctx->slots();
+    auto a = randomSlots(slots, 12);
+    auto ca = h->encryptSlots(a, 2);
+    // Rotating by the slot count maps to the identity Galois element.
+    GaloisKeys empty;
+    auto r = h->eval->rotate(ca, static_cast<int>(slots), empty);
+    EXPECT_LT(maxError(a, h->decryptSlots(r)), 1e-5);
+}
+
+TEST_F(EvaluatorProps, DoubleConjugationIsIdentity)
+{
+    auto a = randomSlots(h->ctx->slots(), 13);
+    auto ca = h->encryptSlots(a, 3);
+    auto gks = h->makeGaloisKeys({}, /*conj=*/true);
+    auto cc = h->eval->conjugate(h->eval->conjugate(ca, gks), gks);
+    EXPECT_LT(maxError(a, h->decryptSlots(cc)), 1e-4);
+}
+
+TEST_F(EvaluatorProps, ConjugateOfProductIsProductOfConjugates)
+{
+    auto a = randomSlots(h->ctx->slots(), 14);
+    auto b = randomSlots(h->ctx->slots(), 15);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(b, 3);
+    auto gks = h->makeGaloisKeys({}, /*conj=*/true);
+
+    auto lhs = h->decryptSlots(
+        h->eval->conjugate(h->eval->mul(ca, cb, h->rlk), gks));
+    auto rhs = h->decryptSlots(h->eval->mul(
+        h->eval->conjugate(ca, gks), h->eval->conjugate(cb, gks), h->rlk));
+    EXPECT_LT(maxError(lhs, rhs), 1e-4);
+}
+
+TEST_F(EvaluatorProps, MulByZeroPlaintextGivesZero)
+{
+    auto a = randomSlots(h->ctx->slots(), 16);
+    auto ca = h->encryptSlots(a, 3);
+    Plaintext zero = h->encoder->encodeScalar({0.0, 0.0}, h->ctx->scale(), 3);
+    auto w = h->decryptSlots(h->eval->mulPlainRescale(ca, zero));
+    for (auto z : w)
+        EXPECT_LT(std::abs(z), 1e-5);
+}
+
+TEST_F(EvaluatorProps, DropThenMulEqualsMulThenDrop)
+{
+    auto a = randomSlots(h->ctx->slots(), 17);
+    auto b = randomSlots(h->ctx->slots(), 18);
+    auto ca = h->encryptSlots(a, 4);
+    auto cb = h->encryptSlots(b, 4);
+
+    // Path 1: multiply at level 4, result at level 3.
+    auto p1 = h->decryptSlots(h->eval->mul(ca, cb, h->rlk));
+    // Path 2: drop to level 3 first, multiply, result at level 2.
+    auto p2 = h->decryptSlots(h->eval->mul(h->eval->dropToLevel(ca, 3),
+                                           h->eval->dropToLevel(cb, 3),
+                                           h->rlk));
+    EXPECT_LT(maxError(p1, p2), 1e-4);
+}
+
+TEST_F(EvaluatorProps, ScalarOperationsMatchPlaintextAlgebra)
+{
+    auto a = randomSlots(h->ctx->slots(), 19);
+    auto ca = h->encryptSlots(a, 3);
+    // (2x + 1) - x - x - 1 == 0
+    auto twox = h->eval->mulScalarRescale(ca, 2.0);
+    auto expr = h->eval->addScalar(twox, 1.0, *h->encoder);
+    auto ca_dropped = h->eval->dropToLevel(ca, expr.level());
+    expr = h->eval->sub(expr, ca_dropped);
+    expr = h->eval->sub(expr, ca_dropped);
+    expr = h->eval->addScalar(expr, -1.0, *h->encoder);
+    auto w = h->decryptSlots(expr);
+    for (auto z : w)
+        EXPECT_LT(std::abs(z), 1e-4);
+}
+
+TEST_F(EvaluatorProps, MonomialTimesMonomialComposes)
+{
+    auto a = randomSlots(h->ctx->slots(), 20);
+    auto ca = h->encryptSlots(a, 2);
+    auto m1 = h->eval->mulMonomial(h->eval->mulMonomial(ca, 5), 7);
+    auto m2 = h->eval->mulMonomial(ca, 12);
+    EXPECT_TRUE(m1.c0.equals(m2.c0));
+    EXPECT_TRUE(m1.c1.equals(m2.c1));
+}
+
+TEST_F(EvaluatorProps, MonomialXToTheNIsMinusOne)
+{
+    auto a = randomSlots(h->ctx->slots(), 21);
+    auto ca = h->encryptSlots(a, 2);
+    // x^N = -1 in the ring.
+    auto m = h->eval->mulMonomial(ca, h->ctx->degree());
+    auto n = h->eval->negate(ca);
+    EXPECT_TRUE(m.c0.equals(n.c0));
+    EXPECT_TRUE(m.c1.equals(n.c1));
+}
+
+
+TEST_F(EvaluatorProps, AlignedAddHandlesLevelMismatch)
+{
+    auto a = randomSlots(h->ctx->slots(), 30);
+    auto b = randomSlots(h->ctx->slots(), 31);
+    auto ca = h->encryptSlots(a, 4);
+    auto cb = h->encryptSlots(b, 2);
+    // Plain add() refuses; addAligned drops and adds.
+    EXPECT_THROW(h->eval->add(ca, cb), std::invalid_argument);
+    auto w = h->decryptSlots(h->eval->addAligned(ca, cb));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(w[i] - (a[i] + b[i])), 1e-4);
+}
+
+TEST_F(EvaluatorProps, AlignedAddHandlesScaleMismatch)
+{
+    auto a = randomSlots(h->ctx->slots(), 32);
+    auto b = randomSlots(h->ctx->slots(), 33);
+    auto ca = h->encryptSlots(a, 4);
+    // cb carries a deliberately different scale (encoded at 1.7x Delta).
+    Plaintext pb = h->encoder->encode(b, 1.7 * h->ctx->scale(), 4);
+    Ciphertext cb = h->encryptor->encrypt(pb);
+    EXPECT_THROW(h->eval->add(ca, cb), std::invalid_argument);
+    auto w = h->decryptSlots(h->eval->addAligned(ca, cb));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(w[i] - (a[i] + b[i])), 1e-3);
+    auto ws = h->decryptSlots(h->eval->subAligned(ca, cb));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(ws[i] - (a[i] - b[i])), 1e-3);
+}
+
+TEST_F(EvaluatorProps, AlignIsNoOpOnMatchingShapes)
+{
+    auto a = randomSlots(h->ctx->slots(), 34);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(a, 3);
+    auto [x, y] = h->eval->align(ca, cb);
+    EXPECT_EQ(x.level(), 3u);
+    EXPECT_EQ(y.level(), 3u);
+    EXPECT_TRUE(x.c0.equals(ca.c0));
+    EXPECT_TRUE(y.c0.equals(cb.c0));
+}
+
+class DepthSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(DepthSweep, ProductChainsStayAccurate)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.num_levels = 8;
+    CkksHarness h(p);
+    const size_t depth = GetParam();
+    const size_t slots = h.ctx->slots();
+
+    std::vector<std::complex<double>> acc_ref(slots, {1.0, 0.0});
+    auto ct = h.encryptSlots(acc_ref, h.ctx->maxLevel());
+    for (size_t d = 0; d < depth; ++d) {
+        auto v = randomSlots(slots, 100 + d);
+        Plaintext pv = h.encoder->encode(v, h.ctx->scale(), ct.level());
+        ct = h.eval->mulPlainRescale(ct, pv);
+        for (size_t i = 0; i < slots; ++i)
+            acc_ref[i] *= v[i];
+    }
+    EXPECT_LT(maxError(acc_ref, h.decryptSlots(ct)), 1e-3)
+        << "depth " << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep,
+                         ::testing::Values(size_t(1), size_t(3), size_t(5),
+                                           size_t(7)));
+
+} // namespace
+} // namespace madfhe

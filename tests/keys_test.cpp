@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Key-material tests, in particular the MAD switching-key seed compression
+ * (Section 3.2): the expanded key must be bit-identical, and storage must
+ * halve while compressed.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::maxError;
+using test::randomSlots;
+
+class KeysTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        h = std::make_unique<CkksHarness>(CkksParams::unitTest());
+    }
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(KeysTest, SecretKeyShape)
+{
+    EXPECT_EQ(h->sk.s.numLimbs(),
+              h->ctx->maxLevel() + h->ctx->ring()->numP());
+    EXPECT_EQ(h->sk.s.rep(), Rep::Eval);
+    EXPECT_EQ(h->sk.s_coeffs.size(), h->ctx->degree());
+    for (i64 c : h->sk.s_coeffs) {
+        ASSERT_GE(c, -1);
+        ASSERT_LE(c, 1);
+    }
+}
+
+TEST_F(KeysTest, SparseSecretRespectsHammingWeight)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.hamming_weight = 32;
+    CkksHarness sparse(p);
+    size_t nonzero = 0;
+    for (i64 c : sparse.sk.s_coeffs)
+        nonzero += (c != 0);
+    EXPECT_EQ(nonzero, 32u);
+
+    // The scheme still works with a sparse secret.
+    auto v = randomSlots(sparse.ctx->slots(), 1);
+    auto ct = sparse.encryptSlots(v, 2);
+    EXPECT_LT(maxError(v, sparse.decryptSlots(ct)), 1e-4);
+}
+
+TEST_F(KeysTest, SwitchingKeyHasDnumDigits)
+{
+    EXPECT_EQ(h->rlk.numDigits(), h->ctx->dnum());
+}
+
+TEST_F(KeysTest, SeedCompressionRoundTripIsBitExact)
+{
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey key = keygen.galoisKey(h->sk, 5);
+
+    std::vector<RnsPoly> original_a;
+    for (size_t j = 0; j < key.numDigits(); ++j)
+        original_a.push_back(key.a(j));
+
+    key.compress();
+    EXPECT_TRUE(key.isCompressed());
+    EXPECT_THROW(key.a(0), std::invalid_argument);
+
+    key.expand(*h->ctx);
+    EXPECT_FALSE(key.isCompressed());
+    for (size_t j = 0; j < key.numDigits(); ++j)
+        EXPECT_TRUE(key.a(j).equals(original_a[j])) << "digit " << j;
+}
+
+TEST_F(KeysTest, CompressionHalvesStorage)
+{
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey key = keygen.relinKey(h->sk);
+    size_t full = key.storedBytes();
+    EXPECT_EQ(full, key.expandedBytes());
+    key.compress();
+    EXPECT_EQ(key.storedBytes(), full / 2);
+}
+
+TEST_F(KeysTest, CompressedKeyStillSwitchesCorrectly)
+{
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey rlk = keygen.relinKey(h->sk);
+    rlk.compress();
+    rlk.expand(*h->ctx);
+
+    auto a = randomSlots(h->ctx->slots(), 2);
+    auto b = randomSlots(h->ctx->slots(), 3);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(b, 3);
+    auto w = h->decryptSlots(h->eval->mul(ca, cb, rlk));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(w[i] - a[i] * b[i]), 1e-4);
+}
+
+TEST_F(KeysTest, GaloisKeysCoverRequestedStepsOnly)
+{
+    GaloisKeys gks = h->makeGaloisKeys({1, 2, -1}, /*conj=*/true);
+    EXPECT_TRUE(gks.count(h->ctx->ring()->galoisElt(1)));
+    EXPECT_TRUE(gks.count(h->ctx->ring()->galoisElt(2)));
+    EXPECT_TRUE(gks.count(h->ctx->ring()->galoisElt(-1)));
+    EXPECT_TRUE(gks.count(h->ctx->ring()->conjugateElt()));
+    EXPECT_FALSE(gks.count(h->ctx->ring()->galoisElt(3)));
+    // Step 0 maps to the identity element and never gets a key.
+    EXPECT_FALSE(gks.count(1));
+}
+
+TEST_F(KeysTest, DistinctKeysFromDistinctSeeds)
+{
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey k1 = keygen.galoisKey(h->sk, 5);
+    SwitchingKey k2 = keygen.galoisKey(h->sk, 5);
+    // Fresh randomness every call: the two keys must differ.
+    EXPECT_FALSE(k1.a(0).equals(k2.a(0)));
+    EXPECT_FALSE(k1.b(0).equals(k2.b(0)));
+}
+
+TEST_F(KeysTest, PublicKeyDecryptsToNoiseOnly)
+{
+    // b + a*s = e: must decode to near-zero.
+    RnsPoly check = h->pk.a;
+    auto basis = check.basis();
+    RnsPoly s_q = extractLimbs(h->sk.s, basis);
+    check.mulPointwise(s_q);
+    check.add(h->pk.b);
+    check.toCoeff();
+    auto coeffs = CkksEncoder(h->ctx).decodeCoefficients(check);
+    for (double c : coeffs)
+        ASSERT_LT(std::abs(c), 100.0); // centered-binomial error bound
+}
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Key-switching internals: Decomp/ModUp/KSKInnerProd/ModDown (Algorithms
+ * 1-3), PModUp (Algorithm 5), and the merged ModDown, each checked against
+ * its algebraic contract.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::maxError;
+using test::randomSlots;
+
+class KeySwitchTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        h = std::make_unique<CkksHarness>(CkksParams::unitTest());
+    }
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(KeySwitchTest, DigitCountMatchesBeta)
+{
+    const auto& ksw = h->eval->keySwitcher();
+    for (size_t level = 1; level <= h->ctx->maxLevel(); ++level) {
+        RnsPoly x(h->ctx->ring(), h->ctx->ring()->qIndices(level), Rep::Eval);
+        auto digits = ksw.decomposeAndRaise(x);
+        EXPECT_EQ(digits.size(), h->ctx->numDigits(level))
+            << "level " << level;
+        for (const auto& d : digits) {
+            EXPECT_EQ(d.numLimbs(), level + h->ctx->ring()->numP());
+            EXPECT_EQ(d.rep(), Rep::Eval);
+        }
+    }
+}
+
+TEST_F(KeySwitchTest, PModUpThenModDownIsIdentityUpToRounding)
+{
+    // modDown(pModUp(y)) = y exactly up to the +-1 rounding of the
+    // division by P (P * y is exactly divisible, so it is exact here).
+    auto v = randomSlots(h->ctx->slots(), 1);
+    auto ct = h->encryptSlots(v, 3);
+    const auto& ksw = h->eval->keySwitcher();
+    RnsPoly lifted = ksw.pModUp(ct.c0);
+    RnsPoly back = ksw.modDown(lifted);
+    EXPECT_TRUE(back.equals(ct.c0));
+}
+
+TEST_F(KeySwitchTest, PModUpPLimbsAreZero)
+{
+    auto v = randomSlots(h->ctx->slots(), 2);
+    auto ct = h->encryptSlots(v, 2);
+    RnsPoly lifted = h->eval->keySwitcher().pModUp(ct.c0);
+    size_t level = 2;
+    for (size_t i = level; i < lifted.numLimbs(); ++i)
+        for (size_t c = 0; c < lifted.degree(); ++c)
+            ASSERT_EQ(lifted.limb(i)[c], 0u);
+}
+
+TEST_F(KeySwitchTest, KeySwitchProducesEncryptionOfXTimesSFrom)
+{
+    // Build a ksk for a known s_from (= sigma_5(s)) and check
+    // u + v*s ~ x * s_from for random x.
+    KeyGenerator keygen(h->ctx);
+    const u64 t = 5;
+    SwitchingKey ksk = keygen.galoisKey(h->sk, t);
+    const size_t level = 3;
+    auto basis = h->ctx->ring()->qIndices(level);
+
+    // Random "ciphertext part" x, small coefficients to keep the check
+    // numeric-friendly.
+    Sampler s(99);
+    RnsPoly x(h->ctx->ring(), basis, Rep::Coeff);
+    x.setFromSigned(s.centeredBinomial(h->ctx->degree()));
+    x.toEval();
+
+    auto [u, v] = h->eval->keySwitcher().keySwitch(x, ksk);
+
+    RnsPoly s_q = extractLimbs(h->sk.s, basis);
+    RnsPoly s_from = s_q.automorph(t);
+
+    // lhs = u + v*s ; rhs = x * s_from; difference must be tiny.
+    RnsPoly lhs = v;
+    lhs.mulPointwise(s_q);
+    lhs.add(u);
+    RnsPoly rhs = x;
+    rhs.mulPointwise(s_from);
+    lhs.sub(rhs);
+    lhs.toCoeff();
+
+    auto err = CkksEncoder(h->ctx).decodeCoefficients(lhs);
+    double max_err = 0;
+    for (double e : err)
+        max_err = std::max(max_err, std::abs(e));
+    // Key-switch noise is far below one scale unit.
+    EXPECT_LT(max_err, 1e9); // |err| << q_0 ~ 2^45 and << Delta = 2^35
+    EXPECT_GT(max_err, 0.0); // but it is not exactly zero (there IS noise)
+}
+
+TEST_F(KeySwitchTest, MergedModDownEqualsModDownThenRescale)
+{
+    // On an exact multiple of P, merged ModDown must equal
+    // rescale(modDown(x)) up to the +-1 rounding in each step.
+    auto vv = randomSlots(h->ctx->slots(), 3);
+    auto ct = h->encryptSlots(vv, 3);
+    const auto& ksw = h->eval->keySwitcher();
+
+    RnsPoly raised = ksw.pModUp(ct.c0);
+    RnsPoly merged = ksw.modDownMerged(raised);
+
+    RnsPoly down = ksw.modDown(raised);
+    // Reference rescale of `down` by its top limb.
+    Ciphertext tmp;
+    tmp.c0 = down;
+    tmp.c1 = down;
+    tmp.scale = h->ctx->scale();
+    Ciphertext rs = h->eval->rescale(tmp);
+
+    // Compare coefficient-wise: difference at most 1 (rounding).
+    RnsPoly diff = merged;
+    diff.sub(rs.c0);
+    diff.toCoeff();
+    for (size_t i = 0; i < diff.numLimbs(); ++i) {
+        const Modulus& q = diff.modulus(i);
+        for (size_t c = 0; c < diff.degree(); ++c) {
+            i64 d = q.toSigned(diff.limb(i)[c]);
+            ASSERT_LE(std::abs(d), 1) << "limb " << i << " coeff " << c;
+        }
+    }
+}
+
+TEST_F(KeySwitchTest, InnerProductRejectsTooManyDigits)
+{
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey rlk = keygen.relinKey(h->sk);
+    const auto& ksw = h->eval->keySwitcher();
+    RnsPoly x(h->ctx->ring(), h->ctx->ring()->qIndices(h->ctx->maxLevel()),
+              Rep::Eval);
+    auto digits = ksw.decomposeAndRaise(x);
+    digits.push_back(digits[0]);
+    EXPECT_THROW(ksw.innerProduct(digits, rlk), std::invalid_argument);
+}
+
+TEST_F(KeySwitchTest, LowLevelCiphertextUsesFewerDigits)
+{
+    // At level <= alpha only one digit should be produced, and key
+    // switching must still be correct end to end (via Rotate).
+    auto v = randomSlots(h->ctx->slots(), 4);
+    size_t level = h->ctx->alpha(); // exactly one digit
+    auto ct = h->encryptSlots(v, level);
+    auto gks = h->makeGaloisKeys({1});
+    auto w = h->decryptSlots(h->eval->rotate(ct, 1, gks));
+    const size_t slots = h->ctx->slots();
+    for (size_t k = 0; k < slots; ++k)
+        EXPECT_LT(std::abs(w[k] - v[(k + 1) % slots]), 1e-4);
+}
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * PtMatVecMult tests: BSGS with/without ModUp and ModDown hoisting against
+ * the plaintext reference; all option combinations must agree.
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/matvec.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::maxError;
+using test::randomSlots;
+
+std::map<int, std::vector<std::complex<double>>>
+randomDiagonals(size_t slots, const std::vector<int>& indices, u64 seed)
+{
+    std::map<int, std::vector<std::complex<double>>> diags;
+    u64 s = seed;
+    for (int d : indices)
+        diags[d] = randomSlots(slots, s++);
+    return diags;
+}
+
+class MatVecTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        h = std::make_unique<CkksHarness>(CkksParams::unitTest());
+    }
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(MatVecTest, SingleDiagonalIsPointwiseProduct)
+{
+    const size_t slots = h->ctx->slots();
+    auto diags = randomDiagonals(slots, {0}, 1);
+    LinearTransform lt(h->ctx, diags, h->ctx->scale());
+    auto x = randomSlots(slots, 2);
+    auto ct = h->encryptSlots(x, 3);
+    GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+    auto y = h->decryptSlots(lt.apply(*h->eval, *h->encoder, ct, gks));
+    auto expect = lt.applyPlain(x);
+    EXPECT_LT(maxError(expect, y), 1e-3);
+}
+
+TEST_F(MatVecTest, GeneralDiagonalsMatchPlainReference)
+{
+    const size_t slots = h->ctx->slots();
+    auto diags = randomDiagonals(slots, {0, 1, 2, 5, 9}, 3);
+    LinearTransform lt(h->ctx, diags, h->ctx->scale());
+    auto x = randomSlots(slots, 4);
+    auto ct = h->encryptSlots(x, 3);
+    GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+    auto y = h->decryptSlots(lt.apply(*h->eval, *h->encoder, ct, gks));
+    EXPECT_LT(maxError(lt.applyPlain(x), y), 1e-3);
+}
+
+TEST_F(MatVecTest, NegativeDiagonalIndicesWrap)
+{
+    const size_t slots = h->ctx->slots();
+    auto diags = randomDiagonals(slots, {-1, 0, 1}, 5);
+    LinearTransform lt(h->ctx, diags, h->ctx->scale());
+    auto x = randomSlots(slots, 6);
+    auto ct = h->encryptSlots(x, 3);
+    GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+    auto y = h->decryptSlots(lt.apply(*h->eval, *h->encoder, ct, gks));
+    EXPECT_LT(maxError(lt.applyPlain(x), y), 1e-3);
+}
+
+TEST_F(MatVecTest, ApplyConsumesExactlyOneLevel)
+{
+    const size_t slots = h->ctx->slots();
+    auto diags = randomDiagonals(slots, {0, 3}, 7);
+    LinearTransform lt(h->ctx, diags, h->ctx->scale());
+    auto ct = h->encryptSlots(randomSlots(slots, 8), 4);
+    GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+    auto out = lt.apply(*h->eval, *h->encoder, ct, gks);
+    EXPECT_EQ(out.level(), 3u);
+}
+
+struct MatVecOptCase
+{
+    bool hoist_modup;
+    bool hoist_moddown;
+    bool double_hoist = false;
+};
+
+class MatVecOptionSweep : public ::testing::TestWithParam<MatVecOptCase>
+{
+};
+
+TEST_P(MatVecOptionSweep, AllHoistingVariantsAgree)
+{
+    CkksHarness h(CkksParams::unitTest());
+    const size_t slots = h.ctx->slots();
+    auto diags = randomDiagonals(slots, {0, 1, 4, 6, 11, 13}, 9);
+
+    MatVecOptions opts;
+    opts.hoist_modup = GetParam().hoist_modup;
+    opts.hoist_moddown = GetParam().hoist_moddown;
+    opts.double_hoist = GetParam().double_hoist;
+    LinearTransform lt(h.ctx, diags, h.ctx->scale(), opts);
+
+    auto x = randomSlots(slots, 10);
+    auto ct = h.encryptSlots(x, 3);
+    GaloisKeys gks = h.makeGaloisKeys(lt.requiredRotations());
+    auto y = h.decryptSlots(lt.apply(*h.eval, *h.encoder, ct, gks));
+    EXPECT_LT(maxError(lt.applyPlain(x), y), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Options, MatVecOptionSweep,
+    ::testing::Values(MatVecOptCase{false, false, false},
+                      MatVecOptCase{true, false, false},
+                      MatVecOptCase{true, true, false},
+                      MatVecOptCase{true, true, true}));
+
+TEST_F(MatVecTest, ExplicitBabyStepCount)
+{
+    const size_t slots = h->ctx->slots();
+    auto diags = randomDiagonals(slots, {0, 1, 2, 3, 4, 5}, 11);
+    MatVecOptions opts;
+    opts.baby_steps = 2;
+    LinearTransform lt(h->ctx, diags, h->ctx->scale(), opts);
+    auto x = randomSlots(slots, 12);
+    auto ct = h->encryptSlots(x, 3);
+    GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+    auto y = h->decryptSlots(lt.apply(*h->eval, *h->encoder, ct, gks));
+    EXPECT_LT(maxError(lt.applyPlain(x), y), 1e-3);
+}
+
+TEST_F(MatVecTest, RejectsEmptyAndBadDiagonals)
+{
+    std::map<int, std::vector<std::complex<double>>> empty;
+    EXPECT_THROW(LinearTransform(h->ctx, empty, h->ctx->scale()),
+                 std::invalid_argument);
+    std::map<int, std::vector<std::complex<double>>> bad;
+    bad[0] = randomSlots(3, 1); // wrong length
+    EXPECT_THROW(LinearTransform(h->ctx, bad, h->ctx->scale()),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * SimFHE model detail tests: per-primitive behavior under each
+ * optimization, scaling in the scheme parameters, schedule structure,
+ * and the area/cost model.
+ */
+#include <gtest/gtest.h>
+
+#include "simfhe/area.h"
+#include "simfhe/search.h"
+
+namespace madfhe {
+namespace simfhe {
+namespace {
+
+SchemeConfig
+cfg()
+{
+    return SchemeConfig::baselineJung();
+}
+
+TEST(ModelDetail, RotateO1SavesExactlyThePaperFigure1Amount)
+{
+    // Figure 1: O(1) fusion on Rotate saves 140 limb transfers at l=35
+    // from the Automorph/Decomp/iNTT chain, plus 2l from fusing the
+    // other polynomial's automorph into the final add (3l reads + 3l
+    // writes total).
+    CostModel naive(cfg(), CacheConfig::megabytes(2),
+                    Optimizations::none());
+    CostModel o1(cfg(), CacheConfig::megabytes(2), Optimizations::o1());
+    double saved = naive.rotate(35).bytes() - o1.rotate(35).bytes();
+    double limb = cfg().limbBytes();
+    EXPECT_NEAR(saved / limb, 6.0 * 35.0, 1.0);
+}
+
+TEST(ModelDetail, ModUpAlphaCachingSavings)
+{
+    // O(alpha): ModUp digit traffic drops from (2a + fresh) reads +
+    // (a + 2 fresh) writes to a reads + fresh writes.
+    CostModel naive(cfg(), CacheConfig::megabytes(2),
+                    Optimizations::none());
+    CostModel alpha(cfg(), CacheConfig::megabytes(32),
+                    Optimizations::upToAlpha());
+    double limb = cfg().limbBytes();
+    EXPECT_NEAR(naive.modUpDigit(35).bytes() / limb, 144.0, 0.5);
+    EXPECT_NEAR(alpha.modUpDigit(35).bytes() / limb, 12.0 + 36.0, 0.5);
+    // Compute identical.
+    EXPECT_DOUBLE_EQ(naive.modUpDigit(35).ops(), alpha.modUpDigit(35).ops());
+}
+
+TEST(ModelDetail, MergedMultSavesNttWork)
+{
+    CostModel merged(cfg(), CacheConfig::megabytes(32),
+                     Optimizations::withMerge());
+    CostModel unmerged(cfg(), CacheConfig::megabytes(32),
+                       Optimizations::allCaching());
+    EXPECT_LT(merged.mult(35).ops(), unmerged.mult(35).ops());
+}
+
+TEST(ModelDetail, HoistedMatvecNeedsFewerOpsThanBaseline)
+{
+    CostModel hoisted(cfg(), CacheConfig::megabytes(32),
+                      Optimizations::withHoist());
+    CostModel baseline(cfg(), CacheConfig::megabytes(32),
+                       Optimizations::allCaching());
+    Cost ch = hoisted.ptMatVecMult(35, 64);
+    Cost cb = baseline.ptMatVecMult(35, 64);
+    EXPECT_LT(ch.ops(), cb.ops());
+    EXPECT_LT(ch.ct_read + ch.ct_write, cb.ct_read + cb.ct_write);
+}
+
+TEST(ModelDetail, MatvecCostGrowsWithDiagonals)
+{
+    CostModel m(cfg(), CacheConfig::megabytes(32), Optimizations::all());
+    double prev = 0;
+    for (size_t d : {4u, 16u, 64u, 256u}) {
+        double ops = m.ptMatVecMult(35, d).ops();
+        EXPECT_GT(ops, prev);
+        prev = ops;
+    }
+}
+
+TEST(ModelDetail, CostsScaleWithLimbCount)
+{
+    // Within a digit the raised basis is fixed and the ModDown drop
+    // shrinks, so cost is only monotone across whole-digit strides.
+    CostModel m(cfg(), CacheConfig::megabytes(2), Optimizations::none());
+    const size_t alpha = cfg().alpha();
+    for (size_t l : {12u, 23u}) {
+        EXPECT_GT(m.mult(l + alpha).ops(), m.mult(l).ops());
+        EXPECT_GT(m.rotate(l + alpha).bytes(), m.rotate(l).bytes());
+    }
+}
+
+TEST(ModelDetail, RaisedBasisArithmetic)
+{
+    SchemeConfig s = cfg(); // L=35, dnum=3, alpha=12
+    EXPECT_EQ(s.beta(1), 1u);
+    EXPECT_EQ(s.beta(12), 1u);
+    EXPECT_EQ(s.beta(13), 2u);
+    EXPECT_EQ(s.beta(35), 3u);
+    EXPECT_EQ(s.raised(12), 24u); // 1 digit + P
+    EXPECT_EQ(s.raised(13), 36u); // 2 digits + P
+    s.dnum = 2;
+    EXPECT_EQ(s.alpha(), 18u);
+    EXPECT_EQ(s.raised(35), 54u); // 2*18 + 18
+}
+
+TEST(ModelDetail, EvalModRequiresEnoughLevels)
+{
+    CostModel m(cfg(), CacheConfig::megabytes(32), Optimizations::all());
+    EXPECT_THROW(m.evalMod(5), std::logic_error);
+    EXPECT_NO_THROW(m.evalMod(12));
+}
+
+TEST(ModelDetail, DftFactorDiagonalsCoverAllStages)
+{
+    // The per-factor stage groups must sum to log2(slots).
+    for (size_t iters : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        SchemeConfig s = cfg();
+        s.fft_iter = iters;
+        CostModel m(s, CacheConfig::megabytes(32), Optimizations::all());
+        size_t stage_sum = 0;
+        for (size_t i = 0; i < iters; ++i) {
+            size_t d = m.dftFactorDiagonals(i);
+            // d = 2^(g+1) - 1 -> g = log2(d+1) - 1.
+            stage_sum += floorLog2(d + 1) - 1;
+        }
+        EXPECT_EQ(stage_sum, size_t(s.log_n - 1)) << "iters " << iters;
+    }
+}
+
+TEST(ModelDetail, KeyReadBytesMatchKskLayout)
+{
+    CostModel m(cfg(), CacheConfig::megabytes(2), Optimizations::none());
+    // 2 polys x beta digits x raised limbs x limb bytes.
+    double expect = 2.0 * 3 * 48 * cfg().limbBytes();
+    EXPECT_NEAR(m.keyReadBytes(35), expect, 1.0);
+    CostModel comp(cfg(), CacheConfig::megabytes(2),
+                   [] {
+                       Optimizations o;
+                       o.key_compression = true;
+                       return o;
+                   }());
+    EXPECT_NEAR(comp.keyReadBytes(35), expect / 2, 1.0);
+}
+
+TEST(ModelDetail, BootstrapScalesWithRingDegree)
+{
+    for (unsigned logn : {15u, 16u, 17u}) {
+        SchemeConfig s = cfg();
+        s.log_n = logn;
+        CostModel m(s, CacheConfig::megabytes(32), Optimizations::all());
+        Cost c = m.bootstrap();
+        EXPECT_GT(c.ops(), 0);
+        if (logn > 15) {
+            SchemeConfig prev = cfg();
+            prev.log_n = logn - 1;
+            CostModel mp(prev, CacheConfig::megabytes(32),
+                         Optimizations::all());
+            EXPECT_GT(c.ops(), mp.bootstrap().ops());
+        }
+    }
+}
+
+
+TEST(ModelDetail, BreakdownSumsToBootstrap)
+{
+    CostModel m(SchemeConfig::madOptimal(), CacheConfig::megabytes(32),
+                Optimizations::all());
+    auto bd = m.bootstrapBreakdown();
+    Cost total = m.bootstrap();
+    EXPECT_NEAR(bd.total().ops(), total.ops(), 1.0);
+    EXPECT_NEAR(bd.total().bytes(), total.bytes(), 1.0);
+    // Every phase contributes, and the DFT phases dominate DRAM.
+    EXPECT_GT(bd.mod_raise.ops(), 0.0);
+    EXPECT_GT(bd.coeff_to_slot.bytes(), bd.mod_raise.bytes());
+    EXPECT_GT(bd.eval_mod.ops(), 0.0);
+    EXPECT_GT(bd.slot_to_coeff.bytes(), 0.0);
+}
+
+TEST(AreaModelTest, MadPointsDominatePerArea)
+{
+    AreaModel area;
+    SchemeConfig mad_cfg = SchemeConfig::madOptimal();
+    for (const auto& hw : {HardwareDesign::bts(), HardwareDesign::ark(),
+                           HardwareDesign::craterlake()}) {
+        CostModel base_m(cfg(), CacheConfig::megabytes(hw.onchip_mb),
+                         Optimizations::none());
+        double base_eff =
+            throughputPerArea(cfg(), hw, base_m.bootstrap(), area);
+
+        HardwareDesign small = hw.withCache(32);
+        CostModel mad_m(mad_cfg, CacheConfig::megabytes(32),
+                        Optimizations::all());
+        double mad_eff =
+            throughputPerArea(mad_cfg, small, mad_m.bootstrap(), area);
+        EXPECT_GT(mad_eff, base_eff) << hw.name;
+    }
+}
+
+TEST(AreaModelTest, AreaArithmetic)
+{
+    AreaModel a;
+    double chip = a.chipAreaMm2(10000, 100);
+    EXPECT_NEAR(chip, 1.35 * (0.4 * 100 + 0.0025 * 10000), 1e-9);
+    EXPECT_GT(a.relativeCost(200), 2 * a.relativeCost(100)); // superlinear
+}
+
+TEST(SearchDetail, RespectsSearchSpaceLists)
+{
+    SearchSpace space;
+    space.min_limb_bits = 50;
+    space.max_limb_bits = 52;
+    space.min_limbs = 30;
+    space.max_limbs = 34;
+    space.dnums = {2};
+    space.fft_iters = {4};
+    auto results =
+        searchParameters(space, HardwareDesign::gpu().withCache(32), 100);
+    for (const auto& r : results) {
+        EXPECT_EQ(r.config.dnum, 2u);
+        EXPECT_EQ(r.config.fft_iter, 4u);
+        EXPECT_GE(r.config.limb_bits, 50u);
+        EXPECT_LE(r.config.limb_bits, 52u);
+    }
+}
+
+TEST(SearchDetail, SecurityBudgetTableIsMonotone)
+{
+    for (unsigned logn = 14; logn <= 17; ++logn)
+        EXPECT_GT(maxLogQP(logn), maxLogQP(logn - 1));
+}
+
+} // namespace
+} // namespace simfhe
+} // namespace madfhe

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Noise estimator tests: measured error must stay below the heuristic
+ * bound through realistic circuits, and the bound must not be absurdly
+ * loose (within ~2^20 of measured).
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/noise.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::randomSlots;
+
+class NoiseTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        h = std::make_unique<CkksHarness>(CkksParams::unitTest());
+        est = std::make_unique<NoiseEstimator>(h->ctx);
+    }
+
+    void
+    checkBand(double measured, const NoiseBound& predicted,
+              const char* what)
+    {
+        EXPECT_LE(measured, predicted.bound()) << what << " bound violated";
+        EXPECT_GE(measured, predicted.bound() / std::exp2(22.0))
+            << what << " bound uselessly loose (measured " << measured
+            << " vs bound " << predicted.bound() << ")";
+    }
+
+    std::unique_ptr<CkksHarness> h;
+    std::unique_ptr<NoiseEstimator> est;
+};
+
+TEST_F(NoiseTest, FreshEncryption)
+{
+    auto v = randomSlots(h->ctx->slots(), 1);
+    Ciphertext ct = h->encryptSlots(v, 3);
+    double measured = measureSlotError(*h->encoder, *h->decryptor, ct, v);
+    checkBand(measured, est->fresh(), "fresh");
+}
+
+TEST_F(NoiseTest, AdditionAccumulates)
+{
+    auto a = randomSlots(h->ctx->slots(), 2);
+    auto b = randomSlots(h->ctx->slots(), 3);
+    Ciphertext ca = h->encryptSlots(a, 3);
+    Ciphertext cb = h->encryptSlots(b, 3);
+    Ciphertext sum = h->eval->add(ca, cb);
+
+    std::vector<std::complex<double>> expect(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] + b[i];
+    double measured =
+        measureSlotError(*h->encoder, *h->decryptor, sum, expect);
+    checkBand(measured, est->add(est->fresh(), est->fresh()), "add");
+}
+
+TEST_F(NoiseTest, MultiplicationChain)
+{
+    auto a = randomSlots(h->ctx->slots(), 4);
+    auto b = randomSlots(h->ctx->slots(), 5);
+    Ciphertext ca = h->encryptSlots(a, 4);
+    Ciphertext cb = h->encryptSlots(b, 4);
+    Ciphertext prod = h->eval->mul(ca, cb, h->rlk);
+
+    std::vector<std::complex<double>> expect(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] * b[i];
+    double measured =
+        measureSlotError(*h->encoder, *h->decryptor, prod, expect);
+    NoiseBound predicted =
+        est->mul(est->fresh(), est->fresh(), 1.5, 1.5, 4);
+    checkBand(measured, predicted, "mul");
+
+    // Second multiplication: noise grows, prediction still holds.
+    Ciphertext sq = h->eval->square(prod, h->rlk);
+    for (size_t i = 0; i < a.size(); ++i)
+        expect[i] *= expect[i];
+    double measured2 =
+        measureSlotError(*h->encoder, *h->decryptor, sq, expect);
+    NoiseBound predicted2 = est->mul(predicted, predicted, 2.25, 2.25, 3);
+    checkBand(measured2, predicted2, "mul^2");
+    EXPECT_GT(predicted2.log2_error, predicted.log2_error);
+}
+
+TEST_F(NoiseTest, RotationAddsKeySwitchFloor)
+{
+    auto a = randomSlots(h->ctx->slots(), 6);
+    Ciphertext ca = h->encryptSlots(a, 3);
+    auto gks = h->makeGaloisKeys({1});
+    Ciphertext rot = h->eval->rotate(ca, 1, gks);
+
+    const size_t slots = h->ctx->slots();
+    std::vector<std::complex<double>> expect(slots);
+    for (size_t i = 0; i < slots; ++i)
+        expect[i] = a[(i + 1) % slots];
+    double measured =
+        measureSlotError(*h->encoder, *h->decryptor, rot, expect);
+    NoiseBound predicted = est->rotate(est->fresh(), 3);
+    checkBand(measured, predicted, "rotate");
+    EXPECT_GT(predicted.log2_error, est->fresh().log2_error);
+}
+
+TEST_F(NoiseTest, PlainMultiplication)
+{
+    auto a = randomSlots(h->ctx->slots(), 7);
+    auto b = randomSlots(h->ctx->slots(), 8);
+    Ciphertext ca = h->encryptSlots(a, 3);
+    Plaintext pb = h->encoder->encode(b, h->ctx->scale(), 3);
+    Ciphertext prod = h->eval->mulPlainRescale(ca, pb);
+
+    std::vector<std::complex<double>> expect(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] * b[i];
+    double measured =
+        measureSlotError(*h->encoder, *h->decryptor, prod, expect);
+    checkBand(measured, est->mulPlain(est->fresh(), 1.5, 1.5), "mulPlain");
+}
+
+TEST_F(NoiseTest, EstimatesAreFiniteAndOrdered)
+{
+    NoiseBound f = est->fresh();
+    EXPECT_TRUE(std::isfinite(f.log2_error));
+    // Key-switch floor grows with beta (level), weakly.
+    EXPECT_LE(est->keySwitchFloorLog2(1), est->keySwitchFloorLog2(
+        h->ctx->maxLevel()) + 1e-9);
+    // Adding two equal bounds costs exactly one bit.
+    NoiseBound two = est->add(f, f);
+    EXPECT_NEAR(two.log2_error, f.log2_error + 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace madfhe

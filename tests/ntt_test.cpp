@@ -1,0 +1,157 @@
+/**
+ * @file
+ * NTT correctness: roundtrip, linearity, negacyclic convolution against
+ * schoolbook multiplication, and evaluation-point semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "rns/ntt.h"
+#include "rns/primegen.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace {
+
+std::vector<u64>
+randomPoly(size_t n, const Modulus& q, u64 seed)
+{
+    Prng rng(seed);
+    std::vector<u64> a(n);
+    for (auto& v : a)
+        v = rng.uniform(q.value());
+    return a;
+}
+
+/** Schoolbook negacyclic product: x^n = -1. */
+std::vector<u64>
+negacyclicMul(const std::vector<u64>& a, const std::vector<u64>& b,
+              const Modulus& q)
+{
+    size_t n = a.size();
+    std::vector<u64> c(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            u64 prod = q.mul(a[i], b[j]);
+            size_t k = i + j;
+            if (k < n)
+                c[k] = q.add(c[k], prod);
+            else
+                c[k - n] = q.sub(c[k - n], prod);
+        }
+    }
+    return c;
+}
+
+TEST(Ntt, PrimitiveRootHasRightOrder)
+{
+    const size_t n = 1 << 8;
+    Modulus q(generateNttPrimes(30, n, 1)[0]);
+    u64 psi = findPrimitiveRoot(2 * n, q);
+    EXPECT_EQ(q.pow(psi, n), q.value() - 1); // psi^n = -1
+    EXPECT_EQ(q.pow(psi, 2 * n), 1u);
+}
+
+TEST(Ntt, RoundTripIdentity)
+{
+    const size_t n = 1 << 10;
+    Modulus q(generateNttPrimes(45, n, 1)[0]);
+    NttTables ntt(n, q);
+    auto a = randomPoly(n, q, 1);
+    auto b = a;
+    ntt.forward(b.data());
+    EXPECT_NE(a, b); // transform actually does something
+    ntt.inverse(b.data());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Ntt, ForwardIsLinear)
+{
+    const size_t n = 1 << 9;
+    Modulus q(generateNttPrimes(40, n, 1)[0]);
+    NttTables ntt(n, q);
+    auto a = randomPoly(n, q, 2);
+    auto b = randomPoly(n, q, 3);
+    std::vector<u64> sum(n);
+    for (size_t i = 0; i < n; ++i)
+        sum[i] = q.add(a[i], b[i]);
+    ntt.forward(a.data());
+    ntt.forward(b.data());
+    ntt.forward(sum.data());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(sum[i], q.add(a[i], b[i]));
+}
+
+TEST(Ntt, PointwiseEqualsNegacyclicConvolution)
+{
+    const size_t n = 1 << 7; // schoolbook is O(n^2)
+    Modulus q(generateNttPrimes(50, n, 1)[0]);
+    NttTables ntt(n, q);
+    auto a = randomPoly(n, q, 4);
+    auto b = randomPoly(n, q, 5);
+    auto expect = negacyclicMul(a, b, q);
+
+    ntt.forward(a.data());
+    ntt.forward(b.data());
+    std::vector<u64> c(n);
+    for (size_t i = 0; i < n; ++i)
+        c[i] = q.mul(a[i], b[i]);
+    ntt.inverse(c.data());
+    EXPECT_EQ(c, expect);
+}
+
+TEST(Ntt, EvalSlotsHoldEvaluationsAtOddPsiPowers)
+{
+    const size_t n = 1 << 6;
+    Modulus q(generateNttPrimes(30, n, 1)[0]);
+    NttTables ntt(n, q);
+    auto a = randomPoly(n, q, 6);
+    auto ev = a;
+    ntt.forward(ev.data());
+    u64 psi = ntt.psi();
+    // slot k should be a(psi^(2k+1)); check a few slots by Horner.
+    for (size_t k : {size_t(0), size_t(1), n / 2, n - 1}) {
+        u64 x = q.pow(psi, 2 * k + 1);
+        u64 val = 0;
+        for (size_t i = n; i-- > 0;)
+            val = q.add(q.mul(val, x), a[i]);
+        EXPECT_EQ(ev[k], val) << "slot " << k;
+    }
+}
+
+TEST(Ntt, ConstantPolynomialTransformsToConstantSlots)
+{
+    const size_t n = 1 << 8;
+    Modulus q(generateNttPrimes(30, n, 1)[0]);
+    NttTables ntt(n, q);
+    std::vector<u64> a(n, 0);
+    a[0] = 7;
+    ntt.forward(a.data());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i], 7u);
+}
+
+class NttSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, unsigned>>
+{
+};
+
+TEST_P(NttSweep, RoundTripAcrossSizesAndWidths)
+{
+    auto [logn, bits] = GetParam();
+    const size_t n = size_t(1) << logn;
+    Modulus q(generateNttPrimes(bits, n, 1)[0]);
+    NttTables ntt(n, q);
+    auto a = randomPoly(n, q, logn * 100 + bits);
+    auto b = a;
+    ntt.forward(b.data());
+    ntt.inverse(b.data());
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesWidths, NttSweep,
+    ::testing::Combine(::testing::Values(size_t(3), size_t(6), size_t(10),
+                                         size_t(12), size_t(13)),
+                       ::testing::Values(28u, 40u, 54u, 60u)));
+
+} // namespace
+} // namespace madfhe

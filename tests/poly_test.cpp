@@ -1,0 +1,243 @@
+/**
+ * @file
+ * RnsPoly and RingContext tests: representation changes, limb arithmetic,
+ * automorphisms in both representations, and basis bookkeeping.
+ */
+#include <gtest/gtest.h>
+
+#include "ring/poly.h"
+#include "rns/primegen.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace {
+
+std::shared_ptr<RingContext>
+makeRing(size_t n = 1 << 8, size_t num_q = 4, size_t num_p = 2)
+{
+    auto q = generateNttPrimes(40, n, num_q);
+    auto p = generateNttPrimes(41, n, num_p, q);
+    return std::make_shared<RingContext>(n, q, p);
+}
+
+RnsPoly
+randomPoly(std::shared_ptr<const RingContext> ctx, std::vector<u32> basis,
+           u64 seed, Rep rep = Rep::Coeff)
+{
+    RnsPoly p(ctx, basis, Rep::Coeff);
+    Sampler s(seed);
+    for (size_t i = 0; i < p.numLimbs(); ++i) {
+        auto vals = s.uniformMod(p.degree(), p.modulus(i).value());
+        std::copy(vals.begin(), vals.end(), p.limb(i));
+    }
+    if (rep == Rep::Eval)
+        p.toEval();
+    return p;
+}
+
+TEST(RingContext, ChainLayout)
+{
+    auto ring = makeRing(1 << 8, 4, 2);
+    EXPECT_EQ(ring->numQ(), 4u);
+    EXPECT_EQ(ring->numP(), 2u);
+    EXPECT_EQ(ring->numModuli(), 6u);
+    auto qi = ring->qIndices(3);
+    EXPECT_EQ(qi, (std::vector<u32>{0, 1, 2}));
+    auto pi = ring->pIndices();
+    EXPECT_EQ(pi, (std::vector<u32>{4, 5}));
+    EXPECT_THROW(ring->qIndices(5), std::invalid_argument);
+}
+
+TEST(RingContext, GaloisElements)
+{
+    auto ring = makeRing();
+    EXPECT_EQ(ring->galoisElt(0), 1u);
+    EXPECT_EQ(ring->galoisElt(1), 5u);
+    EXPECT_EQ(ring->galoisElt(2), 25u);
+    EXPECT_EQ(ring->conjugateElt(), 2 * ring->degree() - 1);
+    // Negative rotations wrap.
+    size_t slots = ring->degree() / 2;
+    EXPECT_EQ(ring->galoisElt(-1), ring->galoisElt(int(slots) - 1));
+}
+
+TEST(RnsPoly, RepRoundTrip)
+{
+    auto ring = makeRing();
+    auto p = randomPoly(ring, ring->qIndices(3), 1);
+    RnsPoly q = p;
+    q.toEval();
+    EXPECT_EQ(q.rep(), Rep::Eval);
+    q.toCoeff();
+    EXPECT_TRUE(p.equals(q));
+}
+
+TEST(RnsPoly, AddSubNegateRoundTrip)
+{
+    auto ring = makeRing();
+    auto a = randomPoly(ring, ring->qIndices(4), 2);
+    auto b = randomPoly(ring, ring->qIndices(4), 3);
+    RnsPoly c = a;
+    c.add(b);
+    c.sub(b);
+    EXPECT_TRUE(c.equals(a));
+    RnsPoly d = a;
+    d.negate();
+    d.add(a);
+    RnsPoly zero(ring, ring->qIndices(4), Rep::Coeff);
+    EXPECT_TRUE(d.equals(zero));
+}
+
+TEST(RnsPoly, PointwiseMulIsNegacyclicProduct)
+{
+    auto ring = makeRing(1 << 6, 2, 1);
+    // a = x, b = x^(n-1): a*b = x^n = -1.
+    RnsPoly a(ring, ring->qIndices(2), Rep::Coeff);
+    RnsPoly b(ring, ring->qIndices(2), Rep::Coeff);
+    for (size_t i = 0; i < 2; ++i) {
+        a.limb(i)[1] = 1;
+        b.limb(i)[ring->degree() - 1] = 1;
+    }
+    a.toEval();
+    b.toEval();
+    a.mulPointwise(b);
+    a.toCoeff();
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(a.limb(i)[0], a.modulus(i).value() - 1);
+        for (size_t c = 1; c < ring->degree(); ++c)
+            EXPECT_EQ(a.limb(i)[c], 0u);
+    }
+}
+
+TEST(RnsPoly, AddMulMatchesSeparateOps)
+{
+    auto ring = makeRing();
+    auto basis = ring->qIndices(3);
+    auto acc = randomPoly(ring, basis, 4, Rep::Eval);
+    auto a = randomPoly(ring, basis, 5, Rep::Eval);
+    auto b = randomPoly(ring, basis, 6, Rep::Eval);
+
+    RnsPoly expect = acc;
+    RnsPoly prod = a;
+    prod.mulPointwise(b);
+    expect.add(prod);
+
+    acc.addMul(a, b);
+    EXPECT_TRUE(acc.equals(expect));
+}
+
+TEST(RnsPoly, AutomorphismsComposeAndInvert)
+{
+    auto ring = makeRing(1 << 7, 2, 1);
+    auto a = randomPoly(ring, ring->qIndices(2), 7);
+    const u64 m = 2 * ring->degree();
+    u64 t = 5, t_inv = 0;
+    // find inverse of 5 mod 2N
+    for (u64 x = 1; x < m; x += 2) {
+        if ((x * t) % m == 1) {
+            t_inv = x;
+            break;
+        }
+    }
+    ASSERT_NE(t_inv, 0u);
+    auto b = a.automorph(t).automorph(t_inv);
+    EXPECT_TRUE(b.equals(a));
+}
+
+TEST(RnsPoly, AutomorphismCommutesWithNtt)
+{
+    auto ring = makeRing(1 << 7, 3, 1);
+    auto a = randomPoly(ring, ring->qIndices(3), 8);
+    const u64 t = ring->galoisElt(3);
+
+    // Path 1: automorph in coeff rep, then NTT.
+    auto c1 = a.automorph(t);
+    c1.toEval();
+    // Path 2: NTT, then automorph in eval rep.
+    auto c2 = a;
+    c2.toEval();
+    c2 = c2.automorph(t);
+    EXPECT_TRUE(c1.equals(c2));
+}
+
+TEST(RnsPoly, ConjugateAutomorphismIsInvolution)
+{
+    auto ring = makeRing(1 << 7, 2, 1);
+    auto a = randomPoly(ring, ring->qIndices(2), 9, Rep::Eval);
+    auto b = a.automorph(ring->conjugateElt())
+                 .automorph(ring->conjugateElt());
+    EXPECT_TRUE(b.equals(a));
+}
+
+TEST(RnsPoly, ScalarMultiplication)
+{
+    auto ring = makeRing();
+    auto a = randomPoly(ring, ring->qIndices(2), 10);
+    RnsPoly b = a;
+    b.mulScalar(3);
+    RnsPoly c = a;
+    c.add(a);
+    c.add(a);
+    EXPECT_TRUE(b.equals(c));
+}
+
+TEST(RnsPoly, TruncateLimbs)
+{
+    auto ring = makeRing();
+    auto a = randomPoly(ring, ring->qIndices(4), 11);
+    RnsPoly b = a;
+    b.truncateLimbs(2);
+    EXPECT_EQ(b.numLimbs(), 2u);
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t c = 0; c < ring->degree(); ++c)
+            EXPECT_EQ(b.limb(i)[c], a.limb(i)[c]);
+    EXPECT_THROW(b.truncateLimbs(0), std::invalid_argument);
+    EXPECT_THROW(b.truncateLimbs(3), std::invalid_argument);
+}
+
+TEST(RnsPoly, SetFromSignedReducesPerLimb)
+{
+    auto ring = makeRing(1 << 6, 2, 0);
+    RnsPoly a(ring, ring->qIndices(2), Rep::Coeff);
+    std::vector<i64> vals(ring->degree());
+    for (size_t i = 0; i < vals.size(); ++i)
+        vals[i] = static_cast<i64>(i) - 32;
+    a.setFromSigned(vals);
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t c = 0; c < ring->degree(); ++c)
+            EXPECT_EQ(a.limb(i)[c], a.modulus(i).fromSigned(vals[c]));
+}
+
+TEST(RnsPoly, MismatchedBasisThrows)
+{
+    auto ring = makeRing();
+    auto a = randomPoly(ring, ring->qIndices(3), 12);
+    auto b = randomPoly(ring, ring->qIndices(2), 13);
+    EXPECT_THROW(a.add(b), std::logic_error);
+}
+
+class AutomorphSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AutomorphSweep, RotationElementsPermuteEvalRep)
+{
+    auto ring = makeRing(1 << 7, 2, 1);
+    int step = GetParam();
+    auto a = randomPoly(ring, ring->qIndices(2), 100 + step, Rep::Eval);
+    u64 t = ring->galoisElt(step);
+    auto b = a.automorph(t);
+    // A permutation preserves the multiset of values per limb.
+    for (size_t i = 0; i < a.numLimbs(); ++i) {
+        std::vector<u64> va(a.limb(i), a.limb(i) + a.degree());
+        std::vector<u64> vb(b.limb(i), b.limb(i) + b.degree());
+        std::sort(va.begin(), va.end());
+        std::sort(vb.begin(), vb.end());
+        EXPECT_EQ(va, vb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, AutomorphSweep,
+                         ::testing::Values(1, 2, 3, 7, 15, 31, -1, -5));
+
+} // namespace
+} // namespace madfhe

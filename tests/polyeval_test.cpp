@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Power-basis polynomial evaluation tests against the Horner reference.
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/polyeval.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::randomReals;
+
+class PolyEvalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CkksParams p = CkksParams::unitTest();
+        p.num_levels = 12;
+        h = std::make_unique<CkksHarness>(p);
+    }
+
+    void
+    checkPoly(const std::vector<double>& coeffs, double tol)
+    {
+        PolynomialEvaluator pe(h->ctx, coeffs);
+        auto xs = randomReals(h->ctx->slots(), 42);
+        Plaintext pt = h->encoder->encodeReal(xs, h->ctx->scale(),
+                                              h->ctx->maxLevel());
+        Ciphertext ct = h->encryptor->encrypt(pt);
+        Ciphertext out = pe.evaluate(*h->eval, *h->encoder, ct, h->rlk);
+        auto w = h->encoder->decode(h->decryptor->decrypt(out));
+        for (size_t i = 0; i < xs.size(); ++i)
+            EXPECT_NEAR(w[i].real(), pe.evalPlain(xs[i]), tol)
+                << "slot " << i;
+    }
+
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(PolyEvalTest, Linear)
+{
+    checkPoly({0.5, -2.0}, 1e-4);
+}
+
+TEST_F(PolyEvalTest, CubicSigmoidSurrogate)
+{
+    checkPoly({0.5, 0.25, 0.0, -1.0 / 48.0}, 1e-4);
+}
+
+TEST_F(PolyEvalTest, DegreeSeven)
+{
+    checkPoly({0.1, -0.3, 0.2, 0.05, -0.4, 0.15, 0.02, -0.08}, 5e-3);
+}
+
+TEST_F(PolyEvalTest, DegreeTwelveUsesGiants)
+{
+    std::vector<double> c(13);
+    for (size_t k = 0; k < c.size(); ++k)
+        c[k] = (k % 2 ? -1.0 : 1.0) / static_cast<double>(k + 1);
+    checkPoly(c, 1e-2);
+}
+
+TEST_F(PolyEvalTest, SparseCoefficients)
+{
+    // Only x and x^5 terms.
+    checkPoly({0.0, 1.0, 0.0, 0.0, 0.0, -0.5}, 1e-3);
+}
+
+TEST_F(PolyEvalTest, HornerReference)
+{
+    PolynomialEvaluator pe(h->ctx, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(pe.evalPlain(2.0), 1 + 4 + 12);
+    EXPECT_EQ(pe.degree(), 2u);
+    EXPECT_THROW(PolynomialEvaluator(h->ctx, {1.0}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace madfhe

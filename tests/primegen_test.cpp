@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for NTT-friendly prime generation.
+ */
+#include <gtest/gtest.h>
+
+#include "rns/primegen.h"
+#include "rns/modarith.h"
+
+namespace madfhe {
+namespace {
+
+TEST(PrimeGen, ProducesDistinctNttPrimes)
+{
+    const u64 n = 1 << 12;
+    auto primes = generateNttPrimes(40, n, 8);
+    ASSERT_EQ(primes.size(), 8u);
+    for (size_t i = 0; i < primes.size(); ++i) {
+        EXPECT_TRUE(isPrime(primes[i]));
+        EXPECT_EQ(primes[i] % (2 * n), 1u);
+        EXPECT_LT(primes[i], 1ULL << 40);
+        EXPECT_GT(primes[i], 1ULL << 39);
+        for (size_t j = i + 1; j < primes.size(); ++j)
+            EXPECT_NE(primes[i], primes[j]);
+    }
+}
+
+TEST(PrimeGen, HonorsExcludeList)
+{
+    const u64 n = 1 << 10;
+    auto first = generateNttPrimes(30, n, 3);
+    auto second = generateNttPrimes(30, n, 3, first);
+    for (u64 p : second)
+        for (u64 e : first)
+            EXPECT_NE(p, e);
+}
+
+TEST(PrimeGen, NearTargetIsClose)
+{
+    const u64 n = 1 << 11;
+    const u64 target = 1ULL << 40;
+    u64 p = generateNttPrimeNear(target, n);
+    EXPECT_TRUE(isPrime(p));
+    EXPECT_EQ(p % (2 * n), 1u);
+    double rel = std::abs(static_cast<double>(p) - static_cast<double>(target))
+                 / static_cast<double>(target);
+    EXPECT_LT(rel, 0.01);
+}
+
+TEST(PrimeGen, RejectsBadArguments)
+{
+    EXPECT_THROW(generateNttPrimes(40, 100, 1), std::invalid_argument);
+    EXPECT_THROW(generateNttPrimes(10, 1 << 10, 1), std::invalid_argument);
+    EXPECT_THROW(generateNttPrimes(63, 1 << 10, 1), std::invalid_argument);
+}
+
+class PrimeWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PrimeWidthSweep, WidthIsRespected)
+{
+    unsigned bits = GetParam();
+    auto primes = generateNttPrimes(bits, 1 << 10, 2);
+    for (u64 p : primes) {
+        EXPECT_LT(p, 1ULL << bits);
+        EXPECT_GT(p, 1ULL << (bits - 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PrimeWidthSweep,
+                         ::testing::Values(28u, 35u, 40u, 45u, 50u, 54u, 60u));
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * PRNG and sampler tests: determinism (the seed-compression contract),
+ * range/shape properties of each sampler.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "support/random.h"
+
+namespace madfhe {
+namespace {
+
+TEST(Prng, DeterministicFromSeed)
+{
+    Prng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, SeedRoundTripReproducesStream)
+{
+    Prng a(99);
+    Prng b(a.seed()); // reconstruct from the expanded seed
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformStaysInRange)
+{
+    Prng rng(5);
+    for (u64 bound : {1ULL, 2ULL, 3ULL, 1000ULL, (1ULL << 50) + 7}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniform(bound), bound);
+    }
+}
+
+TEST(Prng, UniformRealInUnitInterval)
+{
+    Prng rng(6);
+    double sum = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Prng, AllZeroSeedRejected)
+{
+    Prng::Seed zero{0, 0, 0, 0};
+    EXPECT_THROW(Prng p(zero), std::invalid_argument);
+}
+
+TEST(Sampler, TernaryValuesAndBalance)
+{
+    Sampler s(7);
+    auto v = s.ternary(30000);
+    int counts[3] = {0, 0, 0};
+    for (i64 x : v) {
+        ASSERT_GE(x, -1);
+        ASSERT_LE(x, 1);
+        counts[x + 1]++;
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Sampler, SparseTernaryHammingWeight)
+{
+    Sampler s(8);
+    auto v = s.sparseTernary(4096, 64);
+    size_t nonzero = 0;
+    for (i64 x : v) {
+        ASSERT_GE(x, -1);
+        ASSERT_LE(x, 1);
+        nonzero += (x != 0);
+    }
+    EXPECT_EQ(nonzero, 64u);
+    EXPECT_THROW(s.sparseTernary(10, 11), std::invalid_argument);
+}
+
+TEST(Sampler, CenteredBinomialMoments)
+{
+    Sampler s(9);
+    const int n = 20000;
+    auto v = s.centeredBinomial(n, 21);
+    double mean = 0, var = 0;
+    for (i64 x : v)
+        mean += x;
+    mean /= n;
+    for (i64 x : v)
+        var += (x - mean) * (x - mean);
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    // Var of CB(k) = k/2 = 10.5, sigma ~ 3.24.
+    EXPECT_NEAR(var, 10.5, 0.8);
+}
+
+TEST(Sampler, UniformModInRange)
+{
+    Sampler s(10);
+    const u64 q = 998244353;
+    auto v = s.uniformMod(10000, q);
+    double mean = 0;
+    for (u64 x : v) {
+        ASSERT_LT(x, q);
+        mean += static_cast<double>(x);
+    }
+    mean /= v.size();
+    EXPECT_NEAR(mean / q, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table/format utility tests (the printers behind every bench binary).
+ */
+#include <gtest/gtest.h>
+
+#include "simfhe/report.h"
+
+namespace madfhe {
+namespace simfhe {
+namespace {
+
+TEST(ReportTable, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1.00"});
+    t.addRow({"a-much-longer-name", "12345.67"});
+    std::string s = t.render();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    // Every line has the same width (alignment).
+    size_t first_nl = s.find('\n');
+    size_t width = first_nl;
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t nl = s.find('\n', pos);
+        EXPECT_EQ(nl - pos, width);
+        pos = nl + 1;
+    }
+}
+
+TEST(ReportTable, RejectsRaggedRows)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_THROW(t.addRow({"1", "2"}), std::invalid_argument);
+}
+
+TEST(ReportFormat, NumberFormatting)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmtGiga(2.5e9, 1), "2.5");
+    EXPECT_EQ(fmtPercent(0.523, 1), "52.3%");
+    EXPECT_EQ(fmtPercent(-0.05, 0), "-5%");
+}
+
+} // namespace
+} // namespace simfhe
+} // namespace madfhe

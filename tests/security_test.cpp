@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Security-budget table tests and the context security estimate.
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/context.h"
+#include "support/security.h"
+
+namespace madfhe {
+namespace {
+
+TEST(SecurityTable, StandardValues)
+{
+    EXPECT_DOUBLE_EQ(heStdMaxLogQP128(13), 218);
+    EXPECT_DOUBLE_EQ(heStdMaxLogQP128(14), 438);
+    EXPECT_DOUBLE_EQ(heStdMaxLogQP128(15), 881);
+    EXPECT_DOUBLE_EQ(heStdMaxLogQP128(16), 1761);
+    EXPECT_DOUBLE_EQ(heStdMaxLogQP128(17), 3524);
+}
+
+TEST(SecurityTable, ExtrapolationDoubles)
+{
+    EXPECT_NEAR(heStdMaxLogQP128(18), 27.0 * 256, 1e-6); // 27 * 2^8
+}
+
+TEST(SecurityEstimate, AnchoredAt128Bits)
+{
+    for (unsigned logn = 13; logn <= 17; ++logn)
+        EXPECT_NEAR(estimateSecurityBits(logn, heStdMaxLogQP128(logn)),
+                    128.0, 1e-9);
+    // Half the modulus ~ twice the security (first order).
+    EXPECT_NEAR(estimateSecurityBits(15, heStdMaxLogQP128(15) / 2), 256.0,
+                1e-9);
+}
+
+TEST(SecurityEstimate, ContextReportsToyParamsAsInsecure)
+{
+    auto ctx = std::make_shared<CkksContext>(CkksParams::unitTest());
+    // N = 2^10 with a ~250-bit chain is nowhere near 128-bit security;
+    // the estimate must say so loudly.
+    EXPECT_GT(ctx->logQP(), 200.0);
+    EXPECT_LT(ctx->securityBits(), 32.0);
+}
+
+TEST(SecurityEstimate, WiderModulusLowersSecurity)
+{
+    double a = estimateSecurityBits(16, 1000);
+    double b = estimateSecurityBits(16, 2000);
+    EXPECT_GT(a, b);
+}
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Serialization round trips for polynomials, ciphertexts, plaintexts and
+ * switching keys, including the wire-size halving of seed-compressed
+ * keys and corruption rejection.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckks/serialize.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+using test::maxError;
+using test::randomSlots;
+
+class SerializeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        h = std::make_unique<CkksHarness>(CkksParams::unitTest());
+    }
+    std::unique_ptr<CkksHarness> h;
+};
+
+TEST_F(SerializeTest, PolyRoundTrip)
+{
+    auto v = randomSlots(h->ctx->slots(), 1);
+    Plaintext pt = h->encoder->encode(v, h->ctx->scale(), 3);
+
+    std::stringstream ss;
+    savePoly(ss, pt.poly);
+    EXPECT_EQ(static_cast<size_t>(ss.tellp()), polyWireSize(pt.poly));
+    RnsPoly back = loadPoly(ss, h->ctx->ring());
+    EXPECT_TRUE(back.equals(pt.poly));
+}
+
+TEST_F(SerializeTest, CoeffRepPolyRoundTrip)
+{
+    auto v = randomSlots(h->ctx->slots(), 2);
+    Plaintext pt = h->encoder->encode(v, h->ctx->scale(), 2);
+    pt.poly.toCoeff();
+    std::stringstream ss;
+    savePoly(ss, pt.poly);
+    RnsPoly back = loadPoly(ss, h->ctx->ring());
+    EXPECT_EQ(back.rep(), Rep::Coeff);
+    EXPECT_TRUE(back.equals(pt.poly));
+}
+
+TEST_F(SerializeTest, CiphertextRoundTripDecrypts)
+{
+    auto v = randomSlots(h->ctx->slots(), 3);
+    Ciphertext ct = h->encryptSlots(v, 3);
+    std::stringstream ss;
+    saveCiphertext(ss, ct);
+    Ciphertext back = loadCiphertext(ss, h->ctx->ring());
+    EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+    EXPECT_LT(maxError(v, h->decryptSlots(back)), 1e-5);
+}
+
+TEST_F(SerializeTest, PlaintextRoundTrip)
+{
+    auto v = randomSlots(h->ctx->slots(), 4);
+    Plaintext pt = h->encoder->encode(v, h->ctx->scale(), 2);
+    std::stringstream ss;
+    savePlaintext(ss, pt);
+    Plaintext back = loadPlaintext(ss, h->ctx->ring());
+    EXPECT_LT(maxError(v, h->encoder->decode(back)), 1e-6);
+}
+
+TEST_F(SerializeTest, SwitchingKeyRoundTripStillWorks)
+{
+    std::stringstream ss;
+    saveSwitchingKey(ss, h->rlk);
+    SwitchingKey back = loadSwitchingKey(ss, h->ctx->ring());
+    ASSERT_EQ(back.numDigits(), h->rlk.numDigits());
+
+    auto a = randomSlots(h->ctx->slots(), 5);
+    auto b = randomSlots(h->ctx->slots(), 6);
+    auto ca = h->encryptSlots(a, 3);
+    auto cb = h->encryptSlots(b, 3);
+    auto w = h->decryptSlots(h->eval->mul(ca, cb, back));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(w[i] - a[i] * b[i]), 1e-4);
+}
+
+TEST_F(SerializeTest, CompressedKeyHalvesWireSize)
+{
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey key = keygen.galoisKey(h->sk, 5);
+    size_t full = switchingKeyWireSize(key);
+
+    SwitchingKey compressed = key;
+    compressed.compress();
+    size_t small = switchingKeyWireSize(compressed);
+    // Headers aside, the a-halves are gone: strictly under 55% of full.
+    EXPECT_LT(static_cast<double>(small), 0.55 * static_cast<double>(full));
+
+    // Round trip through bytes, re-expand, compare bit-exactly.
+    std::stringstream ss;
+    saveSwitchingKey(ss, compressed);
+    SwitchingKey back = loadSwitchingKey(ss, h->ctx->ring());
+    EXPECT_TRUE(back.isCompressed());
+    back.expand(*h->ctx);
+    for (size_t j = 0; j < key.numDigits(); ++j) {
+        EXPECT_TRUE(back.a(j).equals(key.a(j))) << "digit " << j;
+        EXPECT_TRUE(back.b(j).equals(key.b(j))) << "digit " << j;
+    }
+}
+
+
+TEST_F(SerializeTest, GaloisKeysRoundTrip)
+{
+    GaloisKeys gks = h->makeGaloisKeys({1, 3}, /*conj=*/true);
+    std::stringstream ss;
+    saveGaloisKeys(ss, gks);
+    GaloisKeys back = loadGaloisKeys(ss, h->ctx->ring());
+    ASSERT_EQ(back.size(), gks.size());
+
+    // The reloaded keys must still rotate correctly.
+    auto a = randomSlots(h->ctx->slots(), 9);
+    auto ca = h->encryptSlots(a, 3);
+    auto w = h->decryptSlots(h->eval->rotate(ca, 3, back));
+    const size_t slots = h->ctx->slots();
+    for (size_t k = 0; k < slots; ++k)
+        EXPECT_LT(std::abs(w[k] - a[(k + 3) % slots]), 1e-4);
+}
+
+TEST_F(SerializeTest, PublicKeyRoundTripEncrypts)
+{
+    std::stringstream ss;
+    savePublicKey(ss, h->pk);
+    PublicKey back = loadPublicKey(ss, h->ctx->ring());
+    Encryptor enc2(h->ctx, back);
+    auto v = randomSlots(h->ctx->slots(), 10);
+    Plaintext pt = h->encoder->encode(v, h->ctx->scale(), 2);
+    Ciphertext ct = enc2.encrypt(pt);
+    EXPECT_LT(maxError(v, h->decryptSlots(ct)), 1e-5);
+}
+
+TEST_F(SerializeTest, SeededCiphertextHalvesWireSizeAndDecrypts)
+{
+    auto v = randomSlots(h->ctx->slots(), 11);
+    Plaintext pt = h->encoder->encode(v, h->ctx->scale(), 3);
+    SeededCiphertext sct =
+        h->encryptor->encryptSymmetricSeeded(pt, h->sk);
+
+    std::stringstream ss;
+    saveSeededCiphertext(ss, sct);
+    size_t seeded_bytes = static_cast<size_t>(ss.tellp());
+
+    Ciphertext full = expandSeeded(*h->ctx, sct);
+    std::stringstream fs;
+    saveCiphertext(fs, full);
+    size_t full_bytes = static_cast<size_t>(fs.tellp());
+    EXPECT_LT(static_cast<double>(seeded_bytes), 0.55 * full_bytes);
+
+    // Round trip, re-expand, decrypt.
+    SeededCiphertext back = loadSeededCiphertext(ss, h->ctx->ring());
+    Ciphertext ct = expandSeeded(*h->ctx, back);
+    EXPECT_TRUE(ct.c1.equals(full.c1)); // bit-exact expansion
+    EXPECT_LT(maxError(v, h->decryptSlots(ct)), 1e-5);
+}
+
+TEST_F(SerializeTest, RejectsCorruptedStreams)
+{
+    auto v = randomSlots(h->ctx->slots(), 7);
+    Ciphertext ct = h->encryptSlots(v, 2);
+    std::stringstream ss;
+    saveCiphertext(ss, ct);
+    std::string bytes = ss.str();
+
+    // Wrong magic.
+    {
+        std::string bad = bytes;
+        bad[0] ^= 0xFF;
+        std::stringstream in(bad);
+        EXPECT_THROW(loadCiphertext(in, h->ctx->ring()),
+                     std::invalid_argument);
+    }
+    // Truncated.
+    {
+        std::stringstream in(bytes.substr(0, bytes.size() / 2));
+        EXPECT_THROW(loadCiphertext(in, h->ctx->ring()),
+                     std::invalid_argument);
+    }
+    // Out-of-range limb value: flip high bits of a data word.
+    {
+        std::string bad = bytes;
+        bad[bad.size() - 5] = char(0xFF);
+        bad[bad.size() - 4] = char(0xFF);
+        std::stringstream in(bad);
+        EXPECT_THROW(loadCiphertext(in, h->ctx->ring()),
+                     std::invalid_argument);
+    }
+}
+
+TEST_F(SerializeTest, PolyFromDifferentRingRejected)
+{
+    auto v = randomSlots(h->ctx->slots(), 8);
+    Plaintext pt = h->encoder->encode(v, h->ctx->scale(), 2);
+    std::stringstream ss;
+    savePoly(ss, pt.poly);
+
+    CkksParams other = CkksParams::unitTest();
+    other.log_n = 11;
+    auto other_ctx = std::make_shared<CkksContext>(other);
+    EXPECT_THROW(loadPoly(ss, other_ctx->ring()), std::invalid_argument);
+}
+
+} // namespace
+} // namespace madfhe

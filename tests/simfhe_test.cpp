@@ -1,0 +1,343 @@
+/**
+ * @file
+ * SimFHE model tests: Table 4 calibration bands, optimization invariants
+ * (caching never changes compute; every optimization tier is monotone in
+ * DRAM), cache feasibility gating, the Equation 3 throughput metric, and
+ * the parameter search.
+ */
+#include <gtest/gtest.h>
+
+#include "simfhe/hardware.h"
+#include "simfhe/search.h"
+
+namespace madfhe {
+namespace simfhe {
+namespace {
+
+SchemeConfig
+baseline()
+{
+    return SchemeConfig::baselineJung();
+}
+
+CostModel
+baseModel(Optimizations o = Optimizations::none(), double cache_mb = 2)
+{
+    return CostModel(baseline(), CacheConfig::megabytes(cache_mb), o);
+}
+
+void
+expectWithin(double got, double want, double rel_tol, const char* what)
+{
+    EXPECT_LE(std::abs(got - want), rel_tol * want)
+        << what << ": got " << got << ", paper " << want;
+}
+
+TEST(SchemeConfig, DerivedQuantitiesMatchPaper)
+{
+    SchemeConfig s = baseline();
+    EXPECT_EQ(s.n(), size_t(1) << 17);
+    EXPECT_EQ(s.slots(), size_t(1) << 16);
+    EXPECT_EQ(s.alpha(), 12u); // ceil(36/3)
+    EXPECT_EQ(s.beta(35), 3u);
+    EXPECT_EQ(s.raised(35), 48u); // 3*12 + 12
+    EXPECT_NEAR(s.limbBytes(), 1048576.0, 1.0);
+    // Baseline [20]: logQ1 = 1080 = (35 - 15) * 54.
+    EXPECT_EQ(s.bootstrapDepth(), 15u);
+    EXPECT_DOUBLE_EQ(s.logQ1(), 1080.0);
+
+    SchemeConfig m = SchemeConfig::madOptimal();
+    // Ours: logQ1 = 950 = (40 - 21) * 50 (Table 6 MAD rows).
+    EXPECT_EQ(m.bootstrapDepth(), 21u);
+    EXPECT_DOUBLE_EQ(m.logQ1(), 950.0);
+}
+
+TEST(CostModelTable4, PrimitiveOpsWithinTenPercent)
+{
+    CostModel m = baseModel();
+    expectWithin(m.ptAdd(35).ops(), 0.0046e9, 0.10, "PtAdd ops");
+    expectWithin(m.add(35).ops(), 0.0092e9, 0.10, "Add ops");
+    expectWithin(m.ptMult(35).ops(), 0.2747e9, 0.10, "PtMult ops");
+    expectWithin(m.decomp(35).ops(), 0.0092e9, 0.10, "Decomp ops");
+    expectWithin(m.modUpDigit(35).ops(), 0.2847e9, 0.10, "ModUp ops");
+    expectWithin(m.kskInnerProd(35).ops(), 0.0629e9, 0.25, "KSKIP ops");
+    expectWithin(m.modDownPoly(35).ops(), 0.3000e9, 0.10, "ModDown ops");
+    expectWithin(m.mult(35).ops(), 1.8333e9, 0.10, "Mult ops");
+    expectWithin(m.rotate(35).ops(), 1.5310e9, 0.10, "Rotate ops");
+    EXPECT_EQ(m.automorph(35).ops(), 0.0);
+}
+
+TEST(CostModelTable4, PrimitiveDramWithinBand)
+{
+    CostModel m = baseModel();
+    expectWithin(m.ptAdd(35).bytes(), 0.1101e9, 0.02, "PtAdd GB");
+    expectWithin(m.add(35).bytes(), 0.2202e9, 0.02, "Add GB");
+    expectWithin(m.ptMult(35).bytes(), 0.3282e9, 0.02, "PtMult GB");
+    expectWithin(m.decomp(35).bytes(), 0.0734e9, 0.02, "Decomp GB");
+    expectWithin(m.modUpDigit(35).bytes(), 0.1510e9, 0.02, "ModUp GB");
+    expectWithin(m.modDownPoly(35).bytes(), 0.1877e9, 0.02, "ModDown GB");
+    expectWithin(m.automorph(35).bytes(), 0.1468e9, 0.02, "Automorph GB");
+    expectWithin(m.kskInnerProd(35).bytes(), 0.4530e9, 0.25, "KSKIP GB");
+    expectWithin(m.mult(35).bytes(), 1.9293e9, 0.15, "Mult GB");
+    expectWithin(m.rotate(35).bytes(), 1.5645e9, 0.15, "Rotate GB");
+}
+
+TEST(CostModelTable4, BootstrapMagnitudes)
+{
+    CostModel m = baseModel();
+    Cost b = m.bootstrap();
+    // Paper: 149.5 Gops; our schedule lands within 10%.
+    expectWithin(b.ops(), 149.546e9, 0.10, "Bootstrap ops");
+    // Paper: 208 GB for the (already kernel-fused) Jung baseline; our
+    // fully naive baseline is allowed to sit up to 50% above it.
+    EXPECT_GT(b.bytes(), 200e9);
+    EXPECT_LT(b.bytes(), 320e9);
+    // All primitives and bootstrap are memory bound: AI < 1 op/byte.
+    EXPECT_LT(b.intensity(), 1.0);
+}
+
+TEST(CostModelInvariants, CachingOptsNeverChangeCompute)
+{
+    Cost base = baseModel(Optimizations::none()).bootstrap();
+    for (auto o : {Optimizations::o1(), Optimizations::upToBeta(),
+                   Optimizations::upToAlpha(), Optimizations::allCaching()}) {
+        Cost c = baseModel(o, 32).bootstrap();
+        EXPECT_DOUBLE_EQ(c.ops(), base.ops()) << o.describe();
+    }
+}
+
+TEST(CostModelInvariants, CachingTiersMonotoneInDram)
+{
+    double prev = baseModel(Optimizations::none()).bootstrap().bytes();
+    for (auto o : {Optimizations::o1(), Optimizations::upToBeta(),
+                   Optimizations::upToAlpha(), Optimizations::allCaching()}) {
+        double cur = baseModel(o, 32).bootstrap().bytes();
+        EXPECT_LT(cur, prev) << o.describe();
+        prev = cur;
+    }
+}
+
+TEST(CostModelInvariants, FullCachingReachesPaperReduction)
+{
+    double base = baseModel(Optimizations::none()).bootstrap().bytes();
+    double full = baseModel(Optimizations::allCaching(), 32)
+                      .bootstrap().bytes();
+    double reduction = 1.0 - full / base;
+    // Paper Figure 2: 52% cumulative reduction.
+    EXPECT_GT(reduction, 0.40);
+    EXPECT_LT(reduction, 0.65);
+}
+
+TEST(CostModelInvariants, CachingLiftsIntensityTowardPaper)
+{
+    double ai0 = baseModel(Optimizations::none()).bootstrap().intensity();
+    double ai1 =
+        baseModel(Optimizations::allCaching(), 32).bootstrap().intensity();
+    // Paper: 0.72 -> 1.25 (~1.7x). Ours starts lower (more naive
+    // baseline) but must land in the same band and gain >= 1.6x.
+    EXPECT_GT(ai1, 1.0);
+    EXPECT_LT(ai1, 1.5);
+    EXPECT_GT(ai1 / ai0, 1.6);
+}
+
+TEST(CostModelInvariants, AlgorithmicOptsReduceCompute)
+{
+    SchemeConfig s = SchemeConfig::madOptimal();
+    CacheConfig c32 = CacheConfig::megabytes(32);
+    double caching = CostModel(s, c32, Optimizations::allCaching())
+                         .bootstrap().ops();
+    double merged = CostModel(s, c32, Optimizations::withMerge())
+                        .bootstrap().ops();
+    double hoisted = CostModel(s, c32, Optimizations::withHoist())
+                         .bootstrap().ops();
+    // ModDown merge trims compute a few percent (paper: 6%).
+    EXPECT_LT(merged, caching);
+    EXPECT_GT(merged, caching * 0.90);
+    // ModDown hoisting is the big compute win (paper: 34%).
+    EXPECT_LT(hoisted, merged * 0.75);
+}
+
+TEST(CostModelInvariants, KeyCompressionHalvesKeyReadsExactly)
+{
+    SchemeConfig s = SchemeConfig::madOptimal();
+    CacheConfig c32 = CacheConfig::megabytes(32);
+    Cost before = CostModel(s, c32, Optimizations::withHoist()).bootstrap();
+    Cost after = CostModel(s, c32, Optimizations::all()).bootstrap();
+    EXPECT_DOUBLE_EQ(after.key_read, before.key_read / 2.0);
+    EXPECT_DOUBLE_EQ(after.ops(), before.ops());
+    EXPECT_DOUBLE_EQ(after.ct_read, before.ct_read);
+}
+
+TEST(CostModelInvariants, FullMadTriplesArithmeticIntensity)
+{
+    // Paper headline: 3x bootstrapping AI vs the baseline benchmark.
+    double base = baseModel(Optimizations::none()).bootstrap().intensity();
+    SchemeConfig s = SchemeConfig::madOptimal();
+    double full = CostModel(s, CacheConfig::megabytes(32),
+                            Optimizations::all()).bootstrap().intensity();
+    EXPECT_GT(full / base, 2.5);
+    EXPECT_LT(full / base, 4.0);
+}
+
+TEST(Feasibility, SmallCachesDisableBigOptimizations)
+{
+    SchemeConfig s = baseline(); // alpha = 12
+    auto all = Optimizations::all();
+
+    auto at6 = all.feasible(s, CacheConfig::megabytes(6));
+    EXPECT_TRUE(at6.cache_o1);
+    EXPECT_TRUE(at6.cache_beta);
+    EXPECT_FALSE(at6.cache_alpha);
+    EXPECT_FALSE(at6.limb_reorder);
+
+    auto at1 = all.feasible(s, CacheConfig::megabytes(1.5));
+    EXPECT_TRUE(at1.cache_o1);
+    EXPECT_FALSE(at1.cache_beta);
+
+    auto at32 = all.feasible(s, CacheConfig::megabytes(32));
+    EXPECT_TRUE(at32.cache_alpha);
+    EXPECT_TRUE(at32.limb_reorder);
+}
+
+TEST(Feasibility, MoreCacheNeverHurts)
+{
+    SchemeConfig s = baseline();
+    auto opts = Optimizations::all();
+    double prev = 1e30;
+    for (double mb : {1.0, 2.0, 6.0, 16.0, 32.0, 64.0, 256.0}) {
+        CostModel m(s, CacheConfig::megabytes(mb), opts);
+        double bytes = m.bootstrap().bytes();
+        EXPECT_LE(bytes, prev + 1.0) << mb << " MB";
+        prev = bytes;
+    }
+}
+
+TEST(Hardware, ThroughputMetricMatchesTable6Arithmetic)
+{
+    // GPU row: 2^16 slots, logQ1 = 1080, bp 19, 328.7 ms -> 409.
+    SchemeConfig s = baseline();
+    double tput = bootstrapThroughput(s, 0.3287);
+    EXPECT_NEAR(tput, 409.0, 2.0);
+
+    // MAD row: logQ1 = 950, 39.35 ms -> 3006.
+    SchemeConfig m = SchemeConfig::madOptimal();
+    EXPECT_NEAR(bootstrapThroughput(m, 0.03935), 3006.0, 10.0);
+}
+
+TEST(Hardware, RooflineMath)
+{
+    HardwareDesign hw = HardwareDesign::gpu();
+    Cost c;
+    c.mul = 9e9;            // 9 Gops at 2250 Gop/s -> 4 ms
+    c.ct_read = 9e9;        // 9 GB at 900 GB/s -> 10 ms
+    EXPECT_NEAR(computeTimeSec(hw, c), 0.004, 1e-9);
+    EXPECT_NEAR(memoryTimeSec(hw, c), 0.010, 1e-9);
+    EXPECT_NEAR(runtimeSec(hw, c), 0.010, 1e-9);
+    EXPECT_TRUE(memoryBound(hw, c));
+}
+
+TEST(Hardware, PresetsMatchTable6Columns)
+{
+    auto designs = HardwareDesign::all();
+    ASSERT_EQ(designs.size(), 5u);
+    EXPECT_EQ(designs[1].name, "F1");
+    EXPECT_NEAR(designs[1].modmult_count, 18432, 1);
+    EXPECT_NEAR(designs[2].onchip_mb, 512, 1);
+    EXPECT_NEAR(designs[4].bandwidth, 2.4e12, 1e9);
+    EXPECT_NEAR(designs[0].published_boot_ms, 328.7, 0.01);
+}
+
+TEST(Hardware, MadMakesBigCacheAsicsComputeBound)
+{
+    // The Section 4.2 claim: after MAD, BTS and CraterLake become
+    // compute-bound, so growing the cache beyond 32 MB buys nothing.
+    SchemeConfig s = SchemeConfig::madOptimal();
+    Cost c = CostModel(s, CacheConfig::megabytes(32),
+                       Optimizations::all()).bootstrap();
+    EXPECT_FALSE(memoryBound(HardwareDesign::bts().withCache(32), c));
+    EXPECT_FALSE(memoryBound(HardwareDesign::craterlake().withCache(32), c));
+    // The GPU stays memory-bound.
+    EXPECT_TRUE(memoryBound(HardwareDesign::gpu().withCache(32), c));
+}
+
+TEST(Search, FindsFeasibleHighThroughputParameters)
+{
+    SearchSpace space;
+    space.min_limb_bits = 44;
+    space.max_limb_bits = 58;
+    space.min_limbs = 28;
+    space.max_limbs = 44;
+    space.dnums = {1, 2, 3, 4};
+    space.fft_iters = {2, 3, 4, 5, 6, 7};
+
+    HardwareDesign hw = HardwareDesign::gpu().withCache(32);
+    auto results = searchParameters(space, hw, 5);
+    ASSERT_FALSE(results.empty());
+
+    const auto& best = results.front();
+    // Security budget respected.
+    double log_qp = (best.config.boot_limbs + 1 + best.config.alpha()) *
+                    best.config.limb_bits;
+    EXPECT_LE(log_qp, maxLogQP(17));
+    // The search must beat (or match) the baseline parameter set.
+    CostModel base_model(baseline(), CacheConfig::megabytes(32),
+                         Optimizations::all());
+    double base_tput = bootstrapThroughput(
+        baseline(), runtimeSec(hw, base_model.bootstrap()));
+    EXPECT_GE(best.throughput, base_tput);
+    // Results are sorted descending.
+    for (size_t i = 1; i < results.size(); ++i)
+        EXPECT_GE(results[i - 1].throughput, results[i].throughput);
+}
+
+
+TEST(SparseBootstrap, FewerSlotsCostLess)
+{
+    SchemeConfig full = SchemeConfig::madOptimal();
+    SchemeConfig sparse = full;
+    sparse.boot_slots = 1 << 13;
+    CacheConfig c32 = CacheConfig::megabytes(32);
+    Cost cf = CostModel(full, c32, Optimizations::all()).bootstrap();
+    Cost cs = CostModel(sparse, c32, Optimizations::all()).bootstrap();
+    EXPECT_LT(cs.ops(), cf.ops());
+    EXPECT_LT(cs.bytes(), cf.bytes());
+    // Fully packed default is unchanged.
+    EXPECT_EQ(full.bootSlots(), full.slots());
+    EXPECT_EQ(sparse.bootSlots(), size_t(1) << 13);
+}
+
+TEST(SparseBootstrap, ThroughputScalesWithUsefulSlots)
+{
+    SchemeConfig sparse = SchemeConfig::madOptimal();
+    sparse.boot_slots = 1 << 13;
+    // Equation 3 counts only refreshed slots.
+    double t_full = bootstrapThroughput(SchemeConfig::madOptimal(), 0.05);
+    double t_sparse = bootstrapThroughput(sparse, 0.05);
+    EXPECT_NEAR(t_full / t_sparse, 8.0, 1e-9);
+}
+
+class CacheSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CacheSweep, EffectiveOptsRespectFeasibility)
+{
+    SchemeConfig s = baseline();
+    CostModel m(s, CacheConfig::megabytes(GetParam()),
+                Optimizations::all());
+    auto eff = m.effective();
+    auto expect = Optimizations::all().feasible(
+        s, CacheConfig::megabytes(GetParam()));
+    EXPECT_EQ(eff.cache_o1, expect.cache_o1);
+    EXPECT_EQ(eff.cache_beta, expect.cache_beta);
+    EXPECT_EQ(eff.cache_alpha, expect.cache_alpha);
+    EXPECT_EQ(eff.limb_reorder, expect.limb_reorder);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 6.0, 16.0, 27.0,
+                                           32.0, 64.0, 512.0));
+
+} // namespace
+} // namespace simfhe
+} // namespace madfhe

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared fixtures/helpers for CKKS-level tests.
+ */
+#ifndef MADFHE_TESTS_TEST_UTIL_H
+#define MADFHE_TESTS_TEST_UTIL_H
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace test {
+
+/** Random complex vector with entries in the unit box. */
+inline std::vector<std::complex<double>>
+randomSlots(size_t count, u64 seed)
+{
+    Prng rng(seed);
+    std::vector<std::complex<double>> v(count);
+    for (auto& z : v)
+        z = {2.0 * rng.uniformReal() - 1.0, 2.0 * rng.uniformReal() - 1.0};
+    return v;
+}
+
+inline std::vector<double>
+randomReals(size_t count, u64 seed)
+{
+    Prng rng(seed);
+    std::vector<double> v(count);
+    for (auto& x : v)
+        x = 2.0 * rng.uniformReal() - 1.0;
+    return v;
+}
+
+/** Max |a - b| over paired entries. */
+inline double
+maxError(const std::vector<std::complex<double>>& a,
+         const std::vector<std::complex<double>>& b)
+{
+    double m = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+/** Everything needed to run end-to-end CKKS in a test. */
+struct CkksHarness
+{
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksEncoder> encoder;
+    SecretKey sk;
+    PublicKey pk;
+    SwitchingKey rlk;
+    std::unique_ptr<Encryptor> encryptor;
+    std::unique_ptr<Decryptor> decryptor;
+    std::unique_ptr<Evaluator> eval;
+
+    explicit CkksHarness(const CkksParams& params, EvalOptions opts = {})
+    {
+        ctx = std::make_shared<CkksContext>(params);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        KeyGenerator keygen(ctx);
+        sk = keygen.secretKey();
+        pk = keygen.publicKey(sk);
+        rlk = keygen.relinKey(sk);
+        encryptor = std::make_unique<Encryptor>(ctx, pk);
+        decryptor = std::make_unique<Decryptor>(ctx, sk);
+        eval = std::make_unique<Evaluator>(ctx, opts);
+    }
+
+    Ciphertext
+    encryptSlots(const std::vector<std::complex<double>>& v, size_t level)
+    {
+        Plaintext pt = encoder->encode(v, ctx->scale(), level);
+        return encryptor->encrypt(pt);
+    }
+
+    std::vector<std::complex<double>>
+    decryptSlots(const Ciphertext& ct)
+    {
+        return encoder->decode(decryptor->decrypt(ct));
+    }
+
+    GaloisKeys
+    makeGaloisKeys(const std::vector<int>& steps, bool conj = false)
+    {
+        KeyGenerator keygen(ctx);
+        // Re-derive the same secret key stream is not possible; generate
+        // keys from the stored secret key directly.
+        return keygen.galoisKeys(sk, steps, conj);
+    }
+};
+
+} // namespace test
+} // namespace madfhe
+
+#endif // MADFHE_TESTS_TEST_UTIL_H

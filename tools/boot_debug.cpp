@@ -1,0 +1,137 @@
+#include <cstdio>
+#include <cmath>
+#include "boot/bootstrapper.h"
+#include "boot/dft.h"
+#include "ckks/encryptor.h"
+
+using namespace madfhe;
+
+int main() {
+    CkksParams p = CkksParams::bootstrapToy();
+    p.log_n = 11;
+    p.hamming_weight = 16;
+    auto ctx = std::make_shared<CkksContext>(p);
+    CkksEncoder enc(ctx);
+    KeyGenerator kg(ctx);
+    auto sk = kg.secretKey();
+    auto pk = kg.publicKey(sk);
+    auto rlk = kg.relinKey(sk);
+    Encryptor encryptor(ctx, pk);
+    Decryptor dec(ctx, sk);
+    Evaluator eval(ctx);
+
+    BootstrapParams bp; bp.k_bound = 8.0; bp.sine_degree = 71;
+    Bootstrapper boot(ctx, bp);
+    auto gks = kg.galoisKeys(sk, boot.requiredRotations(), true);
+
+    const size_t slots = ctx->slots();
+    std::vector<std::complex<double>> v(slots);
+    for (size_t i = 0; i < slots; ++i) v[i] = {0.5*std::sin(i*0.1), 0.25*std::cos(i*0.3)};
+    Plaintext pt = enc.encode(v, ctx->scale(), 1);
+    Ciphertext ct = encryptor.encrypt(pt);
+
+    double delta = ctx->scale();
+    double q0 = (double)ctx->qValue(0);
+    double K = bp.k_bound;
+
+    // reference coefficients of message (t' = Delta*m)
+    Plaintext ptd = dec.decrypt(ct);
+    RnsPoly cpoly = ptd.poly; cpoly.setRep(Rep::Coeff);
+    auto tprime = enc.decodeCoefficients(cpoly); // Delta*m_k + noise
+
+    // step 1: modRaise
+    Ciphertext raised = boot.modRaise(ct);
+    Plaintext praise = dec.decrypt(raised);
+    RnsPoly rp = praise.poly; rp.setRep(Rep::Coeff);
+    auto t = enc.decodeCoefficients(rp);
+    double maxI = 0, maxres = 0;
+    for (size_t k = 0; k < t.size(); ++k) {
+        double I = std::round(t[k]/q0);
+        maxI = std::max(maxI, std::abs(I));
+        double res = t[k] - I*q0;   // should equal tprime
+        maxres = std::max(maxres, std::abs(res - tprime[k]));
+    }
+    printf("modRaise: max|I| = %.1f, max|t mod q0 - t'| = %.3g (Delta=%.3g)\n", maxI, maxres, delta);
+
+    // step 2: CtoS
+    auto ctos_factors_check = coeffToSlotFactors(slots, 3, delta/(2*q0*K));
+    Ciphertext tcs = raised;
+    {
+        // replicate the private pipeline: use bootstrap's own via friend? Just rebuild LinearTransforms
+        MatVecOptions mv;
+        for (auto& m : ctos_factors_check) {
+            LinearTransform lt(ctx, m, delta, mv);
+            tcs = lt.apply(eval, enc, tcs, gks);
+        }
+    }
+    auto cs_slots = enc.decode(dec.decrypt(tcs));
+    // expected: slot k = c * w_{br(k)} where w_k = (t_k + i t_{k+n})/Delta, c = delta/(2 q0 K) => value=(t_k+i t_{k+n})/(2 q0 K)
+    unsigned logn = 0; while ((1u<<logn) < slots) logn++;
+    auto br = [&](size_t i){ size_t r=0; for (unsigned b=0;b<logn;b++) r |= ((i>>b)&1)<<(logn-1-b); return r; };
+    double maxcs = 0;
+    for (size_t k = 0; k < slots; ++k) {
+        size_t src = br(k);
+        std::complex<double> expect = {t[src]/(2*q0*K), t[src+slots]/(2*q0*K)};
+        maxcs = std::max(maxcs, std::abs(cs_slots[k]-expect));
+    }
+    printf("CtoS: max err vs expected = %.3g (typical magnitude %.3g), level=%zu scale=%.3g\n",
+           maxcs, std::abs(cs_slots[0]), tcs.level(), tcs.scale/delta);
+    // step 3: conj split
+    Ciphertext tconj = eval.conjugate(tcs, gks);
+    Ciphertext ct_re = eval.add(tcs, tconj);
+    // build monomial
+    RnsPoly mono(ctx->ring(), ctx->ring()->qIndices(ctx->maxLevel()), Rep::Coeff);
+    for (size_t i = 0; i < mono.numLimbs(); ++i) mono.limb(i)[ctx->degree()/2] = 1;
+    mono.toEval();
+    auto mulI = [&](const Ciphertext& c){
+        Ciphertext o = c;
+        RnsPoly mm = extractLimbs(mono, c.c0.basis());
+        o.c0.mulPointwise(mm); o.c1.mulPointwise(mm);
+        return o;
+    };
+    Ciphertext ct_im = eval.negate(mulI(eval.sub(tcs, tconj)));
+    auto re_slots = enc.decode(dec.decrypt(ct_re));
+    auto im_slots = enc.decode(dec.decrypt(ct_im));
+    double maxre = 0, maxim = 0, maxx = 0;
+    for (size_t k = 0; k < slots; ++k) {
+        size_t src = br(k);
+        maxre = std::max(maxre, std::abs(re_slots[k] - std::complex<double>(t[src]/(q0*K),0)));
+        maxim = std::max(maxim, std::abs(im_slots[k] - std::complex<double>(t[src+slots]/(q0*K),0)));
+        maxx = std::max({maxx, std::abs(t[src]/(q0*K)), std::abs(t[src+slots]/(q0*K))});
+    }
+    printf("conj split: re err=%.3g im err=%.3g, max|x|=%.3f\n", maxre, maxim, maxx);
+
+    // step 4: EvalMod
+    const double two_pi_k = 2.0*std::acos(-1.0)*K;
+    ChebyshevEvaluator sine(ctx, chebyshevInterpolate([two_pi_k](double x){return std::sin(two_pi_k*x)/two_pi_k;}, bp.sine_degree));
+    Ciphertext re2 = sine.evaluate(eval, enc, ct_re, rlk);
+    Ciphertext im2 = sine.evaluate(eval, enc, ct_im, rlk);
+    auto re2s = enc.decode(dec.decrypt(re2));
+    auto im2s = enc.decode(dec.decrypt(im2));
+    double maxe = 0;
+    for (size_t k = 0; k < slots; ++k) {
+        size_t src = br(k);
+        double expect_re = (t[src] - std::round(t[src]/q0)*q0)/(q0*K);
+        double expect_im = (t[src+slots] - std::round(t[src+slots]/q0)*q0)/(q0*K);
+        maxe = std::max({maxe, std::abs(re2s[k]-std::complex<double>(expect_re,0)), std::abs(im2s[k]-std::complex<double>(expect_im,0))});
+    }
+    printf("EvalMod: err=%.3g (expected magnitude ~ %.3g) level=%zu scale/delta=%.4f\n",
+           maxe, delta/(q0*K)*0.5, re2.level(), re2.scale/delta);
+
+    // step 5: recombine + StoC
+    size_t lvl = std::min(re2.level(), im2.level());
+    re2 = eval.dropToLevel(re2, lvl); im2 = eval.dropToLevel(im2, lvl);
+    Ciphertext u = eval.add(re2, mulI(im2));
+    auto stoc_factors = slotToCoeffFactors(slots, 3, q0*K/delta);
+    for (auto& m : stoc_factors) {
+        MatVecOptions mv;
+        LinearTransform lt(ctx, m, delta, mv);
+        u = lt.apply(eval, enc, u, gks);
+    }
+    auto final_slots = enc.decode(dec.decrypt(u));
+    double maxfin = 0;
+    for (size_t k = 0; k < slots; ++k)
+        maxfin = std::max(maxfin, std::abs(final_slots[k] - v[k]));
+    printf("final: err=%.3g level=%zu scale/delta=%.4f\n", maxfin, u.level(), u.scale/delta);
+    return 0;
+}

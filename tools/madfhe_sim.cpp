@@ -1,0 +1,150 @@
+/**
+ * @file
+ * madfhe_sim — command-line front end to SimFHE: evaluate a CKKS
+ * parameter set + cache size + optimization selection on a hardware
+ * design, printing ops, DRAM breakdown, roofline runtime and the Eq. 3
+ * throughput.
+ *
+ * Usage:
+ *   madfhe_sim [--logn N] [--q BITS] [--limbs L] [--dnum D] [--fftiter I]
+ *              [--cache-mb MB] [--opts none|caching|all]
+ *              [--design gpu|f1|bts|ark|craterlake] [--op OP]
+ *
+ * --op selects what to cost: bootstrap (default), mult, rotate, ptmult,
+ * add, keyswitch.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "simfhe/hardware.h"
+#include "simfhe/report.h"
+
+using namespace madfhe::simfhe;
+
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--logn N] [--q BITS] [--limbs L] [--dnum D]\n"
+                 "          [--fftiter I] [--cache-mb MB]\n"
+                 "          [--opts none|caching|all]\n"
+                 "          [--design gpu|f1|bts|ark|craterlake]\n"
+                 "          [--op bootstrap|mult|rotate|ptmult|add|"
+                 "keyswitch]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    SchemeConfig s = SchemeConfig::madOptimal();
+    double cache_mb = 32;
+    std::string opts_name = "all";
+    std::string design_name = "gpu";
+    std::string op = "bootstrap";
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--logn"))
+            s.log_n = static_cast<unsigned>(std::stoul(need("--logn")));
+        else if (!std::strcmp(argv[i], "--q"))
+            s.limb_bits = static_cast<unsigned>(std::stoul(need("--q")));
+        else if (!std::strcmp(argv[i], "--limbs"))
+            s.boot_limbs = std::stoul(need("--limbs"));
+        else if (!std::strcmp(argv[i], "--dnum"))
+            s.dnum = std::stoul(need("--dnum"));
+        else if (!std::strcmp(argv[i], "--fftiter"))
+            s.fft_iter = std::stoul(need("--fftiter"));
+        else if (!std::strcmp(argv[i], "--cache-mb"))
+            cache_mb = std::stod(need("--cache-mb"));
+        else if (!std::strcmp(argv[i], "--opts"))
+            opts_name = need("--opts");
+        else if (!std::strcmp(argv[i], "--design"))
+            design_name = need("--design");
+        else if (!std::strcmp(argv[i], "--op"))
+            op = need("--op");
+        else
+            usage(argv[0]);
+    }
+
+    Optimizations opts;
+    if (opts_name == "none")
+        opts = Optimizations::none();
+    else if (opts_name == "caching")
+        opts = Optimizations::allCaching();
+    else if (opts_name == "all")
+        opts = Optimizations::all();
+    else
+        usage(argv[0]);
+
+    HardwareDesign hw = HardwareDesign::gpu();
+    if (design_name == "gpu")
+        hw = HardwareDesign::gpu();
+    else if (design_name == "f1")
+        hw = HardwareDesign::f1();
+    else if (design_name == "bts")
+        hw = HardwareDesign::bts();
+    else if (design_name == "ark")
+        hw = HardwareDesign::ark();
+    else if (design_name == "craterlake")
+        hw = HardwareDesign::craterlake();
+    else
+        usage(argv[0]);
+    hw = hw.withCache(cache_mb);
+
+    CostModel model(s, CacheConfig::megabytes(cache_mb), opts);
+    Cost c;
+    if (op == "bootstrap")
+        c = model.bootstrap();
+    else if (op == "mult")
+        c = model.mult(s.boot_limbs);
+    else if (op == "rotate")
+        c = model.rotate(s.boot_limbs);
+    else if (op == "ptmult")
+        c = model.ptMult(s.boot_limbs);
+    else if (op == "add")
+        c = model.add(s.boot_limbs);
+    else if (op == "keyswitch")
+        c = model.keySwitch(s.boot_limbs);
+    else
+        usage(argv[0]);
+
+    std::printf("scheme: N=2^%u q=%u L=%zu dnum=%zu (alpha=%zu) "
+                "fftIter=%zu logQ1=%.0f\n",
+                s.log_n, s.limb_bits, s.boot_limbs, s.dnum, s.alpha(),
+                s.fft_iter, s.logQ1());
+    std::printf("cache: %.1f MB; effective opts: %s\n", cache_mb,
+                model.effective().describe().c_str());
+    std::printf("design: %s (%g modmult @%.1f GHz eff %.2f, %.0f GB/s)\n",
+                hw.name.c_str(), hw.modmult_count, hw.freq_hz / 1e9,
+                hw.efficiency, hw.bandwidth / 1e9);
+    std::printf("\n%s cost:\n", op.c_str());
+    std::printf("  compute : %.3f Gops (%.3f Gmul + %.3f Gadd)\n",
+                c.ops() / 1e9, c.mul / 1e9, c.add / 1e9);
+    std::printf("  DRAM    : %.3f GB (ct rd %.3f, ct wr %.3f, key %.3f, "
+                "pt %.3f)\n",
+                c.bytes() / 1e9, c.ct_read / 1e9, c.ct_write / 1e9,
+                c.key_read / 1e9, c.pt_read / 1e9);
+    std::printf("  AI      : %.3f op/byte\n", c.intensity());
+    double rt = runtimeSec(hw, c);
+    std::printf("  runtime : %.3f ms (%s-bound; compute %.3f ms, memory "
+                "%.3f ms)\n",
+                rt * 1e3, memoryBound(hw, c) ? "memory" : "compute",
+                computeTimeSec(hw, c) * 1e3, memoryTimeSec(hw, c) * 1e3);
+    if (op == "bootstrap")
+        std::printf("  Eq.3 throughput: %.0f\n",
+                    bootstrapThroughput(s, rt));
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * Calibration harness: prints the SimFHE model outputs next to the
+ * paper's Table 4 / Figure 2 / Figure 3 reference values.
+ */
+#include <cstdio>
+#include "simfhe/model.h"
+#include "simfhe/hardware.h"
+
+using namespace madfhe::simfhe;
+
+int main() {
+    SchemeConfig s = SchemeConfig::baselineJung();
+    CacheConfig small = CacheConfig::megabytes(2);
+    CostModel base(s, small, Optimizations::none());
+
+    const size_t l = 35;
+    struct Row { const char* name; Cost c; double paper_ops, paper_gb, paper_ai; };
+    Row rows[] = {
+        {"PtAdd", base.ptAdd(l), 0.0046, 0.1101, 0.04},
+        {"Add", base.add(l), 0.0092, 0.2202, 0.04},
+        {"PtMult", base.ptMult(l), 0.2747, 0.3282, 0.84},
+        {"Decomp", base.decomp(l), 0.0092, 0.0734, 0.12},
+        {"ModUp", base.modUpDigit(l), 0.2847, 0.1510, 1.88},
+        {"KSKIP", base.kskInnerProd(l), 0.0629, 0.4530, 0.13},
+        {"ModDown", base.modDownPoly(l), 0.3000, 0.1877, 1.59},
+        {"Mult", base.mult(l), 1.8333, 1.9293, 0.95},
+        {"Automorph", base.automorph(l), 0.0, 0.1468, 0.0},
+        {"Rotate", base.rotate(l), 1.5310, 1.5645, 0.98},
+        {"Bootstrap", base.bootstrap(), 149.546, 207.982, 0.72},
+    };
+    printf("%-10s %10s %10s %8s | %10s %10s %8s\n", "op", "Gops", "GB", "AI", "paperGops", "paperGB", "paperAI");
+    for (auto& r : rows) {
+        printf("%-10s %10.4f %10.4f %8.2f | %10.4f %10.4f %8.2f\n",
+            r.name, r.c.ops()/1e9, r.c.bytes()/1e9, r.c.intensity(),
+            r.paper_ops, r.paper_gb, r.paper_ai);
+    }
+
+    printf("\nFigure 2 (cumulative caching opts, bootstrap DRAM):\n");
+    Cost c0 = base.bootstrap();
+    struct F2 { const char* name; Optimizations o; double paper_red; double cache_mb; };
+    F2 f2[] = {
+        {"baseline", Optimizations::none(), 0.00, 2},
+        {"O(1)", Optimizations::o1(), 0.15, 2},
+        {"O(beta)", Optimizations::upToBeta(), 0.22, 6},
+        {"O(alpha)", Optimizations::upToAlpha(), 0.44, 27},
+        {"reorder", Optimizations::allCaching(), 0.52, 27},
+    };
+    for (auto& f : f2) {
+        CostModel m(s, CacheConfig::megabytes(f.cache_mb > 2 ? f.cache_mb : 2), f.o);
+        Cost c = m.bootstrap();
+        printf("%-10s GB=%8.2f red=%5.1f%% (paper %4.0f%%)  AI=%5.2f ops=%7.2fG\n",
+            f.name, c.bytes()/1e9, 100*(1 - c.bytes()/c0.bytes()), 100*f.paper_red,
+            c.intensity(), c.ops()/1e9);
+    }
+    printf("paper: caching AI 0.72 -> 1.25\n");
+
+    printf("\nFigure 3 (algorithmic opts on optimal params, 32MB):\n");
+    SchemeConfig so = SchemeConfig::madOptimal();
+    CacheConfig c32 = CacheConfig::megabytes(32);
+    struct F3 { const char* name; Optimizations o; };
+    F3 f3[] = {
+        {"caching", Optimizations::allCaching()},
+        {"+merge", Optimizations::withMerge()},
+        {"+hoist", Optimizations::withHoist()},
+        {"+keycomp", Optimizations::all()},
+    };
+    Cost prev;
+    for (size_t i = 0; i < 4; ++i) {
+        CostModel m(so, c32, f3[i].o);
+        Cost c = m.bootstrap();
+        printf("%-9s ops=%7.2fG bytes=%7.2fGB (ct r=%6.2f w=%6.2f key=%6.2f pt=%6.2f) AI=%5.2f\n",
+            f3[i].name, c.ops()/1e9, c.bytes()/1e9, c.ct_read/1e9, c.ct_write/1e9,
+            c.key_read/1e9, c.pt_read/1e9, c.intensity());
+        prev = c;
+    }
+    printf("paper: merge -6%% compute; hoist -34%% compute, -19%% ct DRAM, +25%% key reads; keycomp -50%% key reads; final AI ~3x baseline (0.72 -> ~2.2)\n");
+
+    printf("\nTable 6 MAD rows (roofline):\n");
+    for (auto hw : HardwareDesign::all()) {
+        auto h32 = hw.withCache(32);
+        SchemeConfig sm = SchemeConfig::madOptimal();
+        CostModel m(sm, CacheConfig::megabytes(32), Optimizations::all());
+        Cost c = m.bootstrap();
+        double rt = runtimeSec(h32, c);
+        printf("%-22s rt=%7.2f ms tput=%7.0f (paper boot orig %.2f ms) %s\n",
+            hw.name.c_str(), rt*1e3, bootstrapThroughput(sm, rt),
+            hw.published_boot_ms, memoryBound(h32, c) ? "mem-bound" : "compute-bound");
+    }
+    return 0;
+}
