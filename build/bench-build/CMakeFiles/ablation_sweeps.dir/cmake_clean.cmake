@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sweeps"
+  "../bench/ablation_sweeps.pdb"
+  "CMakeFiles/ablation_sweeps.dir/ablation_sweeps.cpp.o"
+  "CMakeFiles/ablation_sweeps.dir/ablation_sweeps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

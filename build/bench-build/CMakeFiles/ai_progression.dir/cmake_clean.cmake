@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ai_progression"
+  "../bench/ai_progression.pdb"
+  "CMakeFiles/ai_progression.dir/ai_progression.cpp.o"
+  "CMakeFiles/ai_progression.dir/ai_progression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bootstrap_func"
+  "../bench/bootstrap_func.pdb"
+  "CMakeFiles/bootstrap_func.dir/bootstrap_func.cpp.o"
+  "CMakeFiles/bootstrap_func.dir/bootstrap_func.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

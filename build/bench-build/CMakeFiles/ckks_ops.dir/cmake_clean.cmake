@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ckks_ops"
+  "../bench/ckks_ops.pdb"
+  "CMakeFiles/ckks_ops.dir/ckks_ops.cpp.o"
+  "CMakeFiles/ckks_ops.dir/ckks_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cost_area"
+  "../bench/cost_area.pdb"
+  "CMakeFiles/cost_area.dir/cost_area.cpp.o"
+  "CMakeFiles/cost_area.dir/cost_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_caching"
+  "../bench/fig2_caching.pdb"
+  "CMakeFiles/fig2_caching.dir/fig2_caching.cpp.o"
+  "CMakeFiles/fig2_caching.dir/fig2_caching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_algorithmic"
+  "../bench/fig3_algorithmic.pdb"
+  "CMakeFiles/fig3_algorithmic.dir/fig3_algorithmic.cpp.o"
+  "CMakeFiles/fig3_algorithmic.dir/fig3_algorithmic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_algorithmic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

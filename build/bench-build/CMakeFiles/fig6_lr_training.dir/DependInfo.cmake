@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_lr_training.cpp" "bench-build/CMakeFiles/fig6_lr_training.dir/fig6_lr_training.cpp.o" "gcc" "bench-build/CMakeFiles/fig6_lr_training.dir/fig6_lr_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mad_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/mad_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/mad_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/mad_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/mad_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfhe/CMakeFiles/mad_simfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mad_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

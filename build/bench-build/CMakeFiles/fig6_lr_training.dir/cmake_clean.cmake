@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_lr_training"
+  "../bench/fig6_lr_training.pdb"
+  "CMakeFiles/fig6_lr_training.dir/fig6_lr_training.cpp.o"
+  "CMakeFiles/fig6_lr_training.dir/fig6_lr_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lr_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

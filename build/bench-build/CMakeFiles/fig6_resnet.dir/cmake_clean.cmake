@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_resnet"
+  "../bench/fig6_resnet.pdb"
+  "CMakeFiles/fig6_resnet.dir/fig6_resnet.cpp.o"
+  "CMakeFiles/fig6_resnet.dir/fig6_resnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

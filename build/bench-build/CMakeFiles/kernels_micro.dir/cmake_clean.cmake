@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernels_micro"
+  "../bench/kernels_micro.pdb"
+  "CMakeFiles/kernels_micro.dir/kernels_micro.cpp.o"
+  "CMakeFiles/kernels_micro.dir/kernels_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_intensity"
+  "../bench/table4_intensity.pdb"
+  "CMakeFiles/table4_intensity.dir/table4_intensity.cpp.o"
+  "CMakeFiles/table4_intensity.dir/table4_intensity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_params"
+  "../bench/table5_params.pdb"
+  "CMakeFiles/table5_params.dir/table5_params.cpp.o"
+  "CMakeFiles/table5_params.dir/table5_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_bootstrap"
+  "../bench/table6_bootstrap.pdb"
+  "CMakeFiles/table6_bootstrap.dir/table6_bootstrap.cpp.o"
+  "CMakeFiles/table6_bootstrap.dir/table6_bootstrap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_logistic_regression.dir/encrypted_logistic_regression.cpp.o"
+  "CMakeFiles/encrypted_logistic_regression.dir/encrypted_logistic_regression.cpp.o.d"
+  "encrypted_logistic_regression"
+  "encrypted_logistic_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_apps.dir/helr.cpp.o"
+  "CMakeFiles/mad_apps.dir/helr.cpp.o.d"
+  "CMakeFiles/mad_apps.dir/lr.cpp.o"
+  "CMakeFiles/mad_apps.dir/lr.cpp.o.d"
+  "CMakeFiles/mad_apps.dir/mlp.cpp.o"
+  "CMakeFiles/mad_apps.dir/mlp.cpp.o.d"
+  "CMakeFiles/mad_apps.dir/resnet.cpp.o"
+  "CMakeFiles/mad_apps.dir/resnet.cpp.o.d"
+  "libmad_apps.a"
+  "libmad_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_boot.dir/bootstrapper.cpp.o"
+  "CMakeFiles/mad_boot.dir/bootstrapper.cpp.o.d"
+  "CMakeFiles/mad_boot.dir/chebyshev.cpp.o"
+  "CMakeFiles/mad_boot.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/mad_boot.dir/dft.cpp.o"
+  "CMakeFiles/mad_boot.dir/dft.cpp.o.d"
+  "libmad_boot.a"
+  "libmad_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/context.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/context.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/context.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/encoder.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/encoder.cpp.o.d"
+  "/root/repo/src/ckks/encryptor.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/encryptor.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/encryptor.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/evaluator.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/keys.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/keys.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/keys.cpp.o.d"
+  "/root/repo/src/ckks/keyswitch.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/keyswitch.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/keyswitch.cpp.o.d"
+  "/root/repo/src/ckks/matvec.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/matvec.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/matvec.cpp.o.d"
+  "/root/repo/src/ckks/noise.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/noise.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/noise.cpp.o.d"
+  "/root/repo/src/ckks/params.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/params.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/params.cpp.o.d"
+  "/root/repo/src/ckks/polyeval.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/polyeval.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/polyeval.cpp.o.d"
+  "/root/repo/src/ckks/serialize.cpp" "src/ckks/CMakeFiles/mad_ckks.dir/serialize.cpp.o" "gcc" "src/ckks/CMakeFiles/mad_ckks.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ring/CMakeFiles/mad_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/mad_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mad_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

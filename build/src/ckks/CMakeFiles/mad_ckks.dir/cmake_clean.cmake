@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_ckks.dir/context.cpp.o"
+  "CMakeFiles/mad_ckks.dir/context.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/encoder.cpp.o"
+  "CMakeFiles/mad_ckks.dir/encoder.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/encryptor.cpp.o"
+  "CMakeFiles/mad_ckks.dir/encryptor.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/evaluator.cpp.o"
+  "CMakeFiles/mad_ckks.dir/evaluator.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/keys.cpp.o"
+  "CMakeFiles/mad_ckks.dir/keys.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/keyswitch.cpp.o"
+  "CMakeFiles/mad_ckks.dir/keyswitch.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/matvec.cpp.o"
+  "CMakeFiles/mad_ckks.dir/matvec.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/noise.cpp.o"
+  "CMakeFiles/mad_ckks.dir/noise.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/params.cpp.o"
+  "CMakeFiles/mad_ckks.dir/params.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/polyeval.cpp.o"
+  "CMakeFiles/mad_ckks.dir/polyeval.cpp.o.d"
+  "CMakeFiles/mad_ckks.dir/serialize.cpp.o"
+  "CMakeFiles/mad_ckks.dir/serialize.cpp.o.d"
+  "libmad_ckks.a"
+  "libmad_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

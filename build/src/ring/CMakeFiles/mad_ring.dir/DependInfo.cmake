@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/poly.cpp" "src/ring/CMakeFiles/mad_ring.dir/poly.cpp.o" "gcc" "src/ring/CMakeFiles/mad_ring.dir/poly.cpp.o.d"
+  "/root/repo/src/ring/ring.cpp" "src/ring/CMakeFiles/mad_ring.dir/ring.cpp.o" "gcc" "src/ring/CMakeFiles/mad_ring.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rns/CMakeFiles/mad_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mad_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

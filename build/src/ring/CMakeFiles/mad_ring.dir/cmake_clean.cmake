@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_ring.dir/poly.cpp.o"
+  "CMakeFiles/mad_ring.dir/poly.cpp.o.d"
+  "CMakeFiles/mad_ring.dir/ring.cpp.o"
+  "CMakeFiles/mad_ring.dir/ring.cpp.o.d"
+  "libmad_ring.a"
+  "libmad_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

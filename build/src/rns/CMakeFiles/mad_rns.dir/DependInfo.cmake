@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rns/basis.cpp" "src/rns/CMakeFiles/mad_rns.dir/basis.cpp.o" "gcc" "src/rns/CMakeFiles/mad_rns.dir/basis.cpp.o.d"
+  "/root/repo/src/rns/modarith.cpp" "src/rns/CMakeFiles/mad_rns.dir/modarith.cpp.o" "gcc" "src/rns/CMakeFiles/mad_rns.dir/modarith.cpp.o.d"
+  "/root/repo/src/rns/ntt.cpp" "src/rns/CMakeFiles/mad_rns.dir/ntt.cpp.o" "gcc" "src/rns/CMakeFiles/mad_rns.dir/ntt.cpp.o.d"
+  "/root/repo/src/rns/primegen.cpp" "src/rns/CMakeFiles/mad_rns.dir/primegen.cpp.o" "gcc" "src/rns/CMakeFiles/mad_rns.dir/primegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mad_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_rns.dir/basis.cpp.o"
+  "CMakeFiles/mad_rns.dir/basis.cpp.o.d"
+  "CMakeFiles/mad_rns.dir/modarith.cpp.o"
+  "CMakeFiles/mad_rns.dir/modarith.cpp.o.d"
+  "CMakeFiles/mad_rns.dir/ntt.cpp.o"
+  "CMakeFiles/mad_rns.dir/ntt.cpp.o.d"
+  "CMakeFiles/mad_rns.dir/primegen.cpp.o"
+  "CMakeFiles/mad_rns.dir/primegen.cpp.o.d"
+  "libmad_rns.a"
+  "libmad_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simfhe/area.cpp" "src/simfhe/CMakeFiles/mad_simfhe.dir/area.cpp.o" "gcc" "src/simfhe/CMakeFiles/mad_simfhe.dir/area.cpp.o.d"
+  "/root/repo/src/simfhe/config.cpp" "src/simfhe/CMakeFiles/mad_simfhe.dir/config.cpp.o" "gcc" "src/simfhe/CMakeFiles/mad_simfhe.dir/config.cpp.o.d"
+  "/root/repo/src/simfhe/hardware.cpp" "src/simfhe/CMakeFiles/mad_simfhe.dir/hardware.cpp.o" "gcc" "src/simfhe/CMakeFiles/mad_simfhe.dir/hardware.cpp.o.d"
+  "/root/repo/src/simfhe/model.cpp" "src/simfhe/CMakeFiles/mad_simfhe.dir/model.cpp.o" "gcc" "src/simfhe/CMakeFiles/mad_simfhe.dir/model.cpp.o.d"
+  "/root/repo/src/simfhe/report.cpp" "src/simfhe/CMakeFiles/mad_simfhe.dir/report.cpp.o" "gcc" "src/simfhe/CMakeFiles/mad_simfhe.dir/report.cpp.o.d"
+  "/root/repo/src/simfhe/search.cpp" "src/simfhe/CMakeFiles/mad_simfhe.dir/search.cpp.o" "gcc" "src/simfhe/CMakeFiles/mad_simfhe.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mad_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

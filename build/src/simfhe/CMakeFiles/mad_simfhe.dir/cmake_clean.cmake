@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_simfhe.dir/area.cpp.o"
+  "CMakeFiles/mad_simfhe.dir/area.cpp.o.d"
+  "CMakeFiles/mad_simfhe.dir/config.cpp.o"
+  "CMakeFiles/mad_simfhe.dir/config.cpp.o.d"
+  "CMakeFiles/mad_simfhe.dir/hardware.cpp.o"
+  "CMakeFiles/mad_simfhe.dir/hardware.cpp.o.d"
+  "CMakeFiles/mad_simfhe.dir/model.cpp.o"
+  "CMakeFiles/mad_simfhe.dir/model.cpp.o.d"
+  "CMakeFiles/mad_simfhe.dir/report.cpp.o"
+  "CMakeFiles/mad_simfhe.dir/report.cpp.o.d"
+  "CMakeFiles/mad_simfhe.dir/search.cpp.o"
+  "CMakeFiles/mad_simfhe.dir/search.cpp.o.d"
+  "libmad_simfhe.a"
+  "libmad_simfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_simfhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

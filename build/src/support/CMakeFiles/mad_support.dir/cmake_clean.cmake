@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_support.dir/bigint.cpp.o"
+  "CMakeFiles/mad_support.dir/bigint.cpp.o.d"
+  "CMakeFiles/mad_support.dir/logging.cpp.o"
+  "CMakeFiles/mad_support.dir/logging.cpp.o.d"
+  "CMakeFiles/mad_support.dir/random.cpp.o"
+  "CMakeFiles/mad_support.dir/random.cpp.o.d"
+  "CMakeFiles/mad_support.dir/security.cpp.o"
+  "CMakeFiles/mad_support.dir/security.cpp.o.d"
+  "libmad_support.a"
+  "libmad_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

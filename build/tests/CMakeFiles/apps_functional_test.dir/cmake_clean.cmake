@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_functional_test.dir/apps_functional_test.cpp.o"
+  "CMakeFiles/apps_functional_test.dir/apps_functional_test.cpp.o.d"
+  "apps_functional_test"
+  "apps_functional_test.pdb"
+  "apps_functional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_test.dir/ckks_test.cpp.o"
+  "CMakeFiles/ckks_test.dir/ckks_test.cpp.o.d"
+  "ckks_test"
+  "ckks_test.pdb"
+  "ckks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyswitch_test.dir/keyswitch_test.cpp.o"
+  "CMakeFiles/keyswitch_test.dir/keyswitch_test.cpp.o.d"
+  "keyswitch_test"
+  "keyswitch_test.pdb"
+  "keyswitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

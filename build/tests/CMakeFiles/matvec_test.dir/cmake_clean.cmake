@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matvec_test.dir/matvec_test.cpp.o"
+  "CMakeFiles/matvec_test.dir/matvec_test.cpp.o.d"
+  "matvec_test"
+  "matvec_test.pdb"
+  "matvec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

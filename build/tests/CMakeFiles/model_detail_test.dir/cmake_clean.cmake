@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_detail_test.dir/model_detail_test.cpp.o"
+  "CMakeFiles/model_detail_test.dir/model_detail_test.cpp.o.d"
+  "model_detail_test"
+  "model_detail_test.pdb"
+  "model_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntt_test.dir/ntt_test.cpp.o"
+  "CMakeFiles/ntt_test.dir/ntt_test.cpp.o.d"
+  "ntt_test"
+  "ntt_test.pdb"
+  "ntt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

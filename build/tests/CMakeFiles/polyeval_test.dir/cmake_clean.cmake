@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyeval_test.dir/polyeval_test.cpp.o"
+  "CMakeFiles/polyeval_test.dir/polyeval_test.cpp.o.d"
+  "polyeval_test"
+  "polyeval_test.pdb"
+  "polyeval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyeval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

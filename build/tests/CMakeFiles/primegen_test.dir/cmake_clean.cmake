@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primegen_test.dir/primegen_test.cpp.o"
+  "CMakeFiles/primegen_test.dir/primegen_test.cpp.o.d"
+  "primegen_test"
+  "primegen_test.pdb"
+  "primegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

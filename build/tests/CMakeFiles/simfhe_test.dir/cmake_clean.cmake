@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simfhe_test.dir/simfhe_test.cpp.o"
+  "CMakeFiles/simfhe_test.dir/simfhe_test.cpp.o.d"
+  "simfhe_test"
+  "simfhe_test.pdb"
+  "simfhe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simfhe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

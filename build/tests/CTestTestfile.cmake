@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/modarith_test[1]_include.cmake")
+include("/root/repo/build/tests/primegen_test[1]_include.cmake")
+include("/root/repo/build/tests/ntt_test[1]_include.cmake")
+include("/root/repo/build/tests/basis_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_test[1]_include.cmake")
+include("/root/repo/build/tests/keys_test[1]_include.cmake")
+include("/root/repo/build/tests/keyswitch_test[1]_include.cmake")
+include("/root/repo/build/tests/matvec_test[1]_include.cmake")
+include("/root/repo/build/tests/dft_test[1]_include.cmake")
+include("/root/repo/build/tests/chebyshev_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/simfhe_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/model_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_functional_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/params_test[1]_include.cmake")
+include("/root/repo/build/tests/polyeval_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")

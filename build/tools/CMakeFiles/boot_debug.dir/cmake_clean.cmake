@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_debug.dir/boot_debug.cpp.o"
+  "CMakeFiles/boot_debug.dir/boot_debug.cpp.o.d"
+  "boot_debug"
+  "boot_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

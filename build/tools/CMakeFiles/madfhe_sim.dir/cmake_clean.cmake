@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madfhe_sim.dir/madfhe_sim.cpp.o"
+  "CMakeFiles/madfhe_sim.dir/madfhe_sim.cpp.o.d"
+  "madfhe_sim"
+  "madfhe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madfhe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_calibrate.dir/sim_calibrate.cpp.o"
+  "CMakeFiles/sim_calibrate.dir/sim_calibrate.cpp.o.d"
+  "sim_calibrate"
+  "sim_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
