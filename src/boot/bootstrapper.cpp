@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
 
 Bootstrapper::Bootstrapper(std::shared_ptr<const CkksContext> ctx_,
@@ -58,6 +60,7 @@ Ciphertext
 Bootstrapper::modRaise(const Ciphertext& ct) const
 {
     require(ct.level() == 1, "modRaise expects a one-limb ciphertext");
+    MAD_TRACE_SCOPE("ModRaise");
     const size_t n = ctx->degree();
     const Modulus& q0 = ctx->ring()->modulus(0);
     auto full_basis = ctx->ring()->qIndices(ctx->maxLevel());
@@ -67,9 +70,11 @@ Bootstrapper::modRaise(const Ciphertext& ct) const
         coeff.setRep(Rep::Coeff);
         RnsPoly out(ctx->ring(), full_basis, Rep::Coeff);
         const u64* src = coeff.limb(0);
+        MAD_TRACE_READ(src, n * sizeof(u64));
         for (size_t i = 0; i < out.numLimbs(); ++i) {
             const Modulus& qi = ctx->ring()->modulus(i);
             u64* dst = out.limb(i);
+            MAD_TRACE_WRITE(dst, n * sizeof(u64));
             for (size_t c = 0; c < n; ++c)
                 dst[c] = qi.fromSigned(q0.toSigned(src[c]));
         }
@@ -89,34 +94,46 @@ Bootstrapper::bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
                         const Ciphertext& ct_in, const GaloisKeys& gks,
                         const SwitchingKey& rlk) const
 {
+    MAD_TRACE_SCOPE("Bootstrap");
     Ciphertext ct = ct_in.level() == 1 ? ct_in : eval.dropToLevel(ct_in, 1);
 
     // 1. ModRaise: plaintext becomes Delta*m + q0*I over the full chain.
     Ciphertext t = modRaise(ct);
 
     // 2. CoeffToSlot: slots become coefficient pairs, scaled into [-1,1].
-    for (const auto& f : ctos)
-        t = f.apply(eval, encoder, t, gks);
+    {
+        MAD_TRACE_SCOPE("CoeffToSlot");
+        for (const auto& f : ctos)
+            t = f.apply(eval, encoder, t, gks);
+    }
 
-    // 3. Conjugation split: real and imaginary coefficient halves.
-    Ciphertext t_conj = eval.conjugate(t, gks);
-    Ciphertext ct_re = eval.add(t, t_conj);
-    Ciphertext ct_im = eval.negate(eval.mulImaginary(eval.sub(t, t_conj)));
+    Ciphertext u;
+    {
+        MAD_TRACE_SCOPE("EvalMod");
+        // 3. Conjugation split: real and imaginary coefficient halves.
+        Ciphertext t_conj = eval.conjugate(t, gks);
+        Ciphertext ct_re = eval.add(t, t_conj);
+        Ciphertext ct_im =
+            eval.negate(eval.mulImaginary(eval.sub(t, t_conj)));
 
-    // 4. Approximate mod reduction on both halves (Algorithm 4, line 5).
-    Ciphertext re2 = sine->evaluate(eval, encoder, ct_re, rlk);
-    Ciphertext im2 = sine->evaluate(eval, encoder, ct_im, rlk);
+        // 4. Approximate mod reduction on both halves (Algorithm 4, line 5).
+        Ciphertext re2 = sine->evaluate(eval, encoder, ct_re, rlk);
+        Ciphertext im2 = sine->evaluate(eval, encoder, ct_im, rlk);
 
-    // 5. Recombine into complex coefficient pairs.
-    size_t lvl = std::min(re2.level(), im2.level());
-    re2 = eval.dropToLevel(re2, lvl);
-    im2 = eval.dropToLevel(im2, lvl);
-    Ciphertext u = eval.add(re2, eval.mulImaginary(im2));
+        // 5. Recombine into complex coefficient pairs.
+        size_t lvl = std::min(re2.level(), im2.level());
+        re2 = eval.dropToLevel(re2, lvl);
+        im2 = eval.dropToLevel(im2, lvl);
+        u = eval.add(re2, eval.mulImaginary(im2));
+    }
 
     // 6. SlotToCoeff: return to coefficient encoding. The folded
     // constants cancel, so the tracked scale lands near Delta.
-    for (const auto& f : stoc)
-        u = f.apply(eval, encoder, u, gks);
+    {
+        MAD_TRACE_SCOPE("SlotToCoeff");
+        for (const auto& f : stoc)
+            u = f.apply(eval, encoder, u, gks);
+    }
     return u;
 }
 

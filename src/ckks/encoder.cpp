@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "memtrace/trace.h"
 #include "support/bigint.h"
 
 namespace madfhe {
@@ -126,6 +127,11 @@ CkksEncoder::encode(const std::vector<std::complex<double>>& values,
 
     Plaintext pt;
     pt.poly = RnsPoly(ctx->ring(), ctx->ring()->qIndices(level), Rep::Coeff);
+    // Tag before filling: the fill/NTT writes below are plaintext
+    // generation, which the analytical model treats as offline.
+    MAD_TRACE_TAG(pt.poly.limb(0),
+                  pt.poly.numLimbs() * pt.poly.degree() * sizeof(u64),
+                  memtrace::Class::Pt);
     pt.poly.setFromSigned(coeffs);
     pt.poly.toEval();
     pt.scale = scale;
@@ -167,6 +173,9 @@ CkksEncoder::encodeRaised(const std::vector<std::complex<double>>& values,
 
     Plaintext pt;
     pt.poly = RnsPoly(ctx->ring(), ctx->raisedIndices(level), Rep::Coeff);
+    MAD_TRACE_TAG(pt.poly.limb(0),
+                  pt.poly.numLimbs() * pt.poly.degree() * sizeof(u64),
+                  memtrace::Class::Pt);
     pt.poly.setFromSigned(coeffs);
     pt.poly.toEval();
     pt.scale = scale;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
 
 Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx_,
@@ -131,6 +133,7 @@ Ciphertext
 Evaluator::mulNoRescale(const Ciphertext& a, const Ciphertext& b,
                         const SwitchingKey& rlk) const
 {
+    MAD_TRACE_SCOPE("Mult");
     requireSameShape(a, b);
     // Tensor: d0 + d1*s + d2*s^2 = (a0 + a1 s)(b0 + b1 s).
     RnsPoly d0 = a.c0;
@@ -158,6 +161,7 @@ Evaluator::mul(const Ciphertext& a, const Ciphertext& b,
     if (!opts.merged_moddown)
         return rescale(mulNoRescale(a, b, rlk));
 
+    MAD_TRACE_SCOPE("Mult");
     requireSameShape(a, b);
     require(a.level() >= 2, "mul needs a level to rescale into");
 
@@ -200,17 +204,24 @@ namespace {
 RnsPoly
 rescalePoly(const RnsPoly& x, const CkksContext& ctx)
 {
+    MAD_TRACE_SCOPE("Rescale");
     const size_t level = x.numLimbs();
     const size_t n = x.degree();
     const Modulus& q_top = ctx.ring()->modulus(level - 1);
 
     std::vector<u64> top(x.limb(level - 1), x.limb(level - 1) + n);
+    MAD_TRACE_ALLOC(top.data(), n * sizeof(u64));
+    MAD_TRACE_READ(x.limb(level - 1), n * sizeof(u64));
+    MAD_TRACE_WRITE(top.data(), n * sizeof(u64));
     ctx.ring()->ntt(level - 1).inverse(top.data());
 
     RnsPoly out(x.context(), ctx.ring()->qIndices(level - 1), Rep::Eval);
     std::vector<u64> corr(n);
+    MAD_TRACE_ALLOC(corr.data(), n * sizeof(u64));
     for (size_t i = 0; i + 1 < level; ++i) {
         const Modulus& qi = ctx.ring()->modulus(i);
+        MAD_TRACE_READ(top.data(), n * sizeof(u64));
+        MAD_TRACE_WRITE(corr.data(), n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             corr[c] = qi.fromSigned(q_top.toSigned(top[c]));
         ctx.ring()->ntt(i).forward(corr.data());
@@ -218,6 +229,9 @@ rescalePoly(const RnsPoly& x, const CkksContext& ctx)
         const u64 inv_shoup = qi.shoupPrecompute(inv);
         const u64* xi = x.limb(i);
         u64* oi = out.limb(i);
+        MAD_TRACE_READ(xi, n * sizeof(u64));
+        MAD_TRACE_READ(corr.data(), n * sizeof(u64));
+        MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = qi.mulShoup(qi.sub(xi[c], corr[c]), inv, inv_shoup);
     }
@@ -261,6 +275,7 @@ Evaluator::rotate(const Ciphertext& a, int steps, const GaloisKeys& gks) const
     const u64 t = ctx->ring()->galoisElt(steps);
     if (t == 1)
         return a;
+    MAD_TRACE_SCOPE("Rotate");
     const SwitchingKey& gk = galoisKeyFor(t, gks);
 
     RnsPoly c0t = a.c0.automorph(t);
@@ -278,6 +293,7 @@ Ciphertext
 Evaluator::conjugate(const Ciphertext& a, const GaloisKeys& gks) const
 {
     const u64 t = ctx->ring()->conjugateElt();
+    MAD_TRACE_SCOPE("Conjugate");
     const SwitchingKey& gk = galoisKeyFor(t, gks);
     RnsPoly c0t = a.c0.automorph(t);
     RnsPoly c1t = a.c1.automorph(t);
@@ -390,6 +406,10 @@ Evaluator::mulMonomial(const Ciphertext& a, size_t power) const
         const Modulus& q = ctx->ring()->modulus(chain_idx);
         u64* c0 = out.c0.limb(i);
         u64* c1 = out.c1.limb(i);
+        MAD_TRACE_READ(c0, n * sizeof(u64));
+        MAD_TRACE_READ(c1, n * sizeof(u64));
+        MAD_TRACE_WRITE(c0, n * sizeof(u64));
+        MAD_TRACE_WRITE(c1, n * sizeof(u64));
         for (size_t k = 0; k < n; ++k) {
             // Evaluation slot k holds a(psi^(2k+1)); multiplying by
             // x^power scales it by psi^(power * (2k+1)).

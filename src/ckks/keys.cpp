@@ -1,6 +1,21 @@
 #include "ckks/keys.h"
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
+
+namespace {
+
+/** Tag a key polynomial's buffer so replay classifies it as key traffic. */
+inline void
+tagKeyPoly(const RnsPoly& p)
+{
+    if (!p.empty())
+        MAD_TRACE_TAG(p.limb(0), p.numLimbs() * p.degree() * sizeof(u64),
+                      memtrace::Class::Key);
+}
+
+} // namespace
 
 SwitchingKey::SwitchingKey(std::vector<RnsPoly> b, std::vector<RnsPoly> a,
                            Prng::Seed seed)
@@ -8,6 +23,10 @@ SwitchingKey::SwitchingKey(std::vector<RnsPoly> b, std::vector<RnsPoly> a,
 {
     check(b_polys.size() == a_polys.size() || a_polys.empty(),
           "digit count mismatch in switching key");
+    for (const auto& p : b_polys)
+        tagKeyPoly(p);
+    for (const auto& p : a_polys)
+        tagKeyPoly(p);
 }
 
 const RnsPoly&
@@ -30,6 +49,8 @@ SwitchingKey::expand(const CkksContext& ctx)
     if (!a_polys.empty())
         return;
     a_polys = sampleA(ctx, prng_seed, b_polys.size());
+    for (const auto& p : a_polys)
+        tagKeyPoly(p);
 }
 
 size_t

@@ -1,5 +1,7 @@
 #include "ckks/keyswitch.h"
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
 
 KeySwitcher::KeySwitcher(std::shared_ptr<const CkksContext> ctx_)
@@ -20,6 +22,7 @@ std::vector<RnsPoly>
 KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
 {
     check(x.rep() == Rep::Eval, "decomposeAndRaise expects eval rep");
+    MAD_TRACE_SCOPE("DecompModUp");
     const size_t level = x.numLimbs();
     const size_t beta = ctx->numDigits(level);
     const size_t n = x.degree();
@@ -62,9 +65,12 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
 
         // Own limbs: reuse the evaluation-rep input directly
         // (Algorithm 1, line 4: no NTT needed on the input limbs).
-        for (size_t i = 0; i < size; ++i)
+        for (size_t i = 0; i < size; ++i) {
+            MAD_TRACE_READ(x.limb(start + i), n * sizeof(u64));
+            MAD_TRACE_WRITE(raised.limb(start + i), n * sizeof(u64));
             std::copy(x.limb(start + i), x.limb(start + i) + n,
                       raised.limb(start + i));
+        }
 
         digits.push_back(std::move(raised));
     }
@@ -88,6 +94,7 @@ KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
 
     // When beta < dnum the trailing ksk columns are simply unused
     // (Algorithm 3, note on line 3).
+    MAD_TRACE_SCOPE("KskInnerProd");
     for (size_t j = 0; j < digits.size(); ++j) {
         const RnsPoly& d = digits[j];
         const RnsPoly& kb = ksk.b(j);
@@ -102,6 +109,13 @@ KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
             const u64* al = ka.limb(chain_idx);
             u64* u = out.c0.limb(i);
             u64* v = out.c1.limb(i);
+            MAD_TRACE_READ(dl, n * sizeof(u64));
+            MAD_TRACE_READ(bl, n * sizeof(u64));
+            MAD_TRACE_READ(al, n * sizeof(u64));
+            MAD_TRACE_READ(u, n * sizeof(u64));
+            MAD_TRACE_READ(v, n * sizeof(u64));
+            MAD_TRACE_WRITE(u, n * sizeof(u64));
+            MAD_TRACE_WRITE(v, n * sizeof(u64));
             for (size_t c = 0; c < n; ++c) {
                 u[c] = q.add(u[c], q.mul(dl[c], bl[c]));
                 v[c] = q.add(v[c], q.mul(dl[c], al[c]));
@@ -115,6 +129,7 @@ RnsPoly
 KeySwitcher::modDown(const RnsPoly& x) const
 {
     check(x.rep() == Rep::Eval, "modDown expects eval rep");
+    MAD_TRACE_SCOPE("ModDown");
     const size_t level = qLevelOf(x);
     const size_t num_p = ctx->ring()->numP();
     const size_t n = x.degree();
@@ -124,6 +139,9 @@ KeySwitcher::modDown(const RnsPoly& x) const
     auto p_indices = ctx->ring()->pIndices();
     for (size_t i = 0; i < num_p; ++i) {
         const u64* src = x.limb(level + i);
+        MAD_TRACE_ALLOC(p_coeff[i].data(), n * sizeof(u64));
+        MAD_TRACE_READ(src, n * sizeof(u64));
+        MAD_TRACE_WRITE(p_coeff[i].data(), n * sizeof(u64));
         std::copy(src, src + n, p_coeff[i].data());
         ctx->ring()->ntt(p_indices[i]).inverse(p_coeff[i].data());
     }
@@ -134,8 +152,10 @@ KeySwitcher::modDown(const RnsPoly& x) const
         src.push_back(limb.data());
     std::vector<std::vector<u64>> corr(level, std::vector<u64>(n));
     std::vector<u64*> dst;
-    for (auto& limb : corr)
+    for (auto& limb : corr) {
+        MAD_TRACE_ALLOC(limb.data(), n * sizeof(u64));
         dst.push_back(limb.data());
+    }
     ctx->modDownConverter(level).convert(src, n, dst);
 
     // Per kept limb: NTT the correction, subtract, scale by P^{-1}.
@@ -147,6 +167,9 @@ KeySwitcher::modDown(const RnsPoly& x) const
         const u64 p_inv_shoup = q.shoupPrecompute(p_inv);
         const u64* xi = x.limb(i);
         u64* oi = out.limb(i);
+        MAD_TRACE_READ(xi, n * sizeof(u64));
+        MAD_TRACE_READ(corr[i].data(), n * sizeof(u64));
+        MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), p_inv, p_inv_shoup);
     }
@@ -157,6 +180,7 @@ RnsPoly
 KeySwitcher::modDownMerged(const RnsPoly& x) const
 {
     check(x.rep() == Rep::Eval, "modDownMerged expects eval rep");
+    MAD_TRACE_SCOPE("ModDownMerged");
     const size_t level = qLevelOf(x);
     require(level >= 2, "merged ModDown needs at least two Q limbs");
     const size_t num_p = ctx->ring()->numP();
@@ -167,12 +191,18 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
     std::vector<std::vector<u64>> drop_coeff(1 + num_p, std::vector<u64>(n));
     {
         const u64* src = x.limb(level - 1);
+        MAD_TRACE_ALLOC(drop_coeff[0].data(), n * sizeof(u64));
+        MAD_TRACE_READ(src, n * sizeof(u64));
+        MAD_TRACE_WRITE(drop_coeff[0].data(), n * sizeof(u64));
         std::copy(src, src + n, drop_coeff[0].data());
         ctx->ring()->ntt(level - 1).inverse(drop_coeff[0].data());
     }
     auto p_indices = ctx->ring()->pIndices();
     for (size_t i = 0; i < num_p; ++i) {
         const u64* src = x.limb(level + i);
+        MAD_TRACE_ALLOC(drop_coeff[1 + i].data(), n * sizeof(u64));
+        MAD_TRACE_READ(src, n * sizeof(u64));
+        MAD_TRACE_WRITE(drop_coeff[1 + i].data(), n * sizeof(u64));
         std::copy(src, src + n, drop_coeff[1 + i].data());
         ctx->ring()->ntt(p_indices[i]).inverse(drop_coeff[1 + i].data());
     }
@@ -182,8 +212,10 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
         src.push_back(limb.data());
     std::vector<std::vector<u64>> corr(level - 1, std::vector<u64>(n));
     std::vector<u64*> dst;
-    for (auto& limb : corr)
+    for (auto& limb : corr) {
+        MAD_TRACE_ALLOC(limb.data(), n * sizeof(u64));
         dst.push_back(limb.data());
+    }
     ctx->mergedModDownConverter(level).convert(src, n, dst);
 
     RnsPoly out(x.context(), ctx->ring()->qIndices(level - 1), Rep::Eval);
@@ -194,6 +226,9 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
         const u64 inv_shoup = q.shoupPrecompute(inv);
         const u64* xi = x.limb(i);
         u64* oi = out.limb(i);
+        MAD_TRACE_READ(xi, n * sizeof(u64));
+        MAD_TRACE_READ(corr[i].data(), n * sizeof(u64));
+        MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), inv, inv_shoup);
     }
@@ -204,6 +239,7 @@ RnsPoly
 KeySwitcher::pModUp(const RnsPoly& y) const
 {
     check(y.rep() == Rep::Eval, "pModUp expects eval rep");
+    MAD_TRACE_SCOPE("PModUp");
     const size_t level = y.numLimbs();
     const size_t n = y.degree();
     RnsPoly out(y.context(), ctx->raisedIndices(level), Rep::Eval);
@@ -213,6 +249,8 @@ KeySwitcher::pModUp(const RnsPoly& y) const
         const u64 p_shoup = q.shoupPrecompute(p_mod);
         const u64* yi = y.limb(i);
         u64* oi = out.limb(i);
+        MAD_TRACE_READ(yi, n * sizeof(u64));
+        MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(yi[c], p_mod, p_shoup);
     }
@@ -223,6 +261,7 @@ KeySwitcher::pModUp(const RnsPoly& y) const
 std::pair<RnsPoly, RnsPoly>
 KeySwitcher::keySwitch(const RnsPoly& x, const SwitchingKey& ksk) const
 {
+    MAD_TRACE_SCOPE("KeySwitch");
     auto digits = decomposeAndRaise(x);
     RaisedCiphertext raised = innerProduct(digits, ksk);
     return {modDown(raised.c0), modDown(raised.c1)};

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
 
 LinearTransform::LinearTransform(
@@ -73,6 +75,7 @@ Ciphertext
 LinearTransform::apply(const Evaluator& eval, const CkksEncoder& encoder,
                        const Ciphertext& ct, const GaloisKeys& gks) const
 {
+    MAD_TRACE_SCOPE("PtMatVecMult");
     if (!opts.hoist_modup && !opts.hoist_moddown)
         return applyNaive(eval, encoder, ct, gks);
     return applyBsgs(eval, encoder, ct, gks);

@@ -1,0 +1,369 @@
+#include "memtrace/crossval.h"
+
+#include <cmath>
+#include <complex>
+#include <functional>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "boot/bootstrapper.h"
+#include "ckks/encryptor.h"
+#include "ckks/matvec.h"
+#include "memtrace/trace.h"
+#include "simfhe/model.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace memtrace {
+
+CrossValConfig::CrossValConfig() : params(crossvalParams())
+{
+}
+
+CkksParams
+crossvalParams()
+{
+    CkksParams p;
+    p.log_n = 10;
+    p.log_scale = 35;
+    p.first_prime_bits = 45;
+    // chainLength = 6 with dnum = 3 gives alpha = 2 and whole digits at
+    // the top level, so the model's padded raised basis (beta*alpha +
+    // alpha) equals the implementation's (level + alpha).
+    p.num_levels = 5;
+    p.dnum = 3;
+    return p;
+}
+
+simfhe::SchemeConfig
+matchedScheme(const CkksParams& p)
+{
+    simfhe::SchemeConfig s;
+    s.log_n = p.log_n;
+    s.limb_bits = p.log_scale;
+    // Model alpha = ceil((boot_limbs + 1) / dnum); the implementation's
+    // alpha = ceil(chainLength / dnum), so boot_limbs = num_levels.
+    s.boot_limbs = p.num_levels;
+    s.dnum = p.dnum;
+    return s;
+}
+
+ReplayConfig
+scaledReplayConfig(const CkksParams& p, size_t cache_limbs,
+                   ReplayConfig::Policy policy)
+{
+    ReplayConfig rc;
+    rc.policy = policy;
+    rc.block_bytes = p.n() * sizeof(u64);
+    rc.capacity_bytes = std::max<size_t>(1, cache_limbs) * rc.block_bytes;
+    return rc;
+}
+
+namespace {
+
+std::vector<std::complex<double>>
+randomSlots(size_t count, u64 seed)
+{
+    Prng rng(seed);
+    std::vector<std::complex<double>> v(count);
+    for (auto& z : v)
+        z = {2.0 * rng.uniformReal() - 1.0, 2.0 * rng.uniformReal() - 1.0};
+    return v;
+}
+
+/** The executable stack a comparison runs against. */
+struct CkksStack
+{
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksEncoder> encoder;
+    SecretKey sk;
+    PublicKey pk;
+    SwitchingKey rlk;
+    std::unique_ptr<Encryptor> encryptor;
+    std::unique_ptr<Evaluator> eval;
+
+    explicit CkksStack(const CkksParams& params)
+    {
+        ctx = std::make_shared<CkksContext>(params);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        KeyGenerator keygen(ctx);
+        sk = keygen.secretKey();
+        pk = keygen.publicKey(sk);
+        rlk = keygen.relinKey(sk);
+        encryptor = std::make_unique<Encryptor>(ctx, pk);
+        eval = std::make_unique<Evaluator>(ctx);
+    }
+
+    Ciphertext
+    encryptRandom(u64 seed, size_t level)
+    {
+        Plaintext pt = encoder->encode(randomSlots(ctx->slots(), seed),
+                                       ctx->scale(), level);
+        return encryptor->encrypt(pt);
+    }
+};
+
+/** Trace `op`, replay under `rc`, and return the named scope's traffic. */
+Traffic
+traceAndReplay(const std::function<void()>& op, const char* scope_name,
+               const ReplayConfig& rc, Trace* keep_trace = nullptr)
+{
+    TraceSink& sink = TraceSink::instance();
+    sink.clear();
+    sink.enable();
+    op();
+    sink.disable();
+    Trace trace = sink.snapshot();
+    sink.clear();
+    ReplayResult res = replay(trace, rc);
+    if (keep_trace)
+        *keep_trace = std::move(trace);
+    const ScopeStats* s = res.scope(scope_name);
+    return s ? s->traffic : Traffic{};
+}
+
+double
+kb(double bytes)
+{
+    return bytes / 1024.0;
+}
+
+} // namespace
+
+bool
+CrossValReport::allOk() const
+{
+    for (const auto& p : primitives)
+        if (!p.ok())
+            return false;
+    return o1.ok();
+}
+
+std::string
+CrossValReport::format() const
+{
+    std::ostringstream os;
+    os << std::fixed;
+    os << std::setw(14) << std::left << "primitive" << std::right
+       << std::setw(12) << "traced KB" << std::setw(13) << "analytic KB"
+       << std::setw(8) << "ratio" << std::setw(15) << "band"
+       << std::setw(10) << "status" << "\n";
+    for (const auto& p : primitives) {
+        std::ostringstream band;
+        band << "[" << std::fixed << std::setprecision(2) << p.tol_lo << ", "
+             << p.tol_hi << "]";
+        os << std::setw(14) << std::left << p.name << std::right
+           << std::setprecision(1) << std::setw(12) << kb(p.tracedBytes())
+           << std::setw(13) << kb(p.analyticBytes()) << std::setprecision(3)
+           << std::setw(8) << p.ratio() << std::setw(15) << band.str()
+           << std::setw(10) << (p.ok() ? "ok" : "DIVERGED") << "\n";
+        os << std::setprecision(1) << "    traced   ct_r " << std::setw(9)
+           << kb(p.traced.ct_read) << "  ct_w " << std::setw(9)
+           << kb(p.traced.ct_write) << "  key_r " << std::setw(9)
+           << kb(p.traced.key_read) << "  pt_r " << std::setw(9)
+           << kb(p.traced.pt_read) << "\n";
+        os << "    analytic ct_r " << std::setw(9) << kb(p.analytic.ct_read)
+           << "  ct_w " << std::setw(9) << kb(p.analytic.ct_write)
+           << "  key_r " << std::setw(9) << kb(p.analytic.key_read)
+           << "  pt_r " << std::setw(9) << kb(p.analytic.pt_read) << "\n";
+        if (!p.note.empty())
+            os << "    note: " << p.note << "\n";
+    }
+    os << std::setprecision(1) << "O(1)-fusion direction: traced "
+       << kb(o1.traced_stream) << " KB (2-limb cache) vs "
+       << kb(o1.traced_cached) << " KB (scaled cache); analytic "
+       << kb(o1.analytic_none) << " KB (none) vs " << kb(o1.analytic_o1)
+       << " KB (cache_o1) -- " << (o1.ok() ? "ok" : "WRONG DIRECTION")
+       << "\n";
+    return os.str();
+}
+
+CrossValReport
+runCrossValidation(const CrossValConfig& cfg)
+{
+    CrossValReport report;
+
+    const ReplayConfig rc =
+        scaledReplayConfig(cfg.params, cfg.cache_limbs, cfg.policy);
+    const simfhe::SchemeConfig scheme = matchedScheme(cfg.params);
+    const simfhe::CacheConfig cache{
+        static_cast<double>(cfg.cache_limbs) * scheme.limbBytes()};
+
+    CkksStack stack(cfg.params);
+    const size_t L = stack.ctx->maxLevel();
+
+    // The implementation materializes every intermediate (digits,
+    // conversion temporaries), so the matching analytical variant has all
+    // caching optimizations off and only the algorithmic toggles the
+    // executed code path actually uses.
+    simfhe::Optimizations none = simfhe::Optimizations::none();
+    simfhe::Optimizations merge = none;
+    merge.moddown_merge = true; // Evaluator::mul defaults to merged ModDown
+    simfhe::Optimizations hoist = none;
+    hoist.moddown_hoist = true; // MatVecOptions default hoisting
+
+    // --- KeySwitch -------------------------------------------------------
+    {
+        Ciphertext ct = stack.encryptRandom(11, L);
+        const KeySwitcher& ksw = stack.eval->keySwitcher();
+        Traffic t = traceAndReplay(
+            [&] { (void)ksw.keySwitch(ct.c1, stack.rlk); }, "KeySwitch", rc);
+        PrimitiveComparison c;
+        c.name = "KeySwitch";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, none).keySwitch(L);
+        c.tol_lo = 0.8;
+        c.tol_hi = 1.4;
+        c.note = "temporaries (x_coeff copy, conversion buffers) add "
+                 "traffic; cache reuse across sub-ops removes some "
+                 "(observed ~1.06)";
+        report.primitives.push_back(std::move(c));
+    }
+
+    // --- Mult (merged ModDown path) --------------------------------------
+    Trace mult_trace;
+    {
+        Ciphertext a = stack.encryptRandom(21, L);
+        Ciphertext b = stack.encryptRandom(22, L);
+        Traffic t = traceAndReplay(
+            [&] { (void)stack.eval->mul(a, b, stack.rlk); }, "Mult", rc,
+            &mult_trace);
+        PrimitiveComparison c;
+        c.name = "Mult";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, merge).mult(L);
+        c.tol_lo = 0.8;
+        c.tol_hi = 1.4;
+        c.note = "merged-ModDown path on both sides (observed ~1.18)";
+        report.primitives.push_back(std::move(c));
+    }
+
+    // --- Rotate ----------------------------------------------------------
+    {
+        KeyGenerator keygen(stack.ctx);
+        GaloisKeys gks = keygen.galoisKeys(stack.sk, {1}, false);
+        Ciphertext ct = stack.encryptRandom(31, L);
+        Traffic t = traceAndReplay(
+            [&] { (void)stack.eval->rotate(ct, 1, gks); }, "Rotate", rc);
+        PrimitiveComparison c;
+        c.name = "Rotate";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, none).rotate(L);
+        c.tol_lo = 0.8;
+        c.tol_hi = 1.4;
+        c.note = "Automorph output + KeySwitch temporaries vs model's "
+                 "unfused accounting (observed ~1.06)";
+        report.primitives.push_back(std::move(c));
+    }
+
+    // --- PtMatVecMult (BSGS, hoisted) ------------------------------------
+    {
+        const size_t slots = stack.ctx->slots();
+        std::map<int, std::vector<std::complex<double>>> diags;
+        for (size_t d = 0; d < cfg.diagonals; ++d)
+            diags[static_cast<int>(d)] =
+                randomSlots(slots, 40 + static_cast<u64>(d));
+        LinearTransform lt(stack.ctx, std::move(diags), stack.ctx->scale());
+        KeyGenerator keygen(stack.ctx);
+        GaloisKeys gks =
+            keygen.galoisKeys(stack.sk, lt.requiredRotations(), false);
+        Ciphertext ct = stack.encryptRandom(41, L);
+        Traffic t = traceAndReplay(
+            [&] { (void)lt.apply(*stack.eval, *stack.encoder, ct, gks); },
+            "PtMatVecMult", rc);
+        PrimitiveComparison c;
+        c.name = "PtMatVecMult";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, hoist)
+                         .ptMatVecMult(L, cfg.diagonals);
+        // The model's hoisted schedule assumes the paper's limb-major
+        // fusion (digits read once, per-giant accumulators never
+        // spilled); the implementation materializes one RaisedCiphertext
+        // per baby step and copies it per diagonal, so it moves ~3.8x the
+        // modeled bytes. The band is centered on that known gap: a ratio
+        // below it means someone implemented the fusion (retune), above
+        // it means a traffic regression.
+        c.tol_lo = 2.5;
+        c.tol_hi = 5.5;
+        c.note = "implementation is not limb-major fused: per-baby raised "
+                 "products spill and re-load (expected ratio ~3.8)";
+        report.primitives.push_back(std::move(c));
+    }
+
+    // --- O(1)-fusion direction check on the Mult trace -------------------
+    {
+        ReplayConfig stream = rc;
+        stream.capacity_bytes = 2 * rc.block_bytes;
+        const ScopeStats* s;
+        ReplayResult r_stream = replay(mult_trace, stream);
+        s = r_stream.scope("Mult");
+        report.o1.traced_stream = s ? s->traffic.bytes() : 0;
+        ReplayResult r_cached = replay(mult_trace, rc);
+        s = r_cached.scope("Mult");
+        report.o1.traced_cached = s ? s->traffic.bytes() : 0;
+        simfhe::Optimizations merge_o1 = merge;
+        merge_o1.cache_o1 = true;
+        report.o1.analytic_none =
+            simfhe::CostModel(scheme, cache, merge).mult(L).bytes();
+        report.o1.analytic_o1 =
+            simfhe::CostModel(scheme, cache, merge_o1).mult(L).bytes();
+    }
+
+    // --- Bootstrap (toy parameters, own stack) ---------------------------
+    if (cfg.run_bootstrap) {
+        CkksParams bp = CkksParams::bootstrapToy();
+        bp.log_n = 11;
+        bp.hamming_weight = 16;
+        CkksStack boot_stack(bp);
+
+        BootstrapParams boot_parms;
+        boot_parms.ctos_iters = 3;
+        boot_parms.stoc_iters = 3;
+        boot_parms.sine_degree = 71;
+        boot_parms.k_bound = 8.0;
+        Bootstrapper boot(boot_stack.ctx, boot_parms);
+        KeyGenerator keygen(boot_stack.ctx);
+        GaloisKeys gks = keygen.galoisKeys(boot_stack.sk,
+                                           boot.requiredRotations(), true);
+        Ciphertext ct = boot_stack.encryptRandom(51, 1);
+
+        const ReplayConfig boot_rc =
+            scaledReplayConfig(bp, cfg.cache_limbs, cfg.policy);
+        Traffic t = traceAndReplay(
+            [&] {
+                (void)boot.bootstrap(*boot_stack.eval, *boot_stack.encoder,
+                                     ct, gks, boot_stack.rlk);
+            },
+            "Bootstrap", boot_rc);
+
+        simfhe::SchemeConfig boot_scheme = matchedScheme(bp);
+        boot_scheme.fft_iter = boot_parms.ctos_iters;
+        const simfhe::CacheConfig boot_cache{
+            static_cast<double>(cfg.cache_limbs) * boot_scheme.limbBytes()};
+        simfhe::Optimizations boot_opts = none;
+        boot_opts.moddown_merge = true;
+        boot_opts.moddown_hoist = true;
+
+        PrimitiveComparison c;
+        c.name = "Bootstrap";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(boot_scheme, boot_cache, boot_opts)
+                         .bootstrap();
+        // Two structural gaps stack here: the executable EvalMod runs two
+        // independent degree-71 Chebyshev evaluations (~2x the model's
+        // shared 9-level/22-mult schedule) and the DFT PtMatVecMults
+        // carry the ~3.8x fusion gap above. Observed ~5.7.
+        c.tol_lo = 3.0;
+        c.tol_hi = 9.0;
+        c.note = "EvalMod schedule mismatch (2x degree-71 Chebyshev vs "
+                 "fixed 9-level model) on top of the matvec fusion gap "
+                 "(expected ratio ~5.7)";
+        report.primitives.push_back(std::move(c));
+    }
+
+    return report;
+}
+
+} // namespace memtrace
+} // namespace madfhe

@@ -1,0 +1,477 @@
+#include "memtrace/replay.h"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <set>
+#include <unordered_map>
+
+namespace madfhe {
+namespace memtrace {
+
+namespace {
+
+constexpr u64 kNever = std::numeric_limits<u64>::max();
+constexpr u32 kNoScope = std::numeric_limits<u32>::max();
+
+enum class Op : u8
+{
+    Read,
+    Write,
+    Alloc,
+    Flush, ///< Outermost scope closed: write back dirty, invalidate all.
+};
+
+/** One block-granular cache access, pre-resolved to an output scope. */
+struct Access
+{
+    u64 block = 0;
+    Op op = Op::Read;
+    Class cls = Class::Ct;
+    u32 scope = kNoScope; ///< Index into ReplayResult::scopes.
+};
+
+/** Mutable accounting shared by every policy. */
+struct Accounting
+{
+    ReplayResult& res;
+    double block_bytes;
+
+    ScopeStats&
+    at(u32 scope)
+    {
+        return res.scopes[scope == kNoScope ? 0 : scope];
+    }
+
+    void
+    chargeRead(const Access& a)
+    {
+        ScopeStats& s = at(a.scope);
+        switch (a.cls) {
+        case Class::Ct:
+            s.traffic.ct_read += block_bytes;
+            res.total.ct_read += block_bytes;
+            break;
+        case Class::Key:
+            s.traffic.key_read += block_bytes;
+            res.total.key_read += block_bytes;
+            break;
+        case Class::Pt:
+            s.traffic.pt_read += block_bytes;
+            res.total.pt_read += block_bytes;
+            break;
+        }
+    }
+
+    void
+    chargeWriteback(u32 writer_scope, Class cls)
+    {
+        // Key/Pt material is read-only input in the analytical model (its
+        // generation happens offline), so only ciphertext-class blocks
+        // charge their eviction as DRAM write traffic.
+        if (cls != Class::Ct)
+            return;
+        ScopeStats& s = at(writer_scope);
+        s.traffic.ct_write += block_bytes;
+        s.writebacks += 1;
+        res.total.ct_write += block_bytes;
+        res.writebacks += 1;
+    }
+
+    void
+    countAccess(const Access& a, bool hit)
+    {
+        ScopeStats& s = at(a.scope);
+        s.accesses += 1;
+        res.accesses += 1;
+        if (hit) {
+            s.hits += 1;
+            res.hits += 1;
+        } else {
+            s.misses += 1;
+            res.misses += 1;
+        }
+    }
+};
+
+class Cache
+{
+  public:
+    virtual ~Cache() = default;
+    virtual void access(const Access& a, Accounting& acct) = 0;
+    virtual void flush(Accounting& acct) = 0;
+};
+
+/** No capacity limit: every miss is compulsory. */
+class InfiniteCache : public Cache
+{
+  public:
+    void
+    access(const Access& a, Accounting& acct) override
+    {
+        auto it = lines.find(a.block);
+        const bool present = it != lines.end();
+        if (a.op == Op::Alloc) {
+            // Fresh buffer: dead previous contents, installed clean.
+            lines[a.block] = Line{false, a.scope, a.cls};
+            return;
+        }
+        acct.countAccess(a, present);
+        if (a.op == Op::Read) {
+            if (!present) {
+                acct.chargeRead(a);
+                lines[a.block] = Line{false, a.scope, a.cls};
+            }
+        } else { // Write: write-validate, no fetch.
+            lines[a.block] = Line{true, a.scope, a.cls};
+        }
+    }
+
+    void
+    flush(Accounting& acct) override
+    {
+        for (const auto& [block, line] : lines) {
+            (void)block;
+            if (line.dirty)
+                acct.chargeWriteback(line.writer, line.cls);
+        }
+        lines.clear();
+    }
+
+  private:
+    struct Line
+    {
+        bool dirty;
+        u32 writer;
+        Class cls;
+    };
+    std::unordered_map<u64, Line> lines;
+};
+
+/** Set-associative LRU (ways = 0 means fully associative). */
+class LruCache : public Cache
+{
+  public:
+    LruCache(size_t capacity_blocks, size_t ways)
+    {
+        capacity_blocks = std::max<size_t>(1, capacity_blocks);
+        if (ways == 0 || ways >= capacity_blocks) {
+            num_sets = 1;
+            set_ways = capacity_blocks;
+        } else {
+            num_sets = std::max<size_t>(1, capacity_blocks / ways);
+            set_ways = ways;
+        }
+        sets.resize(num_sets);
+    }
+
+    void
+    access(const Access& a, Accounting& acct) override
+    {
+        Set& set = sets[a.block % num_sets];
+        auto it = set.index.find(a.block);
+        const bool present = it != set.index.end();
+
+        if (a.op == Op::Alloc) {
+            if (present) {
+                // Contents are dead: drop the dirty bit, no writeback.
+                it->second->dirty = false;
+                it->second->writer = a.scope;
+                it->second->cls = a.cls;
+                touch(set, it->second);
+            } else {
+                install(set, a, /*dirty=*/false, acct);
+            }
+            return;
+        }
+
+        acct.countAccess(a, present);
+        if (present) {
+            if (a.op == Op::Write) {
+                it->second->dirty = true;
+                it->second->writer = a.scope;
+                it->second->cls = a.cls;
+            }
+            touch(set, it->second);
+            return;
+        }
+        if (a.op == Op::Read)
+            acct.chargeRead(a);
+        install(set, a, /*dirty=*/a.op == Op::Write, acct);
+    }
+
+    void
+    flush(Accounting& acct) override
+    {
+        for (Set& set : sets) {
+            for (const Line& line : set.lru)
+                if (line.dirty)
+                    acct.chargeWriteback(line.writer, line.cls);
+            set.lru.clear();
+            set.index.clear();
+        }
+    }
+
+  private:
+    struct Line
+    {
+        u64 block;
+        bool dirty;
+        u32 writer;
+        Class cls;
+    };
+    struct Set
+    {
+        std::list<Line> lru; ///< MRU at front.
+        std::unordered_map<u64, std::list<Line>::iterator> index;
+    };
+
+    void
+    touch(Set& set, std::list<Line>::iterator it)
+    {
+        set.lru.splice(set.lru.begin(), set.lru, it);
+    }
+
+    void
+    install(Set& set, const Access& a, bool dirty, Accounting& acct)
+    {
+        if (set.lru.size() >= set_ways) {
+            const Line& victim = set.lru.back();
+            if (victim.dirty)
+                acct.chargeWriteback(victim.writer, victim.cls);
+            set.index.erase(victim.block);
+            set.lru.pop_back();
+        }
+        set.lru.push_front(Line{a.block, dirty, a.scope, a.cls});
+        set.index[a.block] = set.lru.begin();
+    }
+
+    size_t num_sets = 1;
+    size_t set_ways = 1;
+    std::vector<Set> sets;
+};
+
+/**
+ * Belady/OPT: fully associative, evicts the block whose next use is
+ * farthest in the future. Requires the per-access next-use indices
+ * (precomputed by the caller), so it runs as an offline lower bound.
+ */
+class BeladyCache : public Cache
+{
+  public:
+    BeladyCache(size_t capacity_blocks, const std::vector<u64>& next_use)
+        : capacity(std::max<size_t>(1, capacity_blocks)), nu(next_use)
+    {
+    }
+
+    /** The caller must bump cursor in lockstep with the access stream. */
+    u64 cursor = 0;
+
+    void
+    access(const Access& a, Accounting& acct) override
+    {
+        const u64 my_next = nu[cursor];
+        auto it = lines.find(a.block);
+        const bool present = it != lines.end();
+
+        if (a.op == Op::Alloc) {
+            if (present) {
+                it->second.dirty = false;
+                it->second.writer = a.scope;
+                it->second.cls = a.cls;
+                reorder(a.block, it->second, my_next);
+            } else {
+                install(a, /*dirty=*/false, my_next, acct);
+            }
+            return;
+        }
+
+        acct.countAccess(a, present);
+        if (present) {
+            if (a.op == Op::Write) {
+                it->second.dirty = true;
+                it->second.writer = a.scope;
+                it->second.cls = a.cls;
+            }
+            reorder(a.block, it->second, my_next);
+            return;
+        }
+        if (a.op == Op::Read)
+            acct.chargeRead(a);
+        install(a, /*dirty=*/a.op == Op::Write, my_next, acct);
+    }
+
+    void
+    flush(Accounting& acct) override
+    {
+        for (const auto& [block, line] : lines) {
+            (void)block;
+            if (line.dirty)
+                acct.chargeWriteback(line.writer, line.cls);
+        }
+        lines.clear();
+        order.clear();
+    }
+
+  private:
+    struct Line
+    {
+        bool dirty;
+        u32 writer;
+        Class cls;
+        u64 next_use;
+    };
+
+    void
+    reorder(u64 block, Line& line, u64 next)
+    {
+        order.erase({line.next_use, block});
+        line.next_use = next;
+        order.insert({next, block});
+    }
+
+    void
+    install(const Access& a, bool dirty, u64 next, Accounting& acct)
+    {
+        lines[a.block] = Line{dirty, a.scope, a.cls, next};
+        order.insert({next, a.block});
+        if (lines.size() > capacity) {
+            // Evict the farthest-next-use block (possibly the one just
+            // installed — equivalent to cache bypass, which OPT allows).
+            auto victim = std::prev(order.end());
+            auto vit = lines.find(victim->second);
+            if (vit->second.dirty)
+                acct.chargeWriteback(vit->second.writer, vit->second.cls);
+            lines.erase(vit);
+            order.erase(victim);
+        }
+    }
+
+    size_t capacity;
+    const std::vector<u64>& nu;
+    std::unordered_map<u64, Line> lines;
+    std::set<std::pair<u64, u64>> order; ///< (next_use, block).
+};
+
+} // namespace
+
+const ScopeStats*
+ReplayResult::scope(const std::string& name) const
+{
+    for (const ScopeStats& s : scopes)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+ReplayResult
+replay(const Trace& trace, const ReplayConfig& config)
+{
+    require(config.block_bytes > 0, "replay needs a nonzero block size");
+
+    ReplayResult res;
+    res.scopes.push_back(ScopeStats{"(unscoped)", {}, 0, 0, 0, 0});
+
+    // Resolve scope names to aggregated output slots (by name, in order
+    // of first appearance as an *outermost* scope).
+    std::unordered_map<std::string, u32> scope_slot;
+    auto slotFor = [&](const std::string& name) -> u32 {
+        auto it = scope_slot.find(name);
+        if (it != scope_slot.end())
+            return it->second;
+        u32 id = static_cast<u32>(res.scopes.size());
+        res.scopes.push_back(ScopeStats{name, {}, 0, 0, 0, 0});
+        scope_slot.emplace(name, id);
+        return id;
+    };
+
+    // Pass 1: flatten events into block-granular accesses with resolved
+    // outermost-scope attribution and explicit flush markers.
+    std::vector<Access> accesses;
+    accesses.reserve(trace.events.size() * 2);
+    size_t depth = 0;
+    u32 current = kNoScope;
+    for (const Event& ev : trace.events) {
+        switch (ev.kind) {
+        case Kind::ScopeBegin:
+            if (depth == 0) {
+                check(ev.addr < trace.scope_names.size(),
+                      "trace scope id out of range");
+                current = slotFor(trace.scope_names[ev.addr]);
+            }
+            ++depth;
+            continue;
+        case Kind::ScopeEnd:
+            if (depth > 0)
+                --depth;
+            if (depth == 0) {
+                current = kNoScope;
+                if (config.flush_at_top_scope)
+                    accesses.push_back(Access{0, Op::Flush, Class::Ct, 0});
+            }
+            continue;
+        case Kind::Read:
+        case Kind::Write:
+        case Kind::Alloc: {
+            const Op op = ev.kind == Kind::Read    ? Op::Read
+                          : ev.kind == Kind::Write ? Op::Write
+                                                   : Op::Alloc;
+            const u64 first = ev.addr / config.block_bytes;
+            const u64 last = (ev.addr + ev.bytes - 1) / config.block_bytes;
+            for (u64 b = first; b <= last; ++b)
+                accesses.push_back(Access{b, op, ev.cls, current});
+            continue;
+        }
+        }
+    }
+
+    const size_t capacity_blocks =
+        std::max<size_t>(1, config.capacity_bytes / config.block_bytes);
+
+    // Belady needs the next-use index of every access.
+    std::vector<u64> next_use;
+    if (config.policy == ReplayConfig::Policy::Belady) {
+        next_use.assign(accesses.size(), kNever);
+        std::unordered_map<u64, u64> seen;
+        for (size_t i = accesses.size(); i-- > 0;) {
+            if (accesses[i].op == Op::Flush)
+                continue;
+            auto [it, inserted] = seen.try_emplace(accesses[i].block, i);
+            if (!inserted) {
+                next_use[i] = it->second;
+                it->second = i;
+            }
+        }
+    }
+
+    InfiniteCache infinite;
+    LruCache lru(capacity_blocks, config.ways);
+    BeladyCache belady(capacity_blocks, next_use);
+    Cache* cache = nullptr;
+    switch (config.policy) {
+    case ReplayConfig::Policy::Infinite:
+        cache = &infinite;
+        break;
+    case ReplayConfig::Policy::Lru:
+        cache = &lru;
+        break;
+    case ReplayConfig::Policy::Belady:
+        cache = &belady;
+        break;
+    }
+
+    Accounting acct{res, static_cast<double>(config.block_bytes)};
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        belady.cursor = i;
+        if (accesses[i].op == Op::Flush)
+            cache->flush(acct);
+        else
+            cache->access(accesses[i], acct);
+    }
+    cache->flush(acct); // final writeback of anything still dirty
+
+    return res;
+}
+
+} // namespace memtrace
+} // namespace madfhe

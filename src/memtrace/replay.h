@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace replay: turn a captured limb-access event stream (trace.h) into
+ * DRAM bytes moved under a pluggable on-chip cache model. This is the
+ * executable counterpart of SimFHE's analytical DRAM accounting — the
+ * cross-validation driver compares the two per primitive.
+ *
+ * Cache semantics (chosen to mirror the analytical model's conventions):
+ *  - block-granular, write-back, write-validate (a write miss installs
+ *    the block dirty without fetching it — kernels produce whole limbs,
+ *    so there is nothing to fetch), LRU or Belady/OPT replacement;
+ *  - an Alloc event installs its blocks clean at zero traffic (the model
+ *    never charges for materializing a fresh buffer);
+ *  - a dirty block pays one DRAM write when evicted or flushed;
+ *  - traffic is attributed to the *outermost* enclosing trace scope, so
+ *    one scope per primitive op yields per-op DRAM totals.
+ */
+#ifndef MADFHE_MEMTRACE_REPLAY_H
+#define MADFHE_MEMTRACE_REPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "memtrace/trace.h"
+
+namespace madfhe {
+namespace memtrace {
+
+/** DRAM bytes by traffic class; mirrors simfhe::Cost's DRAM fields. */
+struct Traffic
+{
+    double ct_read = 0;
+    double ct_write = 0;
+    double key_read = 0;
+    double pt_read = 0;
+
+    double readBytes() const { return ct_read + key_read + pt_read; }
+    double bytes() const { return readBytes() + ct_write; }
+
+    Traffic&
+    operator+=(const Traffic& o)
+    {
+        ct_read += o.ct_read;
+        ct_write += o.ct_write;
+        key_read += o.key_read;
+        pt_read += o.pt_read;
+        return *this;
+    }
+};
+
+struct ReplayConfig
+{
+    enum class Policy
+    {
+        Infinite, ///< Compulsory misses only (footprint lower bound).
+        Lru,      ///< Set-associative LRU.
+        Belady,   ///< Fully-associative OPT (offline upper bound).
+    };
+
+    Policy policy = Policy::Lru;
+    /** On-chip capacity in bytes (ignored by Infinite). */
+    size_t capacity_bytes = 32ull * 1024 * 1024;
+    /** Associativity for Lru; 0 = fully associative. */
+    size_t ways = 0;
+    /** Cache block (line) size. Limb-sized blocks match the analytical
+     *  model's limb-granularity accounting. */
+    size_t block_bytes = 8192;
+    /**
+     * Write back and invalidate everything when the outermost scope
+     * closes, so each primitive is measured cold — the same independence
+     * assumption the analytical per-primitive costs make.
+     */
+    bool flush_at_top_scope = true;
+};
+
+/** Per-(outermost-)scope replay accounting. */
+struct ScopeStats
+{
+    std::string name;
+    Traffic traffic;
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+};
+
+struct ReplayResult
+{
+    Traffic total;
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+    /** Aggregated by scope name, in order of first appearance. Events
+     *  outside any scope land in "(unscoped)". */
+    std::vector<ScopeStats> scopes;
+
+    /** Lookup by scope name; nullptr when absent. */
+    const ScopeStats* scope(const std::string& name) const;
+};
+
+/** Replay a captured trace through the configured cache. */
+ReplayResult replay(const Trace& trace, const ReplayConfig& config);
+
+} // namespace memtrace
+} // namespace madfhe
+
+#endif // MADFHE_MEMTRACE_REPLAY_H

@@ -1,0 +1,141 @@
+#include "memtrace/trace.h"
+
+#include <algorithm>
+
+namespace madfhe {
+namespace memtrace {
+
+TraceSink&
+TraceSink::instance()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+void
+TraceSink::enable()
+{
+#ifndef MADFHE_MEMTRACE_DISABLED
+    tracingFlag().store(true, std::memory_order_relaxed);
+#endif
+}
+
+void
+TraceSink::disable()
+{
+#ifndef MADFHE_MEMTRACE_DISABLED
+    tracingFlag().store(false, std::memory_order_relaxed);
+#endif
+}
+
+void
+TraceSink::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+}
+
+Class
+TraceSink::classify(u64 addr) const
+{
+    // regions is sorted by start and non-overlapping; find the greatest
+    // start <= addr.
+    auto it = std::upper_bound(
+        regions.begin(), regions.end(), addr,
+        [](u64 a, const auto& r) { return a < r.first; });
+    if (it == regions.begin())
+        return Class::Ct;
+    --it;
+    return addr < it->second.first ? it->second.second : Class::Ct;
+}
+
+void
+TraceSink::record(Kind kind, const void* addr, size_t bytes)
+{
+    if (!tracingEnabled() || bytes == 0)
+        return;
+    const u64 a = reinterpret_cast<u64>(addr);
+    std::lock_guard<std::mutex> lock(mu);
+    if (kind == Kind::Alloc) {
+        // A new buffer over a previously tagged range retires the tag:
+        // the allocator recycled the address for ordinary working data.
+        auto overlaps = [a, bytes](const auto& r) {
+            return a < r.second.first && r.first < a + bytes;
+        };
+        regions.erase(
+            std::remove_if(regions.begin(), regions.end(), overlaps),
+            regions.end());
+    }
+    events.push_back(Event{a, static_cast<u32>(bytes), kind, classify(a)});
+}
+
+void
+TraceSink::beginScope(const std::string& name)
+{
+    if (!tracingEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    u32 id = internScopeName(name);
+    events.push_back(Event{id, 0, Kind::ScopeBegin, Class::Ct});
+}
+
+void
+TraceSink::endScope()
+{
+    if (!tracingEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(Event{0, 0, Kind::ScopeEnd, Class::Ct});
+}
+
+u32
+TraceSink::internScopeName(const std::string& name)
+{
+    for (size_t i = 0; i < scope_names.size(); ++i)
+        if (scope_names[i] == name)
+            return static_cast<u32>(i);
+    scope_names.push_back(name);
+    return static_cast<u32>(scope_names.size() - 1);
+}
+
+void
+TraceSink::tagRegion(const void* addr, size_t bytes, Class cls)
+{
+#ifdef MADFHE_MEMTRACE_DISABLED
+    (void)addr;
+    (void)bytes;
+    (void)cls;
+#else
+    if (bytes == 0)
+        return;
+    const u64 a = reinterpret_cast<u64>(addr);
+    std::lock_guard<std::mutex> lock(mu);
+    // Replace anything the new tag overlaps, then keep `regions` sorted.
+    auto overlaps = [a, bytes](const auto& r) {
+        return a < r.second.first && r.first < a + bytes;
+    };
+    regions.erase(std::remove_if(regions.begin(), regions.end(), overlaps),
+                  regions.end());
+    auto pos = std::upper_bound(
+        regions.begin(), regions.end(), a,
+        [](u64 x, const auto& r) { return x < r.first; });
+    regions.insert(pos, {a, {a + bytes, cls}});
+#endif
+}
+
+Trace
+TraceSink::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return Trace{events, scope_names};
+}
+
+size_t
+TraceSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+} // namespace memtrace
+} // namespace madfhe

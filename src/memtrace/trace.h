@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Limb-granularity memory-access tracing — the observability layer that
+ * lets the executable CKKS stack (src/ring, src/ckks, src/boot) be
+ * cross-checked against SimFHE's analytical DRAM model.
+ *
+ * The hot kernels (NTT/iNTT, basis conversion, key-switch inner product,
+ * automorphism, rescale, pointwise ops) emit one Read/Write event per limb
+ * they touch — the same granularity SimFHE accounts DRAM traffic at. A
+ * replay engine (replay.h) then turns the event stream into DRAM bytes
+ * moved under a chosen cache model.
+ *
+ * Overhead contract: every instrumentation site is guarded by a single
+ * relaxed atomic load (`tracingEnabled()`), placed outside the coefficient
+ * loops (at most a handful of checks per limb per kernel call). Defining
+ * MADFHE_MEMTRACE_DISABLED compiles all of it out entirely.
+ */
+#ifndef MADFHE_MEMTRACE_TRACE_H
+#define MADFHE_MEMTRACE_TRACE_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace memtrace {
+
+/** What a trace event describes. */
+enum class Kind : u8
+{
+    Read,       ///< A kernel consumed [addr, addr + bytes).
+    Write,      ///< A kernel produced [addr, addr + bytes).
+    Alloc,      ///< A buffer came into existence (contents undefined/zero).
+    ScopeBegin, ///< Start of a named operation scope (addr = name id).
+    ScopeEnd,   ///< End of the innermost scope (addr = name id).
+};
+
+/** Traffic class, mirroring simfhe::Cost's DRAM categories. */
+enum class Class : u8
+{
+    Ct,  ///< Ciphertext / working-set limbs (the default).
+    Key, ///< Switching-key material.
+    Pt,  ///< Encoded plaintext operands.
+};
+
+struct Event
+{
+    u64 addr = 0;   ///< Byte address; scope-name id for Scope* events.
+    u32 bytes = 0;  ///< Span length; 0 for scope events.
+    Kind kind = Kind::Read;
+    Class cls = Class::Ct;
+};
+
+/** A captured event stream plus the scope-name table it refers to. */
+struct Trace
+{
+    std::vector<Event> events;
+    std::vector<std::string> scope_names;
+
+    bool empty() const { return events.empty(); }
+};
+
+#ifndef MADFHE_MEMTRACE_DISABLED
+
+/** Global on/off switch; one relaxed load on every instrumentation site. */
+inline std::atomic<bool>&
+tracingFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+inline bool
+tracingEnabled()
+{
+    return tracingFlag().load(std::memory_order_relaxed);
+}
+
+#else
+
+constexpr bool
+tracingEnabled()
+{
+    return false;
+}
+
+#endif // MADFHE_MEMTRACE_DISABLED
+
+/**
+ * The process-wide trace collector. Thread-safe (one mutex around the
+ * event stream); scope nesting is recorded in-stream, so scoped
+ * attribution assumes the traced region itself runs single-threaded —
+ * which the CKKS kernels currently do.
+ */
+class TraceSink
+{
+  public:
+    static TraceSink& instance();
+
+    /** Start recording (does not clear previously recorded events). */
+    void enable();
+    /** Stop recording; region tags are kept. */
+    void disable();
+    /** Drop all recorded events (keeps region tags and scope names). */
+    void clear();
+
+    /** Record a data event. No-op unless tracing is enabled. */
+    void record(Kind kind, const void* addr, size_t bytes);
+
+    /** Push/pop a named operation scope. */
+    void beginScope(const std::string& name);
+    void endScope();
+
+    /**
+     * Classify the address range as Key or Pt material (Ct is the
+     * default and needs no tag). Tags are advisory metadata consulted at
+     * record() time; an Alloc event over a tagged range retires the tag,
+     * so recycled heap addresses fall back to Ct. Unlike record(), tags
+     * are accepted while tracing is disabled — key material is typically
+     * created during setup, before the measured region starts.
+     */
+    void tagRegion(const void* addr, size_t bytes, Class cls);
+
+    /** Copy out everything recorded so far. */
+    Trace snapshot() const;
+
+    size_t eventCount() const;
+
+  private:
+    TraceSink() = default;
+
+    Class classify(u64 addr) const;
+    u32 internScopeName(const std::string& name);
+
+    mutable std::mutex mu;
+    std::vector<Event> events;
+    std::vector<std::string> scope_names;
+    /** start -> (end, class); non-overlapping by construction. */
+    std::vector<std::pair<u64, std::pair<u64, Class>>> regions;
+};
+
+/**
+ * RAII operation scope: `TraceScope s("KeySwitch");`. Captures nothing
+ * when tracing is disabled at entry (and ignores a mid-scope enable, so
+ * Begin/End events always pair up).
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char* name)
+    {
+        if (tracingEnabled()) {
+            active = true;
+            TraceSink::instance().beginScope(name);
+        }
+    }
+    ~TraceScope()
+    {
+        if (active)
+            TraceSink::instance().endScope();
+    }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+  private:
+    bool active = false;
+};
+
+} // namespace memtrace
+} // namespace madfhe
+
+// Instrumentation macros. Sites pay one relaxed atomic load when tracing
+// is compiled in, and disappear entirely under MADFHE_MEMTRACE_DISABLED.
+#ifndef MADFHE_MEMTRACE_DISABLED
+
+#define MAD_TRACE_READ(ptr, nbytes)                                        \
+    do {                                                                   \
+        if (::madfhe::memtrace::tracingEnabled())                          \
+            ::madfhe::memtrace::TraceSink::instance().record(              \
+                ::madfhe::memtrace::Kind::Read, (ptr), (nbytes));          \
+    } while (0)
+#define MAD_TRACE_WRITE(ptr, nbytes)                                       \
+    do {                                                                   \
+        if (::madfhe::memtrace::tracingEnabled())                          \
+            ::madfhe::memtrace::TraceSink::instance().record(              \
+                ::madfhe::memtrace::Kind::Write, (ptr), (nbytes));         \
+    } while (0)
+#define MAD_TRACE_ALLOC(ptr, nbytes)                                       \
+    do {                                                                   \
+        if (::madfhe::memtrace::tracingEnabled())                          \
+            ::madfhe::memtrace::TraceSink::instance().record(              \
+                ::madfhe::memtrace::Kind::Alloc, (ptr), (nbytes));         \
+    } while (0)
+#define MAD_TRACE_TAG(ptr, nbytes, cls)                                    \
+    ::madfhe::memtrace::TraceSink::instance().tagRegion((ptr), (nbytes),   \
+                                                        (cls))
+#define MAD_TRACE_SCOPE_CAT2(a, b) a##b
+#define MAD_TRACE_SCOPE_CAT(a, b) MAD_TRACE_SCOPE_CAT2(a, b)
+#define MAD_TRACE_SCOPE(name)                                              \
+    ::madfhe::memtrace::TraceScope MAD_TRACE_SCOPE_CAT(mad_trace_scope_,   \
+                                                       __LINE__)(name)
+
+#else
+
+#define MAD_TRACE_READ(ptr, nbytes) ((void)0)
+#define MAD_TRACE_WRITE(ptr, nbytes) ((void)0)
+#define MAD_TRACE_ALLOC(ptr, nbytes) ((void)0)
+#define MAD_TRACE_TAG(ptr, nbytes, cls) ((void)0)
+#define MAD_TRACE_SCOPE(name) ((void)0)
+
+#endif // MADFHE_MEMTRACE_DISABLED
+
+#endif // MADFHE_MEMTRACE_TRACE_H

@@ -2,7 +2,20 @@
 
 #include <cstring>
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
+
+namespace {
+
+/** Bytes of one limb of `p`. */
+inline size_t
+limbBytes(const RnsPoly& p)
+{
+    return p.degree() * sizeof(u64);
+}
+
+} // namespace
 
 RnsPoly::RnsPoly(std::shared_ptr<const RingContext> ctx_,
                  std::vector<u32> basis_, Rep rep_)
@@ -11,6 +24,35 @@ RnsPoly::RnsPoly(std::shared_ptr<const RingContext> ctx_,
     require(ctx != nullptr, "RnsPoly requires a ring context");
     require(!chain.empty(), "RnsPoly requires at least one limb");
     data.assign(chain.size() * ctx->degree(), 0);
+    MAD_TRACE_ALLOC(data.data(), data.size() * sizeof(u64));
+}
+
+RnsPoly::RnsPoly(const RnsPoly& other)
+    : ctx(other.ctx), chain(other.chain),
+      representation(other.representation), data(other.data)
+{
+    if (!data.empty()) {
+        MAD_TRACE_READ(other.data.data(), data.size() * sizeof(u64));
+        MAD_TRACE_ALLOC(data.data(), data.size() * sizeof(u64));
+        MAD_TRACE_WRITE(data.data(), data.size() * sizeof(u64));
+    }
+}
+
+RnsPoly&
+RnsPoly::operator=(const RnsPoly& other)
+{
+    if (this == &other)
+        return *this;
+    ctx = other.ctx;
+    chain = other.chain;
+    representation = other.representation;
+    data = other.data;
+    if (!data.empty()) {
+        MAD_TRACE_READ(other.data.data(), data.size() * sizeof(u64));
+        MAD_TRACE_ALLOC(data.data(), data.size() * sizeof(u64));
+        MAD_TRACE_WRITE(data.data(), data.size() * sizeof(u64));
+    }
+    return *this;
 }
 
 void
@@ -59,6 +101,9 @@ RnsPoly::add(const RnsPoly& other)
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         const u64* b = other.limb(i);
+        MAD_TRACE_READ(a, limbBytes(*this));
+        MAD_TRACE_READ(b, limbBytes(*this));
+        MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.add(a[c], b[c]);
     }
@@ -73,6 +118,9 @@ RnsPoly::sub(const RnsPoly& other)
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         const u64* b = other.limb(i);
+        MAD_TRACE_READ(a, limbBytes(*this));
+        MAD_TRACE_READ(b, limbBytes(*this));
+        MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.sub(a[c], b[c]);
     }
@@ -85,6 +133,8 @@ RnsPoly::negate()
     for (size_t i = 0; i < numLimbs(); ++i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
+        MAD_TRACE_READ(a, limbBytes(*this));
+        MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.neg(a[c]);
     }
@@ -100,6 +150,9 @@ RnsPoly::mulPointwise(const RnsPoly& other)
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         const u64* b = other.limb(i);
+        MAD_TRACE_READ(a, limbBytes(*this));
+        MAD_TRACE_READ(b, limbBytes(*this));
+        MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.mul(a[c], b[c]);
     }
@@ -117,6 +170,10 @@ RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
         u64* dst = limb(i);
         const u64* x = a.limb(i);
         const u64* y = b.limb(i);
+        MAD_TRACE_READ(dst, limbBytes(*this));
+        MAD_TRACE_READ(x, limbBytes(*this));
+        MAD_TRACE_READ(y, limbBytes(*this));
+        MAD_TRACE_WRITE(dst, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             dst[c] = q.add(dst[c], q.mul(x[c], y[c]));
     }
@@ -132,6 +189,8 @@ RnsPoly::mulScalarPerLimb(const std::vector<u64>& scalar)
         u64 s = scalar[i];
         u64 s_shoup = q.shoupPrecompute(s);
         u64* a = limb(i);
+        MAD_TRACE_READ(a, limbBytes(*this));
+        MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.mulShoup(a[c], s, s_shoup);
     }
@@ -149,6 +208,7 @@ RnsPoly::mulScalar(u64 c)
 RnsPoly
 RnsPoly::automorph(u64 t) const
 {
+    MAD_TRACE_SCOPE("Automorph");
     RnsPoly out(ctx, chain, representation);
     const size_t n = degree();
     if (representation == Rep::Eval) {
@@ -156,6 +216,8 @@ RnsPoly::automorph(u64 t) const
         for (size_t i = 0; i < numLimbs(); ++i) {
             const u64* src = limb(i);
             u64* dst = out.limb(i);
+            MAD_TRACE_READ(src, limbBytes(*this));
+            MAD_TRACE_WRITE(dst, limbBytes(*this));
             for (size_t k = 0; k < n; ++k)
                 dst[k] = src[perm[k]];
         }
@@ -165,6 +227,8 @@ RnsPoly::automorph(u64 t) const
             const Modulus& q = modulus(i);
             const u64* src = limb(i);
             u64* dst = out.limb(i);
+            MAD_TRACE_READ(src, limbBytes(*this));
+            MAD_TRACE_WRITE(dst, limbBytes(*this));
             for (size_t k = 0; k < n; ++k) {
                 u64 v = src[k];
                 dst[aut.index[k]] = aut.negate[k] ? q.neg(v) : v;
@@ -198,6 +262,7 @@ RnsPoly::setFromSigned(const std::vector<i64>& values)
     for (size_t i = 0; i < numLimbs(); ++i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
+        MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.fromSigned(values[c]);
     }
@@ -218,6 +283,8 @@ extractLimbs(const RnsPoly& src, const std::vector<u32>& chain)
         }
         require(pos < src.numLimbs(),
                 "extractLimbs: chain index missing from source basis");
+        MAD_TRACE_READ(src.limb(pos), n * sizeof(u64));
+        MAD_TRACE_WRITE(out.limb(i), n * sizeof(u64));
         std::copy(src.limb(pos), src.limb(pos) + n, out.limb(i));
     }
     return out;

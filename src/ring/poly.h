@@ -31,6 +31,15 @@ class RnsPoly
     RnsPoly(std::shared_ptr<const RingContext> ctx, std::vector<u32> basis,
             Rep rep);
 
+    // Copies are memory traffic (a limb-wise read + write pass) and are
+    // recorded by the memtrace instrumentation; moves are free and keep
+    // the buffer address (so region tags stay valid). Defined in poly.cpp.
+    RnsPoly(const RnsPoly& other);
+    RnsPoly& operator=(const RnsPoly& other);
+    RnsPoly(RnsPoly&& other) = default;
+    RnsPoly& operator=(RnsPoly&& other) = default;
+    ~RnsPoly() = default;
+
     const RingContext& ring() const { return *ctx; }
     std::shared_ptr<const RingContext> context() const { return ctx; }
 

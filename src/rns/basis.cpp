@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
 
 RnsBasis::RnsBasis(std::vector<Modulus> moduli) : mods(std::move(moduli))
@@ -107,6 +109,9 @@ BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
     check(in.size() == from.size(), "source limb count mismatch");
     const Modulus& pj = to[target_idx];
     const size_t k = from.size();
+    for (size_t i = 0; i < k; ++i)
+        MAD_TRACE_READ(in[i], n * sizeof(u64));
+    MAD_TRACE_WRITE(out, n * sizeof(u64));
 
     // Scale pass is recomputed per target limb to keep this entry point
     // stateless; convert() amortizes it across all target limbs.
@@ -139,6 +144,10 @@ BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
     check(in.size() == from.size(), "source limb count mismatch");
     check(out.size() == to.size(), "target limb count mismatch");
     const size_t k = from.size();
+    for (size_t i = 0; i < k; ++i)
+        MAD_TRACE_READ(in[i], n * sizeof(u64));
+    for (size_t j = 0; j < out.size(); ++j)
+        MAD_TRACE_WRITE(out[j], n * sizeof(u64));
 
     // Process coefficient-by-coefficient (slot-wise access pattern): scale
     // each source residue once, then accumulate into every target limb.

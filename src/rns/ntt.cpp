@@ -1,5 +1,7 @@
 #include "rns/ntt.h"
 
+#include "memtrace/trace.h"
+
 namespace madfhe {
 
 u64
@@ -111,6 +113,8 @@ NttTables::cyclicTransform(u64* a, const std::vector<u64>& tw,
 void
 NttTables::forward(u64* a) const
 {
+    MAD_TRACE_READ(a, n * sizeof(u64));
+    MAD_TRACE_WRITE(a, n * sizeof(u64));
     for (size_t i = 1; i < n; ++i)
         a[i] = q.mulShoup(a[i], psi_pow[i], psi_pow_shoup[i]);
     cyclicTransform(a, omega_tw, omega_tw_shoup);
@@ -119,6 +123,8 @@ NttTables::forward(u64* a) const
 void
 NttTables::inverse(u64* a) const
 {
+    MAD_TRACE_READ(a, n * sizeof(u64));
+    MAD_TRACE_WRITE(a, n * sizeof(u64));
     cyclicTransform(a, iomega_tw, iomega_tw_shoup);
     // Scale by n^{-1} and untwist by psi^{-i} in one pass.
     a[0] = q.mulShoup(a[0], n_inv, n_inv_shoup);

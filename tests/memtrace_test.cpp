@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the memory-trace subsystem: replay cache semantics on
+ * hand-built traces (LRU eviction order, write-validate, Belady vs LRU),
+ * TraceSink behavior (enable gating, class tagging, scope pairing), and
+ * the traced-vs-analytical cross-validation of KeySwitch.
+ */
+#include <gtest/gtest.h>
+
+#include "memtrace/crossval.h"
+#include "memtrace/replay.h"
+#include "memtrace/trace.h"
+#include "simfhe/model.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using memtrace::Class;
+using memtrace::Event;
+using memtrace::Kind;
+using memtrace::ReplayConfig;
+using memtrace::ReplayResult;
+using memtrace::Trace;
+using memtrace::TraceSink;
+
+constexpr u32 kBlock = 64;
+
+Event
+ev(Kind kind, u64 block, Class cls = Class::Ct)
+{
+    return Event{block * kBlock, kBlock, kind, cls};
+}
+
+ReplayConfig
+lruConfig(size_t capacity_blocks)
+{
+    ReplayConfig rc;
+    rc.policy = ReplayConfig::Policy::Lru;
+    rc.capacity_bytes = capacity_blocks * kBlock;
+    rc.block_bytes = kBlock;
+    return rc;
+}
+
+TEST(Replay, LruEvictionOrderAndCounts)
+{
+    // Capacity 2, fully associative. The reuse of block 0 at step 3 makes
+    // block 1 the LRU victim at step 4 — FIFO would evict block 0 instead,
+    // so the hit/miss pattern below pins down true LRU order.
+    Trace t;
+    for (u64 b : {0, 1, 0, 2, 1, 2})
+        t.events.push_back(ev(Kind::Read, b));
+
+    ReplayResult r = memtrace::replay(t, lruConfig(2));
+    EXPECT_EQ(r.accesses, 6u);
+    EXPECT_EQ(r.misses, 4u); // 0, 1, 2 compulsory + 1 after its eviction
+    EXPECT_EQ(r.hits, 2u);   // 0 at step 3, 2 at step 6
+    EXPECT_DOUBLE_EQ(r.total.ct_read, 4.0 * kBlock);
+    EXPECT_DOUBLE_EQ(r.total.ct_write, 0.0); // nothing dirty
+    EXPECT_EQ(r.writebacks, 0u);
+}
+
+TEST(Replay, WriteValidateInstallsDirtyWithoutFetch)
+{
+    // A write miss must not charge a DRAM read (kernels produce whole
+    // limbs), and the dirty block pays exactly one write when evicted.
+    Trace t;
+    t.events.push_back(ev(Kind::Write, 0));
+    t.events.push_back(ev(Kind::Read, 1));
+    t.events.push_back(ev(Kind::Read, 2)); // evicts dirty block 0
+
+    ReplayResult r = memtrace::replay(t, lruConfig(2));
+    EXPECT_DOUBLE_EQ(r.total.ct_read, 2.0 * kBlock);
+    EXPECT_DOUBLE_EQ(r.total.ct_write, 1.0 * kBlock);
+    EXPECT_EQ(r.writebacks, 1u);
+}
+
+TEST(Replay, AllocInstallsCleanAndDropsDirtyBit)
+{
+    // Alloc means "contents are dead": a dirty block that gets
+    // re-allocated must not write back, and reads after an Alloc hit at
+    // zero traffic.
+    Trace t;
+    t.events.push_back(ev(Kind::Write, 0));
+    t.events.push_back(ev(Kind::Alloc, 0)); // drops the dirty bit
+    t.events.push_back(ev(Kind::Read, 0));
+    t.events.push_back(ev(Kind::Alloc, 1));
+    t.events.push_back(ev(Kind::Read, 1));
+
+    ReplayResult r = memtrace::replay(t, lruConfig(4));
+    EXPECT_EQ(r.misses, 1u); // only the initial write miss
+    EXPECT_EQ(r.hits, 2u);
+    EXPECT_DOUBLE_EQ(r.total.ct_read, 0.0);
+    EXPECT_DOUBLE_EQ(r.total.ct_write, 0.0); // final flush finds no dirty
+    EXPECT_EQ(r.writebacks, 0u);
+}
+
+TEST(Replay, AttributesTrafficToOutermostScope)
+{
+    Trace t;
+    t.scope_names = {"Outer", "Inner"};
+    t.events.push_back(Event{0, 0, Kind::ScopeBegin, Class::Ct});
+    t.events.push_back(ev(Kind::Read, 0));
+    t.events.push_back(Event{1, 0, Kind::ScopeBegin, Class::Ct});
+    t.events.push_back(ev(Kind::Read, 1)); // nested: still Outer's
+    t.events.push_back(Event{0, 0, Kind::ScopeEnd, Class::Ct});
+    t.events.push_back(ev(Kind::Write, 2));
+    t.events.push_back(Event{0, 0, Kind::ScopeEnd, Class::Ct});
+    t.events.push_back(ev(Kind::Read, 3)); // outside any scope
+
+    ReplayResult r = memtrace::replay(t, lruConfig(8));
+    const memtrace::ScopeStats* outer = r.scope("Outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_DOUBLE_EQ(outer->traffic.ct_read, 2.0 * kBlock);
+    // flush_at_top_scope: the dirty block written inside Outer is flushed
+    // (and charged to Outer) when the outermost scope closes.
+    EXPECT_DOUBLE_EQ(outer->traffic.ct_write, 1.0 * kBlock);
+
+    EXPECT_EQ(r.scope("Inner"), nullptr); // aggregated into Outer
+    const memtrace::ScopeStats* unscoped = r.scope("(unscoped)");
+    ASSERT_NE(unscoped, nullptr);
+    EXPECT_DOUBLE_EQ(unscoped->traffic.ct_read, 1.0 * kBlock);
+}
+
+TEST(Replay, KeyAndPtClassesSplitReadsAndSkipWritebacks)
+{
+    Trace t;
+    t.events.push_back(ev(Kind::Read, 0, Class::Key));
+    t.events.push_back(ev(Kind::Read, 1, Class::Pt));
+    t.events.push_back(ev(Kind::Read, 2, Class::Ct));
+    t.events.push_back(ev(Kind::Write, 3, Class::Key));
+
+    ReplayResult r = memtrace::replay(t, lruConfig(8));
+    EXPECT_DOUBLE_EQ(r.total.key_read, 1.0 * kBlock);
+    EXPECT_DOUBLE_EQ(r.total.pt_read, 1.0 * kBlock);
+    EXPECT_DOUBLE_EQ(r.total.ct_read, 1.0 * kBlock);
+    // Key/Pt material is read-only input in the analytical model, so a
+    // dirty Key block is dropped at flush rather than charged as a write.
+    EXPECT_DOUBLE_EQ(r.total.ct_write, 0.0);
+    EXPECT_EQ(r.writebacks, 0u);
+}
+
+TEST(Replay, BeladyNoWorseThanLruOnRandomTrace)
+{
+    // Deterministic LCG access stream over a footprint 3x the capacity.
+    Trace t;
+    u64 state = 0x243f6a8885a308d3ull;
+    for (int i = 0; i < 600; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const u64 block = (state >> 33) % 12;
+        const Kind kind = ((state >> 13) & 3) == 0 ? Kind::Write : Kind::Read;
+        t.events.push_back(ev(kind, block));
+    }
+
+    ReplayConfig lru = lruConfig(4);
+    ReplayConfig belady = lru;
+    belady.policy = ReplayConfig::Policy::Belady;
+    ReplayConfig infinite = lru;
+    infinite.policy = ReplayConfig::Policy::Infinite;
+
+    ReplayResult r_lru = memtrace::replay(t, lru);
+    ReplayResult r_opt = memtrace::replay(t, belady);
+    ReplayResult r_inf = memtrace::replay(t, infinite);
+
+    EXPECT_LE(r_opt.misses, r_lru.misses);
+    EXPECT_LE(r_inf.misses, r_opt.misses); // compulsory lower bound
+    EXPECT_EQ(r_lru.accesses, r_opt.accesses);
+}
+
+TEST(Replay, BeladyBeatsLruOnCyclicScan)
+{
+    // The classic LRU worst case: a cyclic scan one block wider than the
+    // cache makes LRU miss every access, while OPT keeps part of the
+    // working set resident.
+    Trace t;
+    for (int round = 0; round < 10; ++round)
+        for (u64 b = 0; b < 4; ++b)
+            t.events.push_back(ev(Kind::Read, b));
+
+    ReplayConfig lru = lruConfig(3);
+    ReplayConfig belady = lru;
+    belady.policy = ReplayConfig::Policy::Belady;
+
+    ReplayResult r_lru = memtrace::replay(t, lru);
+    ReplayResult r_opt = memtrace::replay(t, belady);
+    EXPECT_EQ(r_lru.misses, r_lru.accesses); // LRU thrashes
+    EXPECT_LT(r_opt.misses, r_lru.misses);
+}
+
+TEST(Replay, SetAssociativityRestrictsVictimChoice)
+{
+    // 4 blocks, 2 ways -> 2 sets; blocks 0 and 2 share set 0. With a
+    // fully associative cache the three distinct blocks all fit; with
+    // 2-way sets, block 4 (set 0) evicts from {0, 2} only.
+    Trace t;
+    for (u64 b : {0, 2, 4, 0})
+        t.events.push_back(ev(Kind::Read, b));
+
+    ReplayConfig full = lruConfig(4);
+    ReplayResult r_full = memtrace::replay(t, full);
+    EXPECT_EQ(r_full.misses, 3u);
+    EXPECT_EQ(r_full.hits, 1u);
+
+    ReplayConfig assoc = full;
+    assoc.ways = 2;
+    ReplayResult r_assoc = memtrace::replay(t, assoc);
+    EXPECT_EQ(r_assoc.misses, 4u); // block 0 was the set-0 LRU victim
+    EXPECT_EQ(r_assoc.hits, 0u);
+}
+
+#ifndef MADFHE_MEMTRACE_DISABLED
+
+/** Clears the global sink before and after each sink-facing test. */
+class TraceSinkTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceSink::instance().disable();
+        TraceSink::instance().clear();
+    }
+    void
+    TearDown() override
+    {
+        TraceSink::instance().disable();
+        TraceSink::instance().clear();
+    }
+};
+
+TEST_F(TraceSinkTest, DisabledSinkRecordsNothing)
+{
+    u64 buf[8] = {};
+    MAD_TRACE_READ(buf, sizeof(buf));
+    MAD_TRACE_WRITE(buf, sizeof(buf));
+    {
+        MAD_TRACE_SCOPE("ShouldNotAppear");
+        MAD_TRACE_ALLOC(buf, sizeof(buf));
+    }
+    EXPECT_EQ(TraceSink::instance().eventCount(), 0u);
+}
+
+TEST_F(TraceSinkTest, TagClassifiesReadsAndAllocRetiresTag)
+{
+    u64 buf[8] = {};
+    TraceSink& sink = TraceSink::instance();
+    // Tags are accepted while disabled (keys are made during setup).
+    sink.tagRegion(buf, sizeof(buf), Class::Key);
+
+    sink.enable();
+    MAD_TRACE_READ(buf, sizeof(buf));
+    MAD_TRACE_ALLOC(buf, sizeof(buf)); // recycled address: tag retired
+    MAD_TRACE_READ(buf, sizeof(buf));
+    sink.disable();
+
+    Trace t = sink.snapshot();
+    ASSERT_EQ(t.events.size(), 3u);
+    EXPECT_EQ(t.events[0].kind, Kind::Read);
+    EXPECT_EQ(t.events[0].cls, Class::Key);
+    EXPECT_EQ(t.events[1].kind, Kind::Alloc);
+    EXPECT_EQ(t.events[2].kind, Kind::Read);
+    EXPECT_EQ(t.events[2].cls, Class::Ct);
+}
+
+TEST_F(TraceSinkTest, ScopeEventsPairUpWithNames)
+{
+    TraceSink& sink = TraceSink::instance();
+    sink.enable();
+    {
+        MAD_TRACE_SCOPE("Outer");
+        {
+            MAD_TRACE_SCOPE("Inner");
+        }
+    }
+    sink.disable();
+
+    Trace t = sink.snapshot();
+    ASSERT_EQ(t.events.size(), 4u);
+    EXPECT_EQ(t.events[0].kind, Kind::ScopeBegin);
+    EXPECT_EQ(t.events[1].kind, Kind::ScopeBegin);
+    EXPECT_EQ(t.events[2].kind, Kind::ScopeEnd);
+    EXPECT_EQ(t.events[3].kind, Kind::ScopeEnd);
+    ASSERT_LT(t.events[0].addr, t.scope_names.size());
+    ASSERT_LT(t.events[1].addr, t.scope_names.size());
+    EXPECT_EQ(t.scope_names[t.events[0].addr], "Outer");
+    EXPECT_EQ(t.scope_names[t.events[1].addr], "Inner");
+}
+
+TEST(MemtraceCrossVal, KeySwitchMatchesAnalyticalModel)
+{
+    // Trace a real key switch at the cross-validation parameter set and
+    // check the replayed DRAM bytes against CostModel::keySwitch. The
+    // band matches tools/trace_validate (observed ratio ~1.06).
+    const CkksParams params = memtrace::crossvalParams();
+    test::CkksHarness h(params);
+    const size_t L = h.ctx->maxLevel();
+    Ciphertext ct =
+        h.encryptSlots(test::randomSlots(h.ctx->slots(), 77), L);
+
+    TraceSink& sink = TraceSink::instance();
+    sink.clear();
+    sink.enable();
+    (void)h.eval->keySwitcher().keySwitch(ct.c1, h.rlk);
+    sink.disable();
+    Trace trace = sink.snapshot();
+    sink.clear();
+    ASSERT_FALSE(trace.empty());
+
+    const size_t cache_limbs = 32;
+    ReplayResult r = memtrace::replay(
+        trace, memtrace::scaledReplayConfig(
+                   params, cache_limbs, ReplayConfig::Policy::Lru));
+    const memtrace::ScopeStats* s = r.scope("KeySwitch");
+    ASSERT_NE(s, nullptr);
+
+    const simfhe::SchemeConfig scheme = memtrace::matchedScheme(params);
+    const simfhe::CacheConfig cache{static_cast<double>(cache_limbs) *
+                                    scheme.limbBytes()};
+    const simfhe::Cost analytic =
+        simfhe::CostModel(scheme, cache, simfhe::Optimizations::none())
+            .keySwitch(L);
+
+    ASSERT_GT(analytic.bytes(), 0.0);
+    const double ratio = s->traffic.bytes() / analytic.bytes();
+    EXPECT_GE(ratio, 0.8) << "traced " << s->traffic.bytes()
+                          << " B vs analytic " << analytic.bytes() << " B";
+    EXPECT_LE(ratio, 1.4) << "traced " << s->traffic.bytes()
+                          << " B vs analytic " << analytic.bytes() << " B";
+    // Key material must show up as key reads, not ciphertext traffic.
+    EXPECT_GT(s->traffic.key_read, 0.0);
+}
+
+#endif // MADFHE_MEMTRACE_DISABLED
+
+} // namespace
+} // namespace madfhe

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cross-validation driver: runs real reduced-parameter CKKS primitives
+ * (Mult, Rotate, KeySwitch, PtMatVecMult, bootstrap) under memory
+ * tracing, replays each trace through a limb-granularity cache model,
+ * and compares the replayed DRAM traffic against SimFHE's analytical
+ * prediction. Exits nonzero when any primitive diverges beyond its
+ * tolerance band, so CI can use it as a model-drift tripwire.
+ *
+ * Usage: trace_validate [--cache-limbs N] [--policy lru|belady|infinite]
+ *                       [--no-bootstrap]
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "memtrace/crossval.h"
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--cache-limbs N] [--policy lru|belady|infinite]"
+                 " [--no-bootstrap]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace madfhe;
+
+    memtrace::CrossValConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cache-limbs" && i + 1 < argc) {
+            try {
+                cfg.cache_limbs = std::stoul(argv[++i]);
+            } catch (const std::exception&) {
+                return usage(argv[0]);
+            }
+            if (cfg.cache_limbs == 0)
+                return usage(argv[0]);
+        } else if (arg == "--policy" && i + 1 < argc) {
+            const std::string p = argv[++i];
+            if (p == "lru")
+                cfg.policy = memtrace::ReplayConfig::Policy::Lru;
+            else if (p == "belady")
+                cfg.policy = memtrace::ReplayConfig::Policy::Belady;
+            else if (p == "infinite")
+                cfg.policy = memtrace::ReplayConfig::Policy::Infinite;
+            else
+                return usage(argv[0]);
+        } else if (arg == "--no-bootstrap") {
+            cfg.run_bootstrap = false;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::cout << "Cross-validating traced DRAM traffic against the SimFHE "
+                 "analytical model\n"
+              << "params: N = 2^" << cfg.params.log_n << ", "
+              << cfg.params.chainLength() << " limbs, dnum = "
+              << cfg.params.dnum << "; cache = " << cfg.cache_limbs
+              << " limbs\n\n";
+
+    memtrace::CrossValReport report = memtrace::runCrossValidation(cfg);
+    std::cout << report.format();
+
+    if (!report.allOk()) {
+        std::cout << "\nFAIL: traced/analytic divergence beyond tolerance\n";
+        return 1;
+    }
+    std::cout << "\nPASS: all primitives within tolerance\n";
+    return 0;
+}
