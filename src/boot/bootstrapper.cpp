@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "support/parallel.h"
 
 namespace madfhe {
 
@@ -71,13 +72,13 @@ Bootstrapper::modRaise(const Ciphertext& ct) const
         RnsPoly out(ctx->ring(), full_basis, Rep::Coeff);
         const u64* src = coeff.limb(0);
         MAD_TRACE_READ(src, n * sizeof(u64));
-        for (size_t i = 0; i < out.numLimbs(); ++i) {
+        parallelFor(out.numLimbs(), [&](size_t i) {
             const Modulus& qi = ctx->ring()->modulus(i);
             u64* dst = out.limb(i);
             MAD_TRACE_WRITE(dst, n * sizeof(u64));
             for (size_t c = 0; c < n; ++c)
                 dst[c] = qi.fromSigned(q0.toSigned(src[c]));
-        }
+        });
         out.toEval();
         return out;
     };

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "support/parallel.h"
+
 namespace madfhe {
 
 namespace {
@@ -126,11 +128,15 @@ applyDiagonalMap(const DiagonalMap& m,
 {
     const size_t n = x.size();
     std::vector<std::complex<double>> y(n, {0, 0});
-    for (const auto& [d, diag] : m) {
-        size_t dd = (static_cast<size_t>(d % static_cast<int>(n)) + n) % n;
-        for (size_t k = 0; k < n; ++k)
-            y[k] += diag[k] * x[(k + dd) % n];
-    }
+    // Slot-major so each output index accumulates its diagonals in map
+    // order regardless of chunking — bit-identical at any thread count.
+    parallelForRange(n, [&](size_t begin, size_t end) {
+        for (const auto& [d, diag] : m) {
+            size_t dd = (static_cast<size_t>(d % static_cast<int>(n)) + n) % n;
+            for (size_t k = begin; k < end; ++k)
+                y[k] += diag[k] * x[(k + dd) % n];
+        }
+    });
     return y;
 }
 
@@ -146,12 +152,14 @@ composeDiagonalMaps(const DiagonalMap& a, const DiagonalMap& b, size_t slots)
             auto& dst = out[d];
             if (dst.empty())
                 dst.assign(slots, {0, 0});
-            for (size_t k = 0; k < slots; ++k) {
-                size_t mid = (k + static_cast<size_t>(
-                                  ((da % int(slots)) + int(slots))))
-                             % slots;
-                dst[k] += va[k] * vb[mid];
-            }
+            parallelForRange(slots, [&](size_t begin, size_t end) {
+                for (size_t k = begin; k < end; ++k) {
+                    size_t mid = (k + static_cast<size_t>(
+                                      ((da % int(slots)) + int(slots))))
+                                 % slots;
+                    dst[k] += va[k] * vb[mid];
+                }
+            });
         }
     }
     // Prune all-zero diagonals produced by structural cancellation.

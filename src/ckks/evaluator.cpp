@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "support/parallel.h"
 
 namespace madfhe {
 
@@ -216,25 +217,28 @@ rescalePoly(const RnsPoly& x, const CkksContext& ctx)
     ctx.ring()->ntt(level - 1).inverse(top.data());
 
     RnsPoly out(x.context(), ctx.ring()->qIndices(level - 1), Rep::Eval);
-    std::vector<u64> corr(n);
-    MAD_TRACE_ALLOC(corr.data(), n * sizeof(u64));
-    for (size_t i = 0; i + 1 < level; ++i) {
+    // One correction slice per kept limb so the limbs are independent
+    // parallel tasks (a single shared buffer would serialize them).
+    std::vector<u64> corr((level - 1) * n);
+    MAD_TRACE_ALLOC(corr.data(), corr.size() * sizeof(u64));
+    parallelFor(level - 1, [&](size_t i) {
         const Modulus& qi = ctx.ring()->modulus(i);
+        u64* ci = corr.data() + i * n;
         MAD_TRACE_READ(top.data(), n * sizeof(u64));
-        MAD_TRACE_WRITE(corr.data(), n * sizeof(u64));
+        MAD_TRACE_WRITE(ci, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
-            corr[c] = qi.fromSigned(q_top.toSigned(top[c]));
-        ctx.ring()->ntt(i).forward(corr.data());
+            ci[c] = qi.fromSigned(q_top.toSigned(top[c]));
+        ctx.ring()->ntt(i).forward(ci);
         const u64 inv = ctx.rescaleInv(level, i);
         const u64 inv_shoup = qi.shoupPrecompute(inv);
         const u64* xi = x.limb(i);
         u64* oi = out.limb(i);
         MAD_TRACE_READ(xi, n * sizeof(u64));
-        MAD_TRACE_READ(corr.data(), n * sizeof(u64));
+        MAD_TRACE_READ(ci, n * sizeof(u64));
         MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
-            oi[c] = qi.mulShoup(qi.sub(xi[c], corr[c]), inv, inv_shoup);
-    }
+            oi[c] = qi.mulShoup(qi.sub(xi[c], ci[c]), inv, inv_shoup);
+    });
     return out;
 }
 
@@ -400,7 +404,7 @@ Evaluator::mulMonomial(const Ciphertext& a, size_t power) const
     require(a.c0.rep() == Rep::Eval, "mulMonomial expects eval rep");
     const size_t n = ctx->degree();
     Ciphertext out = a;
-    for (size_t i = 0; i < a.level(); ++i) {
+    parallelFor(a.level(), [&](size_t i) {
         const u32 chain_idx = a.c0.basis()[i];
         const NttTables& ntt = ctx->ring()->ntt(chain_idx);
         const Modulus& q = ctx->ring()->modulus(chain_idx);
@@ -417,7 +421,7 @@ Evaluator::mulMonomial(const Ciphertext& a, size_t power) const
             c0[k] = q.mul(c0[k], w);
             c1[k] = q.mul(c1[k], w);
         }
-    }
+    });
     return out;
 }
 

@@ -1,6 +1,7 @@
 #include "ckks/keyswitch.h"
 
 #include "memtrace/trace.h"
+#include "support/parallel.h"
 
 namespace madfhe {
 
@@ -32,6 +33,11 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
     RnsPoly x_coeff = x;
     x_coeff.toCoeff();
 
+    // Converted limbs that still need the forward NTT, grouped by raised
+    // basis position so every digit sharing a modulus goes through one
+    // batched table walk (forwardBatch) instead of beta separate ones.
+    std::vector<std::vector<u64*>> to_ntt(raised_basis.size());
+
     std::vector<RnsPoly> digits;
     digits.reserve(beta);
     for (size_t j = 0; j < beta; ++j) {
@@ -46,10 +52,10 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
             src.push_back(x_coeff.limb(start + i));
 
         // NewLimb (slot-wise) into every other limb of the raised basis;
-        // targets are in coefficient rep and get NTT'd limb by limb.
+        // targets are in coefficient rep and are NTT'd in the batched pass
+        // below.
         const BasisConverter& conv = ctx->modUpConverter(j, level);
         std::vector<u64*> dst;
-        std::vector<size_t> dst_pos;
         for (size_t i = 0; i < raised_basis.size(); ++i) {
             u32 chain_idx = raised_basis[i];
             if (chain_idx >= start && chain_idx < start + size &&
@@ -57,11 +63,9 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
                 continue; // own limb, copied below
             }
             dst.push_back(raised.limb(i));
-            dst_pos.push_back(i);
+            to_ntt[i].push_back(raised.limb(i));
         }
         conv.convert(src, n, dst);
-        for (size_t i : dst_pos)
-            ctx->ring()->ntt(raised_basis[i]).forward(raised.limb(i));
 
         // Own limbs: reuse the evaluation-rep input directly
         // (Algorithm 1, line 4: no NTT needed on the input limbs).
@@ -74,6 +78,15 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
 
         digits.push_back(std::move(raised));
     }
+
+    // One batched NTT per raised-basis position, positions fanned out
+    // across the pool: each (stage, twiddle) load is shared by all digits
+    // that carry this modulus.
+    parallelFor(raised_basis.size(), [&](size_t i) {
+        if (!to_ntt[i].empty())
+            ctx->ring()->ntt(raised_basis[i])
+                .forwardBatch(to_ntt[i].data(), to_ntt[i].size());
+    });
     return digits;
 }
 
@@ -94,21 +107,24 @@ KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
 
     // When beta < dnum the trailing ksk columns are simply unused
     // (Algorithm 3, note on line 3).
+    //
+    // Limb-position-major so every raised-basis position is an independent
+    // parallel task accumulating its own (u, v) pair; the per-(digit,
+    // limb) trace events match the digit-major formulation event for
+    // event, just grouped by position.
     MAD_TRACE_SCOPE("KskInnerProd");
-    for (size_t j = 0; j < digits.size(); ++j) {
-        const RnsPoly& d = digits[j];
-        const RnsPoly& kb = ksk.b(j);
-        const RnsPoly& ka = ksk.a(j);
-        for (size_t i = 0; i < raised_basis.size(); ++i) {
-            const u32 chain_idx = raised_basis[i];
-            const Modulus& q = ctx->ring()->modulus(chain_idx);
+    parallelFor(raised_basis.size(), [&](size_t i) {
+        const u32 chain_idx = raised_basis[i];
+        const Modulus& q = ctx->ring()->modulus(chain_idx);
+        u64* u = out.c0.limb(i);
+        u64* v = out.c1.limb(i);
+        for (size_t j = 0; j < digits.size(); ++j) {
+            const RnsPoly& d = digits[j];
             // The key basis is the identity chain, so limb position ==
             // chain index in the switching-key polynomials.
             const u64* dl = d.limb(i);
-            const u64* bl = kb.limb(chain_idx);
-            const u64* al = ka.limb(chain_idx);
-            u64* u = out.c0.limb(i);
-            u64* v = out.c1.limb(i);
+            const u64* bl = ksk.b(j).limb(chain_idx);
+            const u64* al = ksk.a(j).limb(chain_idx);
             MAD_TRACE_READ(dl, n * sizeof(u64));
             MAD_TRACE_READ(bl, n * sizeof(u64));
             MAD_TRACE_READ(al, n * sizeof(u64));
@@ -121,7 +137,7 @@ KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
                 v[c] = q.add(v[c], q.mul(dl[c], al[c]));
             }
         }
-    }
+    });
     return out;
 }
 
@@ -137,14 +153,14 @@ KeySwitcher::modDown(const RnsPoly& x) const
     // iNTT the P limbs (limb-wise).
     std::vector<std::vector<u64>> p_coeff(num_p, std::vector<u64>(n));
     auto p_indices = ctx->ring()->pIndices();
-    for (size_t i = 0; i < num_p; ++i) {
+    parallelFor(num_p, [&](size_t i) {
         const u64* src = x.limb(level + i);
         MAD_TRACE_ALLOC(p_coeff[i].data(), n * sizeof(u64));
         MAD_TRACE_READ(src, n * sizeof(u64));
         MAD_TRACE_WRITE(p_coeff[i].data(), n * sizeof(u64));
         std::copy(src, src + n, p_coeff[i].data());
         ctx->ring()->ntt(p_indices[i]).inverse(p_coeff[i].data());
-    }
+    });
 
     // NewLimb (slot-wise): correction = [x]_P converted to each q_i.
     std::vector<const u64*> src;
@@ -160,7 +176,7 @@ KeySwitcher::modDown(const RnsPoly& x) const
 
     // Per kept limb: NTT the correction, subtract, scale by P^{-1}.
     RnsPoly out(x.context(), ctx->ring()->qIndices(level), Rep::Eval);
-    for (size_t i = 0; i < level; ++i) {
+    parallelFor(level, [&](size_t i) {
         const Modulus& q = ctx->ring()->modulus(i);
         ctx->ring()->ntt(i).forward(corr[i].data());
         const u64 p_inv = ctx->pInvModQ(i);
@@ -172,7 +188,7 @@ KeySwitcher::modDown(const RnsPoly& x) const
         MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), p_inv, p_inv_shoup);
-    }
+    });
     return out;
 }
 
@@ -189,23 +205,17 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
     // Dropped limbs: q_(level-1) followed by the P limbs — matching the
     // source basis of mergedModDownConverter().
     std::vector<std::vector<u64>> drop_coeff(1 + num_p, std::vector<u64>(n));
-    {
-        const u64* src = x.limb(level - 1);
-        MAD_TRACE_ALLOC(drop_coeff[0].data(), n * sizeof(u64));
-        MAD_TRACE_READ(src, n * sizeof(u64));
-        MAD_TRACE_WRITE(drop_coeff[0].data(), n * sizeof(u64));
-        std::copy(src, src + n, drop_coeff[0].data());
-        ctx->ring()->ntt(level - 1).inverse(drop_coeff[0].data());
-    }
     auto p_indices = ctx->ring()->pIndices();
-    for (size_t i = 0; i < num_p; ++i) {
-        const u64* src = x.limb(level + i);
-        MAD_TRACE_ALLOC(drop_coeff[1 + i].data(), n * sizeof(u64));
+    parallelFor(1 + num_p, [&](size_t i) {
+        const u32 chain_idx = i == 0 ? static_cast<u32>(level - 1)
+                                     : p_indices[i - 1];
+        const u64* src = i == 0 ? x.limb(level - 1) : x.limb(level + (i - 1));
+        MAD_TRACE_ALLOC(drop_coeff[i].data(), n * sizeof(u64));
         MAD_TRACE_READ(src, n * sizeof(u64));
-        MAD_TRACE_WRITE(drop_coeff[1 + i].data(), n * sizeof(u64));
-        std::copy(src, src + n, drop_coeff[1 + i].data());
-        ctx->ring()->ntt(p_indices[i]).inverse(drop_coeff[1 + i].data());
-    }
+        MAD_TRACE_WRITE(drop_coeff[i].data(), n * sizeof(u64));
+        std::copy(src, src + n, drop_coeff[i].data());
+        ctx->ring()->ntt(chain_idx).inverse(drop_coeff[i].data());
+    });
 
     std::vector<const u64*> src;
     for (auto& limb : drop_coeff)
@@ -219,7 +229,7 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
     ctx->mergedModDownConverter(level).convert(src, n, dst);
 
     RnsPoly out(x.context(), ctx->ring()->qIndices(level - 1), Rep::Eval);
-    for (size_t i = 0; i + 1 < level; ++i) {
+    parallelFor(level - 1, [&](size_t i) {
         const Modulus& q = ctx->ring()->modulus(i);
         ctx->ring()->ntt(i).forward(corr[i].data());
         const u64 inv = ctx->mergedInv(level, i);
@@ -231,7 +241,7 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
         MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), inv, inv_shoup);
-    }
+    });
     return out;
 }
 
@@ -243,7 +253,7 @@ KeySwitcher::pModUp(const RnsPoly& y) const
     const size_t level = y.numLimbs();
     const size_t n = y.degree();
     RnsPoly out(y.context(), ctx->raisedIndices(level), Rep::Eval);
-    for (size_t i = 0; i < level; ++i) {
+    parallelFor(level, [&](size_t i) {
         const Modulus& q = ctx->ring()->modulus(i);
         const u64 p_mod = ctx->pModQ(i);
         const u64 p_shoup = q.shoupPrecompute(p_mod);
@@ -253,7 +263,7 @@ KeySwitcher::pModUp(const RnsPoly& y) const
         MAD_TRACE_WRITE(oi, n * sizeof(u64));
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(yi[c], p_mod, p_shoup);
-    }
+    });
     // P limbs of P*y are identically zero (Algorithm 5, line 3).
     return out;
 }

@@ -5,11 +5,24 @@
 namespace madfhe {
 namespace memtrace {
 
+namespace {
+
+/** Staging buffer bound to this thread, or nullptr for direct recording. */
+thread_local TraceBuffer* tl_buffer = nullptr;
+
+} // namespace
+
 TraceSink&
 TraceSink::instance()
 {
     static TraceSink sink;
     return sink;
+}
+
+void
+TraceSink::bindThreadBuffer(TraceBuffer* buf)
+{
+    tl_buffer = buf;
 }
 
 void
@@ -33,6 +46,12 @@ TraceSink::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
     events.clear();
+    // Restart the virtual address space: each measured region then maps
+    // its buffers purely by its own Alloc/first-access order, so stale
+    // regions from earlier measurements can never alias recycled heap
+    // addresses into it.
+    vregions.clear();
+    next_vaddr = 1ull << 20;
 }
 
 Class
@@ -50,12 +69,8 @@ TraceSink::classify(u64 addr) const
 }
 
 void
-TraceSink::record(Kind kind, const void* addr, size_t bytes)
+TraceSink::recordLocked(Kind kind, u64 a, u32 bytes)
 {
-    if (!tracingEnabled() || bytes == 0)
-        return;
-    const u64 a = reinterpret_cast<u64>(addr);
-    std::lock_guard<std::mutex> lock(mu);
     if (kind == Kind::Alloc) {
         // A new buffer over a previously tagged range retires the tag:
         // the allocator recycled the address for ordinary working data.
@@ -66,7 +81,61 @@ TraceSink::record(Kind kind, const void* addr, size_t bytes)
             std::remove_if(regions.begin(), regions.end(), overlaps),
             regions.end());
     }
-    events.push_back(Event{a, static_cast<u32>(bytes), kind, classify(a)});
+    const u64 va = translate(kind, a, bytes);
+    events.push_back(Event{va, bytes, kind, classify(a)});
+}
+
+u64
+TraceSink::translate(Kind kind, u64 a, u32 bytes)
+{
+    // The event stream commits in a deterministic order (parallel chunks
+    // flush in ascending chunk order), so handing out virtual bases in
+    // commit order yields addresses that are independent of the actual
+    // heap layout — replayed DRAM traffic is then reproducible run to run
+    // and identical across thread counts.
+    auto overlaps = [a, bytes](const auto& r) {
+        return a < r.second.first && r.first < a + bytes;
+    };
+    if (kind != Kind::Alloc) {
+        // Greatest region start <= a.
+        auto it = std::upper_bound(
+            vregions.begin(), vregions.end(), a,
+            [](u64 x, const auto& r) { return x < r.first; });
+        if (it != vregions.begin()) {
+            --it;
+            if (a < it->second.first)
+                return it->second.second + (a - it->first);
+        }
+    }
+    // Alloc, or first access to a buffer created before tracing started
+    // (keys, plaintexts, the input ciphertext): open a fresh virtual
+    // region. Recycled real addresses retire whatever they overlap.
+    vregions.erase(
+        std::remove_if(vregions.begin(), vregions.end(), overlaps),
+        vregions.end());
+    const u64 vbase = next_vaddr;
+    // 64-byte-aligned bump with one page of padding between regions so a
+    // stray over-long span cannot alias the next buffer's blocks.
+    next_vaddr += (static_cast<u64>(bytes) + 63) / 64 * 64 + 4096;
+    auto pos = std::upper_bound(
+        vregions.begin(), vregions.end(), a,
+        [](u64 x, const auto& r) { return x < r.first; });
+    vregions.insert(pos, {a, {a + bytes, vbase}});
+    return vbase;
+}
+
+void
+TraceSink::record(Kind kind, const void* addr, size_t bytes)
+{
+    if (!tracingEnabled() || bytes == 0)
+        return;
+    const u64 a = reinterpret_cast<u64>(addr);
+    if (TraceBuffer* buf = tl_buffer) {
+        buf->staged.push_back({a, static_cast<u32>(bytes), kind, -1});
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    recordLocked(kind, a, static_cast<u32>(bytes));
 }
 
 void
@@ -74,6 +143,13 @@ TraceSink::beginScope(const std::string& name)
 {
     if (!tracingEnabled())
         return;
+    if (TraceBuffer* buf = tl_buffer) {
+        buf->local_names.push_back(name);
+        buf->staged.push_back(
+            {0, 0, Kind::ScopeBegin,
+             static_cast<i32>(buf->local_names.size() - 1)});
+        return;
+    }
     std::lock_guard<std::mutex> lock(mu);
     u32 id = internScopeName(name);
     events.push_back(Event{id, 0, Kind::ScopeBegin, Class::Ct});
@@ -84,8 +160,38 @@ TraceSink::endScope()
 {
     if (!tracingEnabled())
         return;
+    if (TraceBuffer* buf = tl_buffer) {
+        buf->staged.push_back({0, 0, Kind::ScopeEnd, -1});
+        return;
+    }
     std::lock_guard<std::mutex> lock(mu);
     events.push_back(Event{0, 0, Kind::ScopeEnd, Class::Ct});
+}
+
+void
+TraceSink::flush(TraceBuffer& buf)
+{
+    if (buf.staged.empty()) {
+        buf.clear();
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& s : buf.staged) {
+        switch (s.kind) {
+        case Kind::ScopeBegin:
+            events.push_back(
+                Event{internScopeName(buf.local_names[s.name]), 0,
+                      Kind::ScopeBegin, Class::Ct});
+            break;
+        case Kind::ScopeEnd:
+            events.push_back(Event{0, 0, Kind::ScopeEnd, Class::Ct});
+            break;
+        default:
+            recordLocked(s.kind, s.addr, s.bytes);
+            break;
+        }
+    }
+    buf.clear();
 }
 
 u32

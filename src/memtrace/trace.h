@@ -48,7 +48,14 @@ enum class Class : u8
 
 struct Event
 {
-    u64 addr = 0;   ///< Byte address; scope-name id for Scope* events.
+    /**
+     * Normalized byte address (scope-name id for Scope* events). The sink
+     * translates raw pointers into a deterministic virtual address space
+     * keyed by Alloc/first-access order, so replay results do not depend
+     * on the run-to-run heap layout (or on which pool thread's allocator
+     * arena a temporary came from).
+     */
+    u64 addr = 0;
     u32 bytes = 0;  ///< Span length; 0 for scope events.
     Kind kind = Kind::Read;
     Class cls = Class::Ct;
@@ -90,10 +97,46 @@ tracingEnabled()
 #endif // MADFHE_MEMTRACE_DISABLED
 
 /**
+ * Thread-local staging buffer for events recorded inside one chunk of a
+ * parallel region. While a buffer is bound (bindThreadBuffer), the
+ * recording thread appends raw events here without touching the global
+ * sink; TraceSink::flush() then commits the buffer under the sink lock.
+ * Classification against region tags and scope-name interning are
+ * deferred to flush time, so as long as chunks are flushed in ascending
+ * chunk order the committed stream is bit-identical to a serial run of
+ * the same code (parallelForRange guarantees that order).
+ */
+class TraceBuffer
+{
+  public:
+    bool empty() const { return staged.empty(); }
+    size_t size() const { return staged.size(); }
+    void
+    clear()
+    {
+        staged.clear();
+        local_names.clear();
+    }
+
+  private:
+    friend class TraceSink;
+    struct Staged
+    {
+        u64 addr = 0;
+        u32 bytes = 0;
+        Kind kind = Kind::Read;
+        i32 name = -1; ///< index into local_names for ScopeBegin events
+    };
+    std::vector<Staged> staged;
+    std::vector<std::string> local_names;
+};
+
+/**
  * The process-wide trace collector. Thread-safe (one mutex around the
- * event stream); scope nesting is recorded in-stream, so scoped
- * attribution assumes the traced region itself runs single-threaded —
- * which the CKKS kernels currently do.
+ * event stream). Scope nesting is recorded in-stream, so scoped
+ * attribution assumes scopes open and close on the serial spine of the
+ * computation; parallel chunks record data events into TraceBuffers that
+ * are committed in deterministic order (see TraceBuffer).
  */
 class TraceSink
 {
@@ -129,17 +172,52 @@ class TraceSink
 
     size_t eventCount() const;
 
+    /**
+     * Redirect this thread's record()/scope calls into `buf` (nullptr
+     * restores direct recording). Used by parallelForRange; prefer the
+     * RAII ThreadBufferBinding over calling this directly.
+     */
+    static void bindThreadBuffer(TraceBuffer* buf);
+
+    /**
+     * Commit a staged buffer to the global stream and clear it. Callers
+     * must flush the buffers of a parallel region in ascending chunk
+     * order to keep the stream deterministic.
+     */
+    void flush(TraceBuffer& buf);
+
   private:
     TraceSink() = default;
 
     Class classify(u64 addr) const;
     u32 internScopeName(const std::string& name);
+    /** record() body once the sink mutex is held. */
+    void recordLocked(Kind kind, u64 addr, u32 bytes);
+    /** Map a raw address into the deterministic virtual space. */
+    u64 translate(Kind kind, u64 addr, u32 bytes);
 
     mutable std::mutex mu;
     std::vector<Event> events;
     std::vector<std::string> scope_names;
     /** start -> (end, class); non-overlapping by construction. */
     std::vector<std::pair<u64, std::pair<u64, Class>>> regions;
+    /** real start -> (real end, virtual start): live traced buffers. */
+    std::vector<std::pair<u64, std::pair<u64, u64>>> vregions;
+    /** Bump pointer of the virtual space (Alloc/first-access order). */
+    u64 next_vaddr = 1ull << 20;
+};
+
+/** RAII thread-buffer binding for one chunk of a parallel region. */
+class ThreadBufferBinding
+{
+  public:
+    explicit ThreadBufferBinding(TraceBuffer* buf)
+    {
+        TraceSink::bindThreadBuffer(buf);
+    }
+    ~ThreadBufferBinding() { TraceSink::bindThreadBuffer(nullptr); }
+    ThreadBufferBinding(const ThreadBufferBinding&) = delete;
+    ThreadBufferBinding& operator=(const ThreadBufferBinding&) = delete;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "memtrace/trace.h"
+#include "support/parallel.h"
 
 namespace madfhe {
 
@@ -67,8 +68,8 @@ void
 RnsPoly::toEval()
 {
     check(representation == Rep::Coeff, "toEval requires coefficient rep");
-    for (size_t i = 0; i < numLimbs(); ++i)
-        ctx->ntt(chain[i]).forward(limb(i));
+    parallelFor(numLimbs(),
+                [&](size_t i) { ctx->ntt(chain[i]).forward(limb(i)); });
     representation = Rep::Eval;
 }
 
@@ -76,8 +77,8 @@ void
 RnsPoly::toCoeff()
 {
     check(representation == Rep::Eval, "toCoeff requires evaluation rep");
-    for (size_t i = 0; i < numLimbs(); ++i)
-        ctx->ntt(chain[i]).inverse(limb(i));
+    parallelFor(numLimbs(),
+                [&](size_t i) { ctx->ntt(chain[i]).inverse(limb(i)); });
     representation = Rep::Coeff;
 }
 
@@ -97,7 +98,7 @@ RnsPoly::add(const RnsPoly& other)
 {
     requireCompatible(other);
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         const u64* b = other.limb(i);
@@ -106,7 +107,7 @@ RnsPoly::add(const RnsPoly& other)
         MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.add(a[c], b[c]);
-    }
+    });
 }
 
 void
@@ -114,7 +115,7 @@ RnsPoly::sub(const RnsPoly& other)
 {
     requireCompatible(other);
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         const u64* b = other.limb(i);
@@ -123,21 +124,21 @@ RnsPoly::sub(const RnsPoly& other)
         MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.sub(a[c], b[c]);
-    }
+    });
 }
 
 void
 RnsPoly::negate()
 {
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         MAD_TRACE_READ(a, limbBytes(*this));
         MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.neg(a[c]);
-    }
+    });
 }
 
 void
@@ -146,7 +147,7 @@ RnsPoly::mulPointwise(const RnsPoly& other)
     requireCompatible(other);
     check(representation == Rep::Eval, "pointwise mul requires Eval rep");
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         const u64* b = other.limb(i);
@@ -155,7 +156,7 @@ RnsPoly::mulPointwise(const RnsPoly& other)
         MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.mul(a[c], b[c]);
-    }
+    });
 }
 
 void
@@ -165,7 +166,7 @@ RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
     requireCompatible(b);
     check(representation == Rep::Eval, "addMul requires Eval rep");
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64* dst = limb(i);
         const u64* x = a.limb(i);
@@ -176,7 +177,7 @@ RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
         MAD_TRACE_WRITE(dst, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             dst[c] = q.add(dst[c], q.mul(x[c], y[c]));
-    }
+    });
 }
 
 void
@@ -184,7 +185,7 @@ RnsPoly::mulScalarPerLimb(const std::vector<u64>& scalar)
 {
     check(scalar.size() == numLimbs(), "per-limb scalar count mismatch");
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64 s = scalar[i];
         u64 s_shoup = q.shoupPrecompute(s);
@@ -193,7 +194,7 @@ RnsPoly::mulScalarPerLimb(const std::vector<u64>& scalar)
         MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.mulShoup(a[c], s, s_shoup);
-    }
+    });
 }
 
 void
@@ -213,17 +214,17 @@ RnsPoly::automorph(u64 t) const
     const size_t n = degree();
     if (representation == Rep::Eval) {
         const std::vector<u32>& perm = ctx->evalPermutation(t);
-        for (size_t i = 0; i < numLimbs(); ++i) {
+        parallelFor(numLimbs(), [&](size_t i) {
             const u64* src = limb(i);
             u64* dst = out.limb(i);
             MAD_TRACE_READ(src, limbBytes(*this));
             MAD_TRACE_WRITE(dst, limbBytes(*this));
             for (size_t k = 0; k < n; ++k)
                 dst[k] = src[perm[k]];
-        }
+        });
     } else {
         const CoeffAutomorphism& aut = ctx->coeffAutomorphism(t);
-        for (size_t i = 0; i < numLimbs(); ++i) {
+        parallelFor(numLimbs(), [&](size_t i) {
             const Modulus& q = modulus(i);
             const u64* src = limb(i);
             u64* dst = out.limb(i);
@@ -233,7 +234,7 @@ RnsPoly::automorph(u64 t) const
                 u64 v = src[k];
                 dst[aut.index[k]] = aut.negate[k] ? q.neg(v) : v;
             }
-        }
+        });
     }
     return out;
 }
@@ -259,13 +260,13 @@ RnsPoly::setFromSigned(const std::vector<i64>& values)
     check(representation == Rep::Coeff, "setFromSigned requires coeff rep");
     require(values.size() == degree(), "value count must equal ring degree");
     const size_t n = degree();
-    for (size_t i = 0; i < numLimbs(); ++i) {
+    parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
         u64* a = limb(i);
         MAD_TRACE_WRITE(a, limbBytes(*this));
         for (size_t c = 0; c < n; ++c)
             a[c] = q.fromSigned(values[c]);
-    }
+    });
 }
 
 RnsPoly

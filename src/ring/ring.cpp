@@ -18,7 +18,7 @@ RingContext::RingContext(size_t n_, std::vector<u64> q_primes,
         require(isPrime(q), "modulus chain entries must be prime");
         require(q % (2 * n) == 1, "moduli must be 1 mod 2N for the NTT");
         mods.emplace_back(q);
-        ntts.emplace_back(std::make_unique<NttTables>(n, mods.back()));
+        ntts.emplace_back(NttTables::get(n, mods.back()));
     }
 }
 

@@ -77,7 +77,9 @@ class RingContext
     unsigned logn;
     size_t num_q;
     std::vector<Modulus> mods;
-    std::vector<std::unique_ptr<NttTables>> ntts;
+    /** Shared via the process-wide NttTables::get() memo, so contexts
+     *  over the same primes reuse one table set. */
+    std::vector<std::shared_ptr<const NttTables>> ntts;
 
     mutable std::map<u64, std::vector<u32>> eval_perm_cache;
     mutable std::map<u64, CoeffAutomorphism> coeff_auto_cache;

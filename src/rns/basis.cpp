@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "support/parallel.h"
 
 namespace madfhe {
 
@@ -115,26 +116,30 @@ BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
 
     // Scale pass is recomputed per target limb to keep this entry point
     // stateless; convert() amortizes it across all target limbs.
-    std::vector<u64> scaled(k);
-    for (size_t c = 0; c < n; ++c) {
-        long double frac = 0.5L;
-        for (size_t i = 0; i < k; ++i) {
-            scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
-                                         from.invPuncturedShoup(i));
-            frac += static_cast<long double>(scaled[i]) * inv_q[i];
+    // Coefficients are independent, so split the index range across the
+    // pool; each chunk carries its own scale scratch.
+    parallelForRange(n, [&](size_t begin, size_t end) {
+        std::vector<u64> scaled(k);
+        for (size_t c = begin; c < end; ++c) {
+            long double frac = 0.5L;
+            for (size_t i = 0; i < k; ++i) {
+                scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
+                                             from.invPuncturedShoup(i));
+                frac += static_cast<long double>(scaled[i]) * inv_q[i];
+            }
+            u64 result = accumulate(scaled.data(),
+                                    punctured_mod[target_idx].data(), k, pj);
+            if (mode == ConvMode::SignedExact) {
+                // Subtract round(x/Q)*Q: sum_i scaled_i*Q_i^* = x + u*Q with
+                // u = floor(sum_i scaled_i/q_i); rounding the centered value
+                // means subtracting floor(sum + 0.5) copies of Q.
+                u64 u = static_cast<u64>(frac);
+                result = pj.sub(result,
+                                pj.mul(pj.reduce(u), q_mod_target[target_idx]));
+            }
+            out[c] = result;
         }
-        u64 result = accumulate(scaled.data(), punctured_mod[target_idx].data(),
-                                k, pj);
-        if (mode == ConvMode::SignedExact) {
-            // Subtract round(x/Q)*Q: sum_i scaled_i*Q_i^* = x + u*Q with
-            // u = floor(sum_i scaled_i/q_i); rounding the centered value
-            // means subtracting floor(sum + 0.5) copies of Q.
-            u64 u = static_cast<u64>(frac);
-            result = pj.sub(result,
-                            pj.mul(pj.reduce(u), q_mod_target[target_idx]));
-        }
-        out[c] = result;
-    }
+    });
 }
 
 void
@@ -151,25 +156,29 @@ BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
 
     // Process coefficient-by-coefficient (slot-wise access pattern): scale
     // each source residue once, then accumulate into every target limb.
-    std::vector<u64> scaled(k);
-    for (size_t c = 0; c < n; ++c) {
-        long double frac = 0.5L;
-        for (size_t i = 0; i < k; ++i) {
-            scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
-                                         from.invPuncturedShoup(i));
-            frac += static_cast<long double>(scaled[i]) * inv_q[i];
-        }
-        u64 u = static_cast<u64>(frac);
-        for (size_t j = 0; j < to.size(); ++j) {
-            const Modulus& pj = to[j];
-            u64 result = accumulate(scaled.data(), punctured_mod[j].data(),
-                                    k, pj);
-            if (mode == ConvMode::SignedExact) {
-                result = pj.sub(result, pj.mul(pj.reduce(u), q_mod_target[j]));
+    // Coefficient ranges are independent, so they fan out across the pool.
+    parallelForRange(n, [&](size_t begin, size_t end) {
+        std::vector<u64> scaled(k);
+        for (size_t c = begin; c < end; ++c) {
+            long double frac = 0.5L;
+            for (size_t i = 0; i < k; ++i) {
+                scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
+                                             from.invPuncturedShoup(i));
+                frac += static_cast<long double>(scaled[i]) * inv_q[i];
             }
-            out[j][c] = result;
+            u64 u = static_cast<u64>(frac);
+            for (size_t j = 0; j < to.size(); ++j) {
+                const Modulus& pj = to[j];
+                u64 result = accumulate(scaled.data(), punctured_mod[j].data(),
+                                        k, pj);
+                if (mode == ConvMode::SignedExact) {
+                    result = pj.sub(result,
+                                    pj.mul(pj.reduce(u), q_mod_target[j]));
+                }
+                out[j][c] = result;
+            }
         }
-    }
+    });
 }
 
 } // namespace madfhe

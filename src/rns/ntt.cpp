@@ -1,5 +1,8 @@
 #include "rns/ntt.h"
 
+#include <map>
+#include <mutex>
+
 #include "memtrace/trace.h"
 
 namespace madfhe {
@@ -8,15 +11,30 @@ u64
 findPrimitiveRoot(size_t two_n, const Modulus& q)
 {
     require((q.value() - 1) % two_n == 0, "q != 1 mod 2n");
-    u64 exponent = (q.value() - 1) / two_n;
-    // Deterministic scan: candidate generators 2, 3, 4, ...
+    const u64 exponent = (q.value() - 1) / two_n;
+    // Deterministic scan: candidate generators 2, 3, 4, ... One pow per
+    // candidate: g^((q-1)/2) == -1 iff g is a quadratic non-residue, and
+    // exactly then g^((q-1)/2n) has order 2n (its n-th power is -1).
     for (u64 g = 2; g < q.value(); ++g) {
-        u64 root = q.pow(g, exponent);
-        // root has order dividing 2n; it is primitive iff root^n == -1.
-        if (q.pow(root, two_n / 2) == q.value() - 1)
-            return root;
+        if (q.pow(g, (q.value() - 1) / 2) == q.value() - 1)
+            return q.pow(g, exponent);
     }
     throw std::logic_error("no primitive root found (q not prime?)");
+}
+
+std::shared_ptr<const NttTables>
+NttTables::get(size_t n, const Modulus& q)
+{
+    static std::mutex mu;
+    static std::map<std::pair<size_t, u64>, std::weak_ptr<const NttTables>>
+        cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = cache[{n, q.value()}];
+    if (auto tables = slot.lock())
+        return tables;
+    auto tables = std::make_shared<const NttTables>(n, q);
+    slot = tables;
+    return tables;
 }
 
 NttTables::NttTables(size_t n_, const Modulus& q_) : n(n_), q(q_)
@@ -24,114 +42,196 @@ NttTables::NttTables(size_t n_, const Modulus& q_) : n(n_), q(q_)
     require(isPowerOfTwo(n), "NTT size must be a power of two");
     logn = floorLog2(n);
 
-    u64 psi = findPrimitiveRoot(2 * n, q);
-    u64 ipsi = q.inverse(psi);
-    u64 omega = q.mul(psi, psi);
-    u64 iomega = q.inverse(omega);
+    const u64 psi = findPrimitiveRoot(2 * n, q);
+    const u64 ipsi = q.inverse(psi);
+    const u64 n_inv = q.inverse(static_cast<u64>(n % q.value()));
 
+    // psi powers carry the forward twist and, via omega = psi^2, the
+    // forward stage twiddles; ipsi powers are folded with n^{-1} into
+    // the fused inverse untwist table.
     psi_pow.resize(n);
-    ipsi_pow.resize(n);
     psi_pow_shoup.resize(n);
-    ipsi_pow_shoup.resize(n);
+    ipsi_ninv.resize(n);
+    ipsi_ninv_shoup.resize(n);
+    std::vector<u64> ipsi_pow(n);
     u64 p = 1, ip = 1;
     for (size_t i = 0; i < n; ++i) {
         psi_pow[i] = p;
-        ipsi_pow[i] = ip;
         psi_pow_shoup[i] = q.shoupPrecompute(p);
-        ipsi_pow_shoup[i] = q.shoupPrecompute(ip);
+        ipsi_pow[i] = ip;
+        ipsi_ninv[i] = q.mul(ip, n_inv);
+        ipsi_ninv_shoup[i] = q.shoupPrecompute(ipsi_ninv[i]);
         p = q.mul(p, psi);
         ip = q.mul(ip, ipsi);
     }
 
+    // Stage twiddles are slices of the (i)psi power tables:
+    // omega^(j * n/(2m)) = psi^(j * n/m), so no pow chains and no fresh
+    // Shoup precomputations (a 128-bit division each) are needed for the
+    // forward tables.
     omega_tw.resize(n);
     iomega_tw.resize(n);
     omega_tw_shoup.resize(n);
     iomega_tw_shoup.resize(n);
     for (size_t m = 1; m < n; m <<= 1) {
-        u64 w_base = q.pow(omega, n / (2 * m));
-        u64 iw_base = q.pow(iomega, n / (2 * m));
-        u64 w = 1, iw = 1;
+        const size_t stride = n / m;
         for (size_t j = 0; j < m; ++j) {
-            omega_tw[m + j] = w;
-            iomega_tw[m + j] = iw;
-            omega_tw_shoup[m + j] = q.shoupPrecompute(w);
-            iomega_tw_shoup[m + j] = q.shoupPrecompute(iw);
-            w = q.mul(w, w_base);
-            iw = q.mul(iw, iw_base);
+            const size_t e = j * stride;
+            omega_tw[m + j] = psi_pow[e];
+            omega_tw_shoup[m + j] = psi_pow_shoup[e];
+            iomega_tw[m + j] = ipsi_pow[e];
+            iomega_tw_shoup[m + j] = q.shoupPrecompute(ipsi_pow[e]);
         }
     }
 
-    n_inv = q.inverse(static_cast<u64>(n % q.value()));
-    n_inv_shoup = q.shoupPrecompute(n_inv);
-
-    bitrev.resize(n);
+    bitrev_swaps.reserve(n / 2);
     for (size_t i = 0; i < n; ++i) {
         u32 r = 0;
         for (unsigned b = 0; b < logn; ++b)
             r |= ((i >> b) & 1) << (logn - 1 - b);
-        bitrev[i] = r;
+        if (r > i)
+            bitrev_swaps.emplace_back(static_cast<u32>(i), r);
     }
 }
 
 void
-NttTables::cyclicTransform(u64* a, const std::vector<u64>& tw,
-                           const std::vector<u64>& tw_shoup) const
+NttTables::cyclicTransformOne(u64* p, const std::vector<u64>& tw,
+                              const std::vector<u64>& tw_shoup) const
 {
-    for (size_t i = 0; i < n; ++i) {
-        u32 r = bitrev[i];
-        if (r > i)
-            std::swap(a[i], a[r]);
-    }
-    // Harvey lazy butterflies: values stay in [0, 4q) across stages (the
-    // left operand is conditionally brought under 2q, the lazy Shoup
-    // product is under 2q), with one final reduction pass.
+    for (const auto& [i, r] : bitrev_swaps)
+        std::swap(p[i], p[r]);
     const u64 two_q = 2 * q.value();
     for (size_t m = 1; m < n; m <<= 1) {
         for (size_t i = 0; i < n; i += 2 * m) {
             for (size_t j = 0; j < m; ++j) {
-                u64 w = tw[m + j];
-                u64 ws = tw_shoup[m + j];
-                u64 x = a[i + j];
+                const u64 w = tw[m + j];
+                const u64 ws = tw_shoup[m + j];
+                u64 x = p[i + j];
                 if (x >= two_q)
                     x -= two_q;
-                u64 y = q.mulShoupLazy(a[i + j + m], w, ws);
-                a[i + j] = x + y;
-                a[i + j + m] = x + two_q - y;
+                u64 y = q.mulShoupLazy(p[i + j + m], w, ws);
+                p[i + j] = x + y;
+                p[i + j + m] = x + two_q - y;
             }
         }
     }
     for (size_t i = 0; i < n; ++i) {
-        u64 v = a[i];
+        u64 v = p[i];
         if (v >= two_q)
             v -= two_q;
         if (v >= q.value())
             v -= q.value();
-        a[i] = v;
+        p[i] = v;
+    }
+}
+
+void
+NttTables::cyclicTransform(u64* const* a, size_t count,
+                           const std::vector<u64>& tw,
+                           const std::vector<u64>& tw_shoup) const
+{
+    if (count == 1) {
+        cyclicTransformOne(a[0], tw, tw_shoup);
+        return;
+    }
+    for (size_t b = 0; b < count; ++b) {
+        u64* p = a[b];
+        for (const auto& [i, r] : bitrev_swaps)
+            std::swap(p[i], p[r]);
+    }
+    // Harvey lazy butterflies: values stay in [0, 4q) across stages (the
+    // left operand is conditionally brought under 2q, the lazy Shoup
+    // product is under 2q), with one final reduction pass. Each (stage,
+    // twiddle) pair is loaded once and applied across the whole batch.
+    const u64 two_q = 2 * q.value();
+    for (size_t m = 1; m < n; m <<= 1) {
+        for (size_t i = 0; i < n; i += 2 * m) {
+            for (size_t j = 0; j < m; ++j) {
+                const u64 w = tw[m + j];
+                const u64 ws = tw_shoup[m + j];
+                for (size_t b = 0; b < count; ++b) {
+                    u64* p = a[b];
+                    u64 x = p[i + j];
+                    if (x >= two_q)
+                        x -= two_q;
+                    u64 y = q.mulShoupLazy(p[i + j + m], w, ws);
+                    p[i + j] = x + y;
+                    p[i + j + m] = x + two_q - y;
+                }
+            }
+        }
+    }
+    for (size_t b = 0; b < count; ++b) {
+        u64* p = a[b];
+        for (size_t i = 0; i < n; ++i) {
+            u64 v = p[i];
+            if (v >= two_q)
+                v -= two_q;
+            if (v >= q.value())
+                v -= q.value();
+            p[i] = v;
+        }
+    }
+}
+
+void
+NttTables::forwardBatch(u64* const* a, size_t count) const
+{
+    for (size_t b = 0; b < count; ++b) {
+        MAD_TRACE_READ(a[b], n * sizeof(u64));
+        MAD_TRACE_WRITE(a[b], n * sizeof(u64));
+    }
+    if (count == 1) {
+        u64* p = a[0];
+        for (size_t i = 1; i < n; ++i)
+            p[i] = q.mulShoup(p[i], psi_pow[i], psi_pow_shoup[i]);
+    } else {
+        for (size_t i = 1; i < n; ++i) {
+            const u64 w = psi_pow[i];
+            const u64 ws = psi_pow_shoup[i];
+            for (size_t b = 0; b < count; ++b)
+                a[b][i] = q.mulShoup(a[b][i], w, ws);
+        }
+    }
+    cyclicTransform(a, count, omega_tw, omega_tw_shoup);
+}
+
+void
+NttTables::inverseBatch(u64* const* a, size_t count) const
+{
+    for (size_t b = 0; b < count; ++b) {
+        MAD_TRACE_READ(a[b], n * sizeof(u64));
+        MAD_TRACE_WRITE(a[b], n * sizeof(u64));
+    }
+    cyclicTransform(a, count, iomega_tw, iomega_tw_shoup);
+    // Fused scale-by-n^{-1} and untwist: one Shoup multiply per
+    // coefficient against the precombined psi^{-i} * n^{-1} table.
+    if (count == 1) {
+        u64* p = a[0];
+        for (size_t i = 0; i < n; ++i)
+            p[i] = q.mulShoup(p[i], ipsi_ninv[i], ipsi_ninv_shoup[i]);
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            const u64 w = ipsi_ninv[i];
+            const u64 ws = ipsi_ninv_shoup[i];
+            for (size_t b = 0; b < count; ++b)
+                a[b][i] = q.mulShoup(a[b][i], w, ws);
+        }
     }
 }
 
 void
 NttTables::forward(u64* a) const
 {
-    MAD_TRACE_READ(a, n * sizeof(u64));
-    MAD_TRACE_WRITE(a, n * sizeof(u64));
-    for (size_t i = 1; i < n; ++i)
-        a[i] = q.mulShoup(a[i], psi_pow[i], psi_pow_shoup[i]);
-    cyclicTransform(a, omega_tw, omega_tw_shoup);
+    u64* const one[1] = {a};
+    forwardBatch(one, 1);
 }
 
 void
 NttTables::inverse(u64* a) const
 {
-    MAD_TRACE_READ(a, n * sizeof(u64));
-    MAD_TRACE_WRITE(a, n * sizeof(u64));
-    cyclicTransform(a, iomega_tw, iomega_tw_shoup);
-    // Scale by n^{-1} and untwist by psi^{-i} in one pass.
-    a[0] = q.mulShoup(a[0], n_inv, n_inv_shoup);
-    for (size_t i = 1; i < n; ++i) {
-        u64 v = q.mulShoup(a[i], n_inv, n_inv_shoup);
-        a[i] = q.mulShoup(v, ipsi_pow[i], ipsi_pow_shoup[i]);
-    }
+    u64* const one[1] = {a};
+    inverseBatch(one, 1);
 }
 
 } // namespace madfhe

@@ -9,10 +9,24 @@
  * automorphisms (Rotate/Conjugate) pure index permutations in evaluation
  * representation — the property the MAD caching analysis relies on
  * (Automorph costs zero compute, Table 4).
+ *
+ * Construction cost is paid once per (N, q) pair process-wide: get()
+ * memoizes tables, the cyclic stage twiddles are sliced out of the psi
+ * power table instead of being recomputed (omega = psi^2, so
+ * omega^(j*N/2m) = psi^(j*N/m)), and the bit-reversal permutation is
+ * stored as explicit swap pairs.
+ *
+ * The batch entry points (forwardBatch/inverseBatch) transform several
+ * limbs that share this modulus with a single walk over the twiddle
+ * tables: each (stage, twiddle) pair is loaded once and applied to every
+ * buffer before advancing, which is how the key-switch digit fan-out
+ * amortizes table traffic (MAD's limb-wise reuse, Table 3).
  */
 #ifndef MADFHE_RNS_NTT_H
 #define MADFHE_RNS_NTT_H
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "rns/modarith.h"
@@ -21,7 +35,7 @@ namespace madfhe {
 
 /**
  * Precomputed twiddle tables for a fixed (N, q) pair. Immutable after
- * construction and shareable across polynomials.
+ * construction and shareable across polynomials, contexts and threads.
  */
 class NttTables
 {
@@ -32,6 +46,13 @@ class NttTables
      */
     NttTables(size_t n, const Modulus& q);
 
+    /**
+     * Process-wide memoized lookup keyed by (n, q). Every context
+     * creation path should come through here so tables are built once
+     * per process rather than once per context.
+     */
+    static std::shared_ptr<const NttTables> get(size_t n, const Modulus& q);
+
     size_t degree() const { return n; }
     const Modulus& modulus() const { return q; }
 
@@ -40,6 +61,16 @@ class NttTables
 
     /** In-place evaluation -> coefficient transform (size n buffer). */
     void inverse(u64* a) const;
+
+    /**
+     * Transform `count` size-n buffers (all residues mod this q) with
+     * one shared walk over the twiddle tables. Equivalent to calling
+     * forward() on each buffer, limb by limb, in order.
+     */
+    void forwardBatch(u64* const* a, size_t count) const;
+
+    /** Batched inverse(); see forwardBatch. */
+    void inverseBatch(u64* const* a, size_t count) const;
 
     /** The primitive 2n-th root psi used by this table. */
     u64 psi() const { return psi_pow[1]; }
@@ -57,16 +88,24 @@ class NttTables
     }
 
   private:
-    void cyclicTransform(u64* a, const std::vector<u64>& tw,
+    void cyclicTransform(u64* const* a, size_t count,
+                         const std::vector<u64>& tw,
                          const std::vector<u64>& tw_shoup) const;
+    void cyclicTransformOne(u64* a, const std::vector<u64>& tw,
+                            const std::vector<u64>& tw_shoup) const;
 
     size_t n;
     unsigned logn;
     Modulus q;
 
-    /** psi^i and psi^{-i}, i in [0, n), with Shoup preconditioners. */
+    /** psi^i, i in [0, n), with Shoup preconditioners (forward twist). */
     std::vector<u64> psi_pow, psi_pow_shoup;
-    std::vector<u64> ipsi_pow, ipsi_pow_shoup;
+    /**
+     * Fused inverse untwist-and-scale: psi^{-i} * n^{-1} mod q, so the
+     * inverse transform pays one Shoup multiply per coefficient instead
+     * of two.
+     */
+    std::vector<u64> ipsi_ninv, ipsi_ninv_shoup;
 
     /**
      * Stage twiddles for the cyclic transform: tw[m + j] = omega^(j * n/(2m))
@@ -75,8 +114,8 @@ class NttTables
     std::vector<u64> omega_tw, omega_tw_shoup;
     std::vector<u64> iomega_tw, iomega_tw_shoup;
 
-    u64 n_inv, n_inv_shoup;
-    std::vector<u32> bitrev;
+    /** Bit-reversal permutation as (i, rev(i)) pairs with rev(i) > i. */
+    std::vector<std::pair<u32, u32>> bitrev_swaps;
 };
 
 /** Find a primitive 2n-th root of unity modulo q (q = 1 mod 2n). */

@@ -15,6 +15,7 @@ namespace madfhe {
 using u8 = std::uint8_t;
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
+using i32 = std::int32_t;
 using i64 = std::int64_t;
 using u128 = unsigned __int128;
 using i128 = __int128;

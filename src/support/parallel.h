@@ -1,0 +1,96 @@
+/**
+ * @file
+ * parallelFor / parallelForRange: the limb-parallel execution primitive.
+ *
+ * FHE kernels are embarrassingly parallel across RNS limbs (and, for the
+ * slot-wise basis-conversion kernels, across coefficients), so every hot
+ * loop in src/ring, src/rns, src/ckks and src/boot funnels through these
+ * two functions. Work is partitioned statically into at most
+ * ThreadPool::global().size() contiguous chunks and executed on the
+ * fixed pool; with a pool of size 1 (MADFHE_THREADS=1) everything runs
+ * serially inline, byte-identical to the pre-threading code.
+ *
+ * Memtrace interaction: when tracing is enabled each chunk records into
+ * a private TraceBuffer, and the buffers are flushed to the global
+ * TraceSink in ascending chunk order after the region completes. Chunks
+ * are contiguous ascending index ranges, so the committed event stream
+ * is bit-identical to a serial run — trace_validate cross-validation
+ * does not depend on the thread count.
+ *
+ * Nesting: a parallelFor issued from inside a pool task runs serially in
+ * that task (limb-level parallelism already owns the pool), so kernels
+ * may be composed freely.
+ */
+#ifndef MADFHE_SUPPORT_PARALLEL_H
+#define MADFHE_SUPPORT_PARALLEL_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "memtrace/trace.h"
+#include "support/threadpool.h"
+
+namespace madfhe {
+
+namespace detail {
+
+/** Bounds of chunk c when [0, count) splits into `chunks` even pieces. */
+inline std::pair<size_t, size_t>
+chunkBounds(size_t count, size_t chunks, size_t c)
+{
+    return {c * count / chunks, (c + 1) * count / chunks};
+}
+
+} // namespace detail
+
+/**
+ * Run fn(begin, end) over a static partition of [0, count). The range
+ * form lets chunk-local scratch (conversion temporaries, per-thread
+ * accumulators) be allocated once per chunk instead of once per index.
+ */
+template <typename Fn>
+void
+parallelForRange(size_t count, Fn&& fn)
+{
+    if (count == 0)
+        return;
+    ThreadPool& pool = ThreadPool::global();
+    const size_t chunks = std::min(pool.size(), count);
+    if (chunks <= 1 || ThreadPool::inTask()) {
+        fn(size_t{0}, count);
+        return;
+    }
+    if (memtrace::tracingEnabled()) {
+        // Per-chunk staging keeps the committed event stream identical
+        // to a serial run (buffers flush in chunk order below).
+        std::vector<memtrace::TraceBuffer> buffers(chunks);
+        pool.run(chunks, [&](size_t c) {
+            memtrace::ThreadBufferBinding bind(&buffers[c]);
+            auto [b, e] = detail::chunkBounds(count, chunks, c);
+            fn(b, e);
+        });
+        for (auto& buf : buffers)
+            memtrace::TraceSink::instance().flush(buf);
+        return;
+    }
+    pool.run(chunks, [&](size_t c) {
+        auto [b, e] = detail::chunkBounds(count, chunks, c);
+        fn(b, e);
+    });
+}
+
+/** Run fn(i) for every i in [0, count) — the per-limb form. */
+template <typename Fn>
+void
+parallelFor(size_t count, Fn&& fn)
+{
+    parallelForRange(count, [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_PARALLEL_H

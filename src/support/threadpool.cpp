@@ -1,0 +1,159 @@
+#include "support/threadpool.h"
+
+#include <cstdlib>
+
+namespace madfhe {
+
+namespace {
+
+thread_local bool tl_in_task = false;
+
+std::mutex&
+globalMu()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unique_ptr<ThreadPool>&
+globalSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads) : nthreads(threads == 0 ? 1 : threads)
+{
+    workers.reserve(nthreads - 1);
+    for (size_t i = 0; i + 1 < nthreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto& w : workers)
+        w.join();
+}
+
+bool
+ThreadPool::inTask()
+{
+    return tl_in_task;
+}
+
+size_t
+ThreadPool::defaultThreads()
+{
+    if (const char* env = std::getenv("MADFHE_THREADS")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<size_t>(v > 256 ? 256 : v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalMu());
+    auto& slot = globalSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(defaultThreads());
+    return *slot;
+}
+
+void
+ThreadPool::setGlobalThreads(size_t threads)
+{
+    auto pool = std::make_unique<ThreadPool>(
+        threads == 0 ? defaultThreads() : threads);
+    std::lock_guard<std::mutex> lock(globalMu());
+    globalSlot() = std::move(pool);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    u64 seen = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        wake.wait(lock, [&] { return stopping || generation != seen; });
+        if (stopping)
+            return;
+        seen = generation;
+        std::shared_ptr<Job> job = current;
+        lock.unlock();
+        if (job)
+            drainTasks(job);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::drainTasks(const std::shared_ptr<Job>& job)
+{
+    const bool prev = tl_in_task;
+    tl_in_task = true;
+    for (;;) {
+        const size_t t = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= job->tasks)
+            break;
+        std::exception_ptr err;
+        try {
+            (*job->fn)(t);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (err && !job->error)
+            job->error = err;
+        if (++job->completed == job->tasks)
+            done.notify_all();
+    }
+    tl_in_task = prev;
+}
+
+void
+ThreadPool::run(size_t tasks, const std::function<void(size_t)>& fn)
+{
+    if (tasks == 0)
+        return;
+    if (nthreads == 1 || tasks == 1 || tl_in_task) {
+        for (size_t i = 0; i < tasks; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> serial(run_mu);
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->tasks = tasks;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        current = job;
+        ++generation;
+    }
+    wake.notify_all();
+    drainTasks(job);
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        done.wait(lock, [&] { return job->completed == job->tasks; });
+        err = job->error;
+        current.reset();
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace madfhe

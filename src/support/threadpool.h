@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-size thread pool for limb-parallel kernel execution.
+ *
+ * The pool is deliberately work-stealing-free: a parallel region is a
+ * single job whose tasks are claimed from one shared atomic counter, the
+ * caller participates, and run() blocks until every task has finished.
+ * FHE kernels partition uniformly across RNS limbs (or coefficient
+ * ranges), so static chunking plus a shared counter loses nothing to a
+ * deque-per-thread design and keeps the pool auditable.
+ *
+ * Sizing: the global pool reads MADFHE_THREADS once on first use
+ * (falling back to std::thread::hardware_concurrency when unset); size 1
+ * means every run() executes serially inline. Tests and benchmarks that
+ * sweep thread counts at runtime use setGlobalThreads().
+ */
+#ifndef MADFHE_SUPPORT_THREADPOOL_H
+#define MADFHE_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+class ThreadPool
+{
+  public:
+    /** @param threads Total workers including the calling thread (>= 1). */
+    explicit ThreadPool(size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Worker count, counting the calling thread (>= 1; 1 = serial). */
+    size_t size() const { return nthreads; }
+
+    /**
+     * Run fn(0) ... fn(tasks - 1), blocking until all tasks complete.
+     * Task indices are claimed from a shared counter; the caller
+     * participates. The first exception thrown by any task is rethrown
+     * here after every task has finished. Calls from inside a task (and
+     * any call when size() == 1) execute serially inline.
+     */
+    void run(size_t tasks, const std::function<void(size_t)>& fn);
+
+    /** True while the current thread is executing a pool task. */
+    static bool inTask();
+
+    /** The process-global pool, sized by MADFHE_THREADS on first use. */
+    static ThreadPool& global();
+
+    /**
+     * Replace the global pool with one of `threads` workers (0 restores
+     * the MADFHE_THREADS / hardware default). Must not be called while
+     * parallel work is in flight.
+     */
+    static void setGlobalThreads(size_t threads);
+
+    /** MADFHE_THREADS env value, or hardware_concurrency when unset. */
+    static size_t defaultThreads();
+
+  private:
+    /** One parallel region: tasks claimed from `next` until exhausted. */
+    struct Job
+    {
+        const std::function<void(size_t)>* fn = nullptr;
+        size_t tasks = 0;
+        std::atomic<size_t> next{0};
+        size_t completed = 0; ///< guarded by the pool mutex
+        std::exception_ptr error; ///< first failure; guarded by pool mutex
+    };
+
+    void workerLoop();
+    void drainTasks(const std::shared_ptr<Job>& job);
+
+    size_t nthreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable wake; ///< workers wait for a new generation
+    std::condition_variable done; ///< run() waits for completed == tasks
+    bool stopping = false;
+    u64 generation = 0;
+    std::shared_ptr<Job> current; ///< guarded by mu
+
+    std::mutex run_mu; ///< serializes concurrent top-level run() callers
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_THREADPOOL_H

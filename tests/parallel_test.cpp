@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Thread-pool unit tests plus the limb-parallel determinism contract:
+ * every kernel must produce byte-identical polynomials AND a
+ * bit-identical trace/replayed-DRAM accounting whether it runs on one
+ * thread or four. The parallel partitioning is purely an execution-order
+ * change — results and the memtrace observability layer may not drift
+ * with MADFHE_THREADS.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "boot/bootstrapper.h"
+#include "ckks/keyswitch.h"
+#include "memtrace/crossval.h"
+#include "memtrace/replay.h"
+#include "support/parallel.h"
+#include "test_util.h"
+
+namespace madfhe {
+namespace {
+
+using test::CkksHarness;
+
+TEST(ThreadPoolTest, RunCoversEachIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits)
+        h = 0;
+    pool.run(hits.size(), [&](size_t i) { hits[i]++; });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.run(16,
+                 [&](size_t i) {
+                     if (i == 7)
+                         throw std::runtime_error("boom");
+                 }),
+        std::runtime_error);
+    // Pool stays usable after a throwing run.
+    std::atomic<int> count{0};
+    pool.run(8, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    ThreadPool::setGlobalThreads(4);
+    std::atomic<int> outer{0}, inner{0};
+    parallelFor(4, [&](size_t) {
+        EXPECT_TRUE(ThreadPool::inTask());
+        outer++;
+        parallelFor(4, [&](size_t) { inner++; });
+    });
+    EXPECT_EQ(outer.load(), 4);
+    EXPECT_EQ(inner.load(), 16);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPoolTest, EnvOverrideControlsDefault)
+{
+    ::setenv("MADFHE_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    ::setenv("MADFHE_THREADS", "0", 1); // invalid -> hardware default
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ::unsetenv("MADFHE_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ParallelForTest, RangeChunksPartitionTheIndexSpace)
+{
+    ThreadPool::setGlobalThreads(4);
+    std::vector<std::atomic<int>> hits(1001);
+    for (auto& h : hits)
+        h = 0;
+    parallelForRange(hits.size(), [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            hits[i]++;
+    });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+}
+
+/** Fixture: one small CKKS stack; ops re-run at 1 and 4 threads. */
+class ParallelDeterminismTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        harness = new CkksHarness(memtrace::crossvalParams());
+        gks = new GaloisKeys(harness->makeGaloisKeys({1}));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete gks;
+        delete harness;
+        gks = nullptr;
+        harness = nullptr;
+    }
+    void TearDown() override
+    {
+        ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+    }
+
+    /** Run `op` on `threads` pool threads and return its result. */
+    template <typename Op>
+    auto
+    runWith(size_t threads, Op&& op)
+    {
+        ThreadPool::setGlobalThreads(threads);
+        return op();
+    }
+
+    /** Run `op` under tracing and return the captured stream. */
+    template <typename Op>
+    memtrace::Trace
+    traceWith(size_t threads, Op&& op)
+    {
+        ThreadPool::setGlobalThreads(threads);
+        auto& sink = memtrace::TraceSink::instance();
+        sink.clear();
+        sink.enable();
+        op();
+        sink.disable();
+        memtrace::Trace t = sink.snapshot();
+        sink.clear();
+        return t;
+    }
+
+    static void
+    expectIdenticalTraces(const memtrace::Trace& a, const memtrace::Trace& b)
+    {
+        ASSERT_EQ(a.events.size(), b.events.size());
+        for (size_t i = 0; i < a.events.size(); ++i) {
+            const auto& x = a.events[i];
+            const auto& y = b.events[i];
+            ASSERT_EQ(x.addr, y.addr) << "event " << i;
+            ASSERT_EQ(x.bytes, y.bytes) << "event " << i;
+            ASSERT_EQ(x.kind, y.kind) << "event " << i;
+            ASSERT_EQ(x.cls, y.cls) << "event " << i;
+        }
+        EXPECT_EQ(a.scope_names, b.scope_names);
+        // And the replayed DRAM accounting agrees byte for byte.
+        auto rc = memtrace::scaledReplayConfig(
+            memtrace::crossvalParams(), 32, memtrace::ReplayConfig::Policy::Lru);
+        auto ra = memtrace::replay(a, rc);
+        auto rb = memtrace::replay(b, rc);
+        EXPECT_EQ(ra.total.ct_read, rb.total.ct_read);
+        EXPECT_EQ(ra.total.ct_write, rb.total.ct_write);
+        EXPECT_EQ(ra.total.key_read, rb.total.key_read);
+        EXPECT_EQ(ra.total.pt_read, rb.total.pt_read);
+    }
+
+    static CkksHarness* harness;
+    static GaloisKeys* gks;
+};
+
+CkksHarness* ParallelDeterminismTest::harness = nullptr;
+GaloisKeys* ParallelDeterminismTest::gks = nullptr;
+
+TEST_F(ParallelDeterminismTest, MultIsByteIdenticalAcrossThreadCounts)
+{
+    auto& h = *harness;
+    auto a = h.encryptSlots(test::randomSlots(h.ctx->slots(), 21),
+                            h.ctx->maxLevel());
+    auto b = h.encryptSlots(test::randomSlots(h.ctx->slots(), 22),
+                            h.ctx->maxLevel());
+    auto mul = [&] { return h.eval->mul(a, b, h.rlk); };
+    Ciphertext serial = runWith(1, mul);
+    Ciphertext parallel = runWith(4, mul);
+    EXPECT_TRUE(serial.c0.equals(parallel.c0));
+    EXPECT_TRUE(serial.c1.equals(parallel.c1));
+    expectIdenticalTraces(traceWith(1, mul), traceWith(4, mul));
+}
+
+TEST_F(ParallelDeterminismTest, RotateIsByteIdenticalAcrossThreadCounts)
+{
+    auto& h = *harness;
+    auto a = h.encryptSlots(test::randomSlots(h.ctx->slots(), 23),
+                            h.ctx->maxLevel());
+    auto rot = [&] { return h.eval->rotate(a, 1, *gks); };
+    Ciphertext serial = runWith(1, rot);
+    Ciphertext parallel = runWith(4, rot);
+    EXPECT_TRUE(serial.c0.equals(parallel.c0));
+    EXPECT_TRUE(serial.c1.equals(parallel.c1));
+    expectIdenticalTraces(traceWith(1, rot), traceWith(4, rot));
+}
+
+TEST_F(ParallelDeterminismTest, KeySwitchIsByteIdenticalAcrossThreadCounts)
+{
+    auto& h = *harness;
+    auto a = h.encryptSlots(test::randomSlots(h.ctx->slots(), 24),
+                            h.ctx->maxLevel());
+    KeySwitcher ksw(h.ctx);
+    auto ks = [&] { return ksw.keySwitch(a.c1, h.rlk); };
+    auto serial = runWith(1, ks);
+    auto parallel = runWith(4, ks);
+    EXPECT_TRUE(serial.first.equals(parallel.first));
+    EXPECT_TRUE(serial.second.equals(parallel.second));
+    expectIdenticalTraces(traceWith(1, ks), traceWith(4, ks));
+}
+
+TEST_F(ParallelDeterminismTest, BootstrapSlotIsByteIdenticalAcrossThreadCounts)
+{
+    CkksParams p = CkksParams::bootstrapToy();
+    p.log_n = 11;
+    p.hamming_weight = 16;
+    CkksHarness h(p);
+    BootstrapParams bp;
+    bp.ctos_iters = 3;
+    bp.stoc_iters = 3;
+    bp.sine_degree = 71;
+    bp.k_bound = 8.0;
+    Bootstrapper boot(h.ctx, bp);
+    KeyGenerator keygen(h.ctx);
+    GaloisKeys boot_gks =
+        keygen.galoisKeys(h.sk, boot.requiredRotations(), /*conj=*/true);
+
+    auto v = test::randomSlots(h.ctx->slots(), 25);
+    for (auto& z : v)
+        z *= 0.5;
+    auto ct = h.encryptSlots(v, 1);
+    auto bs = [&] {
+        return boot.bootstrap(*h.eval, *h.encoder, ct, boot_gks, h.rlk);
+    };
+    Ciphertext serial = runWith(1, bs);
+    Ciphertext parallel = runWith(4, bs);
+    EXPECT_TRUE(serial.c0.equals(parallel.c0));
+    EXPECT_TRUE(serial.c1.equals(parallel.c1));
+    expectIdenticalTraces(traceWith(1, bs), traceWith(4, bs));
+}
+
+} // namespace
+} // namespace madfhe
