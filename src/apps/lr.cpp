@@ -57,10 +57,10 @@ EncryptedLrTrainer::EncryptedLrTrainer(
     std::shared_ptr<const CkksContext> ctx_, LrConfig config)
     : ctx(std::move(ctx_)), cfg(config)
 {
-    require(cfg.features >= 1, "need at least one feature");
-    require(cfg.iterations >= 1, "need at least one iteration");
+    MAD_REQUIRE(cfg.features >= 1, "need at least one feature");
+    MAD_REQUIRE(cfg.iterations >= 1, "need at least one iteration");
     size_t depth_needed = cfg.iterations * levelsPerIteration() + 1;
-    require(ctx->maxLevel() > depth_needed,
+    MAD_REQUIRE(ctx->maxLevel() > depth_needed,
             "not enough levels for the requested iteration count");
 }
 
@@ -78,8 +78,8 @@ EncryptedLrTrainer::encryptFeatures(const CkksEncoder& encoder,
                                     Encryptor& encryptor,
                                     const LrDataset& data) const
 {
-    require(data.features.size() == cfg.features, "feature count mismatch");
-    require(data.sampleCount() <= ctx->slots(), "too many samples");
+    MAD_REQUIRE(data.features.size() == cfg.features, "feature count mismatch");
+    MAD_REQUIRE(data.sampleCount() <= ctx->slots(), "too many samples");
     std::vector<Ciphertext> out;
     out.reserve(cfg.features);
     for (const auto& column : data.features) {
@@ -114,7 +114,7 @@ EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
                           const Ciphertext& labels, const SwitchingKey& rlk,
                           const GaloisKeys& gks) const
 {
-    require(features.size() == cfg.features, "feature ciphertext count");
+    MAD_REQUIRE(features.size() == cfg.features, "feature ciphertext count");
     const size_t slots = ctx->slots();
 
     std::vector<Ciphertext> weights;

@@ -7,12 +7,12 @@ std::map<int, std::vector<std::complex<double>>>
 blockDenseDiagonals(const std::vector<std::vector<double>>& weights,
                     size_t dim, size_t slots)
 {
-    require(isPowerOfTwo(dim) && slots % dim == 0,
+    MAD_REQUIRE(isPowerOfTwo(dim) && slots % dim == 0,
             "block width must be a power of two dividing the slot count");
-    require(!weights.empty() && weights.size() <= dim,
+    MAD_REQUIRE(!weights.empty() && weights.size() <= dim,
             "matrix height must be in [1, dim]");
     for (const auto& row : weights)
-        require(row.size() == dim, "matrix width must equal dim");
+        MAD_REQUIRE(row.size() == dim, "matrix width must equal dim");
 
     // Slot rotations wrap across the whole vector, so block diagonal d
     // splits into generalized diagonals +d (rows that stay in the block)
@@ -45,8 +45,8 @@ EncryptedMlp::EncryptedMlp(
     MatVecOptions matvec)
     : ctx(std::move(ctx_)), weights(std::move(layers)), block_dim(dim)
 {
-    require(!weights.empty(), "need at least one layer");
-    require(ctx->maxLevel() > depth(),
+    MAD_REQUIRE(!weights.empty(), "need at least one layer");
+    MAD_REQUIRE(ctx->maxLevel() > depth(),
             "not enough levels for this network depth");
     for (const auto& w : weights) {
         transforms.emplace_back(
@@ -82,7 +82,7 @@ EncryptedMlp::infer(const Evaluator& eval, const CkksEncoder& encoder,
 std::vector<double>
 EncryptedMlp::inferPlain(const std::vector<double>& sample) const
 {
-    require(sample.size() == block_dim, "sample width must equal dim");
+    MAD_REQUIRE(sample.size() == block_dim, "sample width must equal dim");
     std::vector<double> cur = sample;
     for (size_t layer = 0; layer < weights.size(); ++layer) {
         const auto& w = weights[layer];

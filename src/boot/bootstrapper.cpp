@@ -3,9 +3,14 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "support/faultinject.h"
 #include "support/parallel.h"
 
 namespace madfhe {
+
+namespace {
+faultinject::Site g_fault_modraise("boot.modraise", faultinject::kLimbKinds);
+} // namespace
 
 Bootstrapper::Bootstrapper(std::shared_ptr<const CkksContext> ctx_,
                            BootstrapParams params)
@@ -60,7 +65,7 @@ Bootstrapper::depth() const
 Ciphertext
 Bootstrapper::modRaise(const Ciphertext& ct) const
 {
-    require(ct.level() == 1, "modRaise expects a one-limb ciphertext");
+    MAD_REQUIRE(ct.level() == 1, "modRaise expects a one-limb ciphertext");
     MAD_TRACE_SCOPE("ModRaise");
     const size_t n = ctx->degree();
     const Modulus& q0 = ctx->ring()->modulus(0);
@@ -80,6 +85,8 @@ Bootstrapper::modRaise(const Ciphertext& ct) const
                 dst[c] = qi.fromSigned(q0.toSigned(src[c]));
         });
         out.toEval();
+        for (size_t i = 0; i < out.numLimbs(); ++i)
+            faultinject::guardLimb(g_fault_modraise, out.limb(i), n);
         return out;
     };
 
@@ -95,6 +102,7 @@ Bootstrapper::bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
                         const Ciphertext& ct_in, const GaloisKeys& gks,
                         const SwitchingKey& rlk) const
 {
+    MAD_ERROR_OP("Bootstrap");
     MAD_TRACE_SCOPE("Bootstrap");
     Ciphertext ct = ct_in.level() == 1 ? ct_in : eval.dropToLevel(ct_in, 1);
 

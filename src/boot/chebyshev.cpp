@@ -52,7 +52,7 @@ chebyshevDivide(const std::vector<double>& c, size_t g,
                 std::vector<double>& q, std::vector<double>& r)
 {
     const size_t deg = c.size() - 1;
-    check(deg >= g && deg < 2 * g, "divide expects g <= deg < 2g");
+    MAD_CHECK(deg >= g && deg < 2 * g, "divide expects g <= deg < 2g");
     std::vector<double> cc = c;
     q.assign(deg - g + 1, 0.0);
     for (size_t j = deg; j > g; --j) {
@@ -83,7 +83,7 @@ ChebyshevEvaluator::ChebyshevEvaluator(std::shared_ptr<const CkksContext> ctx_,
                                        std::vector<double> coeffs_)
     : ctx(std::move(ctx_)), coeffs(std::move(coeffs_))
 {
-    require(coeffs.size() >= 2, "need degree >= 1");
+    MAD_REQUIRE(coeffs.size() >= 2, "need degree >= 1");
     size_t d = coeffs.size() - 1;
     baby_count = 2;
     while (baby_count * baby_count < d + 1)
@@ -105,7 +105,7 @@ ChebyshevEvaluator::linearCombo(const Evaluator& eval,
                                 const std::vector<Ciphertext>& baby,
                                 size_t target_level) const
 {
-    check(c.size() <= baby_count, "combo degree exceeds baby table");
+    MAD_CHECK(c.size() <= baby_count, "combo degree exceeds baby table");
     const double pt_scale = ctx->scale();
 
     Ciphertext acc;

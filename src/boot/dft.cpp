@@ -100,7 +100,7 @@ std::vector<DiagonalMap>
 groupStages(std::vector<DiagonalMap> stages, size_t iters, size_t slots,
             double scale_factor)
 {
-    require(iters >= 1 && iters <= stages.size(),
+    MAD_REQUIRE(iters >= 1 && iters <= stages.size(),
             "fftIter must be in [1, log2(slots)]");
     const size_t total = stages.size();
     std::vector<DiagonalMap> factors;
@@ -179,7 +179,7 @@ composeDiagonalMaps(const DiagonalMap& a, const DiagonalMap& b, size_t slots)
 std::vector<DiagonalMap>
 slotToCoeffFactors(size_t slots, size_t iters, double scale_factor)
 {
-    require(isPowerOfTwo(slots), "slot count must be a power of two");
+    MAD_REQUIRE(isPowerOfTwo(slots), "slot count must be a power of two");
     std::vector<DiagonalMap> stages;
     for (size_t len = 2; len <= slots; len <<= 1)
         stages.push_back(forwardStage(slots, len));
@@ -189,7 +189,7 @@ slotToCoeffFactors(size_t slots, size_t iters, double scale_factor)
 std::vector<DiagonalMap>
 coeffToSlotFactors(size_t slots, size_t iters, double scale_factor)
 {
-    require(isPowerOfTwo(slots), "slot count must be a power of two");
+    MAD_REQUIRE(isPowerOfTwo(slots), "slot count must be a power of two");
     std::vector<DiagonalMap> stages;
     for (size_t len = slots; len >= 2; len >>= 1)
         stages.push_back(inverseStage(slots, len));

@@ -68,7 +68,7 @@ size_t
 CkksContext::digitSize(size_t j, size_t level) const
 {
     size_t start = digitStart(j);
-    check(start < level, "digit beyond ciphertext level");
+    MAD_CHECK(start < level, "digit beyond ciphertext level");
     return std::min(alpha(), level - start);
 }
 
@@ -128,7 +128,7 @@ CkksContext::modDownConverter(size_t level) const
 const BasisConverter&
 CkksContext::mergedModDownConverter(size_t level) const
 {
-    require(level >= 2, "merged ModDown needs at least two limbs");
+    MAD_REQUIRE(level >= 2, "merged ModDown needs at least two limbs");
     auto it = merged_cache.find(level);
     if (it != merged_cache.end())
         return *it->second;
@@ -160,7 +160,7 @@ CkksContext::securityBits() const
 u64
 CkksContext::rescaleInv(size_t level, size_t i) const
 {
-    check(level >= 2 && level < rescale_inv.size() && i + 1 < level,
+    MAD_CHECK(level >= 2 && level < rescale_inv.size() && i + 1 < level,
           "rescaleInv index out of range");
     return rescale_inv[level][i];
 }
@@ -168,7 +168,7 @@ CkksContext::rescaleInv(size_t level, size_t i) const
 u64
 CkksContext::mergedInv(size_t level, size_t i) const
 {
-    check(level >= 2 && level < merged_inv.size() && i + 1 < level,
+    MAD_CHECK(level >= 2 && level < merged_inv.size() && i + 1 < level,
           "mergedInv index out of range");
     return merged_inv[level][i];
 }

@@ -106,9 +106,9 @@ Plaintext
 CkksEncoder::encode(const std::vector<std::complex<double>>& values,
                     double scale, size_t level) const
 {
-    require(values.size() <= num_slots, "too many values for slot count");
-    require(scale > 0, "scale must be positive");
-    require(level >= 1 && level <= ctx->maxLevel(), "bad level");
+    MAD_REQUIRE(values.size() <= num_slots, "too many values for slot count");
+    MAD_REQUIRE(scale > 0, "scale must be positive");
+    MAD_REQUIRE(level >= 1 && level <= ctx->maxLevel(), "bad level");
 
     std::vector<std::complex<double>> a(n, {0.0, 0.0});
     for (size_t j = 0; j < values.size(); ++j) {
@@ -120,7 +120,7 @@ CkksEncoder::encode(const std::vector<std::complex<double>>& values,
     std::vector<i64> coeffs(n);
     for (size_t i = 0; i < n; ++i) {
         double v = a[i].real() * scale;
-        require(std::abs(v) < 9.0e18,
+        MAD_REQUIRE(std::abs(v) < 9.0e18,
                 "encoded coefficient overflows 63 bits; reduce scale");
         coeffs[i] = static_cast<i64>(std::llround(v));
     }
@@ -160,7 +160,7 @@ Plaintext
 CkksEncoder::encodeRaised(const std::vector<std::complex<double>>& values,
                           double scale, size_t level) const
 {
-    require(values.size() <= num_slots, "too many values for slot count");
+    MAD_REQUIRE(values.size() <= num_slots, "too many values for slot count");
     std::vector<std::complex<double>> a(n, {0.0, 0.0});
     for (size_t j = 0; j < values.size(); ++j) {
         a[slot_index[j]] = values[j];
@@ -215,7 +215,7 @@ CkksEncoder::crtTables(size_t level) const
 std::vector<double>
 CkksEncoder::decodeCoefficients(const RnsPoly& poly) const
 {
-    check(poly.rep() == Rep::Coeff, "decodeCoefficients needs coeff rep");
+    MAD_CHECK(poly.rep() == Rep::Coeff, "decodeCoefficients needs coeff rep");
     const size_t level = poly.numLimbs();
     const CrtTables& t = crtTables(level);
 
@@ -245,7 +245,7 @@ CkksEncoder::decodeCoefficients(const RnsPoly& poly) const
 std::vector<std::complex<double>>
 CkksEncoder::decode(const Plaintext& pt) const
 {
-    require(pt.scale > 0, "plaintext has no scale");
+    MAD_REQUIRE(pt.scale > 0, "plaintext has no scale");
     RnsPoly poly = pt.poly;
     poly.setRep(Rep::Coeff);
     std::vector<double> coeffs = decodeCoefficients(poly);

@@ -11,7 +11,7 @@ Encryptor::Encryptor(std::shared_ptr<const CkksContext> ctx_, PublicKey pk_,
 Ciphertext
 Encryptor::encrypt(const Plaintext& pt)
 {
-    require(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
+    MAD_REQUIRE(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
     const size_t level = pt.level();
     const size_t n = ctx->degree();
     auto basis = ctx->ring()->qIndices(level);
@@ -42,7 +42,7 @@ Encryptor::encrypt(const Plaintext& pt)
 Ciphertext
 Encryptor::encryptSymmetric(const Plaintext& pt, const SecretKey& sk)
 {
-    require(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
+    MAD_REQUIRE(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
     const size_t level = pt.level();
     const size_t n = ctx->degree();
     auto basis = ctx->ring()->qIndices(level);
@@ -95,7 +95,7 @@ sampleC1(const CkksContext& ctx, const Prng::Seed& seed,
 SeededCiphertext
 Encryptor::encryptSymmetricSeeded(const Plaintext& pt, const SecretKey& sk)
 {
-    require(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
+    MAD_REQUIRE(pt.poly.rep() == Rep::Eval, "plaintext must be in eval rep");
     const size_t level = pt.level();
     auto basis = ctx->ring()->qIndices(level);
 
@@ -146,7 +146,7 @@ Decryptor::Decryptor(std::shared_ptr<const CkksContext> ctx_, SecretKey sk_)
 Plaintext
 Decryptor::decrypt(const Ciphertext& ct)
 {
-    require(!ct.c0.empty(), "cannot decrypt an empty ciphertext");
+    MAD_REQUIRE(!ct.c0.empty(), "cannot decrypt an empty ciphertext");
     auto basis = ct.c0.basis();
     RnsPoly s_q = extractLimbs(sk.s, basis);
 

@@ -3,9 +3,14 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "support/faultinject.h"
 #include "support/parallel.h"
 
 namespace madfhe {
+
+namespace {
+faultinject::Site g_fault_rescale("ckks.rescale", faultinject::kLimbKinds);
+} // namespace
 
 Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx_,
                      EvalOptions options)
@@ -16,9 +21,9 @@ Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx_,
 void
 Evaluator::requireSameShape(const Ciphertext& a, const Ciphertext& b) const
 {
-    require(a.level() == b.level(), "ciphertext levels differ");
+    MAD_REQUIRE(a.level() == b.level(), "ciphertext levels differ");
     double rel = std::abs(a.scale - b.scale) / a.scale;
-    require(rel < 1e-3, "ciphertext scales differ; rescale/align first");
+    MAD_REQUIRE(rel < 1e-3, "ciphertext scales differ; rescale/align first");
 }
 
 Ciphertext
@@ -63,7 +68,7 @@ Evaluator::align(const Ciphertext& a, const Ciphertext& b) const
     if (rel >= 1e-3) {
         // Scalar-adjust the larger-scale operand down to the smaller
         // scale (consumes one level on both, to keep levels equal).
-        require(lvl >= 2, "cannot scale-align at the last level");
+        MAD_REQUIRE(lvl >= 2, "cannot scale-align at the last level");
         if (x.scale > y.scale) {
             x = mulScalarRescale(x, y.scale / x.scale);
             x.scale = y.scale; // exact by construction of the ratio
@@ -94,8 +99,8 @@ Evaluator::subAligned(const Ciphertext& a, const Ciphertext& b) const
 Ciphertext
 Evaluator::addPlain(const Ciphertext& a, const Plaintext& pt) const
 {
-    require(a.level() == pt.level(), "plaintext level mismatch");
-    require(std::abs(a.scale - pt.scale) / a.scale < 1e-3,
+    MAD_REQUIRE(a.level() == pt.level(), "plaintext level mismatch");
+    MAD_REQUIRE(std::abs(a.scale - pt.scale) / a.scale < 1e-3,
             "plaintext scale mismatch");
     Ciphertext out = a;
     out.c0.add(pt.poly);
@@ -105,8 +110,8 @@ Evaluator::addPlain(const Ciphertext& a, const Plaintext& pt) const
 Ciphertext
 Evaluator::subPlain(const Ciphertext& a, const Plaintext& pt) const
 {
-    require(a.level() == pt.level(), "plaintext level mismatch");
-    require(std::abs(a.scale - pt.scale) / a.scale < 1e-3,
+    MAD_REQUIRE(a.level() == pt.level(), "plaintext level mismatch");
+    MAD_REQUIRE(std::abs(a.scale - pt.scale) / a.scale < 1e-3,
             "plaintext scale mismatch");
     Ciphertext out = a;
     out.c0.sub(pt.poly);
@@ -116,7 +121,7 @@ Evaluator::subPlain(const Ciphertext& a, const Plaintext& pt) const
 Ciphertext
 Evaluator::mulPlain(const Ciphertext& a, const Plaintext& pt) const
 {
-    require(a.level() == pt.level(), "plaintext level mismatch");
+    MAD_REQUIRE(a.level() == pt.level(), "plaintext level mismatch");
     Ciphertext out = a;
     out.c0.mulPointwise(pt.poly);
     out.c1.mulPointwise(pt.poly);
@@ -159,12 +164,13 @@ Ciphertext
 Evaluator::mul(const Ciphertext& a, const Ciphertext& b,
                const SwitchingKey& rlk) const
 {
+    MAD_ERROR_OP("Mult");
     if (!opts.merged_moddown)
         return rescale(mulNoRescale(a, b, rlk));
 
     MAD_TRACE_SCOPE("Mult");
     requireSameShape(a, b);
-    require(a.level() >= 2, "mul needs a level to rescale into");
+    MAD_REQUIRE(a.level() >= 2, "mul needs a level to rescale into");
 
     RnsPoly d0 = a.c0;
     d0.mulPointwise(b.c0);
@@ -239,6 +245,8 @@ rescalePoly(const RnsPoly& x, const CkksContext& ctx)
         for (size_t c = 0; c < n; ++c)
             oi[c] = qi.mulShoup(qi.sub(xi[c], ci[c]), inv, inv_shoup);
     });
+    for (size_t i = 0; i + 1 < level; ++i)
+        faultinject::guardLimb(g_fault_rescale, out.limb(i), n);
     return out;
 }
 
@@ -247,18 +255,28 @@ rescalePoly(const RnsPoly& x, const CkksContext& ctx)
 Ciphertext
 Evaluator::rescale(const Ciphertext& a) const
 {
-    require(a.level() >= 2, "cannot rescale the last limb away");
+    MAD_ERROR_OP("Rescale");
+    MAD_REQUIRE(a.level() >= 2, "cannot rescale the last limb away");
     Ciphertext out;
     out.c0 = rescalePoly(a.c0, *ctx);
     out.c1 = rescalePoly(a.c1, *ctx);
     out.scale = a.scale / static_cast<double>(ctx->qValue(a.level() - 1));
+    if (integrity::enabled()) {
+        // Scale/level sanity: rescale must drop exactly one limb and land
+        // on a finite positive scale, or downstream math quietly degrades.
+        if (out.level() != a.level() - 1 || !std::isfinite(out.scale) ||
+            out.scale <= 0.0)
+            throw FaultDetectedError("rescale produced an insane "
+                                     "scale/level pair",
+                                     __FILE__, __LINE__);
+    }
     return out;
 }
 
 Ciphertext
 Evaluator::dropToLevel(const Ciphertext& a, size_t level) const
 {
-    require(level >= 1 && level <= a.level(), "bad target level");
+    MAD_REQUIRE(level >= 1 && level <= a.level(), "bad target level");
     Ciphertext out = a;
     out.c0.truncateLimbs(level);
     out.c1.truncateLimbs(level);
@@ -269,13 +287,14 @@ const SwitchingKey&
 Evaluator::galoisKeyFor(u64 elt, const GaloisKeys& gks) const
 {
     auto it = gks.find(elt);
-    require(it != gks.end(), "missing Galois key for requested rotation");
+    MAD_REQUIRE(it != gks.end(), "missing Galois key for requested rotation");
     return it->second;
 }
 
 Ciphertext
 Evaluator::rotate(const Ciphertext& a, int steps, const GaloisKeys& gks) const
 {
+    MAD_ERROR_OP("Rotate");
     const u64 t = ctx->ring()->galoisElt(steps);
     if (t == 1)
         return a;
@@ -381,7 +400,7 @@ Evaluator::modDownPair(const RaisedCiphertext& r) const
 void
 Evaluator::mulPlainRaised(RaisedCiphertext& r, const Plaintext& pt) const
 {
-    require(pt.poly.numLimbs() == r.c0.numLimbs(),
+    MAD_REQUIRE(pt.poly.numLimbs() == r.c0.numLimbs(),
             "raised plaintext must cover the full PQ basis");
     r.c0.mulPointwise(pt.poly);
     r.c1.mulPointwise(pt.poly);
@@ -391,8 +410,8 @@ Evaluator::mulPlainRaised(RaisedCiphertext& r, const Plaintext& pt) const
 void
 Evaluator::addRaised(RaisedCiphertext& acc, const RaisedCiphertext& r) const
 {
-    require(acc.q_level == r.q_level, "raised level mismatch");
-    require(std::abs(acc.scale - r.scale) / acc.scale < 1e-3,
+    MAD_REQUIRE(acc.q_level == r.q_level, "raised level mismatch");
+    MAD_REQUIRE(std::abs(acc.scale - r.scale) / acc.scale < 1e-3,
             "raised scale mismatch");
     acc.c0.add(r.c0);
     acc.c1.add(r.c1);
@@ -401,7 +420,7 @@ Evaluator::addRaised(RaisedCiphertext& acc, const RaisedCiphertext& r) const
 Ciphertext
 Evaluator::mulMonomial(const Ciphertext& a, size_t power) const
 {
-    require(a.c0.rep() == Rep::Eval, "mulMonomial expects eval rep");
+    MAD_REQUIRE(a.c0.rep() == Rep::Eval, "mulMonomial expects eval rep");
     const size_t n = ctx->degree();
     Ciphertext out = a;
     parallelFor(a.level(), [&](size_t i) {
@@ -428,10 +447,10 @@ Evaluator::mulMonomial(const Ciphertext& a, size_t power) const
 Ciphertext
 Evaluator::mulScalarRescale(const Ciphertext& a, double scalar) const
 {
-    require(a.level() >= 2, "no level left to rescale into");
+    MAD_REQUIRE(a.level() >= 2, "no level left to rescale into");
     const u64 q_top = ctx->qValue(a.level() - 1);
     const double target = scalar * static_cast<double>(q_top);
-    require(std::abs(target) < 9.0e18, "scalar too large for one limb");
+    MAD_REQUIRE(std::abs(target) < 9.0e18, "scalar too large for one limb");
     const i64 k = static_cast<i64>(std::llround(target));
 
     Ciphertext out = a;

@@ -21,7 +21,7 @@ SwitchingKey::SwitchingKey(std::vector<RnsPoly> b, std::vector<RnsPoly> a,
                            Prng::Seed seed)
     : b_polys(std::move(b)), a_polys(std::move(a)), prng_seed(seed)
 {
-    check(b_polys.size() == a_polys.size() || a_polys.empty(),
+    MAD_CHECK(b_polys.size() == a_polys.size() || a_polys.empty(),
           "digit count mismatch in switching key");
     for (const auto& p : b_polys)
         tagKeyPoly(p);
@@ -32,7 +32,7 @@ SwitchingKey::SwitchingKey(std::vector<RnsPoly> b, std::vector<RnsPoly> a,
 const RnsPoly&
 SwitchingKey::a(size_t j) const
 {
-    require(!a_polys.empty(),
+    MAD_REQUIRE(!a_polys.empty(),
             "switching key is compressed; call expand() first");
     return a_polys[j];
 }

@@ -1,9 +1,21 @@
 #include "ckks/keyswitch.h"
 
 #include "memtrace/trace.h"
+#include "support/faultinject.h"
 #include "support/parallel.h"
 
 namespace madfhe {
+
+namespace {
+faultinject::Site g_fault_decompose("ckks.decompose",
+                                    faultinject::kLimbKinds);
+faultinject::Site g_fault_innerprod("ckks.ksk_innerprod",
+                                    faultinject::kLimbKinds);
+faultinject::Site g_fault_moddown("ckks.moddown", faultinject::kLimbKinds);
+faultinject::Site g_fault_moddown_merged("ckks.moddown_merged",
+                                         faultinject::kLimbKinds);
+faultinject::Site g_fault_pmodup("ckks.pmodup", faultinject::kLimbKinds);
+} // namespace
 
 KeySwitcher::KeySwitcher(std::shared_ptr<const CkksContext> ctx_)
     : ctx(std::move(ctx_))
@@ -15,14 +27,14 @@ KeySwitcher::qLevelOf(const RnsPoly& raised) const
 {
     size_t total = raised.numLimbs();
     size_t num_p = ctx->ring()->numP();
-    check(total > num_p, "raised polynomial missing P limbs");
+    MAD_CHECK(total > num_p, "raised polynomial missing P limbs");
     return total - num_p;
 }
 
 std::vector<RnsPoly>
 KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
 {
-    check(x.rep() == Rep::Eval, "decomposeAndRaise expects eval rep");
+    MAD_CHECK(x.rep() == Rep::Eval, "decomposeAndRaise expects eval rep");
     MAD_TRACE_SCOPE("DecompModUp");
     const size_t level = x.numLimbs();
     const size_t beta = ctx->numDigits(level);
@@ -87,6 +99,9 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
             ctx->ring()->ntt(raised_basis[i])
                 .forwardBatch(to_ntt[i].data(), to_ntt[i].size());
     });
+    for (RnsPoly& d : digits)
+        for (size_t i = 0; i < d.numLimbs(); ++i)
+            faultinject::guardLimb(g_fault_decompose, d.limb(i), n);
     return digits;
 }
 
@@ -94,8 +109,8 @@ RaisedCiphertext
 KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
                           const SwitchingKey& ksk) const
 {
-    require(!digits.empty(), "no digits to key switch");
-    require(digits.size() <= ksk.numDigits(),
+    MAD_REQUIRE(!digits.empty(), "no digits to key switch");
+    MAD_REQUIRE(digits.size() <= ksk.numDigits(),
             "more digits than switching-key columns");
     const size_t n = digits[0].degree();
     const auto& raised_basis = digits[0].basis();
@@ -138,13 +153,19 @@ KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
             }
         }
     });
+    // Limb-sum spot check after the inner product: the accumulated (u, v)
+    // pair is the longest-lived DRAM-resident intermediate in key switch.
+    for (size_t i = 0; i < raised_basis.size(); ++i) {
+        faultinject::guardLimb(g_fault_innerprod, out.c0.limb(i), n);
+        faultinject::guardLimb(g_fault_innerprod, out.c1.limb(i), n);
+    }
     return out;
 }
 
 RnsPoly
 KeySwitcher::modDown(const RnsPoly& x) const
 {
-    check(x.rep() == Rep::Eval, "modDown expects eval rep");
+    MAD_CHECK(x.rep() == Rep::Eval, "modDown expects eval rep");
     MAD_TRACE_SCOPE("ModDown");
     const size_t level = qLevelOf(x);
     const size_t num_p = ctx->ring()->numP();
@@ -189,16 +210,18 @@ KeySwitcher::modDown(const RnsPoly& x) const
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), p_inv, p_inv_shoup);
     });
+    for (size_t i = 0; i < level; ++i)
+        faultinject::guardLimb(g_fault_moddown, out.limb(i), n);
     return out;
 }
 
 RnsPoly
 KeySwitcher::modDownMerged(const RnsPoly& x) const
 {
-    check(x.rep() == Rep::Eval, "modDownMerged expects eval rep");
+    MAD_CHECK(x.rep() == Rep::Eval, "modDownMerged expects eval rep");
     MAD_TRACE_SCOPE("ModDownMerged");
     const size_t level = qLevelOf(x);
-    require(level >= 2, "merged ModDown needs at least two Q limbs");
+    MAD_REQUIRE(level >= 2, "merged ModDown needs at least two Q limbs");
     const size_t num_p = ctx->ring()->numP();
     const size_t n = x.degree();
 
@@ -242,13 +265,15 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(q.sub(xi[c], corr[i][c]), inv, inv_shoup);
     });
+    for (size_t i = 0; i + 1 < level; ++i)
+        faultinject::guardLimb(g_fault_moddown_merged, out.limb(i), n);
     return out;
 }
 
 RnsPoly
 KeySwitcher::pModUp(const RnsPoly& y) const
 {
-    check(y.rep() == Rep::Eval, "pModUp expects eval rep");
+    MAD_CHECK(y.rep() == Rep::Eval, "pModUp expects eval rep");
     MAD_TRACE_SCOPE("PModUp");
     const size_t level = y.numLimbs();
     const size_t n = y.degree();
@@ -264,6 +289,8 @@ KeySwitcher::pModUp(const RnsPoly& y) const
         for (size_t c = 0; c < n; ++c)
             oi[c] = q.mulShoup(yi[c], p_mod, p_shoup);
     });
+    for (size_t i = 0; i < level; ++i)
+        faultinject::guardLimb(g_fault_pmodup, out.limb(i), n);
     // P limbs of P*y are identically zero (Algorithm 5, line 3).
     return out;
 }

@@ -12,10 +12,10 @@ LinearTransform::LinearTransform(
     double pt_scale_, MatVecOptions options)
     : ctx(std::move(ctx_)), pt_scale(pt_scale_), opts(options)
 {
-    require(!diagonals.empty(), "transform needs at least one diagonal");
+    MAD_REQUIRE(!diagonals.empty(), "transform needs at least one diagonal");
     const size_t slots = ctx->slots();
     for (auto& [d, v] : diagonals) {
-        require(v.size() == slots, "diagonal length must equal slot count");
+        MAD_REQUIRE(v.size() == slots, "diagonal length must equal slot count");
         int dd = d % static_cast<int>(slots);
         if (dd < 0)
             dd += static_cast<int>(slots);
@@ -62,7 +62,7 @@ std::vector<std::complex<double>>
 LinearTransform::applyPlain(const std::vector<std::complex<double>>& x) const
 {
     const size_t slots = ctx->slots();
-    require(x.size() == slots, "input length must equal slot count");
+    MAD_REQUIRE(x.size() == slots, "input length must equal slot count");
     std::vector<std::complex<double>> y(slots, {0.0, 0.0});
     for (const auto& [d, diag] : diags) {
         for (size_t k = 0; k < slots; ++k)

@@ -114,7 +114,7 @@ measureSlotError(const CkksEncoder& encoder, Decryptor& decryptor,
                  const std::vector<std::complex<double>>& expected)
 {
     auto slots = encoder.decode(decryptor.decrypt(ct));
-    require(expected.size() <= slots.size(), "too many expected values");
+    MAD_REQUIRE(expected.size() <= slots.size(), "too many expected values");
     double max_err = 0;
     for (size_t i = 0; i < expected.size(); ++i)
         max_err = std::max(max_err, std::abs(slots[i] - expected[i]));

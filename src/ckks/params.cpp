@@ -5,13 +5,13 @@ namespace madfhe {
 void
 CkksParams::validate() const
 {
-    require(log_n >= 3 && log_n <= 17, "log_n out of supported range [3,17]");
-    require(log_scale >= 20 && log_scale <= 55, "log_scale out of [20,55]");
-    require(first_prime_bits > log_scale,
+    MAD_REQUIRE(log_n >= 3 && log_n <= 17, "log_n out of supported range [3,17]");
+    MAD_REQUIRE(log_scale >= 20 && log_scale <= 55, "log_scale out of [20,55]");
+    MAD_REQUIRE(first_prime_bits > log_scale,
             "base prime must be wider than the scale");
-    require(first_prime_bits <= 60, "first_prime_bits must be <= 60");
-    require(num_levels >= 1, "need at least one level");
-    require(dnum >= 1 && dnum <= chainLength(),
+    MAD_REQUIRE(first_prime_bits <= 60, "first_prime_bits must be <= 60");
+    MAD_REQUIRE(num_levels >= 1, "need at least one level");
+    MAD_REQUIRE(dnum >= 1 && dnum <= chainLength(),
             "dnum must be in [1, L + 1]");
 }
 

@@ -9,7 +9,7 @@ PolynomialEvaluator::PolynomialEvaluator(
     std::shared_ptr<const CkksContext> ctx_, std::vector<double> coeffs_)
     : ctx(std::move(ctx_)), coeffs(std::move(coeffs_))
 {
-    require(coeffs.size() >= 2, "need degree >= 1");
+    MAD_REQUIRE(coeffs.size() >= 2, "need degree >= 1");
     size_t d = coeffs.size() - 1;
     baby = 1;
     while (baby * baby < d + 1)

@@ -1,52 +1,274 @@
 #include "ckks/serialize.h"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
+
+#include "support/faultinject.h"
 
 namespace madfhe {
 
 namespace {
 
+/**
+ * Wire format v2. Every public entry point writes a 16-byte file header
+ * (format magic + version), then the object body using the same
+ * per-section magics as v1. A running FNV-1a checksum over every byte
+ * since the start of the blob is emitted as an 8-byte checkpoint after
+ * each section header and after each limb, so any flipped byte is
+ * caught at the next checkpoint and every blob ends on one. All size
+ * and count fields are validated against the ring (degree, modulus
+ * count) *before* any allocation, so a hostile length field cannot
+ * trigger a multi-GB resize.
+ */
+constexpr u64 kFileMagic = 0x4d41444648453032ULL; // "MADFHE02"
+constexpr u64 kFormatVersion = 2;
+
 constexpr u64 kPolyMagic = 0x4d414450504f4c59ULL; // "MADPPOLY"
 constexpr u64 kCtMagic = 0x4d41445043545854ULL;   // "MADPCTXT"
 constexpr u64 kPtMagic = 0x4d41445050545854ULL;   // "MADPPTXT"
 constexpr u64 kKskMagic = 0x4d414450204b534bULL;  // "MADP KSK"
+constexpr u64 kSctMagic = 0x4d41445053435458ULL;  // "MADPSCTX"
+constexpr u64 kGksMagic = 0x4d41445020474b53ULL;  // "MADP GKS"
+constexpr u64 kPkMagic = 0x4d41445020504b30ULL;   // "MADP PK0"
+constexpr u64 kSkMagic = 0x4d41445020534b30ULL;   // "MADP SK0"
+
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr u64 kFnvPrime = 0x100000001b3ULL;
+
+/** Reject with a typed corrupt-stream error carrying the check site. */
+#define STREAM_CHECK(cond, msg)                                               \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            throw ::madfhe::CorruptStreamError((msg), __FILE__, __LINE__);    \
+    } while (0)
+
+faultinject::Site g_fault_save("ckks.serialize_save",
+                               faultinject::kStreamKinds);
+faultinject::Site g_fault_load("ckks.serialize_load",
+                               faultinject::kStreamKinds);
+
+/**
+ * Checksumming writer. One Writer spans one blob (nested objects share
+ * it), so each checkpoint covers every byte emitted since the header.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream& os_) : os(os_)
+    {
+        faultinject::initFromEnvOnce();
+        u64v(kFileMagic);
+        u64v(kFormatVersion);
+    }
+
+    void bytes(const void* p, size_t len)
+    {
+        if (truncated)
+            return;
+        auto t = faultinject::touchStream(g_fault_save, len);
+        if (t.action == faultinject::StreamTouch::Action::Truncate) {
+            truncated = true;
+            return;
+        }
+        const u8* src = static_cast<const u8*>(p);
+        // The checksum always covers the intended bytes: an injected
+        // corruption models damage after checksumming (in transit or at
+        // rest), which is exactly what the checkpoints must catch.
+        fold(src, len);
+        if (t.action == faultinject::StreamTouch::Action::Corrupt) {
+            std::vector<u8> copy(src, src + len);
+            copy[t.offset % len] ^= t.bit;
+            os.write(reinterpret_cast<const char*>(copy.data()),
+                     static_cast<std::streamsize>(len));
+            return;
+        }
+        os.write(reinterpret_cast<const char*>(src),
+                 static_cast<std::streamsize>(len));
+    }
+
+    void u64v(u64 v) { bytes(&v, sizeof(v)); }
+    void dbl(double v) { bytes(&v, sizeof(v)); }
+
+    /** Emit the running checksum (not folded into itself). */
+    void checkpoint()
+    {
+        if (truncated)
+            return;
+        os.write(reinterpret_cast<const char*>(&csum), sizeof(csum));
+    }
+
+  private:
+    void fold(const u8* p, size_t len)
+    {
+        for (size_t i = 0; i < len; ++i) {
+            csum ^= p[i];
+            csum *= kFnvPrime;
+        }
+    }
+
+    std::ostream& os;
+    u64 csum = kFnvOffset;
+    bool truncated = false;
+};
+
+/** Checksum-verifying reader, mirroring Writer. */
+class Reader
+{
+  public:
+    explicit Reader(std::istream& is_) : is(is_)
+    {
+        faultinject::initFromEnvOnce();
+        STREAM_CHECK(u64v() == kFileMagic,
+                     "not a madfhe blob (bad file magic)");
+        u64 version = u64v();
+        STREAM_CHECK(version == kFormatVersion,
+                     "unsupported wire-format version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kFormatVersion) + ")");
+    }
+
+    void bytes(void* p, size_t len)
+    {
+        rawRead(p, len);
+        auto t = faultinject::touchStream(g_fault_load, len);
+        if (t.action == faultinject::StreamTouch::Action::Truncate)
+            injected_eof = true; // next read behaves as a short stream
+        else if (t.action == faultinject::StreamTouch::Action::Corrupt)
+            static_cast<u8*>(p)[t.offset % len] ^= t.bit;
+        const u8* src = static_cast<const u8*>(p);
+        for (size_t i = 0; i < len; ++i) {
+            csum ^= src[i];
+            csum *= kFnvPrime;
+        }
+    }
+
+    u64 u64v()
+    {
+        u64 v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+
+    double dbl()
+    {
+        double v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+
+    /** Read a stored checksum and compare against the running one. */
+    void checkpoint(const char* what)
+    {
+        u64 stored = 0;
+        rawRead(&stored, sizeof(stored));
+        STREAM_CHECK(stored == csum,
+                     std::string("checksum mismatch in ") + what +
+                         " section; stream is corrupted");
+    }
+
+  private:
+    void rawRead(void* p, size_t len)
+    {
+        if (!injected_eof)
+            is.read(static_cast<char*>(p),
+                    static_cast<std::streamsize>(len));
+        STREAM_CHECK(!injected_eof && static_cast<bool>(is),
+                     "truncated stream");
+    }
+
+    std::istream& is;
+    u64 csum = kFnvOffset;
+    bool injected_eof = false;
+};
 
 void
-writeU64(std::ostream& os, u64 v)
+polyBody(Writer& w, const RnsPoly& poly)
 {
-    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    MAD_REQUIRE(!poly.empty(), "cannot serialize an empty polynomial");
+    w.u64v(kPolyMagic);
+    w.u64v(poly.degree());
+    w.u64v(poly.numLimbs());
+    w.u64v(poly.rep() == Rep::Eval ? 1 : 0);
+    for (u32 idx : poly.basis())
+        w.u64v(idx);
+    w.checkpoint();
+    for (size_t i = 0; i < poly.numLimbs(); ++i) {
+        w.bytes(poly.limb(i), poly.degree() * sizeof(u64));
+        w.checkpoint();
+    }
 }
 
-u64
-readU64(std::istream& is)
+RnsPoly
+polyBody(Reader& r, const std::shared_ptr<const RingContext>& ring)
 {
-    u64 v = 0;
-    is.read(reinterpret_cast<char*>(&v), sizeof(v));
-    require(static_cast<bool>(is), "truncated stream");
-    return v;
+    STREAM_CHECK(r.u64v() == kPolyMagic, "bad magic for polynomial");
+    const u64 degree = r.u64v();
+    STREAM_CHECK(degree == ring->degree(), "ring degree mismatch");
+    const u64 limbs = r.u64v();
+    STREAM_CHECK(limbs >= 1 && limbs <= ring->numModuli(), "bad limb count");
+    const u64 rep_field = r.u64v();
+    STREAM_CHECK(rep_field <= 1, "bad representation field");
+    const Rep rep = rep_field ? Rep::Eval : Rep::Coeff;
+    std::vector<u32> basis(limbs);
+    for (auto& b : basis) {
+        u64 v = r.u64v();
+        STREAM_CHECK(v < ring->numModuli(), "chain index out of range");
+        b = static_cast<u32>(v);
+    }
+    r.checkpoint("polynomial header");
+    // All allocation inputs (degree, limbs) are now validated against the
+    // ring, so this is bounded by degree * numModuli * 8 bytes.
+    RnsPoly poly(ring, basis, rep);
+    for (size_t i = 0; i < limbs; ++i) {
+        r.bytes(poly.limb(i), degree * sizeof(u64));
+        r.checkpoint("polynomial limb");
+        const Modulus& q = poly.modulus(i);
+        for (size_t c = 0; c < degree; ++c)
+            STREAM_CHECK(poly.limb(i)[c] < q.value(),
+                         "limb value out of range for modulus");
+    }
+    return poly;
 }
 
 void
-writeDouble(std::ostream& os, double v)
+kskBody(Writer& w, const SwitchingKey& key)
 {
-    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    w.u64v(kKskMagic);
+    w.u64v(key.numDigits());
+    w.u64v(key.isCompressed() ? 1 : 0);
+    for (u64 word : key.seed())
+        w.u64v(word);
+    w.checkpoint();
+    for (size_t j = 0; j < key.numDigits(); ++j)
+        polyBody(w, key.b(j));
+    if (!key.isCompressed()) {
+        for (size_t j = 0; j < key.numDigits(); ++j)
+            polyBody(w, key.a(j));
+    }
 }
 
-double
-readDouble(std::istream& is)
+SwitchingKey
+kskBody(Reader& r, const std::shared_ptr<const RingContext>& ring)
 {
-    double v = 0;
-    is.read(reinterpret_cast<char*>(&v), sizeof(v));
-    require(static_cast<bool>(is), "truncated stream");
-    return v;
-}
-
-void
-expectMagic(std::istream& is, u64 magic, const char* what)
-{
-    u64 got = readU64(is);
-    require(got == magic, std::string("bad magic for ") + what);
+    STREAM_CHECK(r.u64v() == kKskMagic, "bad magic for switching key");
+    const u64 digits = r.u64v();
+    STREAM_CHECK(digits >= 1 && digits <= 64, "implausible digit count");
+    const bool compressed = r.u64v() != 0;
+    Prng::Seed seed{};
+    for (auto& word : seed)
+        word = r.u64v();
+    r.checkpoint("switching-key header");
+    std::vector<RnsPoly> b, a;
+    b.reserve(digits);
+    for (u64 j = 0; j < digits; ++j)
+        b.push_back(polyBody(r, ring));
+    if (!compressed) {
+        a.reserve(digits);
+        for (u64 j = 0; j < digits; ++j)
+            a.push_back(polyBody(r, ring));
+    }
+    return SwitchingKey(std::move(b), std::move(a), seed);
 }
 
 } // namespace
@@ -54,218 +276,219 @@ expectMagic(std::istream& is, u64 magic, const char* what)
 void
 savePoly(std::ostream& os, const RnsPoly& poly)
 {
-    require(!poly.empty(), "cannot serialize an empty polynomial");
-    writeU64(os, kPolyMagic);
-    writeU64(os, poly.degree());
-    writeU64(os, poly.numLimbs());
-    writeU64(os, poly.rep() == Rep::Eval ? 1 : 0);
-    for (u32 idx : poly.basis())
-        writeU64(os, idx);
-    for (size_t i = 0; i < poly.numLimbs(); ++i) {
-        os.write(reinterpret_cast<const char*>(poly.limb(i)),
-                 static_cast<std::streamsize>(poly.degree() * sizeof(u64)));
-    }
+    Writer w(os);
+    polyBody(w, poly);
 }
 
 RnsPoly
 loadPoly(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kPolyMagic, "polynomial");
-    u64 degree = readU64(is);
-    require(degree == ring->degree(), "ring degree mismatch");
-    u64 limbs = readU64(is);
-    require(limbs >= 1 && limbs <= ring->numModuli(), "bad limb count");
-    Rep rep = readU64(is) ? Rep::Eval : Rep::Coeff;
-    std::vector<u32> basis(limbs);
-    for (auto& b : basis) {
-        u64 v = readU64(is);
-        require(v < ring->numModuli(), "chain index out of range");
-        b = static_cast<u32>(v);
-    }
-    RnsPoly poly(std::move(ring), basis, rep);
-    for (size_t i = 0; i < limbs; ++i) {
-        is.read(reinterpret_cast<char*>(poly.limb(i)),
-                static_cast<std::streamsize>(degree * sizeof(u64)));
-        require(static_cast<bool>(is), "truncated polynomial data");
-        const Modulus& q = poly.modulus(i);
-        for (size_t c = 0; c < degree; ++c)
-            require(poly.limb(i)[c] < q.value(),
-                    "limb value out of range for modulus");
-    }
-    return poly;
+    Reader r(is);
+    return polyBody(r, ring);
 }
 
 void
 saveCiphertext(std::ostream& os, const Ciphertext& ct)
 {
-    writeU64(os, kCtMagic);
-    writeDouble(os, ct.scale);
-    savePoly(os, ct.c0);
-    savePoly(os, ct.c1);
+    Writer w(os);
+    w.u64v(kCtMagic);
+    w.dbl(ct.scale);
+    polyBody(w, ct.c0);
+    polyBody(w, ct.c1);
 }
 
 Ciphertext
 loadCiphertext(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kCtMagic, "ciphertext");
+    Reader r(is);
+    STREAM_CHECK(r.u64v() == kCtMagic, "bad magic for ciphertext");
     Ciphertext ct;
-    ct.scale = readDouble(is);
-    require(ct.scale > 0, "non-positive ciphertext scale");
-    ct.c0 = loadPoly(is, ring);
-    ct.c1 = loadPoly(is, ring);
-    require(ct.c0.basis() == ct.c1.basis(), "mismatched component bases");
+    ct.scale = r.dbl();
+    STREAM_CHECK(std::isfinite(ct.scale) && ct.scale > 0,
+                 "non-positive ciphertext scale");
+    ct.c0 = polyBody(r, ring);
+    ct.c1 = polyBody(r, ring);
+    STREAM_CHECK(ct.c0.basis() == ct.c1.basis(),
+                 "mismatched component bases");
     return ct;
 }
-
-namespace {
-constexpr u64 kSctMagic = 0x4d41445053435458ULL; // "MADPSCTX"
-} // namespace
 
 void
 saveSeededCiphertext(std::ostream& os, const SeededCiphertext& sct)
 {
-    writeU64(os, kSctMagic);
-    writeDouble(os, sct.scale);
-    for (u64 w : sct.seed)
-        writeU64(os, w);
-    savePoly(os, sct.c0);
+    Writer w(os);
+    w.u64v(kSctMagic);
+    w.dbl(sct.scale);
+    for (u64 word : sct.seed)
+        w.u64v(word);
+    polyBody(w, sct.c0);
 }
 
 SeededCiphertext
 loadSeededCiphertext(std::istream& is,
                      std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kSctMagic, "seeded ciphertext");
+    Reader r(is);
+    STREAM_CHECK(r.u64v() == kSctMagic, "bad magic for seeded ciphertext");
     SeededCiphertext sct;
-    sct.scale = readDouble(is);
-    require(sct.scale > 0, "non-positive ciphertext scale");
-    for (auto& w : sct.seed)
-        w = readU64(is);
-    sct.c0 = loadPoly(is, ring);
+    sct.scale = r.dbl();
+    STREAM_CHECK(std::isfinite(sct.scale) && sct.scale > 0,
+                 "non-positive ciphertext scale");
+    for (auto& word : sct.seed)
+        word = r.u64v();
+    sct.c0 = polyBody(r, ring);
     return sct;
 }
 
 void
 savePlaintext(std::ostream& os, const Plaintext& pt)
 {
-    writeU64(os, kPtMagic);
-    writeDouble(os, pt.scale);
-    savePoly(os, pt.poly);
+    Writer w(os);
+    w.u64v(kPtMagic);
+    w.dbl(pt.scale);
+    polyBody(w, pt.poly);
 }
 
 Plaintext
 loadPlaintext(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kPtMagic, "plaintext");
+    Reader r(is);
+    STREAM_CHECK(r.u64v() == kPtMagic, "bad magic for plaintext");
     Plaintext pt;
-    pt.scale = readDouble(is);
-    pt.poly = loadPoly(is, ring);
+    pt.scale = r.dbl();
+    STREAM_CHECK(std::isfinite(pt.scale), "non-finite plaintext scale");
+    pt.poly = polyBody(r, ring);
     return pt;
 }
 
 void
 saveSwitchingKey(std::ostream& os, const SwitchingKey& key)
 {
-    writeU64(os, kKskMagic);
-    writeU64(os, key.numDigits());
-    writeU64(os, key.isCompressed() ? 1 : 0);
-    for (u64 w : key.seed())
-        writeU64(os, w);
-    for (size_t j = 0; j < key.numDigits(); ++j)
-        savePoly(os, key.b(j));
-    if (!key.isCompressed()) {
-        for (size_t j = 0; j < key.numDigits(); ++j)
-            savePoly(os, key.a(j));
-    }
+    Writer w(os);
+    kskBody(w, key);
 }
 
 SwitchingKey
 loadSwitchingKey(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kKskMagic, "switching key");
-    u64 digits = readU64(is);
-    require(digits >= 1 && digits <= 64, "implausible digit count");
-    bool compressed = readU64(is) != 0;
-    Prng::Seed seed{};
-    for (auto& w : seed)
-        w = readU64(is);
-    std::vector<RnsPoly> b, a;
-    for (u64 j = 0; j < digits; ++j)
-        b.push_back(loadPoly(is, ring));
-    if (!compressed) {
-        for (u64 j = 0; j < digits; ++j)
-            a.push_back(loadPoly(is, ring));
-    }
-    return SwitchingKey(std::move(b), std::move(a), seed);
+    Reader r(is);
+    return kskBody(r, ring);
 }
-
-namespace {
-constexpr u64 kGksMagic = 0x4d41445020474b53ULL; // "MADP GKS"
-constexpr u64 kPkMagic = 0x4d41445020504b30ULL;  // "MADP PK0"
-} // namespace
 
 void
 saveGaloisKeys(std::ostream& os, const GaloisKeys& keys)
 {
-    writeU64(os, kGksMagic);
-    writeU64(os, keys.size());
+    Writer w(os);
+    w.u64v(kGksMagic);
+    w.u64v(keys.size());
     for (const auto& [elt, key] : keys) {
-        writeU64(os, elt);
-        saveSwitchingKey(os, key);
+        w.u64v(elt);
+        kskBody(w, key);
     }
+    w.checkpoint();
 }
 
 GaloisKeys
 loadGaloisKeys(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kGksMagic, "Galois keys");
-    u64 count = readU64(is);
-    require(count <= 4096, "implausible Galois key count");
+    Reader r(is);
+    STREAM_CHECK(r.u64v() == kGksMagic, "bad magic for Galois keys");
+    const u64 count = r.u64v();
+    STREAM_CHECK(count <= 4096, "implausible Galois key count");
     GaloisKeys keys;
     for (u64 i = 0; i < count; ++i) {
-        u64 elt = readU64(is);
-        require((elt & 1) == 1 && elt < 2 * ring->degree(),
-                "invalid Galois element");
-        keys.emplace(elt, loadSwitchingKey(is, ring));
+        u64 elt = r.u64v();
+        STREAM_CHECK((elt & 1) == 1 && elt < 2 * ring->degree(),
+                     "invalid Galois element");
+        keys.emplace(elt, kskBody(r, ring));
     }
+    r.checkpoint("Galois key set");
     return keys;
 }
 
 void
 savePublicKey(std::ostream& os, const PublicKey& pk)
 {
-    writeU64(os, kPkMagic);
-    savePoly(os, pk.b);
-    savePoly(os, pk.a);
+    Writer w(os);
+    w.u64v(kPkMagic);
+    polyBody(w, pk.b);
+    polyBody(w, pk.a);
 }
 
 PublicKey
 loadPublicKey(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
-    expectMagic(is, kPkMagic, "public key");
+    Reader r(is);
+    STREAM_CHECK(r.u64v() == kPkMagic, "bad magic for public key");
     PublicKey pk;
-    pk.b = loadPoly(is, ring);
-    pk.a = loadPoly(is, ring);
-    require(pk.b.basis() == pk.a.basis(), "mismatched public-key bases");
+    pk.b = polyBody(r, ring);
+    pk.a = polyBody(r, ring);
+    STREAM_CHECK(pk.b.basis() == pk.a.basis(),
+                 "mismatched public-key bases");
     return pk;
 }
+
+void
+saveSecretKey(std::ostream& os, const SecretKey& sk)
+{
+    MAD_REQUIRE(sk.s_coeffs.size() == sk.s.degree(),
+                "secret key coefficient count must equal ring degree");
+    Writer w(os);
+    w.u64v(kSkMagic);
+    polyBody(w, sk.s);
+    w.u64v(sk.s_coeffs.size());
+    w.bytes(sk.s_coeffs.data(), sk.s_coeffs.size() * sizeof(i64));
+    w.checkpoint();
+}
+
+SecretKey
+loadSecretKey(std::istream& is, std::shared_ptr<const RingContext> ring)
+{
+    Reader r(is);
+    STREAM_CHECK(r.u64v() == kSkMagic, "bad magic for secret key");
+    SecretKey sk;
+    sk.s = polyBody(r, ring);
+    const u64 count = r.u64v();
+    STREAM_CHECK(count == ring->degree(),
+                 "secret coefficient count must equal ring degree");
+    sk.s_coeffs.resize(count);
+    r.bytes(sk.s_coeffs.data(), count * sizeof(i64));
+    r.checkpoint("secret key");
+    for (i64 v : sk.s_coeffs)
+        STREAM_CHECK(v >= -1 && v <= 1,
+                     "secret coefficient outside the ternary range");
+    return sk;
+}
+
+namespace {
+
+/** polyBody bytes: section header + checkpoint, then per-limb data. */
+size_t
+polyBodySize(const RnsPoly& poly)
+{
+    return 8 * 4 + poly.numLimbs() * 8 + 8 +
+           poly.numLimbs() * (poly.degree() * sizeof(u64) + 8);
+}
+
+constexpr size_t kFileHeaderSize = 16;
+
+} // namespace
 
 size_t
 polyWireSize(const RnsPoly& poly)
 {
-    return 8 * 4 + poly.numLimbs() * 8 +
-           poly.numLimbs() * poly.degree() * sizeof(u64);
+    return kFileHeaderSize + polyBodySize(poly);
 }
 
 size_t
 switchingKeyWireSize(const SwitchingKey& key)
 {
-    size_t bytes = 8 * 3 + 8 * 4; // header + seed
+    size_t bytes = kFileHeaderSize + 8 * 3 + 8 * 4 + 8; // headers + seed
     for (size_t j = 0; j < key.numDigits(); ++j)
-        bytes += polyWireSize(key.b(j));
+        bytes += polyBodySize(key.b(j));
     if (!key.isCompressed())
         for (size_t j = 0; j < key.numDigits(); ++j)
-            bytes += polyWireSize(key.a(j));
+            bytes += polyBodySize(key.a(j));
     return bytes;
 }
 

@@ -5,8 +5,13 @@
  * only the b-half polynomials plus the 32-byte PRNG seed — the on-wire
  * analogue of the MAD key-compression optimization, halving key size.
  *
- * Format: little-endian, fixed 8-byte magic per object type, no
- * versioned schema evolution (this is a research library).
+ * Format v2: little-endian; every blob opens with a 16-byte versioned
+ * file header ("MADFHE02" + format version) followed by the per-object
+ * sections (fixed 8-byte magic each). A running FNV-1a checksum is
+ * emitted after each section header and each limb, so deserialization
+ * rejects any flipped byte or truncation with a typed
+ * CorruptStreamError; all size/count fields are bounds-checked against
+ * the ring before any allocation.
  */
 #ifndef MADFHE_CKKS_SERIALIZE_H
 #define MADFHE_CKKS_SERIALIZE_H
@@ -55,6 +60,11 @@ GaloisKeys loadGaloisKeys(std::istream& is,
 /** Serialize a public key (two polynomials). */
 void savePublicKey(std::ostream& os, const PublicKey& pk);
 PublicKey loadPublicKey(std::istream& is,
+                        std::shared_ptr<const RingContext> ring);
+
+/** Serialize a secret key (s over QP plus its signed coefficients). */
+void saveSecretKey(std::ostream& os, const SecretKey& sk);
+SecretKey loadSecretKey(std::istream& is,
                         std::shared_ptr<const RingContext> ring);
 
 /** Bytes savePoly would emit, for size accounting in tests/tools. */

@@ -367,7 +367,7 @@ ReplayResult::scope(const std::string& name) const
 ReplayResult
 replay(const Trace& trace, const ReplayConfig& config)
 {
-    require(config.block_bytes > 0, "replay needs a nonzero block size");
+    MAD_REQUIRE(config.block_bytes > 0, "replay needs a nonzero block size");
 
     ReplayResult res;
     res.scopes.push_back(ScopeStats{"(unscoped)", {}, 0, 0, 0, 0});
@@ -395,7 +395,7 @@ replay(const Trace& trace, const ReplayConfig& config)
         switch (ev.kind) {
         case Kind::ScopeBegin:
             if (depth == 0) {
-                check(ev.addr < trace.scope_names.size(),
+                MAD_CHECK(ev.addr < trace.scope_names.size(),
                       "trace scope id out of range");
                 current = slotFor(trace.scope_names[ev.addr]);
             }

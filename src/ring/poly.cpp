@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "memtrace/trace.h"
+#include "support/faultinject.h"
 #include "support/parallel.h"
 
 namespace madfhe {
@@ -16,14 +17,19 @@ limbBytes(const RnsPoly& p)
     return p.degree() * sizeof(u64);
 }
 
+faultinject::Site g_fault_alloc("ring.poly_alloc", faultinject::kPointKinds);
+faultinject::Site g_fault_pointwise("ring.pointwise", faultinject::kLimbKinds);
+faultinject::Site g_fault_automorph("ring.automorph", faultinject::kLimbKinds);
+
 } // namespace
 
 RnsPoly::RnsPoly(std::shared_ptr<const RingContext> ctx_,
                  std::vector<u32> basis_, Rep rep_)
     : ctx(std::move(ctx_)), chain(std::move(basis_)), representation(rep_)
 {
-    require(ctx != nullptr, "RnsPoly requires a ring context");
-    require(!chain.empty(), "RnsPoly requires at least one limb");
+    MAD_REQUIRE(ctx != nullptr, "RnsPoly requires a ring context");
+    MAD_REQUIRE(!chain.empty(), "RnsPoly requires at least one limb");
+    faultinject::touchPoint(g_fault_alloc);
     data.assign(chain.size() * ctx->degree(), 0);
     MAD_TRACE_ALLOC(data.data(), data.size() * sizeof(u64));
 }
@@ -59,15 +65,15 @@ RnsPoly::operator=(const RnsPoly& other)
 void
 RnsPoly::requireCompatible(const RnsPoly& other) const
 {
-    check(ctx.get() == other.ctx.get(), "ring context mismatch");
-    check(chain == other.chain, "RNS basis mismatch");
-    check(representation == other.representation, "representation mismatch");
+    MAD_CHECK(ctx.get() == other.ctx.get(), "ring context mismatch");
+    MAD_CHECK(chain == other.chain, "RNS basis mismatch");
+    MAD_CHECK(representation == other.representation, "representation mismatch");
 }
 
 void
 RnsPoly::toEval()
 {
-    check(representation == Rep::Coeff, "toEval requires coefficient rep");
+    MAD_CHECK(representation == Rep::Coeff, "toEval requires coefficient rep");
     parallelFor(numLimbs(),
                 [&](size_t i) { ctx->ntt(chain[i]).forward(limb(i)); });
     representation = Rep::Eval;
@@ -76,7 +82,7 @@ RnsPoly::toEval()
 void
 RnsPoly::toCoeff()
 {
-    check(representation == Rep::Eval, "toCoeff requires evaluation rep");
+    MAD_CHECK(representation == Rep::Eval, "toCoeff requires evaluation rep");
     parallelFor(numLimbs(),
                 [&](size_t i) { ctx->ntt(chain[i]).inverse(limb(i)); });
     representation = Rep::Coeff;
@@ -145,7 +151,7 @@ void
 RnsPoly::mulPointwise(const RnsPoly& other)
 {
     requireCompatible(other);
-    check(representation == Rep::Eval, "pointwise mul requires Eval rep");
+    MAD_CHECK(representation == Rep::Eval, "pointwise mul requires Eval rep");
     const size_t n = degree();
     parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
@@ -157,6 +163,8 @@ RnsPoly::mulPointwise(const RnsPoly& other)
         for (size_t c = 0; c < n; ++c)
             a[c] = q.mul(a[c], b[c]);
     });
+    for (size_t i = 0; i < numLimbs(); ++i)
+        faultinject::guardLimb(g_fault_pointwise, limb(i), n);
 }
 
 void
@@ -164,7 +172,7 @@ RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
 {
     requireCompatible(a);
     requireCompatible(b);
-    check(representation == Rep::Eval, "addMul requires Eval rep");
+    MAD_CHECK(representation == Rep::Eval, "addMul requires Eval rep");
     const size_t n = degree();
     parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
@@ -183,7 +191,7 @@ RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
 void
 RnsPoly::mulScalarPerLimb(const std::vector<u64>& scalar)
 {
-    check(scalar.size() == numLimbs(), "per-limb scalar count mismatch");
+    MAD_CHECK(scalar.size() == numLimbs(), "per-limb scalar count mismatch");
     const size_t n = degree();
     parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
@@ -236,13 +244,15 @@ RnsPoly::automorph(u64 t) const
             }
         });
     }
+    for (size_t i = 0; i < out.numLimbs(); ++i)
+        faultinject::guardLimb(g_fault_automorph, out.limb(i), n);
     return out;
 }
 
 void
 RnsPoly::truncateLimbs(size_t keep)
 {
-    require(keep >= 1 && keep <= numLimbs(), "invalid limb count to keep");
+    MAD_REQUIRE(keep >= 1 && keep <= numLimbs(), "invalid limb count to keep");
     chain.resize(keep);
     data.resize(keep * degree());
 }
@@ -257,8 +267,8 @@ RnsPoly::equals(const RnsPoly& other) const
 void
 RnsPoly::setFromSigned(const std::vector<i64>& values)
 {
-    check(representation == Rep::Coeff, "setFromSigned requires coeff rep");
-    require(values.size() == degree(), "value count must equal ring degree");
+    MAD_CHECK(representation == Rep::Coeff, "setFromSigned requires coeff rep");
+    MAD_REQUIRE(values.size() == degree(), "value count must equal ring degree");
     const size_t n = degree();
     parallelFor(numLimbs(), [&](size_t i) {
         const Modulus& q = modulus(i);
@@ -282,7 +292,7 @@ extractLimbs(const RnsPoly& src, const std::vector<u32>& chain)
                 break;
             }
         }
-        require(pos < src.numLimbs(),
+        MAD_REQUIRE(pos < src.numLimbs(),
                 "extractLimbs: chain index missing from source basis");
         MAD_TRACE_READ(src.limb(pos), n * sizeof(u64));
         MAD_TRACE_WRITE(out.limb(i), n * sizeof(u64));

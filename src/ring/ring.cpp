@@ -6,8 +6,8 @@ RingContext::RingContext(size_t n_, std::vector<u64> q_primes,
                          std::vector<u64> p_primes)
     : n(n_), num_q(q_primes.size())
 {
-    require(isPowerOfTwo(n) && n >= 8, "ring degree must be a power of two >= 8");
-    require(!q_primes.empty(), "need at least one ciphertext modulus");
+    MAD_REQUIRE(isPowerOfTwo(n) && n >= 8, "ring degree must be a power of two >= 8");
+    MAD_REQUIRE(!q_primes.empty(), "need at least one ciphertext modulus");
     logn = floorLog2(n);
 
     std::vector<u64> all = std::move(q_primes);
@@ -15,8 +15,8 @@ RingContext::RingContext(size_t n_, std::vector<u64> q_primes,
     mods.reserve(all.size());
     ntts.reserve(all.size());
     for (u64 q : all) {
-        require(isPrime(q), "modulus chain entries must be prime");
-        require(q % (2 * n) == 1, "moduli must be 1 mod 2N for the NTT");
+        MAD_REQUIRE(isPrime(q), "modulus chain entries must be prime");
+        MAD_REQUIRE(q % (2 * n) == 1, "moduli must be 1 mod 2N for the NTT");
         mods.emplace_back(q);
         ntts.emplace_back(NttTables::get(n, mods.back()));
     }
@@ -25,7 +25,7 @@ RingContext::RingContext(size_t n_, std::vector<u64> q_primes,
 std::vector<u32>
 RingContext::qIndices(size_t count) const
 {
-    require(count <= num_q, "requested more Q limbs than the chain has");
+    MAD_REQUIRE(count <= num_q, "requested more Q limbs than the chain has");
     std::vector<u32> idx(count);
     for (size_t i = 0; i < count; ++i)
         idx[i] = static_cast<u32>(i);
@@ -47,7 +47,7 @@ RingContext::basisOf(const std::vector<u32>& chain_indices) const
     std::vector<Modulus> m;
     m.reserve(chain_indices.size());
     for (u32 i : chain_indices) {
-        check(i < mods.size(), "chain index out of range");
+        MAD_CHECK(i < mods.size(), "chain index out of range");
         m.push_back(mods[i]);
     }
     return RnsBasis(std::move(m));
@@ -56,7 +56,7 @@ RingContext::basisOf(const std::vector<u32>& chain_indices) const
 const std::vector<u32>&
 RingContext::evalPermutation(u64 t) const
 {
-    require((t & 1) == 1 && t < 2 * n, "Galois element must be odd, < 2N");
+    MAD_REQUIRE((t & 1) == 1 && t < 2 * n, "Galois element must be odd, < 2N");
     auto it = eval_perm_cache.find(t);
     if (it != eval_perm_cache.end())
         return it->second;
@@ -75,7 +75,7 @@ RingContext::evalPermutation(u64 t) const
 const CoeffAutomorphism&
 RingContext::coeffAutomorphism(u64 t) const
 {
-    require((t & 1) == 1 && t < 2 * n, "Galois element must be odd, < 2N");
+    MAD_REQUIRE((t & 1) == 1 && t < 2 * n, "Galois element must be odd, < 2N");
     auto it = coeff_auto_cache.find(t);
     if (it != coeff_auto_cache.end())
         return it->second;

@@ -3,16 +3,21 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "support/faultinject.h"
 #include "support/parallel.h"
 
 namespace madfhe {
 
+namespace {
+faultinject::Site g_fault_basis("rns.basis_convert", faultinject::kLimbKinds);
+} // namespace
+
 RnsBasis::RnsBasis(std::vector<Modulus> moduli) : mods(std::move(moduli))
 {
-    require(!mods.empty(), "RNS basis must contain at least one modulus");
+    MAD_REQUIRE(!mods.empty(), "RNS basis must contain at least one modulus");
     for (size_t i = 0; i < mods.size(); ++i)
         for (size_t j = i + 1; j < mods.size(); ++j)
-            require(mods[i].value() != mods[j].value(),
+            MAD_REQUIRE(mods[i].value() != mods[j].value(),
                     "RNS moduli must be distinct");
 
     inv_punctured.resize(mods.size());
@@ -53,7 +58,7 @@ BasisConverter::BasisConverter(const RnsBasis& from_, const RnsBasis& to_)
 {
     for (size_t i = 0; i < from.size(); ++i)
         for (size_t j = 0; j < to.size(); ++j)
-            require(from[i].value() != to[j].value(),
+            MAD_REQUIRE(from[i].value() != to[j].value(),
                     "source and target bases must be disjoint");
 
     punctured_mod.resize(to.size());
@@ -107,7 +112,7 @@ void
 BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
                             size_t target_idx, u64* out, ConvMode mode) const
 {
-    check(in.size() == from.size(), "source limb count mismatch");
+    MAD_CHECK(in.size() == from.size(), "source limb count mismatch");
     const Modulus& pj = to[target_idx];
     const size_t k = from.size();
     for (size_t i = 0; i < k; ++i)
@@ -140,14 +145,15 @@ BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
             out[c] = result;
         }
     });
+    faultinject::guardLimb(g_fault_basis, out, n);
 }
 
 void
 BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
                         const std::vector<u64*>& out, ConvMode mode) const
 {
-    check(in.size() == from.size(), "source limb count mismatch");
-    check(out.size() == to.size(), "target limb count mismatch");
+    MAD_CHECK(in.size() == from.size(), "source limb count mismatch");
+    MAD_CHECK(out.size() == to.size(), "target limb count mismatch");
     const size_t k = from.size();
     for (size_t i = 0; i < k; ++i)
         MAD_TRACE_READ(in[i], n * sizeof(u64));
@@ -179,6 +185,8 @@ BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
             }
         }
     });
+    for (size_t j = 0; j < out.size(); ++j)
+        faultinject::guardLimb(g_fault_basis, out[j], n);
 }
 
 } // namespace madfhe

@@ -4,8 +4,8 @@ namespace madfhe {
 
 Modulus::Modulus(u64 q)
 {
-    require(q >= 3 && (q & 1) == 1, "modulus must be an odd number >= 3");
-    require(q < (1ULL << 62), "modulus must be < 2^62");
+    MAD_REQUIRE(q >= 3 && (q & 1) == 1, "modulus must be an odd number >= 3");
+    MAD_REQUIRE(q < (1ULL << 62), "modulus must be < 2^62");
     _value = q;
     // floor(2^128 / q) computed by long division of 2^128 by q.
     u128 numer = ~static_cast<u128>(0); // 2^128 - 1
@@ -61,7 +61,7 @@ u64
 Modulus::inverse(u64 a) const
 {
     u64 r = a % _value;
-    require(r != 0, "inverse of zero mod q");
+    MAD_REQUIRE(r != 0, "inverse of zero mod q");
     // Fermat: a^(q-2) mod q.
     return pow(r, _value - 2);
 }

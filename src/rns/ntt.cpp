@@ -4,13 +4,19 @@
 #include <mutex>
 
 #include "memtrace/trace.h"
+#include "support/faultinject.h"
 
 namespace madfhe {
+
+namespace {
+faultinject::Site g_fault_ntt_fwd("rns.ntt_fwd", faultinject::kLimbKinds);
+faultinject::Site g_fault_ntt_inv("rns.ntt_inv", faultinject::kLimbKinds);
+} // namespace
 
 u64
 findPrimitiveRoot(size_t two_n, const Modulus& q)
 {
-    require((q.value() - 1) % two_n == 0, "q != 1 mod 2n");
+    MAD_REQUIRE((q.value() - 1) % two_n == 0, "q != 1 mod 2n");
     const u64 exponent = (q.value() - 1) / two_n;
     // Deterministic scan: candidate generators 2, 3, 4, ... One pow per
     // candidate: g^((q-1)/2) == -1 iff g is a quadratic non-residue, and
@@ -39,7 +45,7 @@ NttTables::get(size_t n, const Modulus& q)
 
 NttTables::NttTables(size_t n_, const Modulus& q_) : n(n_), q(q_)
 {
-    require(isPowerOfTwo(n), "NTT size must be a power of two");
+    MAD_REQUIRE(isPowerOfTwo(n), "NTT size must be a power of two");
     logn = floorLog2(n);
 
     const u64 psi = findPrimitiveRoot(2 * n, q);
@@ -194,6 +200,8 @@ NttTables::forwardBatch(u64* const* a, size_t count) const
         }
     }
     cyclicTransform(a, count, omega_tw, omega_tw_shoup);
+    for (size_t b = 0; b < count; ++b)
+        faultinject::guardLimb(g_fault_ntt_fwd, a[b], n);
 }
 
 void
@@ -218,6 +226,8 @@ NttTables::inverseBatch(u64* const* a, size_t count) const
                 a[b][i] = q.mulShoup(a[b][i], w, ws);
         }
     }
+    for (size_t b = 0; b < count; ++b)
+        faultinject::guardLimb(g_fault_ntt_inv, a[b], n);
 }
 
 void

@@ -20,8 +20,8 @@ std::vector<u64>
 generateNttPrimes(unsigned bit_size, u64 n, size_t count,
                   const std::vector<u64>& exclude)
 {
-    require(isPowerOfTwo(n), "ring degree must be a power of two");
-    require(bit_size >= 20 && bit_size <= 61, "prime width out of range");
+    MAD_REQUIRE(isPowerOfTwo(n), "ring degree must be a power of two");
+    MAD_REQUIRE(bit_size >= 20 && bit_size <= 61, "prime width out of range");
 
     u64 step = 2 * n;
     // Largest candidate = 1 (mod 2N) strictly below 2^bit_size.
@@ -30,7 +30,7 @@ generateNttPrimes(unsigned bit_size, u64 n, size_t count,
 
     std::vector<u64> primes;
     while (primes.size() < count) {
-        require(candidate > (1ULL << (bit_size - 1)),
+        MAD_REQUIRE(candidate > (1ULL << (bit_size - 1)),
                 "ran out of NTT primes of the requested width");
         if (isPrime(candidate) && !contains(exclude, candidate) &&
             !contains(primes, candidate)) {
@@ -44,7 +44,7 @@ generateNttPrimes(unsigned bit_size, u64 n, size_t count,
 u64
 generateNttPrimeNear(u64 target, u64 n, const std::vector<u64>& exclude)
 {
-    require(isPowerOfTwo(n), "ring degree must be a power of two");
+    MAD_REQUIRE(isPowerOfTwo(n), "ring degree must be a power of two");
     u64 step = 2 * n;
     u64 base = (target / step) * step + 1;
     // Walk outward: base, base+step, base-step, base+2step, ...

@@ -297,7 +297,7 @@ CostModel::dftFactorDiagonals(size_t i) const
     // ~2^(g+1) - 1 diagonals.
     const size_t stages = floorLog2(s.bootSlots());
     const size_t iters = s.fft_iter;
-    check(i < iters, "factor index out of range");
+    MAD_CHECK(i < iters, "factor index out of range");
     size_t base = stages / iters;
     size_t extra = stages % iters;
     size_t g = base + (i < extra ? 1 : 0);
@@ -407,7 +407,7 @@ CostModel::evalMod(size_t l) const
     Cost cost;
     size_t level = l;
     for (size_t k = 0; k < 9; ++k) {
-        check(level >= 2, "evalMod ran out of levels");
+        MAD_CHECK(level >= 2, "evalMod ran out of levels");
         cost += mult(level) * static_cast<double>(mults_per_level[k]);
         cost += add(level);
         level -= 1;

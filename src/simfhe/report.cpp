@@ -15,7 +15,7 @@ Table::Table(std::vector<std::string> headers_) : headers(std::move(headers_))
 void
 Table::addRow(std::vector<std::string> cells)
 {
-    require(cells.size() == headers.size(), "row width mismatch");
+    MAD_REQUIRE(cells.size() == headers.size(), "row width mismatch");
     rows.push_back(std::move(cells));
 }
 

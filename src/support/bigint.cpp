@@ -35,7 +35,7 @@ BigUint::add(const BigUint& other)
 void
 BigUint::sub(const BigUint& other)
 {
-    check(compare(other) >= 0, "BigUint::sub would underflow");
+    MAD_CHECK(compare(other) >= 0, "BigUint::sub would underflow");
     u64 borrow = 0;
     for (size_t i = 0; i < words.size(); ++i) {
         u128 need = static_cast<u128>(other.word(i)) + borrow;
@@ -48,7 +48,7 @@ BigUint::sub(const BigUint& other)
             borrow = 1;
         }
     }
-    check(borrow == 0, "BigUint::sub underflow");
+    MAD_CHECK(borrow == 0, "BigUint::sub underflow");
     normalize();
 }
 
@@ -80,7 +80,7 @@ BigUint::addMulWord(const BigUint& a, u64 m)
 u64
 BigUint::divModWord(u64 d)
 {
-    check(d != 0, "division by zero");
+    MAD_CHECK(d != 0, "division by zero");
     u64 rem = 0;
     for (size_t i = words.size(); i-- > 0;) {
         u128 cur = (static_cast<u128>(rem) << 64) | words[i];
@@ -94,7 +94,7 @@ BigUint::divModWord(u64 d)
 u64
 BigUint::modWord(u64 d) const
 {
-    check(d != 0, "division by zero");
+    MAD_CHECK(d != 0, "division by zero");
     u64 rem = 0;
     for (size_t i = words.size(); i-- > 0;)
         rem = static_cast<u64>(((static_cast<u128>(rem) << 64) | words[i]) % d);
@@ -125,7 +125,7 @@ BigUint::toDouble() const
 double
 BigUint::log2() const
 {
-    check(!isZero(), "log2 of zero");
+    MAD_CHECK(!isZero(), "log2 of zero");
     size_t top = words.size() - 1;
     double lead = static_cast<double>(words[top]);
     return std::log2(lead) + 64.0 * static_cast<double>(top);

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/errors.h"
+
 namespace madfhe {
 
 using u8 = std::uint8_t;
@@ -21,22 +23,48 @@ using u128 = unsigned __int128;
 using i128 = __int128;
 
 /**
- * Throw std::invalid_argument when a user-supplied condition fails.
- * Mirrors gem5's fatal(): a user error, not a library bug.
+ * Validate a user-supplied condition; throws UserError (a
+ * std::invalid_argument) carrying the call site and the active
+ * ErrorOp breadcrumb. Mirrors gem5's fatal(): caller misuse, not a
+ * library bug.
  */
-inline void
+#define MAD_REQUIRE(cond, msg)                                                \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            throw ::madfhe::UserError((msg), __FILE__, __LINE__);             \
+    } while (0)
+
+/**
+ * Internal invariant check; throws InvariantError (a std::logic_error)
+ * with the call site. A failure here is a madfhe bug.
+ */
+#define MAD_CHECK(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            throw ::madfhe::InvariantError((msg), __FILE__, __LINE__);        \
+    } while (0)
+
+/**
+ * @deprecated Use MAD_REQUIRE, which records the throw site. Kept so
+ * out-of-tree call sites migrate incrementally; routes through the
+ * same UserError type.
+ */
+[[deprecated("use MAD_REQUIRE(cond, msg)")]] inline void
 require(bool cond, const std::string& msg)
 {
     if (!cond)
-        throw std::invalid_argument(msg);
+        throw UserError(msg);
 }
 
-/** Internal invariant check; a failure here is a library bug. */
-inline void
+/**
+ * @deprecated Use MAD_CHECK, which records the throw site. Routes
+ * through InvariantError.
+ */
+[[deprecated("use MAD_CHECK(cond, msg)")]] inline void
 check(bool cond, const std::string& msg)
 {
     if (!cond)
-        throw std::logic_error(msg);
+        throw InvariantError(msg);
 }
 
 /** True iff x is a power of two (and nonzero). */

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Structured error taxonomy for the CKKS stack.
+ *
+ * Every error madfhe raises is one of four types, all carrying the
+ * throw site (file:line) and an operation breadcrumb (the stack of
+ * ErrorOp scopes active on the throwing thread):
+ *
+ *   MadError (interface)
+ *   +-- UserError          : std::invalid_argument  - caller misuse
+ *   |   +-- CorruptStreamError                      - hostile/damaged bytes
+ *   +-- InvariantError     : std::logic_error       - library bug
+ *   +-- FaultDetectedError : std::runtime_error     - integrity check fired
+ *
+ * The std:: bases are load-bearing: pre-taxonomy call sites (and tests)
+ * that catch std::invalid_argument / std::logic_error keep working
+ * unchanged. New code should catch MadError (or a concrete subclass)
+ * to get the file/line/breadcrumb accessors.
+ */
+#ifndef MADFHE_SUPPORT_ERRORS_H
+#define MADFHE_SUPPORT_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace madfhe {
+
+namespace detail {
+
+/** Per-thread operation breadcrumb stack (pushed by ErrorOp scopes). */
+inline thread_local std::vector<const char*> tl_error_ops;
+
+/** Current breadcrumb rendered as "Mult > KeySwitch > ModDown". */
+inline std::string
+currentErrorOps()
+{
+    std::string out;
+    for (const char* op : tl_error_ops) {
+        if (!out.empty())
+            out += " > ";
+        out += op;
+    }
+    return out;
+}
+
+/** Full what() text: message, breadcrumb, and throw site. */
+inline std::string
+formatError(const std::string& msg, const char* file, int line)
+{
+    std::string out = msg;
+    std::string ops = currentErrorOps();
+    if (!ops.empty())
+        out += " [op: " + ops + "]";
+    if (file) {
+        out += " (";
+        out += file;
+        out += ":" + std::to_string(line) + ")";
+    }
+    return out;
+}
+
+} // namespace detail
+
+/**
+ * RAII breadcrumb scope: names the operation in flight so any error
+ * thrown below carries "where in the pipeline" context, not just the
+ * failing predicate. Costs one vector push/pop, no allocation beyond
+ * the first few scopes per thread.
+ */
+class ErrorOp
+{
+  public:
+    explicit ErrorOp(const char* name) { detail::tl_error_ops.push_back(name); }
+    ~ErrorOp() { detail::tl_error_ops.pop_back(); }
+    ErrorOp(const ErrorOp&) = delete;
+    ErrorOp& operator=(const ErrorOp&) = delete;
+};
+
+#define MAD_ERROR_OP_CAT2(a, b) a##b
+#define MAD_ERROR_OP_CAT(a, b) MAD_ERROR_OP_CAT2(a, b)
+/** Push `name` onto the error breadcrumb for the enclosing scope. */
+#define MAD_ERROR_OP(name) \
+    ::madfhe::ErrorOp MAD_ERROR_OP_CAT(mad_error_op_, __LINE__)(name)
+
+/**
+ * Interface base for all madfhe errors. Not derived from std::exception
+ * itself — each concrete type picks the std:: branch that keeps legacy
+ * catch sites working — so always catch by concrete type or MadError&.
+ */
+class MadError
+{
+  public:
+    virtual ~MadError() = default;
+
+    /** The undecorated failure message. */
+    const std::string& message() const { return msg_; }
+    /** Throw-site file, or nullptr for legacy (shim) throws. */
+    const char* file() const { return file_; }
+    /** Throw-site line, or 0 for legacy throws. */
+    int line() const { return line_; }
+    /** Breadcrumb of ErrorOp scopes active at throw time (may be empty). */
+    const std::string& op() const { return op_; }
+
+  protected:
+    MadError(std::string msg, const char* file, int line)
+        : msg_(std::move(msg)), op_(detail::currentErrorOps()), file_(file),
+          line_(line)
+    {
+    }
+
+  private:
+    std::string msg_;
+    std::string op_;
+    const char* file_;
+    int line_;
+};
+
+/** Caller misuse: bad arguments, mismatched shapes, missing keys. */
+class UserError : public std::invalid_argument, public MadError
+{
+  public:
+    explicit UserError(const std::string& msg, const char* file = nullptr,
+                       int line = 0)
+        : std::invalid_argument(detail::formatError(msg, file, line)),
+          MadError(msg, file, line)
+    {
+    }
+};
+
+/**
+ * Serialized input failed validation (bad magic/version, out-of-bounds
+ * size field, checksum mismatch, truncation). Always a UserError — the
+ * library state is untouched and the caller can discard the stream.
+ */
+class CorruptStreamError : public UserError
+{
+  public:
+    explicit CorruptStreamError(const std::string& msg,
+                                const char* file = nullptr, int line = 0)
+        : UserError(msg, file, line)
+    {
+    }
+};
+
+/** Internal invariant violated: a madfhe bug, not a caller error. */
+class InvariantError : public std::logic_error, public MadError
+{
+  public:
+    explicit InvariantError(const std::string& msg, const char* file = nullptr,
+                            int line = 0)
+        : std::logic_error(detail::formatError(msg, file, line)),
+          MadError(msg, file, line)
+    {
+    }
+};
+
+/**
+ * A runtime integrity check caught corrupted data in flight (limb
+ * digest mismatch, insane scale/level after rescale). The computation
+ * that raised it must be discarded; keys and context remain valid.
+ */
+class FaultDetectedError : public std::runtime_error, public MadError
+{
+  public:
+    explicit FaultDetectedError(const std::string& msg,
+                                const char* file = nullptr, int line = 0)
+        : std::runtime_error(detail::formatError(msg, file, line)),
+          MadError(msg, file, line)
+    {
+    }
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_ERRORS_H

@@ -1,0 +1,356 @@
+#include "support/faultinject.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+namespace madfhe {
+
+namespace integrity {
+
+namespace {
+std::atomic<bool> g_integrity{false};
+} // namespace
+
+bool
+enabled()
+{
+    return g_integrity.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_integrity.store(on, std::memory_order_relaxed);
+    // Guard fast path must wake up when either faults or integrity are on.
+    if (on)
+        faultinject::detail::g_guard_active.fetch_or(2);
+    else
+        faultinject::detail::g_guard_active.fetch_and(~2);
+}
+
+} // namespace integrity
+
+namespace faultinject {
+
+namespace detail {
+std::atomic<int> g_guard_active{0};
+} // namespace detail
+
+namespace {
+
+std::mutex&
+engineMu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::vector<Site*>&
+registry()
+{
+    static std::vector<Site*> sites;
+    return sites;
+}
+
+/** Armed state; all fields guarded by engineMu(). */
+struct Armed
+{
+    Site* target = nullptr;
+    Spec spec;
+    u64 fired = 0;
+};
+
+Armed&
+armedState()
+{
+    static Armed a;
+    return a;
+}
+
+/** Which Site (if any) is the armed target — the lock-free filter. */
+std::atomic<Site*> g_target{nullptr};
+
+/** splitmix64: deterministic position derivation from the spec seed. */
+u64
+mix(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+namespace detail {
+
+/**
+ * Claim the nth occurrence of the armed site. Returns the spec to
+ * execute when this call is the firing one. Caller holds no locks.
+ */
+std::optional<Spec>
+claim(Site& s)
+{
+    if (g_target.load(std::memory_order_acquire) != &s)
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(engineMu());
+    Armed& a = armedState();
+    if (a.target != &s)
+        return std::nullopt;
+    const u64 k = s.occurrences_++;
+    if (k != a.spec.nth)
+        return std::nullopt;
+    ++a.fired;
+    return a.spec;
+}
+
+} // namespace detail
+
+const char*
+kindName(Kind k)
+{
+    switch (k) {
+    case Kind::BitFlip:
+        return "bitflip";
+    case Kind::Truncate:
+        return "truncate";
+    case Kind::ByteCorrupt:
+        return "bytecorrupt";
+    case Kind::AllocFail:
+        return "allocfail";
+    case Kind::TaskThrow:
+        return "taskthrow";
+    }
+    return "?";
+}
+
+std::optional<Kind>
+kindFromName(std::string_view name)
+{
+    for (Kind k : {Kind::BitFlip, Kind::Truncate, Kind::ByteCorrupt,
+                   Kind::AllocFail, Kind::TaskThrow}) {
+        if (name == kindName(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+std::optional<Spec>
+parseSpec(std::string_view text)
+{
+    // site:nth:kind[:seed]
+    Spec spec;
+    size_t a = text.find(':');
+    if (a == std::string_view::npos || a == 0)
+        return std::nullopt;
+    spec.site = std::string(text.substr(0, a));
+    size_t b = text.find(':', a + 1);
+    if (b == std::string_view::npos)
+        return std::nullopt;
+    std::string nth_s(text.substr(a + 1, b - a - 1));
+    char* end = nullptr;
+    spec.nth = std::strtoull(nth_s.c_str(), &end, 10);
+    if (end == nth_s.c_str() || *end != '\0')
+        return std::nullopt;
+    std::string_view rest = text.substr(b + 1);
+    size_t c = rest.find(':');
+    std::string_view kind_s = c == std::string_view::npos ? rest
+                                                          : rest.substr(0, c);
+    auto kind = kindFromName(kind_s);
+    if (!kind)
+        return std::nullopt;
+    spec.kind = *kind;
+    if (c != std::string_view::npos) {
+        std::string seed_s(rest.substr(c + 1));
+        spec.seed = std::strtoull(seed_s.c_str(), &end, 10);
+        if (end == seed_s.c_str() || *end != '\0')
+            return std::nullopt;
+    }
+    return spec;
+}
+
+Site::Site(const char* name, u32 kinds) : name_(name), kinds_(kinds)
+{
+    std::lock_guard<std::mutex> lock(engineMu());
+    registry().push_back(this);
+}
+
+std::vector<SiteInfo>
+allSites()
+{
+    std::lock_guard<std::mutex> lock(engineMu());
+    std::vector<SiteInfo> out;
+    out.reserve(registry().size());
+    for (const Site* s : registry())
+        out.push_back({s->name(), s->kinds()});
+    return out;
+}
+
+void
+arm(const Spec& spec)
+{
+    std::lock_guard<std::mutex> lock(engineMu());
+    Site* target = nullptr;
+    std::string known;
+    for (Site* s : registry()) {
+        if (spec.site == s->name()) {
+            target = s;
+            break;
+        }
+        known += known.empty() ? "" : ", ";
+        known += s->name();
+    }
+    MAD_REQUIRE(target != nullptr,
+                "unknown fault site '" + spec.site + "' (known: " + known +
+                    ")");
+    MAD_REQUIRE((target->kinds() & kindBit(spec.kind)) != 0,
+                std::string("fault kind '") + kindName(spec.kind) +
+                    "' not applicable at site '" + spec.site + "'");
+    Armed& a = armedState();
+    a.target = target;
+    a.spec = spec;
+    a.fired = 0;
+    target->occurrences_ = 0;
+    g_target.store(target, std::memory_order_release);
+    detail::g_guard_active.fetch_or(1);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lock(engineMu());
+    armedState().target = nullptr;
+    g_target.store(nullptr, std::memory_order_release);
+    detail::g_guard_active.fetch_and(~1);
+}
+
+bool
+armed()
+{
+    return g_target.load(std::memory_order_acquire) != nullptr;
+}
+
+u64
+firedCount()
+{
+    std::lock_guard<std::mutex> lock(engineMu());
+    return armedState().fired;
+}
+
+u64
+armedSiteOccurrences()
+{
+    std::lock_guard<std::mutex> lock(engineMu());
+    const Armed& a = armedState();
+    return a.target ? a.target->occurrences_ : 0;
+}
+
+void
+initFromEnvOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char* env = std::getenv("MADFHE_INTEGRITY")) {
+            if (env[0] != '\0' && env[0] != '0')
+                integrity::setEnabled(true);
+        }
+        if (const char* env = std::getenv("MADFHE_FAULT")) {
+            auto spec = parseSpec(env);
+            MAD_REQUIRE(spec.has_value(),
+                        std::string("cannot parse MADFHE_FAULT='") + env +
+                            "'; expected <site>:<nth>:<kind>[:<seed>]");
+            arm(*spec);
+        }
+    });
+}
+
+namespace {
+
+/** Execute a fired fault against a limb buffer. */
+void
+executeLimbFault(const Spec& spec, const char* site, u64* data, size_t n)
+{
+    switch (spec.kind) {
+    case Kind::BitFlip: {
+        const size_t c = static_cast<size_t>(mix(spec.seed)) % n;
+        const unsigned bit =
+            static_cast<unsigned>(mix(spec.seed + 1) & 63);
+        data[c] ^= u64{1} << bit;
+        return;
+    }
+    case Kind::AllocFail:
+        throw std::bad_alloc();
+    case Kind::TaskThrow:
+        throw InjectedFault(std::string("injected worker-task fault at '") +
+                            site + "'");
+    default:
+        return; // stream kinds are inert at limb sites
+    }
+}
+
+} // namespace
+
+void
+guardLimbSlow(Site& s, u64* data, size_t n)
+{
+    const bool verify = integrity::enabled();
+    const u64 before = verify ? integrity::limbDigest(data, n) : 0;
+    if (auto spec = detail::claim(s))
+        executeLimbFault(*spec, s.name(), data, n);
+    if (verify && integrity::limbDigest(data, n) != before)
+        throw FaultDetectedError(
+            std::string("limb integrity digest mismatch at site '") +
+                s.name() + "' — data corrupted between produce and hand-off",
+            __FILE__, __LINE__);
+}
+
+void
+touchPointSlow(Site& s)
+{
+    if (auto spec = detail::claim(s)) {
+        switch (spec->kind) {
+        case Kind::AllocFail:
+            throw std::bad_alloc();
+        case Kind::TaskThrow:
+            throw InjectedFault(
+                std::string("injected worker-task fault at '") + s.name() +
+                "'");
+        default:
+            break;
+        }
+    }
+}
+
+StreamTouch
+StreamTouch::fire(Site& s, size_t chunk_len)
+{
+    StreamTouch t;
+    if (auto spec = detail::claim(s)) {
+        switch (spec->kind) {
+        case Kind::Truncate:
+            t.action = Action::Truncate;
+            break;
+        case Kind::ByteCorrupt:
+            t.action = Action::Corrupt;
+            t.offset = chunk_len ? static_cast<size_t>(mix(spec->seed)) %
+                                       chunk_len
+                                 : 0;
+            t.bit = 0xFF; // whole-byte corruption: XOR all bits
+            break;
+        case Kind::BitFlip:
+            t.action = Action::Corrupt;
+            t.offset = chunk_len ? static_cast<size_t>(mix(spec->seed)) %
+                                       chunk_len
+                                 : 0;
+            t.bit = static_cast<u8>(1u << (mix(spec->seed + 1) & 7));
+            break;
+        default:
+            break;
+        }
+    }
+    return t;
+}
+
+} // namespace faultinject
+} // namespace madfhe

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection + runtime integrity checks
+ * for the CKKS data plane.
+ *
+ * The hot kernels (NTT, basis extension, key-switch inner product,
+ * ModDown, rescale, ModRaise, serialization, the thread pool) each
+ * register a named injection Site. Arming a fault — programmatically
+ * via arm(), or with MADFHE_FAULT=<site>:<nth>:<kind>[:<seed>] in the
+ * environment — makes the nth dynamic occurrence of that site fire one
+ * fault of the given kind:
+ *
+ *   bitflip      flip one deterministic bit of the produced limb
+ *   truncate     stop emitting / pretend EOF on a serialized stream
+ *   bytecorrupt  flip one byte of a serialized stream chunk
+ *   allocfail    throw std::bad_alloc at the site
+ *   taskthrow    throw InjectedFault (exercises pool propagation)
+ *
+ * Detection lives next to injection: with integrity checks enabled
+ * (MADFHE_INTEGRITY=1 or integrity::setEnabled(true)), every limb
+ * guard computes a wrapping-sum digest of the produced limb before the
+ * fault window and verifies it after, throwing FaultDetectedError on
+ * mismatch — a plain sum changes under any single bit flip, so the
+ * check is sound for the injected fault model. The guard is the
+ * code-level stand-in for "data sat in DRAM between producer and
+ * consumer": a real resident-data fault would be caught at the same
+ * hand-off.
+ *
+ * Cost when nothing is armed and integrity is off (the default): one
+ * relaxed atomic load per guarded limb, same budget as the memtrace
+ * instrumentation.
+ */
+#ifndef MADFHE_SUPPORT_FAULTINJECT_H
+#define MADFHE_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+
+namespace integrity {
+
+/** True when runtime integrity self-checks are on (campaign mode). */
+bool enabled();
+/** Toggle integrity self-checks process-wide. */
+void setEnabled(bool on);
+
+/**
+ * Wrapping 64-bit sum of a limb. Any single bit flip changes the sum
+ * (it adds/subtracts a nonzero power of two mod 2^64), which is
+ * exactly the fault model the injection engine produces.
+ */
+inline u64
+limbDigest(const u64* d, size_t n)
+{
+    u64 acc = 0;
+    for (size_t c = 0; c < n; ++c)
+        acc += d[c];
+    return acc;
+}
+
+} // namespace integrity
+
+namespace faultinject {
+
+enum class Kind : u8
+{
+    BitFlip,
+    Truncate,
+    ByteCorrupt,
+    AllocFail,
+    TaskThrow,
+};
+
+/** Bitmask helpers describing which kinds a site can fire. */
+constexpr u32
+kindBit(Kind k)
+{
+    return 1u << static_cast<u32>(k);
+}
+/** Limb-producing kernel sites. */
+constexpr u32 kLimbKinds = kindBit(Kind::BitFlip) | kindBit(Kind::AllocFail) |
+                           kindBit(Kind::TaskThrow);
+/** Pointwise sites with no data buffer (allocation, task dispatch). */
+constexpr u32 kPointKinds =
+    kindBit(Kind::AllocFail) | kindBit(Kind::TaskThrow);
+/** Serialized-stream sites. */
+constexpr u32 kStreamKinds = kindBit(Kind::BitFlip) |
+                             kindBit(Kind::Truncate) |
+                             kindBit(Kind::ByteCorrupt);
+
+const char* kindName(Kind k);
+std::optional<Kind> kindFromName(std::string_view name);
+
+/** One armed fault: which site, which dynamic occurrence, what to do. */
+struct Spec
+{
+    std::string site;
+    u64 nth = 0;  ///< fire on the nth occurrence of the site (0-based)
+    Kind kind = Kind::BitFlip;
+    u64 seed = 1; ///< picks the corrupted coefficient/bit/byte
+};
+
+/** Thrown by Kind::TaskThrow — a simulated defective worker task. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Parse "site:nth:kind[:seed]" (the MADFHE_FAULT syntax). */
+std::optional<Spec> parseSpec(std::string_view text);
+
+/** Arm `spec`; throws UserError when the site or kind is unknown. */
+void arm(const Spec& spec);
+/** Disarm any armed fault (integrity checks are unaffected). */
+void disarm();
+/** True while a fault is armed. */
+bool armed();
+/** How many times the armed fault actually fired (survives disarm). */
+u64 firedCount();
+/** Dynamic occurrences of the armed site since arm() (for probing). */
+u64 armedSiteOccurrences();
+/**
+ * Read MADFHE_FAULT / MADFHE_INTEGRITY once per process and arm /
+ * enable accordingly. Called from ThreadPool::global(), so any
+ * workload that touches the data plane honors the environment.
+ */
+void initFromEnvOnce();
+
+struct SiteInfo
+{
+    const char* name;
+    u32 kinds; ///< kindBit() mask of applicable kinds
+};
+/** Every registered injection site (stable order: registration). */
+std::vector<SiteInfo> allSites();
+
+class Site;
+
+namespace detail {
+/** Nonzero when a fault is armed or integrity checks are enabled. */
+extern std::atomic<int> g_guard_active;
+/** Claim the armed site's next occurrence; spec returned when it fires. */
+std::optional<Spec> claim(Site& s);
+} // namespace detail
+
+/**
+ * A named injection point. Define one static Site per guarded kernel;
+ * construction registers it in the global registry.
+ */
+class Site
+{
+  public:
+    Site(const char* name, u32 kinds);
+    Site(const Site&) = delete;
+    Site& operator=(const Site&) = delete;
+
+    const char* name() const { return name_; }
+    u32 kinds() const { return kinds_; }
+
+  private:
+    friend std::optional<Spec> detail::claim(Site&);
+    friend void arm(const Spec&);
+    friend u64 armedSiteOccurrences();
+
+    const char* name_;
+    u32 kinds_;
+    u64 occurrences_ = 0; ///< guarded by the engine mutex
+};
+
+void guardLimbSlow(Site& s, u64* data, size_t n);
+void touchPointSlow(Site& s);
+
+/**
+ * Guard one produced limb: digest -> fault window -> verify. With
+ * nothing armed and integrity off this is a single relaxed load.
+ */
+inline void
+guardLimb(Site& s, u64* data, size_t n)
+{
+    if (detail::g_guard_active.load(std::memory_order_relaxed) != 0)
+        guardLimbSlow(s, data, n);
+}
+
+/** Fault point with no data buffer (allocation / task dispatch). */
+inline void
+touchPoint(Site& s)
+{
+    if (detail::g_guard_active.load(std::memory_order_relaxed) != 0)
+        touchPointSlow(s);
+}
+
+/** What a stream site asks the serializer to do to the current chunk. */
+struct StreamTouch
+{
+    enum class Action
+    {
+        None,
+        Truncate, ///< drop this chunk and everything after it
+        Corrupt,  ///< flip `bit` of byte `offset` (mod chunk size)
+    };
+    Action action = Action::None;
+    size_t offset = 0;
+    u8 bit = 0;
+
+    /** Slow path; call via touchStream(). */
+    static StreamTouch fire(Site& s, size_t chunk_len);
+};
+
+/** Per-chunk stream fault point (save and load sides of serialize). */
+inline StreamTouch
+touchStream(Site& s, size_t chunk_len)
+{
+    if (detail::g_guard_active.load(std::memory_order_relaxed) == 0)
+        return {};
+    return StreamTouch::fire(s, chunk_len);
+}
+
+} // namespace faultinject
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_FAULTINJECT_H

@@ -25,7 +25,7 @@ rotl(u64 x, int k)
 Prng::Prng(const Seed& seed) : _seed(seed), s(seed)
 {
     bool all_zero = (s[0] | s[1] | s[2] | s[3]) == 0;
-    require(!all_zero, "Prng seed must not be all zero");
+    MAD_REQUIRE(!all_zero, "Prng seed must not be all zero");
 }
 
 Prng::Prng(u64 seed)
@@ -53,7 +53,7 @@ Prng::next()
 u64
 Prng::uniform(u64 bound)
 {
-    check(bound > 0, "uniform bound must be positive");
+    MAD_CHECK(bound > 0, "uniform bound must be positive");
     // Rejection sampling to remove modulo bias.
     u64 threshold = (0 - bound) % bound;
     for (;;) {
@@ -81,7 +81,7 @@ Sampler::ternary(size_t n)
 std::vector<i64>
 Sampler::sparseTernary(size_t n, size_t hamming_weight)
 {
-    require(hamming_weight <= n, "hamming weight exceeds length");
+    MAD_REQUIRE(hamming_weight <= n, "hamming weight exceeds length");
     std::vector<i64> out(n, 0);
     size_t placed = 0;
     while (placed < hamming_weight) {

@@ -2,11 +2,16 @@
 
 #include <cstdlib>
 
+#include "support/faultinject.h"
+
 namespace madfhe {
 
 namespace {
 
 thread_local bool tl_in_task = false;
+
+faultinject::Site g_fault_pool_task("support.pool_task",
+                                    faultinject::kPointKinds);
 
 std::mutex&
 globalMu()
@@ -64,6 +69,9 @@ ThreadPool::defaultThreads()
 ThreadPool&
 ThreadPool::global()
 {
+    // First use of the pool is the earliest data-plane touchpoint every
+    // workload shares, so honor MADFHE_FAULT / MADFHE_INTEGRITY here.
+    faultinject::initFromEnvOnce();
     std::lock_guard<std::mutex> lock(globalMu());
     auto& slot = globalSlot();
     if (!slot)
@@ -109,13 +117,16 @@ ThreadPool::drainTasks(const std::shared_ptr<Job>& job)
             break;
         std::exception_ptr err;
         try {
+            faultinject::touchPoint(g_fault_pool_task);
             (*job->fn)(t);
         } catch (...) {
             err = std::current_exception();
         }
         std::lock_guard<std::mutex> lock(mu);
-        if (err && !job->error)
+        if (err && t < job->error_task) {
             job->error = err;
+            job->error_task = t;
+        }
         if (++job->completed == job->tasks)
             done.notify_all();
     }
@@ -128,8 +139,10 @@ ThreadPool::run(size_t tasks, const std::function<void(size_t)>& fn)
     if (tasks == 0)
         return;
     if (nthreads == 1 || tasks == 1 || tl_in_task) {
-        for (size_t i = 0; i < tasks; ++i)
+        for (size_t i = 0; i < tasks; ++i) {
+            faultinject::touchPoint(g_fault_pool_task);
             fn(i);
+        }
         return;
     }
 

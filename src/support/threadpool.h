@@ -75,7 +75,14 @@ class ThreadPool
         size_t tasks = 0;
         std::atomic<size_t> next{0};
         size_t completed = 0; ///< guarded by the pool mutex
-        std::exception_ptr error; ///< first failure; guarded by pool mutex
+        /**
+         * Failure from the lowest-indexed failing task; both guarded by
+         * the pool mutex. Keying on the task index (not arrival order)
+         * makes which exception run() rethrows deterministic at any
+         * thread count.
+         */
+        std::exception_ptr error;
+        size_t error_task = SIZE_MAX;
     };
 
     void workerLoop();

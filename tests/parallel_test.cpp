@@ -53,6 +53,70 @@ TEST(ThreadPoolTest, PropagatesTaskException)
     EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPoolTest, FirstExceptionWinsDeterministically)
+{
+    // Several tasks throw; the pool must always rethrow the exception
+    // from the lowest task index, independent of the thread count and
+    // of which worker happened to reach its task first.
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        for (int round = 0; round < 8; ++round) {
+            try {
+                pool.run(64, [&](size_t i) {
+                    if (i == 11 || i == 12 || i == 40 || i == 63)
+                        throw std::runtime_error("task " + std::to_string(i));
+                });
+                FAIL() << "run() must rethrow";
+            } catch (const std::runtime_error& e) {
+                EXPECT_STREQ(e.what(), "task 11")
+                    << "threads=" << threads << " round=" << round;
+            }
+        }
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughNestedParallelFor)
+{
+    ThreadPool::setGlobalThreads(4);
+    std::atomic<int> outer_started{0};
+    try {
+        parallelFor(4, [&](size_t i) {
+            outer_started++;
+            parallelFor(8, [&](size_t j) {
+                if (i == 2 && j == 5)
+                    throw std::runtime_error("nested boom");
+            });
+        });
+        FAIL() << "nested exception must reach the caller";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "nested boom");
+    }
+    EXPECT_EQ(outer_started.load(), 4);
+    // The global pool stays usable after the nested throw.
+    std::atomic<int> count{0};
+    parallelFor(16, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 16);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPoolTest, UsableAfterRepeatedThrowsAtAnyThreadCount)
+{
+    for (size_t threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        for (int round = 0; round < 4; ++round) {
+            EXPECT_THROW(pool.run(32,
+                                  [&](size_t i) {
+                                      if (i % 3 == 0)
+                                          throw std::runtime_error("boom");
+                                  }),
+                         std::runtime_error);
+            std::atomic<int> count{0};
+            pool.run(32, [&](size_t) { count++; });
+            EXPECT_EQ(count.load(), 32) << "threads=" << threads;
+        }
+    }
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInline)
 {
     ThreadPool::setGlobalThreads(4);

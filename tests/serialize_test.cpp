@@ -214,5 +214,90 @@ TEST_F(SerializeTest, PolyFromDifferentRingRejected)
     EXPECT_THROW(loadPoly(ss, other_ctx->ring()), std::invalid_argument);
 }
 
+TEST_F(SerializeTest, SecretKeyRoundTrip)
+{
+    std::stringstream ss;
+    saveSecretKey(ss, h->sk);
+    SecretKey back = loadSecretKey(ss, h->ctx->ring());
+    EXPECT_TRUE(back.s.equals(h->sk.s));
+    EXPECT_EQ(back.s_coeffs, h->sk.s_coeffs);
+}
+
+TEST_F(SerializeTest, CorruptStreamErrorCarriesContext)
+{
+    auto v = randomSlots(h->ctx->slots(), 12);
+    Ciphertext ct = h->encryptSlots(v, 2);
+    std::stringstream ss;
+    saveCiphertext(ss, ct);
+    std::string bytes = ss.str();
+    bytes[40] ^= 0x10;
+    std::stringstream in(bytes);
+    try {
+        loadCiphertext(in, h->ctx->ring());
+        FAIL() << "corrupted stream was accepted";
+    } catch (const CorruptStreamError& e) {
+        EXPECT_FALSE(e.message().empty());
+        EXPECT_NE(e.file(), nullptr);
+        EXPECT_GT(e.line(), 0);
+        EXPECT_NE(std::string(e.what()).find(e.message()),
+                  std::string::npos);
+    }
+}
+
+/**
+ * Fuzz-lite: every deterministic single-byte flip and every truncation
+ * point (at a stride) of a serialized blob must be rejected with a
+ * typed CorruptStreamError — never a crash, std::bad_alloc, silent
+ * success, or unbounded allocation.
+ */
+template <typename LoadFn>
+void
+fuzzBlob(const std::string& bytes, size_t flip_stride, size_t trunc_stride,
+         LoadFn load)
+{
+    for (size_t off = 0; off < bytes.size(); off += flip_stride) {
+        std::string bad = bytes;
+        bad[off] = static_cast<char>(bad[off] ^ 0x04);
+        std::stringstream in(bad);
+        EXPECT_THROW(load(in), CorruptStreamError) << "flip at " << off;
+    }
+    for (size_t len = 0; len < bytes.size(); len += trunc_stride) {
+        std::stringstream in(bytes.substr(0, len));
+        EXPECT_THROW(load(in), CorruptStreamError) << "truncate to " << len;
+    }
+}
+
+TEST_F(SerializeTest, FuzzLiteCiphertext)
+{
+    auto v = randomSlots(h->ctx->slots(), 13);
+    Ciphertext ct = h->encryptSlots(v, 2);
+    std::stringstream ss;
+    saveCiphertext(ss, ct);
+    fuzzBlob(ss.str(), 13, 17, [&](std::istream& in) {
+        return loadCiphertext(in, h->ctx->ring());
+    });
+}
+
+TEST_F(SerializeTest, FuzzLiteSecretKey)
+{
+    std::stringstream ss;
+    saveSecretKey(ss, h->sk);
+    fuzzBlob(ss.str(), 97, 101, [&](std::istream& in) {
+        return loadSecretKey(in, h->ctx->ring());
+    });
+}
+
+TEST_F(SerializeTest, FuzzLiteGaloisKeys)
+{
+    GaloisKeys gks = h->makeGaloisKeys({1});
+    for (auto& [elt, key] : gks)
+        key.compress();
+    std::stringstream ss;
+    saveGaloisKeys(ss, gks);
+    fuzzBlob(ss.str(), 499, 503, [&](std::istream& in) {
+        return loadGaloisKeys(in, h->ctx->ring());
+    });
+}
+
 } // namespace
 } // namespace madfhe

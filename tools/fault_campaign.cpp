@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Fault-injection campaign: sweeps every registered injection site ×
+ * every applicable fault kind over Mult / Rotate / serialize round-trip
+ * / bootstrap workloads, with runtime integrity checks enabled, and
+ * verifies that no injected fault escapes undetected.
+ *
+ * Outcomes per (site, kind):
+ *   DETECTED  an exception fired (FaultDetectedError, CorruptStreamError,
+ *             InjectedFault, bad_alloc, ...) — the fault was caught
+ *   MASKED    the fault fired but the workload result is byte-identical
+ *             to the clean run (overwritten before it could matter)
+ *   SILENT    the result differs from the clean run and nothing fired —
+ *             silent corruption; the campaign fails
+ *   UNREACHED no workload drives this site (fails outside --quick)
+ *
+ * Usage: fault_campaign [--quick] [--list]
+ *   --quick  skip the bootstrap workload (CI mode; boot.modraise is
+ *            reported as skipped rather than unreached)
+ *   --list   print the site registry and exit
+ */
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "boot/bootstrapper.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/serialize.h"
+#include "support/faultinject.h"
+#include "support/random.h"
+#include "support/threadpool.h"
+
+namespace {
+
+using namespace madfhe;
+
+/** Small end-to-end CKKS setup shared by the workloads. */
+struct Setup
+{
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksEncoder> encoder;
+    SecretKey sk;
+    PublicKey pk;
+    SwitchingKey rlk;
+    GaloisKeys gks;
+    std::unique_ptr<Encryptor> encryptor;
+    std::unique_ptr<Evaluator> eval;
+    Ciphertext ct_a, ct_b;
+
+    explicit Setup(const CkksParams& params, const std::vector<int>& steps,
+                   bool conj)
+    {
+        ctx = std::make_shared<CkksContext>(params);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        KeyGenerator keygen(ctx);
+        sk = keygen.secretKey();
+        pk = keygen.publicKey(sk);
+        rlk = keygen.relinKey(sk);
+        gks = keygen.galoisKeys(sk, steps, conj);
+        encryptor = std::make_unique<Encryptor>(ctx, pk);
+        eval = std::make_unique<Evaluator>(ctx);
+        ct_a = encryptSeeded(1, ctx->maxLevel());
+        ct_b = encryptSeeded(2, ctx->maxLevel());
+    }
+
+    Ciphertext
+    encryptSeeded(u64 seed, size_t level)
+    {
+        Prng rng(seed);
+        std::vector<std::complex<double>> v(ctx->slots());
+        for (auto& z : v)
+            z = {2.0 * rng.uniformReal() - 1.0, 2.0 * rng.uniformReal() - 1.0};
+        return encryptor->encrypt(encoder->encode(v, ctx->scale(), level));
+    }
+};
+
+/** Result fingerprint: raw limb data + scale of a ciphertext. */
+std::string
+fingerprint(const Ciphertext& ct)
+{
+    std::string out;
+    for (const RnsPoly* p : {&ct.c0, &ct.c1}) {
+        for (size_t i = 0; i < p->numLimbs(); ++i)
+            out.append(reinterpret_cast<const char*>(p->limb(i)),
+                       p->degree() * sizeof(u64));
+    }
+    out.append(reinterpret_cast<const char*>(&ct.scale), sizeof(ct.scale));
+    return out;
+}
+
+struct Workload
+{
+    const char* name;
+    std::function<std::string()> run;
+};
+
+struct Outcome
+{
+    std::string site;
+    std::string kind;
+    std::string workload;
+    std::string result; // DETECTED(<type>) / MASKED / SILENT / SKIPPED
+    bool silent = false;
+};
+
+std::string
+runCatching(const Workload& w, std::string& caught)
+{
+    try {
+        return w.run();
+    } catch (const FaultDetectedError&) {
+        caught = "FaultDetectedError";
+    } catch (const CorruptStreamError&) {
+        caught = "CorruptStreamError";
+    } catch (const faultinject::InjectedFault&) {
+        caught = "InjectedFault";
+    } catch (const std::bad_alloc&) {
+        caught = "bad_alloc";
+    } catch (const std::exception& e) {
+        caught = std::string("exception(") + typeid(e).name() + ")";
+    }
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false, list = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--list") == 0)
+            list = true;
+        else {
+            std::cerr << "usage: fault_campaign [--quick] [--list]\n";
+            return 2;
+        }
+    }
+
+    // Two threads: exercises pool exception propagation without
+    // oversubscribing CI runners; results are thread-count independent.
+    ThreadPool::setGlobalThreads(2);
+    integrity::setEnabled(true);
+
+    if (list) {
+        for (const auto& s : faultinject::allSites()) {
+            std::cout << s.name << " :";
+            for (faultinject::Kind k :
+                 {faultinject::Kind::BitFlip, faultinject::Kind::Truncate,
+                  faultinject::Kind::ByteCorrupt, faultinject::Kind::AllocFail,
+                  faultinject::Kind::TaskThrow}) {
+                if (s.kinds & faultinject::kindBit(k))
+                    std::cout << ' ' << faultinject::kindName(k);
+            }
+            std::cout << '\n';
+        }
+        return 0;
+    }
+
+    CkksParams params;
+    params.log_n = 10;
+    params.log_scale = 35;
+    params.first_prime_bits = 45;
+    params.num_levels = 5;
+    params.dnum = 3;
+    Setup base(params, {1}, /*conj=*/false);
+
+    std::vector<Workload> workloads;
+    // The trailing explicit rescale reaches ckks.rescale, which the
+    // merged-ModDown mul path bypasses.
+    workloads.push_back({"mult", [&] {
+                             return fingerprint(base.eval->rescale(
+                                 base.eval->mul(base.ct_a, base.ct_b,
+                                                base.rlk)));
+                         }});
+    workloads.push_back({"rotate", [&] {
+                             return fingerprint(base.eval->rotate(
+                                 base.ct_a, 1, base.gks));
+                         }});
+    workloads.push_back({"serialize", [&] {
+                             std::stringstream ss;
+                             saveCiphertext(ss, base.ct_a);
+                             return fingerprint(
+                                 loadCiphertext(ss, base.ctx->ring()));
+                         }});
+
+    std::unique_ptr<Setup> boot_setup;
+    std::unique_ptr<Bootstrapper> boot;
+    if (!quick) {
+        CkksParams bp = CkksParams::bootstrapToy();
+        bp.log_n = 11;
+        bp.hamming_weight = 16;
+        BootstrapParams bparms;
+        bparms.ctos_iters = 3;
+        bparms.stoc_iters = 3;
+        bparms.sine_degree = 71;
+        bparms.k_bound = 8.0;
+        auto tmp_ctx = std::make_shared<CkksContext>(bp);
+        auto probe_boot = Bootstrapper(tmp_ctx, bparms);
+        boot_setup = std::make_unique<Setup>(
+            bp, probe_boot.requiredRotations(), /*conj=*/true);
+        boot = std::make_unique<Bootstrapper>(boot_setup->ctx, bparms);
+        workloads.push_back(
+            {"bootstrap", [&] {
+                 Ciphertext one = boot_setup->eval->dropToLevel(
+                     boot_setup->ct_a, 1);
+                 return fingerprint(boot->bootstrap(*boot_setup->eval,
+                                                    *boot_setup->encoder, one,
+                                                    boot_setup->gks,
+                                                    boot_setup->rlk));
+             }});
+    }
+
+    // Clean (fault-free) fingerprints, integrity checks on.
+    std::vector<std::string> clean;
+    for (const auto& w : workloads) {
+        std::cout << "clean run: " << w.name << "...\n";
+        clean.push_back(w.run());
+    }
+
+    const auto sites = faultinject::allSites();
+    std::vector<Outcome> outcomes;
+    size_t silent = 0, unreached_sites = 0;
+
+    for (const auto& site : sites) {
+        // One occurrence-count probe per (site, workload) pair; the count
+        // does not depend on the fault kind.
+        faultinject::Kind probe_kind = faultinject::Kind::BitFlip;
+        for (faultinject::Kind k :
+             {faultinject::Kind::BitFlip, faultinject::Kind::AllocFail,
+              faultinject::Kind::Truncate}) {
+            if (site.kinds & faultinject::kindBit(k)) {
+                probe_kind = k;
+                break;
+            }
+        }
+        size_t wl = workloads.size();
+        u64 occurrences = 0;
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            faultinject::arm({site.name, ~u64{0}, probe_kind, 1});
+            std::string ignored;
+            runCatching(workloads[i], ignored);
+            occurrences = faultinject::armedSiteOccurrences();
+            faultinject::disarm();
+            if (occurrences > 0) {
+                wl = i;
+                break;
+            }
+        }
+        if (wl == workloads.size()) {
+            const bool boot_site =
+                std::strncmp(site.name, "boot.", 5) == 0;
+            const char* why = (quick && boot_site) ? "SKIPPED (--quick)"
+                                                   : "UNREACHED";
+            if (!(quick && boot_site))
+                ++unreached_sites;
+            outcomes.push_back({site.name, "*", "-", why, false});
+            continue;
+        }
+
+        for (faultinject::Kind kind :
+             {faultinject::Kind::BitFlip, faultinject::Kind::Truncate,
+              faultinject::Kind::ByteCorrupt, faultinject::Kind::AllocFail,
+              faultinject::Kind::TaskThrow}) {
+            if (!(site.kinds & faultinject::kindBit(kind)))
+                continue;
+            // Fire in the middle of the dynamic occurrence stream: deep
+            // enough that upstream state is real, early enough that the
+            // fault has downstream consumers.
+            faultinject::arm({site.name, occurrences / 2, kind, 7});
+            std::string caught;
+            std::string result = runCatching(workloads[wl], caught);
+            const u64 fired = faultinject::firedCount();
+            faultinject::disarm();
+
+            Outcome o;
+            o.site = site.name;
+            o.kind = faultinject::kindName(kind);
+            o.workload = workloads[wl].name;
+            if (!caught.empty()) {
+                o.result = "DETECTED(" + caught + ")";
+            } else if (fired == 0) {
+                o.result = "NOT-FIRED";
+            } else if (result == clean[wl]) {
+                o.result = "MASKED";
+            } else {
+                o.result = "SILENT";
+                o.silent = true;
+                ++silent;
+            }
+            outcomes.push_back(std::move(o));
+        }
+    }
+
+    std::cout << "\nsite                     kind         workload    result\n";
+    std::cout << "---------------------------------------------------------\n";
+    size_t covered_pairs = 0;
+    for (const auto& o : outcomes) {
+        std::printf("%-24s %-12s %-11s %s\n", o.site.c_str(), o.kind.c_str(),
+                    o.workload.c_str(), o.result.c_str());
+        if (o.result.rfind("DETECTED", 0) == 0 || o.result == "MASKED")
+            ++covered_pairs;
+    }
+    std::cout << "\n" << sites.size() << " sites, " << covered_pairs
+              << " (site, kind) pairs exercised, " << silent
+              << " silent corruptions, " << unreached_sites
+              << " unreached sites\n";
+
+    if (silent > 0) {
+        std::cerr << "FAIL: injected faults escaped undetected\n";
+        return 1;
+    }
+    if (unreached_sites > 0) {
+        std::cerr << "FAIL: registered sites not reached by any workload\n";
+        return 1;
+    }
+    std::cout << "OK: every injected fault was detected or masked\n";
+    return 0;
+}
