@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Shared kernel-microbenchmark harness used by bench/kernels_wallclock
+ * (the full thread-sweep artifact) and tools/perf_gate (the regression
+ * gate). Both measure the same five hot kernels — forward NTT over all
+ * limbs, fast basis extension, KeySwitch, Mult, Rotate — at the same
+ * parameter set, so a gate failure points at the same numbers the
+ * artifact records.
+ */
+#ifndef MADFHE_BENCH_KERNELS_COMMON_H
+#define MADFHE_BENCH_KERNELS_COMMON_H
+
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keyswitch.h"
+#include "rns/basis.h"
+#include "support/parallel.h"
+#include "support/random.h"
+
+namespace madfhe {
+namespace benchkit {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kLogN = 13;
+
+/**
+ * Time `op` adaptively: at least `min_iters` iterations and `target_ns`
+ * of sampling overall, split into `reps` repetitions; returns the
+ * fastest repetition's ns/op. Min-of-reps makes the number robust to
+ * transient machine load — interference only ever inflates a timing —
+ * which is what lets perf_gate hold a 15% threshold on short samples.
+ */
+template <typename Op>
+inline double
+nsPerOp(Op&& op, size_t min_iters, double target_ns = 200e6, size_t reps = 3)
+{
+    op(); // warm-up (touches pages, fills the NTT table cache)
+    const size_t rep_min_iters = (min_iters + reps - 1) / reps;
+    const double rep_target_ns = target_ns / static_cast<double>(reps);
+    double best = 0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+        size_t iters = 0;
+        double elapsed_ns = 0;
+        while (iters < rep_min_iters || elapsed_ns < rep_target_ns) {
+            auto t0 = Clock::now();
+            op();
+            auto t1 = Clock::now();
+            elapsed_ns +=
+                std::chrono::duration<double, std::nano>(t1 - t0).count();
+            ++iters;
+            if (iters >= 4096)
+                break;
+        }
+        const double avg = elapsed_ns / static_cast<double>(iters);
+        if (rep == 0 || avg < best)
+            best = avg;
+    }
+    return best;
+}
+
+struct KernelResult
+{
+    std::string op;
+    size_t threads;
+    double ns_per_op;
+};
+
+inline CkksParams
+benchParams()
+{
+    CkksParams p;
+    p.log_n = kLogN;
+    p.log_scale = 40;
+    p.first_prime_bits = 45;
+    p.num_levels = 5;
+    p.dnum = 3;
+    return p;
+}
+
+inline RnsPoly
+randomPoly(const std::shared_ptr<const RingContext>& ring, size_t limbs,
+           u64 seed)
+{
+    RnsPoly p(ring, ring->qIndices(limbs), Rep::Coeff);
+    Prng rng(seed);
+    for (size_t i = 0; i < p.numLimbs(); ++i) {
+        u64* a = p.limb(i);
+        for (size_t c = 0; c < p.degree(); ++c)
+            a[c] = rng.uniform(p.modulus(i).value());
+    }
+    return p;
+}
+
+/** The benchmarked stack: context, keys, and pre-built operands. */
+struct KernelBench
+{
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksEncoder> encoder;
+    SecretKey sk;
+    SwitchingKey rlk;
+    GaloisKeys gks;
+    std::unique_ptr<Encryptor> encryptor;
+    std::unique_ptr<Evaluator> eval;
+    std::unique_ptr<KeySwitcher> ksw;
+
+    std::unique_ptr<BasisConverter> conv;
+    RnsPoly conv_in;
+    std::vector<const u64*> conv_src;
+    std::vector<std::vector<u64>> conv_out;
+    std::vector<u64*> conv_dst;
+
+    Ciphertext ct_a;
+    Ciphertext ct_b;
+
+    KernelBench() : KernelBench(benchParams()) {}
+
+    explicit KernelBench(const CkksParams& params)
+    {
+        ctx = std::make_shared<CkksContext>(params);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        KeyGenerator keygen(ctx);
+        sk = keygen.secretKey();
+        PublicKey pk = keygen.publicKey(sk);
+        rlk = keygen.relinKey(sk);
+        gks = keygen.galoisKeys(sk, {1});
+        encryptor = std::make_unique<Encryptor>(ctx, pk);
+        eval = std::make_unique<Evaluator>(ctx);
+        ksw = std::make_unique<KeySwitcher>(ctx);
+
+        const size_t n = ctx->degree();
+        const size_t level = ctx->maxLevel();
+
+        // Basis-extension operands: full Q chain -> the P primes.
+        RnsBasis from = ctx->ring()->basisOf(ctx->ring()->qIndices(level));
+        RnsBasis to = ctx->ring()->basisOf(ctx->ring()->pIndices());
+        conv = std::make_unique<BasisConverter>(from, to);
+        conv_in = randomPoly(ctx->ring(), level, 11);
+        for (size_t i = 0; i < level; ++i)
+            conv_src.push_back(conv_in.limb(i));
+        conv_out.assign(to.size(), std::vector<u64>(n));
+        for (auto& limb : conv_out)
+            conv_dst.push_back(limb.data());
+
+        auto slots = std::vector<std::complex<double>>(ctx->slots());
+        Prng srng(7);
+        for (auto& z : slots)
+            z = {2.0 * srng.uniformReal() - 1.0,
+                 2.0 * srng.uniformReal() - 1.0};
+        Plaintext pt = encoder->encode(slots, ctx->scale(), level);
+        ct_a = encryptor->encrypt(pt);
+        ct_b = encryptor->encrypt(pt);
+    }
+
+    /**
+     * Measure every kernel once per entry of `thread_sweep`. Restores
+     * the default global pool size before returning.
+     */
+    std::vector<KernelResult>
+    run(const std::vector<size_t>& thread_sweep, double target_ns = 200e6)
+    {
+        const size_t n = ctx->degree();
+        const size_t level = ctx->maxLevel();
+        std::vector<KernelResult> results;
+        for (size_t threads : thread_sweep) {
+            ThreadPool::setGlobalThreads(threads);
+
+            // toEval/toCoeff form a symmetric pair with the same
+            // butterfly count per direction, so timing the pair and
+            // halving isolates one transform without an untimed state
+            // reset.
+            RnsPoly ntt_poly = randomPoly(ctx->ring(), level, 13);
+            results.push_back({"ntt_forward", threads,
+                               nsPerOp(
+                                   [&] {
+                                       ntt_poly.toEval();
+                                       ntt_poly.toCoeff();
+                                   },
+                                   8, target_ns) /
+                                   2.0});
+
+            results.push_back(
+                {"basis_extension", threads,
+                 nsPerOp([&] { conv->convert(conv_src, n, conv_dst); }, 8,
+                         target_ns)});
+
+            results.push_back({"keyswitch", threads,
+                               nsPerOp(
+                                   [&] {
+                                       auto r = ksw->keySwitch(ct_a.c1, rlk);
+                                       (void)r;
+                                   },
+                                   4, target_ns)});
+
+            results.push_back({"mult", threads,
+                               nsPerOp(
+                                   [&] {
+                                       Ciphertext c =
+                                           eval->mul(ct_a, ct_b, rlk);
+                                       (void)c;
+                                   },
+                                   4, target_ns)});
+
+            results.push_back({"rotate", threads,
+                               nsPerOp(
+                                   [&] {
+                                       Ciphertext c =
+                                           eval->rotate(ct_a, 1, gks);
+                                       (void)c;
+                                   },
+                                   4, target_ns)});
+        }
+        ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+        return results;
+    }
+};
+
+/** The kernel names run(), in measurement order. */
+inline const std::vector<std::string>&
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "ntt_forward", "basis_extension", "keyswitch", "mult", "rotate"};
+    return names;
+}
+
+/** Write the BENCH_kernels.json artifact. Returns false on I/O error. */
+inline bool
+writeKernelsJson(const char* path, const CkksParams& params,
+                 const CkksContext& ctx,
+                 const std::vector<KernelResult>& results)
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"kernels_wallclock\",\n");
+    std::fprintf(f,
+                 "  \"params\": {\"log_n\": %zu, \"q_limbs\": %zu, "
+                 "\"p_limbs\": %zu, \"dnum\": %zu},\n",
+                 static_cast<size_t>(params.log_n), ctx.maxLevel(),
+                 ctx.ring()->numP(), params.dnum);
+    std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(
+            f,
+            "    {\"op\": \"%s\", \"threads\": %zu, \"ns_per_op\": %.0f}%s\n",
+            results[i].op.c_str(), results[i].threads, results[i].ns_per_op,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    // Speedups vs the 1-thread row of the same op.
+    std::fprintf(f, "  \"speedup_vs_1_thread\": {\n");
+    const auto& ops = kernelNames();
+    for (size_t o = 0; o < ops.size(); ++o) {
+        double base = 0;
+        for (const auto& r : results)
+            if (r.op == ops[o] && r.threads == 1)
+                base = r.ns_per_op;
+        std::fprintf(f, "    \"%s\": {", ops[o].c_str());
+        bool first = true;
+        for (const auto& r : results) {
+            if (r.op != ops[o] || r.threads == 1 || base <= 0)
+                continue;
+            std::fprintf(f, "%s\"%zu\": %.2f", first ? "" : ", ", r.threads,
+                         base / r.ns_per_op);
+            first = false;
+        }
+        std::fprintf(f, "}%s\n", o + 1 < ops.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace benchkit
+} // namespace madfhe
+
+#endif // MADFHE_BENCH_KERNELS_COMMON_H

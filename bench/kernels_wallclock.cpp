@@ -12,211 +12,28 @@
  * sweep degenerates to ~1x and the numbers only establish that the pool
  * adds no overhead; the speedup criterion is meaningful on CI-class
  * (4-core) hardware.
+ *
+ * The measurement harness lives in kernels_common.h, shared with
+ * tools/perf_gate so the regression gate runs the exact same kernels.
  */
-#include <chrono>
-#include <complex>
 #include <cstdio>
-#include <string>
-#include <thread>
-#include <vector>
 
-#include "ckks/encoder.h"
-#include "ckks/encryptor.h"
-#include "ckks/evaluator.h"
-#include "ckks/keyswitch.h"
-#include "rns/basis.h"
-#include "rns/primegen.h"
-#include "support/parallel.h"
-#include "support/random.h"
-
-namespace {
-
-using namespace madfhe;
-using Clock = std::chrono::steady_clock;
-
-constexpr size_t kLogN = 13;
-constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
-
-/** Time `op` adaptively: at least `min_iters` and at least ~200 ms. */
-template <typename Op>
-double
-nsPerOp(Op&& op, size_t min_iters)
-{
-    op(); // warm-up (touches pages, fills the NTT table cache)
-    size_t iters = 0;
-    double elapsed_ns = 0;
-    const double target_ns = 200e6;
-    while (iters < min_iters || elapsed_ns < target_ns) {
-        auto t0 = Clock::now();
-        op();
-        auto t1 = Clock::now();
-        elapsed_ns +=
-            std::chrono::duration<double, std::nano>(t1 - t0).count();
-        ++iters;
-        if (iters >= 4096)
-            break;
-    }
-    return elapsed_ns / static_cast<double>(iters);
-}
-
-struct Result
-{
-    std::string op;
-    size_t threads;
-    double ns_per_op;
-};
-
-CkksParams
-benchParams()
-{
-    CkksParams p;
-    p.log_n = kLogN;
-    p.log_scale = 40;
-    p.first_prime_bits = 45;
-    p.num_levels = 5;
-    p.dnum = 3;
-    return p;
-}
-
-RnsPoly
-randomPoly(const std::shared_ptr<const RingContext>& ring, size_t limbs,
-           u64 seed)
-{
-    RnsPoly p(ring, ring->qIndices(limbs), Rep::Coeff);
-    Prng rng(seed);
-    for (size_t i = 0; i < p.numLimbs(); ++i) {
-        u64* a = p.limb(i);
-        for (size_t c = 0; c < p.degree(); ++c)
-            a[c] = rng.uniform(p.modulus(i).value());
-    }
-    return p;
-}
-
-} // namespace
+#include "kernels_common.h"
 
 int
 main()
 {
+    using namespace madfhe::benchkit;
+
     auto params = benchParams();
-    auto ctx = std::make_shared<CkksContext>(params);
-    CkksEncoder encoder(ctx);
-    KeyGenerator keygen(ctx);
-    SecretKey sk = keygen.secretKey();
-    PublicKey pk = keygen.publicKey(sk);
-    SwitchingKey rlk = keygen.relinKey(sk);
-    GaloisKeys gks = keygen.galoisKeys(sk, {1});
-    Encryptor encryptor(ctx, pk);
-    Evaluator eval(ctx);
-    KeySwitcher ksw(ctx);
+    KernelBench bench(params);
+    auto results = bench.run({1, 2, 4, 8});
 
-    const size_t n = ctx->degree();
-    const size_t level = ctx->maxLevel();
-
-    // Basis-extension operands: full Q chain -> the P primes.
-    RnsBasis from = ctx->ring()->basisOf(ctx->ring()->qIndices(level));
-    RnsBasis to = ctx->ring()->basisOf(ctx->ring()->pIndices());
-    BasisConverter conv(from, to);
-    RnsPoly conv_in = randomPoly(ctx->ring(), level, 11);
-    std::vector<const u64*> conv_src;
-    for (size_t i = 0; i < level; ++i)
-        conv_src.push_back(conv_in.limb(i));
-    std::vector<std::vector<u64>> conv_out(to.size(), std::vector<u64>(n));
-    std::vector<u64*> conv_dst;
-    for (auto& limb : conv_out)
-        conv_dst.push_back(limb.data());
-
-    auto slots = std::vector<std::complex<double>>(ctx->slots());
-    Prng srng(7);
-    for (auto& z : slots)
-        z = {2.0 * srng.uniformReal() - 1.0, 2.0 * srng.uniformReal() - 1.0};
-    Plaintext pt = encoder.encode(slots, ctx->scale(), level);
-    Ciphertext ct_a = encryptor.encrypt(pt);
-    Ciphertext ct_b = encryptor.encrypt(pt);
-
-    std::vector<Result> results;
-    for (size_t threads : kThreadSweep) {
-        ThreadPool::setGlobalThreads(threads);
-
-        // toEval/toCoeff form a symmetric pair with the same butterfly
-        // count per direction, so timing the pair and halving isolates
-        // one transform without an untimed state reset.
-        RnsPoly ntt_poly = randomPoly(ctx->ring(), level, 13);
-        results.push_back({"ntt_forward", threads, nsPerOp(
-            [&] {
-                ntt_poly.toEval();
-                ntt_poly.toCoeff();
-            },
-            8) / 2.0});
-
-        results.push_back({"basis_extension", threads, nsPerOp(
-            [&] { conv.convert(conv_src, n, conv_dst); }, 8)});
-
-        results.push_back({"keyswitch", threads, nsPerOp(
-            [&] {
-                auto r = ksw.keySwitch(ct_a.c1, rlk);
-                (void)r;
-            },
-            4)});
-
-        results.push_back({"mult", threads, nsPerOp(
-            [&] {
-                Ciphertext c = eval.mul(ct_a, ct_b, rlk);
-                (void)c;
-            },
-            4)});
-
-        results.push_back({"rotate", threads, nsPerOp(
-            [&] {
-                Ciphertext c = eval.rotate(ct_a, 1, gks);
-                (void)c;
-            },
-            4)});
-    }
-    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
-
-    std::FILE* f = std::fopen("BENCH_kernels.json", "w");
-    if (!f) {
+    if (!writeKernelsJson("BENCH_kernels.json", params, *bench.ctx,
+                          results)) {
         std::fprintf(stderr, "cannot open BENCH_kernels.json\n");
         return 1;
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"kernels_wallclock\",\n");
-    std::fprintf(f,
-                 "  \"params\": {\"log_n\": %zu, \"q_limbs\": %zu, "
-                 "\"p_limbs\": %zu, \"dnum\": %zu},\n",
-                 kLogN, level, ctx->ring()->numP(), params.dnum);
-    std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"results\": [\n");
-    for (size_t i = 0; i < results.size(); ++i) {
-        std::fprintf(
-            f, "    {\"op\": \"%s\", \"threads\": %zu, \"ns_per_op\": %.0f}%s\n",
-            results[i].op.c_str(), results[i].threads, results[i].ns_per_op,
-            i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n");
-    // Speedups vs the 1-thread row of the same op.
-    std::fprintf(f, "  \"speedup_vs_1_thread\": {\n");
-    const char* ops[] = {"ntt_forward", "basis_extension", "keyswitch",
-                         "mult", "rotate"};
-    for (size_t o = 0; o < 5; ++o) {
-        double base = 0;
-        for (const auto& r : results)
-            if (r.op == ops[o] && r.threads == 1)
-                base = r.ns_per_op;
-        std::fprintf(f, "    \"%s\": {", ops[o]);
-        bool first = true;
-        for (const auto& r : results) {
-            if (r.op != ops[o] || r.threads == 1)
-                continue;
-            std::fprintf(f, "%s\"%zu\": %.2f", first ? "" : ", ", r.threads,
-                         base / r.ns_per_op);
-            first = false;
-        }
-        std::fprintf(f, "}%s\n", o + 1 < 5 ? "," : "");
-    }
-    std::fprintf(f, "  }\n}\n");
-    std::fclose(f);
 
     for (const auto& r : results)
         std::printf("%-16s threads=%zu  %12.0f ns/op\n", r.op.c_str(),

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace madfhe {
 namespace apps {
 
@@ -115,6 +117,7 @@ EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
                           const GaloisKeys& gks) const
 {
     MAD_REQUIRE(features.size() == cfg.features, "feature ciphertext count");
+    TELEM_SPAN("LrTrain");
     const size_t slots = ctx->slots();
 
     std::vector<Ciphertext> weights;
@@ -123,6 +126,7 @@ EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
             {0.0, 0.0}, ctx->scale(), ctx->maxLevel())));
 
     for (size_t it = 0; it < cfg.iterations; ++it) {
+        TELEM_SPAN("LrIteration");
         // margin = sum_j w_j * x_j
         size_t lvl = weights[0].level();
         Ciphertext margin;

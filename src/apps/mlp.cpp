@@ -1,5 +1,7 @@
 #include "apps/mlp.h"
 
+#include "telemetry/telemetry.h"
+
 namespace madfhe {
 namespace apps {
 
@@ -71,6 +73,7 @@ EncryptedMlp::infer(const Evaluator& eval, const CkksEncoder& encoder,
                     const Ciphertext& input, const GaloisKeys& gks,
                     const SwitchingKey& rlk) const
 {
+    TELEM_SPAN("MlpInfer");
     Ciphertext ct = transforms[0].apply(eval, encoder, input, gks);
     for (size_t layer = 1; layer < transforms.size(); ++layer) {
         ct = eval.square(ct, rlk);

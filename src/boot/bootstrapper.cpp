@@ -5,6 +5,7 @@
 #include "memtrace/trace.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -67,6 +68,7 @@ Bootstrapper::modRaise(const Ciphertext& ct) const
 {
     MAD_REQUIRE(ct.level() == 1, "modRaise expects a one-limb ciphertext");
     MAD_TRACE_SCOPE("ModRaise");
+    TELEM_SPAN("ModRaise");
     const size_t n = ctx->degree();
     const Modulus& q0 = ctx->ring()->modulus(0);
     auto full_basis = ctx->ring()->qIndices(ctx->maxLevel());
@@ -104,6 +106,7 @@ Bootstrapper::bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
 {
     MAD_ERROR_OP("Bootstrap");
     MAD_TRACE_SCOPE("Bootstrap");
+    TELEM_SPAN("Bootstrap");
     Ciphertext ct = ct_in.level() == 1 ? ct_in : eval.dropToLevel(ct_in, 1);
 
     // 1. ModRaise: plaintext becomes Delta*m + q0*I over the full chain.
@@ -112,6 +115,7 @@ Bootstrapper::bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
     // 2. CoeffToSlot: slots become coefficient pairs, scaled into [-1,1].
     {
         MAD_TRACE_SCOPE("CoeffToSlot");
+        TELEM_SPAN("CoeffToSlot");
         for (const auto& f : ctos)
             t = f.apply(eval, encoder, t, gks);
     }
@@ -119,6 +123,7 @@ Bootstrapper::bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
     Ciphertext u;
     {
         MAD_TRACE_SCOPE("EvalMod");
+        TELEM_SPAN("EvalMod");
         // 3. Conjugation split: real and imaginary coefficient halves.
         Ciphertext t_conj = eval.conjugate(t, gks);
         Ciphertext ct_re = eval.add(t, t_conj);
@@ -140,6 +145,7 @@ Bootstrapper::bootstrap(const Evaluator& eval, const CkksEncoder& encoder,
     // constants cancel, so the tracked scale lands near Delta.
     {
         MAD_TRACE_SCOPE("SlotToCoeff");
+        TELEM_SPAN("SlotToCoeff");
         for (const auto& f : stoc)
             u = f.apply(eval, encoder, u, gks);
     }

@@ -5,6 +5,7 @@
 #include "memtrace/trace.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -140,6 +141,7 @@ Evaluator::mulNoRescale(const Ciphertext& a, const Ciphertext& b,
                         const SwitchingKey& rlk) const
 {
     MAD_TRACE_SCOPE("Mult");
+    TELEM_SPAN("Mult");
     requireSameShape(a, b);
     // Tensor: d0 + d1*s + d2*s^2 = (a0 + a1 s)(b0 + b1 s).
     RnsPoly d0 = a.c0;
@@ -169,6 +171,7 @@ Evaluator::mul(const Ciphertext& a, const Ciphertext& b,
         return rescale(mulNoRescale(a, b, rlk));
 
     MAD_TRACE_SCOPE("Mult");
+    TELEM_SPAN("Mult");
     requireSameShape(a, b);
     MAD_REQUIRE(a.level() >= 2, "mul needs a level to rescale into");
 
@@ -212,6 +215,7 @@ RnsPoly
 rescalePoly(const RnsPoly& x, const CkksContext& ctx)
 {
     MAD_TRACE_SCOPE("Rescale");
+    TELEM_SPAN("Rescale");
     const size_t level = x.numLimbs();
     const size_t n = x.degree();
     const Modulus& q_top = ctx.ring()->modulus(level - 1);
@@ -299,6 +303,7 @@ Evaluator::rotate(const Ciphertext& a, int steps, const GaloisKeys& gks) const
     if (t == 1)
         return a;
     MAD_TRACE_SCOPE("Rotate");
+    TELEM_SPAN("Rotate");
     const SwitchingKey& gk = galoisKeyFor(t, gks);
 
     RnsPoly c0t = a.c0.automorph(t);
@@ -317,6 +322,7 @@ Evaluator::conjugate(const Ciphertext& a, const GaloisKeys& gks) const
 {
     const u64 t = ctx->ring()->conjugateElt();
     MAD_TRACE_SCOPE("Conjugate");
+    TELEM_SPAN("Conjugate");
     const SwitchingKey& gk = galoisKeyFor(t, gks);
     RnsPoly c0t = a.c0.automorph(t);
     RnsPoly c1t = a.c1.automorph(t);

@@ -3,6 +3,7 @@
 #include "memtrace/trace.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -36,6 +37,7 @@ KeySwitcher::decomposeAndRaise(const RnsPoly& x) const
 {
     MAD_CHECK(x.rep() == Rep::Eval, "decomposeAndRaise expects eval rep");
     MAD_TRACE_SCOPE("DecompModUp");
+    TELEM_SPAN("DecompModUp");
     const size_t level = x.numLimbs();
     const size_t beta = ctx->numDigits(level);
     const size_t n = x.degree();
@@ -128,6 +130,7 @@ KeySwitcher::innerProduct(const std::vector<RnsPoly>& digits,
     // limb) trace events match the digit-major formulation event for
     // event, just grouped by position.
     MAD_TRACE_SCOPE("KskInnerProd");
+    TELEM_SPAN("KskInnerProd");
     parallelFor(raised_basis.size(), [&](size_t i) {
         const u32 chain_idx = raised_basis[i];
         const Modulus& q = ctx->ring()->modulus(chain_idx);
@@ -167,6 +170,7 @@ KeySwitcher::modDown(const RnsPoly& x) const
 {
     MAD_CHECK(x.rep() == Rep::Eval, "modDown expects eval rep");
     MAD_TRACE_SCOPE("ModDown");
+    TELEM_SPAN("ModDown");
     const size_t level = qLevelOf(x);
     const size_t num_p = ctx->ring()->numP();
     const size_t n = x.degree();
@@ -220,6 +224,7 @@ KeySwitcher::modDownMerged(const RnsPoly& x) const
 {
     MAD_CHECK(x.rep() == Rep::Eval, "modDownMerged expects eval rep");
     MAD_TRACE_SCOPE("ModDownMerged");
+    TELEM_SPAN("ModDownMerged");
     const size_t level = qLevelOf(x);
     MAD_REQUIRE(level >= 2, "merged ModDown needs at least two Q limbs");
     const size_t num_p = ctx->ring()->numP();
@@ -275,6 +280,7 @@ KeySwitcher::pModUp(const RnsPoly& y) const
 {
     MAD_CHECK(y.rep() == Rep::Eval, "pModUp expects eval rep");
     MAD_TRACE_SCOPE("PModUp");
+    TELEM_SPAN("PModUp");
     const size_t level = y.numLimbs();
     const size_t n = y.degree();
     RnsPoly out(y.context(), ctx->raisedIndices(level), Rep::Eval);
@@ -299,6 +305,7 @@ std::pair<RnsPoly, RnsPoly>
 KeySwitcher::keySwitch(const RnsPoly& x, const SwitchingKey& ksk) const
 {
     MAD_TRACE_SCOPE("KeySwitch");
+    TELEM_SPAN("KeySwitch");
     auto digits = decomposeAndRaise(x);
     RaisedCiphertext raised = innerProduct(digits, ksk);
     return {modDown(raised.c0), modDown(raised.c1)};

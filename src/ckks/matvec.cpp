@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -76,6 +77,7 @@ LinearTransform::apply(const Evaluator& eval, const CkksEncoder& encoder,
                        const Ciphertext& ct, const GaloisKeys& gks) const
 {
     MAD_TRACE_SCOPE("PtMatVecMult");
+    TELEM_SPAN("PtMatVecMult");
     if (!opts.hoist_modup && !opts.hoist_moddown)
         return applyNaive(eval, encoder, ct, gks);
     return applyBsgs(eval, encoder, ct, gks);

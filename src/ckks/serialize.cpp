@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "support/faultinject.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -290,6 +291,7 @@ loadPoly(std::istream& is, std::shared_ptr<const RingContext> ring)
 void
 saveCiphertext(std::ostream& os, const Ciphertext& ct)
 {
+    TELEM_SPAN("Serialize.Save");
     Writer w(os);
     w.u64v(kCtMagic);
     w.dbl(ct.scale);
@@ -300,6 +302,7 @@ saveCiphertext(std::ostream& os, const Ciphertext& ct)
 Ciphertext
 loadCiphertext(std::istream& is, std::shared_ptr<const RingContext> ring)
 {
+    TELEM_SPAN("Serialize.Load");
     Reader r(is);
     STREAM_CHECK(r.u64v() == kCtMagic, "bad magic for ciphertext");
     Ciphertext ct;

@@ -129,6 +129,8 @@ TraceSink::record(Kind kind, const void* addr, size_t bytes)
 {
     if (!tracingEnabled() || bytes == 0)
         return;
+    if (kind == Kind::Read || kind == Kind::Write)
+        dataBytesCounter().fetch_add(bytes, std::memory_order_relaxed);
     const u64 a = reinterpret_cast<u64>(addr);
     if (TraceBuffer* buf = tl_buffer) {
         buf->staged.push_back({a, static_cast<u32>(bytes), kind, -1});

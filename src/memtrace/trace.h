@@ -70,6 +70,22 @@ struct Trace
     bool empty() const { return events.empty(); }
 };
 
+/**
+ * Monotonic flow meter: total data bytes (Read + Write events) recorded
+ * since process start, bumped at record() time. Monotonic on purpose —
+ * consumers (telemetry spans) diff two readings, so TraceSink::clear()
+ * must not rewind it mid-span. Within a serial-spine span the delta is
+ * exact: parallelForRange flushes every chunk buffer before returning.
+ * Declared in both configs so TraceSink::record compiles under
+ * MADFHE_MEMTRACE_DISABLED (where the bump is dead code).
+ */
+inline std::atomic<u64>&
+dataBytesCounter()
+{
+    static std::atomic<u64> counter{0};
+    return counter;
+}
+
 #ifndef MADFHE_MEMTRACE_DISABLED
 
 /** Global on/off switch; one relaxed load on every instrumentation site. */
@@ -86,12 +102,24 @@ tracingEnabled()
     return tracingFlag().load(std::memory_order_relaxed);
 }
 
+inline u64
+tracedDataBytes()
+{
+    return dataBytesCounter().load(std::memory_order_relaxed);
+}
+
 #else
 
 constexpr bool
 tracingEnabled()
 {
     return false;
+}
+
+constexpr u64
+tracedDataBytes()
+{
+    return 0;
 }
 
 #endif // MADFHE_MEMTRACE_DISABLED

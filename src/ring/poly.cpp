@@ -5,6 +5,7 @@
 #include "memtrace/trace.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -74,6 +75,8 @@ void
 RnsPoly::toEval()
 {
     MAD_CHECK(representation == Rep::Coeff, "toEval requires coefficient rep");
+    TELEM_SPAN("NTT");
+    TELEM_COUNT("ring.ntt.limbs", numLimbs());
     parallelFor(numLimbs(),
                 [&](size_t i) { ctx->ntt(chain[i]).forward(limb(i)); });
     representation = Rep::Eval;
@@ -83,6 +86,8 @@ void
 RnsPoly::toCoeff()
 {
     MAD_CHECK(representation == Rep::Eval, "toCoeff requires evaluation rep");
+    TELEM_SPAN("iNTT");
+    TELEM_COUNT("ring.intt.limbs", numLimbs());
     parallelFor(numLimbs(),
                 [&](size_t i) { ctx->ntt(chain[i]).inverse(limb(i)); });
     representation = Rep::Coeff;
@@ -218,6 +223,7 @@ RnsPoly
 RnsPoly::automorph(u64 t) const
 {
     MAD_TRACE_SCOPE("Automorph");
+    TELEM_SPAN("Automorph");
     RnsPoly out(ctx, chain, representation);
     const size_t n = degree();
     if (representation == Rep::Eval) {

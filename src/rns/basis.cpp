@@ -5,6 +5,7 @@
 #include "memtrace/trace.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 
@@ -154,6 +155,9 @@ BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
 {
     MAD_CHECK(in.size() == from.size(), "source limb count mismatch");
     MAD_CHECK(out.size() == to.size(), "target limb count mismatch");
+    TELEM_SPAN("BasisConvert");
+    TELEM_COUNT("rns.basis.src_limbs", in.size());
+    TELEM_COUNT("rns.basis.dst_limbs", out.size());
     const size_t k = from.size();
     for (size_t i = 0; i < k; ++i)
         MAD_TRACE_READ(in[i], n * sizeof(u64));

@@ -44,29 +44,6 @@ using i128 = __int128;
             throw ::madfhe::InvariantError((msg), __FILE__, __LINE__);        \
     } while (0)
 
-/**
- * @deprecated Use MAD_REQUIRE, which records the throw site. Kept so
- * out-of-tree call sites migrate incrementally; routes through the
- * same UserError type.
- */
-[[deprecated("use MAD_REQUIRE(cond, msg)")]] inline void
-require(bool cond, const std::string& msg)
-{
-    if (!cond)
-        throw UserError(msg);
-}
-
-/**
- * @deprecated Use MAD_CHECK, which records the throw site. Routes
- * through InvariantError.
- */
-[[deprecated("use MAD_CHECK(cond, msg)")]] inline void
-check(bool cond, const std::string& msg)
-{
-    if (!cond)
-        throw InvariantError(msg);
-}
-
 /** True iff x is a power of two (and nonzero). */
 constexpr bool
 isPowerOfTwo(u64 x)

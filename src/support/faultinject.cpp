@@ -71,6 +71,9 @@ armedState()
 /** Which Site (if any) is the armed target — the lock-free filter. */
 std::atomic<Site*> g_target{nullptr};
 
+/** Fired-fault observer (telemetry); called outside the engine lock. */
+std::atomic<FireHook> g_fire_hook{nullptr};
+
 /** splitmix64: deterministic position derivation from the spec seed. */
 u64
 mix(u64 x)
@@ -94,15 +97,23 @@ claim(Site& s)
 {
     if (g_target.load(std::memory_order_acquire) != &s)
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(engineMu());
-    Armed& a = armedState();
-    if (a.target != &s)
-        return std::nullopt;
-    const u64 k = s.occurrences_++;
-    if (k != a.spec.nth)
-        return std::nullopt;
-    ++a.fired;
-    return a.spec;
+    std::optional<Spec> fired;
+    {
+        std::lock_guard<std::mutex> lock(engineMu());
+        Armed& a = armedState();
+        if (a.target != &s)
+            return std::nullopt;
+        const u64 k = s.occurrences_++;
+        if (k != a.spec.nth)
+            return std::nullopt;
+        ++a.fired;
+        fired = a.spec;
+    }
+    // Notify outside the engine lock: the hook may take its own locks
+    // (telemetry registries) and must never deadlock against arm/disarm.
+    if (FireHook hook = g_fire_hook.load(std::memory_order_acquire))
+        hook(s.name(), fired->kind, fired->nth);
+    return fired;
 }
 
 } // namespace detail
@@ -174,6 +185,12 @@ Site::Site(const char* name, u32 kinds) : name_(name), kinds_(kinds)
 {
     std::lock_guard<std::mutex> lock(engineMu());
     registry().push_back(this);
+}
+
+void
+setFireHook(FireHook hook)
+{
+    g_fire_hook.store(hook, std::memory_order_release);
 }
 
 std::vector<SiteInfo>

@@ -133,6 +133,16 @@ u64 armedSiteOccurrences();
  */
 void initFromEnvOnce();
 
+/**
+ * Observer invoked (outside the engine lock) every time an armed fault
+ * actually fires: (site name, kind, nth occurrence). The telemetry
+ * layer installs one so fault-campaign timelines show up as instant
+ * events in the Chrome trace; mad_support itself never depends on the
+ * observer. At most one hook; installing replaces the previous one.
+ */
+using FireHook = void (*)(const char* site, Kind kind, u64 nth);
+void setFireHook(FireHook hook);
+
 struct SiteInfo
 {
     const char* name;

@@ -1,0 +1,281 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace madfhe {
+namespace telemetry {
+
+namespace {
+
+void
+collectSpanRows(const SpanNode* node, size_t depth, std::vector<SpanRow>& out)
+{
+    // Sibling lists are head-inserted; gather and order by creation seq
+    // so reports are stable run to run.
+    std::vector<const SpanNode*> children;
+    for (const SpanNode* c =
+             node->first_child.load(std::memory_order_acquire);
+         c; c = c->next_sibling.load(std::memory_order_relaxed))
+        children.push_back(c);
+    std::sort(children.begin(), children.end(),
+              [](const SpanNode* a, const SpanNode* b) {
+                  return a->seq < b->seq;
+              });
+    for (const SpanNode* c : children) {
+        const u64 count = c->count.load(std::memory_order_relaxed);
+        if (count > 0) {
+            SpanRow row;
+            row.path = c->path;
+            row.name = c->name;
+            row.depth = depth;
+            row.count = count;
+            row.total_ns = c->total_ns.load(std::memory_order_relaxed);
+            row.max_ns = c->max_ns.load(std::memory_order_relaxed);
+            row.traced_bytes =
+                c->traced_bytes.load(std::memory_order_relaxed);
+            row.pool_count = c->pool_count.load(std::memory_order_relaxed);
+            row.model_bytes = modelPrediction(c->path);
+            out.push_back(std::move(row));
+            collectSpanRows(c, depth + 1, out);
+        } else {
+            // A never-entered node can still have entered descendants
+            // (stats were reset mid-tree); surface them at this depth.
+            collectSpanRows(c, depth, out);
+        }
+    }
+}
+
+std::string
+humanBytes(double b)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    if (b >= 1024.0 * 1024.0 * 1024.0)
+        os << b / (1024.0 * 1024.0 * 1024.0) << " GiB";
+    else if (b >= 1024.0 * 1024.0)
+        os << b / (1024.0 * 1024.0) << " MiB";
+    else if (b >= 1024.0)
+        os << b / 1024.0 << " KiB";
+    else
+        os << b << " B";
+    return os.str();
+}
+
+std::string
+humanNs(double ns)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (ns >= 1e9)
+        os << ns / 1e9 << " s";
+    else if (ns >= 1e6)
+        os << ns / 1e6 << " ms";
+    else if (ns >= 1e3)
+        os << ns / 1e3 << " us";
+    else
+        os << ns << " ns";
+    return os.str();
+}
+
+} // namespace
+
+const SpanRow*
+Snapshot::span(const std::string& path) const
+{
+    for (const auto& row : spans)
+        if (row.path == path)
+            return &row;
+    return nullptr;
+}
+
+std::vector<SpanRow>
+spanRows()
+{
+    std::vector<SpanRow> rows;
+    collectSpanRows(detail::rootNode(), 0, rows);
+    return rows;
+}
+
+Snapshot
+snapshot()
+{
+    Snapshot snap;
+    snap.level = level();
+    snap.counters = counterRows();
+    snap.gauges = gaugeRows();
+    snap.histograms = histogramRows();
+    snap.spans = spanRows();
+    return snap;
+}
+
+std::string
+formatTable(const Snapshot& snap)
+{
+    std::ostringstream os;
+    os << "== madfhe telemetry (level: " << levelName(snap.level) << ") ==\n";
+
+    if (!snap.spans.empty()) {
+        os << std::left << std::setw(36) << "span" << std::right
+           << std::setw(10) << "count" << std::setw(12) << "total"
+           << std::setw(12) << "mean" << std::setw(12) << "traced"
+           << std::setw(12) << "model" << std::setw(8) << "div%"
+           << std::setw(7) << "pool%" << "\n";
+        for (const auto& row : snap.spans) {
+            std::string label(2 * row.depth, ' ');
+            label += row.name;
+            if (label.size() > 35)
+                label.resize(35);
+            os << std::left << std::setw(36) << label << std::right
+               << std::setw(10) << row.count << std::setw(12)
+               << humanNs(static_cast<double>(row.total_ns)) << std::setw(12)
+               << humanNs(row.meanNs()) << std::setw(12)
+               << humanBytes(static_cast<double>(row.traced_bytes));
+            if (row.model_bytes)
+                os << std::setw(12) << humanBytes(*row.model_bytes);
+            else
+                os << std::setw(12) << "-";
+            auto div = row.divergence();
+            if (div) {
+                std::ostringstream d;
+                d << std::showpos << std::fixed << std::setprecision(1)
+                  << *div * 100.0;
+                os << std::setw(8) << d.str();
+            } else {
+                os << std::setw(8) << "-";
+            }
+            const double poolpct =
+                row.count ? 100.0 * static_cast<double>(row.pool_count) /
+                                static_cast<double>(row.count)
+                          : 0.0;
+            os << std::setw(6) << std::fixed << std::setprecision(0)
+               << poolpct << "%\n";
+        }
+    }
+
+    bool any_counter = false;
+    for (const auto& c : snap.counters)
+        any_counter |= c.value != 0;
+    if (any_counter) {
+        os << "-- counters --\n";
+        for (const auto& c : snap.counters)
+            if (c.value != 0)
+                os << "  " << std::left << std::setw(40) << c.name
+                   << std::right << std::setw(16) << c.value << "\n";
+    }
+    bool any_gauge = false;
+    for (const auto& g : snap.gauges)
+        any_gauge |= g.value != 0;
+    if (any_gauge) {
+        os << "-- gauges --\n";
+        for (const auto& g : snap.gauges)
+            if (g.value != 0)
+                os << "  " << std::left << std::setw(40) << g.name
+                   << std::right << std::setw(16) << g.value << "\n";
+    }
+    for (const auto& h : snap.histograms) {
+        if (h.stats.count == 0)
+            continue;
+        os << "-- histogram " << h.name << " --\n";
+        os << "  count " << h.stats.count << "  mean "
+           << humanNs(h.stats.mean()) << "  ~p50 "
+           << h.stats.quantileBound(0.50) << "  ~p99 "
+           << h.stats.quantileBound(0.99) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+toJson(const Snapshot& snap)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"madfhe.telemetry.v1\",\n";
+    os << "  \"level\": \"" << levelName(snap.level) << "\",\n";
+
+    os << "  \"counters\": [";
+    for (size_t i = 0; i < snap.counters.size(); ++i) {
+        os << (i ? ", " : "") << "{\"name\": \""
+           << json::escape(snap.counters[i].name)
+           << "\", \"value\": " << snap.counters[i].value << "}";
+    }
+    os << "],\n";
+
+    os << "  \"gauges\": [";
+    for (size_t i = 0; i < snap.gauges.size(); ++i) {
+        os << (i ? ", " : "") << "{\"name\": \""
+           << json::escape(snap.gauges[i].name)
+           << "\", \"value\": " << snap.gauges[i].value << "}";
+    }
+    os << "],\n";
+
+    os << "  \"histograms\": [";
+    for (size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto& h = snap.histograms[i];
+        os << (i ? ",\n    " : "") << "{\"name\": \""
+           << json::escape(h.name) << "\", \"count\": " << h.stats.count
+           << ", \"sum\": " << h.stats.sum << ", \"buckets\": [";
+        // Trailing zero buckets are elided; the reader treats absent
+        // buckets as zero.
+        size_t last = h.stats.buckets.size();
+        while (last > 0 && h.stats.buckets[last - 1] == 0)
+            --last;
+        for (size_t b = 0; b < last; ++b)
+            os << (b ? ", " : "") << h.stats.buckets[b];
+        os << "]}";
+    }
+    os << "],\n";
+
+    os << "  \"spans\": [";
+    for (size_t i = 0; i < snap.spans.size(); ++i) {
+        const auto& row = snap.spans[i];
+        os << (i ? ",\n    " : "") << "{\"path\": \""
+           << json::escape(row.path) << "\", \"depth\": " << row.depth
+           << ", \"count\": " << row.count
+           << ", \"wall_ns\": " << row.total_ns
+           << ", \"max_ns\": " << row.max_ns
+           << ", \"traced_bytes\": " << row.traced_bytes
+           << ", \"pool_count\": " << row.pool_count;
+        if (row.model_bytes) {
+            os << ", \"model_bytes\": " << std::fixed << std::setprecision(1)
+               << *row.model_bytes;
+            auto div = row.divergence();
+            if (div)
+                os << ", \"divergence\": " << std::setprecision(6) << *div;
+        }
+        os << "}";
+    }
+    os << "]\n}\n";
+    return os.str();
+}
+
+std::string
+chromeTraceJson()
+{
+    std::vector<ChromeEvent> events = collectChromeEvents();
+    std::sort(events.begin(), events.end(),
+              [](const ChromeEvent& a, const ChromeEvent& b) {
+                  return a.ts_ns < b.ts_ns;
+              });
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const ChromeEvent& e = events[i];
+        os << (i ? ",\n" : "") << "  {\"name\": \"" << json::escape(e.name)
+           << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": "
+           << std::fixed << std::setprecision(3)
+           << static_cast<double>(e.ts_ns) / 1e3;
+        if (e.instant)
+            os << ", \"ph\": \"i\", \"s\": \"g\"}";
+        else
+            os << ", \"ph\": \"X\", \"dur\": "
+               << static_cast<double>(e.dur_ns) / 1e3 << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return os.str();
+}
+
+} // namespace telemetry
+} // namespace madfhe

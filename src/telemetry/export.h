@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Telemetry exporters: a human-readable table, machine JSON
+ * ("madfhe.telemetry.v1"), and Chrome trace-event JSON that loads
+ * directly into chrome://tracing / Perfetto.
+ *
+ * Snapshots are taken with writers quiescent (between operations, at
+ * process exit, or after ThreadPool work has drained); the rows carry
+ * everything the formatters need so a snapshot can also be asserted on
+ * directly in tests.
+ */
+#ifndef MADFHE_TELEMETRY_EXPORT_H
+#define MADFHE_TELEMETRY_EXPORT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace madfhe {
+namespace telemetry {
+
+/** One aggregated span-tree node, flattened in DFS (creation) order. */
+struct SpanRow
+{
+    std::string path; ///< "Bootstrap/EvalMod/Mult"
+    std::string name; ///< leaf name
+    size_t depth = 0; ///< nesting depth (top-level spans are 0)
+    u64 count = 0;
+    u64 total_ns = 0;
+    u64 max_ns = 0;
+    u64 traced_bytes = 0;
+    u64 pool_count = 0;
+    /** SimFHE-predicted DRAM bytes for this path, when installed. */
+    std::optional<double> model_bytes;
+
+    double
+    meanNs() const
+    {
+        return count ? static_cast<double>(total_ns) / count : 0.0;
+    }
+    /** measured/modeled - 1; nullopt without a prediction. */
+    std::optional<double>
+    divergence() const
+    {
+        if (!model_bytes || *model_bytes <= 0.0)
+            return std::nullopt;
+        return static_cast<double>(traced_bytes) / *model_bytes - 1.0;
+    }
+};
+
+struct Snapshot
+{
+    Level level = Level::Off;
+    std::vector<CounterRow> counters;
+    std::vector<GaugeRow> gauges;
+    std::vector<HistogramRow> histograms;
+    std::vector<SpanRow> spans;
+
+    /** Span row with this exact path, or nullptr. */
+    const SpanRow* span(const std::string& path) const;
+};
+
+/** Spans with count > 0, DFS order, predictions attached. */
+std::vector<SpanRow> spanRows();
+
+/** Full snapshot of every registered metric and span. */
+Snapshot snapshot();
+
+/** Fixed-width table: spans (tree-indented), then counters/gauges/hists. */
+std::string formatTable(const Snapshot& snap);
+
+/** Machine JSON, schema "madfhe.telemetry.v1". */
+std::string toJson(const Snapshot& snap);
+
+/** One buffered Chrome trace event (complete span or instant marker). */
+struct ChromeEvent
+{
+    std::string name;
+    u32 tid = 0;
+    u64 ts_ns = 0;
+    u64 dur_ns = 0;
+    bool instant = false;
+};
+
+/** Copy of all buffered events, unsorted (exporters sort by timestamp). */
+std::vector<ChromeEvent> collectChromeEvents();
+
+/** Chrome trace-event JSON (the {"traceEvents": [...]} object form). */
+std::string chromeTraceJson();
+
+} // namespace telemetry
+} // namespace madfhe
+
+#endif // MADFHE_TELEMETRY_EXPORT_H

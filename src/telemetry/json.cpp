@@ -1,0 +1,294 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace madfhe {
+namespace telemetry {
+namespace json {
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    bool failed = false;
+    /** Defense against adversarial nesting blowing the real stack. */
+    int depth = 0;
+    static constexpr int kMaxDepth = 64;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    fail()
+    {
+        failed = true;
+        return Value{};
+    }
+
+    Value
+    parseValue()
+    {
+        if (++depth > kMaxDepth)
+            return fail();
+        skipWs();
+        Value v;
+        if (pos >= text.size()) {
+            v = fail();
+        } else if (text[pos] == '{') {
+            v = parseObject();
+        } else if (text[pos] == '[') {
+            v = parseArray();
+        } else if (text[pos] == '"') {
+            v.type = Value::Type::String;
+            v.str = parseString();
+        } else if (text.compare(pos, 4, "true") == 0) {
+            v.type = Value::Type::Bool;
+            v.boolean = true;
+            pos += 4;
+        } else if (text.compare(pos, 5, "false") == 0) {
+            v.type = Value::Type::Bool;
+            v.boolean = false;
+            pos += 5;
+        } else if (text.compare(pos, 4, "null") == 0) {
+            v.type = Value::Type::Null;
+            pos += 4;
+        } else {
+            v = parseNumber();
+        }
+        --depth;
+        return v;
+    }
+
+    Value
+    parseNumber()
+    {
+        const size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool any = false;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '-' || text[pos] == '+')) {
+            any = true;
+            ++pos;
+        }
+        if (!any)
+            return fail();
+        Value v;
+        v.type = Value::Type::Number;
+        v.number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (pos >= text.size() || text[pos] != '"') {
+            failed = true;
+            return out;
+        }
+        ++pos;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size()) {
+                failed = true;
+                return out;
+            }
+            char e = text[pos++];
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out += e;
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                // Keep it simple: decode BMP escapes to UTF-8; the
+                // telemetry emitters never produce them, but a hand-edited
+                // baseline might.
+                if (pos + 4 > text.size()) {
+                    failed = true;
+                    return out;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        failed = true;
+                        return out;
+                    }
+                }
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+            }
+            default:
+                failed = true;
+                return out;
+            }
+        }
+        if (pos >= text.size()) {
+            failed = true;
+            return out;
+        }
+        ++pos; // closing quote
+        return out;
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.type = Value::Type::Array;
+        ++pos; // '['
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (!failed) {
+            v.array.push_back(parseValue());
+            if (failed)
+                break;
+            if (consume(']'))
+                return v;
+            if (!consume(','))
+                return fail();
+        }
+        return fail();
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.type = Value::Type::Object;
+        ++pos; // '{'
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (!failed) {
+            skipWs();
+            std::string key = parseString();
+            if (failed || !consume(':'))
+                return fail();
+            v.object.emplace_back(std::move(key), parseValue());
+            if (failed)
+                break;
+            if (consume('}'))
+                return v;
+            if (!consume(','))
+                return fail();
+        }
+        return fail();
+    }
+};
+
+} // namespace
+
+std::optional<Value>
+parse(std::string_view text)
+{
+    Parser p{text};
+    Value v = p.parseValue();
+    if (p.failed)
+        return std::nullopt;
+    p.skipWs();
+    if (p.pos != text.size())
+        return std::nullopt;
+    return v;
+}
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xFF);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace json
+} // namespace telemetry
+} // namespace madfhe

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal JSON value model + recursive-descent parser.
+ *
+ * The telemetry exporters emit JSON, the perf gate diffs two emitted
+ * files, and the tests round-trip a snapshot through its JSON form —
+ * all three need the same small reader, so it lives here rather than
+ * pulling a third-party dependency into the build. Numbers are parsed
+ * as double (every field we emit fits), object member order is
+ * preserved, and inputs the grammar rejects yield std::nullopt rather
+ * than a partially-filled value.
+ */
+#ifndef MADFHE_TELEMETRY_JSON_H
+#define MADFHE_TELEMETRY_JSON_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace telemetry {
+namespace json {
+
+struct Value
+{
+    enum class Type : u8
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member lookup (first match); nullptr when absent or not an object. */
+    const Value*
+    find(std::string_view key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        for (const auto& [k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    /** Member's number, or `fallback` when absent / not a number. */
+    double
+    numberOr(std::string_view key, double fallback) const
+    {
+        const Value* v = find(key);
+        return v && v->isNumber() ? v->number : fallback;
+    }
+
+    /** Member's string, or `fallback` when absent / not a string. */
+    std::string
+    stringOr(std::string_view key, const std::string& fallback) const
+    {
+        const Value* v = find(key);
+        return v && v->isString() ? v->str : fallback;
+    }
+};
+
+/** Parse one JSON document (trailing whitespace allowed, nothing else). */
+std::optional<Value> parse(std::string_view text);
+
+/** Escape `s` for embedding inside a JSON string literal. */
+std::string escape(std::string_view s);
+
+} // namespace json
+} // namespace telemetry
+} // namespace madfhe
+
+#endif // MADFHE_TELEMETRY_JSON_H

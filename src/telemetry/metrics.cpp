@@ -1,0 +1,170 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace madfhe {
+namespace telemetry {
+
+namespace detail {
+
+size_t
+threadShard()
+{
+    static std::atomic<size_t> next{0};
+    thread_local const size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return slot;
+}
+
+} // namespace detail
+
+u64
+HistogramSnapshot::quantileBound(double q) const
+{
+    if (count == 0)
+        return 0;
+    const u64 target = static_cast<u64>(q * static_cast<double>(count));
+    u64 seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen > target)
+            return Histogram::bucketUpperBound(b);
+    }
+    return Histogram::bucketUpperBound(buckets.size() - 1);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot out;
+    for (const auto& s : shards) {
+        out.count += s.count.load(std::memory_order_relaxed);
+        out.sum += s.sum.load(std::memory_order_relaxed);
+        for (size_t b = 0; b < kHistogramBuckets; ++b)
+            out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& s : shards) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        for (auto& b : s.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+namespace {
+
+/**
+ * The registry maps are std::map so snapshot rows come out name-sorted
+ * without a separate sort, and because node-based maps never move the
+ * owned metric objects (call sites hold references across insertions).
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry&
+registry()
+{
+    static Registry* r = new Registry(); // leaked: outlives static dtors
+    return *r;
+}
+
+} // namespace
+
+Counter&
+counter(const std::string& name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto& slot = r.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+gauge(const std::string& name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto& slot = r.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+histogram(const std::string& name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto& slot = r.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<CounterRow>
+counterRows()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<CounterRow> rows;
+    rows.reserve(r.counters.size());
+    for (const auto& [name, c] : r.counters)
+        rows.push_back({name, c->value()});
+    return rows;
+}
+
+std::vector<GaugeRow>
+gaugeRows()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<GaugeRow> rows;
+    rows.reserve(r.gauges.size());
+    for (const auto& [name, g] : r.gauges)
+        rows.push_back({name, g->value()});
+    return rows;
+}
+
+std::vector<HistogramRow>
+histogramRows()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<HistogramRow> rows;
+    rows.reserve(r.histograms.size());
+    for (const auto& [name, h] : r.histograms)
+        rows.push_back({name, h->snapshot()});
+    return rows;
+}
+
+void
+resetMetrics()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, c] : r.counters)
+        c->reset();
+    for (auto& [name, g] : r.gauges)
+        g->reset();
+    for (auto& [name, h] : r.histograms)
+        h->reset();
+}
+
+} // namespace telemetry
+} // namespace madfhe

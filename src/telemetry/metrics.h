@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Registry-backed counters, gauges and histograms for the always-on
+ * telemetry layer.
+ *
+ * Hot-path writes never take a lock: each metric is split into a fixed
+ * set of cache-line-sized shards and a writing thread lands on the
+ * shard picked by its (process-unique, round-robin) slot id, so two
+ * pool workers bumping the same counter touch different cache lines.
+ * Reads (snapshot time) sum the shards with relaxed loads — totals are
+ * exact once the writers have quiesced, which is the only time the
+ * exporters run.
+ *
+ * Metric objects are interned by name in a process-wide registry and
+ * never deallocated, so call sites may cache `Counter&` references in
+ * function-local statics (the TELEM_* macros in telemetry.h do exactly
+ * that).
+ */
+#ifndef MADFHE_TELEMETRY_METRICS_H
+#define MADFHE_TELEMETRY_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace telemetry {
+
+/** Shard count; a power of two comfortably above typical pool sizes. */
+constexpr size_t kMetricShards = 16;
+
+/** log2-bucketed histogram resolution: bucket i counts values in
+ *  [2^(i-1), 2^i), bucket 0 counts zeros. */
+constexpr size_t kHistogramBuckets = 48;
+
+namespace detail {
+
+/** Round-robin slot for the calling thread, stable for its lifetime. */
+size_t threadShard();
+
+struct alignas(64) Shard
+{
+    std::atomic<u64> value{0};
+};
+
+} // namespace detail
+
+/** Monotonic event count (ops executed, limbs transformed, faults fired). */
+class Counter
+{
+  public:
+    void
+    add(u64 delta)
+    {
+        shards[detail::threadShard()].value.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    u64
+    value() const
+    {
+        u64 sum = 0;
+        for (const auto& s : shards)
+            sum += s.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    /** Zero every shard (test/reporting reset; writers must be quiet). */
+    void
+    reset()
+    {
+        for (auto& s : shards)
+            s.value.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<detail::Shard, kMetricShards> shards;
+};
+
+/** Last-writer-wins instantaneous value (pool size, live bytes, level). */
+class Gauge
+{
+  public:
+    void set(i64 v) { value_.store(v, std::memory_order_relaxed); }
+    void add(i64 d) { value_.fetch_add(d, std::memory_order_relaxed); }
+    i64 value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<i64> value_{0};
+};
+
+/** Aggregated view of one histogram (shards merged). */
+struct HistogramSnapshot
+{
+    u64 count = 0;
+    u64 sum = 0;
+    std::array<u64, kHistogramBuckets> buckets{};
+
+    double mean() const { return count ? static_cast<double>(sum) / count : 0; }
+    /** Upper bound of the smallest bucket prefix covering `q` of mass. */
+    u64 quantileBound(double q) const;
+};
+
+/**
+ * Power-of-two bucket histogram. record() costs two relaxed RMWs plus a
+ * bucket increment on the caller's shard; precision (one bucket per
+ * octave) is deliberate — span timings and byte volumes are compared
+ * across orders of magnitude, not percent.
+ */
+class Histogram
+{
+  public:
+    void
+    record(u64 v)
+    {
+        ShardData& s = shards[detail::threadShard()];
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+        s.buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    HistogramSnapshot snapshot() const;
+    void reset();
+
+    static size_t
+    bucketOf(u64 v)
+    {
+        size_t b = 0;
+        while (v != 0 && b + 1 < kHistogramBuckets) {
+            v >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    /** Inclusive upper bound of bucket b (0 for the zero bucket). */
+    static u64
+    bucketUpperBound(size_t b)
+    {
+        return b == 0 ? 0 : (u64{1} << b) - 1;
+    }
+
+  private:
+    struct alignas(64) ShardData
+    {
+        std::atomic<u64> count{0};
+        std::atomic<u64> sum{0};
+        std::array<std::atomic<u64>, kHistogramBuckets> buckets{};
+    };
+    std::array<ShardData, kMetricShards> shards;
+};
+
+// --- Registry ------------------------------------------------------------
+// Interned by name; returned references are valid for the process
+// lifetime. Lookup takes a mutex — cache the reference at the call site.
+
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+struct CounterRow
+{
+    std::string name;
+    u64 value = 0;
+};
+
+struct GaugeRow
+{
+    std::string name;
+    i64 value = 0;
+};
+
+struct HistogramRow
+{
+    std::string name;
+    HistogramSnapshot stats;
+};
+
+/** Name-sorted snapshots of every registered metric (zeros included). */
+std::vector<CounterRow> counterRows();
+std::vector<GaugeRow> gaugeRows();
+std::vector<HistogramRow> histogramRows();
+
+/** Zero every registered metric (registrations are kept). */
+void resetMetrics();
+
+} // namespace telemetry
+} // namespace madfhe
+
+#endif // MADFHE_TELEMETRY_METRICS_H

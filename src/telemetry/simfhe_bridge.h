@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Live measured-vs-modeled DRAM comparison: installs SimFHE CostModel
+ * predictions onto telemetry span paths so the exporters can report
+ * divergence between the bytes the instrumented kernels actually traced
+ * and the bytes the analytical model says the primitive should move.
+ *
+ * Two accounting systems meet here, and they do not speak the same
+ * units natively:
+ *
+ *  - Span `traced_bytes` are *raw* memtrace flow — every limb Read and
+ *    Write the instrumented kernels emit while the span is open, with
+ *    no cache model applied. Raw flow is deterministic (independent of
+ *    replay cache size and thread count), which is what makes it safe
+ *    to compare at runtime.
+ *  - The CostModel predicts *DRAM* limb moves under its fused
+ *    accounting, which assumes intermediates the implementation
+ *    materializes (digit polynomials, conversion temporaries, per-baby
+ *    raised products) are never spilled.
+ *
+ * The bridge reconciles them with per-stage materialization factors:
+ * fixed ratios of raw-traced to modeled bytes that are a property of
+ * the implementation's code structure (which temporaries it spills),
+ * not of the ring size, and therefore stable across parameter sets.
+ * They were measured with `tools/boot_profile --calibrate` and are
+ * baked in below; re-run that tool after restructuring a kernel's
+ * temporaries and update the table.
+ */
+#ifndef MADFHE_TELEMETRY_SIMFHE_BRIDGE_H
+#define MADFHE_TELEMETRY_SIMFHE_BRIDGE_H
+
+#include <string>
+#include <vector>
+
+#include "ckks/params.h"
+#include "simfhe/config.h"
+
+namespace madfhe {
+namespace telemetry {
+
+/** The bootstrap schedule shape the executable Bootstrapper runs. */
+struct BootstrapShape
+{
+    size_t ctos_iters = 3;
+    size_t stoc_iters = 3;
+    size_t sine_degree = 71;
+};
+
+/** One span path and its calibrated predicted raw-traced bytes. */
+struct StagePrediction
+{
+    std::string path;   ///< exact span-tree path, e.g. "Bootstrap/EvalMod"
+    double model_bytes; ///< calibrated prediction in bytes
+};
+
+/**
+ * Materialization factor for a span path (raw traced bytes per modeled
+ * DRAM byte); 1.0 when the path has no measured factor.
+ */
+double materializationFactor(const std::string& path);
+
+/** SchemeConfig matched to `p` (same mapping crossval uses). */
+simfhe::SchemeConfig bridgeScheme(const CkksParams& p);
+
+/**
+ * Calibrated per-stage bootstrap predictions for the span paths the
+ * Bootstrapper opens: Bootstrap, Bootstrap/ModRaise,
+ * Bootstrap/CoeffToSlot, Bootstrap/EvalMod, Bootstrap/SlotToCoeff.
+ */
+std::vector<StagePrediction> bootstrapPredictions(const CkksParams& p,
+                                                  const BootstrapShape& shape);
+
+/**
+ * Calibrated predictions for the top-level primitive spans (KeySwitch,
+ * Mult, Rotate) at limb count `level`, plus PtMatVecMult when
+ * `diagonals` > 0.
+ */
+std::vector<StagePrediction> primitivePredictions(const CkksParams& p,
+                                                  size_t level,
+                                                  size_t diagonals = 0);
+
+/** Compute and install the bootstrap predictions (setModelPrediction). */
+void installBootstrapPredictions(const CkksParams& p,
+                                 const BootstrapShape& shape);
+
+/** Compute and install the primitive predictions. */
+void installPrimitivePredictions(const CkksParams& p, size_t level,
+                                 size_t diagonals = 0);
+
+} // namespace telemetry
+} // namespace madfhe
+
+#endif // MADFHE_TELEMETRY_SIMFHE_BRIDGE_H

@@ -1,0 +1,371 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "memtrace/trace.h"
+#include "support/faultinject.h"
+#include "support/threadpool.h"
+#include "telemetry/export.h"
+
+namespace madfhe {
+namespace telemetry {
+
+const char*
+levelName(Level l)
+{
+    switch (l) {
+    case Level::Off:
+        return "off";
+    case Level::Counters:
+        return "counters";
+    case Level::Spans:
+        return "spans";
+    case Level::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+std::optional<Level>
+levelFromName(std::string_view name)
+{
+    for (Level l : {Level::Off, Level::Counters, Level::Spans, Level::Trace})
+        if (name == levelName(l))
+            return l;
+    return std::nullopt;
+}
+
+u64
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+}
+
+namespace {
+
+/** Sequential id for Chrome-trace thread attribution. */
+u32
+threadId()
+{
+    static std::atomic<u32> next{0};
+    thread_local const u32 id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+// --- Chrome event capture ------------------------------------------------
+// Per-thread buffers, registered globally and owned jointly by the
+// thread (thread_local shared_ptr) and the registry, so events survive
+// pool reconfiguration (setGlobalThreads destroys worker threads).
+
+struct EventBuffer
+{
+    std::mutex mu;
+    std::vector<ChromeEvent> events;
+};
+
+struct EventRegistry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<EventBuffer>> buffers;
+};
+
+EventRegistry&
+eventRegistry()
+{
+    static EventRegistry* r = new EventRegistry(); // outlives static dtors
+    return *r;
+}
+
+EventBuffer&
+threadEventBuffer()
+{
+    thread_local std::shared_ptr<EventBuffer> buf = [] {
+        auto b = std::make_shared<EventBuffer>();
+        EventRegistry& r = eventRegistry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+appendEvent(ChromeEvent ev)
+{
+    EventBuffer& b = threadEventBuffer();
+    std::lock_guard<std::mutex> lock(b.mu);
+    // Backstop against unbounded growth in long-running servers: the
+    // trace level is a debugging mode, not a flight recorder.
+    if (b.events.size() >= 1u << 20)
+        return;
+    b.events.push_back(std::move(ev));
+}
+
+// --- Model predictions ---------------------------------------------------
+
+struct PredictionTable
+{
+    std::mutex mu;
+    std::map<std::string, double> bytes_by_path;
+};
+
+PredictionTable&
+predictions()
+{
+    static PredictionTable* t = new PredictionTable();
+    return *t;
+}
+
+// --- Fault hook ----------------------------------------------------------
+
+void
+faultFired(const char* site, faultinject::Kind kind, u64 nth)
+{
+    recordFaultEvent(site, faultinject::kindName(kind), nth);
+}
+
+void
+installFaultHook()
+{
+    faultinject::setFireHook(&faultFired);
+}
+
+// --- Exit reporting ------------------------------------------------------
+
+void
+atExitReport()
+{
+    const char* mode = std::getenv("MADFHE_TELEMETRY_REPORT");
+    if (!mode)
+        mode = "table"; // enabling telemetry implies an exit report
+    if (mode[0] != '\0' && mode[0] != '0') {
+        Snapshot snap = snapshot();
+        std::string out = std::string_view(mode) == "json" ? toJson(snap)
+                                                           : formatTable(snap);
+        std::fputs(out.c_str(), stderr);
+    }
+    if (const char* path = std::getenv("MADFHE_TELEMETRY_TRACE_OUT")) {
+        std::ofstream os(path);
+        if (os)
+            os << chromeTraceJson();
+        else
+            std::fprintf(stderr,
+                         "madfhe: cannot write Chrome trace to '%s'\n", path);
+    }
+}
+
+u8
+initialLevel()
+{
+    Level l = Level::Off;
+    if (const char* env = std::getenv("MADFHE_TELEMETRY")) {
+        auto parsed = levelFromName(env);
+        if (parsed) {
+            l = *parsed;
+        } else if (env[0] != '\0') {
+            std::fprintf(stderr,
+                         "madfhe: ignoring MADFHE_TELEMETRY='%s' "
+                         "(expected off|counters|spans|trace)\n",
+                         env);
+        }
+    }
+    if (l != Level::Off) {
+        installFaultHook();
+        std::atexit(&atExitReport);
+    }
+    return static_cast<u8>(l);
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<u8>&
+levelFlag()
+{
+    static std::atomic<u8> flag{initialLevel()};
+    return flag;
+}
+
+SpanNode*
+rootNode()
+{
+    static SpanNode* root = new SpanNode("", "", nullptr, 0);
+    return root;
+}
+
+SpanNode*&
+currentNode()
+{
+    thread_local SpanNode* cur = nullptr;
+    return cur;
+}
+
+SpanNode*
+childNode(SpanNode* parent, const char* name)
+{
+    // Lock-free lookup: sibling lists only ever grow by head insertion.
+    for (SpanNode* c = parent->first_child.load(std::memory_order_acquire);
+         c; c = c->next_sibling.load(std::memory_order_relaxed)) {
+        if (c->name == name || std::string_view(c->name) == name)
+            return c;
+    }
+    static std::mutex create_mu;
+    static std::atomic<u64> next_seq{1};
+    std::lock_guard<std::mutex> lock(create_mu);
+    // Re-check: another thread may have created it while we waited.
+    for (SpanNode* c = parent->first_child.load(std::memory_order_acquire);
+         c; c = c->next_sibling.load(std::memory_order_relaxed)) {
+        if (c->name == name || std::string_view(c->name) == name)
+            return c;
+    }
+    std::string path = parent->path.empty()
+                           ? std::string(name)
+                           : parent->path + "/" + name;
+    SpanNode* node = new SpanNode(
+        name, std::move(path), parent,
+        next_seq.fetch_add(1, std::memory_order_relaxed));
+    node->next_sibling.store(
+        parent->first_child.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    parent->first_child.store(node, std::memory_order_release);
+    return node;
+}
+
+void
+emitChromeSpan(const SpanNode* node, u64 start_ns, u64 dur_ns)
+{
+    appendEvent(ChromeEvent{node->path, threadId(), start_ns, dur_ns,
+                            /*instant=*/false});
+}
+
+u64
+tracedBytesNow()
+{
+    return memtrace::tracedDataBytes();
+}
+
+} // namespace detail
+
+bool
+Span::inPoolTask()
+{
+    return ThreadPool::inTask();
+}
+
+void
+setLevel(Level l)
+{
+    detail::levelFlag().store(static_cast<u8>(l), std::memory_order_relaxed);
+    if (l != Level::Off)
+        installFaultHook();
+}
+
+void
+recordFaultEvent(const char* site, const char* kind, u64 nth)
+{
+    if (!enabled(Level::Counters))
+        return;
+    // Rare slow path (a fault actually fired): string composition and
+    // registry lookup are fine here.
+    counter("fault.fired").add(1);
+    counter(std::string("fault.fired.") + site).add(1);
+    if (enabled(Level::Trace))
+        appendEvent(ChromeEvent{std::string("fault:") + site + ":" + kind +
+                                    ":#" + std::to_string(nth),
+                                threadId(), nowNs(), 0, /*instant=*/true});
+}
+
+void
+recordInstant(const std::string& name)
+{
+    if (!enabled(Level::Trace))
+        return;
+    appendEvent(ChromeEvent{name, threadId(), nowNs(), 0, /*instant=*/true});
+}
+
+void
+setModelPrediction(const std::string& path, double bytes)
+{
+    PredictionTable& t = predictions();
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.bytes_by_path[path] = bytes;
+}
+
+void
+clearModelPredictions()
+{
+    PredictionTable& t = predictions();
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.bytes_by_path.clear();
+}
+
+std::optional<double>
+modelPrediction(const std::string& path)
+{
+    PredictionTable& t = predictions();
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto it = t.bytes_by_path.find(path);
+    if (it == t.bytes_by_path.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<ChromeEvent>
+collectChromeEvents()
+{
+    EventRegistry& r = eventRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<ChromeEvent> out;
+    for (const auto& buf : r.buffers) {
+        std::lock_guard<std::mutex> block(buf->mu);
+        out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+    return out;
+}
+
+namespace {
+
+void
+resetSpanStats(SpanNode* node)
+{
+    node->count.store(0, std::memory_order_relaxed);
+    node->total_ns.store(0, std::memory_order_relaxed);
+    node->max_ns.store(0, std::memory_order_relaxed);
+    node->traced_bytes.store(0, std::memory_order_relaxed);
+    node->pool_count.store(0, std::memory_order_relaxed);
+    for (SpanNode* c = node->first_child.load(std::memory_order_acquire); c;
+         c = c->next_sibling.load(std::memory_order_relaxed))
+        resetSpanStats(c);
+}
+
+} // namespace
+
+void
+resetAll()
+{
+    resetMetrics();
+    resetSpanStats(detail::rootNode());
+    EventRegistry& r = eventRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& buf : r.buffers) {
+        std::lock_guard<std::mutex> block(buf->mu);
+        buf->events.clear();
+    }
+    clearModelPredictions();
+}
+
+} // namespace telemetry
+} // namespace madfhe

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Always-on observability for the CKKS stack: leveled gating, RAII
+ * hierarchical spans, and Chrome-trace event capture.
+ *
+ * MAD's thesis is that FHE lives or dies by bytes moved per operation,
+ * so the spans record exactly that: wall-clock, invocation count,
+ * thread attribution (serial spine vs pool task), and — whenever the
+ * memtrace instrumentation is live — the traced DRAM bytes that flowed
+ * while the span was open. A per-span model hook (model predictions
+ * installed by telemetry/simfhe_bridge.h) lets the exporters report
+ * measured-vs-modeled DRAM divergence at runtime, per primitive.
+ *
+ * Gating: MADFHE_TELEMETRY=off|counters|spans|trace (read once, on
+ * first use; setLevel() overrides programmatically).
+ *
+ *   off       every TELEM_* site is one relaxed atomic load
+ *   counters  counters/gauges/histograms accumulate
+ *   spans     + span tree (wall-clock, counts, traced bytes)
+ *   trace     + per-span Chrome trace events (chrome://tracing)
+ *
+ * Overhead contract matches memtrace and faultinject: the disarmed
+ * fast path is a single relaxed load, hot sites sit on the serial
+ * spine (never inside per-coefficient loops), and armed counters cost
+ * one sharded relaxed fetch_add.
+ *
+ * Exit hooks (opt-in, set alongside MADFHE_TELEMETRY):
+ *   MADFHE_TELEMETRY_REPORT=table|json   print a report to stderr at exit
+ *   MADFHE_TELEMETRY_TRACE_OUT=<path>    write the Chrome trace at exit
+ */
+#ifndef MADFHE_TELEMETRY_TELEMETRY_H
+#define MADFHE_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/common.h"
+#include "telemetry/metrics.h"
+
+namespace madfhe {
+namespace telemetry {
+
+enum class Level : u8
+{
+    Off = 0,
+    Counters = 1,
+    Spans = 2,
+    Trace = 3,
+};
+
+const char* levelName(Level l);
+std::optional<Level> levelFromName(std::string_view name);
+
+namespace detail {
+/**
+ * The global level flag. First call reads MADFHE_TELEMETRY (and the
+ * report/trace-out exit knobs) and installs the fault-injection fire
+ * hook; afterwards it is one static-guard check plus the atomic.
+ */
+std::atomic<u8>& levelFlag();
+} // namespace detail
+
+inline Level
+level()
+{
+    return static_cast<Level>(
+        detail::levelFlag().load(std::memory_order_relaxed));
+}
+
+/** The single disarmed-cost check every TELEM_* site performs. */
+inline bool
+enabled(Level at)
+{
+    return level() >= at;
+}
+
+/** Programmatic override (tests, tools); also installs the fault hook. */
+void setLevel(Level l);
+
+/** Nanoseconds since process start (steady clock). */
+u64 nowNs();
+
+// --- Spans ---------------------------------------------------------------
+
+/**
+ * One node of the process-wide span aggregation tree. Identity is the
+ * nesting path ("Bootstrap/EvalMod/Mult"); stats are relaxed atomics so
+ * concurrent spans over the same node never serialize. Nodes are
+ * created once (lock-free sibling-list lookup, mutex only on first
+ * creation) and never freed.
+ */
+struct SpanNode
+{
+    const char* name;  ///< leaf name (string literal at the site)
+    std::string path;  ///< "parent-path/name", root children are bare
+    SpanNode* parent;  ///< nullptr only for the implicit root
+    u64 seq;           ///< creation order, for stable report ordering
+
+    std::atomic<SpanNode*> first_child{nullptr};
+    std::atomic<SpanNode*> next_sibling{nullptr};
+
+    std::atomic<u64> count{0};
+    std::atomic<u64> total_ns{0};
+    std::atomic<u64> max_ns{0};
+    /** Traced DRAM bytes (memtrace) that flowed while the span was open. */
+    std::atomic<u64> traced_bytes{0};
+    /** How many of `count` entries ran inside a pool worker task. */
+    std::atomic<u64> pool_count{0};
+
+    SpanNode(const char* name_, std::string path_, SpanNode* parent_,
+             u64 seq_)
+        : name(name_), path(std::move(path_)), parent(parent_), seq(seq_)
+    {
+    }
+};
+
+namespace detail {
+/** Find-or-create the child of `parent` named `name`. */
+SpanNode* childNode(SpanNode* parent, const char* name);
+/** This thread's innermost open span node (root when none). */
+SpanNode*& currentNode();
+/** Root of the span tree. */
+SpanNode* rootNode();
+/** Append one completed Chrome duration event for `node`. */
+void emitChromeSpan(const SpanNode* node, u64 start_ns, u64 dur_ns);
+/** Traced data bytes observed so far (0 when memtrace is compiled out). */
+u64 tracedBytesNow();
+} // namespace detail
+
+/**
+ * RAII hierarchical span. Constructed disarmed (one relaxed load) when
+ * the level is below `spans`. The name must be a string literal (it is
+ * stored by pointer and compared by content only on first encounter).
+ */
+class Span
+{
+  public:
+    explicit Span(const char* name)
+    {
+        if (!enabled(Level::Spans))
+            return;
+        SpanNode*& cur = detail::currentNode();
+        saved = cur;
+        node = detail::childNode(cur ? cur : detail::rootNode(), name);
+        cur = node;
+        bytes0 = detail::tracedBytesNow();
+        t0 = nowNs();
+    }
+
+    ~Span()
+    {
+        if (!node)
+            return;
+        const u64 dur = nowNs() - t0;
+        const u64 bytes = detail::tracedBytesNow() - bytes0;
+        node->count.fetch_add(1, std::memory_order_relaxed);
+        node->total_ns.fetch_add(dur, std::memory_order_relaxed);
+        node->traced_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        u64 prev = node->max_ns.load(std::memory_order_relaxed);
+        while (dur > prev &&
+               !node->max_ns.compare_exchange_weak(
+                   prev, dur, std::memory_order_relaxed))
+            ;
+        if (inPoolTask())
+            node->pool_count.fetch_add(1, std::memory_order_relaxed);
+        detail::currentNode() = saved;
+        if (enabled(Level::Trace))
+            detail::emitChromeSpan(node, t0, dur);
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    static bool inPoolTask();
+
+    SpanNode* node = nullptr;
+    SpanNode* saved = nullptr;
+    u64 t0 = 0;
+    u64 bytes0 = 0;
+};
+
+// --- Instant events (fault injection, annotations) -----------------------
+
+/**
+ * Record a fault-injection firing: bumps `fault.fired` (and a per-site
+ * counter) at level >= counters, and appends an instant Chrome event at
+ * level trace so fault-campaign timelines are visible next to the spans.
+ */
+void recordFaultEvent(const char* site, const char* kind, u64 nth);
+
+/** Free-form instant marker on the Chrome timeline (trace level only). */
+void recordInstant(const std::string& name);
+
+// --- Model hook ----------------------------------------------------------
+
+/**
+ * Install the SimFHE-predicted DRAM bytes for the span at `path`
+ * (exact span-tree path, e.g. "Bootstrap/EvalMod"). Exporters attach
+ * the prediction and report measured/predicted divergence.
+ */
+void setModelPrediction(const std::string& path, double bytes);
+void clearModelPredictions();
+/** Prediction for `path`, or nullopt. */
+std::optional<double> modelPrediction(const std::string& path);
+
+// --- Maintenance ---------------------------------------------------------
+
+/**
+ * Zero all metrics and span stats and drop buffered Chrome events and
+ * model predictions. Registrations and tree structure survive (call
+ * sites hold references). Writers must be quiescent.
+ */
+void resetAll();
+
+} // namespace telemetry
+} // namespace madfhe
+
+// --- Site macros ---------------------------------------------------------
+// Each site is one relaxed load when telemetry is off. The metric
+// reference is resolved once (function-local static) the first time the
+// site runs armed.
+
+#define MAD_TELEM_CAT2(a, b) a##b
+#define MAD_TELEM_CAT(a, b) MAD_TELEM_CAT2(a, b)
+
+/** RAII hierarchical span; `name` must be a string literal. */
+#define TELEM_SPAN(name)                                                   \
+    ::madfhe::telemetry::Span MAD_TELEM_CAT(mad_telem_span_,               \
+                                            __LINE__)(name)
+
+/** Add `delta` to the named counter. */
+#define TELEM_COUNT(name, delta)                                           \
+    do {                                                                   \
+        if (::madfhe::telemetry::enabled(                                  \
+                ::madfhe::telemetry::Level::Counters)) {                   \
+            static ::madfhe::telemetry::Counter& mad_telem_c =             \
+                ::madfhe::telemetry::counter(name);                        \
+            mad_telem_c.add(delta);                                        \
+        }                                                                  \
+    } while (0)
+
+/** Set the named gauge to `v`. */
+#define TELEM_GAUGE_SET(name, v)                                           \
+    do {                                                                   \
+        if (::madfhe::telemetry::enabled(                                  \
+                ::madfhe::telemetry::Level::Counters)) {                   \
+            static ::madfhe::telemetry::Gauge& mad_telem_g =               \
+                ::madfhe::telemetry::gauge(name);                          \
+            mad_telem_g.set(v);                                            \
+        }                                                                  \
+    } while (0)
+
+/** Record `v` into the named histogram. */
+#define TELEM_HIST(name, v)                                                \
+    do {                                                                   \
+        if (::madfhe::telemetry::enabled(                                  \
+                ::madfhe::telemetry::Level::Counters)) {                   \
+            static ::madfhe::telemetry::Histogram& mad_telem_h =           \
+                ::madfhe::telemetry::histogram(name);                      \
+            mad_telem_h.record(v);                                         \
+        }                                                                  \
+    } while (0)
+
+#endif // MADFHE_TELEMETRY_TELEMETRY_H

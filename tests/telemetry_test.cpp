@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the telemetry layer: sharded-metric merging under real pool
+ * concurrency, hierarchical span aggregation and attribution, traced-byte
+ * accounting against memtrace, the JSON exporter round-trip through the
+ * in-tree parser, fault-event recording, and the disarmed-overhead
+ * contract.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "memtrace/trace.h"
+#include "rns/basis.h"
+#include "rns/primegen.h"
+#include "support/faultinject.h"
+#include "support/parallel.h"
+#include "telemetry/export.h"
+#include "telemetry/json.h"
+#include "telemetry/simfhe_bridge.h"
+#include "telemetry/telemetry.h"
+
+namespace madfhe {
+namespace telemetry {
+namespace {
+
+/** Pin the level for one test; restores Off and clears state after. */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(Level l)
+    {
+        resetAll();
+        setLevel(l);
+    }
+    ~LevelGuard()
+    {
+        setLevel(Level::Off);
+        resetAll();
+    }
+};
+
+TEST(TelemetryMetrics, CounterMergesAcrossPoolThreads)
+{
+    LevelGuard guard(Level::Counters);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+        ThreadPool::setGlobalThreads(threads);
+        Counter& c = counter("test.counter_merge");
+        c.reset();
+        constexpr size_t kTasks = 256;
+        parallelFor(kTasks, [&](size_t) { c.add(3); });
+        EXPECT_EQ(c.value(), 3 * kTasks) << "threads=" << threads;
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+}
+
+TEST(TelemetryMetrics, GaugeAndHistogram)
+{
+    LevelGuard guard(Level::Counters);
+    gauge("test.gauge").set(-7);
+    EXPECT_EQ(gauge("test.gauge").value(), -7);
+
+    Histogram& h = histogram("test.hist");
+    h.record(0);
+    h.record(1);
+    h.record(1000);
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.sum, 1001u);
+    EXPECT_GE(snap.quantileBound(1.0), 1000u);
+}
+
+TEST(TelemetryMetrics, MacrosAreInertWhenOff)
+{
+    resetAll();
+    setLevel(Level::Off);
+    TELEM_COUNT("test.inert", 5);
+    setLevel(Level::Counters);
+    EXPECT_EQ(counter("test.inert").value(), 0u);
+    setLevel(Level::Off);
+    resetAll();
+}
+
+TEST(TelemetrySpans, NestingBuildsPaths)
+{
+    LevelGuard guard(Level::Spans);
+    {
+        TELEM_SPAN("Outer");
+        {
+            TELEM_SPAN("Inner");
+        }
+        {
+            TELEM_SPAN("Inner");
+        }
+    }
+    auto rows = spanRows();
+    const SpanRow* outer = nullptr;
+    const SpanRow* inner = nullptr;
+    for (const auto& r : rows) {
+        if (r.path == "Outer")
+            outer = &r;
+        if (r.path == "Outer/Inner")
+            inner = &r;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(inner->count, 2u);
+    EXPECT_EQ(outer->depth, 0u);
+    EXPECT_EQ(inner->depth, 1u);
+    EXPECT_GE(outer->total_ns, inner->total_ns);
+    // Serial-spine spans never run inside a pool task.
+    EXPECT_EQ(outer->pool_count, 0u);
+}
+
+TEST(TelemetrySpans, PoolTaskAttribution)
+{
+    LevelGuard guard(Level::Spans);
+    ThreadPool::setGlobalThreads(2);
+    parallelFor(8, [&](size_t) { TELEM_SPAN("InPool"); });
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+    auto rows = spanRows();
+    const SpanRow* in_pool = nullptr;
+    for (const auto& r : rows)
+        if (r.name == std::string("InPool"))
+            in_pool = &r;
+    ASSERT_NE(in_pool, nullptr);
+    EXPECT_EQ(in_pool->count, 8u);
+    // With 2 workers plus the help-along spine, at least one execution
+    // lands inside a pool task (all of them when the spine never helps).
+    EXPECT_GT(in_pool->pool_count, 0u);
+}
+
+TEST(TelemetrySpans, TracedBytesAttributedToOpenSpan)
+{
+#ifdef MADFHE_MEMTRACE_DISABLED
+    GTEST_SKIP() << "memtrace compiled out";
+#else
+    LevelGuard guard(Level::Spans);
+    memtrace::TraceSink& sink = memtrace::TraceSink::instance();
+    sink.clear();
+    sink.enable();
+    constexpr size_t kBytes = 4096;
+    alignas(64) static u64 buf[kBytes / sizeof(u64)];
+    {
+        TELEM_SPAN("TracedRegion");
+        MAD_TRACE_READ(buf, kBytes);
+        MAD_TRACE_WRITE(buf, kBytes);
+    }
+    sink.disable();
+    sink.clear();
+    auto rows = spanRows();
+    const SpanRow* row = nullptr;
+    for (const auto& r : rows)
+        if (r.path == "TracedRegion")
+            row = &r;
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->traced_bytes, 2 * kBytes);
+#endif
+}
+
+TEST(TelemetrySpans, ModelPredictionAndDivergence)
+{
+    LevelGuard guard(Level::Spans);
+    setModelPrediction("Predicted", 1000.0);
+    {
+        TELEM_SPAN("Predicted");
+    }
+    auto snap = snapshot();
+    const SpanRow* row = snap.span("Predicted");
+    ASSERT_NE(row, nullptr);
+    ASSERT_TRUE(row->model_bytes.has_value());
+    EXPECT_DOUBLE_EQ(*row->model_bytes, 1000.0);
+    ASSERT_TRUE(row->divergence().has_value());
+    // No memtrace traffic flowed, so measured/modeled - 1 = -1.
+    EXPECT_DOUBLE_EQ(*row->divergence(), -1.0);
+}
+
+TEST(TelemetryExport, JsonRoundTrip)
+{
+    LevelGuard guard(Level::Spans);
+    counter("test.json_counter").add(42);
+    gauge("test.json_gauge").set(17);
+    {
+        TELEM_SPAN("JsonOuter");
+        {
+            TELEM_SPAN("JsonInner");
+        }
+    }
+    setModelPrediction("JsonOuter", 512.0);
+
+    auto snap = snapshot();
+    const std::string text = toJson(snap);
+    auto doc = json::parse(text);
+    ASSERT_TRUE(doc.has_value()) << text;
+    EXPECT_EQ(doc->stringOr("schema", ""), "madfhe.telemetry.v1");
+
+    const json::Value* counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_TRUE(counters->isArray());
+    bool found_counter = false;
+    for (const auto& c : counters->array) {
+        if (c.stringOr("name", "") == "test.json_counter") {
+            found_counter = true;
+            EXPECT_DOUBLE_EQ(c.numberOr("value", 0), 42.0);
+        }
+    }
+    EXPECT_TRUE(found_counter);
+
+    const json::Value* spans = doc->find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->isArray());
+    bool found_outer = false;
+    bool found_inner = false;
+    for (const auto& s : spans->array) {
+        const std::string path = s.stringOr("path", "");
+        if (path == "JsonOuter") {
+            found_outer = true;
+            EXPECT_DOUBLE_EQ(s.numberOr("count", 0), 1.0);
+            EXPECT_DOUBLE_EQ(s.numberOr("model_bytes", 0), 512.0);
+        }
+        if (path == "JsonOuter/JsonInner") {
+            found_inner = true;
+            EXPECT_DOUBLE_EQ(s.numberOr("depth", 0), 1.0);
+        }
+    }
+    EXPECT_TRUE(found_outer);
+    EXPECT_TRUE(found_inner);
+}
+
+TEST(TelemetryExport, ChromeTraceEventsAtTraceLevel)
+{
+    LevelGuard guard(Level::Trace);
+    {
+        TELEM_SPAN("ChromeSpan");
+    }
+    recordInstant("marker");
+    const std::string trace = chromeTraceJson();
+    auto doc = json::parse(trace);
+    ASSERT_TRUE(doc.has_value()) << trace;
+    const json::Value* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    bool found_span = false;
+    bool found_marker = false;
+    for (const auto& e : events->array) {
+        if (e.stringOr("name", "") == "ChromeSpan") {
+            found_span = true;
+            EXPECT_EQ(e.stringOr("ph", ""), "X");
+        }
+        if (e.stringOr("name", "") == "marker") {
+            found_marker = true;
+            EXPECT_EQ(e.stringOr("ph", ""), "i");
+        }
+    }
+    EXPECT_TRUE(found_span);
+    EXPECT_TRUE(found_marker);
+}
+
+TEST(TelemetryFaults, FiredFaultIsCounted)
+{
+    LevelGuard guard(Level::Counters);
+    // Arm a task-throw on the basis-conversion site and trip it with a
+    // real conversion; the telemetry fire hook must count the firing.
+    const u64 before = counter("fault.fired").value();
+    const size_t n = size_t(1) << 8;
+    auto primes = generateNttPrimes(35, n, 3);
+    RnsBasis from(std::vector<Modulus>{Modulus(primes[0]),
+                                       Modulus(primes[1])});
+    RnsBasis to(std::vector<Modulus>{Modulus(primes[2])});
+    BasisConverter conv(from, to);
+    std::vector<u64> a(n, 1), b(n, 2), out(n);
+    std::vector<const u64*> src = {a.data(), b.data()};
+    std::vector<u64*> dst = {out.data()};
+
+    faultinject::Spec spec;
+    spec.site = "rns.basis_convert";
+    spec.nth = 0;
+    spec.kind = faultinject::Kind::TaskThrow;
+    faultinject::arm(spec);
+    EXPECT_THROW(conv.convert(src, n, dst), faultinject::InjectedFault);
+    faultinject::disarm();
+
+    EXPECT_EQ(counter("fault.fired").value(), before + 1);
+    EXPECT_EQ(counter("fault.fired.rns.basis_convert").value(), 1u);
+}
+
+TEST(TelemetryOverhead, DisarmedSitesStayCheap)
+{
+    // The disarmed contract: a TELEM_* site is one relaxed atomic load.
+    // Compare a loop of disarmed sites against a pure arithmetic loop;
+    // the generous 25x bound catches an accidental lock or allocation
+    // on the fast path without making the test timing-sensitive.
+    resetAll();
+    setLevel(Level::Off);
+    using Clock = std::chrono::steady_clock;
+    constexpr size_t kIters = 1 << 18;
+
+    volatile u64 sink = 0;
+    auto t0 = Clock::now();
+    for (size_t i = 0; i < kIters; ++i)
+        sink = sink + i;
+    auto t1 = Clock::now();
+    for (size_t i = 0; i < kIters; ++i) {
+        TELEM_COUNT("test.overhead", 1);
+        TELEM_SPAN("OverheadProbe");
+        sink = sink + i;
+    }
+    auto t2 = Clock::now();
+
+    const double base =
+        std::chrono::duration<double>(t1 - t0).count() + 1e-9;
+    const double armed = std::chrono::duration<double>(t2 - t1).count();
+    EXPECT_LT(armed / base, 25.0);
+    // Nothing may have been recorded while off.
+    setLevel(Level::Counters);
+    EXPECT_EQ(counter("test.overhead").value(), 0u);
+    auto rows = spanRows();
+    for (const auto& r : rows)
+        EXPECT_NE(r.path, "OverheadProbe");
+    setLevel(Level::Off);
+    resetAll();
+}
+
+TEST(TelemetryBridge, PredictionsScaleWithCalibration)
+{
+    // The model's bootstrap schedule needs the full toy chain (the
+    // crossval reduced chain is too short for EvalMod's 9 levels).
+    CkksParams p = CkksParams::bootstrapToy();
+    p.log_n = 11;
+    BootstrapShape shape;
+    auto stages = bootstrapPredictions(p, shape);
+    ASSERT_EQ(stages.size(), 5u);
+    double sum = 0;
+    double total = 0;
+    for (const auto& s : stages) {
+        EXPECT_GT(s.model_bytes, 0.0) << s.path;
+        if (s.path == "Bootstrap")
+            total = s.model_bytes;
+        else
+            sum += s.model_bytes / materializationFactor(s.path);
+    }
+    // Uncalibrated stage predictions sum to the uncalibrated total.
+    EXPECT_NEAR(sum, total / materializationFactor("Bootstrap"),
+                total * 1e-9);
+
+    auto prims = primitivePredictions(p, 5, 8);
+    ASSERT_EQ(prims.size(), 4u);
+    for (const auto& s : prims)
+        EXPECT_GT(s.model_bytes, 0.0) << s.path;
+}
+
+TEST(TelemetryJson, ParserRejectsMalformedInput)
+{
+    EXPECT_FALSE(json::parse("{").has_value());
+    EXPECT_FALSE(json::parse("[1,]").has_value());
+    EXPECT_FALSE(json::parse("{\"a\": 1} trailing").has_value());
+    EXPECT_FALSE(json::parse("nul").has_value());
+    auto ok = json::parse(
+        " {\"a\": [1, 2.5, -3e2], \"b\": {\"c\": \"d\\n\"}, \"e\": true} ");
+    ASSERT_TRUE(ok.has_value());
+    const json::Value* a = ok->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+    const json::Value* b = ok->find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->stringOr("c", ""), "d\n");
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace madfhe

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Per-stage bootstrap observability check: runs one full bootstrap at
+ * the crossval toy parameters with telemetry spans and memtrace both
+ * live, installs the SimFHE per-stage predictions, and prints one row
+ * per stage (ModRaise / CoeffToSlot / EvalMod / SlotToCoeff) with
+ * wall-clock, traced DRAM bytes, model-predicted bytes, and divergence.
+ *
+ * Usage:
+ *   boot_profile [--check] [--calibrate] [--trace-out <path>] [--json]
+ *
+ *   --check             exit 1 unless every stage's measured-vs-modeled
+ *                       divergence is within ±10%
+ *   --calibrate         print the materialization factors that would
+ *                       zero the divergence (paste into
+ *                       src/telemetry/simfhe_bridge.cpp after a kernel
+ *                       restructure)
+ *   --trace-out <path>  write the Chrome trace of the run
+ *   --json              dump the full telemetry snapshot as JSON
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "boot/bootstrapper.h"
+#include "ckks/encryptor.h"
+#include "memtrace/trace.h"
+#include "support/random.h"
+#include "telemetry/export.h"
+#include "telemetry/simfhe_bridge.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace madfhe;
+
+std::vector<std::complex<double>>
+randomSlots(size_t count, u64 seed)
+{
+    Prng rng(seed);
+    std::vector<std::complex<double>> v(count);
+    for (auto& z : v)
+        z = {2.0 * rng.uniformReal() - 1.0, 2.0 * rng.uniformReal() - 1.0};
+    return v;
+}
+
+double
+mb(double bytes)
+{
+    return bytes / (1024.0 * 1024.0);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool check = false;
+    bool calibrate = false;
+    bool dump_json = false;
+    std::string trace_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--check") {
+            check = true;
+        } else if (arg == "--calibrate") {
+            calibrate = true;
+        } else if (arg == "--json") {
+            dump_json = true;
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else {
+            std::fprintf(stderr, "boot_profile: unknown argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    // The crossval bootstrap configuration: toy ring, sparse secret.
+    CkksParams params = CkksParams::bootstrapToy();
+    params.log_n = 11;
+    params.hamming_weight = 16;
+
+    BootstrapParams boot_params;
+    boot_params.ctos_iters = 3;
+    boot_params.stoc_iters = 3;
+    boot_params.sine_degree = 71;
+    boot_params.k_bound = 8.0;
+
+    telemetry::setLevel(trace_out.empty() ? telemetry::Level::Spans
+                                          : telemetry::Level::Trace);
+    telemetry::BootstrapShape shape;
+    shape.ctos_iters = boot_params.ctos_iters;
+    shape.stoc_iters = boot_params.stoc_iters;
+    shape.sine_degree = boot_params.sine_degree;
+    telemetry::installBootstrapPredictions(params, shape);
+
+    auto ctx = std::make_shared<CkksContext>(params);
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    SwitchingKey rlk = keygen.relinKey(sk);
+    Encryptor encryptor(ctx, pk);
+    Evaluator eval(ctx);
+    Bootstrapper boot(ctx, boot_params);
+    GaloisKeys gks = keygen.galoisKeys(sk, boot.requiredRotations(), true);
+
+    Plaintext pt = encoder.encode(randomSlots(ctx->slots(), 51),
+                                  ctx->scale(), 1);
+    Ciphertext ct = encryptor.encrypt(pt);
+
+    // Trace only the bootstrap itself, not setup/keygen.
+    memtrace::TraceSink& sink = memtrace::TraceSink::instance();
+    sink.clear();
+    sink.enable();
+    Ciphertext out = boot.bootstrap(eval, encoder, ct, gks, rlk);
+    sink.disable();
+    (void)out;
+
+    auto snap = telemetry::snapshot();
+
+    const char* stages[] = {"Bootstrap/ModRaise", "Bootstrap/CoeffToSlot",
+                            "Bootstrap/EvalMod", "Bootstrap/SlotToCoeff",
+                            "Bootstrap"};
+    std::printf("%-24s %10s %12s %12s %8s\n", "stage", "wall ms",
+                "traced MB", "model MB", "div");
+    bool all_within = true;
+    for (const char* path : stages) {
+        const telemetry::SpanRow* row = snap.span(path);
+        if (!row) {
+            std::printf("%-24s      (no span recorded)\n", path);
+            all_within = false;
+            continue;
+        }
+        const auto div = row->divergence();
+        std::printf("%-24s %10.1f %12.2f %12.2f ", path,
+                    static_cast<double>(row->total_ns) / 1e6,
+                    mb(static_cast<double>(row->traced_bytes)),
+                    row->model_bytes ? mb(*row->model_bytes) : 0.0);
+        if (div) {
+            std::printf("%+7.1f%%\n", *div * 100.0);
+            if (std::fabs(*div) > 0.10)
+                all_within = false;
+        } else {
+            std::printf("%8s\n", "n/a");
+            all_within = false;
+        }
+    }
+
+    if (calibrate) {
+        std::printf("\nmeasured materialization factors (traced bytes / "
+                    "uncalibrated model bytes):\n");
+        for (const char* path : stages) {
+            const telemetry::SpanRow* row = snap.span(path);
+            if (!row || !row->model_bytes || *row->model_bytes <= 0)
+                continue;
+            const double current = telemetry::materializationFactor(path);
+            const double uncalibrated = *row->model_bytes / current;
+            std::printf("    {\"%s\", %.2f},\n", path,
+                        static_cast<double>(row->traced_bytes) /
+                            uncalibrated);
+        }
+    }
+
+    if (dump_json)
+        std::printf("%s\n", telemetry::toJson(snap).c_str());
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::fprintf(stderr, "boot_profile: cannot write %s\n",
+                         trace_out.c_str());
+            return 2;
+        }
+        os << telemetry::chromeTraceJson();
+        std::printf("wrote %s\n", trace_out.c_str());
+    }
+
+    if (check && !all_within) {
+        std::fprintf(stderr,
+                     "boot_profile: FAIL — a stage diverged more than 10%% "
+                     "from the model prediction\n");
+        return 1;
+    }
+    return 0;
+}

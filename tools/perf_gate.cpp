@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Kernel performance regression gate: runs the shared kernel
+ * microbenchmarks (bench/kernels_common.h), writes BENCH_kernels.json,
+ * diffs the measured ns/op against a checked-in baseline, and exits
+ * nonzero when any kernel regressed past the threshold.
+ *
+ * Usage:
+ *   perf_gate [--quick] [--baseline <path>] [--out <path>]
+ *             [--threshold <percent>] [--write-baseline]
+ *
+ *   --quick            1-thread sweep with a short sampling target
+ *                      (~25 ms/kernel) — the CI smoke configuration
+ *   --baseline <path>  baseline JSON (default bench/baselines/kernels.json,
+ *                      resolved relative to the working directory)
+ *   --out <path>       where to write the measurement artifact
+ *                      (default BENCH_kernels.json)
+ *   --threshold <pct>  max tolerated slowdown per kernel (default 15)
+ *   --write-baseline   write the measurements to the baseline path
+ *                      instead of gating (refreshes the baseline)
+ *
+ * Only (op, threads) pairs present in both the run and the baseline are
+ * compared, so a --quick run gates against the 1-thread baseline rows
+ * and ignores the rest. Speedups are reported but never fail the gate.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/kernels_common.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using namespace madfhe;
+using namespace madfhe::benchkit;
+
+struct Options
+{
+    bool quick = false;
+    bool write_baseline = false;
+    std::string baseline = "bench/baselines/kernels.json";
+    std::string out = "BENCH_kernels.json";
+    double threshold_pct = 15.0;
+};
+
+bool
+parseArgs(int argc, char** argv, Options& opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--quick") {
+            opt.quick = true;
+        } else if (arg == "--write-baseline") {
+            opt.write_baseline = true;
+        } else if (arg == "--baseline") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.baseline = v;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.out = v;
+        } else if (arg == "--threshold") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.threshold_pct = std::atof(v);
+            if (opt.threshold_pct <= 0) {
+                std::fprintf(stderr, "perf_gate: bad --threshold '%s'\n", v);
+                return false;
+            }
+        } else {
+            std::fprintf(stderr, "perf_gate: unknown argument '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Baseline rows keyed by (op, threads). */
+struct BaselineRow
+{
+    std::string op;
+    size_t threads = 0;
+    double ns_per_op = 0;
+};
+
+std::vector<BaselineRow>
+loadBaseline(const std::string& path, bool* io_error)
+{
+    *io_error = false;
+    std::ifstream is(path);
+    if (!is) {
+        *io_error = true;
+        return {};
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    auto doc = telemetry::json::parse(ss.str());
+    if (!doc) {
+        *io_error = true;
+        return {};
+    }
+    std::vector<BaselineRow> rows;
+    const telemetry::json::Value* results = doc->find("results");
+    if (!results || !results->isArray()) {
+        *io_error = true;
+        return {};
+    }
+    for (const auto& r : results->array) {
+        BaselineRow row;
+        row.op = r.stringOr("op", "");
+        row.threads = static_cast<size_t>(r.numberOr("threads", 0));
+        row.ns_per_op = r.numberOr("ns_per_op", 0);
+        if (!row.op.empty() && row.threads > 0 && row.ns_per_op > 0)
+            rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    const std::vector<size_t> sweep =
+        opt.quick ? std::vector<size_t>{1} : std::vector<size_t>{1, 2, 4, 8};
+    const double target_ns = opt.quick ? 25e6 : 200e6;
+
+    auto params = benchParams();
+    KernelBench bench(params);
+    auto results = bench.run(sweep, target_ns);
+
+    const std::string artifact = opt.write_baseline ? opt.baseline : opt.out;
+    if (!writeKernelsJson(artifact.c_str(), params, *bench.ctx, results)) {
+        std::fprintf(stderr, "perf_gate: cannot write %s\n",
+                     artifact.c_str());
+        return 2;
+    }
+    std::printf("wrote %s\n", artifact.c_str());
+    if (opt.write_baseline)
+        return 0;
+
+    bool io_error = false;
+    auto baseline = loadBaseline(opt.baseline, &io_error);
+    if (io_error) {
+        std::fprintf(stderr,
+                     "perf_gate: cannot read baseline %s (run with "
+                     "--write-baseline to create it)\n",
+                     opt.baseline.c_str());
+        return 2;
+    }
+
+    std::printf("%-16s %8s %14s %14s %9s\n", "op", "threads", "baseline ns",
+                "measured ns", "delta");
+    bool regressed = false;
+    size_t compared = 0;
+    for (const auto& r : results) {
+        const BaselineRow* base = nullptr;
+        for (const auto& b : baseline)
+            if (b.op == r.op && b.threads == r.threads)
+                base = &b;
+        if (!base)
+            continue;
+        ++compared;
+        const double delta_pct =
+            (r.ns_per_op / base->ns_per_op - 1.0) * 100.0;
+        const bool bad = delta_pct > opt.threshold_pct;
+        regressed = regressed || bad;
+        std::printf("%-16s %8zu %14.0f %14.0f %+8.1f%%%s\n", r.op.c_str(),
+                    r.threads, base->ns_per_op, r.ns_per_op, delta_pct,
+                    bad ? "  REGRESSED" : "");
+    }
+    if (compared == 0) {
+        std::fprintf(stderr,
+                     "perf_gate: baseline %s has no rows matching this "
+                     "sweep\n",
+                     opt.baseline.c_str());
+        return 2;
+    }
+    if (regressed) {
+        std::fprintf(stderr,
+                     "perf_gate: FAIL — kernel(s) slower than baseline by "
+                     ">%.0f%%\n",
+                     opt.threshold_pct);
+        return 1;
+    }
+    std::printf("perf_gate: OK (%zu comparisons within %.0f%%)\n", compared,
+                opt.threshold_pct);
+    return 0;
+}
