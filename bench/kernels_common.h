@@ -23,6 +23,8 @@
 #include "ckks/evaluator.h"
 #include "ckks/keyswitch.h"
 #include "rns/basis.h"
+#include "rns/primegen.h"
+#include "rns/simd/simd.h"
 #include "support/parallel.h"
 #include "support/random.h"
 
@@ -73,7 +75,39 @@ struct KernelResult
     std::string op;
     size_t threads;
     double ns_per_op;
+    /** SIMD backend active when the row was measured. */
+    std::string backend;
 };
+
+/**
+ * Machine-speed reference: one serial scalar Shoup-multiply pass over a
+ * fixed 4096-element array. Deliberately independent of the SIMD
+ * backend and the thread pool, so the ratio of a re-measured reference
+ * to the baseline's recorded `reference_ns` is a pure machine-speed
+ * factor — perf_gate uses it to rescale checked-in baselines to the
+ * host it runs on instead of comparing absolute ns across machines.
+ */
+inline double
+referenceKernelNs()
+{
+    constexpr size_t kRefN = 4096;
+    static const u64 prime = generateNttPrimes(50, kRefN, 1)[0];
+    const Modulus q(prime);
+    std::vector<u64> a(kRefN);
+    Prng rng(42);
+    for (auto& x : a)
+        x = rng.uniform(q.value());
+    const u64 w = q.reduce(0x9e3779b97f4a7c15ULL);
+    const u64 ws = q.shoupPrecompute(w);
+    volatile u64 sink = 0;
+    return nsPerOp(
+        [&] {
+            for (size_t i = 0; i < kRefN; ++i)
+                a[i] = q.mulShoup(a[i], w, ws);
+            sink = sink + a[0];
+        },
+        256, 20e6);
+}
 
 inline CkksParams
 benchParams()
@@ -170,6 +204,7 @@ struct KernelBench
     {
         const size_t n = ctx->degree();
         const size_t level = ctx->maxLevel();
+        const std::string be = simd::activeName();
         std::vector<KernelResult> results;
         for (size_t threads : thread_sweep) {
             ThreadPool::setGlobalThreads(threads);
@@ -186,12 +221,14 @@ struct KernelBench
                                        ntt_poly.toCoeff();
                                    },
                                    8, target_ns) /
-                                   2.0});
+                                   2.0,
+                               be});
 
             results.push_back(
                 {"basis_extension", threads,
                  nsPerOp([&] { conv->convert(conv_src, n, conv_dst); }, 8,
-                         target_ns)});
+                         target_ns),
+                 be});
 
             results.push_back({"keyswitch", threads,
                                nsPerOp(
@@ -199,7 +236,8 @@ struct KernelBench
                                        auto r = ksw->keySwitch(ct_a.c1, rlk);
                                        (void)r;
                                    },
-                                   4, target_ns)});
+                                   4, target_ns),
+                               be});
 
             results.push_back({"mult", threads,
                                nsPerOp(
@@ -208,7 +246,8 @@ struct KernelBench
                                            eval->mul(ct_a, ct_b, rlk);
                                        (void)c;
                                    },
-                                   4, target_ns)});
+                                   4, target_ns),
+                               be});
 
             results.push_back({"rotate", threads,
                                nsPerOp(
@@ -217,7 +256,8 @@ struct KernelBench
                                            eval->rotate(ct_a, 1, gks);
                                        (void)c;
                                    },
-                                   4, target_ns)});
+                                   4, target_ns),
+                               be});
         }
         ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
         return results;
@@ -233,11 +273,17 @@ kernelNames()
     return names;
 }
 
-/** Write the BENCH_kernels.json artifact. Returns false on I/O error. */
+/**
+ * Write the BENCH_kernels.json artifact. `reference_ns` (from
+ * referenceKernelNs()) records the host's machine-speed reference so a
+ * later perf_gate run on different hardware can rescale these numbers;
+ * 0 omits the field. Returns false on I/O error.
+ */
 inline bool
 writeKernelsJson(const char* path, const CkksParams& params,
                  const CkksContext& ctx,
-                 const std::vector<KernelResult>& results)
+                 const std::vector<KernelResult>& results,
+                 double reference_ns = 0)
 {
     std::FILE* f = std::fopen(path, "w");
     if (!f)
@@ -251,13 +297,17 @@ writeKernelsJson(const char* path, const CkksParams& params,
                  ctx.ring()->numP(), params.dnum);
     std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"simd_backend\": \"%s\",\n", simd::activeName());
+    if (reference_ns > 0)
+        std::fprintf(f, "  \"reference_ns\": %.1f,\n", reference_ns);
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
-        std::fprintf(
-            f,
-            "    {\"op\": \"%s\", \"threads\": %zu, \"ns_per_op\": %.0f}%s\n",
-            results[i].op.c_str(), results[i].threads, results[i].ns_per_op,
-            i + 1 < results.size() ? "," : "");
+        std::fprintf(f,
+                     "    {\"op\": \"%s\", \"threads\": %zu, \"ns_per_op\": "
+                     "%.0f, \"backend\": \"%s\"}%s\n",
+                     results[i].op.c_str(), results[i].threads,
+                     results[i].ns_per_op, results[i].backend.c_str(),
+                     i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     // Speedups vs the 1-thread row of the same op.

@@ -26,15 +26,17 @@ main()
     using namespace madfhe::benchkit;
 
     auto params = benchParams();
+    const double ref_ns = referenceKernelNs();
     KernelBench bench(params);
     auto results = bench.run({1, 2, 4, 8});
 
-    if (!writeKernelsJson("BENCH_kernels.json", params, *bench.ctx,
-                          results)) {
+    if (!writeKernelsJson("BENCH_kernels.json", params, *bench.ctx, results,
+                          ref_ns)) {
         std::fprintf(stderr, "cannot open BENCH_kernels.json\n");
         return 1;
     }
 
+    std::printf("simd backend: %s\n", madfhe::simd::activeName());
     for (const auto& r : results)
         std::printf("%-16s threads=%zu  %12.0f ns/op\n", r.op.c_str(),
                     r.threads, r.ns_per_op);

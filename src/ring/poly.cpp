@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "memtrace/trace.h"
+#include "rns/simd/simd.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
 #include "telemetry/telemetry.h"
@@ -76,6 +77,7 @@ RnsPoly::toEval()
 {
     MAD_CHECK(representation == Rep::Coeff, "toEval requires coefficient rep");
     TELEM_SPAN("NTT");
+    TELEM_SPAN(simd::activeSpanLabel());
     TELEM_COUNT("ring.ntt.limbs", numLimbs());
     parallelFor(numLimbs(),
                 [&](size_t i) { ctx->ntt(chain[i]).forward(limb(i)); });
@@ -87,6 +89,7 @@ RnsPoly::toCoeff()
 {
     MAD_CHECK(representation == Rep::Eval, "toCoeff requires evaluation rep");
     TELEM_SPAN("iNTT");
+    TELEM_SPAN(simd::activeSpanLabel());
     TELEM_COUNT("ring.intt.limbs", numLimbs());
     parallelFor(numLimbs(),
                 [&](size_t i) { ctx->ntt(chain[i]).inverse(limb(i)); });
@@ -165,8 +168,7 @@ RnsPoly::mulPointwise(const RnsPoly& other)
         MAD_TRACE_READ(a, limbBytes(*this));
         MAD_TRACE_READ(b, limbBytes(*this));
         MAD_TRACE_WRITE(a, limbBytes(*this));
-        for (size_t c = 0; c < n; ++c)
-            a[c] = q.mul(a[c], b[c]);
+        simd::kernels().mul_mod_vec(a, b, n, q);
     });
     for (size_t i = 0; i < numLimbs(); ++i)
         faultinject::guardLimb(g_fault_pointwise, limb(i), n);
@@ -188,8 +190,7 @@ RnsPoly::addMul(const RnsPoly& a, const RnsPoly& b)
         MAD_TRACE_READ(x, limbBytes(*this));
         MAD_TRACE_READ(y, limbBytes(*this));
         MAD_TRACE_WRITE(dst, limbBytes(*this));
-        for (size_t c = 0; c < n; ++c)
-            dst[c] = q.add(dst[c], q.mul(x[c], y[c]));
+        simd::kernels().add_mul_mod_vec(dst, x, y, n, q);
     });
 }
 
@@ -205,8 +206,7 @@ RnsPoly::mulScalarPerLimb(const std::vector<u64>& scalar)
         u64* a = limb(i);
         MAD_TRACE_READ(a, limbBytes(*this));
         MAD_TRACE_WRITE(a, limbBytes(*this));
-        for (size_t c = 0; c < n; ++c)
-            a[c] = q.mulShoup(a[c], s, s_shoup);
+        simd::kernels().mul_shoup_scalar(a, a, n, s, s_shoup, q.value());
     });
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "memtrace/trace.h"
+#include "rns/simd/simd.h"
 #include "support/faultinject.h"
 #include "support/parallel.h"
 #include "telemetry/telemetry.h"
@@ -81,6 +82,16 @@ BasisConverter::BasisConverter(const RnsBasis& from_, const RnsBasis& to_)
     inv_q.resize(from.size());
     for (size_t i = 0; i < from.size(); ++i)
         inv_q[i] = 1.0L / static_cast<long double>(from[i].value());
+
+    r64_target.resize(to.size());
+    r64_shoup_target.resize(to.size());
+    pre1_target.resize(to.size());
+    for (size_t j = 0; j < to.size(); ++j) {
+        const Modulus& pj = to[j];
+        r64_target[j] = pj.reduce128(static_cast<u128>(1) << 64);
+        r64_shoup_target[j] = pj.shoupPrecompute(r64_target[j]);
+        pre1_target[j] = pj.shoupPrecompute(1);
+    }
 }
 
 namespace {
@@ -91,12 +102,16 @@ namespace {
 u64
 accumulate(const u64* scaled, const u64* punct, size_t k, const Modulus& p)
 {
+    // Flush every 16 terms, not more: each product is below 2^124 for
+    // moduli up to the 2^62 cap, so 16 of them stay under 2^128 while a
+    // 32-term window would silently wrap the 128-bit accumulator for
+    // primes within two bits of the cap.
     u128 acc = 0;
     size_t pending = 0;
     u64 result = 0;
     for (size_t i = 0; i < k; ++i) {
         acc += static_cast<u128>(scaled[i]) * punct[i];
-        if (++pending == 32) {
+        if (++pending == 16) {
             result = p.add(result, p.reduce128(acc));
             acc = 0;
             pending = 0;
@@ -123,10 +138,46 @@ BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
     // Scale pass is recomputed per target limb to keep this entry point
     // stateless; convert() amortizes it across all target limbs.
     // Coefficients are independent, so split the index range across the
-    // pool; each chunk carries its own scale scratch.
+    // pool; each chunk carries its own scale scratch. Vector backends
+    // process lane-width coefficient blocks: a k x W row-major scratch of
+    // scaled residues feeds the newlimb_acc kernel, with the long-double
+    // overshoot sum kept scalar and i-ascending so its rounding matches
+    // the scalar path bit-for-bit.
+    const auto& K = simd::kernels();
+    const size_t W = K.lanes;
     parallelForRange(n, [&](size_t begin, size_t end) {
+        size_t c = begin;
+        if (W > 1) {
+            std::vector<u64> rows(k * W);
+            std::vector<u64> res(W);
+            for (; c + W <= end; c += W) {
+                for (size_t i = 0; i < k; ++i)
+                    K.mul_shoup_scalar(rows.data() + i * W, in[i] + c, W,
+                                       from.invPunctured(i),
+                                       from.invPuncturedShoup(i),
+                                       from[i].value());
+                K.newlimb_acc(rows.data(), W,
+                              punctured_mod[target_idx].data(), k,
+                              pj.value(), r64_target[target_idx],
+                              r64_shoup_target[target_idx],
+                              pre1_target[target_idx], res.data());
+                for (size_t l = 0; l < W; ++l) {
+                    u64 result = res[l];
+                    if (mode == ConvMode::SignedExact) {
+                        long double frac = 0.5L;
+                        for (size_t i = 0; i < k; ++i)
+                            frac += static_cast<long double>(rows[i * W + l]) *
+                                    inv_q[i];
+                        u64 u = static_cast<u64>(frac);
+                        result = pj.sub(result, pj.mul(pj.reduce(u),
+                                                 q_mod_target[target_idx]));
+                    }
+                    out[c + l] = result;
+                }
+            }
+        }
         std::vector<u64> scaled(k);
-        for (size_t c = begin; c < end; ++c) {
+        for (; c < end; ++c) {
             long double frac = 0.5L;
             for (size_t i = 0; i < k; ++i) {
                 scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),
@@ -156,6 +207,7 @@ BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
     MAD_CHECK(in.size() == from.size(), "source limb count mismatch");
     MAD_CHECK(out.size() == to.size(), "target limb count mismatch");
     TELEM_SPAN("BasisConvert");
+    TELEM_SPAN(simd::activeSpanLabel());
     TELEM_COUNT("rns.basis.src_limbs", in.size());
     TELEM_COUNT("rns.basis.dst_limbs", out.size());
     const size_t k = from.size();
@@ -167,9 +219,48 @@ BasisConverter::convert(const std::vector<const u64*>& in, size_t n,
     // Process coefficient-by-coefficient (slot-wise access pattern): scale
     // each source residue once, then accumulate into every target limb.
     // Coefficient ranges are independent, so they fan out across the pool.
+    // Vector backends work on lane-width coefficient blocks through the
+    // same k x W scratch as convertLimb, reusing it across all targets.
+    const auto& K = simd::kernels();
+    const size_t W = K.lanes;
     parallelForRange(n, [&](size_t begin, size_t end) {
+        size_t c = begin;
+        if (W > 1) {
+            std::vector<u64> rows(k * W);
+            std::vector<u64> res(W);
+            std::vector<u64> us(W);
+            for (; c + W <= end; c += W) {
+                for (size_t i = 0; i < k; ++i)
+                    K.mul_shoup_scalar(rows.data() + i * W, in[i] + c, W,
+                                       from.invPunctured(i),
+                                       from.invPuncturedShoup(i),
+                                       from[i].value());
+                for (size_t l = 0; l < W; ++l) {
+                    long double frac = 0.5L;
+                    for (size_t i = 0; i < k; ++i)
+                        frac += static_cast<long double>(rows[i * W + l]) *
+                                inv_q[i];
+                    us[l] = static_cast<u64>(frac);
+                }
+                for (size_t j = 0; j < to.size(); ++j) {
+                    const Modulus& pj = to[j];
+                    K.newlimb_acc(rows.data(), W, punctured_mod[j].data(),
+                                  k, pj.value(), r64_target[j],
+                                  r64_shoup_target[j], pre1_target[j],
+                                  res.data());
+                    for (size_t l = 0; l < W; ++l) {
+                        u64 result = res[l];
+                        if (mode == ConvMode::SignedExact) {
+                            result = pj.sub(result, pj.mul(pj.reduce(us[l]),
+                                                     q_mod_target[j]));
+                        }
+                        out[j][c + l] = result;
+                    }
+                }
+            }
+        }
         std::vector<u64> scaled(k);
-        for (size_t c = begin; c < end; ++c) {
+        for (; c < end; ++c) {
             long double frac = 0.5L;
             for (size_t i = 0; i < k; ++i) {
                 scaled[i] = from[i].mulShoup(in[i][c], from.invPunctured(i),

@@ -97,6 +97,11 @@ class BasisConverter
     std::vector<u64> q_mod_target;
     /** 1/q_i as long double, for the overshoot estimate. */
     std::vector<long double> inv_q;
+    /** 2^64 mod p_j, its Shoup preconditioner, and floor(2^64 / p_j):
+     *  the 128-bit folding constants the SIMD NewLimb accumulator uses. */
+    std::vector<u64> r64_target;
+    std::vector<u64> r64_shoup_target;
+    std::vector<u64> pre1_target;
 };
 
 } // namespace madfhe

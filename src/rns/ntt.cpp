@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "memtrace/trace.h"
+#include "rns/simd/simd.h"
 #include "support/faultinject.h"
 
 namespace madfhe {
@@ -46,6 +47,12 @@ NttTables::get(size_t n, const Modulus& q)
 NttTables::NttTables(size_t n_, const Modulus& q_) : n(n_), q(q_)
 {
     MAD_REQUIRE(isPowerOfTwo(n), "NTT size must be a power of two");
+    // The Harvey lazy butterflies keep values in [0, 4q) between stages,
+    // which needs two headroom bits: q < 2^62 so 4q < 2^64. Modulus
+    // already rejects wider moduli; this records the reliance at the
+    // kernel that depends on it.
+    MAD_REQUIRE(q.value() < (1ULL << 62),
+            "NTT modulus must be < 2^62 (4q lazy-reduction headroom)");
     logn = floorLog2(n);
 
     const u64 psi = findPrimitiveRoot(2 * n, q);
@@ -98,6 +105,25 @@ NttTables::NttTables(size_t n_, const Modulus& q_) : n(n_), q(q_)
         if (r > i)
             bitrev_swaps.emplace_back(static_cast<u32>(i), r);
     }
+
+    // FP images for the fused SIMD transform; u64 values below 2^50 are
+    // exactly representable as doubles, wider moduli stay on the integer
+    // path and never read these.
+    if (q.value() < (1ULL << 50)) {
+        psi_rev_fp.resize(n);
+        omega_fp.resize(n);
+        iomega_fp.resize(n);
+        ipsi_ninv_fp.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            u32 r = 0;
+            for (unsigned b = 0; b < logn; ++b)
+                r |= ((i >> b) & 1) << (logn - 1 - b);
+            psi_rev_fp[i] = static_cast<double>(psi_pow[r]);
+            omega_fp[i] = static_cast<double>(omega_tw[i]);
+            iomega_fp[i] = static_cast<double>(iomega_tw[i]);
+            ipsi_ninv_fp[i] = static_cast<double>(ipsi_ninv[i]);
+        }
+    }
 }
 
 void
@@ -106,29 +132,18 @@ NttTables::cyclicTransformOne(u64* p, const std::vector<u64>& tw,
 {
     for (const auto& [i, r] : bitrev_swaps)
         std::swap(p[i], p[r]);
+    // Harvey lazy butterflies: values stay in [0, 4q) across stages (the
+    // left operand is conditionally brought under 2q, the lazy Shoup
+    // product is under 2q), with one final reduction pass. 4q < 2^64
+    // holds because every limb modulus is below 2^62 (enforced in
+    // Modulus and rns/primegen.cpp). The stage kernel is SIMD-dispatched
+    // (rns/simd); every backend is bit-exact against the scalar table.
+    const auto& K = simd::kernels();
     const u64 two_q = 2 * q.value();
-    for (size_t m = 1; m < n; m <<= 1) {
-        for (size_t i = 0; i < n; i += 2 * m) {
-            for (size_t j = 0; j < m; ++j) {
-                const u64 w = tw[m + j];
-                const u64 ws = tw_shoup[m + j];
-                u64 x = p[i + j];
-                if (x >= two_q)
-                    x -= two_q;
-                u64 y = q.mulShoupLazy(p[i + j + m], w, ws);
-                p[i + j] = x + y;
-                p[i + j + m] = x + two_q - y;
-            }
-        }
-    }
-    for (size_t i = 0; i < n; ++i) {
-        u64 v = p[i];
-        if (v >= two_q)
-            v -= two_q;
-        if (v >= q.value())
-            v -= q.value();
-        p[i] = v;
-    }
+    for (size_t m = 1; m < n; m <<= 1)
+        K.ntt_stage(p, n, m, tw.data() + m, tw_shoup.data() + m, q.value(),
+                    two_q);
+    K.reduce_4q(p, n, q.value(), two_q);
 }
 
 void
@@ -145,39 +160,40 @@ NttTables::cyclicTransform(u64* const* a, size_t count,
         for (const auto& [i, r] : bitrev_swaps)
             std::swap(p[i], p[r]);
     }
-    // Harvey lazy butterflies: values stay in [0, 4q) across stages (the
-    // left operand is conditionally brought under 2q, the lazy Shoup
-    // product is under 2q), with one final reduction pass. Each (stage,
-    // twiddle) pair is loaded once and applied across the whole batch.
+    const auto& K = simd::kernels();
     const u64 two_q = 2 * q.value();
-    for (size_t m = 1; m < n; m <<= 1) {
-        for (size_t i = 0; i < n; i += 2 * m) {
-            for (size_t j = 0; j < m; ++j) {
-                const u64 w = tw[m + j];
-                const u64 ws = tw_shoup[m + j];
-                for (size_t b = 0; b < count; ++b) {
-                    u64* p = a[b];
-                    u64 x = p[i + j];
-                    if (x >= two_q)
-                        x -= two_q;
-                    u64 y = q.mulShoupLazy(p[i + j + m], w, ws);
-                    p[i + j] = x + y;
-                    p[i + j + m] = x + two_q - y;
+    if (K.lanes == 1) {
+        // Scalar backend: share each (stage, twiddle) pair across the
+        // whole batch so the twiddle tables are walked once (the MAD
+        // limb-wise reuse the key-switch digit fan-out relies on).
+        for (size_t m = 1; m < n; m <<= 1) {
+            for (size_t i = 0; i < n; i += 2 * m) {
+                for (size_t j = 0; j < m; ++j) {
+                    const u64 w = tw[m + j];
+                    const u64 ws = tw_shoup[m + j];
+                    for (size_t b = 0; b < count; ++b) {
+                        u64* p = a[b];
+                        u64 x = p[i + j];
+                        if (x >= two_q)
+                            x -= two_q;
+                        u64 y = q.mulShoupLazy(p[i + j + m], w, ws);
+                        p[i + j] = x + y;
+                        p[i + j + m] = x + two_q - y;
+                    }
                 }
             }
         }
+    } else {
+        // Vector backends read twiddles as vector loads, so buffers are
+        // kept innermost per stage: the stage slice stays hot in L1
+        // across the batch while each buffer streams through once.
+        for (size_t m = 1; m < n; m <<= 1)
+            for (size_t b = 0; b < count; ++b)
+                K.ntt_stage(a[b], n, m, tw.data() + m, tw_shoup.data() + m,
+                            q.value(), two_q);
     }
-    for (size_t b = 0; b < count; ++b) {
-        u64* p = a[b];
-        for (size_t i = 0; i < n; ++i) {
-            u64 v = p[i];
-            if (v >= two_q)
-                v -= two_q;
-            if (v >= q.value())
-                v -= q.value();
-            p[i] = v;
-        }
-    }
+    for (size_t b = 0; b < count; ++b)
+        K.reduce_4q(a[b], n, q.value(), two_q);
 }
 
 void
@@ -187,17 +203,38 @@ NttTables::forwardBatch(u64* const* a, size_t count) const
         MAD_TRACE_READ(a[b], n * sizeof(u64));
         MAD_TRACE_WRITE(a[b], n * sizeof(u64));
     }
-    if (count == 1) {
-        u64* p = a[0];
-        for (size_t i = 1; i < n; ++i)
-            p[i] = q.mulShoup(p[i], psi_pow[i], psi_pow_shoup[i]);
-    } else {
+    const auto& K = simd::kernels();
+    // Vector backends fuse twist, bit-reversal and stages into one FP
+    // kernel when the modulus fits its domain (it declines otherwise and
+    // we run the unfused path below). Outputs are bit-identical either
+    // way.
+    if (K.fp_transform && !psi_rev_fp.empty() && count > 0 &&
+        K.fp_transform(a[0], n, psi_rev_fp.data(), omega_fp.data(),
+                       nullptr, q.value())) {
+        // The kernel's domain depends only on (q, n), so the verdict is
+        // uniform across the batch.
+        for (size_t b = 1; b < count; ++b)
+            MAD_CHECK(K.fp_transform(a[b], n, psi_rev_fp.data(),
+                                     omega_fp.data(), nullptr, q.value()),
+                      "fp transform verdict changed within a batch");
+        for (size_t b = 0; b < count; ++b)
+            faultinject::guardLimb(g_fault_ntt_fwd, a[b], n);
+        return;
+    }
+    // Forward twist by psi^i. The twiddle-vector kernel covers index 0
+    // too: psi^0 = 1 and mulShoup(x, 1, floor(2^64/q)) returns x exactly
+    // for canonical x, so the result is bit-identical to starting at 1.
+    if (K.lanes == 1 && count > 1) {
         for (size_t i = 1; i < n; ++i) {
             const u64 w = psi_pow[i];
             const u64 ws = psi_pow_shoup[i];
             for (size_t b = 0; b < count; ++b)
                 a[b][i] = q.mulShoup(a[b][i], w, ws);
         }
+    } else {
+        for (size_t b = 0; b < count; ++b)
+            K.mul_shoup_vec(a[b], psi_pow.data(), psi_pow_shoup.data(), n,
+                            q.value());
     }
     cyclicTransform(a, count, omega_tw, omega_tw_shoup);
     for (size_t b = 0; b < count; ++b)
@@ -211,20 +248,34 @@ NttTables::inverseBatch(u64* const* a, size_t count) const
         MAD_TRACE_READ(a[b], n * sizeof(u64));
         MAD_TRACE_WRITE(a[b], n * sizeof(u64));
     }
+    const auto& K = simd::kernels();
+    // Fused FP path: bit-reversal, stages, and the untwist-and-scale
+    // multiply in one kernel (see forwardBatch).
+    if (K.fp_transform && !psi_rev_fp.empty() && count > 0 &&
+        K.fp_transform(a[0], n, nullptr, iomega_fp.data(),
+                       ipsi_ninv_fp.data(), q.value())) {
+        for (size_t b = 1; b < count; ++b)
+            MAD_CHECK(K.fp_transform(a[b], n, nullptr, iomega_fp.data(),
+                                     ipsi_ninv_fp.data(), q.value()),
+                      "fp transform verdict changed within a batch");
+        for (size_t b = 0; b < count; ++b)
+            faultinject::guardLimb(g_fault_ntt_inv, a[b], n);
+        return;
+    }
     cyclicTransform(a, count, iomega_tw, iomega_tw_shoup);
     // Fused scale-by-n^{-1} and untwist: one Shoup multiply per
     // coefficient against the precombined psi^{-i} * n^{-1} table.
-    if (count == 1) {
-        u64* p = a[0];
-        for (size_t i = 0; i < n; ++i)
-            p[i] = q.mulShoup(p[i], ipsi_ninv[i], ipsi_ninv_shoup[i]);
-    } else {
+    if (K.lanes == 1 && count > 1) {
         for (size_t i = 0; i < n; ++i) {
             const u64 w = ipsi_ninv[i];
             const u64 ws = ipsi_ninv_shoup[i];
             for (size_t b = 0; b < count; ++b)
                 a[b][i] = q.mulShoup(a[b][i], w, ws);
         }
+    } else {
+        for (size_t b = 0; b < count; ++b)
+            K.mul_shoup_vec(a[b], ipsi_ninv.data(), ipsi_ninv_shoup.data(),
+                            n, q.value());
     }
     for (size_t b = 0; b < count; ++b)
         faultinject::guardLimb(g_fault_ntt_inv, a[b], n);

@@ -116,6 +116,16 @@ class NttTables
 
     /** Bit-reversal permutation as (i, rev(i)) pairs with rev(i) > i. */
     std::vector<std::pair<u32, u32>> bitrev_swaps;
+
+    /**
+     * Double-precision images of the tables for the fused SIMD FP
+     * transform (rns/simd), built only when q < 2^50 (all values below
+     * 2^50 convert exactly). psi_rev_fp holds the forward twist in
+     * bit-reversed order — psi^bitrev(i) at index i — because the FP
+     * kernel applies it during its bit-reversed entry gather; the other
+     * three are element-wise copies of the u64 tables.
+     */
+    std::vector<double> psi_rev_fp, omega_fp, iomega_fp, ipsi_ninv_fp;
 };
 
 /** Find a primitive 2n-th root of unity modulo q (q = 1 mod 2n). */

@@ -21,7 +21,12 @@ generateNttPrimes(unsigned bit_size, u64 n, size_t count,
                   const std::vector<u64>& exclude)
 {
     MAD_REQUIRE(isPowerOfTwo(n), "ring degree must be a power of two");
-    MAD_REQUIRE(bit_size >= 20 && bit_size <= 61, "prime width out of range");
+    // Cap at 61 bits so q < 2^62: the NTT's Harvey lazy reduction keeps
+    // butterfly values in [0, 4q) and silently overflows 64 bits for any
+    // modulus within 2 bits of 2^64.
+    MAD_REQUIRE(bit_size >= 20 && bit_size <= 61,
+            "prime width out of range (max 61 bits: NTT lazy reduction "
+            "needs q < 2^62)");
 
     u64 step = 2 * n;
     // Largest candidate = 1 (mod 2N) strictly below 2^bit_size.
@@ -45,18 +50,28 @@ u64
 generateNttPrimeNear(u64 target, u64 n, const std::vector<u64>& exclude)
 {
     MAD_REQUIRE(isPowerOfTwo(n), "ring degree must be a power of two");
+    // Same q < 2^62 bound as generateNttPrimes: a wider prime would
+    // overflow the NTT's [0, 4q) lazy-reduction window. Checked here
+    // (not just in Modulus) so the failure points at the caller's
+    // target instead of surfacing later at table construction, and so
+    // the upward walk below can never cross the limit.
+    const u64 limit = 1ULL << 62;
+    MAD_REQUIRE(target < limit,
+            "NTT prime target must be < 2^62 (4q lazy-reduction headroom)");
     u64 step = 2 * n;
     u64 base = (target / step) * step + 1;
     // Walk outward: base, base+step, base-step, base+2step, ...
     for (u64 k = 0;; ++k) {
         u64 up = base + k * step;
-        if (isPrime(up) && !contains(exclude, up))
+        if (up < limit && isPrime(up) && !contains(exclude, up))
             return up;
         if (k > 0 && base > k * step) {
             u64 down = base - k * step;
             if (isPrime(down) && !contains(exclude, down))
                 return down;
         }
+        MAD_REQUIRE(up < limit || base > k * step,
+                "ran out of NTT primes below 2^62 near the target");
     }
 }
 

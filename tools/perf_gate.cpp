@@ -5,9 +5,22 @@
  * diffs the measured ns/op against a checked-in baseline, and exits
  * nonzero when any kernel regressed past the threshold.
  *
+ * The gated sweep is pinned to the *scalar* SIMD backend so the
+ * comparison is stable across hosts with different vector units, and
+ * the baseline is rescaled by the ratio of a locally re-measured
+ * reference kernel (a fixed serial Shoup-multiply pass) to the
+ * `reference_ns` recorded when the baseline was written — absolute
+ * nanoseconds from another machine are never compared directly.
+ *
+ * After the gate, every runnable vector backend is measured on the
+ * forward NTT, its output checked byte-for-byte against scalar, and
+ * its speedup reported; `--min-ntt-speedup` turns the report into a
+ * gate.
+ *
  * Usage:
  *   perf_gate [--quick] [--baseline <path>] [--out <path>]
- *             [--threshold <percent>] [--write-baseline]
+ *             [--threshold <percent>] [--rebaseline]
+ *             [--min-ntt-speedup <x>]
  *
  *   --quick            1-thread sweep with a short sampling target
  *                      (~25 ms/kernel) — the CI smoke configuration
@@ -16,13 +29,18 @@
  *   --out <path>       where to write the measurement artifact
  *                      (default BENCH_kernels.json)
  *   --threshold <pct>  max tolerated slowdown per kernel (default 15)
- *   --write-baseline   write the measurements to the baseline path
- *                      instead of gating (refreshes the baseline)
+ *   --rebaseline       write the measurements (plus this host's
+ *                      reference_ns) to the baseline path instead of
+ *                      gating; --write-baseline is kept as an alias
+ *   --min-ntt-speedup <x>
+ *                      fail unless every runnable vector backend's
+ *                      forward-NTT speedup over scalar is >= x
  *
  * Only (op, threads) pairs present in both the run and the baseline are
  * compared, so a --quick run gates against the 1-thread baseline rows
  * and ignores the rest. Speedups are reported but never fail the gate.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +64,7 @@ struct Options
     std::string baseline = "bench/baselines/kernels.json";
     std::string out = "BENCH_kernels.json";
     double threshold_pct = 15.0;
+    double min_ntt_speedup = 0.0;
 };
 
 bool
@@ -58,7 +77,7 @@ parseArgs(int argc, char** argv, Options& opt)
         };
         if (arg == "--quick") {
             opt.quick = true;
-        } else if (arg == "--write-baseline") {
+        } else if (arg == "--rebaseline" || arg == "--write-baseline") {
             opt.write_baseline = true;
         } else if (arg == "--baseline") {
             const char* v = next();
@@ -79,6 +98,16 @@ parseArgs(int argc, char** argv, Options& opt)
                 std::fprintf(stderr, "perf_gate: bad --threshold '%s'\n", v);
                 return false;
             }
+        } else if (arg == "--min-ntt-speedup") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.min_ntt_speedup = std::atof(v);
+            if (opt.min_ntt_speedup <= 0) {
+                std::fprintf(stderr,
+                             "perf_gate: bad --min-ntt-speedup '%s'\n", v);
+                return false;
+            }
         } else {
             std::fprintf(stderr, "perf_gate: unknown argument '%s'\n",
                          arg.c_str());
@@ -94,39 +123,119 @@ struct BaselineRow
     std::string op;
     size_t threads = 0;
     double ns_per_op = 0;
+    std::string backend;
 };
 
-std::vector<BaselineRow>
+struct Baseline
+{
+    std::vector<BaselineRow> rows;
+    double reference_ns = 0;
+};
+
+Baseline
 loadBaseline(const std::string& path, bool* io_error)
 {
     *io_error = false;
+    Baseline out;
     std::ifstream is(path);
     if (!is) {
         *io_error = true;
-        return {};
+        return out;
     }
     std::stringstream ss;
     ss << is.rdbuf();
     auto doc = telemetry::json::parse(ss.str());
     if (!doc) {
         *io_error = true;
-        return {};
+        return out;
     }
-    std::vector<BaselineRow> rows;
+    out.reference_ns = doc->numberOr("reference_ns", 0);
     const telemetry::json::Value* results = doc->find("results");
     if (!results || !results->isArray()) {
         *io_error = true;
-        return {};
+        return out;
     }
     for (const auto& r : results->array) {
         BaselineRow row;
         row.op = r.stringOr("op", "");
         row.threads = static_cast<size_t>(r.numberOr("threads", 0));
         row.ns_per_op = r.numberOr("ns_per_op", 0);
+        row.backend = r.stringOr("backend", "scalar");
         if (!row.op.empty() && row.threads > 0 && row.ns_per_op > 0)
-            rows.push_back(std::move(row));
+            out.rows.push_back(std::move(row));
     }
-    return rows;
+    return out;
+}
+
+/**
+ * Forward-NTT the same random polynomial under `b` and under scalar and
+ * compare the transforms byte-for-byte — the bit-exactness contract the
+ * vector kernels must honor before their timings mean anything.
+ */
+bool
+nttBitExact(const KernelBench& bench, simd::Backend b)
+{
+    const size_t level = bench.ctx->maxLevel();
+    RnsPoly ref = randomPoly(bench.ctx->ring(), level, 17);
+    RnsPoly vec = ref;
+    simd::setBackend(simd::Backend::Scalar);
+    ref.toEval();
+    simd::setBackend(b);
+    vec.toEval();
+    for (size_t i = 0; i < ref.numLimbs(); ++i)
+        if (std::memcmp(ref.limb(i), vec.limb(i),
+                        ref.degree() * sizeof(u64)) != 0)
+            return false;
+    ref.toCoeff();
+    simd::setBackend(b);
+    vec.toCoeff();
+    for (size_t i = 0; i < ref.numLimbs(); ++i)
+        if (std::memcmp(ref.limb(i), vec.limb(i),
+                        ref.degree() * sizeof(u64)) != 0)
+            return false;
+    return true;
+}
+
+/**
+ * Forward-NTT ns/op for scalar and for backend `b`, sampled in
+ * alternating rounds and reduced to per-backend medians. Interleaving
+ * matters on shared/virtualized hosts whose effective clock drifts over
+ * seconds: both backends then sample the same machine phases, so the
+ * drift divides out of the reported ratio instead of biasing it the way
+ * two back-to-back measurement blocks would.
+ */
+struct PairedNtt
+{
+    double scalar_ns = 0;
+    double vec_ns = 0;
+};
+
+PairedNtt
+interleavedNttNs(const KernelBench& bench, simd::Backend b, bool quick)
+{
+    ThreadPool::setGlobalThreads(1);
+    const size_t level = bench.ctx->maxLevel();
+    RnsPoly poly = randomPoly(bench.ctx->ring(), level, 13);
+    auto pair_op = [&] {
+        poly.toEval();
+        poly.toCoeff();
+    };
+    const size_t rounds = quick ? 9 : 17;
+    const double slice_ns = (quick ? 60e6 : 240e6) / (2.0 * rounds);
+    std::vector<double> s, v;
+    for (size_t r = 0; r < rounds; ++r) {
+        simd::setBackend(simd::Backend::Scalar);
+        s.push_back(nsPerOp(pair_op, 2, slice_ns, 1) / 2.0);
+        simd::setBackend(b);
+        v.push_back(nsPerOp(pair_op, 2, slice_ns, 1) / 2.0);
+    }
+    simd::setBackend(simd::Backend::Scalar);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+    auto median = [](std::vector<double>& x) {
+        std::sort(x.begin(), x.end());
+        return x[x.size() / 2];
+    };
+    return {median(s), median(v)};
 }
 
 } // namespace
@@ -142,17 +251,90 @@ main(int argc, char** argv)
         opt.quick ? std::vector<size_t>{1} : std::vector<size_t>{1, 2, 4, 8};
     const double target_ns = opt.quick ? 25e6 : 200e6;
 
+    // The machine-speed reference is sampled before AND after the sweep
+    // and the slower reading wins: on hosts whose effective clock drifts
+    // (shared vCPUs, thermal throttling), a reference taken only at
+    // startup can claim a fast machine while the sweep itself ran a slow
+    // phase, turning drift into phantom regressions. On steady machines
+    // the two readings agree and nothing changes.
+    const double ref_pre_ns = referenceKernelNs();
+    std::printf("reference kernel (pre-sweep): %.0f ns\n", ref_pre_ns);
+
+    // The gated sweep always runs scalar (see file header); vector
+    // backends are handled separately below.
+    simd::setBackend(simd::Backend::Scalar);
     auto params = benchParams();
     KernelBench bench(params);
     auto results = bench.run(sweep, target_ns);
 
+    const double ref_post_ns = referenceKernelNs();
+    const double ref_ns = std::max(ref_pre_ns, ref_post_ns);
+    std::printf("reference kernel (post-sweep): %.0f ns; using %.0f ns\n",
+                ref_post_ns, ref_ns);
+
+    // Vector backends: verify byte-identity against scalar, then time
+    // the forward NTT single-threaded — scalar and vector samples
+    // interleaved (see interleavedNttNs) — and record the speedup.
+    struct SimdRow
+    {
+        simd::Backend backend;
+        double ns_per_op;
+        double speedup;
+    };
+    std::vector<SimdRow> simd_rows;
+    bool exactness_failed = false;
+    for (simd::Backend b : {simd::Backend::Avx2, simd::Backend::Avx512}) {
+        if (!simd::supported(b))
+            continue;
+        if (!nttBitExact(bench, b)) {
+            std::fprintf(stderr,
+                         "perf_gate: FAIL — %s NTT output differs from "
+                         "scalar\n",
+                         simd::backendName(b));
+            exactness_failed = true;
+            continue;
+        }
+        const PairedNtt p = interleavedNttNs(bench, b, opt.quick);
+        simd_rows.push_back(
+            {b, p.vec_ns, p.vec_ns > 0 ? p.scalar_ns / p.vec_ns : 0});
+        results.push_back({"ntt_forward", 1, p.vec_ns, simd::backendName(b)});
+    }
+    simd::setBackend(simd::Backend::Scalar);
+    if (exactness_failed)
+        return 1;
+
     const std::string artifact = opt.write_baseline ? opt.baseline : opt.out;
-    if (!writeKernelsJson(artifact.c_str(), params, *bench.ctx, results)) {
+    if (!writeKernelsJson(artifact.c_str(), params, *bench.ctx, results,
+                          ref_ns)) {
         std::fprintf(stderr, "perf_gate: cannot write %s\n",
                      artifact.c_str());
         return 2;
     }
     std::printf("wrote %s\n", artifact.c_str());
+
+    for (const auto& row : simd_rows)
+        std::printf("simd %-8s ntt_forward %10.0f ns/op  %.2fx vs scalar "
+                    "(bit-exact)\n",
+                    simd::backendName(row.backend), row.ns_per_op,
+                    row.speedup);
+    if (opt.min_ntt_speedup > 0) {
+        if (simd_rows.empty()) {
+            std::printf("perf_gate: no vector backend runnable on this "
+                        "host; --min-ntt-speedup skipped\n");
+        } else {
+            for (const auto& row : simd_rows) {
+                if (row.speedup < opt.min_ntt_speedup) {
+                    std::fprintf(stderr,
+                                 "perf_gate: FAIL — %s NTT speedup %.2fx "
+                                 "below required %.2fx\n",
+                                 simd::backendName(row.backend), row.speedup,
+                                 opt.min_ntt_speedup);
+                    return 1;
+                }
+            }
+        }
+    }
+
     if (opt.write_baseline)
         return 0;
 
@@ -161,29 +343,45 @@ main(int argc, char** argv)
     if (io_error) {
         std::fprintf(stderr,
                      "perf_gate: cannot read baseline %s (run with "
-                     "--write-baseline to create it)\n",
+                     "--rebaseline to create it)\n",
                      opt.baseline.c_str());
         return 2;
     }
 
-    std::printf("%-16s %8s %14s %14s %9s\n", "op", "threads", "baseline ns",
+    // Rescale the baseline to this machine. A missing reference_ns (an
+    // old baseline) degrades to comparing raw nanoseconds.
+    double scale = 1.0;
+    if (baseline.reference_ns > 0 && ref_ns > 0) {
+        scale = ref_ns / baseline.reference_ns;
+        std::printf("machine normalization: baseline reference %.0f ns, "
+                    "local %.0f ns, scale %.3f\n",
+                    baseline.reference_ns, ref_ns, scale);
+    } else {
+        std::printf("machine normalization: baseline has no reference_ns; "
+                    "comparing raw ns\n");
+    }
+
+    std::printf("%-16s %8s %14s %14s %9s\n", "op", "threads", "expected ns",
                 "measured ns", "delta");
     bool regressed = false;
     size_t compared = 0;
     for (const auto& r : results) {
+        if (r.backend != "scalar")
+            continue; // vector rows are gated by --min-ntt-speedup
         const BaselineRow* base = nullptr;
-        for (const auto& b : baseline)
-            if (b.op == r.op && b.threads == r.threads)
+        for (const auto& b : baseline.rows)
+            if (b.op == r.op && b.threads == r.threads &&
+                b.backend == "scalar")
                 base = &b;
         if (!base)
             continue;
         ++compared;
-        const double delta_pct =
-            (r.ns_per_op / base->ns_per_op - 1.0) * 100.0;
+        const double expected = base->ns_per_op * scale;
+        const double delta_pct = (r.ns_per_op / expected - 1.0) * 100.0;
         const bool bad = delta_pct > opt.threshold_pct;
         regressed = regressed || bad;
         std::printf("%-16s %8zu %14.0f %14.0f %+8.1f%%%s\n", r.op.c_str(),
-                    r.threads, base->ns_per_op, r.ns_per_op, delta_pct,
+                    r.threads, expected, r.ns_per_op, delta_pct,
                     bad ? "  REGRESSED" : "");
     }
     if (compared == 0) {
