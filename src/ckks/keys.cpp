@@ -44,7 +44,7 @@ SwitchingKey::compress()
 }
 
 void
-SwitchingKey::expand(const CkksContext& ctx)
+SwitchingKey::expandA(const CkksContext& ctx)
 {
     if (!a_polys.empty())
         return;

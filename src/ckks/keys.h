@@ -50,14 +50,19 @@ class SwitchingKey
 
     /** Drop the stored a_j halves, keeping only the seed. */
     void compress();
-    /** Regenerate all a_j from the seed (idempotent). */
-    void expand(const CkksContext& ctx);
+    /** Regenerate all a_j from the seed (idempotent, bit-exact). */
+    void expandA(const CkksContext& ctx);
+    /** Alias for expandA(), kept for existing call sites. */
+    void expand(const CkksContext& ctx) { expandA(ctx); }
     bool isCompressed() const { return a_polys.empty(); }
 
     /** Bytes of polynomial material currently stored. */
     size_t storedBytes() const;
     /** Bytes a fully expanded key occupies. */
     size_t expandedBytes() const;
+    /** Bytes the seed-expandable a_j halves occupy when resident — the
+     *  portion a key-cache eviction reclaims. */
+    size_t aBytes() const { return expandedBytes() / 2; }
 
     const Prng::Seed& seed() const { return prng_seed; }
 

@@ -233,17 +233,18 @@ polyBody(Reader& r, const std::shared_ptr<const RingContext>& ring)
 }
 
 void
-kskBody(Writer& w, const SwitchingKey& key)
+kskBody(Writer& w, const SwitchingKey& key, bool force_compressed = false)
 {
+    const bool compressed = force_compressed || key.isCompressed();
     w.u64v(kKskMagic);
     w.u64v(key.numDigits());
-    w.u64v(key.isCompressed() ? 1 : 0);
+    w.u64v(compressed ? 1 : 0);
     for (u64 word : key.seed())
         w.u64v(word);
     w.checkpoint();
     for (size_t j = 0; j < key.numDigits(); ++j)
         polyBody(w, key.b(j));
-    if (!key.isCompressed()) {
+    if (!compressed) {
         for (size_t j = 0; j < key.numDigits(); ++j)
             polyBody(w, key.a(j));
     }
@@ -379,6 +380,13 @@ loadSwitchingKey(std::istream& is, std::shared_ptr<const RingContext> ring)
 }
 
 void
+saveSwitchingKeyCompressed(std::ostream& os, const SwitchingKey& key)
+{
+    Writer w(os);
+    kskBody(w, key, /*force_compressed=*/true);
+}
+
+void
 saveGaloisKeys(std::ostream& os, const GaloisKeys& keys)
 {
     Writer w(os);
@@ -407,6 +415,19 @@ loadGaloisKeys(std::istream& is, std::shared_ptr<const RingContext> ring)
     }
     r.checkpoint("Galois key set");
     return keys;
+}
+
+void
+saveGaloisKeysCompressed(std::ostream& os, const GaloisKeys& keys)
+{
+    Writer w(os);
+    w.u64v(kGksMagic);
+    w.u64v(keys.size());
+    for (const auto& [elt, key] : keys) {
+        w.u64v(elt);
+        kskBody(w, key, /*force_compressed=*/true);
+    }
+    w.checkpoint();
 }
 
 void

@@ -52,10 +52,21 @@ void saveSwitchingKey(std::ostream& os, const SwitchingKey& key);
 SwitchingKey loadSwitchingKey(std::istream& is,
                               std::shared_ptr<const RingContext> ring);
 
+/**
+ * Serialize a switching key in compressed (seed + b-halves) form even
+ * when the a-halves are resident, without mutating the key. This is the
+ * form serving sessions ship: seeds travel, digits are re-expanded at
+ * the receiver via SwitchingKey::expandA().
+ */
+void saveSwitchingKeyCompressed(std::ostream& os, const SwitchingKey& key);
+
 /** Serialize a full Galois-key set (Galois element -> switching key). */
 void saveGaloisKeys(std::ostream& os, const GaloisKeys& keys);
 GaloisKeys loadGaloisKeys(std::istream& is,
                           std::shared_ptr<const RingContext> ring);
+
+/** Galois-key set in compressed form (see saveSwitchingKeyCompressed). */
+void saveGaloisKeysCompressed(std::ostream& os, const GaloisKeys& keys);
 
 /** Serialize a public key (two polynomials). */
 void savePublicKey(std::ostream& os, const PublicKey& pk);

@@ -1,0 +1,98 @@
+#include "serve/batcher.h"
+
+#include "support/env.h"
+#include "telemetry/telemetry.h"
+
+namespace madfhe {
+namespace serve {
+
+BatchKey
+batchKeyFor(const Request& req, size_t max_level)
+{
+    BatchKey key;
+    key.op = req.op;
+    key.name = req.name;
+    key.steps = req.steps;
+    key.level = req.cts.empty() ? max_level : req.cts[0].level();
+    switch (req.op) {
+    case Op::Encrypt:
+    case Op::EvalAdd:
+    case Op::EvalMul:
+    case Op::Rotate:
+    case Op::MatVec:
+        key.coalescable = true;
+        break;
+    case Op::Put:
+    case Op::Get:
+    case Op::DecryptShare:
+        key.coalescable = false;
+        break;
+    }
+    return key;
+}
+
+Batcher::Batcher(size_t max_level_, size_t max_batch_)
+    : max_level(max_level_),
+      max_batch(max_batch_ != 0 ? max_batch_ : maxBatchFromEnv())
+{
+    MAD_REQUIRE(max_batch >= 1, "batch size cap must be at least 1");
+}
+
+size_t
+Batcher::maxBatchFromEnv()
+{
+    return static_cast<size_t>(env::u64Or("MADFHE_BATCH_MAX", 8));
+}
+
+void
+Batcher::push(PendingRequest p)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        MAD_REQUIRE(!closed, "server is stopping; request rejected");
+        pending.push_back(std::move(p));
+    }
+    ready.notify_one();
+}
+
+std::vector<Batch>
+Batcher::waitDrain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    ready.wait(lock, [&] { return closed || !pending.empty(); });
+    std::vector<Batch> batches;
+    while (!pending.empty()) {
+        PendingRequest p = std::move(pending.front());
+        pending.pop_front();
+        BatchKey key = batchKeyFor(p.req, max_level);
+        Batch* open = batches.empty() ? nullptr : &batches.back();
+        const bool joins = open != nullptr && open->key.coalescable &&
+                           key.coalescable && open->key == key &&
+                           open->items.size() < max_batch;
+        if (!joins) {
+            batches.push_back(Batch{std::move(key), {}});
+            open = &batches.back();
+        }
+        open->items.push_back(std::move(p));
+    }
+    for (const Batch& b : batches) {
+        TELEM_COUNT("serve.batches", 1);
+        TELEM_HIST("serve.batch.size", b.items.size());
+        if (b.items.size() > 1)
+            TELEM_COUNT("serve.batch.coalesced", b.items.size());
+    }
+    return batches;
+}
+
+void
+Batcher::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed = true;
+    }
+    ready.notify_all();
+}
+
+} // namespace serve
+} // namespace madfhe

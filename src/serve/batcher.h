@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Batcher: coalesces compatible serving requests into evaluator-pass
+ * batches.
+ *
+ * Compatibility is a structural key — same op, same operand level, same
+ * rotation set / transform name — because those are the requests one
+ * evaluator pass can serve with shared setup: one pinned (expanded) key
+ * per tenant for the whole batch instead of one expansion per request,
+ * and one threadpool fan-out across the batch items.
+ *
+ * Grouping only merges *adjacent* compatible requests (classic
+ * batching): a request joins the currently open batch when its key
+ * matches, otherwise the open batch is sealed and a new one opens.
+ * Sealed batches execute strictly in formation order, so stateful ops
+ * (Put/Get on the encrypted KV store) keep their arrival order across
+ * batch boundaries and results are independent of batch shape.
+ */
+#ifndef MADFHE_SERVE_BATCHER_H
+#define MADFHE_SERVE_BATCHER_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace madfhe {
+namespace serve {
+
+/** Structural compatibility key of one request. */
+struct BatchKey
+{
+    Op op = Op::Get;
+    u64 level = 0;
+    std::string name;
+    std::vector<int> steps;
+    /** Stateless eval-family ops may share a batch; KV ops never do. */
+    bool coalescable = false;
+
+    bool
+    operator==(const BatchKey& o) const
+    {
+        return op == o.op && level == o.level && name == o.name &&
+               steps == o.steps;
+    }
+};
+
+BatchKey batchKeyFor(const Request& req, size_t max_level);
+
+struct PendingRequest
+{
+    Request req;
+    std::promise<Response> promise;
+};
+
+struct Batch
+{
+    BatchKey key;
+    std::vector<PendingRequest> items;
+};
+
+class Batcher
+{
+  public:
+    /** @param max_level   Fresh-ciphertext level (Encrypt batch key).
+     *  @param max_batch   Requests per batch cap; 0 reads
+     *                     MADFHE_BATCH_MAX (default 8). */
+    Batcher(size_t max_level, size_t max_batch);
+
+    static size_t maxBatchFromEnv();
+
+    /** Enqueue one request (thread-safe; wakes the dispatcher). */
+    void push(PendingRequest p);
+
+    /**
+     * Block until requests are pending or the batcher is closed, then
+     * group everything pending into batches. Returns an empty vector
+     * only when closed and drained.
+     */
+    std::vector<Batch> waitDrain();
+
+    /** Wake waiters; subsequent waitDrain calls stop blocking. */
+    void close();
+
+    size_t maxBatch() const { return max_batch; }
+
+  private:
+    size_t max_level;
+    size_t max_batch;
+
+    std::mutex mu;
+    std::condition_variable ready;
+    std::deque<PendingRequest> pending;
+    bool closed = false;
+};
+
+} // namespace serve
+} // namespace madfhe
+
+#endif // MADFHE_SERVE_BATCHER_H

@@ -1,0 +1,206 @@
+#include "serve/keycache.h"
+
+#include "support/env.h"
+#include "support/faultinject.h"
+#include "telemetry/telemetry.h"
+
+namespace madfhe {
+namespace serve {
+
+namespace {
+
+/**
+ * Eviction and re-expansion both hand key material across the
+ * "sat in cache memory" boundary, so both ends are guarded by one
+ * site: a fault models corruption of the surviving b-half during
+ * eviction or of the freshly re-expanded a-half on a miss.
+ */
+faultinject::Site g_evict_site("serve.evict", faultinject::kLimbKinds);
+
+} // namespace
+
+KeyCache::KeyCache(std::shared_ptr<const CkksContext> ctx_, size_t budget_)
+    : ctx(std::move(ctx_)), budget(budget_)
+{
+}
+
+size_t
+KeyCache::budgetFromEnv()
+{
+    return static_cast<size_t>(env::bytesOr("MADFHE_KEYCACHE_BYTES", 0));
+}
+
+KeyCache::EntryId
+KeyCache::insert(u64 tenant, std::string name, SwitchingKey* key)
+{
+    MAD_REQUIRE(key != nullptr, "key cache entry must reference a key");
+    const size_t charge = key->aBytes();
+    MAD_REQUIRE(budget == 0 || charge <= budget,
+                "MADFHE_KEYCACHE_BYTES (" + std::to_string(budget) +
+                    ") is smaller than a single expanded key (" +
+                    std::to_string(charge) + " bytes)");
+    std::lock_guard<std::mutex> lock(mu);
+    // Seed-only at rest: a registered key is charged bytes only while
+    // a lease (or cache residency) keeps it expanded.
+    key->compress();
+    EntryId id = next_id++;
+    Entry e;
+    e.tenant = tenant;
+    e.name = std::move(name);
+    e.key = key;
+    e.charge = charge;
+    entries.emplace(id, std::move(e));
+    return id;
+}
+
+void
+KeyCache::eraseTenant(u64 tenant)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = entries.begin(); it != entries.end();) {
+        if (it->second.tenant != tenant) {
+            ++it;
+            continue;
+        }
+        MAD_CHECK(it->second.pins == 0,
+                  "cannot erase tenant '" + std::to_string(tenant) +
+                      "' while key '" + it->second.name + "' is leased");
+        if (it->second.resident) {
+            resident_bytes -= it->second.charge;
+            lru.erase(it->second.lru_pos);
+        }
+        it->second.key->compress();
+        it = entries.erase(it);
+    }
+}
+
+void
+KeyCache::makeRoom(size_t need)
+{
+    // Caller holds mu.
+    if (budget == 0)
+        return;
+    auto it = lru.begin();
+    while (resident_bytes + need > budget && it != lru.end()) {
+        Entry& victim = entries.at(*it);
+        if (victim.pins > 0) {
+            ++it; // pinned: skip, try the next-oldest
+            continue;
+        }
+        // Guard the surviving b-half across the eviction hand-off: a
+        // bit flipped here would poison every later key-switch that
+        // uses this key. The buffer is logically mutable (the cache
+        // manages the key in place); const_cast scopes that to the
+        // fault window.
+        faultinject::guardLimb(
+            g_evict_site,
+            const_cast<u64*>(victim.key->b(0).limb(0)),
+            victim.key->b(0).degree());
+        victim.key->compress();
+        victim.resident = false;
+        resident_bytes -= victim.charge;
+        ++evictions;
+        TELEM_COUNT("serve.keycache.evictions", 1);
+        it = lru.erase(it);
+    }
+    TELEM_GAUGE_SET("serve.keycache.bytes", static_cast<i64>(resident_bytes));
+    if (resident_bytes + need > budget) {
+        ++overcommits;
+        TELEM_COUNT("serve.keycache.overcommit", 1);
+    }
+}
+
+KeyCache::Lease
+KeyCache::acquire(EntryId id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    MAD_REQUIRE(it != entries.end(), "unknown key cache entry");
+    Entry& e = it->second;
+    if (e.resident) {
+        ++hits;
+        TELEM_COUNT("serve.keycache.hits", 1);
+        // Refresh recency.
+        lru.erase(e.lru_pos);
+        e.lru_pos = lru.insert(lru.end(), id);
+    } else {
+        ++misses;
+        TELEM_COUNT("serve.keycache.misses", 1);
+        makeRoom(e.charge);
+        e.key->expandA(*ctx);
+        e.resident = true;
+        resident_bytes += e.charge;
+        peak_bytes = std::max(peak_bytes, resident_bytes);
+        e.lru_pos = lru.insert(lru.end(), id);
+        TELEM_GAUGE_SET("serve.keycache.bytes",
+                        static_cast<i64>(resident_bytes));
+        TELEM_GAUGE_SET("serve.keycache.peak_bytes",
+                        static_cast<i64>(peak_bytes));
+        // Same hand-off guard on the re-expanded half. State is
+        // consistent before the fault window, so a thrown fault
+        // (allocfail/taskthrow) leaves the entry resident + unpinned.
+        faultinject::guardLimb(g_evict_site,
+                               const_cast<u64*>(e.key->a(0).limb(0)),
+                               e.key->a(0).degree());
+    }
+    ++e.pins;
+    return Lease(this, id);
+}
+
+void
+KeyCache::unpin(EntryId id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    if (it == entries.end())
+        return; // tenant erased while leases were still closing
+    MAD_CHECK(it->second.pins > 0, "key cache lease unpinned twice");
+    --it->second.pins;
+}
+
+void
+KeyCache::Lease::release()
+{
+    if (cache_ != nullptr)
+        cache_->unpin(id_);
+    cache_ = nullptr;
+}
+
+KeyCache::Stats
+KeyCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s;
+    s.budget_bytes = budget;
+    s.resident_bytes = resident_bytes;
+    s.peak_bytes = peak_bytes;
+    s.entries = entries.size();
+    s.resident_entries = lru.size();
+    s.hits = hits;
+    s.misses = misses;
+    s.evictions = evictions;
+    s.overcommits = overcommits;
+    return s;
+}
+
+bool
+KeyCache::isResident(EntryId id) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    return it != entries.end() && it->second.resident;
+}
+
+std::vector<std::string>
+KeyCache::residentNames() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> names;
+    names.reserve(lru.size());
+    for (EntryId id : lru)
+        names.push_back(entries.at(id).name);
+    return names;
+}
+
+} // namespace serve
+} // namespace madfhe

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * KeyCache: an LRU byte budget over the seed-expandable halves of
+ * switching keys, shared by every tenant session of a Server.
+ *
+ * The MAD key-compression optimization (Section 3.2) makes the uniform
+ * a-half of each switching-key digit reproducible from a 32-byte PRNG
+ * seed. At serving scale that is the difference between "millions of
+ * resident key sets" and "millions of seeds": the cache keeps only the
+ * hot keys expanded, charges each expanded key its a-half bytes
+ * (SwitchingKey::aBytes()), and evicts least-recently-used keys back to
+ * seed-only form when the budget (MADFHE_KEYCACHE_BYTES) is exceeded.
+ * Evicted keys are re-expanded bit-exactly on the next use via
+ * SwitchingKey::expandA(), so eviction is invisible to results — only
+ * to latency, which the serve.keycache.* telemetry counters expose.
+ *
+ * The cache does not own key material: sessions own their SwitchingKey
+ * objects and register pointers, so the evaluator keeps reading keys in
+ * place through the session's GaloisKeys map. A Lease pins a key
+ * expanded for the duration of an evaluator pass; pinned keys are never
+ * evicted. Eviction and re-expansion are guarded by the `serve.evict`
+ * fault-injection site (see support/faultinject.h): with integrity
+ * checks on, a corrupted surviving b-half or re-expanded a-half is
+ * detected at the hand-off instead of silently poisoning every later
+ * key-switch.
+ */
+#ifndef MADFHE_SERVE_KEYCACHE_H
+#define MADFHE_SERVE_KEYCACHE_H
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ckks/keys.h"
+
+namespace madfhe {
+namespace serve {
+
+class KeyCache
+{
+  public:
+    using EntryId = u64;
+
+    /**
+     * @param ctx     Context keys are expanded against.
+     * @param budget  Byte budget over expanded a-halves; 0 = unlimited.
+     */
+    KeyCache(std::shared_ptr<const CkksContext> ctx, size_t budget);
+
+    /** MADFHE_KEYCACHE_BYTES, or 0 (unlimited) when unset. */
+    static size_t budgetFromEnv();
+
+    /**
+     * Register `key` (owned by the caller, which must outlive the entry
+     * or erase it). The key is compressed to seed-only form on insert;
+     * the budget must fit at least this key's a-halves.
+     */
+    EntryId insert(u64 tenant, std::string name, SwitchingKey* key);
+
+    /** Drop every entry of `tenant` (keys stay valid, compressed). */
+    void eraseTenant(u64 tenant);
+
+    /**
+     * Pin of one expanded key. The key stays expanded and ineligible
+     * for eviction until the lease is destroyed.
+     */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(KeyCache* cache, EntryId id) : cache_(cache), id_(id) {}
+        Lease(Lease&& o) noexcept : cache_(o.cache_), id_(o.id_)
+        {
+            o.cache_ = nullptr;
+        }
+        Lease& operator=(Lease&& o) noexcept
+        {
+            release();
+            cache_ = o.cache_;
+            id_ = o.id_;
+            o.cache_ = nullptr;
+            return *this;
+        }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        ~Lease() { release(); }
+
+      private:
+        void release();
+
+        KeyCache* cache_ = nullptr;
+        EntryId id_ = 0;
+    };
+
+    /**
+     * Expand (if evicted) and pin the entry, evicting LRU unpinned
+     * entries first when the expansion would exceed the budget.
+     */
+    Lease acquire(EntryId id);
+
+    struct Stats
+    {
+        size_t budget_bytes = 0;
+        size_t resident_bytes = 0; ///< charged a-half bytes, now
+        size_t peak_bytes = 0;     ///< high-water mark of resident_bytes
+        size_t entries = 0;
+        size_t resident_entries = 0;
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 evictions = 0;
+        /** Times eviction could not get under budget (all pinned). */
+        u64 overcommits = 0;
+    };
+    Stats stats() const;
+
+    /** True when the entry's a-halves are currently expanded. */
+    bool isResident(EntryId id) const;
+
+    /** Resident entry names in LRU -> MRU order (eviction order). */
+    std::vector<std::string> residentNames() const;
+
+  private:
+    friend class Lease;
+
+    struct Entry
+    {
+        u64 tenant = 0;
+        std::string name;
+        SwitchingKey* key = nullptr;
+        size_t charge = 0; ///< aBytes(), the evictable footprint
+        size_t pins = 0;
+        bool resident = false;
+        std::list<EntryId>::iterator lru_pos; ///< valid iff resident
+    };
+
+    /** Evict LRU unpinned entries until resident + need <= budget. */
+    void makeRoom(size_t need);
+    void unpin(EntryId id);
+
+    std::shared_ptr<const CkksContext> ctx;
+    size_t budget;
+
+    mutable std::mutex mu;
+    std::unordered_map<EntryId, Entry> entries;
+    std::list<EntryId> lru; ///< front = least recently used
+    EntryId next_id = 1;
+    size_t resident_bytes = 0;
+    size_t peak_bytes = 0;
+    u64 hits = 0, misses = 0, evictions = 0, overcommits = 0;
+};
+
+} // namespace serve
+} // namespace madfhe
+
+#endif // MADFHE_SERVE_KEYCACHE_H

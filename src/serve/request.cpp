@@ -1,0 +1,311 @@
+#include "serve/request.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "ckks/serialize.h"
+#include "support/faultinject.h"
+
+namespace madfhe {
+namespace serve {
+
+const char*
+opName(Op op)
+{
+    switch (op) {
+    case Op::Put:
+        return "Put";
+    case Op::Get:
+        return "Get";
+    case Op::Encrypt:
+        return "Encrypt";
+    case Op::EvalAdd:
+        return "EvalAdd";
+    case Op::EvalMul:
+        return "EvalMul";
+    case Op::Rotate:
+        return "Rotate";
+    case Op::MatVec:
+        return "MatVec";
+    case Op::DecryptShare:
+        return "DecryptShare";
+    }
+    return "?";
+}
+
+void
+throwIfError(const Response& resp)
+{
+    if (resp.ok)
+        return;
+    switch (resp.error_kind) {
+    case ErrorKind::CorruptStream:
+        throw CorruptStreamError(resp.error);
+    case ErrorKind::FaultDetected:
+        throw FaultDetectedError(resp.error);
+    case ErrorKind::Injected:
+        throw faultinject::InjectedFault(resp.error);
+    case ErrorKind::BadAlloc:
+        throw std::bad_alloc();
+    case ErrorKind::None:
+    case ErrorKind::User:
+    case ErrorKind::Other:
+        break;
+    }
+    throw UserError(resp.error);
+}
+
+namespace {
+
+constexpr u64 kRequestMagic = 0x4d41445352565131ULL;  // "MADSRVQ1"
+constexpr u64 kResponseMagic = 0x4d41445352565031ULL; // "MADSRVP1"
+
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr u64 kFnvPrime = 0x100000001b3ULL;
+
+constexpr size_t kMaxNameLen = 4096;
+constexpr size_t kMaxErrLen = 1 << 16;
+constexpr size_t kMaxSteps = 1024;
+constexpr size_t kMaxCiphertexts = 64;
+
+faultinject::Site g_decode_site("serve.decode", faultinject::kStreamKinds);
+
+#define FRAME_CHECK(cond, msg)                                                \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            throw ::madfhe::CorruptStreamError((msg), __FILE__, __LINE__);    \
+    } while (0)
+
+/** Checksumming frame writer (header portion of a serve frame). */
+class FrameWriter
+{
+  public:
+    void
+    bytes(const void* p, size_t len)
+    {
+        const u8* src = static_cast<const u8*>(p);
+        for (size_t i = 0; i < len; ++i) {
+            csum ^= src[i];
+            csum *= kFnvPrime;
+        }
+        out.append(reinterpret_cast<const char*>(src), len);
+    }
+
+    void u64v(u64 v) { bytes(&v, sizeof(v)); }
+    void dbl(double v) { bytes(&v, sizeof(v)); }
+
+    void
+    str(const std::string& s)
+    {
+        u64v(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void
+    checkpoint()
+    {
+        out.append(reinterpret_cast<const char*>(&csum), sizeof(csum));
+    }
+
+    std::string out;
+
+  private:
+    u64 csum = kFnvOffset;
+};
+
+/** Checksum-verifying frame reader with serve.decode fault injection. */
+class FrameReader
+{
+  public:
+    explicit FrameReader(const std::string& frame) : data(frame)
+    {
+        faultinject::initFromEnvOnce();
+    }
+
+    void
+    bytes(void* p, size_t len)
+    {
+        FRAME_CHECK(!injected_eof && pos + len <= data.size(),
+                    "truncated request frame");
+        std::memcpy(p, data.data() + pos, len);
+        pos += len;
+        if (len > 0) { // zero-length chunks have no bytes to fault
+            auto t = faultinject::touchStream(g_decode_site, len);
+            if (t.action == faultinject::StreamTouch::Action::Truncate)
+                injected_eof = true;
+            else if (t.action == faultinject::StreamTouch::Action::Corrupt)
+                static_cast<u8*>(p)[t.offset % len] ^= t.bit;
+        }
+        const u8* src = static_cast<const u8*>(p);
+        for (size_t i = 0; i < len; ++i) {
+            csum ^= src[i];
+            csum *= kFnvPrime;
+        }
+    }
+
+    u64
+    u64v()
+    {
+        u64 v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+
+    double
+    dbl()
+    {
+        double v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str(size_t max_len, const char* what)
+    {
+        const u64 len = u64v();
+        FRAME_CHECK(len <= max_len, std::string("implausible ") + what +
+                                        " length in request frame");
+        std::string s(len, '\0');
+        bytes(s.data(), len);
+        return s;
+    }
+
+    void
+    checkpoint(const char* what)
+    {
+        u64 stored = 0;
+        FRAME_CHECK(!injected_eof && pos + sizeof(stored) <= data.size(),
+                    "truncated request frame");
+        std::memcpy(&stored, data.data() + pos, sizeof(stored));
+        pos += sizeof(stored);
+        FRAME_CHECK(stored == csum,
+                    std::string("checksum mismatch in ") + what +
+                        " frame header; frame is corrupted");
+    }
+
+    /** Remaining bytes, for the payload blobs. */
+    std::string
+    rest() const
+    {
+        return data.substr(pos);
+    }
+
+  private:
+    const std::string& data;
+    size_t pos = 0;
+    u64 csum = kFnvOffset;
+    bool injected_eof = false;
+};
+
+} // namespace
+
+std::string
+encodeRequest(const Request& req)
+{
+    FrameWriter w;
+    w.u64v(kRequestMagic);
+    w.u64v(req.tenant);
+    w.u64v(req.id);
+    w.u64v(static_cast<u64>(req.op));
+    w.str(req.name);
+    w.u64v(req.steps.size());
+    for (int s : req.steps)
+        w.u64v(static_cast<u64>(static_cast<i64>(s)));
+    w.u64v(req.values.size());
+    for (double v : req.values)
+        w.dbl(v);
+    w.u64v(req.cts.size());
+    w.checkpoint();
+    std::ostringstream payload;
+    for (const Ciphertext& ct : req.cts)
+        saveCiphertext(payload, ct);
+    return w.out + payload.str();
+}
+
+Request
+decodeRequest(const std::string& frame,
+              std::shared_ptr<const RingContext> ring)
+{
+    FrameReader r(frame);
+    FRAME_CHECK(r.u64v() == kRequestMagic,
+                "not a serve request frame (bad magic)");
+    Request req;
+    req.tenant = r.u64v();
+    req.id = r.u64v();
+    const u64 op = r.u64v();
+    FRAME_CHECK(op <= static_cast<u64>(Op::DecryptShare),
+                "unknown op in request frame");
+    req.op = static_cast<Op>(op);
+    req.name = r.str(kMaxNameLen, "name");
+    const u64 nsteps = r.u64v();
+    FRAME_CHECK(nsteps <= kMaxSteps, "implausible step count");
+    req.steps.reserve(nsteps);
+    for (u64 i = 0; i < nsteps; ++i)
+        req.steps.push_back(static_cast<int>(static_cast<i64>(r.u64v())));
+    const u64 nvalues = r.u64v();
+    FRAME_CHECK(nvalues <= ring->degree(), "implausible value count");
+    req.values.reserve(nvalues);
+    for (u64 i = 0; i < nvalues; ++i)
+        req.values.push_back(r.dbl());
+    const u64 ncts = r.u64v();
+    FRAME_CHECK(ncts <= kMaxCiphertexts, "implausible ciphertext count");
+    r.checkpoint("request");
+    std::istringstream payload(r.rest());
+    req.cts.reserve(ncts);
+    for (u64 i = 0; i < ncts; ++i)
+        req.cts.push_back(loadCiphertext(payload, ring));
+    return req;
+}
+
+std::string
+encodeResponse(const Response& resp)
+{
+    FrameWriter w;
+    w.u64v(kResponseMagic);
+    w.u64v(resp.id);
+    w.u64v(resp.ok ? 1 : 0);
+    w.u64v(static_cast<u64>(resp.error_kind));
+    w.str(resp.error);
+    w.u64v(resp.values.size());
+    for (double v : resp.values)
+        w.dbl(v);
+    w.u64v(resp.cts.size());
+    w.checkpoint();
+    std::ostringstream payload;
+    for (const Ciphertext& ct : resp.cts)
+        saveCiphertext(payload, ct);
+    return w.out + payload.str();
+}
+
+Response
+decodeResponse(const std::string& frame,
+               std::shared_ptr<const RingContext> ring)
+{
+    FrameReader r(frame);
+    FRAME_CHECK(r.u64v() == kResponseMagic,
+                "not a serve response frame (bad magic)");
+    Response resp;
+    resp.id = r.u64v();
+    resp.ok = r.u64v() != 0;
+    const u64 kind = r.u64v();
+    FRAME_CHECK(kind <= static_cast<u64>(ErrorKind::Other),
+                "unknown error kind in response frame");
+    resp.error_kind = static_cast<ErrorKind>(kind);
+    resp.error = r.str(kMaxErrLen, "error");
+    const u64 nvalues = r.u64v();
+    FRAME_CHECK(nvalues <= ring->degree(), "implausible value count");
+    resp.values.reserve(nvalues);
+    for (u64 i = 0; i < nvalues; ++i)
+        resp.values.push_back(r.dbl());
+    const u64 ncts = r.u64v();
+    FRAME_CHECK(ncts <= kMaxCiphertexts, "implausible ciphertext count");
+    r.checkpoint("response");
+    std::istringstream payload(r.rest());
+    resp.cts.reserve(ncts);
+    for (u64 i = 0; i < ncts; ++i)
+        resp.cts.push_back(loadCiphertext(payload, ring));
+    return resp;
+}
+
+} // namespace serve
+} // namespace madfhe

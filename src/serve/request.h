@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Serving request/response types and their wire framing.
+ *
+ * A frame is a self-contained serialized-v2-style blob: a fixed header
+ * (magic, tenant, request id, op, operand metadata) protected by a
+ * running FNV-1a checksum checkpoint, followed by the ciphertext
+ * payloads as standard serialize-v2 blobs (each carrying its own
+ * checksums). Decoding is guarded by the `serve.decode` fault-injection
+ * site, so a flipped bit or truncation anywhere in the header surfaces
+ * as a typed CorruptStreamError instead of a malformed request — the
+ * server stays up and the client gets an error response.
+ */
+#ifndef MADFHE_SERVE_REQUEST_H
+#define MADFHE_SERVE_REQUEST_H
+
+#include <string>
+#include <vector>
+
+#include "ckks/ciphertext.h"
+#include "ring/ring.h"
+
+namespace madfhe {
+namespace serve {
+
+enum class Op : u8
+{
+    Put = 0,          ///< store cts[0] under `name`
+    Get = 1,          ///< fetch the ciphertext stored under `name`
+    Encrypt = 2,      ///< encode+encrypt `values` under the tenant pk
+    EvalAdd = 3,      ///< cts[0] + cts[1] (or store[name] + cts[0])
+    EvalMul = 4,      ///< cts[0] * cts[1], relinearized + rescaled
+    Rotate = 5,       ///< rotate cts[0] by each step (hoisted when >1)
+    MatVec = 6,       ///< apply server transform `name` to cts[0]
+    DecryptShare = 7, ///< decrypt cts[0] with the tenant demo key
+};
+
+const char* opName(Op op);
+
+struct Request
+{
+    u64 tenant = 0;
+    u64 id = 0;
+    Op op = Op::Get;
+    std::string name;            ///< KV key / transform name
+    std::vector<int> steps;      ///< Rotate steps
+    std::vector<double> values;  ///< Encrypt payload (real slots)
+    std::vector<Ciphertext> cts; ///< ciphertext operands
+};
+
+/** Typed error classification carried back over the wire so callers
+ *  (and the fault campaign) can rethrow what the server caught. */
+enum class ErrorKind : u8
+{
+    None = 0,
+    User = 1,          ///< UserError: caller misuse
+    CorruptStream = 2, ///< request/payload bytes failed validation
+    FaultDetected = 3, ///< integrity check fired during evaluation
+    Injected = 4,      ///< faultinject::InjectedFault (test harness)
+    BadAlloc = 5,
+    Other = 6,
+};
+
+struct Response
+{
+    u64 id = 0;
+    bool ok = false;
+    ErrorKind error_kind = ErrorKind::None;
+    std::string error;
+    std::vector<Ciphertext> cts;
+    std::vector<double> values; ///< DecryptShare output
+};
+
+/** Re-raise a failed response as the typed error the server caught;
+ *  no-op when resp.ok. */
+void throwIfError(const Response& resp);
+
+// --- wire framing ---------------------------------------------------------
+
+std::string encodeRequest(const Request& req);
+Request decodeRequest(const std::string& frame,
+                      std::shared_ptr<const RingContext> ring);
+
+std::string encodeResponse(const Response& resp);
+Response decodeResponse(const std::string& frame,
+                        std::shared_ptr<const RingContext> ring);
+
+} // namespace serve
+} // namespace madfhe
+
+#endif // MADFHE_SERVE_REQUEST_H

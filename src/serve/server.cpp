@@ -1,0 +1,451 @@
+#include "serve/server.h"
+
+#include "ckks/encryptor.h"
+#include "support/faultinject.h"
+#include "support/threadpool.h"
+
+namespace madfhe {
+namespace serve {
+
+namespace {
+
+/**
+ * Classify the in-flight exception into the wire taxonomy. Must be
+ * called from inside a catch block. Order matters: most-derived first
+ * (CorruptStreamError is a UserError; InjectedFault is a runtime_error).
+ */
+std::pair<ErrorKind, std::string>
+classifyCurrentException()
+{
+    try {
+        throw;
+    } catch (const faultinject::InjectedFault& e) {
+        return {ErrorKind::Injected, e.what()};
+    } catch (const FaultDetectedError& e) {
+        return {ErrorKind::FaultDetected, e.what()};
+    } catch (const CorruptStreamError& e) {
+        return {ErrorKind::CorruptStream, e.what()};
+    } catch (const UserError& e) {
+        return {ErrorKind::User, e.what()};
+    } catch (const std::bad_alloc&) {
+        return {ErrorKind::BadAlloc, "out of memory"};
+    } catch (const std::exception& e) {
+        return {ErrorKind::Other, e.what()};
+    } catch (...) {
+        return {ErrorKind::Other, "unknown error"};
+    }
+}
+
+/**
+ * Detach the current thread from any open span for the duration of one
+ * request, so a request's span path is always "tenant-N/<Op>" whether
+ * it ran inline under the batch span or inside a pool worker.
+ */
+class SpanRebase
+{
+  public:
+    SpanRebase() : saved(telemetry::detail::currentNode())
+    {
+        telemetry::detail::currentNode() = nullptr;
+    }
+    ~SpanRebase() { telemetry::detail::currentNode() = saved; }
+
+    SpanRebase(const SpanRebase&) = delete;
+    SpanRebase& operator=(const SpanRebase&) = delete;
+
+  private:
+    telemetry::SpanNode* saved;
+};
+
+} // namespace
+
+Server::Server(std::shared_ptr<const CkksContext> ctx_, ServerOptions options)
+    : ctx(std::move(ctx_)),
+      encoder(ctx),
+      eval(ctx),
+      cache(ctx, options.keycache_bytes ? *options.keycache_bytes
+                                        : KeyCache::budgetFromEnv()),
+      batcher(ctx->maxLevel(), options.max_batch.value_or(0)),
+      req_counter(telemetry::counter("serve.requests")),
+      err_counter(telemetry::counter("serve.errors")),
+      lat_hist(telemetry::histogram("serve.latency_ns"))
+{
+    dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::stop()
+{
+    bool expected = false;
+    if (stopping.compare_exchange_strong(expected, true))
+        batcher.close();
+    if (dispatcher.joinable())
+        dispatcher.join();
+}
+
+u64
+Server::addTenant(TenantKeys keys)
+{
+    std::lock_guard<std::mutex> lock(sessions_mu);
+    const u64 id = next_tenant++;
+    sessions.emplace(
+        id, std::make_shared<Session>(id, ctx, cache, std::move(keys)));
+    return id;
+}
+
+void
+Server::removeTenant(u64 tenant)
+{
+    std::shared_ptr<Session> doomed; // destroyed outside the lock
+    std::lock_guard<std::mutex> lock(sessions_mu);
+    auto it = sessions.find(tenant);
+    MAD_REQUIRE(it != sessions.end(), "removeTenant: unknown tenant");
+    doomed = std::move(it->second);
+    sessions.erase(it);
+}
+
+std::shared_ptr<Session>
+Server::sessionFor(u64 tenant) const
+{
+    std::lock_guard<std::mutex> lock(sessions_mu);
+    auto it = sessions.find(tenant);
+    return it == sessions.end() ? nullptr : it->second;
+}
+
+void
+Server::registerTransform(const std::string& name, LinearTransform t)
+{
+    std::lock_guard<std::mutex> lock(transforms_mu);
+    transforms.erase(name);
+    transforms.emplace(name, std::move(t));
+}
+
+std::vector<int>
+Server::transformRotations(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(transforms_mu);
+    auto it = transforms.find(name);
+    MAD_REQUIRE(it != transforms.end(),
+                "transformRotations: unknown transform '" + name + "'");
+    return it->second.requiredRotations();
+}
+
+u64
+Server::encryptionSeedFor(u64 tenant, u64 request_id)
+{
+    u64 x = tenant * 0x9E3779B97F4A7C15ULL + request_id + 0x2545F4914F6CDD1DULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+std::future<Response>
+Server::submit(Request req)
+{
+    PendingRequest p;
+    p.req = std::move(req);
+    std::future<Response> fut = p.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(drain_mu);
+        ++submitted;
+    }
+    try {
+        batcher.push(std::move(p));
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(drain_mu);
+            --submitted;
+        }
+        throw;
+    }
+    return fut;
+}
+
+std::future<Response>
+Server::submitFrame(const std::string& frame)
+{
+    try {
+        return submit(decodeRequest(frame, ctx->ring()));
+    } catch (...) {
+        Response resp;
+        auto classified = classifyCurrentException();
+        resp.ok = false;
+        resp.error_kind = classified.first;
+        resp.error = classified.second;
+        if (telemetry::enabled(telemetry::Level::Counters)) {
+            req_counter.add(1);
+            err_counter.add(1);
+        }
+        std::promise<Response> pr;
+        pr.set_value(std::move(resp));
+        return pr.get_future();
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(drain_mu);
+    drained.wait(lock, [&] { return completed.load() >= submitted; });
+}
+
+void
+Server::dispatchLoop()
+{
+    for (;;) {
+        std::vector<Batch> batches = batcher.waitDrain();
+        if (batches.empty())
+            return; // closed and drained
+        for (Batch& b : batches)
+            executeBatch(b);
+    }
+}
+
+void
+Server::executeBatch(Batch& batch)
+{
+    TELEM_SPAN("Serve.Batch");
+
+    // Pin every switching key the batch needs, once per tenant — this
+    // is the batching win: one expansion amortized over the whole run
+    // of compatible requests. All items of a batch share a BatchKey, so
+    // the key set depends only on (op, steps, name).
+    struct TenantPrep
+    {
+        std::shared_ptr<Session> session;
+        bool ok = true;
+        ErrorKind kind = ErrorKind::None;
+        std::string error;
+    };
+    std::map<u64, TenantPrep> prep;
+    std::vector<KeyCache::Lease> leases;
+    leases.reserve(batch.items.size());
+
+    for (const PendingRequest& item : batch.items) {
+        const u64 tenant = item.req.tenant;
+        if (prep.count(tenant) != 0)
+            continue;
+        TenantPrep p;
+        p.session = sessionFor(tenant);
+        if (!p.session) {
+            p.ok = false;
+            p.kind = ErrorKind::User;
+            p.error = "unknown tenant";
+            prep.emplace(tenant, std::move(p));
+            continue;
+        }
+        try {
+            switch (batch.key.op) {
+            case Op::EvalMul:
+                leases.push_back(p.session->relin());
+                break;
+            case Op::Rotate:
+                for (int step : item.req.steps)
+                    if (step != 0)
+                        leases.push_back(
+                            p.session->galois(ring()->galoisElt(step)));
+                break;
+            case Op::MatVec:
+                for (int step : transformRotations(item.req.name))
+                    if (step != 0)
+                        leases.push_back(
+                            p.session->galois(ring()->galoisElt(step)));
+                break;
+            default:
+                break;
+            }
+        } catch (...) {
+            auto classified = classifyCurrentException();
+            p.ok = false;
+            p.kind = classified.first;
+            p.error = classified.second;
+        }
+        prep.emplace(tenant, std::move(p));
+    }
+
+    auto runOne = [&](size_t i) {
+        PendingRequest& item = batch.items[i];
+        TenantPrep& p = prep.at(item.req.tenant);
+        if (!p.ok) {
+            Response resp;
+            resp.id = item.req.id;
+            resp.ok = false;
+            resp.error_kind = p.kind;
+            resp.error = p.error;
+            finish(item, p.session.get(), std::move(resp),
+                   telemetry::nowNs());
+            return;
+        }
+        execItem(item, *p.session);
+    };
+
+    if (batch.key.coalescable && batch.items.size() > 1)
+        ThreadPool::global().run(batch.items.size(), runOne);
+    else
+        for (size_t i = 0; i < batch.items.size(); ++i)
+            runOne(i);
+}
+
+void
+Server::execItem(PendingRequest& item, Session& session)
+{
+    const u64 t0 = telemetry::nowNs();
+    Response resp;
+    resp.id = item.req.id;
+    try {
+        SpanRebase rebase;
+        telemetry::Span tenant_span(session.label());
+        telemetry::Span op_span(opName(item.req.op));
+        resp = executeOne(session, item.req);
+        resp.id = item.req.id;
+    } catch (...) {
+        auto classified = classifyCurrentException();
+        resp = Response{};
+        resp.id = item.req.id;
+        resp.ok = false;
+        resp.error_kind = classified.first;
+        resp.error = classified.second;
+    }
+    finish(item, &session, std::move(resp), t0);
+}
+
+void
+Server::finish(PendingRequest& item, Session* session, Response resp, u64 t0)
+{
+    if (telemetry::enabled(telemetry::Level::Counters)) {
+        const u64 dur = telemetry::nowNs() - t0;
+        req_counter.add(1);
+        lat_hist.record(dur);
+        if (session) {
+            session->requestCounter().add(1);
+            session->latencyHistogram().record(dur);
+        }
+        if (!resp.ok) {
+            err_counter.add(1);
+            if (session)
+                session->errorCounter().add(1);
+        }
+    }
+    item.promise.set_value(std::move(resp));
+    completed.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(drain_mu);
+    }
+    drained.notify_all();
+}
+
+Response
+Server::executeOne(Session& session, const Request& req)
+{
+    Response resp;
+    resp.id = req.id;
+    switch (req.op) {
+    case Op::Put:
+        MAD_REQUIRE(!req.name.empty(), "Put: empty key name");
+        MAD_REQUIRE(req.cts.size() == 1, "Put: expected exactly 1 ciphertext");
+        session.put(req.name, req.cts[0]);
+        break;
+
+    case Op::Get: {
+        MAD_REQUIRE(!req.name.empty(), "Get: empty key name");
+        std::optional<Ciphertext> stored = session.get(req.name);
+        MAD_REQUIRE(stored.has_value(),
+                    "Get: nothing stored under '" + req.name + "'");
+        resp.cts.push_back(std::move(*stored));
+        break;
+    }
+
+    case Op::Encrypt: {
+        MAD_REQUIRE(req.values.size() <= ctx->slots(),
+                    "Encrypt: more values than slots");
+        const Plaintext pt =
+            encoder.encodeReal(req.values, ctx->scale(), ctx->maxLevel());
+        Encryptor enc(ctx, session.publicKey(),
+                      encryptionSeedFor(req.tenant, req.id));
+        resp.cts.push_back(enc.encrypt(pt));
+        break;
+    }
+
+    case Op::EvalAdd: {
+        if (!req.name.empty()) {
+            MAD_REQUIRE(req.cts.size() == 1,
+                        "EvalAdd with a stored operand takes 1 ciphertext");
+            std::optional<Ciphertext> stored = session.get(req.name);
+            MAD_REQUIRE(stored.has_value(),
+                        "EvalAdd: nothing stored under '" + req.name + "'");
+            resp.cts.push_back(eval.addAligned(*stored, req.cts[0]));
+        } else {
+            MAD_REQUIRE(req.cts.size() == 2,
+                        "EvalAdd: expected 2 ciphertexts");
+            resp.cts.push_back(eval.addAligned(req.cts[0], req.cts[1]));
+        }
+        break;
+    }
+
+    case Op::EvalMul:
+        MAD_REQUIRE(req.cts.size() == 2, "EvalMul: expected 2 ciphertexts");
+        resp.cts.push_back(
+            eval.mul(req.cts[0], req.cts[1], session.relinKey()));
+        break;
+
+    case Op::Rotate: {
+        MAD_REQUIRE(req.cts.size() == 1, "Rotate: expected 1 ciphertext");
+        MAD_REQUIRE(!req.steps.empty(), "Rotate: no steps given");
+        if (req.steps.size() == 1) {
+            resp.cts.push_back(
+                req.steps[0] == 0
+                    ? req.cts[0]
+                    : eval.rotate(req.cts[0], req.steps[0],
+                                  session.galoisKeys()));
+        } else {
+            resp.cts = eval.rotateHoisted(req.cts[0], req.steps,
+                                          session.galoisKeys());
+        }
+        break;
+    }
+
+    case Op::MatVec: {
+        MAD_REQUIRE(req.cts.size() == 1, "MatVec: expected 1 ciphertext");
+        const LinearTransform* t = nullptr;
+        {
+            // Map nodes are stable; apply() runs outside the lock so
+            // MatVec batch items can fan out across the pool.
+            std::lock_guard<std::mutex> lock(transforms_mu);
+            auto it = transforms.find(req.name);
+            MAD_REQUIRE(it != transforms.end(),
+                        "MatVec: unknown transform '" + req.name + "'");
+            t = &it->second;
+        }
+        resp.cts.push_back(
+            t->apply(eval, encoder, req.cts[0], session.galoisKeys()));
+        break;
+    }
+
+    case Op::DecryptShare: {
+        MAD_REQUIRE(req.cts.size() == 1,
+                    "DecryptShare: expected 1 ciphertext");
+        MAD_REQUIRE(session.secretKey().has_value(),
+                    "DecryptShare: tenant registered no demo secret key");
+        Decryptor dec(ctx, *session.secretKey());
+        const Plaintext pt = dec.decrypt(req.cts[0]);
+        const std::vector<std::complex<double>> slots = encoder.decode(pt);
+        resp.values.reserve(slots.size());
+        for (const std::complex<double>& s : slots)
+            resp.values.push_back(s.real());
+        break;
+    }
+    }
+    resp.ok = true;
+    return resp;
+}
+
+} // namespace serve
+} // namespace madfhe

@@ -1,0 +1,84 @@
+#include "serve/session.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace madfhe {
+namespace serve {
+
+const char*
+tenantLabel(u64 tenant)
+{
+    // Interned with process lifetime so the pointer is a valid
+    // telemetry span name (spans store names by pointer). Bounded by
+    // the number of distinct tenants ever seen.
+    static std::mutex mu;
+    static std::unordered_map<u64, std::unique_ptr<std::string>> labels;
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = labels[tenant];
+    if (!slot)
+        slot = std::make_unique<std::string>("tenant-" +
+                                             std::to_string(tenant));
+    return slot->c_str();
+}
+
+Session::Session(u64 tenant, std::shared_ptr<const CkksContext> ctx_,
+                 KeyCache& cache_, TenantKeys keys_)
+    : tenant_(tenant), label_(tenantLabel(tenant)), ctx(std::move(ctx_)),
+      cache(cache_), keys(std::move(keys_)),
+      req_counter(telemetry::counter("serve.tenant." +
+                                     std::to_string(tenant) + ".requests")),
+      err_counter(telemetry::counter("serve.tenant." +
+                                     std::to_string(tenant) + ".errors")),
+      lat_hist(telemetry::histogram("serve.tenant." + std::to_string(tenant) +
+                                    ".latency_ns"))
+{
+    // Registration compresses each key to seed-only form; std::map
+    // nodes are pointer-stable, so the cache can manage them in place.
+    rlk_id = cache.insert(tenant_, "rlk", &keys.rlk);
+    for (auto& [elt, key] : keys.gks)
+        galois_ids.emplace(
+            elt, cache.insert(tenant_, "gk" + std::to_string(elt), &key));
+}
+
+Session::~Session()
+{
+    cache.eraseTenant(tenant_);
+}
+
+KeyCache::Lease
+Session::galois(u64 elt)
+{
+    auto it = galois_ids.find(elt);
+    MAD_REQUIRE(it != galois_ids.end(),
+                "tenant " + std::to_string(tenant_) +
+                    " has no Galois key for element " + std::to_string(elt));
+    return cache.acquire(it->second);
+}
+
+void
+Session::put(const std::string& name, Ciphertext ct)
+{
+    std::lock_guard<std::mutex> lock(store_mu);
+    store.insert_or_assign(name, std::move(ct));
+}
+
+std::optional<Ciphertext>
+Session::get(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(store_mu);
+    auto it = store.find(name);
+    if (it == store.end())
+        return std::nullopt;
+    return it->second;
+}
+
+size_t
+Session::storeSize() const
+{
+    std::lock_guard<std::mutex> lock(store_mu);
+    return store.size();
+}
+
+} // namespace serve
+} // namespace madfhe

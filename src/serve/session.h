@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Session: per-tenant serving state — the tenant's switching-key
+ * material registered behind the shared KeyCache, the tenant's
+ * encrypted key-value store (the encrypted-Redis surface), and interned
+ * per-tenant telemetry handles.
+ *
+ * The session owns the key objects; the cache only manages their
+ * expanded/compressed state. The evaluator reads keys in place through
+ * galoisKeys(), so a rotate works as long as the specific key it needs
+ * is held expanded by a Lease — other keys in the map may be seed-only
+ * at that moment. Isolation contract: nothing in a session is shared
+ * with another tenant except the byte budget itself, so one tenant's
+ * evictions can cost another tenant a re-expansion but can never alter
+ * its state or results.
+ */
+#ifndef MADFHE_SERVE_SESSION_H
+#define MADFHE_SERVE_SESSION_H
+
+#include <map>
+#include <optional>
+
+#include "ckks/encryptor.h"
+#include "serve/keycache.h"
+#include "telemetry/telemetry.h"
+
+namespace madfhe {
+namespace serve {
+
+/** Key material a tenant registers when its session is created.
+ *  Switching keys may arrive compressed (seed + b-halves) — the wire
+ *  form saveSwitchingKeyCompressed() produces. */
+struct TenantKeys
+{
+    PublicKey pk;
+    SwitchingKey rlk;
+    GaloisKeys gks;
+    /**
+     * Demo-only trust-the-server mode: when present, DecryptShare
+     * requests return the decrypted slots. A production deployment
+     * would hold a threshold share instead; nothing else reads this.
+     */
+    std::optional<SecretKey> sk;
+};
+
+/** Interned "tenant-<id>" label with process lifetime, usable as a
+ *  telemetry span name. */
+const char* tenantLabel(u64 tenant);
+
+class Session
+{
+  public:
+    Session(u64 tenant, std::shared_ptr<const CkksContext> ctx,
+            KeyCache& cache, TenantKeys keys);
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    u64 tenant() const { return tenant_; }
+    const char* label() const { return label_; }
+    const PublicKey& publicKey() const { return keys.pk; }
+    const std::optional<SecretKey>& secretKey() const { return keys.sk; }
+
+    /** Key map the evaluator reads; pair with galois() leases. */
+    const GaloisKeys& galoisKeys() const { return keys.gks; }
+    const SwitchingKey& relinKey() const { return keys.rlk; }
+
+    /** Pin the relinearization key expanded. */
+    KeyCache::Lease relin() { return cache.acquire(rlk_id); }
+    /** Pin the Galois key for automorphism element `elt` expanded. */
+    KeyCache::Lease galois(u64 elt);
+    bool hasGalois(u64 elt) const { return galois_ids.count(elt) != 0; }
+
+    // --- encrypted key-value store ---------------------------------------
+    void put(const std::string& name, Ciphertext ct);
+    std::optional<Ciphertext> get(const std::string& name) const;
+    size_t storeSize() const;
+
+    // --- per-tenant telemetry (interned once, written lock-free) ----------
+    telemetry::Counter& requestCounter() { return req_counter; }
+    telemetry::Counter& errorCounter() { return err_counter; }
+    telemetry::Histogram& latencyHistogram() { return lat_hist; }
+
+  private:
+    u64 tenant_;
+    const char* label_;
+    std::shared_ptr<const CkksContext> ctx;
+    KeyCache& cache;
+    TenantKeys keys;
+
+    KeyCache::EntryId rlk_id = 0;
+    std::map<u64, KeyCache::EntryId> galois_ids;
+
+    mutable std::mutex store_mu;
+    std::map<std::string, Ciphertext> store;
+
+    telemetry::Counter& req_counter;
+    telemetry::Counter& err_counter;
+    telemetry::Histogram& lat_hist;
+};
+
+} // namespace serve
+} // namespace madfhe
+
+#endif // MADFHE_SERVE_SESSION_H

@@ -1,0 +1,197 @@
+#include "serve/tcp.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace madfhe {
+namespace serve {
+
+namespace {
+
+/** Ceiling on one frame; a hostile length prefix must not allocate. */
+constexpr u64 kMaxFrameBytes = 256ULL << 20;
+
+bool
+readAll(int fd, void* buf, size_t len)
+{
+    u8* p = static_cast<u8*>(buf);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n <= 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const void* buf, size_t len)
+{
+    const u8* p = static_cast<const u8*>(buf);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, const std::string& frame)
+{
+    const u64 len = frame.size();
+    return writeAll(fd, &len, sizeof(len)) &&
+           writeAll(fd, frame.data(), frame.size());
+}
+
+/** Returns false on clean EOF / peer reset; throws on a hostile prefix. */
+bool
+recvFrame(int fd, std::string& frame)
+{
+    u64 len = 0;
+    if (!readAll(fd, &len, sizeof(len)))
+        return false;
+    MAD_REQUIRE(len <= kMaxFrameBytes, "tcp: implausible frame length");
+    frame.resize(len);
+    return len == 0 || readAll(fd, frame.data(), len);
+}
+
+} // namespace
+
+TcpFrontEnd::TcpFrontEnd(Server& server_, std::uint16_t port)
+    : server(server_)
+{
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MAD_CHECK(listen_fd >= 0, "tcp: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    MAD_CHECK(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "tcp: bind() failed");
+    MAD_CHECK(::listen(listen_fd, 16) == 0, "tcp: listen() failed");
+
+    socklen_t addr_len = sizeof(addr);
+    MAD_CHECK(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                            &addr_len) == 0,
+              "tcp: getsockname() failed");
+    port_ = ntohs(addr.sin_port);
+
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+TcpFrontEnd::~TcpFrontEnd()
+{
+    stop();
+}
+
+void
+TcpFrontEnd::stop()
+{
+    bool expected = false;
+    if (stopping.compare_exchange_strong(expected, true)) {
+        // shutdown() unblocks accept(); the fds unblock the readers.
+        ::shutdown(listen_fd, SHUT_RDWR);
+        ::close(listen_fd);
+        std::lock_guard<std::mutex> lock(conns_mu);
+        for (int fd : conn_fds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptor.joinable())
+        acceptor.join();
+    std::vector<std::thread> joinable;
+    {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        joinable.swap(conn_threads);
+    }
+    for (std::thread& t : joinable)
+        if (t.joinable())
+            t.join();
+    {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        for (int fd : conn_fds)
+            ::close(fd);
+        conn_fds.clear();
+    }
+}
+
+void
+TcpFrontEnd::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            return; // listener closed by stop()
+        std::lock_guard<std::mutex> lock(conns_mu);
+        if (stopping.load()) {
+            ::close(fd);
+            return;
+        }
+        conn_fds.push_back(fd);
+        conn_threads.emplace_back([this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+TcpFrontEnd::serveConnection(int fd)
+{
+    std::string frame;
+    for (;;) {
+        try {
+            if (!recvFrame(fd, frame))
+                return;
+        } catch (...) {
+            return; // hostile length prefix: drop the connection
+        }
+        std::string reply;
+        try {
+            reply = encodeResponse(server.submitFrame(frame).get());
+        } catch (...) {
+            // submit rejected (server stopping): report, then drop.
+            Response resp;
+            resp.ok = false;
+            resp.error_kind = ErrorKind::User;
+            resp.error = "server is stopping";
+            sendFrame(fd, encodeResponse(resp));
+            return;
+        }
+        if (!sendFrame(fd, reply))
+            return;
+    }
+}
+
+std::string
+tcpRequest(const std::string& host, std::uint16_t port, const std::string& frame)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MAD_CHECK(fd >= 0, "tcp: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    MAD_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "tcp: bad host address '" + host + "'");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw UserError("tcp: connect to " + host + " failed");
+    }
+    std::string reply;
+    const bool ok = sendFrame(fd, frame) && recvFrame(fd, reply);
+    ::close(fd);
+    MAD_CHECK(ok, "tcp: request round-trip failed");
+    return reply;
+}
+
+} // namespace serve
+} // namespace madfhe

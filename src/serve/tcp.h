@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal TCP front end for the serving runtime: length-prefixed serve
+ * frames over a localhost socket, one connection per client.
+ *
+ * Wire protocol: each message is a little-endian u64 byte count followed
+ * by that many bytes of serve frame (request.h framing — magic, header
+ * checksum checkpoint, serialized-v2 ciphertext payloads). The front end
+ * decodes through Server::submitFrame, so a corrupted frame comes back
+ * as a typed error response instead of killing the connection, and a
+ * hostile length prefix is rejected before allocation.
+ *
+ * This is deliberately small — enough to demo and test real
+ * client/server traffic (examples/encrypted_kv.cpp) without pulling in
+ * an RPC dependency; production deployments would put their own
+ * transport in front of Server::submit.
+ */
+#ifndef MADFHE_SERVE_TCP_H
+#define MADFHE_SERVE_TCP_H
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace madfhe {
+namespace serve {
+
+class TcpFrontEnd
+{
+  public:
+    /** Listen on 127.0.0.1:`port` (0 = ephemeral; see port()). */
+    explicit TcpFrontEnd(Server& server, std::uint16_t port = 0);
+    ~TcpFrontEnd();
+
+    TcpFrontEnd(const TcpFrontEnd&) = delete;
+    TcpFrontEnd& operator=(const TcpFrontEnd&) = delete;
+
+    /** The bound port (useful with port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Close the listener and every live connection, join all threads.
+     *  Called by the destructor. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    Server& server;
+    std::uint16_t port_ = 0;
+    int listen_fd = -1;
+    std::atomic<bool> stopping{false};
+    std::thread acceptor;
+    std::mutex conns_mu;
+    std::vector<int> conn_fds;
+    std::vector<std::thread> conn_threads;
+};
+
+/**
+ * Blocking client helper: connect, send one length-prefixed `frame`,
+ * return the length-prefixed response frame's payload.
+ */
+std::string tcpRequest(const std::string& host, std::uint16_t port,
+                       const std::string& frame);
+
+} // namespace serve
+} // namespace madfhe
+
+#endif // MADFHE_SERVE_TCP_H

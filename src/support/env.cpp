@@ -1,0 +1,78 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace madfhe {
+namespace env {
+
+std::optional<u64>
+parseBytes(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    u64 mult = 1;
+    char last = text.back();
+    switch (std::toupper(static_cast<unsigned char>(last))) {
+    case 'K':
+        mult = u64{1} << 10;
+        text.remove_suffix(1);
+        break;
+    case 'M':
+        mult = u64{1} << 20;
+        text.remove_suffix(1);
+        break;
+    case 'G':
+        mult = u64{1} << 30;
+        text.remove_suffix(1);
+        break;
+    default:
+        break;
+    }
+    if (text.empty())
+        return std::nullopt;
+    u64 value = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        u64 digit = static_cast<u64>(c - '0');
+        if (value > (~u64{0} - digit) / 10)
+            return std::nullopt;
+        value = value * 10 + digit;
+    }
+    if (mult != 1 && value > ~u64{0} / mult)
+        return std::nullopt;
+    return value * mult;
+}
+
+u64
+bytesOr(const char* name, u64 fallback)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    auto parsed = parseBytes(raw);
+    MAD_REQUIRE(parsed.has_value(),
+                std::string("cannot parse ") + name + "='" + raw +
+                    "' as a byte count (expected digits with optional "
+                    "K/M/G suffix)");
+    return *parsed;
+}
+
+u64
+u64Or(const char* name, u64 fallback)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    char* end = nullptr;
+    u64 value = std::strtoull(raw, &end, 10);
+    MAD_REQUIRE(end != raw && *end == '\0',
+                std::string("cannot parse ") + name + "='" + raw +
+                    "' as an unsigned integer");
+    return value;
+}
+
+} // namespace env
+} // namespace madfhe

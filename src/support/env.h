@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Environment-variable parsing helpers shared by the runtime knobs
+ * (MADFHE_KEYCACHE_BYTES, MADFHE_BATCH_MAX, MADFHE_THREADS, ...).
+ * Centralized so every knob accepts the same syntax and fails the same
+ * way: a malformed value throws UserError naming the variable instead
+ * of being silently ignored.
+ */
+#ifndef MADFHE_SUPPORT_ENV_H
+#define MADFHE_SUPPORT_ENV_H
+
+#include <optional>
+#include <string_view>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace env {
+
+/**
+ * Parse a byte count with an optional K/M/G (binary, case-insensitive)
+ * suffix: "65536", "64K", "16M", "1G". Returns nullopt for malformed
+ * text or multiplication overflow.
+ */
+std::optional<u64> parseBytes(std::string_view text);
+
+/**
+ * Read `name` from the environment as a byte count. Unset or empty
+ * returns `fallback`; a malformed value throws UserError naming the
+ * variable.
+ */
+u64 bytesOr(const char* name, u64 fallback);
+
+/** Read `name` as a plain decimal u64, same unset/malformed contract. */
+u64 u64Or(const char* name, u64 fallback);
+
+} // namespace env
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_ENV_H

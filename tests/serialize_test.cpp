@@ -115,6 +115,78 @@ TEST_F(SerializeTest, CompressedKeyHalvesWireSize)
 }
 
 
+TEST_F(SerializeTest, CompressedSaveOfExpandedKeyShipsSeedOnly)
+{
+    // The serving wire form: an *expanded* key can be saved seed-only
+    // without mutating it, and re-expands bit-exactly at the receiver.
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey key = keygen.galoisKey(h->sk, 5);
+    ASSERT_FALSE(key.isCompressed());
+
+    std::stringstream ss;
+    saveSwitchingKeyCompressed(ss, key);
+    ASSERT_FALSE(key.isCompressed()); // the key itself is untouched
+
+    SwitchingKey compressed = key;
+    compressed.compress();
+    EXPECT_EQ(ss.str().size(), switchingKeyWireSize(compressed));
+
+    SwitchingKey back = loadSwitchingKey(ss, h->ctx->ring());
+    EXPECT_TRUE(back.isCompressed());
+    back.expandA(*h->ctx);
+    for (size_t j = 0; j < key.numDigits(); ++j) {
+        EXPECT_TRUE(back.a(j).equals(key.a(j))) << "digit " << j;
+        EXPECT_TRUE(back.b(j).equals(key.b(j))) << "digit " << j;
+    }
+}
+
+TEST_F(SerializeTest, CompressedGaloisKeysShipSeedsOnly)
+{
+    GaloisKeys gks = h->makeGaloisKeys({1, 3});
+    std::stringstream full_ss, small_ss;
+    saveGaloisKeys(full_ss, gks);
+    saveGaloisKeysCompressed(small_ss, gks);
+    EXPECT_LT(static_cast<double>(small_ss.str().size()),
+              0.55 * static_cast<double>(full_ss.str().size()));
+
+    // Reloaded compressed keys still rotate correctly once expanded.
+    GaloisKeys back = loadGaloisKeys(small_ss, h->ctx->ring());
+    ASSERT_EQ(back.size(), gks.size());
+    for (auto& [elt, key] : back) {
+        EXPECT_TRUE(key.isCompressed());
+        key.expandA(*h->ctx);
+    }
+    auto a = randomSlots(h->ctx->slots(), 21);
+    auto ca = h->encryptSlots(a, 3);
+    auto w = h->decryptSlots(h->eval->rotate(ca, 1, back));
+    const size_t slots = h->ctx->slots();
+    for (size_t k = 0; k < slots; ++k)
+        EXPECT_LT(std::abs(w[k] - a[(k + 1) % slots]), 1e-4);
+}
+
+TEST_F(SerializeTest, CorruptSeedInCompressedKeyIsDetected)
+{
+    // Every byte of a compressed key's wire form is checksummed —
+    // including the seed, whose corruption would otherwise silently
+    // re-expand a *different* (wrong but well-formed) key.
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey key = keygen.galoisKey(h->sk, 5);
+    std::stringstream ss;
+    saveSwitchingKeyCompressed(ss, key);
+    const std::string bytes = ss.str();
+
+    // Exhaustively flip one bit in each byte of the header region,
+    // which contains the 32-byte seed.
+    for (size_t off = 0; off < 96 && off < bytes.size(); ++off) {
+        std::string bad = bytes;
+        bad[off] = static_cast<char>(bad[off] ^ 0x20);
+        std::stringstream in(bad);
+        EXPECT_THROW(loadSwitchingKey(in, h->ctx->ring()),
+                     CorruptStreamError)
+            << "flip at offset " << off;
+    }
+}
+
 TEST_F(SerializeTest, GaloisKeysRoundTrip)
 {
     GaloisKeys gks = h->makeGaloisKeys({1, 3}, /*conj=*/true);

@@ -31,6 +31,7 @@
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 #include "ckks/serialize.h"
+#include "serve/server.h"
 #include "support/faultinject.h"
 #include "support/random.h"
 #include "support/threadpool.h"
@@ -190,6 +191,57 @@ main(int argc, char** argv)
                              return fingerprint(
                                  loadCiphertext(ss, base.ctx->ring()));
                          }});
+
+    // Serving workload: one tenant behind a one-key cache budget so
+    // every eval request re-expands and evicts (reaches serve.evict),
+    // with all traffic entering as wire frames (reaches serve.decode).
+    // throwIfError() re-raises whatever typed error the server caught,
+    // so detections classify exactly like direct-call workloads.
+    serve::TenantKeys tenant_keys;
+    tenant_keys.pk = base.pk;
+    tenant_keys.rlk = base.rlk;
+    tenant_keys.gks = base.gks;
+    serve::ServerOptions serve_opts;
+    serve_opts.keycache_bytes = base.rlk.aBytes();
+    auto server = std::make_unique<serve::Server>(base.ctx, serve_opts);
+    const u64 serve_tenant = server->addTenant(std::move(tenant_keys));
+    workloads.push_back(
+        {"serve", [&, serve_tenant] {
+             std::string out;
+             u64 rid = 1; // per-run ids keep Encrypt seeds deterministic
+             auto call = [&](serve::Request req) {
+                 req.tenant = serve_tenant;
+                 req.id = rid++;
+                 serve::Response resp =
+                     server->submitFrame(serve::encodeRequest(req)).get();
+                 serve::throwIfError(resp);
+                 for (const Ciphertext& ct : resp.cts)
+                     out += fingerprint(ct);
+             };
+             serve::Request put;
+             put.op = serve::Op::Put;
+             put.name = "a";
+             put.cts = {base.ct_a};
+             call(std::move(put));
+             serve::Request get;
+             get.op = serve::Op::Get;
+             get.name = "a";
+             call(std::move(get));
+             serve::Request mul;
+             mul.op = serve::Op::EvalMul;
+             mul.cts = {base.ct_a, base.ct_b};
+             call(std::move(mul));
+             serve::Request rot;
+             rot.op = serve::Op::Rotate;
+             rot.steps = {1};
+             rot.cts = {base.ct_a};
+             call(std::move(rot));
+             serve::Request mul2;
+             mul2.op = serve::Op::EvalMul;
+             mul2.cts = {base.ct_b, base.ct_a};
+             call(std::move(mul2));
+             return out;
+         }});
 
     std::unique_ptr<Setup> boot_setup;
     std::unique_ptr<Bootstrapper> boot;

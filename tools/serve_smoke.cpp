@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Serving smoke test (the CI `serve-smoke` job): N concurrent in-proc
+ * tenants fire mixed PUT/GET/eval traffic — part direct submits, part
+ * wire frames through the TCP front end — at a server whose key cache
+ * runs under a deliberately tight byte budget. The run asserts:
+ *
+ *   - every request succeeds and the server never drops a frame,
+ *   - the key cache stayed within its budget (peak counter),
+ *   - the madfhe.telemetry.v1 JSON export carries the serving metrics
+ *     (serve.latency_ns histogram, per-tenant request counters),
+ *
+ * then prints p50/p99 request latency and the key-cache counters.
+ *
+ * Usage: serve_smoke [--quick] [--tenants N] [--rounds N]
+ *   --quick  CI mode: 4 tenants x 8 rounds (a few seconds)
+ */
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ckks/serialize.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+#include "support/threadpool.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using namespace madfhe;
+
+struct TenantClient
+{
+    u64 id = 0;
+    SecretKey sk;
+    PublicKey pk;
+    Ciphertext ct;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    size_t tenants = 4, rounds = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            tenants = 4;
+            rounds = 8;
+        } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+            tenants = static_cast<size_t>(std::atol(argv[++i]));
+        } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+            rounds = static_cast<size_t>(std::atol(argv[++i]));
+        } else {
+            std::cerr << "usage: serve_smoke [--quick] [--tenants N] "
+                         "[--rounds N]\n";
+            return 2;
+        }
+    }
+
+    ThreadPool::setGlobalThreads(2);
+    telemetry::setLevel(telemetry::Level::Spans);
+
+    CkksParams params = CkksParams::unitTest();
+    auto ctx = std::make_shared<CkksContext>(params);
+    CkksEncoder encoder(ctx);
+
+    // Tight budget: every tenant holds 3 switching keys (rlk + 2 Galois
+    // keys) but the cache only fits `tenants + 1` expanded keys, so the
+    // mixed traffic constantly evicts and re-expands.
+    KeyGenerator keygen(ctx);
+    std::vector<TenantClient> clients(tenants);
+    serve::ServerOptions opts;
+    {
+        TenantClient& c = clients[0];
+        c.sk = keygen.secretKey();
+        opts.keycache_bytes = (tenants + 1) * keygen.relinKey(c.sk).aBytes();
+    }
+    serve::Server server(ctx, opts);
+    for (size_t i = 0; i < tenants; ++i) {
+        TenantClient& c = clients[i];
+        if (i > 0)
+            c.sk = keygen.secretKey();
+        c.pk = keygen.publicKey(c.sk);
+        serve::TenantKeys keys;
+        keys.pk = c.pk;
+        keys.rlk = keygen.relinKey(c.sk);
+        keys.gks = keygen.galoisKeys(c.sk, {1, 2});
+        keys.sk = c.sk;
+        c.id = server.addTenant(std::move(keys));
+        Encryptor enc(ctx, c.pk, 1000 + i);
+        std::vector<double> v(ctx->slots());
+        for (size_t k = 0; k < v.size(); ++k)
+            v[k] = 0.001 * static_cast<double>(k % 97) + double(i);
+        c.ct = enc.encrypt(encoder.encodeReal(v, ctx->scale(), ctx->maxLevel()));
+    }
+
+    serve::TcpFrontEnd tcp(server, 0);
+    std::cout << "serve_smoke: " << tenants << " tenants x " << rounds
+              << " rounds, tcp port " << tcp.port() << "\n";
+
+    // Concurrent client threads, one per tenant: PUT, GET, EvalAdd
+    // against the stored value, EvalMul, Rotate — half direct submits,
+    // half length-prefixed frames over TCP.
+    std::vector<std::thread> workers;
+    std::atomic<u64> failures{0};
+    std::atomic<u64> requests{0};
+    for (size_t i = 0; i < tenants; ++i) {
+        workers.emplace_back([&, i] {
+            TenantClient& c = clients[i];
+            u64 rid = 1;
+            auto check = [&](serve::Response resp) {
+                ++requests;
+                if (!resp.ok) {
+                    ++failures;
+                    std::cerr << "tenant " << c.id << ": " << resp.error
+                              << "\n";
+                }
+                return resp;
+            };
+            auto direct = [&](serve::Request req) {
+                req.tenant = c.id;
+                req.id = rid++;
+                return check(server.submit(std::move(req)).get());
+            };
+            auto viaTcp = [&](serve::Request req) {
+                req.tenant = c.id;
+                req.id = rid++;
+                return check(serve::decodeResponse(
+                    serve::tcpRequest("127.0.0.1", tcp.port(),
+                                      serve::encodeRequest(req)),
+                    ctx->ring()));
+            };
+            for (size_t r = 0; r < rounds; ++r) {
+                serve::Request put;
+                put.op = serve::Op::Put;
+                put.name = "slot";
+                put.cts = {c.ct};
+                direct(std::move(put));
+
+                serve::Request get;
+                get.op = serve::Op::Get;
+                get.name = "slot";
+                viaTcp(std::move(get));
+
+                serve::Request add;
+                add.op = serve::Op::EvalAdd;
+                add.name = "slot";
+                add.cts = {c.ct};
+                direct(std::move(add));
+
+                serve::Request mul;
+                mul.op = serve::Op::EvalMul;
+                mul.cts = {c.ct, c.ct};
+                viaTcp(std::move(mul));
+
+                serve::Request rot;
+                rot.op = serve::Op::Rotate;
+                rot.steps = {static_cast<int>(1 + (r % 2))};
+                rot.cts = {c.ct};
+                direct(std::move(rot));
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    server.drain();
+
+    // --- assertions -------------------------------------------------------
+    int rc = 0;
+    const serve::KeyCache::Stats cache = server.keyCacheStats();
+    if (failures.load() != 0) {
+        std::cerr << "FAIL: " << failures.load() << " of " << requests.load()
+                  << " requests failed\n";
+        rc = 1;
+    }
+    if (cache.peak_bytes > cache.budget_bytes || cache.overcommits != 0) {
+        std::cerr << "FAIL: key cache exceeded its budget (peak "
+                  << cache.peak_bytes << " > " << cache.budget_bytes << ", "
+                  << cache.overcommits << " overcommits)\n";
+        rc = 1;
+    }
+    if (cache.evictions == 0) {
+        std::cerr << "FAIL: budget never forced an eviction — smoke test "
+                     "is not exercising the cache\n";
+        rc = 1;
+    }
+
+    const telemetry::Snapshot snap = telemetry::snapshot();
+    const std::string json = telemetry::toJson(snap);
+    if (json.find("madfhe.telemetry.v1") == std::string::npos ||
+        json.find("serve.latency_ns") == std::string::npos ||
+        json.find("serve.tenant.1.requests") == std::string::npos) {
+        std::cerr << "FAIL: telemetry JSON export is missing serving "
+                     "metrics\n";
+        rc = 1;
+    }
+    const u64 expected = static_cast<u64>(tenants) * rounds * 5;
+    u64 counted = 0;
+    for (const auto& row : snap.counters)
+        if (row.name == "serve.requests")
+            counted = row.value;
+    if (counted != expected) {
+        std::cerr << "FAIL: serve.requests=" << counted << ", expected "
+                  << expected << "\n";
+        rc = 1;
+    }
+
+    // --- report -----------------------------------------------------------
+    for (const auto& row : snap.histograms) {
+        if (row.name != "serve.latency_ns")
+            continue;
+        std::cout << "latency: p50 <= " << row.stats.quantileBound(0.5) / 1000
+                  << " us, p99 <= " << row.stats.quantileBound(0.99) / 1000
+                  << " us over " << row.stats.count << " requests\n";
+    }
+    std::cout << "key cache: budget " << cache.budget_bytes << " B, peak "
+              << cache.peak_bytes << " B, " << cache.hits << " hits, "
+              << cache.misses << " misses, " << cache.evictions
+              << " evictions\n";
+    std::cout << "batching: coalesced "
+              << telemetry::counter("serve.batch.coalesced").value()
+              << " of " << requests.load() << " requests into "
+              << telemetry::counter("serve.batches").value() << " batches\n";
+    std::cout << (rc == 0 ? "OK: serving smoke passed\n"
+                          : "serving smoke FAILED\n");
+    return rc;
+}
