@@ -185,15 +185,14 @@ Evaluator::mul(const Ciphertext& a, const Ciphertext& b,
 
     // Raised-basis KeySwitch, with the linear Add lifted above ModDown
     // (Figure 4(b)) and a single merged ModDown dividing by P * q_top
-    // (Figure 4(c)).
-    auto digits = ksw.decomposeAndRaise(d2);
-    RaisedCiphertext raised = ksw.innerProduct(digits, rlk);
-    raised.c0.add(ksw.pModUp(d0));
-    raised.c1.add(ksw.pModUp(d1));
+    // (Figure 4(c)). keySwitchMerged dispatches on MADFHE_STREAM: Off
+    // composes the materializing primitives, the streaming policies run
+    // the fused limb-by-limb engine (byte-identical outputs).
+    auto [u, v] = ksw.keySwitchMerged(d2, rlk, d0, d1);
 
     Ciphertext out;
-    out.c0 = ksw.modDownMerged(raised.c0);
-    out.c1 = ksw.modDownMerged(raised.c1);
+    out.c0 = std::move(u);
+    out.c1 = std::move(v);
     out.scale = a.scale * b.scale /
                 static_cast<double>(ctx->qValue(a.level() - 1));
     return out;

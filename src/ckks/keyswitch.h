@@ -9,6 +9,7 @@
 #define MADFHE_CKKS_KEYSWITCH_H
 
 #include "ckks/keys.h"
+#include "ckks/stream.h"
 
 namespace madfhe {
 
@@ -48,12 +49,43 @@ class KeySwitcher
      *  basis at zero compute on the P limbs. */
     RnsPoly pModUp(const RnsPoly& y) const;
 
-    /** Full KeySwitch (Algorithm 3): returns (u, v) over Q[0,level). */
+    /**
+     * Full KeySwitch (Algorithm 3): returns (u, v) over Q[0,level).
+     * Dispatches on streamPolicy(): Off composes the materializing
+     * primitives above; Fuse/Cache/Full run the limb-streaming engine
+     * (byte-identical outputs, less DRAM traffic).
+     */
     std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly& x,
                                           const SwitchingKey& ksk) const;
 
+    /**
+     * Mult tail (Figure 4): KeySwitch of d2 with the P-lifted d0/d1
+     * added in the raised basis and one merged ModDown per component.
+     * Returns (c0', c1') over Q[0, level-1). Byte-identical across
+     * stream policies; under Off it composes decomposeAndRaise +
+     * innerProduct + pModUp + modDownMerged exactly as Evaluator::mul
+     * historically did.
+     */
+    std::pair<RnsPoly, RnsPoly> keySwitchMerged(const RnsPoly& d2,
+                                                const SwitchingKey& ksk,
+                                                const RnsPoly& d0,
+                                                const RnsPoly& d1) const;
+
   private:
     size_t qLevelOf(const RnsPoly& raised) const;
+
+    /**
+     * The limb-streaming engine (policy != Off): Decomp, ModUp,
+     * KSKInnerProd, the optional merged P-lift, and ModDown scheduled
+     * limb-by-limb over the pool. `lift0`/`lift1` are only read when
+     * `merged` is true.
+     */
+    std::pair<RnsPoly, RnsPoly> streamKeySwitch(const RnsPoly& x,
+                                                const SwitchingKey& ksk,
+                                                StreamPolicy policy,
+                                                bool merged,
+                                                const RnsPoly* lift0,
+                                                const RnsPoly* lift1) const;
 
     std::shared_ptr<const CkksContext> ctx;
 };

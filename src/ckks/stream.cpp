@@ -1,0 +1,85 @@
+#include "ckks/stream.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "support/common.h"
+#include "support/env.h"
+
+namespace madfhe {
+
+namespace {
+
+StreamPolicy
+parsePolicy(const char* text, const char* var)
+{
+    const std::string s(text);
+    if (s == "off")
+        return StreamPolicy::Off;
+    if (s == "fuse")
+        return StreamPolicy::Fuse;
+    if (s == "cache")
+        return StreamPolicy::Cache;
+    if (s == "full")
+        return StreamPolicy::Full;
+    MAD_REQUIRE(false, std::string("cannot parse ") + var + "='" + s +
+                           "' (expected off|fuse|cache|full)");
+    return StreamPolicy::Full; // unreachable
+}
+
+StreamPolicy
+policyFromEnv()
+{
+    const char* s = std::getenv("MADFHE_STREAM");
+    if (!s || !*s)
+        return StreamPolicy::Full;
+    return parsePolicy(s, "MADFHE_STREAM");
+}
+
+std::atomic<StreamPolicy>&
+policySlot()
+{
+    static std::atomic<StreamPolicy> slot{policyFromEnv()};
+    return slot;
+}
+
+} // namespace
+
+StreamPolicy
+streamPolicy()
+{
+    return policySlot().load(std::memory_order_relaxed);
+}
+
+void
+setStreamPolicy(StreamPolicy p)
+{
+    policySlot().store(p, std::memory_order_relaxed);
+}
+
+const char*
+streamPolicyName(StreamPolicy p)
+{
+    switch (p) {
+    case StreamPolicy::Off:
+        return "off";
+    case StreamPolicy::Fuse:
+        return "fuse";
+    case StreamPolicy::Cache:
+        return "cache";
+    case StreamPolicy::Full:
+        return "full";
+    }
+    return "off";
+}
+
+size_t
+streamCacheBytes()
+{
+    static const size_t bytes =
+        static_cast<size_t>(env::bytesOr("MADFHE_STREAM_CACHE_BYTES", 0));
+    return bytes;
+}
+
+} // namespace madfhe

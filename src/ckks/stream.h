@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Limb-streaming policy for the key-switch hot path — the runtime knob
+ * that selects which of the MAD Section 3.1 caching optimizations the
+ * functional evaluator actually executes (MADFHE_STREAM=off|fuse|cache|
+ * full, default full). Every policy produces byte-identical ciphertexts;
+ * they differ only in scheduling, DRAM traffic and wall-clock time. See
+ * DESIGN.md "Limb-streaming executor" for the policy lattice and the
+ * cache sizing math.
+ */
+#ifndef MADFHE_CKKS_STREAM_H
+#define MADFHE_CKKS_STREAM_H
+
+#include <cstddef>
+
+namespace madfhe {
+
+/**
+ * Each policy strictly extends the previous one, mirroring the
+ * simfhe::Optimizations lattice (none -> o1 -> upToAlpha -> allCaching):
+ *
+ *  - Off:   materialize every stage intermediate (Decomp digits, raised
+ *           (u, v), P-lifts, ModDown correction limbs) — the historical
+ *           path, kept as the byte-identity and fault-coverage oracle.
+ *  - Fuse:  O(1)-limb fusion — each raised limb of KSKInnerProd is
+ *           produced by converting + NTT-ing its ModUp contributions in
+ *           scratch and accumulating in cache; digits are never
+ *           materialized.
+ *  - Cache: + O(beta)/O(alpha) pinned caches — decomposed digit source
+ *           limbs are iNTT'd and pre-scaled once into a pinned
+ *           basis-change cache reused by every target limb, and ModDown
+ *           streams its correction limbs the same way.
+ *  - Full:  + limb re-ordering — the dropped (P and rescale) positions
+ *           of the inner product are computed first and consumed
+ *           directly into the ModDown cache, so the raised (u, v) pair
+ *           is never written to DRAM at all.
+ */
+enum class StreamPolicy
+{
+    Off,
+    Fuse,
+    Cache,
+    Full,
+};
+
+/** Active policy: parsed once from MADFHE_STREAM (default full) unless
+ *  overridden with setStreamPolicy(). */
+StreamPolicy streamPolicy();
+void setStreamPolicy(StreamPolicy p);
+
+/** Lower-case knob spelling: "off", "fuse", "cache", "full". */
+const char* streamPolicyName(StreamPolicy p);
+
+/** All policies in lattice order — for sweeps. */
+inline constexpr StreamPolicy kStreamPolicies[] = {
+    StreamPolicy::Off,
+    StreamPolicy::Fuse,
+    StreamPolicy::Cache,
+    StreamPolicy::Full,
+};
+
+/**
+ * Pinned-cache byte budget (MADFHE_STREAM_CACHE_BYTES, 0 = unlimited).
+ * An op whose pinned working set would not fit degrades Cache/Full
+ * scheduling to Fuse for that op and counts a
+ * `stream.digit_cache.evictions` telemetry event.
+ */
+size_t streamCacheBytes();
+
+/** RAII policy override for tests and tools. */
+class ScopedStreamPolicy
+{
+  public:
+    explicit ScopedStreamPolicy(StreamPolicy p) : prev(streamPolicy())
+    {
+        setStreamPolicy(p);
+    }
+    ~ScopedStreamPolicy() { setStreamPolicy(prev); }
+    ScopedStreamPolicy(const ScopedStreamPolicy&) = delete;
+    ScopedStreamPolicy& operator=(const ScopedStreamPolicy&) = delete;
+
+  private:
+    StreamPolicy prev;
+};
+
+} // namespace madfhe
+
+#endif // MADFHE_CKKS_STREAM_H

@@ -17,8 +17,24 @@
 namespace madfhe {
 namespace memtrace {
 
-CrossValConfig::CrossValConfig() : params(crossvalParams())
+CrossValConfig::CrossValConfig()
+    : params(crossvalParams()), stream_policy(streamPolicy())
 {
+}
+
+simfhe::Optimizations
+cachingOptsFor(StreamPolicy p)
+{
+    switch (p) {
+    case StreamPolicy::Fuse:
+        return simfhe::Optimizations::o1();
+    case StreamPolicy::Cache:
+        return simfhe::Optimizations::upToAlpha();
+    case StreamPolicy::Full:
+        return simfhe::Optimizations::allCaching();
+    default:
+        return simfhe::Optimizations::none();
+    }
 }
 
 CkksParams
@@ -129,6 +145,158 @@ kb(double bytes)
     return bytes / 1024.0;
 }
 
+/** Tolerance band plus divergence note for one (primitive, policy). */
+struct Band
+{
+    double lo;
+    double hi;
+    const char* note;
+};
+
+/**
+ * Empirically calibrated traced/analytic bands per stream policy. The
+ * Off rows are the historical materializing bands; the streaming rows
+ * were measured after the limb-streaming engine landed (both sides of
+ * the ratio change: the implementation stops spilling intermediates and
+ * the model turns on the matching Section 3.1 toggles).
+ */
+Band
+bandFor(const std::string& prim, StreamPolicy p)
+{
+    if (prim == "KeySwitch") {
+        switch (p) {
+        case StreamPolicy::Off:
+            return {0.8, 1.4,
+                    "temporaries (x_coeff copy, conversion buffers) add "
+                    "traffic; cache reuse across sub-ops removes some "
+                    "(observed ~1.06)"};
+        case StreamPolicy::Fuse:
+            return {0.55, 0.95,
+                    "fused digits beat the model's o1 accounting, which "
+                    "still charges digit writes (observed ~0.70)"};
+        case StreamPolicy::Cache:
+            return {0.65, 1.10,
+                    "pinned digit/drop caches vs model upToAlpha (observed "
+                    "~0.86)"};
+        case StreamPolicy::Full:
+            return {0.55, 0.95,
+                    "nothing raised touches DRAM; model allCaching still "
+                    "charges partial spills (observed ~0.72)"};
+        }
+    }
+    if (prim == "Mult") {
+        switch (p) {
+        case StreamPolicy::Off:
+            return {0.8, 1.4,
+                    "merged-ModDown path on both sides (observed ~1.18)"};
+        case StreamPolicy::Fuse:
+            return {0.70, 1.20,
+                    "tensor temporaries offset the fused key switch "
+                    "(observed ~0.92)"};
+        case StreamPolicy::Cache:
+            return {0.85, 1.35,
+                    "tensor/rescale traffic the caching toggles don't "
+                    "model (observed ~1.11)"};
+        case StreamPolicy::Full:
+            return {0.80, 1.30,
+                    "streamed merged key switch + unmodeled tensor "
+                    "temporaries (observed ~1.04)"};
+        }
+    }
+    if (prim == "Rotate") {
+        switch (p) {
+        case StreamPolicy::Off:
+            return {0.8, 1.4,
+                    "Automorph output + KeySwitch temporaries vs model's "
+                    "unfused accounting (observed ~1.06)"};
+        case StreamPolicy::Fuse:
+            return {0.65, 1.15,
+                    "automorph copy offsets the fused digits (observed "
+                    "~0.87)"};
+        case StreamPolicy::Cache:
+            return {0.80, 1.30,
+                    "automorph copy vs pinned caches (observed ~1.03)"};
+        case StreamPolicy::Full:
+            return {0.70, 1.20,
+                    "streamed key switch behind the automorph copy "
+                    "(observed ~0.93)"};
+        }
+    }
+    return {0.5, 2.0, ""};
+}
+
+/**
+ * The three key-switch-bound primitives under one stream policy, each
+ * compared against the model at the matching opt level. Shared by the
+ * default cross-validation (ambient policy) and the per-opt-level sweep.
+ */
+std::vector<PrimitiveComparison>
+runKeySwitchTrio(CkksStack& stack, const ReplayConfig& rc,
+                 const simfhe::SchemeConfig& scheme,
+                 const simfhe::CacheConfig& cache, StreamPolicy policy,
+                 Trace* mult_trace)
+{
+    ScopedStreamPolicy sp(policy);
+    const size_t L = stack.ctx->maxLevel();
+    const simfhe::Optimizations caching = cachingOptsFor(policy);
+    simfhe::Optimizations merge = caching;
+    merge.moddown_merge = true; // Evaluator::mul defaults to merged ModDown
+
+    std::vector<PrimitiveComparison> out;
+
+    {
+        Ciphertext ct = stack.encryptRandom(11, L);
+        const KeySwitcher& ksw = stack.eval->keySwitcher();
+        Traffic t = traceAndReplay(
+            [&] { (void)ksw.keySwitch(ct.c1, stack.rlk); }, "KeySwitch", rc);
+        PrimitiveComparison c;
+        c.name = "KeySwitch";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, caching).keySwitch(L);
+        const Band b = bandFor(c.name, policy);
+        c.tol_lo = b.lo;
+        c.tol_hi = b.hi;
+        c.note = b.note;
+        out.push_back(std::move(c));
+    }
+
+    {
+        Ciphertext a = stack.encryptRandom(21, L);
+        Ciphertext b2 = stack.encryptRandom(22, L);
+        Traffic t = traceAndReplay(
+            [&] { (void)stack.eval->mul(a, b2, stack.rlk); }, "Mult", rc,
+            mult_trace);
+        PrimitiveComparison c;
+        c.name = "Mult";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, merge).mult(L);
+        const Band b = bandFor(c.name, policy);
+        c.tol_lo = b.lo;
+        c.tol_hi = b.hi;
+        c.note = b.note;
+        out.push_back(std::move(c));
+    }
+
+    {
+        KeyGenerator keygen(stack.ctx);
+        GaloisKeys gks = keygen.galoisKeys(stack.sk, {1}, false);
+        Ciphertext ct = stack.encryptRandom(31, L);
+        Traffic t = traceAndReplay(
+            [&] { (void)stack.eval->rotate(ct, 1, gks); }, "Rotate", rc);
+        PrimitiveComparison c;
+        c.name = "Rotate";
+        c.traced = t;
+        c.analytic = simfhe::CostModel(scheme, cache, caching).rotate(L);
+        const Band b = bandFor(c.name, policy);
+        c.tol_lo = b.lo;
+        c.tol_hi = b.hi;
+        c.note = b.note;
+        out.push_back(std::move(c));
+    }
+
+    return out;
+}
+
 } // namespace
 
 bool
@@ -192,70 +360,21 @@ runCrossValidation(const CrossValConfig& cfg)
 
     CkksStack stack(cfg.params);
     const size_t L = stack.ctx->maxLevel();
+    ScopedStreamPolicy sp(cfg.stream_policy);
 
-    // The implementation materializes every intermediate (digits,
-    // conversion temporaries), so the matching analytical variant has all
-    // caching optimizations off and only the algorithmic toggles the
-    // executed code path actually uses.
-    simfhe::Optimizations none = simfhe::Optimizations::none();
-    simfhe::Optimizations merge = none;
-    merge.moddown_merge = true; // Evaluator::mul defaults to merged ModDown
-    simfhe::Optimizations hoist = none;
+    // The caching side of the comparison is policy-aware: the functional
+    // primitives execute under cfg.stream_policy and the model gets the
+    // matching Section 3.1 toggles. Algorithmic toggles follow the
+    // executed code path as before.
+    simfhe::Optimizations caching = cachingOptsFor(cfg.stream_policy);
+    simfhe::Optimizations hoist = simfhe::Optimizations::none();
     hoist.moddown_hoist = true; // MatVecOptions default hoisting
 
-    // --- KeySwitch -------------------------------------------------------
-    {
-        Ciphertext ct = stack.encryptRandom(11, L);
-        const KeySwitcher& ksw = stack.eval->keySwitcher();
-        Traffic t = traceAndReplay(
-            [&] { (void)ksw.keySwitch(ct.c1, stack.rlk); }, "KeySwitch", rc);
-        PrimitiveComparison c;
-        c.name = "KeySwitch";
-        c.traced = t;
-        c.analytic = simfhe::CostModel(scheme, cache, none).keySwitch(L);
-        c.tol_lo = 0.8;
-        c.tol_hi = 1.4;
-        c.note = "temporaries (x_coeff copy, conversion buffers) add "
-                 "traffic; cache reuse across sub-ops removes some "
-                 "(observed ~1.06)";
-        report.primitives.push_back(std::move(c));
-    }
-
-    // --- Mult (merged ModDown path) --------------------------------------
+    // --- KeySwitch / Mult / Rotate (policy-aware) ------------------------
     Trace mult_trace;
-    {
-        Ciphertext a = stack.encryptRandom(21, L);
-        Ciphertext b = stack.encryptRandom(22, L);
-        Traffic t = traceAndReplay(
-            [&] { (void)stack.eval->mul(a, b, stack.rlk); }, "Mult", rc,
-            &mult_trace);
-        PrimitiveComparison c;
-        c.name = "Mult";
-        c.traced = t;
-        c.analytic = simfhe::CostModel(scheme, cache, merge).mult(L);
-        c.tol_lo = 0.8;
-        c.tol_hi = 1.4;
-        c.note = "merged-ModDown path on both sides (observed ~1.18)";
+    for (auto& c : runKeySwitchTrio(stack, rc, scheme, cache,
+                                    cfg.stream_policy, &mult_trace))
         report.primitives.push_back(std::move(c));
-    }
-
-    // --- Rotate ----------------------------------------------------------
-    {
-        KeyGenerator keygen(stack.ctx);
-        GaloisKeys gks = keygen.galoisKeys(stack.sk, {1}, false);
-        Ciphertext ct = stack.encryptRandom(31, L);
-        Traffic t = traceAndReplay(
-            [&] { (void)stack.eval->rotate(ct, 1, gks); }, "Rotate", rc);
-        PrimitiveComparison c;
-        c.name = "Rotate";
-        c.traced = t;
-        c.analytic = simfhe::CostModel(scheme, cache, none).rotate(L);
-        c.tol_lo = 0.8;
-        c.tol_hi = 1.4;
-        c.note = "Automorph output + KeySwitch temporaries vs model's "
-                 "unfused accounting (observed ~1.06)";
-        report.primitives.push_back(std::move(c));
-    }
 
     // --- PtMatVecMult (BSGS, hoisted) ------------------------------------
     {
@@ -302,6 +421,11 @@ runCrossValidation(const CrossValConfig& cfg)
         ReplayResult r_cached = replay(mult_trace, rc);
         s = r_cached.scope("Mult");
         report.o1.traced_cached = s ? s->traffic.bytes() : 0;
+        // Model side of the direction check is fixed at none-vs-o1 (both
+        // with merged ModDown) regardless of the executed policy: it
+        // checks the model's slope, the replays above check the trace's.
+        simfhe::Optimizations merge = simfhe::Optimizations::none();
+        merge.moddown_merge = true;
         simfhe::Optimizations merge_o1 = merge;
         merge_o1.cache_o1 = true;
         report.o1.analytic_none =
@@ -341,7 +465,7 @@ runCrossValidation(const CrossValConfig& cfg)
         boot_scheme.fft_iter = boot_parms.ctos_iters;
         const simfhe::CacheConfig boot_cache{
             static_cast<double>(cfg.cache_limbs) * boot_scheme.limbBytes()};
-        simfhe::Optimizations boot_opts = none;
+        simfhe::Optimizations boot_opts = caching;
         boot_opts.moddown_merge = true;
         boot_opts.moddown_hoist = true;
 
@@ -362,6 +486,82 @@ runCrossValidation(const CrossValConfig& cfg)
         report.primitives.push_back(std::move(c));
     }
 
+    return report;
+}
+
+bool
+PolicySweepReport::monotonicOk(const std::string& primitive) const
+{
+    double prev = -1.0;
+    for (const auto& row : rows) {
+        for (const auto& p : row.primitives) {
+            if (p.name != primitive)
+                continue;
+            if (prev >= 0.0 && p.tracedBytes() >= prev)
+                return false;
+            prev = p.tracedBytes();
+        }
+    }
+    return prev >= 0.0;
+}
+
+bool
+PolicySweepReport::allOk() const
+{
+    for (const auto& row : rows)
+        for (const auto& p : row.primitives)
+            if (!p.ok())
+                return false;
+    return monotonicOk("KeySwitch") && monotonicOk("Mult") &&
+           monotonicOk("Rotate");
+}
+
+std::string
+PolicySweepReport::format() const
+{
+    std::ostringstream os;
+    os << std::fixed;
+    os << std::setw(8) << std::left << "policy" << std::setw(14)
+       << "primitive" << std::right << std::setw(12) << "traced KB"
+       << std::setw(13) << "analytic KB" << std::setw(8) << "ratio"
+       << std::setw(15) << "band" << std::setw(10) << "status" << "\n";
+    for (const auto& row : rows) {
+        for (const auto& p : row.primitives) {
+            std::ostringstream band;
+            band << "[" << std::fixed << std::setprecision(2) << p.tol_lo
+                 << ", " << p.tol_hi << "]";
+            os << std::setw(8) << std::left
+               << streamPolicyName(row.policy) << std::setw(14) << p.name
+               << std::right << std::setprecision(1) << std::setw(12)
+               << kb(p.tracedBytes()) << std::setw(13)
+               << kb(p.analyticBytes()) << std::setprecision(3)
+               << std::setw(8) << p.ratio() << std::setw(15) << band.str()
+               << std::setw(10) << (p.ok() ? "ok" : "DIVERGED") << "\n";
+        }
+    }
+    for (const char* prim : {"KeySwitch", "Mult", "Rotate"})
+        os << "monotone off > fuse > cache > full [" << prim
+           << "]: " << (monotonicOk(prim) ? "ok" : "VIOLATED") << "\n";
+    return os.str();
+}
+
+PolicySweepReport
+runPolicySweep(const CrossValConfig& cfg)
+{
+    PolicySweepReport report;
+    const ReplayConfig rc =
+        scaledReplayConfig(cfg.params, cfg.cache_limbs, cfg.policy);
+    const simfhe::SchemeConfig scheme = matchedScheme(cfg.params);
+    const simfhe::CacheConfig cache{
+        static_cast<double>(cfg.cache_limbs) * scheme.limbBytes()};
+    CkksStack stack(cfg.params);
+    for (StreamPolicy p : kStreamPolicies) {
+        PolicySweepReport::Row row;
+        row.policy = p;
+        row.primitives =
+            runKeySwitchTrio(stack, rc, scheme, cache, p, nullptr);
+        report.rows.push_back(std::move(row));
+    }
     return report;
 }
 

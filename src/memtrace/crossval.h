@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ckks/params.h"
+#include "ckks/stream.h"
 #include "memtrace/replay.h"
 #include "simfhe/config.h"
 #include "simfhe/cost.h"
@@ -85,6 +86,13 @@ struct CrossValConfig
     bool run_bootstrap = true;
     /** Diagonal count for the PtMatVecMult comparison. */
     size_t diagonals = 8;
+    /**
+     * Limb-streaming policy the functional primitives execute under.
+     * The analytic side gets the matching Section 3.1 caching toggles
+     * (cachingOptsFor), so the comparison stays apples-to-apples at
+     * every opt level. Defaults to the ambient MADFHE_STREAM policy.
+     */
+    StreamPolicy stream_policy;
 
     CrossValConfig();
 };
@@ -118,6 +126,36 @@ ReplayConfig scaledReplayConfig(const CkksParams& p, size_t cache_limbs,
 /** Run every primitive comparison. Uses the global TraceSink (clears it;
  *  leaves tracing disabled on return). */
 CrossValReport runCrossValidation(const CrossValConfig& cfg);
+
+/**
+ * Section 3.1 model toggles matching a MADFHE_STREAM policy: Off -> none,
+ * Fuse -> o1, Cache -> upToAlpha, Full -> allCaching.
+ */
+simfhe::Optimizations cachingOptsFor(StreamPolicy p);
+
+/**
+ * The per-opt-level sweep (trace_validate --per-opt-level): run the
+ * key-switch primitives (KeySwitch, Mult, Rotate) under every stream
+ * policy, compare each against the analytic model at the matching opt
+ * level, and check that the traced DRAM bytes drop strictly
+ * monotonically along off -> fuse -> cache -> full.
+ */
+struct PolicySweepReport
+{
+    struct Row
+    {
+        StreamPolicy policy;
+        std::vector<PrimitiveComparison> primitives;
+    };
+    std::vector<Row> rows;
+
+    /** Traced bytes of `primitive` strictly decrease in lattice order. */
+    bool monotonicOk(const std::string& primitive) const;
+    bool allOk() const;
+    std::string format() const;
+};
+
+PolicySweepReport runPolicySweep(const CrossValConfig& cfg);
 
 } // namespace memtrace
 } // namespace madfhe

@@ -128,12 +128,23 @@ void
 BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
                             size_t target_idx, u64* out, ConvMode mode) const
 {
-    MAD_CHECK(in.size() == from.size(), "source limb count mismatch");
-    const Modulus& pj = to[target_idx];
     const size_t k = from.size();
+    MAD_CHECK(in.size() == k, "source limb count mismatch");
     for (size_t i = 0; i < k; ++i)
         MAD_TRACE_READ(in[i], n * sizeof(u64));
     MAD_TRACE_WRITE(out, n * sizeof(u64));
+    convertLimbRaw(in, n, target_idx, out, mode);
+    faultinject::guardLimb(g_fault_basis, out, n);
+}
+
+void
+BasisConverter::convertLimbRaw(const std::vector<const u64*>& in, size_t n,
+                               size_t target_idx, u64* out,
+                               ConvMode mode) const
+{
+    MAD_CHECK(in.size() == from.size(), "source limb count mismatch");
+    const Modulus& pj = to[target_idx];
+    const size_t k = from.size();
 
     // Scale pass is recomputed per target limb to keep this entry point
     // stateless; convert() amortizes it across all target limbs.
@@ -197,7 +208,80 @@ BasisConverter::convertLimb(const std::vector<const u64*>& in, size_t n,
             out[c] = result;
         }
     });
-    faultinject::guardLimb(g_fault_basis, out, n);
+}
+
+void
+BasisConverter::scaleSourceRaw(const u64* in, size_t n, size_t src_idx,
+                               u64* out) const
+{
+    MAD_CHECK(src_idx < from.size(), "source limb index out of range");
+    // mul_shoup_scalar is elementwise and bit-identical to the scalar
+    // mulShoup on every backend (the PR 5 bit-exactness contract), so
+    // cached pre-scaled limbs reproduce the in-convert scale pass
+    // exactly.
+    simd::kernels().mul_shoup_scalar(out, in, n, from.invPunctured(src_idx),
+                                     from.invPuncturedShoup(src_idx),
+                                     from[src_idx].value());
+}
+
+void
+BasisConverter::overshootRaw(const std::vector<const u64*>& scaled, size_t n,
+                             u64* us) const
+{
+    const size_t k = from.size();
+    MAD_CHECK(scaled.size() == k, "source limb count mismatch");
+    // Kept scalar and i-ascending so the long-double rounding matches
+    // the in-convert overshoot sum bit-for-bit.
+    for (size_t c = 0; c < n; ++c) {
+        long double frac = 0.5L;
+        for (size_t i = 0; i < k; ++i)
+            frac += static_cast<long double>(scaled[i][c]) * inv_q[i];
+        us[c] = static_cast<u64>(frac);
+    }
+}
+
+void
+BasisConverter::accumulateScaledRaw(const std::vector<const u64*>& scaled,
+                                    const u64* us, size_t n,
+                                    size_t target_idx, u64* out) const
+{
+    const size_t k = from.size();
+    MAD_CHECK(scaled.size() == k, "source limb count mismatch");
+    const Modulus& pj = to[target_idx];
+    const auto& K = simd::kernels();
+    const size_t W = K.lanes;
+    size_t c = 0;
+    if (W > 1) {
+        std::vector<u64> rows(k * W);
+        std::vector<u64> res(W);
+        for (; c + W <= n; c += W) {
+            for (size_t i = 0; i < k; ++i)
+                for (size_t l = 0; l < W; ++l)
+                    rows[i * W + l] = scaled[i][c + l];
+            K.newlimb_acc(rows.data(), W, punctured_mod[target_idx].data(),
+                          k, pj.value(), r64_target[target_idx],
+                          r64_shoup_target[target_idx],
+                          pre1_target[target_idx], res.data());
+            for (size_t l = 0; l < W; ++l) {
+                u64 result = res[l];
+                if (us != nullptr)
+                    result = pj.sub(result, pj.mul(pj.reduce(us[c + l]),
+                                                   q_mod_target[target_idx]));
+                out[c + l] = result;
+            }
+        }
+    }
+    std::vector<u64> sc(k);
+    for (; c < n; ++c) {
+        for (size_t i = 0; i < k; ++i)
+            sc[i] = scaled[i][c];
+        u64 result = accumulate(sc.data(), punctured_mod[target_idx].data(),
+                                k, pj);
+        if (us != nullptr)
+            result = pj.sub(result,
+                            pj.mul(pj.reduce(us[c]), q_mod_target[target_idx]));
+        out[c] = result;
+    }
 }
 
 void

@@ -88,6 +88,48 @@ class BasisConverter
                      size_t target_idx, u64* out,
                      ConvMode mode = ConvMode::SignedExact) const;
 
+    /**
+     * convertLimb() without trace events or fault guards: the
+     * limb-streaming engine (ckks/stream.h) converts into scratch limbs
+     * that never reach DRAM and does its own accounting. Bit-identical
+     * to convertLimb().
+     */
+    void convertLimbRaw(const std::vector<const u64*>& in, size_t n,
+                        size_t target_idx, u64* out,
+                        ConvMode mode = ConvMode::SignedExact) const;
+
+    /**
+     * Scale pass of Equation (1) for one source limb:
+     * out[c] = in[c] * (Q/q_i)^{-1} mod q_i with i = src_idx. Feeding
+     * the results of all source limbs to overshootRaw() +
+     * accumulateScaledRaw() reproduces convert() bit-for-bit — this
+     * split is what lets the streaming engine pin pre-scaled digits
+     * (the O(alpha) basis-change cache) and reuse them across every
+     * target limb without changing a single output byte. In-place
+     * (out == in) is allowed. No trace events.
+     */
+    void scaleSourceRaw(const u64* in, size_t n, size_t src_idx,
+                        u64* out) const;
+
+    /**
+     * Overshoot pass: us[c] = floor(0.5 + sum_i scaled[i][c] / q_i),
+     * the round(x/Q) count ConvMode::SignedExact subtracts. `scaled`
+     * are scaleSourceRaw() outputs, one per source limb. No trace
+     * events.
+     */
+    void overshootRaw(const std::vector<const u64*>& scaled, size_t n,
+                      u64* us) const;
+
+    /**
+     * Accumulate pre-scaled residues into target limb `target_idx`:
+     * out[c] = sum_i scaled[i][c] * (Q/q_i) mod p_j, minus us[c] * Q
+     * when `us` is non-null (ConvMode::SignedExact); pass nullptr for
+     * ConvMode::Approx. No trace events or guards.
+     */
+    void accumulateScaledRaw(const std::vector<const u64*>& scaled,
+                             const u64* us, size_t n, size_t target_idx,
+                             u64* out) const;
+
   private:
     RnsBasis from;
     RnsBasis to;

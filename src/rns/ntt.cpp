@@ -197,12 +197,8 @@ NttTables::cyclicTransform(u64* const* a, size_t count,
 }
 
 void
-NttTables::forwardBatch(u64* const* a, size_t count) const
+NttTables::forwardBatchRaw(u64* const* a, size_t count) const
 {
-    for (size_t b = 0; b < count; ++b) {
-        MAD_TRACE_READ(a[b], n * sizeof(u64));
-        MAD_TRACE_WRITE(a[b], n * sizeof(u64));
-    }
     const auto& K = simd::kernels();
     // Vector backends fuse twist, bit-reversal and stages into one FP
     // kernel when the modulus fits its domain (it declines otherwise and
@@ -217,8 +213,6 @@ NttTables::forwardBatch(u64* const* a, size_t count) const
             MAD_CHECK(K.fp_transform(a[b], n, psi_rev_fp.data(),
                                      omega_fp.data(), nullptr, q.value()),
                       "fp transform verdict changed within a batch");
-        for (size_t b = 0; b < count; ++b)
-            faultinject::guardLimb(g_fault_ntt_fwd, a[b], n);
         return;
     }
     // Forward twist by psi^i. The twiddle-vector kernel covers index 0
@@ -237,17 +231,23 @@ NttTables::forwardBatch(u64* const* a, size_t count) const
                             q.value());
     }
     cyclicTransform(a, count, omega_tw, omega_tw_shoup);
-    for (size_t b = 0; b < count; ++b)
-        faultinject::guardLimb(g_fault_ntt_fwd, a[b], n);
 }
 
 void
-NttTables::inverseBatch(u64* const* a, size_t count) const
+NttTables::forwardBatch(u64* const* a, size_t count) const
 {
     for (size_t b = 0; b < count; ++b) {
         MAD_TRACE_READ(a[b], n * sizeof(u64));
         MAD_TRACE_WRITE(a[b], n * sizeof(u64));
     }
+    forwardBatchRaw(a, count);
+    for (size_t b = 0; b < count; ++b)
+        faultinject::guardLimb(g_fault_ntt_fwd, a[b], n);
+}
+
+void
+NttTables::inverseBatchRaw(u64* const* a, size_t count) const
+{
     const auto& K = simd::kernels();
     // Fused FP path: bit-reversal, stages, and the untwist-and-scale
     // multiply in one kernel (see forwardBatch).
@@ -258,8 +258,6 @@ NttTables::inverseBatch(u64* const* a, size_t count) const
             MAD_CHECK(K.fp_transform(a[b], n, nullptr, iomega_fp.data(),
                                      ipsi_ninv_fp.data(), q.value()),
                       "fp transform verdict changed within a batch");
-        for (size_t b = 0; b < count; ++b)
-            faultinject::guardLimb(g_fault_ntt_inv, a[b], n);
         return;
     }
     cyclicTransform(a, count, iomega_tw, iomega_tw_shoup);
@@ -277,6 +275,16 @@ NttTables::inverseBatch(u64* const* a, size_t count) const
             K.mul_shoup_vec(a[b], ipsi_ninv.data(), ipsi_ninv_shoup.data(),
                             n, q.value());
     }
+}
+
+void
+NttTables::inverseBatch(u64* const* a, size_t count) const
+{
+    for (size_t b = 0; b < count; ++b) {
+        MAD_TRACE_READ(a[b], n * sizeof(u64));
+        MAD_TRACE_WRITE(a[b], n * sizeof(u64));
+    }
+    inverseBatchRaw(a, count);
     for (size_t b = 0; b < count; ++b)
         faultinject::guardLimb(g_fault_ntt_inv, a[b], n);
 }

@@ -72,6 +72,30 @@ class NttTables
     /** Batched inverse(); see forwardBatch. */
     void inverseBatch(u64* const* a, size_t count) const;
 
+    /**
+     * forwardBatch()/inverseBatch() without trace events or fault
+     * guards: the limb-streaming engine (ckks/stream.h) transforms
+     * scratch limbs that never reach DRAM and does its own traffic
+     * accounting and output guarding. Bit-identical to the traced
+     * entry points.
+     */
+    void forwardBatchRaw(u64* const* a, size_t count) const;
+    void inverseBatchRaw(u64* const* a, size_t count) const;
+
+    void
+    forwardRaw(u64* a) const
+    {
+        u64* const one[1] = {a};
+        forwardBatchRaw(one, 1);
+    }
+
+    void
+    inverseRaw(u64* a) const
+    {
+        u64* const one[1] = {a};
+        inverseBatchRaw(one, 1);
+    }
+
     /** The primitive 2n-th root psi used by this table. */
     u64 psi() const { return psi_pow[1]; }
 

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "ckks/stream.h"
+#include "support/threadpool.h"
 #include "test_util.h"
 
 namespace madfhe {
@@ -266,6 +268,91 @@ TEST_P(DepthSweep, ProductChainsStayAccurate)
 INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep,
                          ::testing::Values(size_t(1), size_t(3), size_t(5),
                                            size_t(7)));
+
+/** Restore the global pool size when a sweep test exits. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(size_t t)
+        : prev(ThreadPool::global().size())
+    {
+        ThreadPool::setGlobalThreads(t);
+    }
+    ~ScopedThreads() { ThreadPool::setGlobalThreads(prev); }
+
+  private:
+    size_t prev;
+};
+
+class StreamPolicySweep : public ::testing::Test
+{
+};
+
+TEST_F(StreamPolicySweep, MulByteIdenticalAcrossPoliciesAndThreads)
+{
+    // Evaluator-level contract for the limb-streaming engine: Mult
+    // (both the merged-ModDown path and the plain rescale path)
+    // produces the exact same ciphertext bytes under every
+    // MADFHE_STREAM policy and thread count.
+    for (bool merged : {true, false}) {
+        EvalOptions opts;
+        opts.merged_moddown = merged;
+        CkksHarness h(CkksParams::unitTest(), opts);
+        auto a = randomSlots(h.ctx->slots(), 11);
+        auto b = randomSlots(h.ctx->slots(), 12);
+        for (size_t level : {size_t{2}, h.ctx->maxLevel()}) {
+            auto ca = h.encryptSlots(a, level);
+            auto cb = h.encryptSlots(b, level);
+            Ciphertext ref;
+            {
+                ScopedStreamPolicy off(StreamPolicy::Off);
+                ref = h.eval->mul(ca, cb, h.rlk);
+            }
+            for (StreamPolicy p : kStreamPolicies) {
+                for (size_t threads : {size_t{1}, size_t{4}}) {
+                    ScopedThreads st(threads);
+                    ScopedStreamPolicy sp(p);
+                    Ciphertext out = h.eval->mul(ca, cb, h.rlk);
+                    EXPECT_TRUE(out.c0.equals(ref.c0) &&
+                                out.c1.equals(ref.c1))
+                        << "Mult diverges: policy " << streamPolicyName(p)
+                        << " merged " << merged << " level " << level
+                        << " threads " << threads;
+                    EXPECT_EQ(out.scale, ref.scale);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(StreamPolicySweep, RotateByteIdenticalAcrossPoliciesAndThreads)
+{
+    CkksHarness h(CkksParams::unitTest());
+    auto gks = h.makeGaloisKeys({1, 3});
+    auto v = randomSlots(h.ctx->slots(), 13);
+    for (size_t level : {size_t{1}, h.ctx->maxLevel()}) {
+        auto ct = h.encryptSlots(v, level);
+        for (int steps : {1, 3}) {
+            Ciphertext ref;
+            {
+                ScopedStreamPolicy off(StreamPolicy::Off);
+                ref = h.eval->rotate(ct, steps, gks);
+            }
+            for (StreamPolicy p : kStreamPolicies) {
+                for (size_t threads : {size_t{1}, size_t{4}}) {
+                    ScopedThreads st(threads);
+                    ScopedStreamPolicy sp(p);
+                    Ciphertext out = h.eval->rotate(ct, steps, gks);
+                    EXPECT_TRUE(out.c0.equals(ref.c0) &&
+                                out.c1.equals(ref.c1))
+                        << "Rotate diverges: policy "
+                        << streamPolicyName(p) << " level " << level
+                        << " steps " << steps << " threads " << threads;
+                }
+            }
+        }
+    }
+}
 
 } // namespace
 } // namespace madfhe

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "ckks/stream.h"
+#include "support/threadpool.h"
 #include "test_util.h"
 
 namespace madfhe {
@@ -146,6 +148,115 @@ TEST_F(KeySwitchTest, InnerProductRejectsTooManyDigits)
     auto digits = ksw.decomposeAndRaise(x);
     digits.push_back(digits[0]);
     EXPECT_THROW(ksw.innerProduct(digits, rlk), std::invalid_argument);
+}
+
+/** Restore the global pool size when a sweep test exits. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(size_t t)
+        : prev(ThreadPool::global().size())
+    {
+        ThreadPool::setGlobalThreads(t);
+    }
+    ~ScopedThreads() { ThreadPool::setGlobalThreads(prev); }
+
+  private:
+    size_t prev;
+};
+
+TEST_F(KeySwitchTest, KeySwitchByteIdenticalAcrossStreamPolicies)
+{
+    // The tentpole contract: every MADFHE_STREAM policy produces the
+    // exact same bytes as the materializing composition, at every level
+    // (incl. level 1, where a single digit has no non-own Q limbs) and
+    // at every thread count (chunk boundaries shift with the pool size).
+    KeyGenerator keygen(h->ctx);
+    SwitchingKey ksk = keygen.galoisKey(h->sk, 5);
+    const auto& ksw = h->eval->keySwitcher();
+    for (size_t level = 1; level <= h->ctx->maxLevel(); ++level) {
+        Sampler s(1000 + level);
+        RnsPoly x(h->ctx->ring(), h->ctx->ring()->qIndices(level),
+                  Rep::Coeff);
+        x.setFromSigned(s.centeredBinomial(h->ctx->degree()));
+        x.toEval();
+
+        RnsPoly ref_u, ref_v;
+        {
+            ScopedStreamPolicy off(StreamPolicy::Off);
+            auto [u, v] = ksw.keySwitch(x, ksk);
+            ref_u = std::move(u);
+            ref_v = std::move(v);
+        }
+        for (StreamPolicy p : kStreamPolicies) {
+            for (size_t threads : {size_t{1}, size_t{4}}) {
+                ScopedThreads st(threads);
+                ScopedStreamPolicy sp(p);
+                auto [u, v] = ksw.keySwitch(x, ksk);
+                EXPECT_TRUE(u.equals(ref_u))
+                    << "u diverges: policy " << streamPolicyName(p)
+                    << " level " << level << " threads " << threads;
+                EXPECT_TRUE(v.equals(ref_v))
+                    << "v diverges: policy " << streamPolicyName(p)
+                    << " level " << level << " threads " << threads;
+            }
+        }
+    }
+}
+
+TEST_F(KeySwitchTest, KeySwitchMergedByteIdenticalAcrossStreamPolicies)
+{
+    // Same sweep for the Mult tail (merged ModDown + fused P-lift).
+    const auto& ksw = h->eval->keySwitcher();
+    for (size_t level = 2; level <= h->ctx->maxLevel(); ++level) {
+        Sampler s(2000 + level);
+        auto basis = h->ctx->ring()->qIndices(level);
+        RnsPoly d2(h->ctx->ring(), basis, Rep::Coeff);
+        d2.setFromSigned(s.centeredBinomial(h->ctx->degree()));
+        d2.toEval();
+        RnsPoly d0(h->ctx->ring(), basis, Rep::Coeff);
+        d0.setFromSigned(s.centeredBinomial(h->ctx->degree()));
+        d0.toEval();
+        RnsPoly d1(h->ctx->ring(), basis, Rep::Coeff);
+        d1.setFromSigned(s.centeredBinomial(h->ctx->degree()));
+        d1.toEval();
+
+        RnsPoly ref_u, ref_v;
+        {
+            ScopedStreamPolicy off(StreamPolicy::Off);
+            auto [u, v] = ksw.keySwitchMerged(d2, h->rlk, d0, d1);
+            ref_u = std::move(u);
+            ref_v = std::move(v);
+        }
+        for (StreamPolicy p : kStreamPolicies) {
+            for (size_t threads : {size_t{1}, size_t{4}}) {
+                ScopedThreads st(threads);
+                ScopedStreamPolicy sp(p);
+                auto [u, v] = ksw.keySwitchMerged(d2, h->rlk, d0, d1);
+                EXPECT_TRUE(u.equals(ref_u))
+                    << "u diverges: policy " << streamPolicyName(p)
+                    << " level " << level << " threads " << threads;
+                EXPECT_TRUE(v.equals(ref_v))
+                    << "v diverges: policy " << streamPolicyName(p)
+                    << " level " << level << " threads " << threads;
+            }
+        }
+    }
+}
+
+TEST_F(KeySwitchTest, ScopedStreamPolicyRestores)
+{
+    const StreamPolicy before = streamPolicy();
+    {
+        ScopedStreamPolicy sp(StreamPolicy::Fuse);
+        EXPECT_EQ(streamPolicy(), StreamPolicy::Fuse);
+        {
+            ScopedStreamPolicy inner(StreamPolicy::Off);
+            EXPECT_EQ(streamPolicy(), StreamPolicy::Off);
+        }
+        EXPECT_EQ(streamPolicy(), StreamPolicy::Fuse);
+    }
+    EXPECT_EQ(streamPolicy(), before);
 }
 
 TEST_F(KeySwitchTest, LowLevelCiphertextUsesFewerDigits)

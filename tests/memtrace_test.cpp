@@ -290,7 +290,11 @@ TEST(MemtraceCrossVal, KeySwitchMatchesAnalyticalModel)
 {
     // Trace a real key switch at the cross-validation parameter set and
     // check the replayed DRAM bytes against CostModel::keySwitch. The
-    // band matches tools/trace_validate (observed ratio ~1.06).
+    // band matches tools/trace_validate (observed ratio ~1.06). Pinned
+    // to the materializing baseline — the model side is none(); the
+    // streaming policies are swept against their matching opt levels by
+    // runPolicySweep / trace_validate --per-opt-level.
+    ScopedStreamPolicy sp(StreamPolicy::Off);
     const CkksParams params = memtrace::crossvalParams();
     test::CkksHarness h(params);
     const size_t L = h.ctx->maxLevel();

@@ -26,6 +26,7 @@
 
 #include "boot/bootstrapper.h"
 #include "ckks/encryptor.h"
+#include "ckks/stream.h"
 #include "memtrace/trace.h"
 #include "support/random.h"
 #include "telemetry/export.h"
@@ -148,6 +149,35 @@ main(int argc, char** argv)
             std::printf("%8s\n", "n/a");
             all_within = false;
         }
+    }
+
+    // Limb-streaming executor counters (MADFHE_STREAM): how much work
+    // the fused key-switch paths kept on-chip during this bootstrap.
+    {
+        bool any = false;
+        for (const auto& c : snap.counters) {
+            if (c.name.rfind("stream.", 0) != 0)
+                continue;
+            if (!any)
+                std::printf("\nstream counters (policy %s):\n",
+                            streamPolicyName(streamPolicy()));
+            any = true;
+            std::printf("    %-28s %12llu\n", c.name.c_str(),
+                        static_cast<unsigned long long>(c.value));
+        }
+        for (const auto& g : snap.gauges) {
+            if (g.name.rfind("stream.", 0) != 0)
+                continue;
+            if (!any)
+                std::printf("\nstream counters (policy %s):\n",
+                            streamPolicyName(streamPolicy()));
+            any = true;
+            std::printf("    %-28s %12lld\n", g.name.c_str(),
+                        static_cast<long long>(g.value));
+        }
+        if (!any)
+            std::printf("\nstream counters: none recorded (policy %s)\n",
+                        streamPolicyName(streamPolicy()));
     }
 
     if (calibrate) {

@@ -31,6 +31,7 @@
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 #include "ckks/serialize.h"
+#include "ckks/stream.h"
 #include "serve/server.h"
 #include "support/faultinject.h"
 #include "support/random.h"
@@ -174,14 +175,34 @@ main(int argc, char** argv)
     Setup base(params, {1}, /*conj=*/false);
 
     std::vector<Workload> workloads;
+    // The hot-path workloads are pinned to explicit stream policies so
+    // the campaign's coverage does not depend on the ambient
+    // MADFHE_STREAM: the full-policy pair drives keyswitch.stream (the
+    // fused engine whose intermediates never materialize — its limb
+    // digests are the only detection point), the off-policy pair drives
+    // the materializing sites (ckks.decompose, ckks.ksk_innerprod,
+    // ckks.moddown, ckks.moddown_merged, ckks.pmodup, rns.basis_convert).
     // The trailing explicit rescale reaches ckks.rescale, which the
     // merged-ModDown mul path bypasses.
     workloads.push_back({"mult", [&] {
+                             ScopedStreamPolicy sp(StreamPolicy::Full);
                              return fingerprint(base.eval->rescale(
                                  base.eval->mul(base.ct_a, base.ct_b,
                                                 base.rlk)));
                          }});
     workloads.push_back({"rotate", [&] {
+                             ScopedStreamPolicy sp(StreamPolicy::Full);
+                             return fingerprint(base.eval->rotate(
+                                 base.ct_a, 1, base.gks));
+                         }});
+    workloads.push_back({"mult_off", [&] {
+                             ScopedStreamPolicy sp(StreamPolicy::Off);
+                             return fingerprint(base.eval->rescale(
+                                 base.eval->mul(base.ct_a, base.ct_b,
+                                                base.rlk)));
+                         }});
+    workloads.push_back({"rotate_off", [&] {
+                             ScopedStreamPolicy sp(StreamPolicy::Off);
                              return fingerprint(base.eval->rotate(
                                  base.ct_a, 1, base.gks));
                          }});

@@ -17,10 +17,15 @@
  * its speedup reported; `--min-ntt-speedup` turns the report into a
  * gate.
  *
+ * After the SIMD report, the limb-streaming executor is measured: Mult
+ * and Rotate wall-clock under MADFHE_STREAM=off vs full, samples
+ * interleaved the same way, and the speedup reported;
+ * `--min-stream-speedup` turns the Mult row into a gate.
+ *
  * Usage:
  *   perf_gate [--quick] [--baseline <path>] [--out <path>]
  *             [--threshold <percent>] [--rebaseline]
- *             [--min-ntt-speedup <x>]
+ *             [--min-ntt-speedup <x>] [--min-stream-speedup <x>]
  *
  *   --quick            1-thread sweep with a short sampling target
  *                      (~25 ms/kernel) — the CI smoke configuration
@@ -35,6 +40,10 @@
  *   --min-ntt-speedup <x>
  *                      fail unless every runnable vector backend's
  *                      forward-NTT speedup over scalar is >= x
+ *   --min-stream-speedup <x>
+ *                      fail unless MADFHE_STREAM=full Mult wall-clock
+ *                      speedup over off is >= x (Rotate is reported but
+ *                      not gated)
  *
  * Only (op, threads) pairs present in both the run and the baseline are
  * compared, so a --quick run gates against the 1-thread baseline rows
@@ -65,6 +74,7 @@ struct Options
     std::string out = "BENCH_kernels.json";
     double threshold_pct = 15.0;
     double min_ntt_speedup = 0.0;
+    double min_stream_speedup = 0.0;
 };
 
 bool
@@ -106,6 +116,17 @@ parseArgs(int argc, char** argv, Options& opt)
             if (opt.min_ntt_speedup <= 0) {
                 std::fprintf(stderr,
                              "perf_gate: bad --min-ntt-speedup '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--min-stream-speedup") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.min_stream_speedup = std::atof(v);
+            if (opt.min_stream_speedup <= 0) {
+                std::fprintf(stderr,
+                             "perf_gate: bad --min-stream-speedup '%s'\n",
+                             v);
                 return false;
             }
         } else {
@@ -238,6 +259,52 @@ interleavedNttNs(const KernelBench& bench, simd::Backend b, bool quick)
     return {median(s), median(v)};
 }
 
+/**
+ * Mult / Rotate wall-clock under MADFHE_STREAM=off vs full, samples
+ * interleaved round-robin for the same clock-drift immunity as
+ * interleavedNttNs. Byte-identity of the two policies is a test-suite
+ * invariant, so only time is compared here.
+ */
+struct PairedStream
+{
+    double off_ns = 0;
+    double full_ns = 0;
+};
+
+PairedStream
+interleavedStreamNs(KernelBench& bench, bool rotate, bool quick)
+{
+    ThreadPool::setGlobalThreads(1);
+    auto op = [&] {
+        if (rotate) {
+            Ciphertext c = bench.eval->rotate(bench.ct_a, 1, bench.gks);
+            (void)c;
+        } else {
+            Ciphertext c = bench.eval->mul(bench.ct_a, bench.ct_b, bench.rlk);
+            (void)c;
+        }
+    };
+    const size_t rounds = quick ? 9 : 17;
+    const double slice_ns = (quick ? 60e6 : 240e6) / (2.0 * rounds);
+    std::vector<double> off, full;
+    for (size_t r = 0; r < rounds; ++r) {
+        {
+            ScopedStreamPolicy sp(StreamPolicy::Off);
+            off.push_back(nsPerOp(op, 1, slice_ns, 1));
+        }
+        {
+            ScopedStreamPolicy sp(StreamPolicy::Full);
+            full.push_back(nsPerOp(op, 1, slice_ns, 1));
+        }
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+    auto median = [](std::vector<double>& x) {
+        std::sort(x.begin(), x.end());
+        return x[x.size() / 2];
+    };
+    return {median(off), median(full)};
+}
+
 } // namespace
 
 int
@@ -332,6 +399,33 @@ main(int argc, char** argv)
                     return 1;
                 }
             }
+        }
+    }
+
+    // Limb-streaming executor: Mult (gated) and Rotate (reported)
+    // wall-clock, MADFHE_STREAM=full vs off, interleaved samples.
+    {
+        const PairedStream mult_p =
+            interleavedStreamNs(bench, /*rotate=*/false, opt.quick);
+        const PairedStream rot_p =
+            interleavedStreamNs(bench, /*rotate=*/true, opt.quick);
+        const double mult_speedup =
+            mult_p.full_ns > 0 ? mult_p.off_ns / mult_p.full_ns : 0;
+        const double rot_speedup =
+            rot_p.full_ns > 0 ? rot_p.off_ns / rot_p.full_ns : 0;
+        std::printf("stream mult       off %10.0f ns/op  full %10.0f "
+                    "ns/op  %.2fx\n",
+                    mult_p.off_ns, mult_p.full_ns, mult_speedup);
+        std::printf("stream rotate     off %10.0f ns/op  full %10.0f "
+                    "ns/op  %.2fx\n",
+                    rot_p.off_ns, rot_p.full_ns, rot_speedup);
+        if (opt.min_stream_speedup > 0 &&
+            mult_speedup < opt.min_stream_speedup) {
+            std::fprintf(stderr,
+                         "perf_gate: FAIL — streaming Mult speedup %.2fx "
+                         "below required %.2fx\n",
+                         mult_speedup, opt.min_stream_speedup);
+            return 1;
         }
     }
 

@@ -7,8 +7,14 @@
  * prediction. Exits nonzero when any primitive diverges beyond its
  * tolerance band, so CI can use it as a model-drift tripwire.
  *
+ * With --per-opt-level the tool instead sweeps every MADFHE_STREAM
+ * policy over the key-switch primitives, comparing each against the
+ * analytical model at the matching Section 3.1 opt level and checking
+ * that traced DRAM bytes drop monotonically off -> fuse -> cache ->
+ * full.
+ *
  * Usage: trace_validate [--cache-limbs N] [--policy lru|belady|infinite]
- *                       [--no-bootstrap]
+ *                       [--no-bootstrap] [--per-opt-level]
  */
 #include <cstring>
 #include <iostream>
@@ -23,7 +29,7 @@ usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
               << " [--cache-limbs N] [--policy lru|belady|infinite]"
-                 " [--no-bootstrap]\n";
+                 " [--no-bootstrap] [--per-opt-level]\n";
     return 2;
 }
 
@@ -35,6 +41,7 @@ main(int argc, char** argv)
     using namespace madfhe;
 
     memtrace::CrossValConfig cfg;
+    bool per_opt_level = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--cache-limbs" && i + 1 < argc) {
@@ -57,6 +64,8 @@ main(int argc, char** argv)
                 return usage(argv[0]);
         } else if (arg == "--no-bootstrap") {
             cfg.run_bootstrap = false;
+        } else if (arg == "--per-opt-level") {
+            per_opt_level = true;
         } else {
             return usage(argv[0]);
         }
@@ -68,6 +77,19 @@ main(int argc, char** argv)
               << cfg.params.chainLength() << " limbs, dnum = "
               << cfg.params.dnum << "; cache = " << cfg.cache_limbs
               << " limbs\n\n";
+
+    if (per_opt_level) {
+        memtrace::PolicySweepReport sweep = memtrace::runPolicySweep(cfg);
+        std::cout << sweep.format();
+        if (!sweep.allOk()) {
+            std::cout << "\nFAIL: per-opt-level divergence or "
+                         "non-monotone traffic\n";
+            return 1;
+        }
+        std::cout << "\nPASS: every stream policy agrees with its model "
+                     "opt level\n";
+        return 0;
+    }
 
     memtrace::CrossValReport report = memtrace::runCrossValidation(cfg);
     std::cout << report.format();
