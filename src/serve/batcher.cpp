@@ -55,11 +55,52 @@ Batcher::push(PendingRequest p)
     ready.notify_one();
 }
 
+size_t
+Batcher::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return pending.size();
+}
+
+void
+Batcher::setEffectiveMaxBatch(size_t cap)
+{
+    if (cap > max_batch)
+        cap = max_batch;
+    effective_max.store(cap, std::memory_order_relaxed);
+}
+
+size_t
+Batcher::effectiveMaxBatch() const
+{
+    const size_t cap = effective_max.load(std::memory_order_relaxed);
+    return cap == 0 ? max_batch : std::max<size_t>(1, cap);
+}
+
+std::optional<PendingRequest>
+Batcher::shedEarliestDeadline(u64 than_deadline_ns)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto victim = pending.end();
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->deadline_ns >= than_deadline_ns)
+            continue;
+        if (victim == pending.end() || it->deadline_ns < victim->deadline_ns)
+            victim = it;
+    }
+    if (victim == pending.end())
+        return std::nullopt;
+    PendingRequest shed = std::move(*victim);
+    pending.erase(victim);
+    return shed;
+}
+
 std::vector<Batch>
 Batcher::waitDrain()
 {
     std::unique_lock<std::mutex> lock(mu);
     ready.wait(lock, [&] { return closed || !pending.empty(); });
+    const size_t cap = effectiveMaxBatch();
     std::vector<Batch> batches;
     while (!pending.empty()) {
         PendingRequest p = std::move(pending.front());
@@ -68,7 +109,7 @@ Batcher::waitDrain()
         Batch* open = batches.empty() ? nullptr : &batches.back();
         const bool joins = open != nullptr && open->key.coalescable &&
                            key.coalescable && open->key == key &&
-                           open->items.size() < max_batch;
+                           open->items.size() < cap;
         if (!joins) {
             batches.push_back(Batch{std::move(key), {}});
             open = &batches.back();

@@ -19,10 +19,12 @@
 #ifndef MADFHE_SERVE_BATCHER_H
 #define MADFHE_SERVE_BATCHER_H
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "serve/request.h"
@@ -54,6 +56,11 @@ struct PendingRequest
 {
     Request req;
     std::promise<Response> promise;
+    /** Absolute monotonic deadline (~u64{0} = none), resolved by the
+     *  server at submit time from req.deadline_ms / MADFHE_DEADLINE_MS. */
+    u64 deadline_ns = ~u64{0};
+    /** Monotonic submit timestamp (queueing-delay attribution). */
+    u64 enqueue_ns = 0;
 };
 
 struct Batch
@@ -87,11 +94,32 @@ class Batcher
 
     size_t maxBatch() const { return max_batch; }
 
+    /** Currently queued (not yet drained) requests. */
+    size_t depth() const;
+
+    /**
+     * Degradation hook: cap batches at `cap` (clamped to [1, maxBatch])
+     * until restored; 0 restores the configured cap. Takes effect on
+     * the next waitDrain pass.
+     */
+    void setEffectiveMaxBatch(size_t cap);
+    size_t effectiveMaxBatch() const;
+
+    /**
+     * Overload shedding: remove and return the queued request whose
+     * deadline is earliest *and* earlier than `than_deadline_ns` — the
+     * request most likely to miss its deadline anyway. Returns nullopt
+     * when nothing queued expires sooner than that bound (the caller
+     * should shed the incoming request instead).
+     */
+    std::optional<PendingRequest> shedEarliestDeadline(u64 than_deadline_ns);
+
   private:
     size_t max_level;
     size_t max_batch;
+    std::atomic<size_t> effective_max{0}; ///< 0 = use max_batch
 
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable ready;
     std::deque<PendingRequest> pending;
     bool closed = false;

@@ -1,0 +1,187 @@
+#include "serve/governor.h"
+
+#include <algorithm>
+
+#include "support/env.h"
+#include "telemetry/telemetry.h"
+
+namespace madfhe {
+namespace serve {
+
+GovernorOptions
+GovernorOptions::fromEnv()
+{
+    GovernorOptions o;
+    o.queue_depth = static_cast<size_t>(env::u64Or("MADFHE_QUEUE_DEPTH", 0));
+    o.tenant_queue_depth =
+        static_cast<size_t>(env::u64Or("MADFHE_TENANT_QUEUE_DEPTH", 0));
+    o.breaker_threshold =
+        static_cast<u32>(env::u64Or("MADFHE_BREAKER", 0));
+    o.breaker_cooldown_ms = env::u64Or("MADFHE_BREAKER_COOLDOWN_MS", 100);
+    return o;
+}
+
+OverloadGovernor::OverloadGovernor(GovernorOptions options)
+    : opts(options)
+{
+}
+
+OverloadGovernor::TenantState&
+OverloadGovernor::tenantState(u64 tenant)
+{
+    auto it = tenants.find(tenant);
+    if (it == tenants.end()) {
+        resilience::CircuitBreaker::Config cfg;
+        cfg.threshold = opts.breaker_threshold;
+        cfg.cooldown_ns = opts.breaker_cooldown_ms * 1'000'000ULL;
+        it = tenants.try_emplace(tenant, cfg).first;
+    }
+    return it->second;
+}
+
+std::optional<OverloadGovernor::Rejection>
+OverloadGovernor::checkAdmission(u64 tenant, u64 now_ns)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    TenantState& ts = tenantState(tenant);
+    if (!ts.breaker.allow(now_ns)) {
+        TELEM_COUNT("serve.breaker_open", 1);
+        return Rejection{ErrorKind::Overloaded,
+                         "circuit breaker open for tenant " +
+                             std::to_string(tenant)};
+    }
+    if (opts.tenant_queue_depth != 0 &&
+        ts.inflight >= opts.tenant_queue_depth) {
+        TELEM_COUNT("serve.shed", 1);
+        return Rejection{ErrorKind::Overloaded,
+                         "tenant queue full (" +
+                             std::to_string(opts.tenant_queue_depth) +
+                             " in flight)"};
+    }
+    return std::nullopt;
+}
+
+bool
+OverloadGovernor::globalFull() const
+{
+    return opts.queue_depth != 0 &&
+           inflight_global.load(std::memory_order_relaxed) >=
+               opts.queue_depth;
+}
+
+void
+OverloadGovernor::onAdmit(u64 tenant)
+{
+    inflight_global.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    ++tenantState(tenant).inflight;
+    TELEM_GAUGE_SET("serve.inflight",
+                    static_cast<i64>(
+                        inflight_global.load(std::memory_order_relaxed)));
+}
+
+void
+OverloadGovernor::onFinish(u64 tenant, bool ok, ErrorKind kind, bool executed,
+                           u64 now_ns)
+{
+    inflight_global.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    TenantState& ts = tenantState(tenant);
+    if (ts.inflight > 0)
+        --ts.inflight;
+    // Only executed requests move the breaker: a shed or expired
+    // request says nothing about the tenant's health, and a UserError
+    // is the client's fault, not the service's.
+    if (executed) {
+        if (ok)
+            ts.breaker.onSuccess();
+        else if (kind != ErrorKind::User)
+            ts.breaker.onFailure(now_ns);
+    }
+}
+
+void
+OverloadGovernor::forgetTenant(u64 tenant)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    tenants.erase(tenant);
+}
+
+u64
+OverloadGovernor::breakerTrips(u64 tenant) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = tenants.find(tenant);
+    return it == tenants.end() ? 0 : it->second.breaker.trips();
+}
+
+void
+OverloadGovernor::observeCachePressure(KeyCache& cache)
+{
+    if (!opts.degrade)
+        return;
+    const KeyCache::Stats stats = cache.stats();
+    bool evict = false;
+    {
+        std::lock_guard<std::mutex> lock(pressure_mu);
+        const bool pressured = stats.overcommits > last_overcommits;
+        last_overcommits = stats.overcommits;
+        const int level = level_.load(std::memory_order_relaxed);
+        if (pressured) {
+            healthy_streak = 0;
+            if (level < 2) {
+                setLevel(level + 1);
+                evict = true;
+            } else {
+                // Already at the floor: keep shedding resident keys so
+                // the pinned working set is all that stays expanded.
+                evict = true;
+            }
+        } else if (level > 0) {
+            if (++healthy_streak >= opts.restore_after) {
+                healthy_streak = 0;
+                setLevel(level - 1);
+            }
+        }
+    }
+    if (evict)
+        cache.evictUnpinned();
+}
+
+void
+OverloadGovernor::setLevel(int next)
+{
+    // Caller holds pressure_mu.
+    const int prev = level_.exchange(next, std::memory_order_relaxed);
+    if (prev == next)
+        return;
+    TELEM_COUNT("serve.degrade.transitions", 1);
+    if (next > prev)
+        TELEM_COUNT("serve.degrade.stepdown", 1);
+    else
+        TELEM_COUNT("serve.degrade.restore", 1);
+    TELEM_GAUGE_SET("serve.degrade_level", next);
+}
+
+StreamPolicy
+OverloadGovernor::cappedPolicy(StreamPolicy ambient) const
+{
+    switch (level_.load(std::memory_order_relaxed)) {
+    case 0:
+        return ambient;
+    case 1:
+        return std::min(ambient, StreamPolicy::Cache);
+    default:
+        return std::min(ambient, StreamPolicy::Fuse);
+    }
+}
+
+size_t
+OverloadGovernor::cappedBatchMax(size_t base) const
+{
+    const int level = level_.load(std::memory_order_relaxed);
+    return std::max<size_t>(1, base >> level);
+}
+
+} // namespace serve
+} // namespace madfhe

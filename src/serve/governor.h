@@ -1,0 +1,157 @@
+/**
+ * @file
+ * OverloadGovernor: the serving runtime's admission-control and
+ * graceful-degradation policy.
+ *
+ * Two failure modes of a memory-bound FHE service meet here:
+ *
+ *  - *Queue overload* — requests arrive faster than batches drain. The
+ *    governor bounds global and per-tenant in-flight depth; a full
+ *    queue sheds the request with the earliest deadline (it is the one
+ *    most likely to miss anyway) as a typed `Overloaded` rejection the
+ *    client can retry against. A per-tenant circuit breaker turns a
+ *    persistently failing tenant into fast rejections instead of wasted
+ *    evaluator passes, half-opening on a cooldown.
+ *
+ *  - *Memory pressure* — the key-cache working set exceeds its byte
+ *    budget (overcommit: every resident key is pinned and the budget is
+ *    still blown). Instead of failing, the governor steps a degrade
+ *    level down: L1 caps the stream policy at `cache` and halves the
+ *    batch cap (fewer keys pinned per pass); L2 caps at `fuse` (the
+ *    O(1)-limb schedule — minimum pinned working set), drops the batch
+ *    cap to a quarter, and proactively evicts every unleased switching
+ *    key. Pressure-free batches step back up. Every transition is a
+ *    telemetry event (`serve.degrade.*`, gauge `serve.degrade_level`).
+ *
+ * Both policies are deterministic functions of the observed event
+ * sequence, so the fault campaign can drive them through repeatable
+ * schedules.
+ */
+#ifndef MADFHE_SERVE_GOVERNOR_H
+#define MADFHE_SERVE_GOVERNOR_H
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "ckks/stream.h"
+#include "serve/keycache.h"
+#include "serve/request.h"
+#include "support/resilience.h"
+
+namespace madfhe {
+namespace serve {
+
+struct GovernorOptions
+{
+    /** Global in-flight request cap; 0 = unlimited.
+     *  Env: MADFHE_QUEUE_DEPTH. */
+    size_t queue_depth = 0;
+    /** Per-tenant in-flight cap; 0 = unlimited.
+     *  Env: MADFHE_TENANT_QUEUE_DEPTH. */
+    size_t tenant_queue_depth = 0;
+    /** Consecutive non-user failures before a tenant's breaker opens;
+     *  0 = breaker disabled. Env: MADFHE_BREAKER. */
+    u32 breaker_threshold = 0;
+    /** Open-state cooldown before a half-open probe.
+     *  Env: MADFHE_BREAKER_COOLDOWN_MS (default 100). */
+    u64 breaker_cooldown_ms = 100;
+    /** Memory-pressure degradation on/off (default on). */
+    bool degrade = true;
+    /** Pressure-free batches required per step back up. */
+    u32 restore_after = 4;
+
+    /** Read every knob with its MADFHE_* fallback applied. */
+    static GovernorOptions fromEnv();
+};
+
+class OverloadGovernor
+{
+  public:
+    explicit OverloadGovernor(GovernorOptions options);
+
+    struct Rejection
+    {
+        ErrorKind kind = ErrorKind::Overloaded;
+        std::string message;
+    };
+
+    // --- admission --------------------------------------------------------
+
+    /** Breaker + per-tenant depth check. nullopt admits; a global-queue
+     *  overflow is reported separately (globalFull) so the server can
+     *  shed the oldest-deadline queued request instead. */
+    std::optional<Rejection> checkAdmission(u64 tenant, u64 now_ns);
+
+    bool globalFull() const;
+
+    /** Bracket every admitted request. */
+    void onAdmit(u64 tenant);
+    /** `executed` is false for shed/expired requests that never ran —
+     *  those outcomes must not move the tenant's breaker. */
+    void onFinish(u64 tenant, bool ok, ErrorKind kind, bool executed,
+                  u64 now_ns);
+    /** Drop a tenant's breaker/depth state with its session. */
+    void forgetTenant(u64 tenant);
+
+    size_t inflight() const
+    {
+        return inflight_global.load(std::memory_order_relaxed);
+    }
+    u64 breakerTrips(u64 tenant) const;
+
+    // --- graceful degradation ---------------------------------------------
+
+    /**
+     * Dispatcher hook, called once per executed batch with the key
+     * cache. New overcommits since the last call step the level down
+     * (and proactively evict unleased keys); `restore_after` clean
+     * calls step it back up.
+     */
+    void observeCachePressure(KeyCache& cache);
+
+    int degradeLevel() const
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
+
+    /** Stream policy cap at the current level: L0 passes `ambient`
+     *  through, L1 caps at Cache, L2 at Fuse. */
+    StreamPolicy cappedPolicy(StreamPolicy ambient) const;
+
+    /** Batch cap at the current level: base, base/2, base/4 (>= 1). */
+    size_t cappedBatchMax(size_t base) const;
+
+    const GovernorOptions& options() const { return opts; }
+
+  private:
+    void setLevel(int next);
+
+    GovernorOptions opts;
+
+    std::atomic<size_t> inflight_global{0};
+
+    mutable std::mutex mu;
+    struct TenantState
+    {
+        size_t inflight = 0;
+        resilience::CircuitBreaker breaker;
+        explicit TenantState(resilience::CircuitBreaker::Config cfg)
+            : breaker(cfg)
+        {
+        }
+    };
+    std::unordered_map<u64, TenantState> tenants;
+    TenantState& tenantState(u64 tenant); ///< caller holds mu
+
+    std::atomic<int> level_{0};
+    u64 last_overcommits = 0; ///< guarded by pressure_mu
+    u32 healthy_streak = 0;   ///< guarded by pressure_mu
+    std::mutex pressure_mu;
+};
+
+} // namespace serve
+} // namespace madfhe
+
+#endif // MADFHE_SERVE_GOVERNOR_H

@@ -127,7 +127,22 @@ KeyCache::acquire(EntryId id)
         ++misses;
         TELEM_COUNT("serve.keycache.misses", 1);
         makeRoom(e.charge);
-        e.key->expandA(*ctx);
+        // Expand and verify *before* charging the budget. Same hand-off
+        // guard as eviction on the re-expanded half: a fault here either
+        // throws (allocfail/taskthrow) or corrupts the fresh a-half and
+        // is caught by the integrity digest. Either way the entry must
+        // roll back to seed-only form — committing it would let a later
+        // hit serve the corrupt half, and a thrown fault would strand
+        // the charge and permanently shrink the effective budget.
+        try {
+            e.key->expandA(*ctx);
+            faultinject::guardLimb(g_evict_site,
+                                   const_cast<u64*>(e.key->a(0).limb(0)),
+                                   e.key->a(0).degree());
+        } catch (...) {
+            e.key->compress();
+            throw;
+        }
         e.resident = true;
         resident_bytes += e.charge;
         peak_bytes = std::max(peak_bytes, resident_bytes);
@@ -136,15 +151,36 @@ KeyCache::acquire(EntryId id)
                         static_cast<i64>(resident_bytes));
         TELEM_GAUGE_SET("serve.keycache.peak_bytes",
                         static_cast<i64>(peak_bytes));
-        // Same hand-off guard on the re-expanded half. State is
-        // consistent before the fault window, so a thrown fault
-        // (allocfail/taskthrow) leaves the entry resident + unpinned.
-        faultinject::guardLimb(g_evict_site,
-                               const_cast<u64*>(e.key->a(0).limb(0)),
-                               e.key->a(0).degree());
     }
     ++e.pins;
     return Lease(this, id);
+}
+
+size_t
+KeyCache::evictUnpinned()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    size_t freed = 0;
+    for (auto it = lru.begin(); it != lru.end();) {
+        Entry& e = entries.at(*it);
+        if (e.pins > 0) {
+            ++it;
+            continue;
+        }
+        faultinject::guardLimb(g_evict_site,
+                               const_cast<u64*>(e.key->b(0).limb(0)),
+                               e.key->b(0).degree());
+        e.key->compress();
+        e.resident = false;
+        resident_bytes -= e.charge;
+        freed += e.charge;
+        ++evictions;
+        TELEM_COUNT("serve.keycache.evictions", 1);
+        TELEM_COUNT("serve.keycache.proactive_evictions", 1);
+        it = lru.erase(it);
+    }
+    TELEM_GAUGE_SET("serve.keycache.bytes", static_cast<i64>(resident_bytes));
+    return freed;
 }
 
 void
@@ -176,6 +212,9 @@ KeyCache::stats() const
     s.peak_bytes = peak_bytes;
     s.entries = entries.size();
     s.resident_entries = lru.size();
+    for (const auto& [id, e] : entries)
+        if (e.pins > 0)
+            ++s.pinned_entries;
     s.hits = hits;
     s.misses = misses;
     s.evictions = evictions;

@@ -98,8 +98,21 @@ class KeyCache
     /**
      * Expand (if evicted) and pin the entry, evicting LRU unpinned
      * entries first when the expansion would exceed the budget.
+     *
+     * Exception-safe against expansion faults: if expandA() or its
+     * integrity guard throws (the `serve.evict` fault site), the entry
+     * is rolled back to seed-only form and nothing is charged against
+     * the budget — a failed expansion can neither shrink the effective
+     * budget nor leave a corrupt half resident for a later hit.
      */
     Lease acquire(EntryId id);
+
+    /**
+     * Proactively evict every resident, unpinned entry (the governor's
+     * memory-pressure step-down). Leased keys are untouched. Returns
+     * the bytes freed.
+     */
+    size_t evictUnpinned();
 
     struct Stats
     {
@@ -108,6 +121,7 @@ class KeyCache
         size_t peak_bytes = 0;     ///< high-water mark of resident_bytes
         size_t entries = 0;
         size_t resident_entries = 0;
+        size_t pinned_entries = 0; ///< entries with an open Lease
         u64 hits = 0;
         u64 misses = 0;
         u64 evictions = 0;

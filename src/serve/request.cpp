@@ -5,6 +5,7 @@
 
 #include "ckks/serialize.h"
 #include "support/faultinject.h"
+#include "support/resilience.h"
 
 namespace madfhe {
 namespace serve {
@@ -47,6 +48,10 @@ throwIfError(const Response& resp)
         throw faultinject::InjectedFault(resp.error);
     case ErrorKind::BadAlloc:
         throw std::bad_alloc();
+    case ErrorKind::Overloaded:
+        throw resilience::OverloadedError(resp.error);
+    case ErrorKind::DeadlineExceeded:
+        throw resilience::DeadlineExceededError(resp.error);
     case ErrorKind::None:
     case ErrorKind::User:
     case ErrorKind::Other:
@@ -55,10 +60,31 @@ throwIfError(const Response& resp)
     throw UserError(resp.error);
 }
 
+bool
+transientErrorKind(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::CorruptStream:
+    case ErrorKind::FaultDetected:
+    case ErrorKind::Injected:
+    case ErrorKind::BadAlloc:
+    case ErrorKind::Overloaded:
+        return true;
+    case ErrorKind::None:
+    case ErrorKind::User:
+    case ErrorKind::Other:
+    case ErrorKind::DeadlineExceeded:
+        return false;
+    }
+    return false;
+}
+
 namespace {
 
-constexpr u64 kRequestMagic = 0x4d41445352565131ULL;  // "MADSRVQ1"
-constexpr u64 kResponseMagic = 0x4d41445352565031ULL; // "MADSRVP1"
+// v2 frames carry the request deadline field; the magic bump makes a
+// v1 peer fail with "bad magic" instead of misparsing the new layout.
+constexpr u64 kRequestMagic = 0x4d41445352565132ULL;  // "MADSRVQ2"
+constexpr u64 kResponseMagic = 0x4d41445352565032ULL; // "MADSRVP2"
 
 constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr u64 kFnvPrime = 0x100000001b3ULL;
@@ -206,6 +232,7 @@ encodeRequest(const Request& req)
     w.u64v(kRequestMagic);
     w.u64v(req.tenant);
     w.u64v(req.id);
+    w.u64v(req.deadline_ms);
     w.u64v(static_cast<u64>(req.op));
     w.str(req.name);
     w.u64v(req.steps.size());
@@ -232,6 +259,7 @@ decodeRequest(const std::string& frame,
     Request req;
     req.tenant = r.u64v();
     req.id = r.u64v();
+    req.deadline_ms = r.u64v();
     const u64 op = r.u64v();
     FRAME_CHECK(op <= static_cast<u64>(Op::DecryptShare),
                 "unknown op in request frame");
@@ -288,7 +316,7 @@ decodeResponse(const std::string& frame,
     resp.id = r.u64v();
     resp.ok = r.u64v() != 0;
     const u64 kind = r.u64v();
-    FRAME_CHECK(kind <= static_cast<u64>(ErrorKind::Other),
+    FRAME_CHECK(kind <= static_cast<u64>(ErrorKind::DeadlineExceeded),
                 "unknown error kind in response frame");
     resp.error_kind = static_cast<ErrorKind>(kind);
     resp.error = r.str(kMaxErrLen, "error");

@@ -42,6 +42,10 @@ struct Request
     u64 tenant = 0;
     u64 id = 0;
     Op op = Op::Get;
+    /** Millisecond deadline budget, measured from server receipt; 0
+     *  means "no deadline" (fall back to MADFHE_DEADLINE_MS). Relative
+     *  on the wire because monotonic clocks do not cross machines. */
+    u64 deadline_ms = 0;
     std::string name;            ///< KV key / transform name
     std::vector<int> steps;      ///< Rotate steps
     std::vector<double> values;  ///< Encrypt payload (real slots)
@@ -59,7 +63,19 @@ enum class ErrorKind : u8
     Injected = 4,      ///< faultinject::InjectedFault (test harness)
     BadAlloc = 5,
     Other = 6,
+    Overloaded = 7,        ///< shed by admission control / open breaker
+    DeadlineExceeded = 8,  ///< deadline expired before completion
 };
+
+/**
+ * True for error kinds a retry can plausibly cure: transient data
+ * corruption (CorruptStream/FaultDetected/Injected — a deterministic
+ * re-execution avoids a one-shot fault), memory pressure (BadAlloc),
+ * and shed requests (Overloaded — retry after backoff). Never true for
+ * caller misuse (User) or an expired deadline (retrying with the same
+ * deadline cannot succeed).
+ */
+bool transientErrorKind(ErrorKind kind);
 
 struct Response
 {

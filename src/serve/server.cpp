@@ -1,6 +1,11 @@
 #include "serve/server.h"
 
+#include <chrono>
+#include <thread>
+
 #include "ckks/encryptor.h"
+#include "ckks/stream.h"
+#include "support/env.h"
 #include "support/faultinject.h"
 #include "support/threadpool.h"
 
@@ -21,6 +26,10 @@ classifyCurrentException()
         throw;
     } catch (const faultinject::InjectedFault& e) {
         return {ErrorKind::Injected, e.what()};
+    } catch (const resilience::OverloadedError& e) {
+        return {ErrorKind::Overloaded, e.what()};
+    } catch (const resilience::DeadlineExceededError& e) {
+        return {ErrorKind::DeadlineExceeded, e.what()};
     } catch (const FaultDetectedError& e) {
         return {ErrorKind::FaultDetected, e.what()};
     } catch (const CorruptStreamError& e) {
@@ -66,6 +75,13 @@ Server::Server(std::shared_ptr<const CkksContext> ctx_, ServerOptions options)
       cache(ctx, options.keycache_bytes ? *options.keycache_bytes
                                         : KeyCache::budgetFromEnv()),
       batcher(ctx->maxLevel(), options.max_batch.value_or(0)),
+      governor_(options.governor ? *options.governor
+                                 : GovernorOptions::fromEnv()),
+      retry(options.retry ? *options.retry
+                          : resilience::RetryPolicy::fromEnv()),
+      default_deadline_ms(options.default_deadline_ms
+                              ? *options.default_deadline_ms
+                              : env::u64Or("MADFHE_DEADLINE_MS", 0)),
       req_counter(telemetry::counter("serve.requests")),
       err_counter(telemetry::counter("serve.errors")),
       lat_hist(telemetry::histogram("serve.latency_ns"))
@@ -107,6 +123,7 @@ Server::removeTenant(u64 tenant)
     MAD_REQUIRE(it != sessions.end(), "removeTenant: unknown tenant");
     doomed = std::move(it->second);
     sessions.erase(it);
+    governor_.forgetTenant(tenant);
 }
 
 std::shared_ptr<Session>
@@ -148,15 +165,83 @@ Server::encryptionSeedFor(u64 tenant, u64 request_id)
 }
 
 std::future<Response>
+Server::rejectedFuture(u64 id, ErrorKind kind, std::string message)
+{
+    Response resp;
+    resp.id = id;
+    resp.ok = false;
+    resp.error_kind = kind;
+    resp.error = std::move(message);
+    if (telemetry::enabled(telemetry::Level::Counters)) {
+        req_counter.add(1);
+        err_counter.add(1);
+    }
+    std::promise<Response> pr;
+    pr.set_value(std::move(resp));
+    return pr.get_future();
+}
+
+void
+Server::resolveShed(PendingRequest victim)
+{
+    Response resp;
+    resp.id = victim.req.id;
+    resp.ok = false;
+    resp.error_kind = ErrorKind::Overloaded;
+    resp.error = "request shed under overload (earliest deadline first)";
+    TELEM_COUNT("serve.shed", 1);
+    std::shared_ptr<Session> session = sessionFor(victim.req.tenant);
+    // t0 is telemetry's process-relative clock, not the monotonic
+    // enqueue stamp — shed requests record ~0 latency by design.
+    finish(victim, session.get(), std::move(resp), telemetry::nowNs(),
+           /*executed=*/false);
+}
+
+std::future<Response>
 Server::submit(Request req)
 {
+    const u64 now = resilience::monotonicNs();
+    const u64 tenant = req.tenant;
+
+    // Resolve the deadline at the admission boundary: the wire carries
+    // a relative budget (monotonic clocks don't cross machines); from
+    // here on every check compares against one absolute timestamp.
+    const u64 ddl_ms =
+        req.deadline_ms != 0 ? req.deadline_ms : default_deadline_ms;
+    const resilience::Deadline deadline =
+        ddl_ms != 0 ? resilience::Deadline::afterMs(ddl_ms, now)
+                    : resilience::Deadline();
+
+    if (auto rej = governor_.checkAdmission(tenant, now))
+        return rejectedFuture(req.id, rej->kind, std::move(rej->message));
+
+    if (governor_.globalFull()) {
+        // Shed the queued request most likely to miss its deadline
+        // anyway; if nothing queued expires sooner than the incoming
+        // request would, the incoming request is the right victim.
+        std::optional<PendingRequest> victim =
+            batcher.shedEarliestDeadline(deadline.absNs());
+        if (!victim) {
+            TELEM_COUNT("serve.shed", 1);
+            return rejectedFuture(
+                req.id, ErrorKind::Overloaded,
+                "server queue full (" +
+                    std::to_string(governor_.options().queue_depth) +
+                    " in flight)");
+        }
+        resolveShed(std::move(*victim));
+    }
+
     PendingRequest p;
     p.req = std::move(req);
+    p.deadline_ns = deadline.absNs();
+    p.enqueue_ns = now;
     std::future<Response> fut = p.promise.get_future();
     {
         std::lock_guard<std::mutex> lock(drain_mu);
         ++submitted;
     }
+    governor_.onAdmit(tenant);
     try {
         batcher.push(std::move(p));
     } catch (...) {
@@ -164,6 +249,8 @@ Server::submit(Request req)
             std::lock_guard<std::mutex> lock(drain_mu);
             --submitted;
         }
+        governor_.onFinish(tenant, false, ErrorKind::Other,
+                           /*executed=*/false, resilience::monotonicNs());
         throw;
     }
     return fut;
@@ -172,21 +259,26 @@ Server::submit(Request req)
 std::future<Response>
 Server::submitFrame(const std::string& frame)
 {
-    try {
-        return submit(decodeRequest(frame, ctx->ring()));
-    } catch (...) {
-        Response resp;
-        auto classified = classifyCurrentException();
-        resp.ok = false;
-        resp.error_kind = classified.first;
-        resp.error = classified.second;
-        if (telemetry::enabled(telemetry::Level::Counters)) {
-            req_counter.add(1);
-            err_counter.add(1);
+    // Decode faults (the serve.decode site) are transient: the frame
+    // bytes are still intact in `frame`, so a bounded re-decode turns
+    // an injected corruption into the identical clean request.
+    u32 attempts = 0;
+    for (;;) {
+        try {
+            ++attempts;
+            return submit(decodeRequest(frame, ctx->ring()));
+        } catch (...) {
+            auto classified = classifyCurrentException();
+            if (retry.shouldRetry(attempts,
+                                  transientErrorKind(classified.first))) {
+                TELEM_COUNT("serve.retry", 1);
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(retry.backoffNs(attempts)));
+                continue;
+            }
+            return rejectedFuture(0, classified.first,
+                                  std::move(classified.second));
         }
-        std::promise<Response> pr;
-        pr.set_value(std::move(resp));
-        return pr.get_future();
     }
 }
 
@@ -197,6 +289,22 @@ Server::drain()
     drained.wait(lock, [&] { return completed.load() >= submitted; });
 }
 
+bool
+Server::backoffWithinDeadline(u32 attempt, u64 deadline_ns)
+{
+    const u64 backoff = retry.backoffNs(attempt);
+    if (deadline_ns != ~u64{0}) {
+        const u64 now = resilience::monotonicNs();
+        // No headroom to back off and still run: retrying would only
+        // turn a transient failure into a deadline miss.
+        if (now >= deadline_ns || deadline_ns - now <= backoff)
+            return false;
+    }
+    TELEM_COUNT("serve.retry", 1);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    return true;
+}
+
 void
 Server::dispatchLoop()
 {
@@ -204,8 +312,18 @@ Server::dispatchLoop()
         std::vector<Batch> batches = batcher.waitDrain();
         if (batches.empty())
             return; // closed and drained
-        for (Batch& b : batches)
+        for (Batch& b : batches) {
             executeBatch(b);
+            // Degradation feedback: overcommit observed during this
+            // batch steps the level down (stream-policy cap + proactive
+            // eviction here, batch shrink for the next drain pass);
+            // clean batches step back up.
+            governor_.observeCachePressure(cache);
+            batcher.setEffectiveMaxBatch(
+                governor_.degradeLevel() == 0
+                    ? 0
+                    : governor_.cappedBatchMax(batcher.maxBatch()));
+        }
     }
 }
 
@@ -213,6 +331,18 @@ void
 Server::executeBatch(Batch& batch)
 {
     TELEM_SPAN("Serve.Batch");
+
+    // Under memory pressure, cap the stream policy for this pass: the
+    // leaner schedules (Cache, then Fuse) pin strictly smaller working
+    // sets while producing byte-identical ciphertexts, so degradation
+    // trades latency, never correctness.
+    const StreamPolicy ambient = streamPolicy();
+    const StreamPolicy capped = governor_.cappedPolicy(ambient);
+    std::optional<ScopedStreamPolicy> degrade_scope;
+    if (capped != ambient) {
+        degrade_scope.emplace(capped);
+        TELEM_COUNT("serve.degrade.policy_capped", 1);
+    }
 
     // Pin every switching key the batch needs, once per tenant — this
     // is the batching win: one expansion amortized over the whole run
@@ -242,31 +372,46 @@ Server::executeBatch(Batch& batch)
             prep.emplace(tenant, std::move(p));
             continue;
         }
-        try {
-            switch (batch.key.op) {
-            case Op::EvalMul:
-                leases.push_back(p.session->relin());
+        // Key pinning can hit a transient fault (the serve.evict site
+        // guards re-expansion); acquire() rolls the entry back to
+        // seed-only form on failure, so a retry simply re-expands. An
+        // extra lease from a partially-pinned earlier attempt is
+        // harmless: pins are counted and all release at batch end.
+        u32 attempts = 0;
+        for (;;) {
+            try {
+                ++attempts;
+                switch (batch.key.op) {
+                case Op::EvalMul:
+                    leases.push_back(p.session->relin());
+                    break;
+                case Op::Rotate:
+                    for (int step : item.req.steps)
+                        if (step != 0)
+                            leases.push_back(
+                                p.session->galois(ring()->galoisElt(step)));
+                    break;
+                case Op::MatVec:
+                    for (int step : transformRotations(item.req.name))
+                        if (step != 0)
+                            leases.push_back(
+                                p.session->galois(ring()->galoisElt(step)));
+                    break;
+                default:
+                    break;
+                }
                 break;
-            case Op::Rotate:
-                for (int step : item.req.steps)
-                    if (step != 0)
-                        leases.push_back(
-                            p.session->galois(ring()->galoisElt(step)));
-                break;
-            case Op::MatVec:
-                for (int step : transformRotations(item.req.name))
-                    if (step != 0)
-                        leases.push_back(
-                            p.session->galois(ring()->galoisElt(step)));
-                break;
-            default:
+            } catch (...) {
+                auto classified = classifyCurrentException();
+                if (retry.shouldRetry(attempts,
+                                      transientErrorKind(classified.first)) &&
+                    backoffWithinDeadline(attempts, item.deadline_ns))
+                    continue;
+                p.ok = false;
+                p.kind = classified.first;
+                p.error = classified.second;
                 break;
             }
-        } catch (...) {
-            auto classified = classifyCurrentException();
-            p.ok = false;
-            p.kind = classified.first;
-            p.error = classified.second;
         }
         prep.emplace(tenant, std::move(p));
     }
@@ -274,6 +419,21 @@ Server::executeBatch(Batch& batch)
     auto runOne = [&](size_t i) {
         PendingRequest& item = batch.items[i];
         TenantPrep& p = prep.at(item.req.tenant);
+        if (item.deadline_ns != ~u64{0}) {
+            const u64 now = resilience::monotonicNs();
+            if (now >= item.deadline_ns) {
+                Response resp;
+                resp.id = item.req.id;
+                resp.ok = false;
+                resp.error_kind = ErrorKind::DeadlineExceeded;
+                resp.error = "deadline expired before execution";
+                TELEM_COUNT("serve.deadline_expired", 1);
+                finish(item, p.session.get(), std::move(resp),
+                       telemetry::nowNs(), /*executed=*/false);
+                return;
+            }
+            TELEM_HIST("serve.deadline_remaining_ns", item.deadline_ns - now);
+        }
         if (!p.ok) {
             Response resp;
             resp.id = item.req.id;
@@ -300,25 +460,40 @@ Server::execItem(PendingRequest& item, Session& session)
     const u64 t0 = telemetry::nowNs();
     Response resp;
     resp.id = item.req.id;
-    try {
-        SpanRebase rebase;
-        telemetry::Span tenant_span(session.label());
-        telemetry::Span op_span(opName(item.req.op));
-        resp = executeOne(session, item.req);
-        resp.id = item.req.id;
-    } catch (...) {
-        auto classified = classifyCurrentException();
-        resp = Response{};
-        resp.id = item.req.id;
-        resp.ok = false;
-        resp.error_kind = classified.first;
-        resp.error = classified.second;
+    // Bounded retry on transient failures. Every op is a deterministic
+    // function of (request, session state) and injected faults fire on
+    // an occurrence count that has already advanced, so a retried
+    // success is byte-identical to the fault-free execution.
+    u32 attempts = 0;
+    for (;;) {
+        try {
+            ++attempts;
+            SpanRebase rebase;
+            telemetry::Span tenant_span(session.label());
+            telemetry::Span op_span(opName(item.req.op));
+            resp = executeOne(session, item.req);
+            resp.id = item.req.id;
+            break;
+        } catch (...) {
+            auto classified = classifyCurrentException();
+            if (retry.shouldRetry(attempts,
+                                  transientErrorKind(classified.first)) &&
+                backoffWithinDeadline(attempts, item.deadline_ns))
+                continue;
+            resp = Response{};
+            resp.id = item.req.id;
+            resp.ok = false;
+            resp.error_kind = classified.first;
+            resp.error = classified.second;
+            break;
+        }
     }
     finish(item, &session, std::move(resp), t0);
 }
 
 void
-Server::finish(PendingRequest& item, Session* session, Response resp, u64 t0)
+Server::finish(PendingRequest& item, Session* session, Response resp, u64 t0,
+               bool executed)
 {
     if (telemetry::enabled(telemetry::Level::Counters)) {
         const u64 dur = telemetry::nowNs() - t0;
@@ -334,6 +509,8 @@ Server::finish(PendingRequest& item, Session* session, Response resp, u64 t0)
                 session->errorCounter().add(1);
         }
     }
+    governor_.onFinish(item.req.tenant, resp.ok, resp.error_kind, executed,
+                       resilience::monotonicNs());
     item.promise.set_value(std::move(resp));
     completed.fetch_add(1, std::memory_order_release);
     {

@@ -23,6 +23,18 @@
  * metrics; failures are caught per item, classified (ErrorKind), and
  * returned as error responses — a hostile frame or an injected fault
  * never takes the server down.
+ *
+ * Overload resilience (see DESIGN.md "Robustness model"): every request
+ * carries a monotonic deadline (its own deadline_ms, else
+ * MADFHE_DEADLINE_MS) checked at dispatch; admission is bounded by an
+ * OverloadGovernor (global/per-tenant queue depth, per-tenant circuit
+ * breaker) which sheds the earliest-deadline queued request as a typed
+ * Overloaded rejection when the global queue is full; transient
+ * failures (injected faults, detected corruption) are retried
+ * server-side under MADFHE_RETRY — deterministic execution makes a
+ * retried success byte-identical to a fault-free run; and sustained
+ * key-cache overcommit steps a degrade level down (stream policy cap +
+ * batch shrink + proactive eviction) instead of failing requests.
  */
 #ifndef MADFHE_SERVE_SERVER_H
 #define MADFHE_SERVE_SERVER_H
@@ -35,6 +47,7 @@
 
 #include "ckks/matvec.h"
 #include "serve/batcher.h"
+#include "serve/governor.h"
 #include "serve/session.h"
 
 namespace madfhe {
@@ -47,6 +60,16 @@ struct ServerOptions
     std::optional<size_t> keycache_bytes;
     /** Batch size cap; nullopt reads MADFHE_BATCH_MAX (default 8). */
     std::optional<size_t> max_batch;
+    /** Deadline applied to requests that carry none; nullopt reads
+     *  MADFHE_DEADLINE_MS (0 / unset = no deadline). */
+    std::optional<u64> default_deadline_ms;
+    /** Server-side retry policy for transient failures; nullopt reads
+     *  MADFHE_RETRY (default 1 attempt = no retries). */
+    std::optional<resilience::RetryPolicy> retry;
+    /** Admission control + degradation policy; nullopt reads the
+     *  MADFHE_QUEUE_DEPTH / MADFHE_TENANT_QUEUE_DEPTH / MADFHE_BREAKER
+     *  knobs. */
+    std::optional<GovernorOptions> governor;
 };
 
 class Server
@@ -89,6 +112,10 @@ class Server
 
     KeyCache::Stats keyCacheStats() const { return cache.stats(); }
 
+    /** Admission/degradation state — for tests and telemetry export. */
+    OverloadGovernor& governor() { return governor_; }
+    const OverloadGovernor& governor() const { return governor_; }
+
     /**
      * Deterministic per-request encryption seed: server-side Encrypt
      * uses randomness derived from (tenant, request id), never from
@@ -101,8 +128,20 @@ class Server
     void executeBatch(Batch& batch);
     void execItem(PendingRequest& item, Session& session);
     Response executeOne(Session& session, const Request& req);
+    /** `executed` false for shed / deadline-expired items that never
+     *  ran: they resolve and count like failures but must not move the
+     *  tenant's circuit breaker. */
     void finish(PendingRequest& item, Session* session, Response resp,
-                u64 t0_ns);
+                u64 t0_ns, bool executed = true);
+    /** Immediately-resolved rejection (admission denied / decode
+     *  failed); counts serve.requests + serve.errors, never enqueued. */
+    std::future<Response> rejectedFuture(u64 id, ErrorKind kind,
+                                         std::string message);
+    /** Resolve a queued request pulled out by overload shedding. */
+    void resolveShed(PendingRequest victim);
+    /** Sleep before retry `attempt`, capped by the remaining deadline.
+     *  Returns false (and does not sleep) when the budget is gone. */
+    bool backoffWithinDeadline(u32 attempt, u64 deadline_ns);
     std::shared_ptr<Session> sessionFor(u64 tenant) const;
 
     std::shared_ptr<const CkksContext> ctx;
@@ -110,6 +149,9 @@ class Server
     Evaluator eval;
     KeyCache cache;
     Batcher batcher;
+    OverloadGovernor governor_;
+    resilience::RetryPolicy retry;
+    u64 default_deadline_ms = 0;
 
     mutable std::mutex sessions_mu;
     std::unordered_map<u64, std::shared_ptr<Session>> sessions;

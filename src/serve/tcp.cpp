@@ -1,12 +1,17 @@
 #include "serve/tcp.h"
 
+#include <cerrno>
 #include <cstring>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
+
+#include "support/env.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 namespace serve {
@@ -16,30 +21,66 @@ namespace {
 /** Ceiling on one frame; a hostile length prefix must not allocate. */
 constexpr u64 kMaxFrameBytes = 256ULL << 20;
 
-bool
+/** Bound on consecutive EINTR wakeups per buffer: a signal storm must
+ *  not turn a blocking read into an unbounded spin. */
+constexpr int kMaxEintrRetries = 4096;
+
+enum class IoResult
+{
+    Ok,      ///< full buffer transferred
+    Eof,     ///< clean close before the first byte
+    Timeout, ///< SO_RCVTIMEO fired before the first byte (idle)
+    Error,   ///< reset, mid-buffer EOF/stall, or EINTR storm
+};
+
+IoResult
 readAll(int fd, void* buf, size_t len)
 {
     u8* p = static_cast<u8*>(buf);
-    while (len > 0) {
-        const ssize_t n = ::recv(fd, p, len, 0);
-        if (n <= 0)
-            return false;
-        p += n;
-        len -= static_cast<size_t>(n);
+    size_t got = 0;
+    int eintr = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n > 0) {
+            got += static_cast<size_t>(n);
+            eintr = 0;
+            continue;
+        }
+        if (n == 0)
+            return got == 0 ? IoResult::Eof : IoResult::Error;
+        if (errno == EINTR) {
+            if (++eintr > kMaxEintrRetries)
+                return IoResult::Error;
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return got == 0 ? IoResult::Timeout : IoResult::Error;
+        return IoResult::Error;
     }
-    return true;
+    return IoResult::Ok;
 }
 
 bool
 writeAll(int fd, const void* buf, size_t len)
 {
     const u8* p = static_cast<const u8*>(buf);
-    while (len > 0) {
-        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (n <= 0)
-            return false;
-        p += n;
-        len -= static_cast<size_t>(n);
+    size_t sent = 0;
+    int eintr = 0;
+    while (sent < len) {
+        const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            eintr = 0;
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            if (++eintr > kMaxEintrRetries)
+                return false;
+            continue;
+        }
+        // A send timeout mid-frame is unrecoverable at frame
+        // granularity: the peer has a partial message.
+        return false;
     }
     return true;
 }
@@ -52,16 +93,52 @@ sendFrame(int fd, const std::string& frame)
            writeAll(fd, frame.data(), frame.size());
 }
 
-/** Returns false on clean EOF / peer reset; throws on a hostile prefix. */
+/**
+ * Receive one frame. When `stopping` is given, an *idle* receive
+ * timeout (no byte of the length prefix yet) re-checks it and keeps
+ * waiting — a quiet client is not an error; without it (client path)
+ * any timeout fails. A timeout, stall, or EOF mid-frame always fails:
+ * the stream is desynchronized. Throws on a hostile length prefix —
+ * the bounds check runs before any allocation.
+ */
 bool
-recvFrame(int fd, std::string& frame)
+recvFrame(int fd, std::string& frame,
+          const std::atomic<bool>* stopping = nullptr)
 {
     u64 len = 0;
-    if (!readAll(fd, &len, sizeof(len)))
+    for (;;) {
+        const IoResult r = readAll(fd, &len, sizeof(len));
+        if (r == IoResult::Ok)
+            break;
+        if (r == IoResult::Timeout && stopping != nullptr &&
+            !stopping->load())
+            continue;
         return false;
+    }
     MAD_REQUIRE(len <= kMaxFrameBytes, "tcp: implausible frame length");
     frame.resize(len);
-    return len == 0 || readAll(fd, frame.data(), len);
+    if (len == 0)
+        return true;
+    if (readAll(fd, frame.data(), len) != IoResult::Ok) {
+        TELEM_COUNT("serve.tcp.midframe_drops", 1);
+        return false;
+    }
+    return true;
+}
+
+/** Arm per-syscall send/receive timeouts from MADFHE_TCP_TIMEOUT_MS
+ *  (0 / unset = block forever, the historical behavior). */
+void
+applySocketTimeouts(int fd)
+{
+    const u64 ms = env::u64Or("MADFHE_TCP_TIMEOUT_MS", 0);
+    if (ms == 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 } // namespace
@@ -106,24 +183,45 @@ TcpFrontEnd::stop()
         ::shutdown(listen_fd, SHUT_RDWR);
         ::close(listen_fd);
         std::lock_guard<std::mutex> lock(conns_mu);
-        for (int fd : conn_fds)
-            ::shutdown(fd, SHUT_RDWR);
+        for (const std::unique_ptr<Conn>& c : conns)
+            if (c->fd >= 0)
+                ::shutdown(c->fd, SHUT_RDWR);
     }
     if (acceptor.joinable())
         acceptor.join();
-    std::vector<std::thread> joinable;
+    // Handlers observe the shutdown, close their own fds and finish;
+    // all that is left here is joining them.
+    std::vector<std::unique_ptr<Conn>> doomed;
     {
         std::lock_guard<std::mutex> lock(conns_mu);
-        joinable.swap(conn_threads);
+        doomed.swap(conns);
     }
-    for (std::thread& t : joinable)
-        if (t.joinable())
-            t.join();
-    {
-        std::lock_guard<std::mutex> lock(conns_mu);
-        for (int fd : conn_fds)
-            ::close(fd);
-        conn_fds.clear();
+    for (std::unique_ptr<Conn>& c : doomed)
+        if (c->thread.joinable())
+            c->thread.join();
+}
+
+size_t
+TcpFrontEnd::liveConnections() const
+{
+    std::lock_guard<std::mutex> lock(conns_mu);
+    size_t live = 0;
+    for (const std::unique_ptr<Conn>& c : conns)
+        if (!c->done.load())
+            ++live;
+    return live;
+}
+
+void
+TcpFrontEnd::reapFinishedLocked()
+{
+    for (auto it = conns.begin(); it != conns.end();) {
+        if ((*it)->done.load()) {
+            (*it)->thread.join();
+            it = conns.erase(it);
+        } else {
+            ++it;
+        }
     }
 }
 
@@ -132,29 +230,40 @@ TcpFrontEnd::acceptLoop()
 {
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
+        if (fd < 0) {
+            if (errno == EINTR && !stopping.load())
+                continue;
             return; // listener closed by stop()
+        }
+        applySocketTimeouts(fd);
         std::lock_guard<std::mutex> lock(conns_mu);
         if (stopping.load()) {
             ::close(fd);
             return;
         }
-        conn_fds.push_back(fd);
-        conn_threads.emplace_back([this, fd] { serveConnection(fd); });
+        reapFinishedLocked();
+        conns.push_back(std::make_unique<Conn>());
+        Conn* conn = conns.back().get();
+        conn->fd = fd;
+        TELEM_COUNT("serve.tcp.accepts", 1);
+        conn->thread = std::thread([this, conn] { serveConnection(conn); });
     }
 }
 
 void
-TcpFrontEnd::serveConnection(int fd)
+TcpFrontEnd::serveConnection(Conn* conn)
 {
+    const int fd = conn->fd;
     std::string frame;
     for (;;) {
+        bool got = false;
         try {
-            if (!recvFrame(fd, frame))
-                return;
+            got = recvFrame(fd, frame, &stopping);
         } catch (...) {
-            return; // hostile length prefix: drop the connection
+            got = false; // hostile length prefix: drop the connection
         }
+        if (!got)
+            break;
         std::string reply;
         try {
             reply = encodeResponse(server.submitFrame(frame).get());
@@ -165,11 +274,20 @@ TcpFrontEnd::serveConnection(int fd)
             resp.error_kind = ErrorKind::User;
             resp.error = "server is stopping";
             sendFrame(fd, encodeResponse(resp));
-            return;
+            break;
         }
         if (!sendFrame(fd, reply))
-            return;
+            break;
     }
+    // Close under the lock and poison the slot so stop() never calls
+    // shutdown() on a recycled descriptor number.
+    {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    conn->done.store(true);
+    TELEM_COUNT("serve.tcp.closes", 1);
 }
 
 std::string
@@ -177,6 +295,7 @@ tcpRequest(const std::string& host, std::uint16_t port, const std::string& frame
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     MAD_CHECK(fd >= 0, "tcp: socket() failed");
+    applySocketTimeouts(fd);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);

@@ -10,6 +10,17 @@
  * as a typed error response instead of killing the connection, and a
  * hostile length prefix is rejected before allocation.
  *
+ * Robustness (see DESIGN.md "Robustness model"): all socket I/O
+ * tolerates partial reads/writes and bounded EINTR storms;
+ * MADFHE_TCP_TIMEOUT_MS arms SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer
+ * cannot wedge a connection thread — a timeout while *idle* (no frame
+ * in progress) just re-checks for shutdown, a timeout or disconnect
+ * *mid-frame* drops the connection. Each connection owns its fd and
+ * closes it when the session ends (under the connection lock, so stop()
+ * can never shut down a recycled descriptor), finished handler threads
+ * are reaped by the acceptor, and liveConnections() exposes the leak
+ * check the chaos tests assert on.
+ *
  * This is deliberately small — enough to demo and test real
  * client/server traffic (examples/encrypted_kv.cpp) without pulling in
  * an RPC dependency; production deployments would put their own
@@ -19,6 +30,7 @@
 #define MADFHE_SERVE_TCP_H
 
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -44,23 +56,35 @@ class TcpFrontEnd
      *  Called by the destructor. */
     void stop();
 
+    /** Connections whose handler is still running — 0 after every
+     *  client has disconnected (leak assertion for tests). */
+    size_t liveConnections() const;
+
   private:
+    struct Conn
+    {
+        int fd = -1; ///< guarded by conns_mu; -1 once the handler closed it
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
     void acceptLoop();
-    void serveConnection(int fd);
+    void serveConnection(Conn* conn);
+    void reapFinishedLocked(); ///< caller holds conns_mu
 
     Server& server;
     std::uint16_t port_ = 0;
     int listen_fd = -1;
     std::atomic<bool> stopping{false};
     std::thread acceptor;
-    std::mutex conns_mu;
-    std::vector<int> conn_fds;
-    std::vector<std::thread> conn_threads;
+    mutable std::mutex conns_mu;
+    std::vector<std::unique_ptr<Conn>> conns;
 };
 
 /**
  * Blocking client helper: connect, send one length-prefixed `frame`,
- * return the length-prefixed response frame's payload.
+ * return the length-prefixed response frame's payload. Honors
+ * MADFHE_TCP_TIMEOUT_MS as a per-syscall send/receive timeout.
  */
 std::string tcpRequest(const std::string& host, std::uint16_t port,
                        const std::string& frame);

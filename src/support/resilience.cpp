@@ -1,0 +1,133 @@
+#include "support/resilience.h"
+
+#include <chrono>
+
+#include "support/env.h"
+
+namespace madfhe {
+namespace resilience {
+
+u64
+monotonicNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace {
+
+/** splitmix64 — the repo's standard seed mixer (see
+ *  Server::encryptionSeedFor); good avalanche, no state. */
+u64
+mix(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+u64
+RetryPolicy::backoffNs(u32 attempt) const
+{
+    if (attempt == 0)
+        return 0;
+    u64 delay = base_backoff_ns;
+    for (u32 i = 1; i < attempt && delay < max_backoff_ns; ++i)
+        delay *= 2;
+    if (delay > max_backoff_ns)
+        delay = max_backoff_ns;
+    if (delay == 0)
+        return 0;
+    // Additive jitter in [0, delay/4), deterministic in (seed, attempt).
+    const u64 jitter = mix(seed ^ (u64{attempt} << 32)) % (delay / 4 + 1);
+    return delay + jitter;
+}
+
+RetryPolicy
+RetryPolicy::fromEnv()
+{
+    RetryPolicy p;
+    p.max_attempts = static_cast<u32>(env::u64Or("MADFHE_RETRY", 1));
+    return p;
+}
+
+bool
+CircuitBreaker::allow(u64 now_ns)
+{
+    if (cfg_.threshold == 0)
+        return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+    case State::Closed:
+        return true;
+    case State::Open:
+        if (now_ns < open_until_ns_)
+            return false;
+        state_ = State::HalfOpen;
+        probe_inflight_ = true;
+        return true;
+    case State::HalfOpen:
+        return false; // one probe at a time
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    if (cfg_.threshold == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    probe_inflight_ = false;
+    state_ = State::Closed;
+}
+
+void
+CircuitBreaker::onFailure(u64 now_ns)
+{
+    if (cfg_.threshold == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::HalfOpen) {
+        // Failed probe: straight back to Open for another cooldown.
+        probe_inflight_ = false;
+        state_ = State::Open;
+        open_until_ns_ = now_ns + cfg_.cooldown_ns;
+        return;
+    }
+    if (state_ == State::Open)
+        return; // rejected traffic never reaches here; ignore stragglers
+    if (++consecutive_failures_ >= cfg_.threshold) {
+        state_ = State::Open;
+        open_until_ns_ = now_ns + cfg_.cooldown_ns;
+        ++trips_;
+    }
+}
+
+CircuitBreaker::State
+CircuitBreaker::state(u64 now_ns) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::Open && now_ns >= open_until_ns_)
+        return State::HalfOpen; // what allow() would transition to
+    return state_;
+}
+
+u64
+CircuitBreaker::trips() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+}
+
+} // namespace resilience
+} // namespace madfhe

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Resilience primitives for the serving stack: monotonic deadlines,
+ * bounded retry with deterministic backoff, and a per-client circuit
+ * breaker.
+ *
+ * MAD's thesis is that FHE is memory-bound, so at serving scale the
+ * first resource to fail under load is the memory budget, not compute —
+ * and the failure mode is a *slow* failure (eviction storms, overcommit,
+ * queues backing up), exactly what deadlines and admission control are
+ * for. These types are the mechanism layer; policy (which errors are
+ * transient, when to shed, how to degrade) lives in src/serve.
+ *
+ * Every primitive is deterministic given its inputs: Deadline compares
+ * caller-supplied monotonic timestamps, RetryPolicy derives its jitter
+ * from a seed + attempt counter (never from wall-clock or a global
+ * RNG), and CircuitBreaker transitions are pure functions of the
+ * (event, now_ns) sequence — so the fault campaign can drive all three
+ * through exact, repeatable schedules.
+ */
+#ifndef MADFHE_SUPPORT_RESILIENCE_H
+#define MADFHE_SUPPORT_RESILIENCE_H
+
+#include <mutex>
+
+#include "support/common.h"
+
+namespace madfhe {
+namespace resilience {
+
+/** Nanoseconds on the monotonic (steady) clock. Never wall-clock: a
+ *  deadline must not move when NTP steps the system time. */
+u64 monotonicNs();
+
+/**
+ * An absolute point on the monotonic clock by which a request must
+ * finish. Default-constructed deadlines are inactive (never expire);
+ * the serving layer treats "no deadline" as infinite patience, which
+ * is the pre-resilience behavior.
+ */
+class Deadline
+{
+  public:
+    Deadline() = default;
+
+    /** Deadline `ms` milliseconds after `t0_ns` (monotonic). */
+    static Deadline
+    afterMs(u64 ms, u64 t0_ns)
+    {
+        Deadline d;
+        d.abs_ns_ = t0_ns + ms * 1'000'000ULL;
+        return d;
+    }
+
+    /** Deadline `ms` milliseconds from now. */
+    static Deadline afterMs(u64 ms) { return afterMs(ms, monotonicNs()); }
+
+    /** Deadline at an absolute monotonic timestamp. */
+    static Deadline
+    at(u64 abs_ns)
+    {
+        Deadline d;
+        d.abs_ns_ = abs_ns;
+        return d;
+    }
+
+    bool active() const { return abs_ns_ != kNone; }
+    bool expiredAt(u64 now_ns) const { return active() && now_ns >= abs_ns_; }
+    bool expired() const { return expiredAt(monotonicNs()); }
+
+    /** Remaining budget at `now_ns`: 0 when expired, ~u64{0} when the
+     *  deadline is inactive. */
+    u64
+    remainingNsAt(u64 now_ns) const
+    {
+        if (!active())
+            return kNone;
+        return now_ns >= abs_ns_ ? 0 : abs_ns_ - now_ns;
+    }
+    u64 remainingNs() const { return remainingNsAt(monotonicNs()); }
+
+    /** Absolute monotonic expiry, ~u64{0} when inactive. */
+    u64 absNs() const { return abs_ns_; }
+
+  private:
+    static constexpr u64 kNone = ~u64{0};
+    u64 abs_ns_ = kNone;
+};
+
+/**
+ * Bounded retry with exponential backoff and seeded deterministic
+ * jitter. `max_attempts` counts every try including the first, so 1
+ * (the default) means "no retries" and 0 is normalized to 1. The caller
+ * decides transience — this type never inspects exceptions — so the
+ * same policy serves frame decoding, key expansion and evaluation.
+ */
+struct RetryPolicy
+{
+    u32 max_attempts = 1;
+    u64 base_backoff_ns = 1'000'000;  ///< first retry delay (1 ms)
+    u64 max_backoff_ns = 50'000'000;  ///< backoff growth cap (50 ms)
+    u64 seed = 1;                     ///< jitter seed (deterministic)
+
+    /** May attempt number `attempts_done + 1` proceed? */
+    bool
+    shouldRetry(u32 attempts_done, bool transient) const
+    {
+        return transient && attempts_done < effectiveAttempts();
+    }
+
+    /**
+     * Delay before retry number `attempt` (1 = first retry):
+     * base * 2^(attempt-1), capped at max, plus up to +25% jitter
+     * derived from (seed, attempt) — never from a clock — so two runs
+     * with the same seed back off identically.
+     */
+    u64 backoffNs(u32 attempt) const;
+
+    bool enabled() const { return effectiveAttempts() > 1; }
+
+    /** MADFHE_RETRY=<max_attempts> (default 1 = no retries). */
+    static RetryPolicy fromEnv();
+
+  private:
+    u32 effectiveAttempts() const { return max_attempts == 0 ? 1 : max_attempts; }
+};
+
+/**
+ * Per-client circuit breaker: Closed -> (threshold consecutive
+ * failures) -> Open -> (cooldown elapses) -> HalfOpen -> one probe ->
+ * Closed on success / Open again on failure. All transitions take the
+ * caller's monotonic timestamp so tests drive exact schedules.
+ *
+ * A threshold of 0 disables the breaker entirely (allow() is always
+ * true), which is the default: breaking is a serving policy the
+ * OverloadGovernor opts into per deployment.
+ */
+class CircuitBreaker
+{
+  public:
+    struct Config
+    {
+        u32 threshold = 0;                   ///< consecutive failures to trip
+        u64 cooldown_ns = 100'000'000;       ///< open duration before probing
+    };
+
+    enum class State : u8
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    CircuitBreaker() = default;
+    explicit CircuitBreaker(Config cfg) : cfg_(cfg) {}
+
+    /**
+     * May a request proceed at `now_ns`? Open breakers reject until the
+     * cooldown elapses, then admit exactly one half-open probe; further
+     * requests are rejected until the probe reports back.
+     */
+    bool allow(u64 now_ns);
+
+    /** Report the outcome of an admitted request. */
+    void onSuccess();
+    void onFailure(u64 now_ns);
+
+    State state(u64 now_ns) const;
+    /** Closed -> Open transitions so far. */
+    u64 trips() const;
+
+  private:
+    Config cfg_;
+    mutable std::mutex mu_;
+    State state_ = State::Closed;
+    u32 consecutive_failures_ = 0;
+    bool probe_inflight_ = false;
+    u64 open_until_ns_ = 0;
+    u64 trips_ = 0;
+};
+
+/**
+ * Typed overload rejection: the server shed this request (queue full,
+ * breaker open) without executing it. Transient by construction — the
+ * client may retry after backoff; nothing about the request was wrong.
+ */
+class OverloadedError : public std::runtime_error, public MadError
+{
+  public:
+    explicit OverloadedError(const std::string& msg,
+                             const char* file = nullptr, int line = 0)
+        : std::runtime_error(detail::formatError(msg, file, line)),
+          MadError(msg, file, line)
+    {
+    }
+};
+
+/** The request's deadline expired before (or while) it was served. The
+ *  caller must extend the deadline to make a retry meaningful. */
+class DeadlineExceededError : public std::runtime_error, public MadError
+{
+  public:
+    explicit DeadlineExceededError(const std::string& msg,
+                                   const char* file = nullptr, int line = 0)
+        : std::runtime_error(detail::formatError(msg, file, line)),
+          MadError(msg, file, line)
+    {
+    }
+};
+
+} // namespace resilience
+} // namespace madfhe
+
+#endif // MADFHE_SUPPORT_RESILIENCE_H

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the resilience primitives (support/resilience.h): monotonic
+ * deadlines, retry policy determinism, and the circuit breaker state
+ * machine — all driven with fake clocks so every transition is exact.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "serve/request.h"
+#include "support/resilience.h"
+
+namespace madfhe {
+namespace {
+
+using resilience::CircuitBreaker;
+using resilience::Deadline;
+using resilience::RetryPolicy;
+
+// --- Deadline -------------------------------------------------------------
+
+TEST(DeadlineTest, InactiveByDefault)
+{
+    const Deadline d;
+    EXPECT_FALSE(d.active());
+    EXPECT_FALSE(d.expiredAt(~u64{0} - 1));
+    EXPECT_EQ(d.remainingNsAt(123), ~u64{0});
+    EXPECT_EQ(d.absNs(), ~u64{0});
+}
+
+TEST(DeadlineTest, ExpiryAndRemainingAreExact)
+{
+    const u64 t0 = 1'000'000'000;
+    const Deadline d = Deadline::afterMs(5, t0); // expires at t0 + 5ms
+    EXPECT_TRUE(d.active());
+    EXPECT_EQ(d.absNs(), t0 + 5'000'000);
+
+    EXPECT_FALSE(d.expiredAt(t0));
+    EXPECT_EQ(d.remainingNsAt(t0), 5'000'000u);
+    EXPECT_FALSE(d.expiredAt(t0 + 4'999'999));
+    EXPECT_EQ(d.remainingNsAt(t0 + 4'999'999), 1u);
+    EXPECT_TRUE(d.expiredAt(t0 + 5'000'000)); // boundary is inclusive
+    EXPECT_EQ(d.remainingNsAt(t0 + 5'000'000), 0u);
+    EXPECT_TRUE(d.expiredAt(t0 + 6'000'000));
+    EXPECT_EQ(d.remainingNsAt(t0 + 6'000'000), 0u);
+}
+
+TEST(DeadlineTest, AtConstructsAbsolute)
+{
+    const Deadline d = Deadline::at(42);
+    EXPECT_TRUE(d.active());
+    EXPECT_TRUE(d.expiredAt(42));
+    EXPECT_FALSE(d.expiredAt(41));
+}
+
+TEST(DeadlineTest, MonotonicClockAdvances)
+{
+    const u64 a = resilience::monotonicNs();
+    const u64 b = resilience::monotonicNs();
+    EXPECT_LE(a, b);
+}
+
+// --- RetryPolicy ----------------------------------------------------------
+
+TEST(RetryPolicyTest, DefaultIsNoRetries)
+{
+    const RetryPolicy p;
+    EXPECT_FALSE(p.enabled());
+    EXPECT_FALSE(p.shouldRetry(1, /*transient=*/true));
+}
+
+TEST(RetryPolicyTest, ZeroAttemptsNormalizesToOne)
+{
+    RetryPolicy p;
+    p.max_attempts = 0;
+    EXPECT_FALSE(p.enabled());
+    // One attempt (the first) is the whole budget.
+    EXPECT_FALSE(p.shouldRetry(1, true));
+    EXPECT_FALSE(p.shouldRetry(2, true));
+}
+
+TEST(RetryPolicyTest, BoundsAttemptsAndRequiresTransience)
+{
+    RetryPolicy p;
+    p.max_attempts = 3;
+    EXPECT_TRUE(p.enabled());
+    EXPECT_TRUE(p.shouldRetry(1, true));
+    EXPECT_TRUE(p.shouldRetry(2, true));
+    EXPECT_FALSE(p.shouldRetry(3, true)); // budget exhausted
+    EXPECT_FALSE(p.shouldRetry(1, false)); // permanent error: never retry
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps)
+{
+    RetryPolicy p;
+    p.base_backoff_ns = 1'000;
+    p.max_backoff_ns = 6'000;
+    p.seed = 7;
+    const u64 b1 = p.backoffNs(1);
+    const u64 b2 = p.backoffNs(2);
+    const u64 b3 = p.backoffNs(3);
+    const u64 b9 = p.backoffNs(9);
+    // base * 2^(n-1) plus at most +25% jitter.
+    EXPECT_GE(b1, 1'000u);
+    EXPECT_LE(b1, 1'250u);
+    EXPECT_GE(b2, 2'000u);
+    EXPECT_LE(b2, 2'500u);
+    EXPECT_GE(b3, 4'000u);
+    EXPECT_LE(b3, 5'000u);
+    EXPECT_GE(b9, 6'000u); // capped
+    EXPECT_LE(b9, 7'500u);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicInSeedAndAttempt)
+{
+    RetryPolicy a;
+    a.max_attempts = 4;
+    a.seed = 99;
+    RetryPolicy b = a;
+    for (u32 attempt = 1; attempt <= 4; ++attempt)
+        EXPECT_EQ(a.backoffNs(attempt), b.backoffNs(attempt));
+
+    // Different seeds should usually pick different jitter somewhere.
+    RetryPolicy c = a;
+    c.seed = 100;
+    std::set<u64> distinct;
+    for (u32 attempt = 1; attempt <= 4; ++attempt) {
+        distinct.insert(a.backoffNs(attempt));
+        distinct.insert(c.backoffNs(attempt));
+    }
+    EXPECT_GT(distinct.size(), 4u);
+}
+
+// --- transient classification --------------------------------------------
+
+TEST(RetryPolicyTest, TransientErrorKinds)
+{
+    using serve::ErrorKind;
+    using serve::transientErrorKind;
+    EXPECT_TRUE(transientErrorKind(ErrorKind::CorruptStream));
+    EXPECT_TRUE(transientErrorKind(ErrorKind::FaultDetected));
+    EXPECT_TRUE(transientErrorKind(ErrorKind::Injected));
+    EXPECT_TRUE(transientErrorKind(ErrorKind::BadAlloc));
+    EXPECT_TRUE(transientErrorKind(ErrorKind::Overloaded));
+    EXPECT_FALSE(transientErrorKind(ErrorKind::None));
+    EXPECT_FALSE(transientErrorKind(ErrorKind::User));
+    EXPECT_FALSE(transientErrorKind(ErrorKind::Other));
+    EXPECT_FALSE(transientErrorKind(ErrorKind::DeadlineExceeded));
+}
+
+// --- CircuitBreaker -------------------------------------------------------
+
+TEST(CircuitBreakerTest, DisabledByDefault)
+{
+    CircuitBreaker b;
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(b.allow(i));
+        b.onFailure(i);
+    }
+    EXPECT_EQ(b.trips(), 0u);
+    EXPECT_EQ(b.state(100), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures)
+{
+    CircuitBreaker::Config cfg;
+    cfg.threshold = 3;
+    cfg.cooldown_ns = 1'000;
+    CircuitBreaker b(cfg);
+
+    u64 now = 10;
+    EXPECT_TRUE(b.allow(now));
+    b.onFailure(now);
+    EXPECT_TRUE(b.allow(now));
+    b.onFailure(now);
+    // A success resets the consecutive count.
+    EXPECT_TRUE(b.allow(now));
+    b.onSuccess();
+    EXPECT_TRUE(b.allow(now));
+    b.onFailure(now);
+    EXPECT_TRUE(b.allow(now));
+    b.onFailure(now);
+    EXPECT_TRUE(b.allow(now));
+    b.onFailure(now); // third consecutive: trips
+    EXPECT_EQ(b.trips(), 1u);
+    EXPECT_EQ(b.state(now), CircuitBreaker::State::Open);
+    EXPECT_FALSE(b.allow(now));
+    EXPECT_FALSE(b.allow(now + 999)); // still cooling down
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess)
+{
+    CircuitBreaker::Config cfg;
+    cfg.threshold = 1;
+    cfg.cooldown_ns = 1'000;
+    CircuitBreaker b(cfg);
+
+    b.allow(0);
+    b.onFailure(0); // trips immediately (threshold 1)
+    EXPECT_FALSE(b.allow(500));
+
+    // Cooldown elapsed: exactly one probe is admitted.
+    EXPECT_EQ(b.state(1'000), CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(b.allow(1'000));
+    EXPECT_FALSE(b.allow(1'001)); // second request while probe in flight
+    b.onSuccess();
+    EXPECT_EQ(b.state(1'002), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(b.allow(1'002));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens)
+{
+    CircuitBreaker::Config cfg;
+    cfg.threshold = 1;
+    cfg.cooldown_ns = 1'000;
+    CircuitBreaker b(cfg);
+
+    b.allow(0);
+    b.onFailure(0);
+    EXPECT_TRUE(b.allow(1'000)); // probe
+    b.onFailure(1'000);          // probe failed: back to Open
+    EXPECT_EQ(b.state(1'500), CircuitBreaker::State::Open);
+    EXPECT_FALSE(b.allow(1'999));
+    EXPECT_TRUE(b.allow(2'000)); // new cooldown elapsed: next probe
+    b.onSuccess();
+    EXPECT_TRUE(b.allow(2'001));
+    EXPECT_EQ(b.trips(), 1u); // reopen from HalfOpen is not a new trip
+}
+
+} // namespace
+} // namespace madfhe

@@ -14,17 +14,34 @@
  *             silent corruption; the campaign fails
  *   UNREACHED no workload drives this site (fails outside --quick)
  *
- * Usage: fault_campaign [--quick] [--list]
+ * Usage: fault_campaign [--quick] [--list] [serve-chaos]
  *   --quick  skip the bootstrap workload (CI mode; boot.modraise is
  *            reported as skipped rather than unreached)
  *   --list   print the site registry and exit
+ *
+ * The `serve-chaos` mode runs an overload/fault campaign against the
+ * serving runtime instead of the site sweep: hostile TCP clients
+ * (mid-frame kills, corrupt length prefixes, stalled and slow-trickle
+ * writers), injected decode/key-expansion faults under server-side
+ * retry, key-cache starvation driving graceful degradation, and forced
+ * circuit-breaker trips. It asserts zero silent corruptions (every
+ * success is byte-identical to the clean reference), typed errors for
+ * every failure, and no stuck key leases after any phase.
  */
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "boot/bootstrapper.h"
 #include "ckks/encoder.h"
@@ -33,9 +50,11 @@
 #include "ckks/serialize.h"
 #include "ckks/stream.h"
 #include "serve/server.h"
+#include "serve/tcp.h"
 #include "support/faultinject.h"
 #include "support/random.h"
 #include "support/threadpool.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -129,19 +148,384 @@ runCatching(const Workload& w, std::string& caught)
     return {};
 }
 
+// --- serve-chaos ----------------------------------------------------------
+
+int g_chaos_failures = 0;
+
+void
+chaosCheck(bool ok, const std::string& what)
+{
+    if (ok) {
+        std::cout << "  ok: " << what << "\n";
+    } else {
+        std::cerr << "  CHAOS FAIL: " << what << "\n";
+        ++g_chaos_failures;
+    }
+}
+
+std::string
+fingerprintAll(const std::vector<Ciphertext>& cts)
+{
+    std::string out;
+    for (const Ciphertext& ct : cts)
+        out += fingerprint(ct);
+    return out;
+}
+
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+rawSend(int fd, const void* data, size_t n)
+{
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w <= 0)
+            return false;
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+rawRecv(int fd, void* dst, size_t n)
+{
+    char* p = static_cast<char*>(dst);
+    while (n > 0) {
+        const ssize_t r = ::recv(fd, p, n, 0);
+        if (r <= 0)
+            return false;
+        p += r;
+        n -= static_cast<size_t>(r);
+    }
+    return true;
+}
+
+u64
+chaosCounter(const char* name)
+{
+    return telemetry::counter(name).value();
+}
+
+/**
+ * Overload/fault campaign against the serving runtime. Returns the
+ * process exit code (0 = every check passed).
+ */
+int
+runServeChaos(const CkksParams& params, bool quick)
+{
+    // Aggressive socket timeouts so stalled clients are reaped quickly;
+    // applied to every connection the front end accepts below.
+    ::setenv("MADFHE_TCP_TIMEOUT_MS", "250", 1);
+    // The campaign asserts on serve.* counters.
+    telemetry::setLevel(telemetry::Level::Counters);
+
+    const std::vector<int> steps{1, 2};
+    Setup base(params, steps, /*conj=*/false);
+
+    // Clean references: every chaos-phase success must be byte-identical
+    // to these (retries and degraded stream policies included).
+    const std::string ref_mul =
+        fingerprint(base.eval->mul(base.ct_a, base.ct_b, base.rlk));
+    const std::string ref_rot =
+        fingerprintAll(base.eval->rotateHoisted(base.ct_a, steps, base.gks));
+
+    // Resilient server: one-key cache budget (hoisted rotations *must*
+    // overcommit), bounded retry, degradation on, breaker off.
+    serve::ServerOptions opts;
+    opts.keycache_bytes = base.rlk.aBytes();
+    resilience::RetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.base_backoff_ns = 200'000; // 0.2 ms: fast runs, real backoff
+    opts.retry = retry;
+    serve::Server server(base.ctx, opts);
+    serve::TenantKeys keys;
+    keys.pk = base.pk;
+    keys.rlk = base.rlk;
+    keys.gks = base.gks;
+    const u64 tenant = server.addTenant(std::move(keys));
+    serve::TcpFrontEnd tcp(server, 0);
+
+    u64 rid = 1;
+    auto makeMul = [&] {
+        serve::Request m;
+        m.tenant = tenant;
+        m.id = rid++;
+        m.op = serve::Op::EvalMul;
+        m.cts = {base.ct_a, base.ct_b};
+        m.deadline_ms = 30'000; // generous: exercises propagation only
+        return m;
+    };
+    auto noStuckLeases = [&](serve::Server& s, const char* when) {
+        s.drain();
+        // Responses are fulfilled before the executing batch releases
+        // its leases, so allow the dispatcher a moment to unwind; a
+        // *stuck* lease is one that persists.
+        size_t pinned = 0;
+        for (int spin = 0; spin < 400; ++spin) {
+            pinned = s.keyCacheStats().pinned_entries;
+            if (pinned == 0)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        chaosCheck(pinned == 0, std::string("no stuck key leases ") + when);
+    };
+
+    // --- phase 1: hostile TCP clients ------------------------------------
+    std::cout << "phase 1: hostile clients (mid-frame kills, corrupt "
+                 "prefixes, stalls, slow writers)\n";
+    const int kills = quick ? 4 : 16;
+    for (int k = 0; k < kills; ++k) {
+        const int fd = rawConnect(tcp.port());
+        if (fd < 0)
+            continue;
+        const u64 promise = 4096; // die after 16 of 4096 promised bytes
+        rawSend(fd, &promise, sizeof(promise));
+        const char junk[16] = {};
+        rawSend(fd, junk, sizeof(junk));
+        ::close(fd);
+    }
+    {
+        const int fd = rawConnect(tcp.port());
+        if (fd >= 0) {
+            const u64 hostile = ~u64{0}; // must be rejected pre-allocation
+            rawSend(fd, &hostile, sizeof(hostile));
+            ::close(fd);
+        }
+    }
+    {
+        // Stalled mid-frame: promises bytes, then goes silent past the
+        // socket timeout. The receive timeout must reap it.
+        const int fd = rawConnect(tcp.port());
+        if (fd >= 0) {
+            const u64 promise = 64;
+            rawSend(fd, &promise, sizeof(promise));
+            std::this_thread::sleep_for(std::chrono::milliseconds(400));
+            ::close(fd);
+        }
+    }
+    {
+        // Slow but live writer: trickles a whole valid frame in small
+        // chunks, each within the timeout — must still be served.
+        const std::string frame = serve::encodeRequest(makeMul());
+        const int fd = rawConnect(tcp.port());
+        bool ok = fd >= 0;
+        if (ok) {
+            const u64 len = frame.size();
+            ok = rawSend(fd, &len, sizeof(len));
+            for (size_t off = 0; ok && off < frame.size(); off += 4096) {
+                const size_t n = std::min<size_t>(4096, frame.size() - off);
+                ok = rawSend(fd, frame.data() + off, n);
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+            u64 resp_len = 0;
+            ok = ok && rawRecv(fd, &resp_len, sizeof(resp_len));
+            std::string resp_bytes(resp_len, '\0');
+            ok = ok && rawRecv(fd, resp_bytes.data(), resp_bytes.size());
+            if (ok) {
+                const serve::Response resp =
+                    serve::decodeResponse(resp_bytes, base.ctx->ring());
+                ok = resp.ok && fingerprintAll(resp.cts) == ref_mul;
+            }
+            ::close(fd);
+        }
+        chaosCheck(ok, "slow-trickle client served byte-identically");
+    }
+    for (int spin = 0; spin < 400 && tcp.liveConnections() != 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    chaosCheck(tcp.liveConnections() == 0,
+               "all hostile connections reaped (no leaks)");
+    chaosCheck(chaosCounter("serve.tcp.midframe_drops") > 0,
+               "mid-frame drops were detected and counted");
+    {
+        const serve::Response resp = serve::decodeResponse(
+            serve::tcpRequest("127.0.0.1", tcp.port(),
+                              serve::encodeRequest(makeMul())),
+            base.ctx->ring());
+        chaosCheck(resp.ok && fingerprintAll(resp.cts) == ref_mul,
+                   "front end still serves byte-identically after abuse");
+    }
+    noStuckLeases(server, "after hostile clients");
+
+    // --- phase 2: injected faults under server-side retry ----------------
+    std::cout << "phase 2: injected decode/key-expansion faults under "
+                 "retry\n";
+    size_t chaos_silent = 0, recovered = 0, typed_failures = 0;
+    for (const char* site : {"serve.decode", "serve.evict"}) {
+        u32 site_kinds = 0;
+        for (const auto& s : faultinject::allSites())
+            if (s.name == std::string(site))
+                site_kinds = s.kinds;
+        for (faultinject::Kind kind :
+             {faultinject::Kind::BitFlip, faultinject::Kind::AllocFail,
+              faultinject::Kind::TaskThrow}) {
+            if (!(site_kinds & faultinject::kindBit(kind)))
+                continue;
+            const u64 max_nth = quick ? 3 : 8;
+            for (u64 nth = 0; nth < max_nth; ++nth) {
+                faultinject::arm({site, nth, kind, 11});
+                const serve::Response resp =
+                    server.submitFrame(serve::encodeRequest(makeMul()))
+                        .get();
+                const u64 fired = faultinject::firedCount();
+                faultinject::disarm();
+                if (resp.ok) {
+                    if (fingerprintAll(resp.cts) == ref_mul)
+                        ++recovered;
+                    else
+                        ++chaos_silent;
+                } else if (resp.error_kind != serve::ErrorKind::None) {
+                    ++typed_failures;
+                } else {
+                    ++chaos_silent; // failed without a typed kind
+                }
+                if (fired == 0)
+                    break; // nth beyond this request's occurrences
+            }
+        }
+    }
+    chaosCheck(chaos_silent == 0, "zero silent corruptions (" +
+                                      std::to_string(recovered) +
+                                      " byte-identical recoveries, " +
+                                      std::to_string(typed_failures) +
+                                      " typed failures)");
+    chaosCheck(recovered > 0, "retry recovered at least one injected fault");
+    chaosCheck(chaosCounter("serve.retry") > 0, "serve.retry counted");
+    noStuckLeases(server, "after injected faults");
+
+    // --- phase 3: key-cache starvation -> graceful degradation ------------
+    std::cout << "phase 3: key-cache starvation and degradation\n";
+    const int rounds = quick ? 6 : 24;
+    bool rot_identical = true;
+    for (int r = 0; r < rounds; ++r) {
+        serve::Request rot;
+        rot.tenant = tenant;
+        rot.id = rid++;
+        rot.op = serve::Op::Rotate;
+        rot.steps = steps;
+        rot.cts = {base.ct_a};
+        rot.deadline_ms = 30'000;
+        const serve::Response resp =
+            server.submitFrame(serve::encodeRequest(rot)).get();
+        if (!resp.ok || fingerprintAll(resp.cts) != ref_rot)
+            rot_identical = false;
+    }
+    chaosCheck(rot_identical,
+               "every starved rotation succeeded byte-identically");
+    chaosCheck(chaosCounter("serve.degrade.stepdown") > 0,
+               "governor stepped down under memory pressure");
+    chaosCheck(chaosCounter("serve.keycache.proactive_evictions") > 0,
+               "governor proactively evicted unleased keys");
+    for (int r = 0; r < 8; ++r) { // pressure-free traffic restores
+        serve::Request put;
+        put.tenant = tenant;
+        put.id = rid++;
+        put.op = serve::Op::Put;
+        put.name = "chaos";
+        put.cts = {base.ct_a};
+        server.submit(std::move(put)).get();
+    }
+    bool restored = false;
+    for (int spin = 0; spin < 400 && !restored; ++spin) {
+        restored = server.governor().degradeLevel() == 0;
+        if (!restored)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    chaosCheck(restored, "degrade level restored to 0 after pressure");
+    noStuckLeases(server, "after starvation");
+
+    // --- phase 4: forced circuit-breaker trips ----------------------------
+    std::cout << "phase 4: forced breaker trips\n";
+    serve::ServerOptions b_opts;
+    b_opts.keycache_bytes = base.rlk.aBytes();
+    resilience::RetryPolicy no_retry; // failures must reach the breaker
+    no_retry.max_attempts = 1;
+    b_opts.retry = no_retry;
+    serve::GovernorOptions b_gov;
+    b_gov.breaker_threshold = 2;
+    b_gov.breaker_cooldown_ms = 50;
+    b_opts.governor = b_gov;
+    serve::Server brittle(base.ctx, b_opts);
+    serve::TenantKeys bkeys;
+    bkeys.pk = base.pk;
+    bkeys.rlk = base.rlk;
+    bkeys.gks = base.gks;
+    const u64 btenant = brittle.addTenant(std::move(bkeys));
+    auto brittleMul = [&] {
+        serve::Request m;
+        m.tenant = btenant;
+        m.id = rid++;
+        m.op = serve::Op::EvalMul;
+        m.cts = {base.ct_a, base.ct_b};
+        return brittle.submit(std::move(m)).get();
+    };
+    bool tripped_typed = true;
+    for (int i = 0; i < 2; ++i) {
+        faultinject::arm({"serve.evict", 0, faultinject::Kind::BitFlip, 5});
+        const serve::Response resp = brittleMul();
+        faultinject::disarm();
+        if (resp.ok ||
+            resp.error_kind != serve::ErrorKind::FaultDetected)
+            tripped_typed = false;
+    }
+    chaosCheck(tripped_typed, "corrupted expansions fail typed, not silent");
+    chaosCheck(brittle.governor().breakerTrips(btenant) == 1,
+               "two consecutive failures tripped the breaker");
+    {
+        const serve::Response resp = brittleMul();
+        chaosCheck(!resp.ok &&
+                       resp.error_kind == serve::ErrorKind::Overloaded,
+                   "open breaker sheds without executing");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    {
+        const serve::Response resp = brittleMul();
+        chaosCheck(resp.ok && fingerprintAll(resp.cts) == ref_mul,
+                   "half-open probe restored byte-identical service");
+    }
+    noStuckLeases(brittle, "after breaker trips");
+
+    std::cout << "\nserve-chaos: " << g_chaos_failures << " failures\n";
+    if (g_chaos_failures > 0) {
+        std::cerr << "FAIL: serve-chaos checks failed\n";
+        return 1;
+    }
+    std::cout << "OK: serving runtime survived the chaos campaign\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    bool quick = false, list = false;
+    bool quick = false, list = false, chaos = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
         else if (std::strcmp(argv[i], "--list") == 0)
             list = true;
+        else if (std::strcmp(argv[i], "serve-chaos") == 0)
+            chaos = true;
         else {
-            std::cerr << "usage: fault_campaign [--quick] [--list]\n";
+            std::cerr
+                << "usage: fault_campaign [--quick] [--list] [serve-chaos]\n";
             return 2;
         }
     }
@@ -172,6 +556,10 @@ main(int argc, char** argv)
     params.first_prime_bits = 45;
     params.num_levels = 5;
     params.dnum = 3;
+
+    if (chaos)
+        return runServeChaos(params, quick);
+
     Setup base(params, {1}, /*conj=*/false);
 
     std::vector<Workload> workloads;

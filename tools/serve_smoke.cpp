@@ -8,12 +8,22 @@
  *   - every request succeeds and the server never drops a frame,
  *   - the key cache stayed within its budget (peak counter),
  *   - the madfhe.telemetry.v1 JSON export carries the serving metrics
- *     (serve.latency_ns histogram, per-tenant request counters),
+ *     (serve.latency_ns / serve.deadline_remaining_ns histograms,
+ *     per-tenant request counters),
  *
- * then prints p50/p99 request latency and the key-cache counters.
+ * then prints p50/p99 request latency, p50/p99 deadline headroom, the
+ * key-cache counters, and the resilience counters (serve.shed,
+ * serve.retry, serve.breaker_open, serve.degrade_level).
  *
- * Usage: serve_smoke [--quick] [--tenants N] [--rounds N]
- *   --quick  CI mode: 4 tenants x 8 rounds (a few seconds)
+ * Every request carries a generous deadline so the deadline-propagation
+ * path and its headroom histogram are exercised end to end.
+ *
+ * Usage: serve_smoke [--quick] [--starve] [--tenants N] [--rounds N]
+ *   --quick   CI mode: 4 tenants x 8 rounds (a few seconds)
+ *   --starve  key cache holds ONE expanded key and every rotation pins
+ *             two: permanent overcommit. The run must still complete
+ *             every request via graceful degradation (stream-policy
+ *             step-down + proactive eviction), not fail.
  */
 #include <cstring>
 #include <iostream>
@@ -45,17 +55,20 @@ int
 main(int argc, char** argv)
 {
     size_t tenants = 4, rounds = 8;
+    bool starve = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             tenants = 4;
             rounds = 8;
+        } else if (std::strcmp(argv[i], "--starve") == 0) {
+            starve = true;
         } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
             tenants = static_cast<size_t>(std::atol(argv[++i]));
         } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
             rounds = static_cast<size_t>(std::atol(argv[++i]));
         } else {
-            std::cerr << "usage: serve_smoke [--quick] [--tenants N] "
-                         "[--rounds N]\n";
+            std::cerr << "usage: serve_smoke [--quick] [--starve] "
+                         "[--tenants N] [--rounds N]\n";
             return 2;
         }
     }
@@ -76,7 +89,11 @@ main(int argc, char** argv)
     {
         TenantClient& c = clients[0];
         c.sk = keygen.secretKey();
-        opts.keycache_bytes = (tenants + 1) * keygen.relinKey(c.sk).aBytes();
+        // Starvation mode: the cache holds one expanded key while every
+        // hoisted rotation pins two, so the governor must degrade (and
+        // keep serving) instead of the cache staying within budget.
+        const size_t key_bytes = keygen.relinKey(c.sk).aBytes();
+        opts.keycache_bytes = starve ? key_bytes : (tenants + 1) * key_bytes;
     }
     serve::Server server(ctx, opts);
     for (size_t i = 0; i < tenants; ++i) {
@@ -123,11 +140,13 @@ main(int argc, char** argv)
             auto direct = [&](serve::Request req) {
                 req.tenant = c.id;
                 req.id = rid++;
+                req.deadline_ms = 30'000; // generous: propagation only
                 return check(server.submit(std::move(req)).get());
             };
             auto viaTcp = [&](serve::Request req) {
                 req.tenant = c.id;
                 req.id = rid++;
+                req.deadline_ms = 30'000;
                 return check(serve::decodeResponse(
                     serve::tcpRequest("127.0.0.1", tcp.port(),
                                       serve::encodeRequest(req)),
@@ -158,7 +177,10 @@ main(int argc, char** argv)
 
                 serve::Request rot;
                 rot.op = serve::Op::Rotate;
-                rot.steps = {static_cast<int>(1 + (r % 2))};
+                if (starve) // hoisted pair: pins both Galois keys at once
+                    rot.steps = {1, 2};
+                else
+                    rot.steps = {static_cast<int>(1 + (r % 2))};
                 rot.cts = {c.ct};
                 direct(std::move(rot));
             }
@@ -176,7 +198,21 @@ main(int argc, char** argv)
                   << " requests failed\n";
         rc = 1;
     }
-    if (cache.peak_bytes > cache.budget_bytes || cache.overcommits != 0) {
+    if (starve) {
+        // Permanent overcommit is the *point*; what must hold is that
+        // the governor visibly degraded and every request completed.
+        if (cache.overcommits == 0) {
+            std::cerr << "FAIL: --starve never overcommitted the cache — "
+                         "the run is not exercising degradation\n";
+            rc = 1;
+        }
+        if (telemetry::counter("serve.degrade.stepdown").value() == 0) {
+            std::cerr << "FAIL: --starve never stepped the degrade level "
+                         "down\n";
+            rc = 1;
+        }
+    } else if (cache.peak_bytes > cache.budget_bytes ||
+               cache.overcommits != 0) {
         std::cerr << "FAIL: key cache exceeded its budget (peak "
                   << cache.peak_bytes << " > " << cache.budget_bytes << ", "
                   << cache.overcommits << " overcommits)\n";
@@ -192,6 +228,7 @@ main(int argc, char** argv)
     const std::string json = telemetry::toJson(snap);
     if (json.find("madfhe.telemetry.v1") == std::string::npos ||
         json.find("serve.latency_ns") == std::string::npos ||
+        json.find("serve.deadline_remaining_ns") == std::string::npos ||
         json.find("serve.tenant.1.requests") == std::string::npos) {
         std::cerr << "FAIL: telemetry JSON export is missing serving "
                      "metrics\n";
@@ -210,12 +247,33 @@ main(int argc, char** argv)
 
     // --- report -----------------------------------------------------------
     for (const auto& row : snap.histograms) {
-        if (row.name != "serve.latency_ns")
-            continue;
-        std::cout << "latency: p50 <= " << row.stats.quantileBound(0.5) / 1000
-                  << " us, p99 <= " << row.stats.quantileBound(0.99) / 1000
-                  << " us over " << row.stats.count << " requests\n";
+        if (row.name == "serve.latency_ns") {
+            std::cout << "latency: p50 <= "
+                      << row.stats.quantileBound(0.5) / 1000 << " us, p99 <= "
+                      << row.stats.quantileBound(0.99) / 1000 << " us over "
+                      << row.stats.count << " requests\n";
+        } else if (row.name == "serve.deadline_remaining_ns") {
+            // Headroom at execution start: how close requests came to
+            // their deadline before the evaluator even ran.
+            std::cout << "deadline headroom: p50 <= "
+                      << row.stats.quantileBound(0.5) / 1'000'000
+                      << " ms, p99 <= "
+                      << row.stats.quantileBound(0.99) / 1'000'000
+                      << " ms over " << row.stats.count << " requests\n";
+        }
     }
+    std::cout << "resilience: shed "
+              << telemetry::counter("serve.shed").value() << ", retries "
+              << telemetry::counter("serve.retry").value()
+              << ", breaker rejections "
+              << telemetry::counter("serve.breaker_open").value()
+              << ", degrade stepdowns "
+              << telemetry::counter("serve.degrade.stepdown").value()
+              << ", restores "
+              << telemetry::counter("serve.degrade.restore").value() << "\n";
+    for (const auto& row : snap.gauges)
+        if (row.name == "serve.degrade_level")
+            std::cout << "degrade level at exit: " << row.value << "\n";
     std::cout << "key cache: budget " << cache.budget_bytes << " B, peak "
               << cache.peak_bytes << " B, " << cache.hits << " hits, "
               << cache.misses << " misses, " << cache.evictions
