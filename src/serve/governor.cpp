@@ -40,16 +40,14 @@ OverloadGovernor::tenantState(u64 tenant)
 }
 
 std::optional<OverloadGovernor::Rejection>
-OverloadGovernor::checkAdmission(u64 tenant, u64 now_ns)
+OverloadGovernor::admit(u64 tenant, u64 now_ns, bool& global_full)
 {
+    global_full = false;
     std::lock_guard<std::mutex> lock(mu);
     TenantState& ts = tenantState(tenant);
-    if (!ts.breaker.allow(now_ns)) {
-        TELEM_COUNT("serve.breaker_open", 1);
-        return Rejection{ErrorKind::Overloaded,
-                         "circuit breaker open for tenant " +
-                             std::to_string(tenant)};
-    }
+    // Depth before breaker: allow() consumes the one half-open probe
+    // slot, so it must be the last check that can still reject — a
+    // depth rejection after a consumed probe would leak the slot.
     if (opts.tenant_queue_depth != 0 &&
         ts.inflight >= opts.tenant_queue_depth) {
         TELEM_COUNT("serve.shed", 1);
@@ -58,26 +56,24 @@ OverloadGovernor::checkAdmission(u64 tenant, u64 now_ns)
                              std::to_string(opts.tenant_queue_depth) +
                              " in flight)"};
     }
-    return std::nullopt;
-}
-
-bool
-OverloadGovernor::globalFull() const
-{
-    return opts.queue_depth != 0 &&
-           inflight_global.load(std::memory_order_relaxed) >=
-               opts.queue_depth;
-}
-
-void
-OverloadGovernor::onAdmit(u64 tenant)
-{
+    if (!ts.breaker.allow(now_ns)) {
+        TELEM_COUNT("serve.breaker_open", 1);
+        return Rejection{ErrorKind::Overloaded,
+                         "circuit breaker open for tenant " +
+                             std::to_string(tenant)};
+    }
+    // Reserve the slot under the same lock as the checks (all admitters
+    // serialize on mu; onFinish only ever decrements), making the caps
+    // hard bounds instead of check-then-act races.
+    global_full = opts.queue_depth != 0 &&
+                  inflight_global.load(std::memory_order_relaxed) >=
+                      opts.queue_depth;
+    ++ts.inflight;
     inflight_global.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu);
-    ++tenantState(tenant).inflight;
     TELEM_GAUGE_SET("serve.inflight",
                     static_cast<i64>(
                         inflight_global.load(std::memory_order_relaxed)));
+    return std::nullopt;
 }
 
 void
@@ -91,12 +87,16 @@ OverloadGovernor::onFinish(u64 tenant, bool ok, ErrorKind kind, bool executed,
         --ts.inflight;
     // Only executed requests move the breaker: a shed or expired
     // request says nothing about the tenant's health, and a UserError
-    // is the client's fault, not the service's.
+    // is the client's fault, not the service's. A non-executed request
+    // still reports in so a half-open probe slot it was holding is
+    // handed back instead of leaking (permanent tenant lockout).
     if (executed) {
         if (ok)
             ts.breaker.onSuccess();
         else if (kind != ErrorKind::User)
             ts.breaker.onFailure(now_ns);
+    } else {
+        ts.breaker.onAbandoned(now_ns);
     }
 }
 
@@ -144,8 +144,19 @@ OverloadGovernor::observeCachePressure(KeyCache& cache)
             }
         }
     }
-    if (evict)
-        cache.evictUnpinned();
+    if (evict) {
+        // The sweep crosses the serve.evict fault site, so an injected
+        // fault (allocfail/taskthrow) can unwind out of it. This runs
+        // on the dispatcher thread — an escaping exception would
+        // std::terminate the server — and the guard fires before any
+        // accounting changes, so the cache is still consistent: count
+        // the fault and move on; the next pressured batch re-sweeps.
+        try {
+            cache.evictUnpinned();
+        } catch (...) {
+            TELEM_COUNT("serve.degrade.evict_fault", 1);
+        }
+    }
 }
 
 void

@@ -79,17 +79,23 @@ class OverloadGovernor
 
     // --- admission --------------------------------------------------------
 
-    /** Breaker + per-tenant depth check. nullopt admits; a global-queue
-     *  overflow is reported separately (globalFull) so the server can
-     *  shed the oldest-deadline queued request instead. */
-    std::optional<Rejection> checkAdmission(u64 tenant, u64 now_ns);
+    /**
+     * Breaker + per-tenant depth check, and — on admission — the
+     * in-flight slot reservation, all under one lock, so the depth caps
+     * are hard bounds however many submits race. nullopt admits and
+     * MUST be paired with exactly one onFinish (that releases the
+     * slot), even if the caller then rejects the request itself.
+     * `global_full` reports that the global queue was already at
+     * MADFHE_QUEUE_DEPTH: the caller should shed the oldest-deadline
+     * queued request, or release this admission if nothing is sheddable.
+     */
+    std::optional<Rejection> admit(u64 tenant, u64 now_ns,
+                                   bool& global_full);
 
-    bool globalFull() const;
-
-    /** Bracket every admitted request. */
-    void onAdmit(u64 tenant);
-    /** `executed` is false for shed/expired requests that never ran —
-     *  those outcomes must not move the tenant's breaker. */
+    /** Release one admitted slot and feed the breaker. `executed` is
+     *  false for shed/expired requests that never ran — those outcomes
+     *  must not move the tenant's breaker, except to hand back a
+     *  half-open probe slot the request was holding. */
     void onFinish(u64 tenant, bool ok, ErrorKind kind, bool executed,
                   u64 now_ns);
     /** Drop a tenant's breaker/depth state with its session. */

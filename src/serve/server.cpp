@@ -212,10 +212,13 @@ Server::submit(Request req)
         ddl_ms != 0 ? resilience::Deadline::afterMs(ddl_ms, now)
                     : resilience::Deadline();
 
-    if (auto rej = governor_.checkAdmission(tenant, now))
+    // admit() reserves the in-flight slot atomically with its checks;
+    // every path below must release it through exactly one onFinish.
+    bool global_full = false;
+    if (auto rej = governor_.admit(tenant, now, global_full))
         return rejectedFuture(req.id, rej->kind, std::move(rej->message));
 
-    if (governor_.globalFull()) {
+    if (global_full) {
         // Shed the queued request most likely to miss its deadline
         // anyway; if nothing queued expires sooner than the incoming
         // request would, the incoming request is the right victim.
@@ -223,6 +226,9 @@ Server::submit(Request req)
             batcher.shedEarliestDeadline(deadline.absNs());
         if (!victim) {
             TELEM_COUNT("serve.shed", 1);
+            governor_.onFinish(tenant, false, ErrorKind::Overloaded,
+                               /*executed=*/false,
+                               resilience::monotonicNs());
             return rejectedFuture(
                 req.id, ErrorKind::Overloaded,
                 "server queue full (" +
@@ -241,7 +247,6 @@ Server::submit(Request req)
         std::lock_guard<std::mutex> lock(drain_mu);
         ++submitted;
     }
-    governor_.onAdmit(tenant);
     try {
         batcher.push(std::move(p));
     } catch (...) {

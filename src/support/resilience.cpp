@@ -72,9 +72,16 @@ CircuitBreaker::allow(u64 now_ns)
         if (now_ns < open_until_ns_)
             return false;
         state_ = State::HalfOpen;
-        probe_inflight_ = true;
+        probe_deadline_ns_ = now_ns + cfg_.cooldown_ns;
         return true;
     case State::HalfOpen:
+        if (now_ns >= probe_deadline_ns_) {
+            // The outstanding probe never reported back (e.g. it died
+            // on a path that skipped the outcome hooks). Lend the slot
+            // out again rather than locking the client out forever.
+            probe_deadline_ns_ = now_ns + cfg_.cooldown_ns;
+            return true;
+        }
         return false; // one probe at a time
     }
     return true;
@@ -86,8 +93,9 @@ CircuitBreaker::onSuccess()
     if (cfg_.threshold == 0)
         return;
     std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::Open)
+        return; // straggler admitted before the trip; mirror onFailure
     consecutive_failures_ = 0;
-    probe_inflight_ = false;
     state_ = State::Closed;
 }
 
@@ -99,7 +107,6 @@ CircuitBreaker::onFailure(u64 now_ns)
     std::lock_guard<std::mutex> lock(mu_);
     if (state_ == State::HalfOpen) {
         // Failed probe: straight back to Open for another cooldown.
-        probe_inflight_ = false;
         state_ = State::Open;
         open_until_ns_ = now_ns + cfg_.cooldown_ns;
         return;
@@ -111,6 +118,22 @@ CircuitBreaker::onFailure(u64 now_ns)
         open_until_ns_ = now_ns + cfg_.cooldown_ns;
         ++trips_;
     }
+}
+
+void
+CircuitBreaker::onAbandoned(u64 now_ns)
+{
+    if (cfg_.threshold == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::HalfOpen)
+        return; // shed/expired traffic carries no health signal
+    // The request holding the probe slot resolved without executing, so
+    // the probe will never report. Take the slot back and re-open for a
+    // fresh cooldown; a pre-trip straggler landing here merely delays
+    // the next probe by one cooldown, it can never wedge the breaker.
+    state_ = State::Open;
+    open_until_ns_ = now_ns + cfg_.cooldown_ns;
 }
 
 CircuitBreaker::State

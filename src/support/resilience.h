@@ -43,12 +43,20 @@ class Deadline
   public:
     Deadline() = default;
 
-    /** Deadline `ms` milliseconds after `t0_ns` (monotonic). */
+    /** Deadline `ms` milliseconds after `t0_ns` (monotonic). `ms` comes
+     *  off the wire, so it is clamped: an unchecked multiply would wrap
+     *  a huge "deadline" into an already-expired one (or land exactly on
+     *  the inactive sentinel and silently disable enforcement). */
     static Deadline
     afterMs(u64 ms, u64 t0_ns)
     {
         Deadline d;
-        d.abs_ns_ = t0_ns + ms * 1'000'000ULL;
+        constexpr u64 kMaxNs = kNone - 1; // largest active expiry
+        const u64 budget_ns = ms <= kMaxNs / 1'000'000ULL
+                                  ? ms * 1'000'000ULL
+                                  : kMaxNs;
+        d.abs_ns_ =
+            t0_ns <= kMaxNs - budget_ns ? t0_ns + budget_ns : kMaxNs;
         return d;
     }
 
@@ -131,6 +139,13 @@ struct RetryPolicy
  * Closed on success / Open again on failure. All transitions take the
  * caller's monotonic timestamp so tests drive exact schedules.
  *
+ * The half-open probe slot can never leak: if the probe resolves
+ * without executing (shed under overload, deadline-expired before
+ * dispatch) the caller reports it via onAbandoned() and the breaker
+ * returns to Open for another cooldown; and even an entirely
+ * unreported probe only blocks HalfOpen for one cooldown, after which
+ * allow() lends the slot out again.
+ *
  * A threshold of 0 disables the breaker entirely (allow() is always
  * true), which is the default: breaking is a serving policy the
  * OverloadGovernor opts into per deployment.
@@ -161,9 +176,16 @@ class CircuitBreaker
      */
     bool allow(u64 now_ns);
 
-    /** Report the outcome of an admitted request. */
+    /** Report the outcome of an admitted request. Successes are ignored
+     *  while Open (a straggler admitted before the trip must not defeat
+     *  the cooldown); failures likewise only count from Closed/HalfOpen. */
     void onSuccess();
     void onFailure(u64 now_ns);
+    /** Report an admitted request that resolved without executing (shed,
+     *  deadline-expired). No health signal either way — but if it was
+     *  holding the half-open probe slot, the breaker takes the slot back
+     *  and re-opens for another cooldown instead of waiting forever. */
+    void onAbandoned(u64 now_ns);
 
     State state(u64 now_ns) const;
     /** Closed -> Open transitions so far. */
@@ -174,8 +196,8 @@ class CircuitBreaker
     mutable std::mutex mu_;
     State state_ = State::Closed;
     u32 consecutive_failures_ = 0;
-    bool probe_inflight_ = false;
     u64 open_until_ns_ = 0;
+    u64 probe_deadline_ns_ = 0; ///< HalfOpen re-arms past this point
     u64 trips_ = 0;
 };
 

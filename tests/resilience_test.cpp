@@ -46,6 +46,25 @@ TEST(DeadlineTest, ExpiryAndRemainingAreExact)
     EXPECT_EQ(d.remainingNsAt(t0 + 6'000'000), 0u);
 }
 
+TEST(DeadlineTest, AfterMsClampsHostileBudgets)
+{
+    // deadline_ms comes off the wire: a huge value must saturate, not
+    // wrap to already-expired or land on the inactive sentinel.
+    const Deadline wrap = Deadline::afterMs(~u64{0}, 1'000);
+    EXPECT_TRUE(wrap.active());
+    EXPECT_EQ(wrap.absNs(), ~u64{0} - 1); // saturated, not wrapped
+    EXPECT_FALSE(wrap.expiredAt(~u64{0} - 2));
+
+    // t0 + ms*1e6 == 2^64-1 exactly: one below the unclamped sum would
+    // be the inactive sentinel; the clamp keeps it active and maximal.
+    const Deadline pin = Deadline::afterMs(18'446'744'073'709ULL, 551'615);
+    EXPECT_TRUE(pin.active());
+    EXPECT_EQ(pin.absNs(), ~u64{0} - 1);
+
+    // Sane budgets are untouched.
+    EXPECT_EQ(Deadline::afterMs(5, 1'000).absNs(), 5'001'000u);
+}
+
 TEST(DeadlineTest, AtConstructsAbsolute)
 {
     const Deadline d = Deadline::at(42);
@@ -226,6 +245,76 @@ TEST(CircuitBreakerTest, FailedProbeReopens)
     b.onSuccess();
     EXPECT_TRUE(b.allow(2'001));
     EXPECT_EQ(b.trips(), 1u); // reopen from HalfOpen is not a new trip
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeReopensInsteadOfLockingOut)
+{
+    // Regression: a probe admitted in HalfOpen and then resolved
+    // without executing (shed under overload, deadline-expired at
+    // dispatch) used to leak the probe slot, rejecting the tenant
+    // forever. onAbandoned must hand the slot back.
+    CircuitBreaker::Config cfg;
+    cfg.threshold = 1;
+    cfg.cooldown_ns = 1'000;
+    CircuitBreaker b(cfg);
+
+    b.allow(0);
+    b.onFailure(0);              // trips
+    EXPECT_TRUE(b.allow(1'000)); // probe admitted
+    b.onAbandoned(1'100);        // probe shed before executing
+    EXPECT_EQ(b.state(1'100), CircuitBreaker::State::Open);
+    EXPECT_FALSE(b.allow(1'500)); // fresh cooldown in force
+    EXPECT_TRUE(b.allow(2'100));  // cooldown elapsed: fresh probe
+    b.onSuccess();
+    EXPECT_TRUE(b.allow(2'101));
+    EXPECT_EQ(b.state(2'101), CircuitBreaker::State::Closed);
+
+    // Abandonment outside HalfOpen is a no-op (shed traffic of a
+    // healthy tenant must not open its breaker).
+    b.onAbandoned(3'000);
+    EXPECT_EQ(b.state(3'000), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreakerTest, UnreportedProbeTimesOutAndReadmits)
+{
+    // Even if the probe outcome is never reported at all, HalfOpen is
+    // time-bounded: after another cooldown allow() lends the slot out
+    // again instead of rejecting forever.
+    CircuitBreaker::Config cfg;
+    cfg.threshold = 1;
+    cfg.cooldown_ns = 1'000;
+    CircuitBreaker b(cfg);
+
+    b.allow(0);
+    b.onFailure(0);
+    EXPECT_TRUE(b.allow(1'000));  // probe admitted, then vanishes
+    EXPECT_FALSE(b.allow(1'999)); // within the probe window: one at a time
+    EXPECT_TRUE(b.allow(2'000));  // window elapsed: fresh probe
+    EXPECT_FALSE(b.allow(2'500)); // the new window re-armed
+    b.onSuccess();
+    EXPECT_TRUE(b.allow(2'501));
+}
+
+TEST(CircuitBreakerTest, OpenIgnoresStragglerSuccess)
+{
+    // Regression: a slow success from a request admitted before the
+    // trip used to close an Open breaker immediately, bypassing the
+    // cooldown (onFailure already ignored Open-state stragglers).
+    CircuitBreaker::Config cfg;
+    cfg.threshold = 1;
+    cfg.cooldown_ns = 1'000;
+    CircuitBreaker b(cfg);
+
+    b.allow(10);
+    b.allow(10);    // two admitted while Closed
+    b.onFailure(10); // first one fails: trips
+    EXPECT_EQ(b.state(11), CircuitBreaker::State::Open);
+    b.onSuccess(); // straggler success from the second
+    EXPECT_EQ(b.state(11), CircuitBreaker::State::Open);
+    EXPECT_FALSE(b.allow(500));  // cooldown still in force
+    EXPECT_TRUE(b.allow(1'010)); // probe only after the cooldown
+    b.onSuccess();               // the probe's success does close it
+    EXPECT_EQ(b.state(1'011), CircuitBreaker::State::Closed);
 }
 
 } // namespace

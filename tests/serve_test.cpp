@@ -822,6 +822,111 @@ TEST_F(ServeTest, CircuitBreakerTripsAndRecoversViaHalfOpenProbe)
     integrity::setEnabled(was_on);
 }
 
+TEST(OverloadGovernorTest, AdmitReservesSlotAtomically)
+{
+    // admit() must check and reserve under one lock: the caps are hard
+    // bounds, and every admission (even one the caller then rejects for
+    // a full global queue) pairs with exactly one onFinish.
+    GovernorOptions gov;
+    gov.queue_depth = 2;
+    gov.tenant_queue_depth = 2;
+    OverloadGovernor g(gov);
+
+    bool full = true;
+    EXPECT_FALSE(g.admit(1, 0, full).has_value());
+    EXPECT_FALSE(full);
+    EXPECT_FALSE(g.admit(2, 0, full).has_value());
+    EXPECT_FALSE(full);
+    EXPECT_EQ(g.inflight(), 2u);
+
+    // Global queue at depth: still admitted (the caller sheds a queued
+    // victim or releases), but flagged.
+    EXPECT_FALSE(g.admit(2, 0, full).has_value());
+    EXPECT_TRUE(full);
+    EXPECT_EQ(g.inflight(), 3u);
+    // Nothing sheddable: the caller releases the reservation.
+    g.onFinish(2, false, ErrorKind::Overloaded, /*executed=*/false, 0);
+    EXPECT_EQ(g.inflight(), 2u);
+
+    // Tenant cap is checked against the reserved count, so a third
+    // same-tenant admit rejects outright (nothing to release).
+    EXPECT_FALSE(g.admit(2, 0, full).has_value());
+    EXPECT_TRUE(g.admit(2, 0, full).has_value());
+    EXPECT_EQ(g.inflight(), 3u);
+}
+
+TEST(OverloadGovernorTest, ShedProbeReturnsToCooldownNotLockout)
+{
+    // Regression: a half-open probe that was admitted and then resolved
+    // without executing (shed / deadline-expired) used to leak the
+    // probe slot — no request of that tenant was ever admitted again.
+    constexpr u64 kCooldownNs = 1'000'000; // = 1 ms, the config unit
+    GovernorOptions gov;
+    gov.breaker_threshold = 1;
+    gov.breaker_cooldown_ms = 1;
+    OverloadGovernor g(gov);
+
+    bool full = false;
+    ASSERT_FALSE(g.admit(7, 0, full).has_value());
+    g.onFinish(7, false, ErrorKind::FaultDetected, /*executed=*/true, 0);
+    EXPECT_EQ(g.breakerTrips(7), 1u);
+    EXPECT_TRUE(g.admit(7, 10, full).has_value()); // Open: rejected
+
+    // Cooldown elapses; the probe is admitted, then shed before it runs.
+    ASSERT_FALSE(g.admit(7, kCooldownNs, full).has_value());
+    g.onFinish(7, false, ErrorKind::Overloaded, /*executed=*/false,
+               kCooldownNs + 100);
+
+    // The slot came back: Open again, and one more cooldown later a
+    // fresh probe is admitted and can close the breaker.
+    EXPECT_TRUE(g.admit(7, kCooldownNs + 200, full).has_value());
+    ASSERT_FALSE(g.admit(7, 2 * kCooldownNs + 100, full).has_value());
+    g.onFinish(7, true, ErrorKind::None, /*executed=*/true,
+               2 * kCooldownNs + 200);
+    EXPECT_FALSE(g.admit(7, 2 * kCooldownNs + 300, full).has_value());
+}
+
+TEST_F(ServeTest, ProactiveEvictionFaultIsContainedByGovernor)
+{
+    // Regression: an injected serve.evict fault during the governor's
+    // proactive eviction sweep used to unwind into the dispatcher
+    // thread and std::terminate the server. observeCachePressure must
+    // contain it (the cache stays consistent — the guard fires before
+    // any accounting changes) and count it.
+    KeyGenerator keygen(ctx);
+    const SecretKey sk = keygen.secretKey();
+    SwitchingKey k1 = keygen.galoisKey(sk, ctx->ring()->galoisElt(1));
+    SwitchingKey k2 = keygen.galoisKey(sk, ctx->ring()->galoisElt(2));
+
+    KeyCache cache(ctx, k1.aBytes()); // room for one expanded key
+    const auto id1 = cache.insert(1, "k1", &k1);
+    const auto id2 = cache.insert(1, "k2", &k2);
+
+    OverloadGovernor g(GovernorOptions{});
+    {
+        // Pin both: the second acquire overcommits (counted, not failed).
+        auto l1 = cache.acquire(id1);
+        auto l2 = cache.acquire(id2);
+    }
+    ASSERT_GT(cache.stats().overcommits, 0u);
+
+    faultinject::Spec spec;
+    spec.site = "serve.evict";
+    spec.nth = 0;
+    spec.kind = faultinject::Kind::TaskThrow;
+    faultinject::arm(spec);
+    EXPECT_NO_THROW(g.observeCachePressure(cache));
+    faultinject::disarm();
+
+    EXPECT_EQ(g.degradeLevel(), 1);
+    EXPECT_GT(telemetry::counter("serve.degrade.evict_fault").value(), 0u);
+    // The faulted sweep left the cache consistent; a clean sweep works.
+    const KeyCache::Stats mid = cache.stats();
+    EXPECT_EQ(mid.resident_bytes, 2 * k1.aBytes());
+    EXPECT_EQ(cache.evictUnpinned(), 2 * k1.aBytes());
+    EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
 TEST_F(ServeTest, BatcherShedsEarliestDeadlineOnly)
 {
     Batcher b(ctx->maxLevel(), 4);
