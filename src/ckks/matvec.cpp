@@ -59,6 +59,18 @@ LinearTransform::requiredRotations() const
     return steps;
 }
 
+double
+LinearTransform::maxDiagonalMagnitude() const
+{
+    double mag = 0.0;
+    for (const auto& [d, v] : diags) {
+        (void)d;
+        for (const std::complex<double>& c : v)
+            mag = std::max(mag, std::abs(c));
+    }
+    return mag;
+}
+
 std::vector<std::complex<double>>
 LinearTransform::applyPlain(const std::vector<std::complex<double>>& x) const
 {

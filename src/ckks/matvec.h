@@ -57,6 +57,11 @@ class LinearTransform
 
     const MatVecOptions& options() const { return opts; }
     size_t numDiagonals() const { return diags.size(); }
+    /** Plaintext encoding scale apply() uses (the virtual backend mirrors
+     *  the resulting output scale: in.scale * ptScale() / q_top). */
+    double ptScale() const { return pt_scale; }
+    /** Largest |diagonal entry| — the pt_mag bound noise tracking needs. */
+    double maxDiagonalMagnitude() const;
 
   private:
     Ciphertext applyNaive(const Evaluator& eval, const CkksEncoder& encoder,

@@ -28,6 +28,18 @@ CkksParams::unitTest()
 }
 
 CkksParams
+CkksParams::loadTest()
+{
+    CkksParams p;
+    p.log_n = 8;
+    p.log_scale = 35;
+    p.first_prime_bits = 45;
+    p.num_levels = 3;
+    p.dnum = 2;
+    return p;
+}
+
+CkksParams
 CkksParams::medium()
 {
     CkksParams p;

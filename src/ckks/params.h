@@ -51,6 +51,11 @@ struct CkksParams
 
     /** Small parameter set for fast unit tests (N = 2^10, 4 levels). */
     static CkksParams unitTest();
+    /** Tiny set for thousand-tenant load harnesses (N = 2^8, 3 levels):
+     *  small enough that per-tenant key material stays ~100 KB, wide
+     *  enough (q0 = 45 bits, 35-bit scale primes) for the virtual
+     *  backend's in-ciphertext payload packing. */
+    static CkksParams loadTest();
     /** Mid-size set exercising deeper circuits (N = 2^12, 8 levels). */
     static CkksParams medium();
     /** Bootstrapping-capable toy set (N = 2^12, deep chain, sparse key). */

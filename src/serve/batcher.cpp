@@ -20,6 +20,7 @@ batchKeyFor(const Request& req, size_t max_level)
     case Op::EvalMul:
     case Op::Rotate:
     case Op::MatVec:
+    case Op::Bootstrap:
         key.coalescable = true;
         break;
     case Op::Put:

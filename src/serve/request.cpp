@@ -30,6 +30,8 @@ opName(Op op)
         return "MatVec";
     case Op::DecryptShare:
         return "DecryptShare";
+    case Op::Bootstrap:
+        return "Bootstrap";
     }
     return "?";
 }
@@ -261,7 +263,7 @@ decodeRequest(const std::string& frame,
     req.id = r.u64v();
     req.deadline_ms = r.u64v();
     const u64 op = r.u64v();
-    FRAME_CHECK(op <= static_cast<u64>(Op::DecryptShare),
+    FRAME_CHECK(op <= static_cast<u64>(Op::Bootstrap),
                 "unknown op in request frame");
     req.op = static_cast<Op>(op);
     req.name = r.str(kMaxNameLen, "name");

@@ -33,6 +33,7 @@ enum class Op : u8
     Rotate = 5,       ///< rotate cts[0] by each step (hoisted when >1)
     MatVec = 6,       ///< apply server transform `name` to cts[0]
     DecryptShare = 7, ///< decrypt cts[0] with the tenant demo key
+    Bootstrap = 8,    ///< refresh cts[0] to max level (virtual backend)
 };
 
 const char* opName(Op op);

@@ -8,6 +8,7 @@
 #include "support/env.h"
 #include "support/faultinject.h"
 #include "support/threadpool.h"
+#include "virtual/backend.h"
 
 namespace madfhe {
 namespace serve {
@@ -70,8 +71,8 @@ class SpanRebase
 
 Server::Server(std::shared_ptr<const CkksContext> ctx_, ServerOptions options)
     : ctx(std::move(ctx_)),
-      encoder(ctx),
-      eval(ctx),
+      backend_(vbackend::makeEvalBackend(
+          options.backend ? *options.backend : backendKindFromEnv(), ctx)),
       cache(ctx, options.keycache_bytes ? *options.keycache_bytes
                                         : KeyCache::budgetFromEnv()),
       batcher(ctx->maxLevel(), options.max_batch.value_or(0)),
@@ -548,11 +549,9 @@ Server::executeOne(Session& session, const Request& req)
     case Op::Encrypt: {
         MAD_REQUIRE(req.values.size() <= ctx->slots(),
                     "Encrypt: more values than slots");
-        const Plaintext pt =
-            encoder.encodeReal(req.values, ctx->scale(), ctx->maxLevel());
-        Encryptor enc(ctx, session.publicKey(),
-                      encryptionSeedFor(req.tenant, req.id));
-        resp.cts.push_back(enc.encrypt(pt));
+        resp.cts.push_back(
+            backend_->encryptReal(session.publicKey(), req.values,
+                                  encryptionSeedFor(req.tenant, req.id)));
         break;
     }
 
@@ -563,11 +562,11 @@ Server::executeOne(Session& session, const Request& req)
             std::optional<Ciphertext> stored = session.get(req.name);
             MAD_REQUIRE(stored.has_value(),
                         "EvalAdd: nothing stored under '" + req.name + "'");
-            resp.cts.push_back(eval.addAligned(*stored, req.cts[0]));
+            resp.cts.push_back(backend_->addAligned(*stored, req.cts[0]));
         } else {
             MAD_REQUIRE(req.cts.size() == 2,
                         "EvalAdd: expected 2 ciphertexts");
-            resp.cts.push_back(eval.addAligned(req.cts[0], req.cts[1]));
+            resp.cts.push_back(backend_->addAligned(req.cts[0], req.cts[1]));
         }
         break;
     }
@@ -575,7 +574,7 @@ Server::executeOne(Session& session, const Request& req)
     case Op::EvalMul:
         MAD_REQUIRE(req.cts.size() == 2, "EvalMul: expected 2 ciphertexts");
         resp.cts.push_back(
-            eval.mul(req.cts[0], req.cts[1], session.relinKey()));
+            backend_->mul(req.cts[0], req.cts[1], session.relinKey()));
         break;
 
     case Op::Rotate: {
@@ -585,11 +584,11 @@ Server::executeOne(Session& session, const Request& req)
             resp.cts.push_back(
                 req.steps[0] == 0
                     ? req.cts[0]
-                    : eval.rotate(req.cts[0], req.steps[0],
-                                  session.galoisKeys()));
+                    : backend_->rotate(req.cts[0], req.steps[0],
+                                       session.galoisKeys()));
         } else {
-            resp.cts = eval.rotateHoisted(req.cts[0], req.steps,
-                                          session.galoisKeys());
+            resp.cts = backend_->rotateHoisted(req.cts[0], req.steps,
+                                               session.galoisKeys());
         }
         break;
     }
@@ -607,7 +606,7 @@ Server::executeOne(Session& session, const Request& req)
             t = &it->second;
         }
         resp.cts.push_back(
-            t->apply(eval, encoder, req.cts[0], session.galoisKeys()));
+            backend_->matVec(*t, req.cts[0], session.galoisKeys()));
         break;
     }
 
@@ -616,14 +615,15 @@ Server::executeOne(Session& session, const Request& req)
                     "DecryptShare: expected 1 ciphertext");
         MAD_REQUIRE(session.secretKey().has_value(),
                     "DecryptShare: tenant registered no demo secret key");
-        Decryptor dec(ctx, *session.secretKey());
-        const Plaintext pt = dec.decrypt(req.cts[0]);
-        const std::vector<std::complex<double>> slots = encoder.decode(pt);
-        resp.values.reserve(slots.size());
-        for (const std::complex<double>& s : slots)
-            resp.values.push_back(s.real());
+        resp.values =
+            backend_->decryptReal(*session.secretKey(), req.cts[0]);
         break;
     }
+
+    case Op::Bootstrap:
+        MAD_REQUIRE(req.cts.size() == 1, "Bootstrap: expected 1 ciphertext");
+        resp.cts.push_back(backend_->bootstrap(req.cts[0]));
+        break;
     }
     resp.ok = true;
     return resp;

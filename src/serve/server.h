@@ -45,6 +45,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "ckks/backend.h"
 #include "ckks/matvec.h"
 #include "serve/batcher.h"
 #include "serve/governor.h"
@@ -70,6 +71,10 @@ struct ServerOptions
      *  MADFHE_QUEUE_DEPTH / MADFHE_TENANT_QUEUE_DEPTH / MADFHE_BREAKER
      *  knobs. */
     std::optional<GovernorOptions> governor;
+    /** Evaluation backend; nullopt reads MADFHE_BACKEND (default real).
+     *  The virtual backend serves the same op surface on plaintext
+     *  carriers with SimFHE-predicted cost accounting (tools/loadgen). */
+    std::optional<BackendKind> backend;
 };
 
 class Server
@@ -112,6 +117,9 @@ class Server
 
     KeyCache::Stats keyCacheStats() const { return cache.stats(); }
 
+    /** The evaluation backend requests execute on (real or virtual). */
+    const EvalBackend& backend() const { return *backend_; }
+
     /** Admission/degradation state — for tests and telemetry export. */
     OverloadGovernor& governor() { return governor_; }
     const OverloadGovernor& governor() const { return governor_; }
@@ -145,8 +153,7 @@ class Server
     std::shared_ptr<Session> sessionFor(u64 tenant) const;
 
     std::shared_ptr<const CkksContext> ctx;
-    CkksEncoder encoder;
-    Evaluator eval;
+    std::unique_ptr<EvalBackend> backend_;
     KeyCache cache;
     Batcher batcher;
     OverloadGovernor governor_;

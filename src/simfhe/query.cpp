@@ -1,0 +1,107 @@
+#include "simfhe/query.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace madfhe {
+namespace simfhe {
+
+const char*
+primOpName(PrimOp op)
+{
+    switch (op) {
+    case PrimOp::PtAdd:
+        return "PtAdd";
+    case PrimOp::Add:
+        return "Add";
+    case PrimOp::PtMult:
+        return "PtMult";
+    case PrimOp::Mult:
+        return "Mult";
+    case PrimOp::Rotate:
+        return "Rotate";
+    case PrimOp::Conjugate:
+        return "Conjugate";
+    case PrimOp::KeySwitch:
+        return "KeySwitch";
+    case PrimOp::Rescale:
+        return "Rescale";
+    case PrimOp::ModRaise:
+        return "ModRaise";
+    case PrimOp::PtMatVecMult:
+        return "PtMatVecMult";
+    case PrimOp::Bootstrap:
+        return "Bootstrap";
+    }
+    return "unknown";
+}
+
+OpCostQuery::OpCostQuery(SchemeConfig scheme, CacheConfig cache,
+                         Optimizations opts)
+    : model_(scheme, cache, opts)
+{
+}
+
+Cost
+OpCostQuery::cost(PrimOp op, size_t level, size_t diagonals) const
+{
+    MAD_REQUIRE(level >= 1, "cost query needs level >= 1");
+    // The model is defined for limb counts up to the raised chain; a
+    // serve-layer level can never exceed the functional chain, but clamp
+    // defensively so a hostile request cannot drive the model out of
+    // range.
+    const size_t l = std::min(level, scheme().boot_limbs + 1);
+    switch (op) {
+    case PrimOp::PtAdd:
+        return model_.ptAdd(l);
+    case PrimOp::Add:
+        return model_.add(l);
+    case PrimOp::PtMult:
+        return model_.ptMult(l);
+    case PrimOp::Mult:
+        return model_.mult(l);
+    case PrimOp::Rotate:
+        return model_.rotate(l);
+    case PrimOp::Conjugate:
+        return model_.conjugate(l);
+    case PrimOp::KeySwitch:
+        return model_.keySwitch(l);
+    case PrimOp::Rescale:
+        return model_.rescale(l);
+    case PrimOp::ModRaise:
+        return model_.modRaise();
+    case PrimOp::PtMatVecMult:
+        return model_.ptMatVecMult(l, std::max<size_t>(diagonals, 1));
+    case PrimOp::Bootstrap:
+        return model_.bootstrap();
+    }
+    throw InvariantError("unhandled PrimOp in cost query", __FILE__,
+                         __LINE__);
+}
+
+Cost
+OpCostQuery::rotateHoisted(size_t level, size_t steps) const
+{
+    MAD_REQUIRE(level >= 1, "cost query needs level >= 1");
+    const size_t l = std::min(level, scheme().boot_limbs + 1);
+    const size_t beta = scheme().beta(l);
+    Cost c = model_.decomp(l);
+    for (size_t d = 0; d < beta; ++d)
+        c += model_.modUpDigit(l);
+    const Cost per_step =
+        model_.automorph(l) + model_.kskInnerProd(l) + model_.modDownPoly(l) +
+        model_.modDownPoly(l);
+    for (size_t s = 0; s < std::max<size_t>(steps, 1); ++s)
+        c += per_step;
+    return c;
+}
+
+double
+OpCostQuery::modelNs(const HardwareDesign& hw, const Cost& cost)
+{
+    return runtimeSec(hw, cost) * 1e9;
+}
+
+} // namespace simfhe
+} // namespace madfhe

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * OpCostQuery: a per-operation cost lookup over the SimFHE CostModel,
+ * keyed by the Table-2 primitive and the ciphertext's current limb
+ * count. This is the query surface the virtual backend and the load
+ * harness use to charge (or report) analytically-predicted cost per
+ * served request: the model counts modular ops and DRAM bytes, and the
+ * roofline converter turns a cost vector into modeled nanoseconds on
+ * one of the Table-6 hardware designs.
+ */
+#ifndef MADFHE_SIMFHE_QUERY_H
+#define MADFHE_SIMFHE_QUERY_H
+
+#include "simfhe/hardware.h"
+#include "simfhe/model.h"
+
+namespace madfhe {
+namespace simfhe {
+
+/** The primitive operations a served request decomposes into. */
+enum class PrimOp
+{
+    PtAdd = 0,
+    Add = 1,
+    PtMult = 2,
+    Mult = 3,
+    Rotate = 4,
+    Conjugate = 5,
+    KeySwitch = 6,
+    Rescale = 7,
+    ModRaise = 8,
+    PtMatVecMult = 9,
+    Bootstrap = 10,
+};
+
+const char* primOpName(PrimOp op);
+
+class OpCostQuery
+{
+  public:
+    explicit OpCostQuery(SchemeConfig scheme, CacheConfig cache = {},
+                         Optimizations opts = Optimizations::all());
+
+    const CostModel& model() const { return model_; }
+    const SchemeConfig& scheme() const { return model_.scheme(); }
+
+    /**
+     * Cost of one primitive at `level` limbs. `diagonals` only matters
+     * for PtMatVecMult (0 is treated as 1); level is ignored by the
+     * level-free ops (ModRaise, Bootstrap).
+     */
+    Cost cost(PrimOp op, size_t level, size_t diagonals = 0) const;
+
+    /**
+     * Hoisted rotation batch: Decomp+ModUp once, then one automorph +
+     * inner product + ModDown pair per step (Figure 5(c) accounting).
+     */
+    Cost rotateHoisted(size_t level, size_t steps) const;
+
+    /** Roofline-modeled runtime of a cost vector on `hw`, in ns. */
+    static double modelNs(const HardwareDesign& hw, const Cost& cost);
+
+  private:
+    CostModel model_;
+};
+
+} // namespace simfhe
+} // namespace madfhe
+
+#endif // MADFHE_SIMFHE_QUERY_H

@@ -1,0 +1,102 @@
+#include "telemetry/serve_report.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace madfhe {
+namespace telemetry {
+
+namespace {
+
+/** The resilience counters the artifact always reports (0 if unset). */
+const char* const kServeCounters[] = {
+    "serve.requests",          "serve.errors",
+    "serve.shed",              "serve.retry",
+    "serve.breaker_open",      "serve.deadline_expired",
+    "serve.degrade.stepdown",  "serve.degrade.restore",
+    "serve.batches",           "serve.batch.coalesced",
+};
+
+u64
+counterValue(const Snapshot& snap, const std::string& name)
+{
+    for (const auto& row : snap.counters)
+        if (row.name == name)
+            return row.value;
+    return 0;
+}
+
+} // namespace
+
+bool
+writeServeBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::vector<ServeBenchRow>& rows, const Snapshot& snap)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
+    std::fprintf(f, "  \"params\": {");
+    for (size_t i = 0; i < params.size(); ++i)
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                     params[i].first.c_str(), params[i].second.c_str());
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f,
+                     "    {\"op\": \"%s\", \"threads\": %zu, \"ns_per_op\": "
+                     "%.0f, \"backend\": \"%s\"}%s\n",
+                     rows[i].op.c_str(), rows[i].threads, rows[i].ns_per_op,
+                     rows[i].backend.c_str(),
+                     i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f, "  \"latency\": {");
+    bool have_latency = false;
+    for (const auto& row : snap.histograms) {
+        if (row.name != "serve.latency_ns")
+            continue;
+        std::fprintf(f,
+                     "\"count\": %llu, \"p50_ns\": %llu, \"p95_ns\": %llu, "
+                     "\"p99_ns\": %llu",
+                     static_cast<unsigned long long>(row.stats.count),
+                     static_cast<unsigned long long>(
+                         row.stats.quantileBound(0.50)),
+                     static_cast<unsigned long long>(
+                         row.stats.quantileBound(0.95)),
+                     static_cast<unsigned long long>(
+                         row.stats.quantileBound(0.99)));
+        have_latency = true;
+        break;
+    }
+    if (!have_latency)
+        std::fprintf(f, "\"count\": 0");
+    std::fprintf(f, "},\n");
+
+    std::fprintf(f, "  \"counters\": {");
+    bool first = true;
+    for (const char* name : kServeCounters) {
+        std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", name,
+                     static_cast<unsigned long long>(
+                         counterValue(snap, name)));
+        first = false;
+    }
+    std::fprintf(f, "},\n");
+
+    long long degrade_level = 0;
+    for (const auto& row : snap.gauges)
+        if (row.name == "serve.degrade_level")
+            degrade_level = static_cast<long long>(row.value);
+    std::fprintf(f, "  \"degrade_level\": %lld\n", degrade_level);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace telemetry
+} // namespace madfhe

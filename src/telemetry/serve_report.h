@@ -1,0 +1,46 @@
+/**
+ * @file
+ * BENCH_serve.json writer: the serving-side analogue of
+ * BENCH_kernels.json (bench/kernels_common.h). One call captures a load
+ * run — parameter block, per-op throughput rows in the same
+ * {op, threads, ns_per_op, backend} shape, request-latency percentiles
+ * from the serve.latency_ns histogram, and the resilience counters
+ * (shed/retry/breaker/degrade) — so CI can archive serving performance
+ * next to kernel performance with one artifact schema family.
+ */
+#ifndef MADFHE_TELEMETRY_SERVE_REPORT_H
+#define MADFHE_TELEMETRY_SERVE_REPORT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/export.h"
+
+namespace madfhe {
+namespace telemetry {
+
+/** One throughput row (same shape as a BENCH_kernels.json result). */
+struct ServeBenchRow
+{
+    std::string op;      ///< workload / primitive name
+    size_t threads = 0;  ///< client workers driving the row
+    double ns_per_op= 0; ///< wall-clock ns per completed request
+    std::string backend; ///< "real" | "virtual"
+};
+
+/**
+ * Write the artifact. `params` entries are (key, pre-rendered JSON
+ * value) pairs — pass numbers bare ("1000") and strings quoted
+ * ("\"virtual\""). Percentiles and the serve.* counters/gauges are
+ * pulled out of `snap`. Returns false on I/O error.
+ */
+bool writeServeBenchJson(
+    const std::string& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::vector<ServeBenchRow>& rows, const Snapshot& snap);
+
+} // namespace telemetry
+} // namespace madfhe
+
+#endif // MADFHE_TELEMETRY_SERVE_REPORT_H

@@ -1,0 +1,201 @@
+#include "virtual/vct.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "ckks/ciphertext.h"
+
+namespace madfhe {
+namespace vbackend {
+
+namespace {
+
+// Metadata channel: bits [32, 32+kMetaBits) of the first coefficients
+// of c0.limb(0). The payload halves live in bits [0,32) of the same
+// coefficients, so metadata and payload never collide.
+constexpr unsigned kMetaBits = 12;
+constexpr u64 kMetaMask = (u64(1) << kMetaBits) - 1;
+constexpr u64 kMagic0 = 0xACE; // "a clearly evaluable" ciphertext
+constexpr u64 kMagic1 = 0x5C1;
+constexpr u64 kVersion = 1;
+// Words: [0]=magic0 [1]=magic1 [2]=version [3..9)=noise double bits
+// (6 x 12-bit chunks cover 64 bits) [9]=logical level.
+constexpr size_t kNoiseWords = 6;
+constexpr size_t kLevelWord = 3 + kNoiseWords;
+constexpr size_t kMetaWords = kLevelWord + 1;
+
+u64
+metaWord(const Ciphertext& ct, size_t j)
+{
+    return (ct.c0.limb(0)[j] >> 32) & kMetaMask;
+}
+
+void
+setMetaWord(Ciphertext& ct, size_t j, u64 value)
+{
+    u64& c = ct.c0.limb(0)[j];
+    c = (c & 0xFFFFFFFFULL) | ((value & kMetaMask) << 32);
+}
+
+u64
+doubleBits(double d)
+{
+    u64 bits = 0;
+    static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(u64 bits)
+{
+    double d = 0;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+void
+fnv(u64& h, u64 word)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (word >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+    }
+}
+
+} // namespace
+
+double
+VirtualView::magnitude() const
+{
+    double mag = 0.0;
+    for (const std::complex<double>& s : slots)
+        mag = std::max(mag, std::abs(s));
+    return mag;
+}
+
+void
+requirePackable(const CkksContext& ctx)
+{
+    const auto ring = ctx.ring();
+    MAD_REQUIRE(ring->modulus(0).value() > (u64(1) << (32 + kMetaBits)),
+                "virtual backend needs first_prime_bits >= 45 to hold the "
+                "packed payload + metadata");
+    for (size_t i = 1; i < ctx.maxLevel(); ++i)
+        MAD_REQUIRE(ring->modulus(i).value() > (u64(1) << 32),
+                    "virtual backend needs every scale prime above 2^32 to "
+                    "hold the packed payload halves");
+}
+
+bool
+isVirtualCiphertext(const Ciphertext& ct)
+{
+    if (ct.c0.numLimbs() == 0 || ct.c0.rep() != Rep::Coeff ||
+        ct.c0.degree() < 2 * kMetaWords)
+        return false;
+    return metaWord(ct, 0) == kMagic0 && metaWord(ct, 1) == kMagic1;
+}
+
+Ciphertext
+packVirtual(const CkksContext& ctx, const VirtualView& v)
+{
+    MAD_REQUIRE(v.level >= 1 && v.level <= ctx.maxLevel(),
+                "virtual pack: level out of range");
+    MAD_REQUIRE(std::isfinite(v.scale) && v.scale > 0,
+                "virtual pack: non-finite scale");
+    const size_t slots = ctx.slots();
+    MAD_REQUIRE(v.slots.size() <= slots, "virtual pack: too many slots");
+
+    // Single-limb carrier whatever the logical level: the level lives
+    // in the metadata channel, and every byte the serving queues copy
+    // is payload (see the header-comment layout rationale).
+    Ciphertext ct;
+    ct.c0 = RnsPoly(ctx.ring(), ctx.ring()->qIndices(1), Rep::Coeff);
+    ct.c1 = RnsPoly(ctx.ring(), ctx.ring()->qIndices(1), Rep::Coeff);
+    ct.scale = v.scale;
+
+    u64* re = ct.c0.limb(0);
+    u64* im = ct.c1.limb(0);
+    for (size_t k = 0; k < slots; ++k) {
+        const std::complex<double> s =
+            k < v.slots.size() ? v.slots[k] : std::complex<double>(0, 0);
+        MAD_REQUIRE(std::isfinite(s.real()) && std::isfinite(s.imag()),
+                    "virtual pack: non-finite slot value");
+        const u64 rb = doubleBits(s.real());
+        const u64 ib = doubleBits(s.imag());
+        re[2 * k] = rb & 0xFFFFFFFFULL;
+        re[2 * k + 1] = rb >> 32;
+        im[2 * k] = ib & 0xFFFFFFFFULL;
+        im[2 * k + 1] = ib >> 32;
+    }
+
+    setMetaWord(ct, 0, kMagic0);
+    setMetaWord(ct, 1, kMagic1);
+    setMetaWord(ct, 2, kVersion);
+    const u64 noise = doubleBits(v.noise_log2);
+    for (size_t j = 0; j < kNoiseWords; ++j)
+        setMetaWord(ct, 3 + j, (noise >> (kMetaBits * j)) & kMetaMask);
+    setMetaWord(ct, kLevelWord, static_cast<u64>(v.level));
+    return ct;
+}
+
+VirtualView
+unpackVirtual(const CkksContext& ctx, const Ciphertext& ct)
+{
+    if (!isVirtualCiphertext(ct))
+        throw UserError("virtual backend received a non-virtual ciphertext; "
+                        "clients must obtain operands from a virtual-mode "
+                        "server (e.g. via Encrypt)",
+                        __FILE__, __LINE__);
+    MAD_REQUIRE(metaWord(ct, 2) == kVersion,
+                "virtual ciphertext format version mismatch");
+    MAD_REQUIRE(ct.c0.degree() == ctx.degree(),
+                "virtual ciphertext ring degree mismatch");
+
+    VirtualView v;
+    v.level = static_cast<size_t>(metaWord(ct, kLevelWord));
+    MAD_REQUIRE(v.level >= 1 && v.level <= ctx.maxLevel(),
+                "virtual ciphertext carries an out-of-range level");
+    v.scale = ct.scale;
+    u64 noise = 0;
+    for (size_t j = 0; j < kNoiseWords; ++j)
+        noise |= metaWord(ct, 3 + j) << (kMetaBits * j);
+    v.noise_log2 = bitsDouble(noise);
+
+    const size_t slots = ctx.slots();
+    v.slots.resize(slots);
+    const u64* re = ct.c0.limb(0);
+    const u64* im = ct.c1.limb(0);
+    for (size_t k = 0; k < slots; ++k) {
+        const u64 rb =
+            (re[2 * k] & 0xFFFFFFFFULL) | ((re[2 * k + 1] & 0xFFFFFFFFULL)
+                                           << 32);
+        const u64 ib =
+            (im[2 * k] & 0xFFFFFFFFULL) | ((im[2 * k + 1] & 0xFFFFFFFFULL)
+                                           << 32);
+        v.slots[k] = {bitsDouble(rb), bitsDouble(ib)};
+    }
+    return v;
+}
+
+std::string
+virtualDigest(const CkksContext& ctx, const Ciphertext& ct)
+{
+    const VirtualView v = unpackVirtual(ctx, ct);
+    u64 h = 0xCBF29CE484222325ULL;
+    fnv(h, static_cast<u64>(v.level));
+    fnv(h, doubleBits(v.scale));
+    fnv(h, doubleBits(v.noise_log2));
+    for (const std::complex<double>& s : v.slots) {
+        fnv(h, doubleBits(s.real()));
+        fnv(h, doubleBits(s.imag()));
+    }
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "v:%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+}
+
+} // namespace vbackend
+} // namespace madfhe

@@ -19,12 +19,18 @@
  * path and its headroom histogram are exercised end to end.
  *
  * Usage: serve_smoke [--quick] [--starve] [--tenants N] [--rounds N]
+ *                    [--out PATH]
  *   --quick   CI mode: 4 tenants x 8 rounds (a few seconds)
  *   --starve  key cache holds ONE expanded key and every rotation pins
  *             two: permanent overcommit. The run must still complete
  *             every request via graceful degradation (stream-policy
  *             step-down + proactive eviction), not fail.
+ *   --out     write the run as a BENCH_serve.json artifact (the same
+ *             {op, threads, ns_per_op, backend} row shape as
+ *             BENCH_kernels.json, plus latency percentiles and the
+ *             resilience counters — see telemetry/serve_report.h).
  */
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -36,6 +42,7 @@
 #include "serve/tcp.h"
 #include "support/threadpool.h"
 #include "telemetry/export.h"
+#include "telemetry/serve_report.h"
 
 namespace {
 
@@ -56,6 +63,7 @@ main(int argc, char** argv)
 {
     size_t tenants = 4, rounds = 8;
     bool starve = false;
+    std::string out;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             tenants = 4;
@@ -66,9 +74,11 @@ main(int argc, char** argv)
             tenants = static_cast<size_t>(std::atol(argv[++i]));
         } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
             rounds = static_cast<size_t>(std::atol(argv[++i]));
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
         } else {
             std::cerr << "usage: serve_smoke [--quick] [--starve] "
-                         "[--tenants N] [--rounds N]\n";
+                         "[--tenants N] [--rounds N] [--out PATH]\n";
             return 2;
         }
     }
@@ -86,6 +96,10 @@ main(int argc, char** argv)
     KeyGenerator keygen(ctx);
     std::vector<TenantClient> clients(tenants);
     serve::ServerOptions opts;
+    // Clients encrypt locally with Encryptor, so this smoke test is
+    // real-backend by construction — pin it so a stray MADFHE_BACKEND
+    // in the environment cannot flip the server under the clients.
+    opts.backend = BackendKind::Real;
     {
         TenantClient& c = clients[0];
         c.sk = keygen.secretKey();
@@ -121,6 +135,7 @@ main(int argc, char** argv)
     // Concurrent client threads, one per tenant: PUT, GET, EvalAdd
     // against the stored value, EvalMul, Rotate — half direct submits,
     // half length-prefixed frames over TCP.
+    const auto traffic_t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> workers;
     std::atomic<u64> failures{0};
     std::atomic<u64> requests{0};
@@ -189,6 +204,13 @@ main(int argc, char** argv)
     for (auto& w : workers)
         w.join();
     server.drain();
+    const double traffic_ns_per_req =
+        requests.load()
+            ? std::chrono::duration<double, std::nano>(
+                  std::chrono::steady_clock::now() - traffic_t0)
+                      .count() /
+                  static_cast<double>(requests.load())
+            : 0.0;
 
     // --- assertions -------------------------------------------------------
     int rc = 0;
@@ -282,6 +304,28 @@ main(int argc, char** argv)
               << telemetry::counter("serve.batch.coalesced").value()
               << " of " << requests.load() << " requests into "
               << telemetry::counter("serve.batches").value() << " batches\n";
+    if (!out.empty()) {
+        const std::vector<telemetry::ServeBenchRow> bench_rows = {
+            {starve ? "smoke_mix_starve" : "smoke_mix", tenants,
+             traffic_ns_per_req, server.backend().name()},
+        };
+        const std::vector<std::pair<std::string, std::string>> bench_params =
+            {
+                {"log_n", std::to_string(params.log_n)},
+                {"num_levels", std::to_string(params.num_levels)},
+                {"tenants", std::to_string(tenants)},
+                {"rounds", std::to_string(rounds)},
+                {"starve", starve ? "true" : "false"},
+                {"mode", "\"smoke\""},
+            };
+        if (!telemetry::writeServeBenchJson(out, "serve_smoke", bench_params,
+                                            bench_rows, snap)) {
+            std::cerr << "FAIL: could not write " << out << "\n";
+            rc = 1;
+        } else {
+            std::cout << "wrote " << out << "\n";
+        }
+    }
     std::cout << (rc == 0 ? "OK: serving smoke passed\n"
                           : "serving smoke FAILED\n");
     return rc;
