@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ckks/backend.h"
+#include "graph/exec.h"
 #include "telemetry/telemetry.h"
 
 namespace madfhe {
@@ -110,20 +112,40 @@ EncryptedLrTrainer::slotSum(const Evaluator& eval, Ciphertext ct,
 }
 
 std::vector<Ciphertext>
+EncryptedLrTrainer::initialWeights(const CkksEncoder& encoder,
+                                   Encryptor& encryptor) const
+{
+    std::vector<Ciphertext> weights;
+    for (size_t j = 0; j < cfg.features; ++j)
+        weights.push_back(encryptor.encrypt(encoder.encodeScalar(
+            {0.0, 0.0}, ctx->scale(), ctx->maxLevel())));
+    return weights;
+}
+
+std::vector<Ciphertext>
 EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
                           Encryptor& encryptor,
                           const std::vector<Ciphertext>& features,
                           const Ciphertext& labels, const SwitchingKey& rlk,
                           const GaloisKeys& gks) const
 {
+    return train(eval, encoder, initialWeights(encoder, encryptor), features,
+                 labels, rlk, gks);
+}
+
+std::vector<Ciphertext>
+EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
+                          const std::vector<Ciphertext>& weights0,
+                          const std::vector<Ciphertext>& features,
+                          const Ciphertext& labels, const SwitchingKey& rlk,
+                          const GaloisKeys& gks) const
+{
     MAD_REQUIRE(features.size() == cfg.features, "feature ciphertext count");
+    MAD_REQUIRE(weights0.size() == cfg.features, "weight ciphertext count");
     TELEM_SPAN("LrTrain");
     const size_t slots = ctx->slots();
 
-    std::vector<Ciphertext> weights;
-    for (size_t j = 0; j < cfg.features; ++j)
-        weights.push_back(encryptor.encrypt(encoder.encodeScalar(
-            {0.0, 0.0}, ctx->scale(), ctx->maxLevel())));
+    std::vector<Ciphertext> weights = weights0;
 
     for (size_t it = 0; it < cfg.iterations; ++it) {
         TELEM_SPAN("LrIteration");
@@ -156,6 +178,84 @@ EncryptedLrTrainer::train(const Evaluator& eval, const CkksEncoder& encoder,
         }
     }
     return weights;
+}
+
+graph::Graph
+EncryptedLrTrainer::buildTrainGraph() const
+{
+    // The train() schedule, written with raw ops only: every manual
+    // dropToLevel in the imperative body is a level mismatch here that
+    // the align pass resolves with the identical drop (lower operand
+    // wins), so default passes replay train() byte for byte.
+    graph::GraphBuilder b;
+    const size_t slots = ctx->slots();
+    const size_t top = ctx->maxLevel();
+    const double scale = ctx->scale();
+
+    std::vector<graph::NodeRef> w;
+    for (size_t j = 0; j < cfg.features; ++j)
+        w.push_back(b.input(top, scale));
+    std::vector<graph::NodeRef> x;
+    for (size_t j = 0; j < cfg.features; ++j)
+        x.push_back(b.input(top, scale));
+    const graph::NodeRef y = b.input(top, scale);
+
+    for (size_t it = 0; it < cfg.iterations; ++it) {
+        // margin = sum_j w_j * x_j
+        graph::NodeRef margin{};
+        for (size_t j = 0; j < cfg.features; ++j) {
+            const graph::NodeRef term = b.mul(w[j], x[j]);
+            margin = (j == 0) ? term : b.add(margin, term);
+        }
+
+        // sigmoid(margin) ~ 0.5 + 0.25 m - m^3 / 48
+        const graph::NodeRef m2 = b.square(margin);
+        const graph::NodeRef m3 = b.mul(m2, margin);
+        const graph::NodeRef lin = b.mulScalar(margin, 0.25);
+        const graph::NodeRef cub = b.mulScalar(m3, -1.0 / 48.0);
+        const graph::NodeRef sig = b.addScalar(b.add(lin, cub), 0.5);
+
+        // error = sigmoid - y; w_j -= lr * mean(error * x_j)
+        const graph::NodeRef err = b.sub(sig, y);
+        for (size_t j = 0; j < cfg.features; ++j) {
+            graph::NodeRef g = b.mul(err, x[j]);
+            for (size_t s = 1; s < slots; s <<= 1)
+                g = b.add(g, b.rotate(g, static_cast<int>(s)));
+            g = b.mulScalar(
+                g, -cfg.learning_rate / static_cast<double>(slots));
+            w[j] = b.add(w[j], g);
+        }
+    }
+
+    b.outputs(w);
+    return b.build();
+}
+
+std::vector<Ciphertext>
+EncryptedLrTrainer::trainGraph(const EvalBackend& backend,
+                               const std::vector<Ciphertext>& weights0,
+                               const std::vector<Ciphertext>& features,
+                               const Ciphertext& labels,
+                               const SwitchingKey& rlk, const GaloisKeys& gks,
+                               const graph::PassOptions& popts,
+                               graph::PassStats* stats) const
+{
+    MAD_REQUIRE(features.size() == cfg.features, "feature ciphertext count");
+    MAD_REQUIRE(weights0.size() == cfg.features, "weight ciphertext count");
+    TELEM_SPAN("LrTrainGraph");
+    graph::Graph g = buildTrainGraph();
+    const graph::PassStats st = graph::runPasses(g, *ctx, popts);
+    if (stats != nullptr)
+        *stats = st;
+    std::vector<Ciphertext> inputs;
+    inputs.reserve(2 * cfg.features + 1);
+    for (const Ciphertext& ct : weights0)
+        inputs.push_back(ct);
+    for (const Ciphertext& ct : features)
+        inputs.push_back(ct);
+    inputs.push_back(labels);
+    graph::GraphExecutor exec(backend, &rlk, &gks);
+    return exec.run(g, inputs);
 }
 
 LrModel

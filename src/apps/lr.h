@@ -12,8 +12,12 @@
 
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
+#include "graph/passes.h"
 
 namespace madfhe {
+
+class EvalBackend;
+
 namespace apps {
 
 struct LrConfig
@@ -86,6 +90,43 @@ class EncryptedLrTrainer
                                   const Ciphertext& labels,
                                   const SwitchingKey& rlk,
                                   const GaloisKeys& gks) const;
+
+    /** Fresh zero-weight ciphertexts — the train() starting point,
+     *  exposed so graph and imperative runs can share one encryption. */
+    std::vector<Ciphertext> initialWeights(const CkksEncoder& encoder,
+                                           Encryptor& encryptor) const;
+
+    /** train() from caller-provided initial weights (the Encryptor
+     *  overload above delegates here via initialWeights). */
+    std::vector<Ciphertext> train(const Evaluator& eval,
+                                  const CkksEncoder& encoder,
+                                  const std::vector<Ciphertext>& weights0,
+                                  const std::vector<Ciphertext>& features,
+                                  const Ciphertext& labels,
+                                  const SwitchingKey& rlk,
+                                  const GaloisKeys& gks) const;
+
+    /**
+     * The train() schedule as an evaluation graph, built from raw ops
+     * (no manual dropToLevel: the align pass reproduces them). Inputs,
+     * in run() binding order: weights[0..features), x[0..features),
+     * labels. Outputs: the updated weights.
+     */
+    graph::Graph buildTrainGraph() const;
+
+    /**
+     * train() through the graph IR: build, run the pass pipeline,
+     * execute over `backend`. On the real backend with default passes
+     * this is byte-identical to the imperative train().
+     */
+    std::vector<Ciphertext> trainGraph(const EvalBackend& backend,
+                                       const std::vector<Ciphertext>& weights0,
+                                       const std::vector<Ciphertext>& features,
+                                       const Ciphertext& labels,
+                                       const SwitchingKey& rlk,
+                                       const GaloisKeys& gks,
+                                       const graph::PassOptions& popts = {},
+                                       graph::PassStats* stats = nullptr) const;
 
     /** Decrypt the trained weights (first slot of each ciphertext). */
     LrModel decryptModel(const CkksEncoder& encoder, Decryptor& decryptor,

@@ -1,5 +1,7 @@
 #include "apps/mlp.h"
 
+#include "ckks/backend.h"
+#include "graph/exec.h"
 #include "telemetry/telemetry.h"
 
 namespace madfhe {
@@ -80,6 +82,37 @@ EncryptedMlp::infer(const Evaluator& eval, const CkksEncoder& encoder,
         ct = transforms[layer].apply(eval, encoder, ct, gks);
     }
     return ct;
+}
+
+graph::Graph
+EncryptedMlp::buildInferGraph(size_t input_level, double input_scale) const
+{
+    graph::GraphBuilder b;
+    const size_t lvl = input_level == 0 ? ctx->maxLevel() : input_level;
+    const double scl = input_scale == 0.0 ? ctx->scale() : input_scale;
+    graph::NodeRef ct = b.input(lvl, scl);
+    ct = b.matVec(ct, &transforms[0]);
+    for (size_t layer = 1; layer < transforms.size(); ++layer) {
+        ct = b.square(ct);
+        ct = b.matVec(ct, &transforms[layer]);
+    }
+    b.output(ct);
+    return b.build();
+}
+
+Ciphertext
+EncryptedMlp::inferGraph(const EvalBackend& backend, const Ciphertext& input,
+                         const GaloisKeys& gks, const SwitchingKey& rlk,
+                         const graph::PassOptions& popts,
+                         graph::PassStats* stats) const
+{
+    TELEM_SPAN("MlpInferGraph");
+    graph::Graph g = buildInferGraph();
+    const graph::PassStats st = graph::runPasses(g, *ctx, popts);
+    if (stats != nullptr)
+        *stats = st;
+    graph::GraphExecutor exec(backend, &rlk, &gks);
+    return exec.run(g, {input}).at(0);
 }
 
 std::vector<double>

@@ -10,8 +10,12 @@
 #define MADFHE_APPS_MLP_H
 
 #include "ckks/matvec.h"
+#include "graph/passes.h"
 
 namespace madfhe {
+
+class EvalBackend;
+
 namespace apps {
 
 /**
@@ -51,6 +55,25 @@ class EncryptedMlp
     Ciphertext infer(const Evaluator& eval, const CkksEncoder& encoder,
                      const Ciphertext& input, const GaloisKeys& gks,
                      const SwitchingKey& rlk) const;
+
+    /**
+     * The infer() schedule as an evaluation graph: matvec -> square ->
+     * matvec -> ... over the layer transforms (which must outlive the
+     * graph). `input_level`/`input_scale` default (0/0.0) to the context
+     * top level and scale.
+     */
+    graph::Graph buildInferGraph(size_t input_level = 0,
+                                 double input_scale = 0.0) const;
+
+    /**
+     * infer() through the graph IR: build, run the pass pipeline,
+     * execute over `backend`. Byte-identical to the imperative infer()
+     * on the real backend (the matvec fusion pass included).
+     */
+    Ciphertext inferGraph(const EvalBackend& backend, const Ciphertext& input,
+                          const GaloisKeys& gks, const SwitchingKey& rlk,
+                          const graph::PassOptions& popts = {},
+                          graph::PassStats* stats = nullptr) const;
 
     /** Plaintext forward pass of one `dim`-sized sample. */
     std::vector<double> inferPlain(const std::vector<double>& sample) const;

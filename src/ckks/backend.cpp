@@ -52,6 +52,18 @@ EvalBackend::bootstrap(const Ciphertext& a) const
                     __FILE__, __LINE__);
 }
 
+Ciphertext
+EvalBackend::mulNoRescale(const Ciphertext& a, const Ciphertext& b,
+                          const SwitchingKey& rlk) const
+{
+    (void)a;
+    (void)b;
+    (void)rlk;
+    throw UserError(std::string("the '") + name() +
+                        "' backend does not serve unrescaled Mult",
+                    __FILE__, __LINE__);
+}
+
 // --- RealBackend ----------------------------------------------------------
 
 RealBackend::RealBackend(std::shared_ptr<const CkksContext> ctx_)
@@ -89,6 +101,12 @@ RealBackend::add(const Ciphertext& a, const Ciphertext& b) const
 }
 
 Ciphertext
+RealBackend::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    return eval_.sub(a, b);
+}
+
+Ciphertext
 RealBackend::addAligned(const Ciphertext& a, const Ciphertext& b) const
 {
     return eval_.addAligned(a, b);
@@ -99,6 +117,25 @@ RealBackend::mul(const Ciphertext& a, const Ciphertext& b,
                  const SwitchingKey& rlk) const
 {
     return eval_.mul(a, b, rlk);
+}
+
+Ciphertext
+RealBackend::mulNoRescale(const Ciphertext& a, const Ciphertext& b,
+                          const SwitchingKey& rlk) const
+{
+    return eval_.mulNoRescale(a, b, rlk);
+}
+
+Ciphertext
+RealBackend::mulScalarRescale(const Ciphertext& a, double scalar) const
+{
+    return eval_.mulScalarRescale(a, scalar);
+}
+
+Ciphertext
+RealBackend::addScalar(const Ciphertext& a, double scalar) const
+{
+    return eval_.addScalar(a, scalar, encoder_);
 }
 
 Ciphertext
@@ -132,6 +169,13 @@ RealBackend::matVec(const LinearTransform& t, const Ciphertext& ct,
                     const GaloisKeys& gks) const
 {
     return t.apply(eval_, encoder_, ct, gks);
+}
+
+Ciphertext
+RealBackend::matVecFused(const LinearTransform& t, const Ciphertext& ct,
+                         const GaloisKeys& gks) const
+{
+    return t.applyFused(eval_, encoder_, ct, gks);
 }
 
 std::string

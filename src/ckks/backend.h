@@ -74,12 +74,25 @@ class EvalBackend
     /** Strict add: levels equal, scales within tolerance. */
     virtual Ciphertext add(const Ciphertext& a,
                            const Ciphertext& b) const = 0;
+    /** Strict subtract (same shape requirements as add). */
+    virtual Ciphertext sub(const Ciphertext& a,
+                           const Ciphertext& b) const = 0;
     /** Level/scale-aligning add (Evaluator::addAligned semantics). */
     virtual Ciphertext addAligned(const Ciphertext& a,
                                   const Ciphertext& b) const = 0;
     /** Mult (Table 2): tensor + relinearize + rescale. */
     virtual Ciphertext mul(const Ciphertext& a, const Ciphertext& b,
                            const SwitchingKey& rlk) const = 0;
+    /** Tensor + relinearize at full scale, no rescale (the unmerged
+     *  two-pass Mult pipeline); the base throws UserError. */
+    virtual Ciphertext mulNoRescale(const Ciphertext& a, const Ciphertext& b,
+                                    const SwitchingKey& rlk) const;
+    /** Scalar product folded into one rescale: level-1, scale kept. */
+    virtual Ciphertext mulScalarRescale(const Ciphertext& a,
+                                        double scalar) const = 0;
+    /** Scalar addition; no level consumed. */
+    virtual Ciphertext addScalar(const Ciphertext& a,
+                                 double scalar) const = 0;
     virtual Ciphertext rescale(const Ciphertext& a) const = 0;
     virtual Ciphertext dropToLevel(const Ciphertext& a,
                                    size_t level) const = 0;
@@ -91,6 +104,14 @@ class EvalBackend
     /** PtMatVecMult via a server-hosted transform (consumes one level). */
     virtual Ciphertext matVec(const LinearTransform& t, const Ciphertext& ct,
                               const GaloisKeys& gks) const = 0;
+    /** Limb-fused PtMatVecMult (byte-identical to matVec on the real
+     *  backend, less DRAM traffic); default falls back to matVec. */
+    virtual Ciphertext matVecFused(const LinearTransform& t,
+                                   const Ciphertext& ct,
+                                   const GaloisKeys& gks) const
+    {
+        return matVec(t, ct, gks);
+    }
 
     /** Whether bootstrap() is implemented; the base throws UserError. */
     virtual bool supportsBootstrap() const { return false; }
@@ -135,10 +156,16 @@ class RealBackend final : public EvalBackend
     std::vector<double> decryptReal(const SecretKey& sk,
                                     const Ciphertext& ct) const override;
     Ciphertext add(const Ciphertext& a, const Ciphertext& b) const override;
+    Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const override;
     Ciphertext addAligned(const Ciphertext& a,
                           const Ciphertext& b) const override;
     Ciphertext mul(const Ciphertext& a, const Ciphertext& b,
                    const SwitchingKey& rlk) const override;
+    Ciphertext mulNoRescale(const Ciphertext& a, const Ciphertext& b,
+                            const SwitchingKey& rlk) const override;
+    Ciphertext mulScalarRescale(const Ciphertext& a,
+                                double scalar) const override;
+    Ciphertext addScalar(const Ciphertext& a, double scalar) const override;
     Ciphertext rescale(const Ciphertext& a) const override;
     Ciphertext dropToLevel(const Ciphertext& a, size_t level) const override;
     Ciphertext rotate(const Ciphertext& a, int steps,
@@ -148,6 +175,8 @@ class RealBackend final : public EvalBackend
                                           const GaloisKeys& gks) const override;
     Ciphertext matVec(const LinearTransform& t, const Ciphertext& ct,
                       const GaloisKeys& gks) const override;
+    Ciphertext matVecFused(const LinearTransform& t, const Ciphertext& ct,
+                           const GaloisKeys& gks) const override;
     std::string resultDigest(const Ciphertext& ct) const override;
 
   private:

@@ -339,8 +339,14 @@ Evaluator::rotateHoisted(const Ciphertext& a, const std::vector<int>& steps,
                          const GaloisKeys& gks) const
 {
     // Decomp + ModUp once (Figure 5(c)); per step only Automorph +
-    // KSKInnerProd + ModDown remain.
-    auto digits = ksw.decomposeAndRaise(a.c1);
+    // KSKInnerProd + ModDown remain. The digits are computed lazily on
+    // the first step that actually key-switches, so an empty step list
+    // (-> empty result) or an all-zero one (-> copies of the input)
+    // never pays or traces a wasted Decomp+ModUp. Duplicate steps are
+    // well-defined: each occurrence yields an identical ciphertext off
+    // the shared digits.
+    std::vector<RnsPoly> digits;
+    bool have_digits = false;
 
     std::vector<Ciphertext> out;
     out.reserve(steps.size());
@@ -351,6 +357,10 @@ Evaluator::rotateHoisted(const Ciphertext& a, const std::vector<int>& steps,
             continue;
         }
         const SwitchingKey& gk = galoisKeyFor(t, gks);
+        if (!have_digits) {
+            digits = ksw.decomposeAndRaise(a.c1);
+            have_digits = true;
+        }
         std::vector<RnsPoly> rotated;
         rotated.reserve(digits.size());
         for (const auto& d : digits)

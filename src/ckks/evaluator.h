@@ -89,7 +89,11 @@ class Evaluator
     /**
      * Hoisted rotations (ModUp hoisting, Figure 5(c)): Decomp+ModUp once,
      * then one inner product + ModDown per step. Returns one ciphertext
-     * per requested step; step 0 returns the input unchanged.
+     * per requested step; step 0 returns the input unchanged. Edge cases
+     * are well-defined: an empty step list returns an empty vector, an
+     * all-zero list returns copies of the input (neither pays the
+     * Decomp+ModUp, which is computed lazily on the first key-switching
+     * step), and duplicate steps yield identical ciphertexts.
      */
     std::vector<Ciphertext> rotateHoisted(const Ciphertext& a,
                                           const std::vector<int>& steps,

@@ -96,6 +96,78 @@ LinearTransform::apply(const Evaluator& eval, const CkksEncoder& encoder,
 }
 
 Ciphertext
+LinearTransform::applyFused(const Evaluator& eval, const CkksEncoder& encoder,
+                            const Ciphertext& ct, const GaloisKeys& gks) const
+{
+    if (!opts.hoist_modup || !opts.hoist_moddown || opts.double_hoist)
+        return apply(eval, encoder, ct, gks);
+
+    MAD_TRACE_SCOPE("PtMatVecMult");
+    TELEM_SPAN("PtMatVecMult");
+    TELEM_COUNT("matvec.fused", 1);
+    const size_t slots = ctx->slots();
+    const size_t bs = babySteps();
+    const KeySwitcher& ksw = eval.keySwitcher();
+
+    std::map<int, std::map<int, const std::vector<std::complex<double>>*>>
+        groups;
+    for (const auto& [d, diag] : diags) {
+        int j = d % static_cast<int>(bs);
+        groups[d - j][j] = &diag;
+    }
+
+    auto digits = ksw.decomposeAndRaise(ct.c1);
+    std::map<int, RaisedCiphertext> baby_raised;
+    for (const auto& [giant, cols] : groups) {
+        (void)giant;
+        for (const auto& [j, diag] : cols) {
+            (void)diag;
+            if (!baby_raised.count(j))
+                baby_raised.emplace(j, eval.rotateRaised(digits, ct, j, gks));
+        }
+    }
+
+    Ciphertext acc;
+    bool first = true;
+    for (const auto& [giant, cols] : groups) {
+        // The leading diagonal seeds the accumulator exactly as the
+        // unfused path does (raised copy + pointwise product); every
+        // further diagonal lands as an in-place fused MAC, which is
+        // byte-identical to copy + mulPointwise + add over canonical
+        // [0, q) residues but touches one raised operand less.
+        RaisedCiphertext inner;
+        bool inner_first = true;
+        for (const auto& [j, diag] : cols) {
+            std::vector<std::complex<double>> rotated(slots);
+            for (size_t k = 0; k < slots; ++k)
+                rotated[k] = (*diag)[(k + slots - giant % slots) % slots];
+            Plaintext pt = encoder.encodeRaised(rotated, pt_scale,
+                                                ct.level());
+            const RaisedCiphertext& baby = baby_raised.at(j);
+            if (inner_first) {
+                inner = baby;
+                eval.mulPlainRaised(inner, pt);
+                inner_first = false;
+            } else {
+                MAD_CHECK(pt.poly.numLimbs() == baby.c0.numLimbs(),
+                          "raised plaintext limb mismatch");
+                inner.c0.addMul(baby.c0, pt.poly);
+                inner.c1.addMul(baby.c1, pt.poly);
+            }
+        }
+        Ciphertext inner_ct = eval.modDownPair(inner);
+        Ciphertext outer = eval.rotate(inner_ct, giant, gks);
+        if (first) {
+            acc = std::move(outer);
+            first = false;
+        } else {
+            acc = eval.add(acc, outer);
+        }
+    }
+    return eval.rescale(acc);
+}
+
+Ciphertext
 LinearTransform::applyNaive(const Evaluator& eval, const CkksEncoder& encoder,
                             const Ciphertext& ct, const GaloisKeys& gks) const
 {

@@ -51,6 +51,20 @@ class LinearTransform
     Ciphertext apply(const Evaluator& eval, const CkksEncoder& encoder,
                      const Ciphertext& ct, const GaloisKeys& gks) const;
 
+    /**
+     * Limb-fused apply: byte-identical to apply(), but the per-giant
+     * raised accumulation runs as in-place multiply-accumulates
+     * (RnsPoly::addMul) instead of materializing one raised temporary
+     * per diagonal — per non-leading diagonal this replaces a raised
+     * copy + pointwise-mul + add (3 writes + 4 reads per limb) with a
+     * single fused MAC pass (1 write + 3 reads), shrinking the traced
+     * DRAM footprint the trace_validate PtMatVecMult row measures.
+     * Requires hoist_modup && hoist_moddown without double_hoist; other
+     * configurations fall back to apply().
+     */
+    Ciphertext applyFused(const Evaluator& eval, const CkksEncoder& encoder,
+                          const Ciphertext& ct, const GaloisKeys& gks) const;
+
     /** Reference slot-domain evaluation, for testing. */
     std::vector<std::complex<double>>
     applyPlain(const std::vector<std::complex<double>>& x) const;

@@ -1,0 +1,382 @@
+#include "graph/ir.h"
+
+#include <cmath>
+#include <deque>
+
+#include "ckks/context.h"
+#include "ckks/matvec.h"
+#include "support/errors.h"
+
+namespace madfhe {
+namespace graph {
+
+const char*
+opKindName(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::Input: return "Input";
+    case OpKind::Add: return "Add";
+    case OpKind::Sub: return "Sub";
+    case OpKind::Mult: return "Mult";
+    case OpKind::Rescale: return "Rescale";
+    case OpKind::DropToLevel: return "DropToLevel";
+    case OpKind::Rotate: return "Rotate";
+    case OpKind::HoistedRotation: return "HoistedRotation";
+    case OpKind::MulScalar: return "MulScalar";
+    case OpKind::AddScalar: return "AddScalar";
+    case OpKind::PtMatVecMult: return "PtMatVecMult";
+    case OpKind::KeySwitch: return "KeySwitch";
+    case OpKind::ModRaise: return "ModRaise";
+    case OpKind::Bootstrap: return "Bootstrap";
+    }
+    return "Unknown";
+}
+
+u32
+Graph::addNode(Node n)
+{
+    const u32 id = static_cast<u32>(nodes_.size());
+    if (n.kind == OpKind::Input)
+        input_ids_.push_back(id);
+    nodes_.push_back(std::move(n));
+    return id;
+}
+
+std::vector<u32>
+Graph::topoOrder() const
+{
+    const size_t n = nodes_.size();
+    std::vector<u32> indeg(n, 0);
+    std::vector<std::vector<u32>> consumers(n);
+    for (u32 id = 0; id < n; ++id) {
+        for (const NodeRef& in : nodes_[id].inputs) {
+            MAD_REQUIRE(in.node < n, "graph edge references a missing node");
+            ++indeg[id];
+            consumers[in.node].push_back(id);
+        }
+    }
+    // Kahn with an ordered ready set: ids ascending, so the order is a
+    // pure function of the graph, not of pass insertion history.
+    std::deque<u32> ready;
+    for (u32 id = 0; id < n; ++id)
+        if (indeg[id] == 0)
+            ready.push_back(id);
+    std::vector<u32> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const u32 id = ready.front();
+        ready.pop_front();
+        order.push_back(id);
+        for (u32 c : consumers[id]) {
+            if (--indeg[c] == 0) {
+                // insert keeping the deque sorted ascending
+                auto it = ready.begin();
+                while (it != ready.end() && *it < c)
+                    ++it;
+                ready.insert(it, c);
+            }
+        }
+    }
+    MAD_REQUIRE(order.size() == n, "graph contains a cycle");
+    return order;
+}
+
+const ValueMeta&
+Graph::metaOf(NodeRef ref) const
+{
+    const Node& nd = node(ref.node);
+    MAD_CHECK(ref.port < nd.meta.size(),
+              "edge metadata missing: run inferShapes first");
+    return nd.meta[ref.port];
+}
+
+NodeRef
+GraphBuilder::append(Node n)
+{
+    const u32 id = g_.addNode(std::move(n));
+    return NodeRef{id, 0};
+}
+
+NodeRef
+GraphBuilder::input(size_t level, double scale)
+{
+    MAD_REQUIRE(level >= 1, "graph input needs at least one limb");
+    Node n;
+    n.kind = OpKind::Input;
+    n.input_level = level;
+    n.input_scale = scale;
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::add(NodeRef a, NodeRef b)
+{
+    Node n;
+    n.kind = OpKind::Add;
+    n.inputs = {a, b};
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::sub(NodeRef a, NodeRef b)
+{
+    Node n;
+    n.kind = OpKind::Sub;
+    n.inputs = {a, b};
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::mul(NodeRef a, NodeRef b)
+{
+    Node n;
+    n.kind = OpKind::Mult;
+    n.inputs = {a, b};
+    n.rescale_after = true;
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::mulNoRescale(NodeRef a, NodeRef b)
+{
+    Node n;
+    n.kind = OpKind::Mult;
+    n.inputs = {a, b};
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::rescale(NodeRef a)
+{
+    Node n;
+    n.kind = OpKind::Rescale;
+    n.inputs = {a};
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::dropToLevel(NodeRef a, size_t level)
+{
+    Node n;
+    n.kind = OpKind::DropToLevel;
+    n.inputs = {a};
+    n.target_level = level;
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::rotate(NodeRef a, int step)
+{
+    Node n;
+    n.kind = OpKind::Rotate;
+    n.inputs = {a};
+    n.step = step;
+    return append(std::move(n));
+}
+
+std::vector<NodeRef>
+GraphBuilder::rotateHoisted(NodeRef a, const std::vector<int>& steps)
+{
+    Node n;
+    n.kind = OpKind::HoistedRotation;
+    n.inputs = {a};
+    n.steps = steps;
+    n.num_outputs = static_cast<u32>(steps.size());
+    const NodeRef first = append(std::move(n));
+    std::vector<NodeRef> refs;
+    refs.reserve(steps.size());
+    for (u32 p = 0; p < steps.size(); ++p)
+        refs.push_back(NodeRef{first.node, p});
+    return refs;
+}
+
+NodeRef
+GraphBuilder::mulScalar(NodeRef a, double scalar)
+{
+    Node n;
+    n.kind = OpKind::MulScalar;
+    n.inputs = {a};
+    n.scalar = scalar;
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::addScalar(NodeRef a, double scalar)
+{
+    Node n;
+    n.kind = OpKind::AddScalar;
+    n.inputs = {a};
+    n.scalar = scalar;
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::matVec(NodeRef a, const LinearTransform* t)
+{
+    MAD_REQUIRE(t != nullptr, "PtMatVecMult node needs a transform");
+    Node n;
+    n.kind = OpKind::PtMatVecMult;
+    n.inputs = {a};
+    n.transform = t;
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::keySwitch(NodeRef a)
+{
+    Node n;
+    n.kind = OpKind::KeySwitch;
+    n.inputs = {a};
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::modRaise(NodeRef a)
+{
+    Node n;
+    n.kind = OpKind::ModRaise;
+    n.inputs = {a};
+    return append(std::move(n));
+}
+
+NodeRef
+GraphBuilder::bootstrap(NodeRef a)
+{
+    Node n;
+    n.kind = OpKind::Bootstrap;
+    n.inputs = {a};
+    return append(std::move(n));
+}
+
+void
+GraphBuilder::output(NodeRef ref)
+{
+    auto outs = g_.outputs();
+    outs.push_back(ref);
+    g_.setOutputs(std::move(outs));
+}
+
+void
+GraphBuilder::outputs(const std::vector<NodeRef>& refs)
+{
+    for (NodeRef r : refs)
+        output(r);
+}
+
+Graph
+GraphBuilder::build()
+{
+    MAD_REQUIRE(!g_.outputs().empty(), "graph has no outputs");
+    return std::move(g_);
+}
+
+namespace {
+
+void
+requireSameShape(const ValueMeta& a, const ValueMeta& b)
+{
+    // Mirror of Evaluator::requireSameShape (same messages).
+    MAD_REQUIRE(a.level == b.level, "ciphertext levels differ");
+    const double rel = std::abs(a.scale - b.scale) / a.scale;
+    MAD_REQUIRE(rel < 1e-3, "ciphertext scales differ; rescale/align first");
+}
+
+} // namespace
+
+void
+inferShapes(Graph& g, const CkksContext& ctx)
+{
+    const size_t slots = ctx.slots();
+    for (u32 id : g.topoOrder()) {
+        Node& n = g.node(id);
+        n.meta.assign(n.num_outputs, ValueMeta{});
+        auto in = [&](size_t i) -> const ValueMeta& {
+            return g.metaOf(n.inputs.at(i));
+        };
+        switch (n.kind) {
+        case OpKind::Input:
+            n.meta[0] = {n.input_level, n.input_scale, slots};
+            break;
+        case OpKind::Add:
+        case OpKind::Sub:
+            requireSameShape(in(0), in(1));
+            n.meta[0] = in(0);
+            break;
+        case OpKind::Mult: {
+            requireSameShape(in(0), in(1));
+            const ValueMeta& a = in(0);
+            const ValueMeta& b = in(1);
+            if (n.rescale_after || n.merged) {
+                MAD_REQUIRE(a.level >= 2, "mul needs a level to rescale into");
+                n.meta[0] = {a.level - 1,
+                             a.scale * b.scale /
+                                 static_cast<double>(ctx.qValue(a.level - 1)),
+                             slots};
+            } else {
+                n.meta[0] = {a.level, a.scale * b.scale, slots};
+            }
+            break;
+        }
+        case OpKind::Rescale: {
+            const ValueMeta& a = in(0);
+            MAD_REQUIRE(a.level >= 2, "cannot rescale the last limb away");
+            n.meta[0] = {a.level - 1,
+                         a.scale / static_cast<double>(ctx.qValue(a.level - 1)),
+                         slots};
+            break;
+        }
+        case OpKind::DropToLevel: {
+            const ValueMeta& a = in(0);
+            MAD_REQUIRE(n.target_level >= 1 && n.target_level <= a.level,
+                        "bad target level");
+            n.meta[0] = {n.target_level, a.scale, slots};
+            break;
+        }
+        case OpKind::Rotate:
+        case OpKind::KeySwitch:
+            n.meta[0] = in(0);
+            break;
+        case OpKind::HoistedRotation: {
+            MAD_REQUIRE(n.num_outputs == n.steps.size(),
+                        "hoisted rotation port/step count mismatch");
+            for (u32 p = 0; p < n.num_outputs; ++p)
+                n.meta[p] = in(0);
+            break;
+        }
+        case OpKind::MulScalar: {
+            const ValueMeta& a = in(0);
+            MAD_REQUIRE(a.level >= 2, "no level left to rescale into");
+            // mulScalarRescale folds the scalar into q_top then rescales:
+            // one level down, scale unchanged.
+            n.meta[0] = {a.level - 1, a.scale, slots};
+            break;
+        }
+        case OpKind::AddScalar:
+            n.meta[0] = in(0);
+            break;
+        case OpKind::PtMatVecMult: {
+            MAD_REQUIRE(n.transform != nullptr,
+                        "PtMatVecMult node needs a transform");
+            const ValueMeta& a = in(0);
+            MAD_REQUIRE(a.level >= 2, "cannot rescale the last limb away");
+            n.meta[0] = {a.level - 1,
+                         a.scale * n.transform->ptScale() /
+                             static_cast<double>(ctx.qValue(a.level - 1)),
+                         slots};
+            break;
+        }
+        case OpKind::ModRaise: {
+            const ValueMeta& a = in(0);
+            MAD_REQUIRE(a.level == 1, "ModRaise expects an exhausted (1-limb) ciphertext");
+            n.meta[0] = {ctx.maxLevel(), a.scale, slots};
+            break;
+        }
+        case OpKind::Bootstrap:
+            n.meta[0] = {ctx.maxLevel(), ctx.scale(), slots};
+            break;
+        }
+    }
+}
+
+} // namespace graph
+} // namespace madfhe

@@ -8,8 +8,11 @@
 #include <sstream>
 
 #include "boot/bootstrapper.h"
+#include "ckks/backend.h"
 #include "ckks/encryptor.h"
 #include "ckks/matvec.h"
+#include "graph/exec.h"
+#include "graph/passes.h"
 #include "memtrace/trace.h"
 #include "simfhe/model.h"
 #include "support/random.h"
@@ -543,6 +546,154 @@ PolicySweepReport::format() const
         os << "monotone off > fuse > cache > full [" << prim
            << "]: " << (monotonicOk(prim) ? "ok" : "VIOLATED") << "\n";
     return os.str();
+}
+
+bool
+GraphFusionReport::ok() const
+{
+    return matvec_imperative > 0 && matvec_fused > 0 &&
+           matvec_analytic > 0 && matvec_fused < matvec_imperative &&
+           rotations_hoisted == rotations && rotations >= 2 &&
+           modups_unhoisted == rotations && modups_hoisted == 1;
+}
+
+std::string
+GraphFusionReport::format() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    os << "PtMatVecMult DRAM: imperative " << kb(matvec_imperative)
+       << " KB, graph-fused " << kb(matvec_fused) << " KB, analytic "
+       << kb(matvec_analytic) << " KB\n";
+    os << std::setprecision(3) << "  traced/analytic ratio: "
+       << imperativeRatio() << " (imperative) -> " << fusedRatio()
+       << " (fused) -- "
+       << (matvec_fused < matvec_imperative ? "gap shrinks"
+                                            : "NO IMPROVEMENT")
+       << "\n";
+    os << std::setprecision(1) << "Hoisted rotations: " << rotations_hoisted
+       << "/" << rotations << " collapsed; Decomp+ModUp runs "
+       << modups_unhoisted << " -> " << modups_hoisted << " -- "
+       << (modups_hoisted == 1 && modups_unhoisted == rotations
+               ? "ok"
+               : "NOT COLLAPSED")
+       << "\n";
+    os << "  DRAM (materializing policy, informational): "
+       << kb(rotate_unhoisted) << " KB (unhoisted) vs "
+       << kb(rotate_hoisted) << " KB (hoisted)\n";
+    os << "graph fusion: " << (ok() ? "ok" : "FAILED") << "\n";
+    return os.str();
+}
+
+GraphFusionReport
+runGraphFusion(const CrossValConfig& cfg)
+{
+    GraphFusionReport rep;
+    const ReplayConfig rc =
+        scaledReplayConfig(cfg.params, cfg.cache_limbs, cfg.policy);
+    const simfhe::SchemeConfig scheme = matchedScheme(cfg.params);
+    const simfhe::CacheConfig cache{
+        static_cast<double>(cfg.cache_limbs) * scheme.limbBytes()};
+
+    CkksStack stack(cfg.params);
+    const size_t L = stack.ctx->maxLevel();
+    ScopedStreamPolicy sp(cfg.stream_policy);
+
+    const std::vector<int> hoist_steps = {1, 2, 3, 4};
+
+    std::map<int, std::vector<std::complex<double>>> diags;
+    for (size_t d = 0; d < cfg.diagonals; ++d)
+        diags[static_cast<int>(d)] =
+            randomSlots(stack.ctx->slots(), 40 + static_cast<u64>(d));
+    LinearTransform lt(stack.ctx, std::move(diags), stack.ctx->scale());
+
+    KeyGenerator keygen(stack.ctx);
+    std::vector<int> key_steps = lt.requiredRotations();
+    key_steps.insert(key_steps.end(), hoist_steps.begin(), hoist_steps.end());
+    GaloisKeys gks = keygen.galoisKeys(stack.sk, key_steps, false);
+
+    RealBackend backend(stack.ctx);
+    Ciphertext ct = stack.encryptRandom(41, L);
+
+    // --- PtMatVecMult: imperative apply vs graph-fused ------------------
+    rep.matvec_imperative =
+        traceAndReplay(
+            [&] { (void)lt.apply(*stack.eval, *stack.encoder, ct, gks); },
+            "PtMatVecMult", rc)
+            .bytes();
+    {
+        graph::GraphBuilder b;
+        b.output(b.matVec(b.input(L, ct.scale), &lt));
+        graph::Graph g = b.build();
+        graph::runPasses(g, *stack.ctx);
+        graph::GraphExecutor exec(backend, &stack.rlk, &gks);
+        rep.matvec_fused =
+            traceAndReplay([&] { (void)exec.run(g, {ct}); }, "PtMatVecMult",
+                           rc)
+                .bytes();
+    }
+    simfhe::Optimizations hoist = simfhe::Optimizations::none();
+    hoist.moddown_hoist = true;
+    rep.matvec_analytic = simfhe::CostModel(scheme, cache, hoist)
+                              .ptMatVecMult(L, cfg.diagonals)
+                              .bytes();
+
+    // --- Hoisted rotations: same graph, pass off vs on ------------------
+    // The structural claim: the per-rotate path decomposes the source N
+    // times, the HoistedRotation group exactly once. Counted from the raw
+    // trace's DecompModUp scope events under the materializing policy
+    // (streaming key switches never open that scope); replayed DRAM
+    // totals are kept for context only.
+    auto traceRun = [&](const std::function<void()>& op, size_t* modups,
+                        double* bytes) {
+        ScopedStreamPolicy off(StreamPolicy::Off);
+        TraceSink& sink = TraceSink::instance();
+        sink.clear();
+        sink.enable();
+        op();
+        sink.disable();
+        Trace trace = sink.snapshot();
+        sink.clear();
+        size_t count = 0;
+        for (const Event& e : trace.events) {
+            if (e.kind == Kind::ScopeBegin &&
+                trace.scope_names.at(static_cast<size_t>(e.addr)) ==
+                    "DecompModUp")
+                ++count;
+        }
+        *modups = count;
+        *bytes = replay(trace, rc).total.bytes();
+    };
+    rep.rotations = hoist_steps.size();
+    Ciphertext rct = stack.encryptRandom(42, L);
+    auto buildRotations = [&](bool hoist_pass) {
+        graph::GraphBuilder b;
+        const graph::NodeRef in = b.input(L, rct.scale);
+        std::vector<graph::NodeRef> outs;
+        for (int s : hoist_steps)
+            outs.push_back(b.rotate(in, s));
+        b.outputs(outs);
+        graph::Graph g = b.build();
+        graph::PassOptions po;
+        po.hoist_rotations = hoist_pass;
+        const graph::PassStats st = graph::runPasses(g, *stack.ctx, po);
+        if (hoist_pass)
+            rep.rotations_hoisted = st.rotations_hoisted;
+        return g;
+    };
+    {
+        graph::Graph g = buildRotations(false);
+        graph::GraphExecutor exec(backend, &stack.rlk, &gks);
+        traceRun([&] { (void)exec.run(g, {rct}); }, &rep.modups_unhoisted,
+                 &rep.rotate_unhoisted);
+    }
+    {
+        graph::Graph g = buildRotations(true);
+        graph::GraphExecutor exec(backend, &stack.rlk, &gks);
+        traceRun([&] { (void)exec.run(g, {rct}); }, &rep.modups_hoisted,
+                 &rep.rotate_hoisted);
+    }
+    return rep;
 }
 
 PolicySweepReport

@@ -6,9 +6,45 @@
 #include "ckks/serialize.h"
 #include "support/faultinject.h"
 #include "support/resilience.h"
+#include "telemetry/telemetry.h"
 
 namespace madfhe {
 namespace serve {
+
+std::pair<ErrorKind, std::string>
+classifyCurrentException()
+{
+    // Order matters: most-derived first (CorruptStreamError is a
+    // UserError; InjectedFault is a runtime_error).
+    try {
+        throw;
+    } catch (const faultinject::InjectedFault& e) {
+        return {ErrorKind::Injected, e.what()};
+    } catch (const resilience::OverloadedError& e) {
+        return {ErrorKind::Overloaded, e.what()};
+    } catch (const resilience::DeadlineExceededError& e) {
+        return {ErrorKind::DeadlineExceeded, e.what()};
+    } catch (const FaultDetectedError& e) {
+        return {ErrorKind::FaultDetected, e.what()};
+    } catch (const CorruptStreamError& e) {
+        return {ErrorKind::CorruptStream, e.what()};
+    } catch (const UserError& e) {
+        return {ErrorKind::User, e.what()};
+    } catch (const InvariantError& e) {
+        // A broken internal invariant has no dedicated wire kind; keep
+        // the breadcrumbed what() on the Other kind and count it so a
+        // rate of invariant escapes is visible in telemetry.
+        TELEM_COUNT("serve.errors.invariant", 1);
+        return {ErrorKind::Other, e.what()};
+    } catch (const std::bad_alloc&) {
+        return {ErrorKind::BadAlloc, "out of memory"};
+    } catch (const std::exception& e) {
+        return {ErrorKind::Other, e.what()};
+    } catch (...) {
+        TELEM_COUNT("serve.errors.unclassified", 1);
+        return {ErrorKind::Other, "unknown error"};
+    }
+}
 
 const char*
 opName(Op op)

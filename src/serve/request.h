@@ -15,6 +15,7 @@
 #define MADFHE_SERVE_REQUEST_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckks/ciphertext.h"
@@ -91,6 +92,16 @@ struct Response
 /** Re-raise a failed response as the typed error the server caught;
  *  no-op when resp.ok. */
 void throwIfError(const Response& resp);
+
+/**
+ * Classify the in-flight exception into the wire taxonomy, preserving
+ * the MadError kind and its file:line + op breadcrumbs in the message.
+ * Must be called from inside a catch block. Invariant violations map to
+ * Other with the breadcrumbed what() intact and bump the
+ * serve.errors.invariant counter; truly unknown (non-std::exception)
+ * throws bump serve.errors.unclassified — nothing is silently erased.
+ */
+std::pair<ErrorKind, std::string> classifyCurrentException();
 
 // --- wire framing ---------------------------------------------------------
 

@@ -15,36 +15,8 @@ namespace serve {
 
 namespace {
 
-/**
- * Classify the in-flight exception into the wire taxonomy. Must be
- * called from inside a catch block. Order matters: most-derived first
- * (CorruptStreamError is a UserError; InjectedFault is a runtime_error).
- */
-std::pair<ErrorKind, std::string>
-classifyCurrentException()
-{
-    try {
-        throw;
-    } catch (const faultinject::InjectedFault& e) {
-        return {ErrorKind::Injected, e.what()};
-    } catch (const resilience::OverloadedError& e) {
-        return {ErrorKind::Overloaded, e.what()};
-    } catch (const resilience::DeadlineExceededError& e) {
-        return {ErrorKind::DeadlineExceeded, e.what()};
-    } catch (const FaultDetectedError& e) {
-        return {ErrorKind::FaultDetected, e.what()};
-    } catch (const CorruptStreamError& e) {
-        return {ErrorKind::CorruptStream, e.what()};
-    } catch (const UserError& e) {
-        return {ErrorKind::User, e.what()};
-    } catch (const std::bad_alloc&) {
-        return {ErrorKind::BadAlloc, "out of memory"};
-    } catch (const std::exception& e) {
-        return {ErrorKind::Other, e.what()};
-    } catch (...) {
-        return {ErrorKind::Other, "unknown error"};
-    }
-}
+// classifyCurrentException() moved to serve/request.cpp so the TCP
+// front end reports the same typed errors the dispatcher does.
 
 /**
  * Detach the current thread from any open span for the duration of one

@@ -260,7 +260,18 @@ TcpFrontEnd::serveConnection(Conn* conn)
         try {
             got = recvFrame(fd, frame, &stopping);
         } catch (...) {
-            got = false; // hostile length prefix: drop the connection
+            // Hostile framing (oversized length prefix, truncated
+            // header). Report the typed error — CorruptStream with its
+            // breadcrumbs intact, not a silent drop — then close; the
+            // stream position is unrecoverable.
+            const auto [kind, what] = classifyCurrentException();
+            TELEM_COUNT("serve.tcp.recv_errors", 1);
+            Response resp;
+            resp.ok = false;
+            resp.error_kind = kind;
+            resp.error = what;
+            sendFrame(fd, encodeResponse(resp)); // best effort
+            break;
         }
         if (!got)
             break;
@@ -268,12 +279,17 @@ TcpFrontEnd::serveConnection(Conn* conn)
         try {
             reply = encodeResponse(server.submitFrame(frame).get());
         } catch (...) {
-            // submit rejected (server stopping): report, then drop.
+            // Mid-dispatch throw (batcher closed on stop, queue-full
+            // shed racing admission, a fault escaping the dispatcher):
+            // the client still gets the real MadError kind and message
+            // before the connection drops.
+            const auto [kind, what] = classifyCurrentException();
+            TELEM_COUNT("serve.tcp.submit_errors", 1);
             Response resp;
             resp.ok = false;
-            resp.error_kind = ErrorKind::User;
-            resp.error = "server is stopping";
-            sendFrame(fd, encodeResponse(resp));
+            resp.error_kind = kind;
+            resp.error = what;
+            sendFrame(fd, encodeResponse(resp)); // best effort
             break;
         }
         if (!sendFrame(fd, reply))

@@ -26,14 +26,30 @@ HistogramSnapshot::quantileBound(double q) const
 {
     if (count == 0)
         return 0;
-    const u64 target = static_cast<u64>(q * static_cast<double>(count));
+    // Clamp q into [0, 1) rank space: NaN/negative read as the minimum,
+    // q >= 1.0 as the maximum sample. Without the upper clamp the scan
+    // target equals `count`, the prefix loop never fires, and a
+    // single-sample histogram reports the 2^47-1 top-bucket bound
+    // instead of its own bucket.
+    u64 target = 0;
+    if (q >= 1.0)
+        target = count - 1;
+    else if (q > 0.0)
+        target = static_cast<u64>(q * static_cast<double>(count));
     u64 seen = 0;
+    size_t last_nonempty = 0;
     for (size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        last_nonempty = b;
         seen += buckets[b];
         if (seen > target)
             return Histogram::bucketUpperBound(b);
     }
-    return Histogram::bucketUpperBound(buckets.size() - 1);
+    // Shard-racy snapshots can leave sum(buckets) < count; fall back to
+    // the highest bucket that actually holds samples, never the array
+    // end.
+    return Histogram::bucketUpperBound(last_nonempty);
 }
 
 HistogramSnapshot

@@ -101,7 +101,14 @@ struct HistogramSnapshot
     std::array<u64, kHistogramBuckets> buckets{};
 
     double mean() const { return count ? static_cast<double>(sum) / count : 0; }
-    /** Upper bound of the smallest bucket prefix covering `q` of mass. */
+    /**
+     * Upper bound of the smallest bucket prefix covering `q` of mass.
+     * Total on every input: an empty histogram reports 0 for any q,
+     * q is clamped to [0, 1] (NaN reads as 0), and quantiles are
+     * monotone in q — a single-sample histogram reports that sample's
+     * bucket bound at every quantile, so p50 <= p95 <= p99 always
+     * holds.
+     */
     u64 quantileBound(double q) const;
 };
 

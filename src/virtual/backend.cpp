@@ -125,6 +125,56 @@ VirtualBackend::add(const Ciphertext& a, const Ciphertext& b) const
     return packVirtual(*ctx, x);
 }
 
+Ciphertext
+VirtualBackend::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    VirtualView x = view(a);
+    const VirtualView y = view(b);
+    requireSameShape(x, y);
+    for (size_t k = 0; k < x.slots.size(); ++k)
+        x.slots[k] -= y.slots[k];
+    // Error magnitudes add under subtraction exactly as under addition.
+    x.noise_log2 =
+        est_.add(NoiseBound{x.noise_log2}, NoiseBound{y.noise_log2})
+            .log2_error;
+    charge(simfhe::PrimOp::Add, query_.cost(simfhe::PrimOp::Add, x.level));
+    return packVirtual(*ctx, x);
+}
+
+Ciphertext
+VirtualBackend::mulScalarRescale(const Ciphertext& a, double scalar) const
+{
+    VirtualView x = view(a);
+    MAD_REQUIRE(x.level >= 2, "no level left to rescale into");
+    const double mag = x.magnitude();
+    for (std::complex<double>& s : x.slots)
+        s *= scalar;
+    // The real path folds the scalar into q_top then rescales: slot
+    // scale is unchanged, one level consumed (same accounting as
+    // alignViews' scale adjustment).
+    x.noise_log2 =
+        est_.rescale(est_.mulPlain(NoiseBound{x.noise_log2},
+                                   std::abs(scalar), mag))
+            .log2_error;
+    charge(simfhe::PrimOp::PtMult,
+           query_.cost(simfhe::PrimOp::PtMult, x.level));
+    x.level -= 1;
+    return packVirtual(*ctx, x);
+}
+
+Ciphertext
+VirtualBackend::addScalar(const Ciphertext& a, double scalar) const
+{
+    VirtualView x = view(a);
+    for (std::complex<double>& s : x.slots)
+        s += scalar;
+    // Plaintext addition contributes one encoding's worth of error.
+    x.noise_log2 =
+        est_.add(NoiseBound{x.noise_log2}, est_.encoding()).log2_error;
+    charge(simfhe::PrimOp::PtAdd, query_.cost(simfhe::PrimOp::PtAdd, x.level));
+    return packVirtual(*ctx, x);
+}
+
 std::pair<VirtualView, VirtualView>
 VirtualBackend::alignViews(const VirtualView& a, const VirtualView& b) const
 {

@@ -59,10 +59,14 @@ class VirtualBackend final : public EvalBackend
     std::vector<double> decryptReal(const SecretKey& sk,
                                     const Ciphertext& ct) const override;
     Ciphertext add(const Ciphertext& a, const Ciphertext& b) const override;
+    Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const override;
     Ciphertext addAligned(const Ciphertext& a,
                           const Ciphertext& b) const override;
     Ciphertext mul(const Ciphertext& a, const Ciphertext& b,
                    const SwitchingKey& rlk) const override;
+    Ciphertext mulScalarRescale(const Ciphertext& a,
+                                double scalar) const override;
+    Ciphertext addScalar(const Ciphertext& a, double scalar) const override;
     Ciphertext rescale(const Ciphertext& a) const override;
     Ciphertext dropToLevel(const Ciphertext& a, size_t level) const override;
     Ciphertext rotate(const Ciphertext& a, int steps,

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ckks/stream.h"
 #include "support/threadpool.h"
 #include "test_util.h"
@@ -352,6 +354,57 @@ TEST_F(StreamPolicySweep, RotateByteIdenticalAcrossPoliciesAndThreads)
             }
         }
     }
+}
+
+TEST_F(EvaluatorProps, RotateHoistedEmptyStepListReturnsEmpty)
+{
+    auto gks = h->makeGaloisKeys({1});
+    auto ct = h->encryptSlots(randomSlots(h->ctx->slots(), 21), 3);
+    auto out = h->eval->rotateHoisted(ct, {}, gks);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(EvaluatorProps, RotateHoistedZeroStepsAreExactCopies)
+{
+    // All-zero lists must not pay the Decomp+ModUp (it is lazy) and must
+    // return the input bit-for-bit; keys for other steps are not needed.
+    GaloisKeys no_keys;
+    auto ct = h->encryptSlots(randomSlots(h->ctx->slots(), 22), 3);
+    auto out = h->eval->rotateHoisted(ct, {0, 0, 0}, no_keys);
+    ASSERT_EQ(out.size(), 3u);
+    for (const auto& c : out) {
+        EXPECT_TRUE(c.c0.equals(ct.c0));
+        EXPECT_TRUE(c.c1.equals(ct.c1));
+        EXPECT_EQ(c.scale, ct.scale);
+    }
+}
+
+TEST_F(EvaluatorProps, RotateHoistedDuplicateStepsAreIdentical)
+{
+    auto gks = h->makeGaloisKeys({1, 2});
+    auto ct = h->encryptSlots(randomSlots(h->ctx->slots(), 23), 3);
+    auto out = h->eval->rotateHoisted(ct, {1, 2, 1, 1}, gks);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_TRUE(out[0].c0.equals(out[2].c0));
+    EXPECT_TRUE(out[0].c1.equals(out[2].c1));
+    EXPECT_TRUE(out[0].c0.equals(out[3].c0));
+    EXPECT_TRUE(out[0].c1.equals(out[3].c1));
+    EXPECT_FALSE(out[0].c0.equals(out[1].c0));
+}
+
+TEST_F(EvaluatorProps, RotateHoistedMixedZeroAndNonzeroSteps)
+{
+    auto gks = h->makeGaloisKeys({1});
+    auto v = randomSlots(h->ctx->slots(), 24);
+    auto ct = h->encryptSlots(v, 3);
+    auto out = h->eval->rotateHoisted(ct, {0, 1}, gks);
+    ASSERT_EQ(out.size(), 2u);
+    // Port 0 is the untouched input; port 1 is a real rotation.
+    EXPECT_TRUE(out[0].c0.equals(ct.c0));
+    auto rotated = h->decryptSlots(out[1]);
+    auto expect = v;
+    std::rotate(expect.begin(), expect.begin() + 1, expect.end());
+    EXPECT_LT(maxError(rotated, expect), 1e-3);
 }
 
 } // namespace

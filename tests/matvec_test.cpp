@@ -134,6 +134,39 @@ TEST_F(MatVecTest, ExplicitBabyStepCount)
     EXPECT_LT(maxError(lt.applyPlain(x), y), 1e-3);
 }
 
+TEST_F(MatVecTest, ApplyFusedByteIdenticalToApply)
+{
+    const size_t slots = h->ctx->slots();
+    auto diags = randomDiagonals(slots, {0, 1, 2, 3, 5, 8}, 13);
+    LinearTransform lt(h->ctx, diags, h->ctx->scale());
+    auto ct = h->encryptSlots(randomSlots(slots, 14), 3);
+    GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+    Ciphertext a = lt.apply(*h->eval, *h->encoder, ct, gks);
+    Ciphertext f = lt.applyFused(*h->eval, *h->encoder, ct, gks);
+    EXPECT_TRUE(f.c0.equals(a.c0));
+    EXPECT_TRUE(f.c1.equals(a.c1));
+    EXPECT_EQ(f.scale, a.scale);
+}
+
+TEST_F(MatVecTest, ApplyFusedFallsBackWhenHoistingDisallows)
+{
+    // The fused accumulation requires hoist_modup && hoist_moddown and no
+    // double hoisting; other configurations must silently take apply().
+    const size_t slots = h->ctx->slots();
+    for (MatVecOptions opts :
+         {MatVecOptions{true, false, false, 0},
+          MatVecOptions{false, false, false, 0},
+          MatVecOptions{true, true, true, 0}}) {
+        auto diags = randomDiagonals(slots, {0, 1, 3}, 15);
+        LinearTransform lt(h->ctx, diags, h->ctx->scale(), opts);
+        auto ct = h->encryptSlots(randomSlots(slots, 16), 3);
+        GaloisKeys gks = h->makeGaloisKeys(lt.requiredRotations());
+        Ciphertext a = lt.apply(*h->eval, *h->encoder, ct, gks);
+        Ciphertext f = lt.applyFused(*h->eval, *h->encoder, ct, gks);
+        EXPECT_TRUE(f.c0.equals(a.c0) && f.c1.equals(a.c1));
+    }
+}
+
 TEST_F(MatVecTest, RejectsEmptyAndBadDiagonals)
 {
     std::map<int, std::vector<std::complex<double>>> empty;

@@ -564,6 +564,58 @@ TEST_F(ServeTest, UnknownTenantAndBadOpsReportUserErrors)
     EXPECT_GT(telemetry::counter("serve.errors").value(), 0u);
 }
 
+TEST_F(ServeTest, ClassifyCurrentExceptionPreservesTaxonomy)
+{
+    auto classify = [](auto&& thrower) {
+        try {
+            thrower();
+        } catch (...) {
+            return classifyCurrentException();
+        }
+        return std::pair<ErrorKind, std::string>{ErrorKind::None, ""};
+    };
+
+    auto user = classify(
+        [] { throw UserError("bad knob", __FILE__, __LINE__); });
+    EXPECT_EQ(user.first, ErrorKind::User);
+    EXPECT_NE(user.second.find("bad knob"), std::string::npos);
+    // The file:line breadcrumb survives classification.
+    EXPECT_NE(user.second.find("serve_test"), std::string::npos);
+
+    auto corrupt = classify(
+        [] { throw CorruptStreamError("short frame", __FILE__, __LINE__); });
+    EXPECT_EQ(corrupt.first, ErrorKind::CorruptStream);
+    EXPECT_NE(corrupt.second.find("short frame"), std::string::npos);
+
+    auto fault = classify(
+        [] { throw FaultDetectedError("digest mismatch"); });
+    EXPECT_EQ(fault.first, ErrorKind::FaultDetected);
+
+    // Invariant violations map to Other with the breadcrumbed what()
+    // intact — never erased into a generic string — and are counted.
+    const u64 before = telemetry::counter("serve.errors.invariant").value();
+    auto inv = classify(
+        [] { throw InvariantError("meta missing", __FILE__, __LINE__); });
+    EXPECT_EQ(inv.first, ErrorKind::Other);
+    EXPECT_NE(inv.second.find("meta missing"), std::string::npos);
+    EXPECT_NE(inv.second.find("serve_test"), std::string::npos);
+    EXPECT_GE(telemetry::counter("serve.errors.invariant").value(), before);
+
+    auto plain = classify([] { throw std::runtime_error("plain"); });
+    EXPECT_EQ(plain.first, ErrorKind::Other);
+    EXPECT_NE(plain.second.find("plain"), std::string::npos);
+
+    // Non-std::exception throws classify as Other/"unknown error" and
+    // bump the unclassified counter instead of vanishing.
+    const u64 uncls =
+        telemetry::counter("serve.errors.unclassified").value();
+    auto unknown = classify([] { throw 42; });
+    EXPECT_EQ(unknown.first, ErrorKind::Other);
+    EXPECT_NE(unknown.second.find("unknown error"), std::string::npos);
+    EXPECT_GT(telemetry::counter("serve.errors.unclassified").value(),
+              uncls);
+}
+
 // --- end-to-end over TCP --------------------------------------------------
 
 TEST_F(ServeTest, TcpRoundTripServesEncryptedKv)
@@ -607,6 +659,20 @@ TEST_F(ServeTest, TcpRoundTripServesEncryptedKv)
         ctx->ring());
     EXPECT_FALSE(bad.ok);
     EXPECT_EQ(bad.error_kind, ErrorKind::CorruptStream);
+
+    // A mid-dispatch throw (unknown tenant) must reach the client as the
+    // typed User error, not a closed socket or an untyped Other.
+    Request rogue;
+    rogue.tenant = id + 999;
+    rogue.id = 3;
+    rogue.op = Op::Get;
+    rogue.name = "answer";
+    Response typed = decodeResponse(
+        tcpRequest("127.0.0.1", tcp.port(), encodeRequest(rogue)),
+        ctx->ring());
+    EXPECT_FALSE(typed.ok);
+    EXPECT_EQ(typed.error_kind, ErrorKind::User);
+    EXPECT_THROW(throwIfError(typed), UserError);
 }
 
 // --- fault injection through the serving path -----------------------------

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 
 #include "memtrace/trace.h"
 #include "rns/basis.h"
@@ -68,6 +69,49 @@ TEST(TelemetryMetrics, GaugeAndHistogram)
     EXPECT_EQ(snap.count, 3u);
     EXPECT_EQ(snap.sum, 1001u);
     EXPECT_GE(snap.quantileBound(1.0), 1000u);
+}
+
+TEST(TelemetryMetrics, QuantileBoundTotalOnEdgeCaseInputs)
+{
+    // Empty histogram: any quantile reads 0, never garbage.
+    HistogramSnapshot empty;
+    EXPECT_EQ(empty.quantileBound(0.0), 0u);
+    EXPECT_EQ(empty.quantileBound(0.5), 0u);
+    EXPECT_EQ(empty.quantileBound(1.0), 0u);
+
+    // Single sample: every quantile reports that sample's bucket bound.
+    LevelGuard guard(Level::Counters);
+    Histogram& one = histogram("test.hist_single");
+    one.reset();
+    one.record(100);
+    auto snap = one.snapshot();
+    const u64 bound = snap.quantileBound(0.5);
+    EXPECT_GE(bound, 100u);
+    EXPECT_EQ(snap.quantileBound(0.95), bound);
+    EXPECT_EQ(snap.quantileBound(0.99), bound);
+    EXPECT_EQ(snap.quantileBound(1.0), bound);
+
+    // Out-of-range and NaN quantiles clamp instead of misindexing.
+    EXPECT_EQ(snap.quantileBound(-1.0), snap.quantileBound(0.0));
+    EXPECT_EQ(snap.quantileBound(2.0), bound);
+    EXPECT_EQ(snap.quantileBound(std::nan("")),
+              snap.quantileBound(0.0));
+}
+
+TEST(TelemetryMetrics, QuantileBoundsAreMonotone)
+{
+    LevelGuard guard(Level::Counters);
+    Histogram& h = histogram("test.hist_monotone");
+    h.reset();
+    for (u64 v : {1u, 2u, 4u, 70u, 3000u, 3000u, 1u << 20})
+        h.record(v);
+    auto snap = h.snapshot();
+    const u64 p50 = snap.quantileBound(0.50);
+    const u64 p95 = snap.quantileBound(0.95);
+    const u64 p99 = snap.quantileBound(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, snap.quantileBound(1.0));
 }
 
 TEST(TelemetryMetrics, MacrosAreInertWhenOff)

@@ -13,8 +13,14 @@
  * that traced DRAM bytes drop monotonically off -> fuse -> cache ->
  * full.
  *
+ * With --graph the tool compares the evaluation-graph executor against
+ * the imperative path: the PtMatVecMult fusion pass must strictly
+ * reduce traced DRAM bytes (shrinking the traced-vs-model gap) and the
+ * hoisted-rotation pass must collapse N same-source rotations into one
+ * Decomp+ModUp's worth of traffic.
+ *
  * Usage: trace_validate [--cache-limbs N] [--policy lru|belady|infinite]
- *                       [--no-bootstrap] [--per-opt-level]
+ *                       [--no-bootstrap] [--per-opt-level] [--graph]
  */
 #include <cstring>
 #include <iostream>
@@ -29,7 +35,7 @@ usage(const char* argv0)
 {
     std::cerr << "usage: " << argv0
               << " [--cache-limbs N] [--policy lru|belady|infinite]"
-                 " [--no-bootstrap] [--per-opt-level]\n";
+                 " [--no-bootstrap] [--per-opt-level] [--graph]\n";
     return 2;
 }
 
@@ -42,6 +48,7 @@ main(int argc, char** argv)
 
     memtrace::CrossValConfig cfg;
     bool per_opt_level = false;
+    bool graph_mode = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--cache-limbs" && i + 1 < argc) {
@@ -66,6 +73,8 @@ main(int argc, char** argv)
             cfg.run_bootstrap = false;
         } else if (arg == "--per-opt-level") {
             per_opt_level = true;
+        } else if (arg == "--graph") {
+            graph_mode = true;
         } else {
             return usage(argv[0]);
         }
@@ -88,6 +97,19 @@ main(int argc, char** argv)
         }
         std::cout << "\nPASS: every stream policy agrees with its model "
                      "opt level\n";
+        return 0;
+    }
+
+    if (graph_mode) {
+        memtrace::GraphFusionReport rep = memtrace::runGraphFusion(cfg);
+        std::cout << rep.format();
+        if (!rep.ok()) {
+            std::cout << "\nFAIL: graph passes did not reduce traced DRAM "
+                         "traffic\n";
+            return 1;
+        }
+        std::cout << "\nPASS: graph fusion and rotation hoisting reduce "
+                     "traced DRAM traffic\n";
         return 0;
     }
 
